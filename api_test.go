@@ -1,0 +1,141 @@
+package replicatree_test
+
+import (
+	"math"
+	"testing"
+
+	"replicatree"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way a
+// downstream user would: build a tree, solve all four problems, run the
+// baseline and the heuristic, and simulate the winning placement.
+func TestFacadeEndToEnd(t *testing.T) {
+	b := replicatree.NewBuilder()
+	a := b.AddNode(b.Root())
+	n1 := b.AddNode(a)
+	n2 := b.AddNode(a)
+	b.AddClient(n1, 4)
+	b.AddClient(n2, 7)
+	b.AddClient(b.Root(), 2)
+	tr := b.MustBuild()
+
+	// MinCost-NoPre.
+	count, err := replicatree.MinReplicaCount(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("MinReplicaCount = %d, want 2", count)
+	}
+
+	// MinCost-WithPre with a pre-existing server.
+	existing := replicatree.ReplicasOf(tr)
+	existing.Set(n1, 1)
+	res, err := replicatree.MinCost(tr, existing, 10, replicatree.SimpleCost{Create: 0.1, Delete: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused != 1 {
+		t.Fatalf("Reused = %d, want 1", res.Reused)
+	}
+	if err := replicatree.ValidateUniform(tr, res.Placement, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Greedy baseline agrees on the count.
+	g, err := replicatree.GreedyMinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != res.Servers {
+		t.Fatalf("greedy %d servers, DP %d", g.Count(), res.Servers)
+	}
+
+	// Power: modes {5,10}, paper Experiment 3 model.
+	pm, err := replicatree.NewPowerModel([]int{5, 10}, 12.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := replicatree.UniformModalCost(2, 0.1, 0.01, 0.001)
+	solver, err := replicatree.SolvePower(replicatree.PowerProblem{
+		Tree: tr, Existing: existing, Power: pm, Cost: cm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := solver.MinPower()
+	front := solver.Front()
+	if len(front) == 0 || opt == nil {
+		t.Fatal("no power solutions")
+	}
+	if err := replicatree.ValidateSolution(tr, opt.Placement, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The heuristic and the sweep are never better than the optimum.
+	sweep, err := replicatree.GreedyPowerSweep(tr, existing, pm, cm, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Found && sweep.Power < opt.Power-1e-9 {
+		t.Fatalf("sweep %v beat the optimum %v", sweep.Power, opt.Power)
+	}
+	h, err := replicatree.HeuristicPowerAware(tr, existing, pm, cm, math.Inf(1), replicatree.HeuristicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Found && h.Power < opt.Power-1e-9 {
+		t.Fatalf("heuristic %v beat the optimum %v", h.Power, opt.Power)
+	}
+
+	// Simulate the optimal placement for 10 time units.
+	sim, err := replicatree.NewSimulator(tr, opt.Placement, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(10)
+	m := sim.Metrics()
+	if m.Dropped != 0 || m.Violations != 0 {
+		t.Fatalf("simulation dropped traffic: %+v", m)
+	}
+	if math.Abs(m.Energy-10*opt.Power) > 1e-9 {
+		t.Fatalf("energy %v, want %v", m.Energy, 10*opt.Power)
+	}
+}
+
+func TestFacadeGeneratorsAndSerialisation(t *testing.T) {
+	src := replicatree.NewRNG(7)
+	tr, err := replicatree.GenerateTree(replicatree.FatConfig(60), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 60 {
+		t.Fatalf("generated %d nodes", tr.N())
+	}
+	existing, err := replicatree.RandomReplicas(tr, 10, 2, replicatree.DeriveRNG(7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally, err := replicatree.TallyReplicas(existing, replicatree.ReplicasOf(tr), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Servers() != 10 {
+		t.Fatalf("tally servers = %d", tally.Servers())
+	}
+	// Parent-vector and flow helpers are reachable.
+	tr2, err := replicatree.FromParents([]int{-1, 0}, [][]int{{3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := replicatree.ReplicasOf(tr2)
+	r.Set(0, 1)
+	loads, unserved := replicatree.Flows(tr2, r)
+	if unserved != 0 || loads[0] != 7 {
+		t.Fatalf("flows: %v / %d", loads, unserved)
+	}
+	if got := replicatree.Assignments(tr2, r); got[1] != 0 {
+		t.Fatalf("assignments: %v", got)
+	}
+}

@@ -1,0 +1,347 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 5), plus micro-benchmarks of the individual solvers and the
+// ablation of the local-search heuristic against the optimal DP.
+//
+// To keep `go test -bench=.` tractable, the figure benchmarks run the
+// exact paper workloads at a reduced tree count per iteration; the
+// cmd/replicasim binary regenerates the figures at full scale (it takes
+// seconds — three orders of magnitude faster than the timings the paper
+// reports for its own implementation).
+package replicatree_test
+
+import (
+	"math"
+	"testing"
+
+	"replicatree"
+	"replicatree/internal/core"
+	"replicatree/internal/exper"
+	"replicatree/internal/heuristic"
+	"replicatree/internal/tree"
+)
+
+// --- Figures 4-7: update strategies (Experiments 1 and 2) ---
+
+func benchExp1(b *testing.B, high bool) {
+	cfg := exper.DefaultExp1(high, 10)
+	cfg.Trees = 20
+	var last *exper.Exp1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exper.RunExp1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AvgGain, "avg-extra-reuse")
+	b.ReportMetric(float64(last.MaxGain), "max-extra-reuse")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (Experiment 1, fat trees).
+func BenchmarkFig4(b *testing.B) { benchExp1(b, false) }
+
+// BenchmarkFig6 regenerates Figure 6 (Experiment 1, high trees).
+func BenchmarkFig6(b *testing.B) { benchExp1(b, true) }
+
+func benchExp2(b *testing.B, high bool) {
+	cfg := exper.DefaultExp2(high)
+	cfg.Trees = 10
+	var last *exper.Exp2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exper.RunExp2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	final := len(last.CumDP) - 1
+	b.ReportMetric(last.CumDP[final]-last.CumGR[final], "cum-reuse-gain")
+}
+
+// BenchmarkFig5 regenerates Figure 5 (Experiment 2, fat trees).
+func BenchmarkFig5(b *testing.B) { benchExp2(b, false) }
+
+// BenchmarkFig7 regenerates Figure 7 (Experiment 2, high trees).
+func BenchmarkFig7(b *testing.B) { benchExp2(b, true) }
+
+// --- Figures 8-11: power minimisation (Experiment 3) ---
+
+func benchExp3(b *testing.B, cfg exper.Exp3Config) {
+	cfg.Trees = 10
+	var last *exper.Exp3Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exper.RunExp3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	// Report the paper's headline: the greedy's worst average power
+	// excess across bounds.
+	worst := 0.0
+	for _, p := range last.Points {
+		if p.GRExcessPct > worst {
+			worst = p.GRExcessPct
+		}
+	}
+	b.ReportMetric(worst, "max-GR-excess-%")
+}
+
+// BenchmarkFig8 regenerates Figure 8 (Experiment 3, fat trees).
+func BenchmarkFig8(b *testing.B) { benchExp3(b, exper.DefaultExp3()) }
+
+// BenchmarkFig9 regenerates Figure 9 (Experiment 3, no pre-existing).
+func BenchmarkFig9(b *testing.B) { benchExp3(b, exper.Exp3Fig9()) }
+
+// BenchmarkFig10 regenerates Figure 10 (Experiment 3, high trees).
+func BenchmarkFig10(b *testing.B) { benchExp3(b, exper.Exp3Fig10()) }
+
+// BenchmarkFig11 regenerates Figure 11 (Experiment 3, costly updates).
+func BenchmarkFig11(b *testing.B) { benchExp3(b, exper.Exp3Fig11()) }
+
+// --- Section 5.2 scalability claims ---
+
+// BenchmarkScaleMinCost500 times MinCost-WithPre on the paper's largest
+// instance: 500 nodes, 125 pre-existing servers (paper: ~30 minutes).
+func BenchmarkScaleMinCost500(b *testing.B) {
+	src := replicatree.NewRNG(exper.DefaultSeed)
+	t := tree.MustGenerate(tree.FatConfig(500), src)
+	existing, err := tree.RandomReplicas(t, 125, 1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinCost(t, existing, 10, exper.Exp1Cost()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalePowerNoPre150 times the power DP without pre-existing
+// servers on 150 nodes (the paper ran 300 nodes in one hour; 300 nodes
+// take a few seconds here — see cmd/replicasim -scale -full).
+func BenchmarkScalePowerNoPre150(b *testing.B) {
+	t := tree.MustGenerate(tree.PowerConfig(150), replicatree.NewRNG(exper.DefaultSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolvePower(core.PowerProblem{
+			Tree: t, Power: exper.Exp3Power(), Cost: exper.Exp3Cost(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalePowerWithPre50 times the power DP with 8 pre-existing
+// servers on 50 nodes (the paper ran 70 nodes / 10 pre-existing in
+// about one hour).
+func BenchmarkScalePowerWithPre50(b *testing.B) {
+	src := replicatree.NewRNG(exper.DefaultSeed)
+	t := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, err := tree.RandomReplicas(t, 8, 2, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolvePower(core.PowerProblem{
+			Tree: t, Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver micro-benchmarks ---
+
+// BenchmarkMinCostFatTree times one MinCost-WithPre solve on the
+// Experiment 1 workload (100 nodes, 25 pre-existing).
+func BenchmarkMinCostFatTree(b *testing.B) {
+	src := replicatree.NewRNG(1)
+	t := tree.MustGenerate(tree.FatConfig(100), src)
+	existing, _ := tree.RandomReplicas(t, 25, 1, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinCost(t, existing, 10, exper.Exp1Cost()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinCostPathTree exercises the DP's worst shape: a deep path
+// where subtree tables stay large through every merge.
+func BenchmarkMinCostPathTree(b *testing.B) {
+	bd := tree.NewBuilder()
+	node := bd.Root()
+	src := replicatree.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		if src.Bool(0.5) {
+			bd.AddClient(node, src.Between(1, 6))
+		}
+		node = bd.AddNode(node)
+	}
+	t := bd.MustBuild()
+	existing, _ := tree.RandomReplicas(t, 25, 1, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinCost(t, existing, 10, exper.Exp1Cost()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyMinReplicas times the O(N log N) baseline at N=1000.
+func BenchmarkGreedyMinReplicas(b *testing.B) {
+	t := tree.MustGenerate(tree.FatConfig(1000), replicatree.NewRNG(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replicatree.GreedyMinReplicas(t, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerSolverExp3Tree times one full power DP on the
+// Experiment 3 workload (50 nodes, 5 pre-existing, 2 modes).
+func BenchmarkPowerSolverExp3Tree(b *testing.B) {
+	src := replicatree.NewRNG(4)
+	t := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, _ := tree.RandomReplicas(t, 5, 2, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolvePower(core.PowerProblem{
+			Tree: t, Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeGeneration times the workload generator itself.
+func BenchmarkTreeGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tree.MustGenerate(tree.FatConfig(100), replicatree.DeriveRNG(5, i))
+	}
+}
+
+// --- Ablation: heuristic vs optimal DP ---
+
+// BenchmarkAblationHeuristic times the local-search heuristic on the
+// Experiment 3 workload and reports its power gap against the optimum
+// computed once outside the loop. This quantifies the paper's
+// future-work trade-off: near-optimal power at a fraction of the DP's
+// runtime (compare with BenchmarkPowerSolverExp3Tree).
+func BenchmarkAblationHeuristic(b *testing.B) {
+	src := replicatree.NewRNG(6)
+	t := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, _ := tree.RandomReplicas(t, 5, 2, src)
+	pm, cm := exper.Exp3Power(), exper.Exp3Cost()
+	solver, err := core.SolvePower(core.PowerProblem{Tree: t, Existing: existing, Power: pm, Cost: cm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := solver.MinPower()
+	var last replicatree.HeuristicResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = replicatree.HeuristicPowerAware(t, existing, pm, cm, math.Inf(1), replicatree.HeuristicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !last.Found {
+		b.Fatal("heuristic found nothing")
+	}
+	b.ReportMetric((last.Power/opt.Power-1)*100, "gap-vs-optimal-%")
+}
+
+// BenchmarkAblationUpdateHeuristic times the MinCost update heuristic
+// (paper §6's "faster but sub-optimal update heuristics") on the
+// Experiment 1 workload and reports its cost gap against the optimal
+// DP, computed once outside the loop (compare runtimes with
+// BenchmarkMinCostFatTree).
+func BenchmarkAblationUpdateHeuristic(b *testing.B) {
+	src := replicatree.NewRNG(8)
+	t := tree.MustGenerate(tree.FatConfig(100), src)
+	existing, _ := tree.RandomReplicas(t, 25, 1, src)
+	c := exper.Exp1Cost()
+	opt, err := core.MinCost(t, existing, 10, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last heuristic.UpdateResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = heuristic.UpdateAware(t, existing, 10, c, heuristic.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !last.Found {
+		b.Fatal("heuristic found nothing")
+	}
+	b.ReportMetric((last.Cost/opt.Cost-1)*100, "gap-vs-optimal-%")
+}
+
+// BenchmarkAblationPaperReference times the line-by-line transcription
+// of the paper's Algorithms 1-4 (global table dimensions, per-cell
+// request vectors) on the same instance as
+// BenchmarkAblationOptimisedMinCost, quantifying what the
+// subtree-bounded tables and back-pointer reconstruction buy.
+func BenchmarkAblationPaperReference(b *testing.B) {
+	src := replicatree.NewRNG(9)
+	t := tree.MustGenerate(tree.FatConfig(40), src)
+	existing, _ := tree.RandomReplicas(t, 10, 1, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinCostPaperReference(t, existing, 10, exper.Exp1Cost()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOptimisedMinCost is the optimised DP on the
+// BenchmarkAblationPaperReference instance.
+func BenchmarkAblationOptimisedMinCost(b *testing.B) {
+	src := replicatree.NewRNG(9)
+	t := tree.MustGenerate(tree.FatConfig(40), src)
+	existing, _ := tree.RandomReplicas(t, 10, 1, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinCost(t, existing, 10, exper.Exp1Cost()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateIntervalStudy times the Section 6 lazy-vs-systematic
+// update study at reduced scale and reports the total-cost advantage of
+// the best periodic strategy over the systematic one.
+func BenchmarkUpdateIntervalStudy(b *testing.B) {
+	cfg := exper.DefaultIntervals()
+	cfg.Trees = 5
+	cfg.Horizon = 30
+	var last *exper.IntervalResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exper.RunIntervals(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	best, systematic := math.Inf(1), 0.0
+	for _, row := range last.Rows {
+		if row.TotalCost < best {
+			best = row.TotalCost
+		}
+		if row.Name == "systematic" {
+			systematic = row.TotalCost
+		}
+	}
+	b.ReportMetric((systematic/best-1)*100, "systematic-overhead-%")
+}

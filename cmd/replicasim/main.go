@@ -1,0 +1,206 @@
+// Command replicasim regenerates the figures of the paper's evaluation
+// (Section 5). Each figure id selects the corresponding experiment:
+//
+//	4  Experiment 1, fat trees   (reuse of pre-existing servers vs E)
+//	5  Experiment 2, fat trees   (dynamic updates, cumulative reuse)
+//	6  Experiment 1, high trees
+//	7  Experiment 2, high trees
+//	8  Experiment 3, fat trees   (inverse power vs cost bound)
+//	9  Experiment 3, no pre-existing servers
+//	10 Experiment 3, high trees
+//	11 Experiment 3, expensive creations/deletions
+//
+// By default a reduced tree count keeps runs interactive; -full uses the
+// paper's exact scale (200 trees for Experiments 1-2, 100 for
+// Experiment 3). -scale reproduces the in-text scalability timings.
+//
+// Usage:
+//
+//	replicasim -fig 8 -full
+//	replicasim -all
+//	replicasim -scale -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"replicatree/internal/exper"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "", "comma-separated figure ids to regenerate (4-11)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		scale     = flag.Bool("scale", false, "run the Section 5.2 scalability measurements")
+		intervals = flag.Bool("intervals", false, "run the Section 6 lazy-vs-systematic update-interval study")
+		full      = flag.Bool("full", false, "use the paper's full tree counts and instance sizes")
+		trees     = flag.Int("trees", 0, "override the number of trees per experiment")
+		seed      = flag.Uint64("seed", exper.DefaultSeed, "random seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	ids, err := parseFigs(*figs, *all)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ids) == 0 && !*scale && !*intervals {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		if err := runFigure(id, *full, *trees, *seed, *workers); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *intervals {
+		regimes := []struct {
+			name string
+			cfg  exper.IntervalConfig
+		}{
+			{"cheap updates (create=0.25)", exper.DefaultIntervals()},
+			{"expensive updates (create=1)", exper.ExpensiveIntervals()},
+		}
+		for _, reg := range regimes {
+			cfg := reg.cfg
+			if !*full {
+				cfg.Trees = 10
+			}
+			applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, *trees, *seed, *workers)
+			res, err := exper.RunIntervals(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			title := fmt.Sprintf(
+				"=== Update-interval study (paper §6), %s: %d trees of %d nodes, %d steps, drift %.0f%% ===",
+				reg.name, cfg.Trees, cfg.Gen.Nodes, cfg.Horizon, cfg.DriftProb*100)
+			if err := res.Report(os.Stdout, title); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *scale {
+		cfg := exper.QuickScale()
+		if *full {
+			cfg = exper.PaperScale()
+		}
+		cfg.Seed = *seed
+		rows, err := exper.RunScale(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exper.ReportScale(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseFigs(spec string, all bool) ([]int, error) {
+	if all {
+		return []int{4, 5, 6, 7, 8, 9, 10, 11}, nil
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 4 || id > 11 {
+			return nil, fmt.Errorf("replicasim: invalid figure id %q (want 4-11)", part)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func runFigure(id int, full bool, trees int, seed uint64, workers int) error {
+	switch id {
+	case 4, 6:
+		cfg := exper.DefaultExp1(id == 6, pick(full, 1, 5))
+		cfg.Trees = pick(full, 200, 50)
+		applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+		res, err := exper.RunExp1(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Report(os.Stdout, title(id, fmt.Sprintf(
+			"Experiment 1 (%s trees): %d trees of %d nodes, W=%d",
+			shape(id == 6), cfg.Trees, cfg.Gen.Nodes, cfg.W)))
+	case 5, 7:
+		cfg := exper.DefaultExp2(id == 7)
+		cfg.Trees = pick(full, 200, 50)
+		applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+		res, err := exper.RunExp2(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Report(os.Stdout, title(id, fmt.Sprintf(
+			"Experiment 2 (%s trees): %d trees, %d update steps",
+			shape(id == 7), cfg.Trees, cfg.Steps)))
+	case 8, 9, 10, 11:
+		var cfg exper.Exp3Config
+		var variant string
+		switch id {
+		case 8:
+			cfg, variant = exper.DefaultExp3(), "fat trees"
+		case 9:
+			cfg, variant = exper.Exp3Fig9(), "no pre-existing servers"
+		case 10:
+			cfg, variant = exper.Exp3Fig10(), "high trees"
+		case 11:
+			cfg, variant = exper.Exp3Fig11(), "create=delete=1, changed=0.1"
+		}
+		cfg.Trees = pick(full, 100, 25)
+		applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+		res, err := exper.RunExp3(cfg)
+		if err != nil {
+			return err
+		}
+		return res.Report(os.Stdout, title(id, fmt.Sprintf(
+			"Experiment 3 (%s): %d trees of %d nodes, %d pre-existing",
+			variant, cfg.Trees, cfg.Gen.Nodes, cfg.Pre)))
+	}
+	return fmt.Errorf("replicasim: unknown figure %d", id)
+}
+
+func applyCommon(cfgTrees *int, cfgSeed *uint64, cfgWorkers *int, trees int, seed uint64, workers int) {
+	if trees > 0 {
+		*cfgTrees = trees
+	}
+	*cfgSeed = seed
+	*cfgWorkers = workers
+}
+
+func pick(full bool, paper, quick int) int {
+	if full {
+		return paper
+	}
+	return quick
+}
+
+func shape(high bool) string {
+	if high {
+		return "high"
+	}
+	return "fat"
+}
+
+func title(id int, detail string) string {
+	return fmt.Sprintf("=== Figure %d — %s ===", id, detail)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseFigs(t *testing.T) {
+	ids, err := parseFigs("", true)
+	if err != nil || len(ids) != 8 {
+		t.Fatalf("all: %v %v", ids, err)
+	}
+	ids, err = parseFigs("8, 4,11", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 8, 11}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if ids, err = parseFigs("", false); err != nil || ids != nil {
+		t.Fatalf("empty spec: %v %v", ids, err)
+	}
+	for _, bad := range []string{"3", "12", "x", "4,,5"} {
+		if _, err := parseFigs(bad, false); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestPickAndShape(t *testing.T) {
+	if pick(true, 1, 2) != 1 || pick(false, 1, 2) != 2 {
+		t.Fatal("pick wrong")
+	}
+	if shape(true) != "high" || shape(false) != "fat" {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestRunFigureSmall(t *testing.T) {
+	// Smoke: every figure id runs at minimal scale.
+	for id := 4; id <= 11; id++ {
+		if err := runFigure(id, false, 2, 7, 0); err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+	}
+	if err := runFigure(99, false, 1, 1, 0); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

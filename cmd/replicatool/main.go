@@ -1,0 +1,293 @@
+// Command replicatool solves individual replica placement instances from
+// the command line. Trees and pre-existing deployments are JSON files
+// (see internal/tree's format: {"parents": [-1, 0, ...], "clients":
+// [[2], [], [7], ...]} and {"modes": [0, 1, ...]}).
+//
+// Subcommands:
+//
+//	gen       generate a random tree JSON on stdout
+//	mincost   solve MinCost-WithPre (or NoPre without -existing)
+//	minpower  solve MinPower / MinPower-BoundedCost
+//	pareto    print the full cost/power Pareto front
+//	greedy    run the greedy baseline
+//	check     validate a placement against a tree
+//
+// Examples:
+//
+//	replicatool gen -nodes 50 -shape fat -seed 7 > tree.json
+//	replicatool mincost -tree tree.json -w 10 -create 0.1 -delete 0.01
+//	replicatool minpower -tree tree.json -caps 5,10 -bound 25
+//	replicatool pareto -tree tree.json -caps 5,10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"replicatree"
+	"replicatree/internal/tree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "mincost":
+		err = cmdMinCost(os.Args[2:])
+	case "minpower", "pareto":
+		err = cmdMinPower(os.Args[1], os.Args[2:])
+	case "greedy":
+		err = cmdGreedy(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "replicatool: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: replicatool <gen|mincost|minpower|pareto|greedy|check> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'replicatool <subcommand> -h' for flags")
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	nodes := fs.Int("nodes", 50, "number of internal nodes")
+	shapeF := fs.String("shape", "fat", "tree shape: fat (6-9 children) or high (2-4)")
+	reqMax := fs.Int("reqmax", 6, "maximum client request count")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var cfg replicatree.GenConfig
+	switch *shapeF {
+	case "fat":
+		cfg = replicatree.FatConfig(*nodes)
+	case "high":
+		cfg = replicatree.HighConfig(*nodes)
+	default:
+		return fmt.Errorf("replicatool: unknown shape %q", *shapeF)
+	}
+	cfg.ReqMax = *reqMax
+	t, err := replicatree.GenerateTree(cfg, replicatree.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	return t.WriteJSON(os.Stdout)
+}
+
+func loadTree(path string) (*replicatree.Tree, error) {
+	if path == "" {
+		return nil, fmt.Errorf("replicatool: -tree is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return replicatree.ReadTreeJSON(f)
+}
+
+func loadExisting(path string, t *replicatree.Tree) (*replicatree.Replicas, error) {
+	if path == "" {
+		return replicatree.ReplicasOf(t), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return replicatree.ReadReplicasJSON(f, t)
+}
+
+func parseCaps(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	caps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("replicatool: invalid capacity %q", p)
+		}
+		caps = append(caps, v)
+	}
+	return caps, nil
+}
+
+// emit prints a result object as indented JSON.
+func emit(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdMinCost(args []string) error {
+	fs := flag.NewFlagSet("mincost", flag.ExitOnError)
+	treeF := fs.String("tree", "", "tree JSON file")
+	existingF := fs.String("existing", "", "pre-existing replicas JSON file")
+	w := fs.Int("w", 10, "server capacity W")
+	create := fs.Float64("create", 0.1, "creation cost")
+	del := fs.Float64("delete", 0.01, "deletion cost")
+	fs.Parse(args)
+
+	t, err := loadTree(*treeF)
+	if err != nil {
+		return err
+	}
+	existing, err := loadExisting(*existingF, t)
+	if err != nil {
+		return err
+	}
+	res, err := replicatree.MinCost(t, existing, *w, replicatree.SimpleCost{Create: *create, Delete: *del})
+	if err != nil {
+		return err
+	}
+	return emit(struct {
+		Cost     float64               `json:"cost"`
+		Servers  int                   `json:"servers"`
+		Reused   int                   `json:"reused"`
+		New      int                   `json:"new"`
+		Replicas *replicatree.Replicas `json:"replicas"`
+	}{res.Cost, res.Servers, res.Reused, res.New, res.Placement})
+}
+
+func powerSetup(fs *flag.FlagSet) (treeF, existingF *string, caps *string, static, alpha *float64, create, del, change *float64) {
+	treeF = fs.String("tree", "", "tree JSON file")
+	existingF = fs.String("existing", "", "pre-existing replicas JSON file")
+	caps = fs.String("caps", "5,10", "mode capacities W_1,...,W_M")
+	static = fs.Float64("static", 12.5, "static power P(static)")
+	alpha = fs.Float64("alpha", 3, "dynamic power exponent")
+	create = fs.Float64("create", 0.1, "per-mode creation cost")
+	del = fs.Float64("delete", 0.01, "per-mode deletion cost")
+	change = fs.Float64("change", 0.001, "mode change cost")
+	return
+}
+
+func cmdMinPower(sub string, args []string) error {
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	treeF, existingF, capsF, static, alpha, create, del, change := powerSetup(fs)
+	bound := fs.Float64("bound", math.Inf(1), "cost bound (minpower only; +Inf = unconstrained)")
+	fs.Parse(args)
+
+	t, err := loadTree(*treeF)
+	if err != nil {
+		return err
+	}
+	existing, err := loadExisting(*existingF, t)
+	if err != nil {
+		return err
+	}
+	caps, err := parseCaps(*capsF)
+	if err != nil {
+		return err
+	}
+	pm, err := replicatree.NewPowerModel(caps, *static, *alpha)
+	if err != nil {
+		return err
+	}
+	cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
+	solver, err := replicatree.SolvePower(replicatree.PowerProblem{
+		Tree: t, Existing: existing, Power: pm, Cost: cm,
+	})
+	if err != nil {
+		return err
+	}
+
+	if sub == "pareto" {
+		return emit(solver.Front())
+	}
+	res, ok := solver.Best(*bound)
+	if !ok {
+		return fmt.Errorf("replicatool: no solution within cost bound %v (cheapest is %v)",
+			*bound, solver.Front()[0].Cost)
+	}
+	return emit(struct {
+		Power    float64               `json:"power"`
+		Cost     float64               `json:"cost"`
+		Servers  int                   `json:"servers"`
+		Replicas *replicatree.Replicas `json:"replicas"`
+	}{res.Power, res.Cost, res.Placement.Count(), res.Placement})
+}
+
+func cmdGreedy(args []string) error {
+	fs := flag.NewFlagSet("greedy", flag.ExitOnError)
+	treeF := fs.String("tree", "", "tree JSON file")
+	w := fs.Int("w", 10, "server capacity W")
+	fs.Parse(args)
+
+	t, err := loadTree(*treeF)
+	if err != nil {
+		return err
+	}
+	sol, err := replicatree.GreedyMinReplicas(t, *w)
+	if err != nil {
+		return err
+	}
+	return emit(struct {
+		Servers  int                   `json:"servers"`
+		Replicas *replicatree.Replicas `json:"replicas"`
+	}{sol.Count(), sol})
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	treeF := fs.String("tree", "", "tree JSON file")
+	placementF := fs.String("placement", "", "placement JSON file")
+	capsF := fs.String("caps", "10", "mode capacities W_1,...,W_M")
+	fs.Parse(args)
+
+	t, err := loadTree(*treeF)
+	if err != nil {
+		return err
+	}
+	if *placementF == "" {
+		return fmt.Errorf("replicatool: -placement is required")
+	}
+	f, err := os.Open(*placementF)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	placement, err := replicatree.ReadReplicasJSON(f, t)
+	if err != nil {
+		return err
+	}
+	caps, err := parseCaps(*capsF)
+	if err != nil {
+		return err
+	}
+	if err := replicatree.ValidateSolution(t, placement, func(m uint8) int {
+		if int(m) > len(caps) {
+			return -1
+		}
+		return caps[m-1]
+	}); err != nil {
+		return err
+	}
+	loads, _ := tree.Flows(t, placement)
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	fmt.Printf("valid: %d servers, %d requests served, max load %d\n",
+		placement.Count(), t.TotalRequests(), maxLoad)
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCaps(t *testing.T) {
+	caps, err := parseCaps("5, 10,15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10, 15}
+	for i := range want {
+		if caps[i] != want[i] {
+			t.Fatalf("caps = %v", caps)
+		}
+	}
+	if _, err := parseCaps("5,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func writeTempTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.json")
+	data := `{"parents": [-1, 0, 0], "clients": [[2], [7], [4]]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTree(t *testing.T) {
+	path := writeTempTree(t)
+	tr, err := loadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 3 || tr.TotalRequests() != 13 {
+		t.Fatalf("loaded tree: %v", tr)
+	}
+	if _, err := loadTree(""); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if _, err := loadTree(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("absent file accepted")
+	}
+}
+
+func TestLoadExisting(t *testing.T) {
+	path := writeTempTree(t)
+	tr, err := loadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty path yields an empty deployment.
+	ex, err := loadExisting("", tr)
+	if err != nil || ex.Count() != 0 {
+		t.Fatalf("empty existing: %v %v", ex, err)
+	}
+	repl := filepath.Join(t.TempDir(), "existing.json")
+	if err := os.WriteFile(repl, []byte(`{"modes": [0, 1, 0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ex, err = loadExisting(repl, tr)
+	if err != nil || !ex.Has(1) {
+		t.Fatalf("existing: %v %v", ex, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"modes": [1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadExisting(bad, tr); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestSubcommandsEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	if err := cmdMinCost([]string{"-tree", path, "-w", "10"}); err != nil {
+		t.Fatalf("mincost: %v", err)
+	}
+	if err := cmdMinPower("minpower", []string{"-tree", path, "-caps", "5,10"}); err != nil {
+		t.Fatalf("minpower: %v", err)
+	}
+	if err := cmdMinPower("pareto", []string{"-tree", path, "-caps", "5,10"}); err != nil {
+		t.Fatalf("pareto: %v", err)
+	}
+	if err := cmdGreedy([]string{"-tree", path, "-w", "10"}); err != nil {
+		t.Fatalf("greedy: %v", err)
+	}
+	if err := cmdGen([]string{"-nodes", "10", "-seed", "3"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdGen([]string{"-shape", "nope"}); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	// An unreachable cost bound must surface as an error.
+	if err := cmdMinPower("minpower", []string{"-tree", path, "-caps", "5,10", "-bound", "0.5"}); err == nil {
+		t.Fatal("impossible bound accepted")
+	}
+	// check: valid placement passes, invalid fails.
+	place := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(place, []byte(`{"modes": [1, 0, 0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "13"}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "10"}); err == nil {
+		t.Fatal("overloaded placement accepted")
+	}
+	if err := cmdCheck([]string{"-tree", path, "-caps", "10"}); err == nil {
+		t.Fatal("missing placement accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package replicatree_test
+
+import (
+	"fmt"
+	"math"
+
+	"replicatree"
+)
+
+// ExampleMinCost reproduces the paper's Figure 1: with two requests at
+// the root, reusing the pre-existing server at B is optimal.
+func ExampleMinCost() {
+	b := replicatree.NewBuilder()
+	a := b.AddNode(b.Root())
+	nodeB := b.AddNode(a)
+	nodeC := b.AddNode(a)
+	b.AddClient(nodeB, 4)
+	b.AddClient(nodeC, 7)
+	b.AddClient(b.Root(), 2)
+	t := b.MustBuild()
+
+	existing := replicatree.ReplicasOf(t)
+	existing.Set(nodeB, 1)
+
+	res, err := replicatree.MinCost(t, existing, 10,
+		replicatree.SimpleCost{Create: 0.1, Delete: 0.01})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %.2f servers %v reused %d\n", res.Cost, res.Placement.Nodes(), res.Reused)
+	// Output: cost 2.10 servers [0 2] reused 1
+}
+
+// ExamplePowerSolver_Best reproduces the paper's Figure 2: with four
+// root requests, letting three requests traverse node A saves power.
+func ExamplePowerSolver_Best() {
+	b := replicatree.NewBuilder()
+	a := b.AddNode(b.Root())
+	nodeB := b.AddNode(a)
+	nodeC := b.AddNode(a)
+	b.AddClient(nodeB, 3)
+	b.AddClient(nodeC, 7)
+	b.AddClient(b.Root(), 4)
+	t := b.MustBuild()
+
+	pm, _ := replicatree.NewPowerModel([]int{7, 10}, 10, 2) // P = 10 + W²
+	solver, err := replicatree.SolvePower(replicatree.PowerProblem{
+		Tree:  t,
+		Power: pm,
+		Cost:  replicatree.UniformModalCost(2, 0, 0, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, _ := solver.Best(math.Inf(1))
+	fmt.Printf("power %.0f with %d servers\n", res.Power, res.Placement.Count())
+	// Output: power 118 with 2 servers
+}
+
+// ExampleGreedyMinReplicas shows the classical minimal-count baseline.
+func ExampleGreedyMinReplicas() {
+	t, err := replicatree.FromParents(
+		[]int{-1, 0, 0},        // root with two children
+		[][]int{{2}, {8}, {3}}, // client demands
+	)
+	if err != nil {
+		panic(err)
+	}
+	sol, err := replicatree.GreedyMinReplicas(t, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d servers at %v\n", sol.Count(), sol.Nodes())
+	// Output: 2 servers at [0 1]
+}
+
+// ExampleFlows inspects where requests are served under the closest
+// policy.
+func ExampleFlows() {
+	t, _ := replicatree.FromParents([]int{-1, 0}, [][]int{{5}, {4}})
+	r := replicatree.ReplicasOf(t)
+	r.Set(0, 1) // only the root is equipped
+	loads, unserved := replicatree.Flows(t, r)
+	fmt.Printf("root load %d, unserved %d\n", loads[0], unserved)
+	// Output: root load 9, unserved 0
+}

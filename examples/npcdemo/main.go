@@ -1,0 +1,70 @@
+// NP-completeness demo: solve 2-Partition with a replica placement
+// solver. The paper's Theorem 2 proves MinPower NP-complete by reducing
+// 2-Partition to power-optimal replica placement; this example runs the
+// reduction forwards — it builds the Figure 3 tree for a set of
+// integers, minimises power exactly, and reads the partition back from
+// which branch of each gadget received a server.
+//
+//	go run ./examples/npcdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"replicatree/internal/npc"
+)
+
+func main() {
+	instances := [][]int{
+		{2, 2, 3, 3}, // partitionable: {2,3} vs {2,3}
+		{1, 2, 2, 3}, // partitionable: {1,3} vs {2,2}
+		{2, 3, 3},    // not partitionable
+		{2, 2, 2},    // not partitionable (half-sum is odd)
+	}
+	for _, a := range instances {
+		r, err := npc.New(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.VerifyBounds(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := r.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("a = %v (S = %d)\n", r.A, r.S)
+		fmt.Printf("  reduction: %d-node tree, %d modes, P_max = %.0f\n",
+			r.Tree.N(), len(r.Caps), r.PMax)
+		fmt.Printf("  optimal power = %.0f -> ", res.Power)
+		if res.Solvable {
+			var left, right []int
+			sum := 0
+			inLeft := map[int]bool{}
+			for _, i := range res.Partition {
+				inLeft[i] = true
+			}
+			for i, v := range r.A {
+				if inLeft[i] {
+					left = append(left, v)
+					sum += v
+				} else {
+					right = append(right, v)
+				}
+			}
+			fmt.Printf("PARTITION EXISTS: %v vs %v (each sums to %d)\n", left, right, sum)
+		} else {
+			fmt.Printf("no partition (power exceeds P_max by %.0f)\n", res.Power-r.PMax)
+		}
+		// Cross-check against the direct subset-sum solver.
+		_, want := npc.TwoPartitionExact(r.A)
+		if want != res.Solvable {
+			log.Fatalf("reduction disagrees with the exact oracle on %v", r.A)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Every answer above was computed by the MinPower replica placement")
+	fmt.Println("solver on the constructed tree and agrees with a direct subset-sum")
+	fmt.Println("solver — Theorem 2's reduction, run forwards.")
+}

@@ -1,0 +1,93 @@
+// Power saving: explore the cost/power trade-off of a replica
+// deployment. An ISP runs multi-modal replica servers (the paper's
+// Experiment 3 model: modes W1=5 and W2=10, P = W1³/10 + Wᵢ³) and wants
+// to know how much power each extra unit of reconfiguration budget
+// saves. One dynamic-program run yields the entire Pareto front; the
+// greedy baseline and the local-search heuristic are evaluated against
+// it.
+//
+//	go run ./examples/powersave
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"replicatree"
+)
+
+func main() {
+	// A 40-node distribution tree with 6 pre-existing servers left
+	// over from the previous planning period.
+	src := replicatree.NewRNG(42)
+	t, err := replicatree.GenerateTree(replicatree.PowerConfig(40), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	existing, err := replicatree.RandomReplicas(t, 6, 2, replicatree.DeriveRNG(42, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pm, err := replicatree.NewPowerModel([]int{5, 10}, math.Pow(5, 3)/10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := replicatree.UniformModalCost(2, 0.1, 0.01, 0.001)
+
+	solver, err := replicatree.SolvePower(replicatree.PowerProblem{
+		Tree: t, Existing: existing, Power: pm, Cost: cm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	front := solver.Front()
+	fmt.Printf("tree: %v, %d pre-existing servers\n", t, existing.Count())
+	fmt.Printf("Pareto front (%d points):\n", len(front))
+	fmt.Printf("%12s %12s %10s\n", "cost", "power", "saving")
+	base := front[0].Power
+	for _, pt := range front {
+		fmt.Printf("%12.3f %12.1f %9.1f%%\n", pt.Cost, pt.Power, (1-pt.Power/base)*100)
+	}
+
+	// Pick the knee: the point after which an extra unit of cost buys
+	// less than 100 power units.
+	knee := front[len(front)-1]
+	for i := 1; i < len(front); i++ {
+		gain := (front[i-1].Power - front[i].Power) / (front[i].Cost - front[i-1].Cost)
+		if gain < 100 {
+			knee = front[i-1]
+			break
+		}
+	}
+	fmt.Printf("\nknee of the curve: cost %.3f, power %.1f\n", knee.Cost, knee.Power)
+
+	budget := knee.Cost
+	opt, _ := solver.Best(budget)
+	fmt.Printf("\nwith budget %.3f:\n", budget)
+	fmt.Printf("  optimal DP       : power %8.1f (%d servers)\n", opt.Power, opt.Placement.Count())
+
+	sweep, err := replicatree.GreedyPowerSweep(t, existing, pm, cm, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sweep.Found {
+		fmt.Printf("  greedy sweep (GR): power %8.1f (+%.1f%%)\n",
+			sweep.Power, (sweep.Power/opt.Power-1)*100)
+	} else {
+		fmt.Printf("  greedy sweep (GR): no solution within budget\n")
+	}
+
+	heur, err := replicatree.HeuristicPowerAware(t, existing, pm, cm, budget, replicatree.HeuristicOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if heur.Found {
+		fmt.Printf("  local search     : power %8.1f (+%.1f%%, %d passes)\n",
+			heur.Power, (heur.Power/opt.Power-1)*100, heur.Passes)
+	} else {
+		fmt.Printf("  local search     : no solution within budget\n")
+	}
+}

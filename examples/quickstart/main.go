@@ -1,0 +1,60 @@
+// Quickstart: build the paper's Figure 1 tree, solve the update problem
+// with and without demand at the root, and watch the optimal strategy
+// flip between reusing the pre-existing server and replacing it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"replicatree"
+)
+
+func main() {
+	// The Figure 1 topology: the root has child A; A has children B
+	// and C with clients issuing 4 and 7 requests per time unit. A
+	// replica server already runs on B. Server capacity is W = 10.
+	build := func(rootRequests int) (*replicatree.Tree, *replicatree.Replicas, int) {
+		b := replicatree.NewBuilder()
+		a := b.AddNode(b.Root())
+		nodeB := b.AddNode(a)
+		nodeC := b.AddNode(a)
+		b.AddClient(nodeB, 4)
+		b.AddClient(nodeC, 7)
+		if rootRequests > 0 {
+			b.AddClient(b.Root(), rootRequests)
+		}
+		t := b.MustBuild()
+		existing := replicatree.ReplicasOf(t)
+		existing.Set(nodeB, 1)
+		return t, existing, nodeB
+	}
+
+	costModel := replicatree.SimpleCost{Create: 0.1, Delete: 0.01}
+
+	for _, rootReq := range []int{2, 4} {
+		t, existing, nodeB := build(rootReq)
+		res, err := replicatree.MinCost(t, existing, 10, costModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		action := "replaced by a better-placed new server"
+		if res.Placement.Has(nodeB) {
+			action = "reused"
+		}
+		fmt.Printf("root demand %d: optimal cost %.2f with %d servers at nodes %v; pre-existing server %s\n",
+			rootReq, res.Cost, res.Servers, res.Placement.Nodes(), action)
+
+		// Sanity: the placement really serves every client within W.
+		if err := replicatree.ValidateUniform(t, res.Placement, 10); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The trade-off is exactly the paper's Section 3.1 example: with 2 root")
+	fmt.Println("requests the pre-existing server at B is worth keeping; with 4, the")
+	fmt.Println("load-balance forced by W=10 makes it useless and the optimum deletes it.")
+}

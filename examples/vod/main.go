@@ -1,0 +1,131 @@
+// VOD content delivery: the motivating application of the paper's
+// introduction. A video-on-demand provider serves neighbourhoods from a
+// fixed regional distribution tree; every neighbourhood issues a known
+// request rate and replicas of the catalogue can run on any interior
+// point of presence.
+//
+// The example deploys an initial placement for the morning demand, then
+// replays an evening demand spike and computes the cheapest
+// reconfiguration that reuses yesterday's servers where it can. It
+// finishes by exporting the reconfiguration as Graphviz DOT.
+//
+//	go run ./examples/vod
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"replicatree"
+)
+
+const capacity = 40 // streams one replica server can sustain
+
+type city struct {
+	name           string
+	neighbourhoods []int // morning demand per neighbourhood
+}
+
+type region struct {
+	name   string
+	cities []city
+}
+
+func main() {
+	regions := []region{
+		{"east", []city{
+			{"metropolis", []int{12, 18, 9, 14}},
+			{"rivertown", []int{7, 5, 11}},
+		}},
+		{"west", []city{
+			{"bayport", []int{16, 13, 10}},
+			{"hillcrest", []int{6, 8}},
+			{"lakeside", []int{9, 9, 12}},
+		}},
+	}
+
+	// Build the tree: root (national origin) -> regions -> cities ->
+	// neighbourhood points of presence, each serving one client. Any
+	// interior node can host a replica.
+	b := replicatree.NewBuilder()
+	var hoods []int // neighbourhood node ids, in declaration order
+	names := map[int]string{b.Root(): "origin"}
+	for _, r := range regions {
+		rid := b.AddNode(b.Root())
+		names[rid] = r.name
+		for _, c := range r.cities {
+			cid := b.AddNode(rid)
+			names[cid] = c.name
+			for i, demand := range c.neighbourhoods {
+				hid := b.AddNode(cid)
+				names[hid] = fmt.Sprintf("%s/%d", c.name, i)
+				b.AddClient(hid, demand)
+				hoods = append(hoods, hid)
+			}
+		}
+	}
+	t := b.MustBuild()
+
+	// Morning: green-field deployment (no pre-existing replicas).
+	costModel := replicatree.SimpleCost{Create: 0.25, Delete: 0.05}
+	morning, err := replicatree.MinCost(t, nil, capacity, costModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("morning demand: %d streams -> %d replica servers at %s, cost %.2f\n",
+		t.TotalRequests(), morning.Servers, nodeNames(morning.Placement, names), morning.Cost)
+
+	// Evening: demand doubles in the west, eases in the east.
+	hi := 0
+	for _, r := range regions {
+		for _, c := range r.cities {
+			for _, d := range c.neighbourhoods {
+				evening := d * 3 / 4
+				if r.name == "west" {
+					evening = d * 2
+				}
+				t.SetClientRequests(hoods[hi], []int{evening})
+				hi++
+			}
+		}
+	}
+
+	evening, err := replicatree.MinCost(t, morning.Placement, capacity, costModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evening demand: %d streams -> %d replica servers at %s, cost %.2f\n",
+		t.TotalRequests(), evening.Servers, nodeNames(evening.Placement, names), evening.Cost)
+	fmt.Printf("reconfiguration: %d of %d morning servers reused, %d created, %d deleted\n",
+		evening.Reused, morning.Servers, evening.New, morning.Servers-evening.Reused)
+
+	// Compare with rebuilding from scratch (ignoring the morning
+	// deployment): the update-aware optimum is never worse.
+	scratch, err := replicatree.MinCost(t, nil, capacity, costModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveCost := costModel.OfReplicas(scratch.Placement, morning.Placement)
+	fmt.Printf("replacing the morning deployment naively would cost %.2f (%.0f%% more)\n",
+		naiveCost, (naiveCost/evening.Cost-1)*100)
+
+	// Export the evening reconfiguration for inspection.
+	f, err := os.Create("vod-evening.dot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := replicatree.WriteDOT(f, t, morning.Placement, evening.Placement); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote vod-evening.dot (gold = reused, green = new, blue = deleted)")
+}
+
+func nodeNames(r *replicatree.Replicas, names map[int]string) []string {
+	var out []string
+	for _, j := range r.Nodes() {
+		out = append(out, names[j])
+	}
+	return out
+}

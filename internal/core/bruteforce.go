@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// maxBruteNodes bounds the exhaustive solvers; they enumerate all 2^N
+// subsets (and all mode assignments) and exist only to verify the
+// dynamic programs on small instances.
+const maxBruteNodes = 16
+
+// BruteMinCost exhaustively solves MinCost-WithPre by enumerating every
+// replica subset. It is exponential and restricted to small trees.
+func BruteMinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
+	if t.N() > maxBruteNodes {
+		return nil, fmt.Errorf("core: BruteMinCost limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	E := existing.Count()
+	var best *MinCostResult
+	n := t.N()
+	for mask := 0; mask < 1<<n; mask++ {
+		r := tree.NewReplicas(n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				r.Set(j, 1)
+			}
+		}
+		if tree.ValidateUniform(t, r, W) != nil {
+			continue
+		}
+		servers := r.Count()
+		reused := r.Reused(existing)
+		cc := c.Of(servers, reused, E)
+		if best == nil || cc < best.Cost {
+			best = &MinCostResult{
+				Placement: r,
+				Cost:      cc,
+				Servers:   servers,
+				Reused:    reused,
+				New:       servers - reused,
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	return best, nil
+}
+
+// BruteCandidate is one feasible (placement, mode assignment) pair with
+// its exact cost and power.
+type BruteCandidate struct {
+	Placement *tree.Replicas
+	Cost      float64
+	Power     float64
+}
+
+// BrutePowerCandidates enumerates every replica subset and every
+// admissible mode assignment (each server may run at any mode whose
+// capacity covers its load, matching the dynamic program's model) and
+// returns all feasible candidates. Exponential; small trees only.
+func BrutePowerCandidates(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.Modal) ([]BruteCandidate, error) {
+	if t.N() > maxBruteNodes {
+		return nil, fmt.Errorf("core: BrutePowerCandidates limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	var out []BruteCandidate
+	n := t.N()
+	for mask := 0; mask < 1<<n; mask++ {
+		r := tree.NewReplicas(n)
+		var servers []int
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				r.Set(j, 1)
+				servers = append(servers, j)
+			}
+		}
+		loads, unserved := tree.Flows(t, r)
+		if unserved > 0 {
+			continue
+		}
+		minModes := make([]int, len(servers))
+		feasible := true
+		for i, j := range servers {
+			m, ok := pm.ModeFor(loads[j])
+			if !ok {
+				feasible = false
+				break
+			}
+			minModes[i] = m
+		}
+		if !feasible {
+			continue
+		}
+		// Enumerate all admissible mode vectors.
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(servers) {
+				c, err := cm.OfReplicas(r, existing)
+				if err != nil {
+					return
+				}
+				out = append(out, BruteCandidate{
+					Placement: r.Clone(),
+					Cost:      c,
+					Power:     pm.OfReplicas(r),
+				})
+				return
+			}
+			for m := minModes[i]; m <= pm.M(); m++ {
+				r.Set(servers[i], uint8(m))
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return out, nil
+}
+
+// BruteBestPower returns the minimal power among candidates whose cost is
+// within bound, with the paper's tie-break on cost. found is false when
+// no candidate qualifies.
+func BruteBestPower(cands []BruteCandidate, bound float64) (best BruteCandidate, found bool) {
+	best.Power = math.Inf(1)
+	best.Cost = math.Inf(1)
+	for _, c := range cands {
+		if c.Cost > bound {
+			continue
+		}
+		if c.Power < best.Power || (c.Power == best.Power && c.Cost < best.Cost) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}

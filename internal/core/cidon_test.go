@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/greedy"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestMinCostNoPreFigure1(t *testing.T) {
+	tr, _ := fig1Tree(2)
+	res, err := MinCostNoPre(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 2 {
+		t.Fatalf("servers = %d, want 2", res.Servers)
+	}
+	if err := tree.ValidateUniform(tr, res.Placement, 10); err != nil {
+		t.Fatal(err)
+	}
+	// A single big server suffices at W=13.
+	res, err = MinCostNoPre(tr, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 1 || !res.Placement.Has(tr.Root()) {
+		t.Fatalf("W=13: %v", res.Placement)
+	}
+}
+
+func TestMinCostNoPreEdges(t *testing.T) {
+	// No clients: zero servers.
+	b := tree.NewBuilder()
+	b.AddNode(0)
+	tr := b.MustBuild()
+	res, err := MinCostNoPre(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 0 {
+		t.Fatalf("servers = %d", res.Servers)
+	}
+	// Infeasible.
+	b2 := tree.NewBuilder()
+	b2.AddClient(0, 9)
+	if _, err := MinCostNoPre(b2.MustBuild(), 5); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad capacity.
+	if _, err := MinCostNoPre(tr, 0); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+}
+
+// Property: the three independent solvers of the classical problem —
+// Cidon's O(N²) DP, the WithPre DP with E = ∅, and the greedy of [19] —
+// agree on the minimal count, and Cidon's placement is valid.
+func TestQuickThreeSolversAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 40)
+		cfg := tree.GenConfig{
+			Nodes:       1 + src.IntN(80),
+			MinChildren: 1 + src.IntN(4),
+			MaxChildren: 0,
+			ClientProb:  0.3 + src.Float64()*0.6,
+			ReqMin:      1,
+			ReqMax:      1 + src.IntN(8),
+		}
+		cfg.MaxChildren = cfg.MinChildren + src.IntN(5)
+		tr := tree.MustGenerate(cfg, src)
+		W := 5 + src.IntN(8)
+
+		cid, errC := MinCostNoPre(tr, W)
+		g, errG := greedy.MinReplicas(tr, W)
+		wp, errW := MinReplicaCount(tr, W)
+		if errC != nil || errG != nil || errW != nil {
+			return (errC != nil) == (errG != nil) && (errG != nil) == (errW != nil)
+		}
+		if tree.ValidateUniform(tr, cid.Placement, W) != nil {
+			return false
+		}
+		return cid.Servers == g.Count() && cid.Servers == wp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

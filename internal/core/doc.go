@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: exact
+// dynamic-programming algorithms for replica placement and update in
+// tree networks.
+//
+//   - MinCost solves MinCost-WithPre (Theorem 1): given pre-existing
+//     servers, find a placement of minimal reconfiguration cost
+//     cost(R) = R + (R−e)·create + (E−e)·delete. The classical
+//     MinCost-NoPre problem is the E=∅ special case.
+//   - SolvePower solves MinPower and MinPower-BoundedCost (Theorem 3)
+//     for a fixed number of server modes, with or without pre-existing
+//     servers, and exposes the full cost/power Pareto front. MinPower
+//     with an arbitrary number of modes is NP-complete (Theorem 2, see
+//     package npc); the algorithm here is exponential in M only.
+//
+// Both algorithms follow the paper's structure — a bottom-up traversal
+// that merges children one at a time, where the table entry for a given
+// "server budget" in a subtree records the minimal number of requests
+// forced to traverse the subtree's root (Lemma 1) — with two
+// implementation refinements documented in DESIGN.md: tables are bounded
+// by per-subtree counts rather than global ones, and solutions are
+// reconstructed from per-merge back-pointers instead of per-cell request
+// vectors.
+package core

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/tree"
+)
+
+// ErrInfeasible is returned when no placement can serve every client.
+var ErrInfeasible = errors.New("no valid placement exists")
+
+const invalid = int32(-1)
+
+// MinCostResult is an optimal solution to MinCost-WithPre.
+type MinCostResult struct {
+	// Placement is the optimal replica set R (every replica at mode 1).
+	Placement *tree.Replicas
+	// Cost is the value of Equation (2) for the placement.
+	Cost float64
+	// Servers, Reused and New are R, e and R−e.
+	Servers int
+	Reused  int
+	New     int
+}
+
+// MinCost solves the MinCost-WithPre problem (Theorem 1): find a replica
+// placement for t under capacity W that serves every client with the
+// closest policy and minimises
+//
+//	cost(R) = R + (R−e)·create + (E−e)·delete,
+//
+// where e is the number of reused servers of the pre-existing set. A nil
+// existing set solves the classical MinCost-NoPre problem. The worst
+// case running time is O(N·(N−E+1)²·(E+1)²) = O(N⁵) as in the paper;
+// subtree-bounded tables make typical instances far cheaper.
+func MinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	if existing.N() != t.N() {
+		return nil, fmt.Errorf("core: existing set covers %d nodes, tree has %d", existing.N(), t.N())
+	}
+	if W <= 0 {
+		return nil, fmt.Errorf("core: non-positive capacity %d", W)
+	}
+	if W > math.MaxInt32/4 {
+		return nil, fmt.Errorf("core: capacity %d too large", W)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if m := t.MaxClientSum(); m > W {
+		return nil, fmt.Errorf("core: a node's clients demand %d > W=%d: %w", m, W, ErrInfeasible)
+	}
+
+	d := &mcDP{t: t, existing: existing, w: int32(W)}
+	d.run()
+	return d.scanRoot(c)
+}
+
+// MinReplicaCount returns the minimal number of servers needed to serve
+// every client with capacity W (the classical MinCost-NoPre objective).
+func MinReplicaCount(t *tree.Tree, W int) (int, error) {
+	res, err := MinCost(t, nil, W, cost.Simple{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Servers, nil
+}
+
+// mcDec records, for one cell of a post-merge table, where its value
+// came from: the cell of the accumulated table before the merge and
+// whether a replica was placed on the merged child.
+type mcDec struct {
+	ePrev, nPrev int32
+	place        bool
+}
+
+// mcStep is the decision table produced by merging one child.
+type mcStep struct {
+	dimE, dimN int32
+	decs       []mcDec
+}
+
+// mcDP carries the state of the MinCost dynamic program.
+type mcDP struct {
+	t        *tree.Tree
+	existing *tree.Replicas
+	w        int32
+
+	// Per node: final table (freed once merged into the parent), its
+	// dimensions, and the per-merge decision tables for reconstruction.
+	vals  [][]int32
+	dimE  []int32
+	dimN  []int32
+	steps [][]mcStep
+
+	placement *tree.Replicas
+}
+
+func (d *mcDP) run() {
+	n := d.t.N()
+	d.vals = make([][]int32, n)
+	d.dimE = make([]int32, n)
+	d.dimN = make([]int32, n)
+	d.steps = make([][]mcStep, n)
+
+	for _, j := range d.t.PostOrder() {
+		// Base: no internal children merged yet; the only cell is
+		// (0,0) holding the requests of j's own clients (Algorithm 2).
+		accE, accN := int32(0), int32(0)
+		acc := []int32{int32(d.t.ClientSum(j))}
+		for _, ch := range d.t.Children(j) {
+			acc, accE, accN = d.merge(j, ch, acc, accE, accN)
+		}
+		d.vals[j], d.dimE[j], d.dimN[j] = acc, accE, accN
+	}
+}
+
+// merge combines the accumulated table of node j (dimensions accE×accN,
+// exclusive upper bounds accE+1 and accN+1 on coordinates) with the
+// final table of child ch, considering for every split the option of
+// placing a replica on ch itself (Algorithm 3).
+func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, int32) {
+	chE, chN := d.dimE[ch], d.dimN[ch]
+	chVals := d.vals[ch]
+	childPre := d.existing.Has(ch)
+
+	outE := accE + chE
+	outN := accN + chN
+	if childPre {
+		outE++
+	} else {
+		outN++
+	}
+	out := make([]int32, (outE+1)*(outN+1))
+	for i := range out {
+		out[i] = invalid
+	}
+	decs := make([]mcDec, len(out))
+	ostride := outN + 1
+
+	update := func(e, n, v int32, dec mcDec) {
+		idx := e*ostride + n
+		if out[idx] == invalid || v < out[idx] {
+			out[idx] = v
+			decs[idx] = dec
+		}
+	}
+
+	for e := int32(0); e <= accE; e++ {
+		for n := int32(0); n <= accN; n++ {
+			a := acc[e*(accN+1)+n]
+			if a == invalid {
+				continue
+			}
+			dec := mcDec{ePrev: e, nPrev: n}
+			decP := mcDec{ePrev: e, nPrev: n, place: true}
+			for ec := int32(0); ec <= chE; ec++ {
+				for nc := int32(0); nc <= chN; nc++ {
+					cv := chVals[ec*(chN+1)+nc]
+					if cv == invalid {
+						continue
+					}
+					// No replica on ch: its traversing requests join ours
+					// and must still fit one upstream server.
+					if a+cv <= d.w {
+						update(e+ec, n+nc, a+cv, dec)
+					}
+					// Replica on ch absorbs cv (cv <= W by construction).
+					if childPre {
+						update(e+ec+1, n+nc, a, decP)
+					} else {
+						update(e+ec, n+nc+1, a, decP)
+					}
+				}
+			}
+		}
+	}
+
+	d.steps[j] = append(d.steps[j], mcStep{dimE: outE, dimN: outN, decs: decs})
+	d.vals[ch] = nil // the child's table is no longer needed
+	return out, outE, outN
+}
+
+// scanRoot evaluates every root-table cell with and without a replica on
+// the root itself (Algorithm 4) and reconstructs the cheapest solution.
+// In addition to the paper's branches, a pre-existing root may be kept
+// as a server even when minr = 0, which is cheaper whenever delete > 1.
+func (d *mcDP) scanRoot(c cost.Simple) (*MinCostResult, error) {
+	r := d.t.Root()
+	E := d.existing.Count()
+	rootPre := d.existing.Has(r)
+	dimE, dimN := d.dimE[r], d.dimN[r]
+	vals := d.vals[r]
+
+	bestCost := math.Inf(1)
+	bestE, bestN := int32(-1), int32(-1)
+	bestPlaceRoot := false
+	var bestServers, bestReused int
+
+	consider := func(e, n int32, placeRoot bool) {
+		servers := int(e) + int(n)
+		reused := int(e)
+		if placeRoot {
+			servers++
+			if rootPre {
+				reused++
+			}
+		}
+		cc := c.Of(servers, reused, E)
+		if cc < bestCost {
+			bestCost = cc
+			bestE, bestN, bestPlaceRoot = e, n, placeRoot
+			bestServers, bestReused = servers, reused
+		}
+	}
+
+	for e := int32(0); e <= dimE; e++ {
+		for n := int32(0); n <= dimN; n++ {
+			v := vals[e*(dimN+1)+n]
+			if v == invalid {
+				continue
+			}
+			if v == 0 {
+				consider(e, n, false)
+			}
+			if v <= d.w {
+				consider(e, n, true)
+			}
+		}
+	}
+	if bestE < 0 {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+
+	d.placement = tree.NewReplicas(d.t.N())
+	if bestPlaceRoot {
+		d.placement.Set(r, 1)
+	}
+	d.rebuild(r, bestE, bestN)
+	return &MinCostResult{
+		Placement: d.placement,
+		Cost:      bestCost,
+		Servers:   bestServers,
+		Reused:    bestReused,
+		New:       bestServers - bestReused,
+	}, nil
+}
+
+// rebuild unwinds the merge decisions of node j for target cell (e, n),
+// equipping children along the way and recursing into their subtrees.
+func (d *mcDP) rebuild(j int, e, n int32) {
+	steps := d.steps[j]
+	kids := d.t.Children(j)
+	for s := len(steps) - 1; s >= 0; s-- {
+		st := steps[s]
+		dec := st.decs[e*(st.dimN+1)+n]
+		ch := kids[s]
+		ce, cn := e-dec.ePrev, n-dec.nPrev
+		if dec.place {
+			d.placement.Set(ch, 1)
+			if d.existing.Has(ch) {
+				ce--
+			} else {
+				cn--
+			}
+		}
+		d.rebuild(ch, ce, cn)
+		e, n = dec.ePrev, dec.nPrev
+	}
+	if e != 0 || n != 0 {
+		panic(fmt.Sprintf("core: reconstruction reached invalid base (%d,%d) at node %d", e, n, j))
+	}
+}

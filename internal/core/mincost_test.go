@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// fig1Tree is the paper's Figure 1 topology: root (node 0) with an
+// optional client, child A=1, grandchildren B=2 (client 4) and C=3
+// (client 7). The pre-existing server sits on B.
+func fig1Tree(rootReq int) (*tree.Tree, *tree.Replicas) {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(cc, 7)
+	if rootReq > 0 {
+		b.AddClient(b.Root(), rootReq)
+	}
+	t := b.MustBuild()
+	ex := tree.ReplicasOf(t)
+	ex.Set(bb, 1)
+	return t, ex
+}
+
+// TestPaperFigure1 encodes the running example of Section 3.1: with two
+// root requests the pre-existing server at B should be reused; with four
+// root requests it becomes useless and the optimum places new servers at
+// C and the root.
+func TestPaperFigure1(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	const A, B, C = 1, 2, 3
+
+	tr, ex := fig1Tree(2)
+	res, err := MinCost(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {B, root}: 2 servers, 1 reused: 2 + 0.1 = 2.1.
+	if !almost(res.Cost, 2.1) {
+		t.Fatalf("cost = %v, want 2.1", res.Cost)
+	}
+	if !res.Placement.Has(B) || !res.Placement.Has(0) || res.Placement.Count() != 2 {
+		t.Fatalf("placement = %v, want {B, root}", res.Placement)
+	}
+	if res.Reused != 1 || res.Servers != 2 {
+		t.Fatalf("servers=%d reused=%d", res.Servers, res.Reused)
+	}
+
+	tr, ex = fig1Tree(4)
+	res, err = MinCost(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {C, root}: 2 servers, 0 reused, 1 deleted: 2 + 0.2 + 0.01 = 2.21.
+	if !almost(res.Cost, 2.21) {
+		t.Fatalf("cost = %v, want 2.21", res.Cost)
+	}
+	if !res.Placement.Has(C) || !res.Placement.Has(0) || res.Placement.Has(B) || res.Placement.Has(A) {
+		t.Fatalf("placement = %v, want {C, root}", res.Placement)
+	}
+	if err := tree.ValidateUniform(tr, res.Placement, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCostNoPreMatchesGreedy(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		tr := tree.MustGenerate(tree.FatConfig(60), rng.Derive(seed, 3))
+		want, err := greedy.MinReplicas(tr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MinReplicaCount(tr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Count() {
+			t.Fatalf("seed %d: DP count %d, greedy %d", seed, got, want.Count())
+		}
+	}
+}
+
+func TestMinCostValidatesArgs(t *testing.T) {
+	tr, ex := fig1Tree(2)
+	if _, err := MinCost(tr, tree.NewReplicas(2), 10, cost.Simple{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := MinCost(tr, ex, 0, cost.Simple{}); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if _, err := MinCost(tr, ex, 10, cost.Simple{Create: -1}); err == nil {
+		t.Error("negative create accepted")
+	}
+	if _, err := MinCost(tr, ex, math.MaxInt32, cost.Simple{}); err == nil {
+		t.Error("overflow-prone capacity accepted")
+	}
+}
+
+func TestMinCostInfeasible(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(0, 50)
+	tr := b.MustBuild()
+	_, err := MinCost(tr, nil, 10, cost.Simple{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMinCostEmptyTree(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddNode(0)
+	tr := b.MustBuild()
+	res, err := MinCost(tr, nil, 5, cost.Simple{Create: 0.1, Delete: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 0 || res.Cost != 0 {
+		t.Fatalf("empty tree: %+v", res)
+	}
+}
+
+// TestMinCostKeepsUselessServersWhenDeleteIsExpensive exercises the root
+// scan extension: with delete > 1 it is cheaper to keep a pre-existing
+// server running idle than to delete it.
+func TestMinCostKeepsUselessServersWhenDeleteIsExpensive(t *testing.T) {
+	// Root pre-existing, no clients at all.
+	b := tree.NewBuilder()
+	b.AddNode(0)
+	tr := b.MustBuild()
+	ex := tree.ReplicasOf(tr)
+	ex.Set(0, 1)
+	res, err := MinCost(tr, ex, 10, cost.Simple{Create: 0.1, Delete: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Placement.Has(0) || !almost(res.Cost, 1) {
+		t.Fatalf("want idle root kept at cost 1, got %v cost %v", res.Placement, res.Cost)
+	}
+
+	// Same with a non-root pre-existing server (handled by the merge).
+	ex2 := tree.ReplicasOf(tr)
+	ex2.Set(1, 1)
+	res, err = MinCost(tr, ex2, 10, cost.Simple{Create: 0.1, Delete: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Placement.Has(1) || !almost(res.Cost, 1) {
+		t.Fatalf("want idle child kept at cost 1, got %v cost %v", res.Placement, res.Cost)
+	}
+
+	// With cheap deletion both are dropped.
+	res, err = MinCost(tr, ex2, 10, cost.Simple{Create: 0.1, Delete: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Count() != 0 || !almost(res.Cost, 0.01) {
+		t.Fatalf("want empty placement at cost 0.01, got %v cost %v", res.Placement, res.Cost)
+	}
+}
+
+func TestMinCostDeterministic(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(80), rng.New(5))
+	ex, err := tree.RandomReplicas(tr, 20, 1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	a, err := MinCost(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinCost(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Placement.Equal(b.Placement) || a.Cost != b.Cost {
+		t.Fatal("two runs differ")
+	}
+}
+
+func TestMinCostSolutionAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		src := rng.Derive(seed, 4)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(120)), src)
+		ex, err := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MinCost(tr, ex, 10, cost.Simple{Create: 0.1, Delete: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ValidateUniform(tr, res.Placement, 10); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Reported numbers must match the placement.
+		if res.Servers != res.Placement.Count() || res.Reused != res.Placement.Reused(ex) {
+			t.Fatalf("seed %d: stats mismatch", seed)
+		}
+	}
+}
+
+// randomSmallInstance draws instances small enough for brute force.
+func randomSmallInstance(seed uint64) (*tree.Tree, *tree.Replicas, int, cost.Simple) {
+	src := rng.Derive(seed, 5)
+	cfg := tree.GenConfig{
+		Nodes:       1 + src.IntN(10),
+		MinChildren: 1 + src.IntN(2),
+		MaxChildren: 3,
+		ClientProb:  0.7,
+		ReqMin:      1,
+		ReqMax:      6,
+	}
+	tr := tree.MustGenerate(cfg, src)
+	ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+	W := 4 + src.IntN(9)
+	// Include delete > 1 occasionally to exercise the keep-idle branch.
+	c := cost.Simple{
+		Create: float64(src.IntN(30)) / 20,
+		Delete: float64(src.IntN(30)) / 20,
+	}
+	return tr, ex, W, c
+}
+
+// Property: the DP cost equals the exhaustive optimum, for arbitrary
+// small instances including delete-dominant cost settings.
+func TestQuickMinCostMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, ex, W, c := randomSmallInstance(seed)
+		want, errB := BruteMinCost(tr, ex, W, c)
+		got, errD := MinCost(tr, ex, W, c)
+		if errB != nil || errD != nil {
+			return errors.Is(errB, ErrInfeasible) == errors.Is(errD, ErrInfeasible)
+		}
+		if !almost(got.Cost, want.Cost) {
+			t.Logf("seed %d: DP cost %v, brute %v", seed, got.Cost, want.Cost)
+			return false
+		}
+		// The DP's own placement must realise its reported cost.
+		if tree.ValidateUniform(tr, got.Placement, W) != nil {
+			return false
+		}
+		return almost(c.OfReplicas(got.Placement, ex), got.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with zero prices the DP minimises the number of servers and
+// matches the greedy count.
+func TestQuickMinCostCountMatchesGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 6)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(80)), src)
+		W := 7 + src.IntN(6)
+		g, errG := greedy.MinReplicas(tr, W)
+		count, errD := MinReplicaCount(tr, W)
+		if errG != nil || errD != nil {
+			return (errG != nil) == (errD != nil)
+		}
+		return count == g.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding pre-existing servers never increases the optimal cost
+// when deletion is free.
+func TestQuickPreExistingNeverHurtsWithFreeDelete(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 7)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(60)), src)
+		c := cost.Simple{Create: 0.5, Delete: 0}
+		base, err := MinCost(tr, nil, 10, c)
+		if err != nil {
+			return false
+		}
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+		withPre, err := MinCost(tr, ex, 10, c)
+		if err != nil {
+			return false
+		}
+		return withPre.Cost <= base.Cost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimum never pays more than the greedy placement
+// evaluated with the same cost model.
+func TestQuickMinCostBeatsGreedyWitness(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 8)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(80)), src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+		c := cost.Simple{Create: 0.1, Delete: 0.01}
+		g, errG := greedy.MinReplicas(tr, 10)
+		opt, errD := MinCost(tr, ex, 10, c)
+		if errG != nil || errD != nil {
+			return (errG != nil) && (errD != nil)
+		}
+		return opt.Cost <= c.OfReplicas(g, ex)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteMinCostRejectsLargeTrees(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(maxBruteNodes+1), rng.New(1))
+	if _, err := BruteMinCost(tr, nil, 10, cost.Simple{}); err == nil {
+		t.Fatal("large tree accepted")
+	}
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/par"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// PowerProblem is an instance of MinPower-BoundedCost (Section 4.3). A
+// nil Existing set gives the NoPre variant; otherwise the modes stored
+// in Existing are the initial operating modes of the pre-existing
+// servers.
+type PowerProblem struct {
+	Tree     *tree.Tree
+	Existing *tree.Replicas
+	Power    power.Model
+	Cost     cost.Modal
+	// Workers > 1 parallelises the large table merges across that many
+	// goroutines (0 or 1 = sequential). Results are identical either
+	// way: the parallel path resolves ties with the same deterministic
+	// provenance order the sequential scan produces. Leave it at 0
+	// when the caller already runs many solvers concurrently, as the
+	// experiment harness does.
+	Workers int
+}
+
+// PowerResult is one optimal placement with its exact cost and power.
+type PowerResult struct {
+	// Placement holds the solution servers with their operating modes.
+	Placement *tree.Replicas
+	Cost      float64
+	Power     float64
+}
+
+// ParetoPoint is one non-dominated (cost, power) trade-off.
+type ParetoPoint struct {
+	Cost  float64
+	Power float64
+}
+
+// PowerSolver holds the output of one run of the power dynamic program.
+// A single run answers MinPower, MinPower-BoundedCost for every bound,
+// and the full Pareto front, because the root table enumerates every
+// achievable server-count vector (Theorem 3).
+type PowerSolver struct {
+	prob  PowerProblem
+	front []frontEntry // ascending cost, strictly descending power
+	steps [][]pStep    // reconstruction back-pointers per node
+}
+
+type frontEntry struct {
+	cost     float64
+	power    float64
+	rootCell int32
+	rootMode uint8 // 0 = no server on the root
+}
+
+// pUnreached marks table cells with no feasible solution. Valid entries
+// are at most W_M, so any value above wm is "unreached"; MaxInt32 makes
+// the parallel atomic-min loops branch-free.
+const pUnreached = int32(math.MaxInt32)
+
+// noProv marks cells whose provenance has not been written.
+const noProv = ^uint64(0)
+
+// packProv encodes where a cell's value came from: the flat cell of the
+// accumulated table before the merge, the flat cell of the merged
+// child's final table, and the mode of a server placed on the child
+// (0 = none). Both flat indices fit in 27 bits (maxTableCells), so the
+// triple packs into one uint64 ordered exactly like the sequential
+// scan: ascending accumulated cell, then child cell.
+func packProv(aFlat, cFlat int, mode uint8) uint64 {
+	return uint64(aFlat)<<35 | uint64(cFlat)<<8 | uint64(mode)
+}
+
+func unpackProv(p uint64) (aFlat, cFlat int32, mode uint8) {
+	return int32(p >> 35), int32(p >> 8 & (1<<27 - 1)), uint8(p)
+}
+
+// pStep is the decision table produced by merging one child: packed
+// provenance per cell of the post-merge table.
+type pStep struct {
+	prov []uint64
+}
+
+// SolvePower runs the MinPower-BoundedCost dynamic program. The table of
+// a node is indexed by the full count vector (n_1..n_M, e_{i→i'}): new
+// servers per operating mode and reused pre-existing servers per
+// (initial mode, operating mode) pair; each cell keeps the minimal
+// number of requests traversing the node (the Lemma 1 argument applies
+// per vector because cost and power are functions of the vector alone).
+// A server placed on a node with traversing load q may operate at any
+// mode whose capacity covers q — the paper's "try all possible modes"
+// loop — which subsumes the load-determined minimal mode and lets a
+// reused server stay at its initial mode free of change cost.
+//
+// The complexity matches Theorem 3: O(N^{2M+1}) without pre-existing
+// servers and O(N^{2M²+2M+1}) with them, in the worst case; per-subtree
+// dimension bounds make typical instances far cheaper, and large merges
+// run in parallel when Workers > 1.
+func SolvePower(p PowerProblem) (*PowerSolver, error) {
+	if p.Tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if p.Existing == nil {
+		p.Existing = tree.NewReplicas(p.Tree.N())
+	}
+	if p.Existing.N() != p.Tree.N() {
+		return nil, fmt.Errorf("core: existing set covers %d nodes, tree has %d", p.Existing.N(), p.Tree.N())
+	}
+	if err := p.Power.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Cost.M() != p.Power.M() {
+		return nil, fmt.Errorf("core: cost model has %d modes, power model %d", p.Cost.M(), p.Power.M())
+	}
+	M := p.Power.M()
+	if M > 255 {
+		return nil, fmt.Errorf("core: %d modes not supported", M)
+	}
+	for j := 0; j < p.Tree.N(); j++ {
+		if int(p.Existing.Mode(j)) > M {
+			return nil, fmt.Errorf("core: pre-existing server at node %d has mode %d > M=%d", j, p.Existing.Mode(j), M)
+		}
+	}
+	if p.Power.MaxCap() > math.MaxInt32/4 {
+		return nil, fmt.Errorf("core: capacity %d too large", p.Power.MaxCap())
+	}
+	if m := p.Tree.MaxClientSum(); m > p.Power.MaxCap() {
+		return nil, fmt.Errorf("core: a node's clients demand %d > W_M=%d: %w", m, p.Power.MaxCap(), ErrInfeasible)
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+
+	d := &pDP{prob: p, M: M, nf: M + M*M, wm: int32(p.Power.MaxCap()), workers: workers}
+	if err := d.run(); err != nil {
+		return nil, err
+	}
+	s := &PowerSolver{prob: p, steps: d.steps}
+	s.front = d.scanRoot()
+	if len(s.front) == 0 {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	return s, nil
+}
+
+// pDP carries the dynamic-program state.
+type pDP struct {
+	prob    PowerProblem
+	M       int   // number of modes
+	nf      int   // number of vector fields, M + M²
+	wm      int32 // W_M
+	workers int
+
+	shapes []shape
+	vals   [][]int32
+	steps  [][]pStep
+
+	// Per node: subtree (exclusive) counts of non-pre-existing nodes
+	// and of pre-existing nodes per initial mode.
+	newCnt []int32
+	preCnt [][]int32
+}
+
+// fieldNew returns the vector field of n_m (1-based mode m).
+func (d *pDP) fieldNew(m int) int { return m - 1 }
+
+// fieldReuse returns the vector field of e_{i→m} (1-based modes).
+func (d *pDP) fieldReuse(i, m int) int { return d.M + (i-1)*d.M + (m - 1) }
+
+// nodeDims returns the table dimensions for the subtree of j (node j
+// excluded): every n_m field is bounded by the number of non-pre nodes,
+// every e_{i→m} field by the number of pre-existing nodes with initial
+// mode i.
+func (d *pDP) nodeDims(newCnt int32, preCnt []int32) []int32 {
+	dims := make([]int32, d.nf)
+	for m := 1; m <= d.M; m++ {
+		dims[d.fieldNew(m)] = newCnt + 1
+	}
+	for i := 1; i <= d.M; i++ {
+		for m := 1; m <= d.M; m++ {
+			dims[d.fieldReuse(i, m)] = preCnt[i-1] + 1
+		}
+	}
+	return dims
+}
+
+func (d *pDP) run() error {
+	t := d.prob.Tree
+	n := t.N()
+	d.shapes = make([]shape, n)
+	d.vals = make([][]int32, n)
+	d.steps = make([][]pStep, n)
+	d.newCnt = make([]int32, n)
+	d.preCnt = make([][]int32, n)
+
+	oneDims := make([]int32, d.nf)
+	for f := range oneDims {
+		oneDims[f] = 1
+	}
+
+	for _, j := range t.PostOrder() {
+		d.preCnt[j] = make([]int32, d.M)
+		accNew := int32(0)
+		accPre := make([]int32, d.M)
+		accShape, err := newShape(append([]int32(nil), oneDims...))
+		if err != nil {
+			return err
+		}
+		acc := []int32{int32(t.ClientSum(j))}
+
+		for _, ch := range t.Children(j) {
+			acc, accShape, err = d.merge(j, ch, acc, accShape, &accNew, accPre)
+			if err != nil {
+				return err
+			}
+		}
+		d.vals[j], d.shapes[j] = acc, accShape
+		d.newCnt[j], d.preCnt[j] = accNew, accPre
+	}
+	return nil
+}
+
+// merge folds child ch into the accumulated table of node j, updating
+// the accumulated subtree counts in place.
+func (d *pDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32) ([]int32, shape, error) {
+	chShape := d.shapes[ch]
+	chVals := d.vals[ch]
+	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
+
+	outNew := *accNew + d.newCnt[ch]
+	outPre := make([]int32, d.M)
+	for i := range outPre {
+		outPre[i] = accPre[i] + d.preCnt[ch][i]
+	}
+	if chMode0 == 0 {
+		outNew++
+	} else {
+		outPre[chMode0-1]++
+	}
+	outShape, err := newShape(d.nodeDims(outNew, outPre))
+	if err != nil {
+		return nil, shape{}, err
+	}
+	out := make([]int32, outShape.size)
+	for i := range out {
+		out[i] = pUnreached
+	}
+	prov := make([]uint64, outShape.size)
+	for i := range prov {
+		prov[i] = noProv
+	}
+
+	// Precompute the output-stride bump of placing the child's server
+	// at each mode.
+	placeBump := make([]int32, d.M+1)
+	for m := 1; m <= d.M; m++ {
+		if chMode0 == 0 {
+			placeBump[m] = outShape.strides[d.fieldNew(m)]
+		} else {
+			placeBump[m] = outShape.strides[d.fieldReuse(chMode0, m)]
+		}
+	}
+
+	// The merge work is |acc|·|child|·(M+1); go parallel only when it
+	// pays for the second provenance pass and the goroutine fan-out.
+	const parallelThreshold = 1 << 22
+	work := int64(accShape.size) * int64(chShape.size) * int64(d.M+1)
+	if d.workers > 1 && work >= parallelThreshold {
+		d.mergeParallel(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
+	} else {
+		d.mergeSequential(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
+	}
+
+	d.steps[j] = append(d.steps[j], pStep{prov: prov})
+	d.vals[ch] = nil // child's value table is no longer needed
+	*accNew = outNew
+	copy(accPre, outPre)
+	return out, outShape, nil
+}
+
+// mergeSequential is the single-goroutine merge: first writer of the
+// minimal value wins, which by scan order is the smallest (accumulated
+// cell, child cell) pair — the same order packProv encodes.
+func (d *pDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
+	pm := d.prob.Power
+	update := func(idx int32, v int32, p uint64) {
+		if v < out[idx] {
+			out[idx] = v
+			prov[idx] = p
+		}
+	}
+	ao := newOdometer(accShape.dims, outShape.strides)
+	co := newOdometer(chShape.dims, outShape.strides)
+	for aFlat := 0; aFlat < accShape.size; aFlat++ {
+		a := acc[aFlat]
+		if a <= d.wm {
+			co.reset()
+			for cFlat := 0; cFlat < chShape.size; cFlat++ {
+				cv := chVals[cFlat]
+				if cv <= d.wm {
+					base := ao.out + co.out
+					if a+cv <= d.wm {
+						update(base, a+cv, packProv(aFlat, cFlat, 0))
+					}
+					minMode, ok := pm.ModeFor(int(cv))
+					if ok {
+						for m := minMode; m <= d.M; m++ {
+							update(base+placeBump[m], a, packProv(aFlat, cFlat, uint8(m)))
+						}
+					}
+				}
+				co.next()
+			}
+		}
+		ao.next()
+	}
+}
+
+// mergeParallel splits the accumulated table across workers in two
+// phases: an atomic-min pass over the values, then an atomic-min pass
+// over the packed provenance of value-optimal transitions. Both minima
+// are order-free, so the result is identical to the sequential merge.
+func (d *pDP) mergeParallel(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
+	pm := d.prob.Power
+	chunks := d.workers * 4
+	chunkSize := (accShape.size + chunks - 1) / chunks
+
+	scan := func(chunk int, visit func(base int32, aFlat, cFlat int, a, cv int32)) {
+		lo := chunk * chunkSize
+		hi := min(lo+chunkSize, accShape.size)
+		if lo >= hi {
+			return
+		}
+		ao := odometerAt(accShape.dims, outShape.strides, lo)
+		co := newOdometer(chShape.dims, outShape.strides)
+		for aFlat := lo; aFlat < hi; aFlat++ {
+			a := acc[aFlat]
+			if a <= d.wm {
+				co.reset()
+				for cFlat := 0; cFlat < chShape.size; cFlat++ {
+					cv := chVals[cFlat]
+					if cv <= d.wm {
+						visit(ao.out+co.out, aFlat, cFlat, a, cv)
+					}
+					co.next()
+				}
+			}
+			ao.next()
+		}
+	}
+
+	// Phase 1: minimal values.
+	par.ForEach(chunks, d.workers, func(chunk int) {
+		scan(chunk, func(base int32, aFlat, cFlat int, a, cv int32) {
+			if a+cv <= d.wm {
+				atomicMinInt32(&out[base], a+cv)
+			}
+			minMode, ok := pm.ModeFor(int(cv))
+			if ok {
+				for m := minMode; m <= d.M; m++ {
+					atomicMinInt32(&out[base+placeBump[m]], a)
+				}
+			}
+		})
+	})
+	// Phase 2: minimal provenance among value-optimal transitions.
+	par.ForEach(chunks, d.workers, func(chunk int) {
+		scan(chunk, func(base int32, aFlat, cFlat int, a, cv int32) {
+			if a+cv <= d.wm && out[base] == a+cv {
+				atomicMinUint64(&prov[base], packProv(aFlat, cFlat, 0))
+			}
+			minMode, ok := pm.ModeFor(int(cv))
+			if ok {
+				for m := minMode; m <= d.M; m++ {
+					idx := base + placeBump[m]
+					if out[idx] == a {
+						atomicMinUint64(&prov[idx], packProv(aFlat, cFlat, uint8(m)))
+					}
+				}
+			}
+		})
+	})
+}
+
+func atomicMinInt32(addr *int32, v int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if v >= cur || atomic.CompareAndSwapInt32(addr, cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMinUint64(addr *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(addr)
+		if v >= cur || atomic.CompareAndSwapUint64(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// scanRoot enumerates every root cell together with the root-placement
+// options, prices each resulting global vector, and returns the Pareto
+// front ordered by ascending cost and strictly descending power.
+func (d *pDP) scanRoot() []frontEntry {
+	t := d.prob.Tree
+	r := t.Root()
+	rootMode0 := int(d.prob.Existing.Mode(r))
+	sh := d.shapes[r]
+	vals := d.vals[r]
+	pm := d.prob.Power
+
+	totalPre := make([]int, d.M)
+	for j := 0; j < t.N(); j++ {
+		if m := d.prob.Existing.Mode(j); m != tree.NoMode {
+			totalPre[m-1]++
+		}
+	}
+
+	counts := make([]int, d.nf)
+	var cands []frontEntry
+	evaluate := func(cell int32, rootMode uint8) {
+		c, p := d.price(counts, totalPre)
+		cands = append(cands, frontEntry{cost: c, power: p, rootCell: cell, rootMode: rootMode})
+	}
+
+	o := newOdometer(sh.dims, sh.strides)
+	for flat := 0; flat < sh.size; flat++ {
+		v := vals[flat]
+		if v <= d.wm {
+			for f := 0; f < d.nf; f++ {
+				counts[f] = int(o.coords[f])
+			}
+			if v == 0 {
+				evaluate(int32(flat), 0)
+			}
+			if minMode, ok := pm.ModeFor(int(v)); ok {
+				for m := minMode; m <= d.M; m++ {
+					f := d.fieldNew(m)
+					if rootMode0 != 0 {
+						f = d.fieldReuse(rootMode0, m)
+					}
+					counts[f]++
+					evaluate(int32(flat), uint8(m))
+					counts[f]--
+				}
+			}
+		}
+		o.next()
+	}
+	return paretoPrune(cands)
+}
+
+// price evaluates Equation (4) and Equation (3) on a global count
+// vector.
+func (d *pDP) price(counts, totalPre []int) (c, p float64) {
+	cm, pm := d.prob.Cost, d.prob.Power
+	servers := 0
+	for _, v := range counts {
+		servers += v
+	}
+	c = float64(servers)
+	for m := 1; m <= d.M; m++ {
+		nm := counts[d.fieldNew(m)]
+		c += cm.Create[m-1] * float64(nm)
+		byMode := nm
+		for i := 1; i <= d.M; i++ {
+			byMode += counts[d.fieldReuse(i, m)]
+		}
+		if byMode > 0 {
+			p += float64(byMode) * pm.NodePower(m)
+		}
+	}
+	for i := 1; i <= d.M; i++ {
+		reusedI := 0
+		for m := 1; m <= d.M; m++ {
+			e := counts[d.fieldReuse(i, m)]
+			reusedI += e
+			c += cm.Change[i-1][m-1] * float64(e)
+		}
+		c += cm.Delete[i-1] * float64(totalPre[i-1]-reusedI)
+	}
+	return c, p
+}
+
+// paretoPrune keeps the non-dominated candidates, sorted by ascending
+// cost with strictly descending power. Costs within frontEps are
+// treated as equal so that floating-point jitter in summed prices does
+// not produce near-duplicate front points.
+func paretoPrune(cands []frontEntry) []frontEntry {
+	const frontEps = 1e-9
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].cost != cands[b].cost {
+			return cands[a].cost < cands[b].cost
+		}
+		return cands[a].power < cands[b].power
+	})
+	var front []frontEntry
+	bestPower := math.Inf(1)
+	for _, c := range cands {
+		if c.power >= bestPower-frontEps {
+			continue
+		}
+		if n := len(front); n > 0 && c.cost <= front[n-1].cost+frontEps {
+			// Same cost up to jitter but strictly less power:
+			// replace the kept entry.
+			front[n-1] = c
+		} else {
+			front = append(front, c)
+		}
+		bestPower = c.power
+	}
+	return front
+}
+
+// Front returns the cost/power Pareto front, ascending in cost.
+func (s *PowerSolver) Front() []ParetoPoint {
+	out := make([]ParetoPoint, len(s.front))
+	for i, f := range s.front {
+		out[i] = ParetoPoint{Cost: f.cost, Power: f.power}
+	}
+	return out
+}
+
+// Best returns the minimal-power solution whose cost does not exceed
+// bound, or found == false when the bound is unreachable. Among equal
+// power values the cheaper solution wins.
+func (s *PowerSolver) Best(bound float64) (*PowerResult, bool) {
+	// The front is sorted by ascending cost with descending power, so
+	// the best affordable entry is the last one within the bound.
+	idx := sort.Search(len(s.front), func(i int) bool { return s.front[i].cost > bound }) - 1
+	if idx < 0 {
+		return nil, false
+	}
+	return s.reconstruct(s.front[idx]), true
+}
+
+// MinPower returns the minimal-power solution regardless of cost (the
+// plain MinPower objective, NP-complete for arbitrary M per Theorem 2).
+func (s *PowerSolver) MinPower() *PowerResult {
+	res, _ := s.Best(math.Inf(1))
+	return res
+}
+
+// At reconstructs the i-th point of the Pareto front.
+func (s *PowerSolver) At(i int) *PowerResult {
+	return s.reconstruct(s.front[i])
+}
+
+func (s *PowerSolver) reconstruct(f frontEntry) *PowerResult {
+	placement := tree.NewReplicas(s.prob.Tree.N())
+	if f.rootMode != 0 {
+		placement.Set(s.prob.Tree.Root(), f.rootMode)
+	}
+	s.rebuild(s.prob.Tree.Root(), f.rootCell, placement)
+	return &PowerResult{Placement: placement, Cost: f.cost, Power: f.power}
+}
+
+// rebuild unwinds the merge decisions of node j for the given flat cell.
+func (s *PowerSolver) rebuild(j int, cell int32, placement *tree.Replicas) {
+	steps := s.steps[j]
+	kids := s.prob.Tree.Children(j)
+	for st := len(steps) - 1; st >= 0; st-- {
+		p := steps[st].prov[cell]
+		if p == noProv {
+			panic(fmt.Sprintf("core: power reconstruction hit an unreached cell at node %d", j))
+		}
+		aPrev, cCell, mode := unpackProv(p)
+		ch := kids[st]
+		if mode != 0 {
+			placement.Set(ch, mode)
+		}
+		s.rebuild(ch, cCell, placement)
+		cell = aPrev
+	}
+	if cell != 0 {
+		panic(fmt.Sprintf("core: power reconstruction reached invalid base cell %d at node %d", cell, j))
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestOdometerAtMatchesSequential(t *testing.T) {
+	s, err := newShape([]int32{3, 4, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := newShape([]int32{6, 8, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newOdometer(s.dims, big.strides)
+	for flat := 0; flat < s.size; flat++ {
+		got := odometerAt(s.dims, big.strides, flat)
+		if got.out != ref.out {
+			t.Fatalf("flat %d: out %d, want %d", flat, got.out, ref.out)
+		}
+		for f := range ref.coords {
+			if got.coords[f] != ref.coords[f] {
+				t.Fatalf("flat %d: coords %v, want %v", flat, got.coords, ref.coords)
+			}
+		}
+		ref.next()
+	}
+}
+
+func TestPackProvRoundTrip(t *testing.T) {
+	cases := []struct {
+		a, c int
+		m    uint8
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{maxTableCells - 1, maxTableCells - 1, 255},
+		{12345, 678, 2},
+	}
+	for _, c := range cases {
+		a, cc, m := unpackProv(packProv(c.a, c.c, c.m))
+		if int(a) != c.a || int(cc) != c.c || m != c.m {
+			t.Fatalf("pack(%d,%d,%d) round-tripped to (%d,%d,%d)", c.a, c.c, c.m, a, cc, m)
+		}
+	}
+	// The packing preserves the sequential scan order.
+	if packProv(1, 0, 5) <= packProv(0, 99, 0) {
+		t.Fatal("accumulated cell must dominate the order")
+	}
+	if packProv(3, 1, 0) <= packProv(3, 0, 255) {
+		t.Fatal("child cell must dominate the mode")
+	}
+}
+
+// TestParallelPowerMatchesSequential forces the parallel merge path
+// (Workers > 1 with instances above the work threshold) and checks the
+// entire solver output — front and every reconstructed placement —
+// against the sequential run.
+func TestParallelPowerMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel-vs-sequential comparison is slow")
+	}
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	for seed := uint64(0); seed < 3; seed++ {
+		src := rng.Derive(seed, 80)
+		// 60-node trees with pre-existing servers produce merges well
+		// above the parallel threshold.
+		tr := tree.MustGenerate(tree.PowerConfig(60), src)
+		ex, _ := tree.RandomReplicas(tr, 6, 2, src)
+
+		seq, err := SolvePower(PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parl, err := SolvePower(PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, fp := seq.Front(), parl.Front()
+		if len(fs) != len(fp) {
+			t.Fatalf("seed %d: front sizes %d vs %d", seed, len(fs), len(fp))
+		}
+		for i := range fs {
+			if fs[i] != fp[i] {
+				t.Fatalf("seed %d: front point %d differs: %+v vs %+v", seed, i, fs[i], fp[i])
+			}
+			if !seq.At(i).Placement.Equal(parl.At(i).Placement) {
+				t.Fatalf("seed %d: placement %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestParallelPowerSmallInstances exercises Workers > 1 on instances
+// below the threshold (sequential path must be taken and results equal).
+func TestParallelPowerSmallInstances(t *testing.T) {
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	src := rng.New(81)
+	tr := tree.MustGenerate(tree.PowerConfig(15), src)
+	seq, err := SolvePower(PowerProblem{Tree: tr, Power: pm, Cost: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := SolvePower(PowerProblem{Tree: tr, Power: pm, Cost: cm, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MinPower().Power != parl.MinPower().Power {
+		t.Fatal("results differ on small instance")
+	}
+}
+
+// TestParallelWorkersClamped checks that absurd worker counts are
+// clamped rather than spawning runaway goroutines.
+func TestParallelWorkersClamped(t *testing.T) {
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	tr := tree.MustGenerate(tree.PowerConfig(12), rng.New(82))
+	s, err := SolvePower(PowerProblem{Tree: tr, Power: pm, Cost: cm, Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinPower() == nil {
+		t.Fatal("no solution")
+	}
+}
+
+// TestParallelPowerWideStar forces the parallel path on the star
+// topology, whose single giant merge is the best case for chunking.
+func TestParallelPowerWideStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide star comparison is slow")
+	}
+	b := tree.NewBuilder()
+	src := rng.New(83)
+	for i := 1; i < 120; i++ {
+		leaf := b.AddNode(b.Root())
+		b.AddClient(leaf, src.Between(1, 5))
+	}
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	ex, _ := tree.RandomReplicas(tr, 4, 2, src)
+	seq, err := SolvePower(PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := SolvePower(PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fp := seq.Front(), parl.Front()
+	if len(fs) != len(fp) {
+		t.Fatalf("front sizes %d vs %d", len(fs), len(fp))
+	}
+	for i := range fs {
+		if fs[i] != fp[i] {
+			t.Fatalf("front point %d differs", i)
+		}
+		if !seq.At(i).Placement.Equal(parl.At(i).Placement) {
+			t.Fatalf("placement %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/tree"
+)
+
+// maxReferenceNodes bounds the faithful implementation: with global
+// table dimensions its running time is the paper's full
+// O(N·(N−E+1)²·(E+1)²) on every instance, so it is kept to sizes where
+// that is still fast enough for differential tests.
+const maxReferenceNodes = 48
+
+// MinCostPaperReference solves MinCost-WithPre with a line-by-line
+// transcription of the paper's Algorithms 1-4: every node carries a
+// table over the GLOBAL dimensions (E+1)×(N−E+1) (not the
+// subtree-bounded ones the optimised MinCost uses), solutions are
+// carried as per-cell request vectors req_j(e,n)(j'), and the root scan
+// evaluates exactly the paper's three cost branches.
+//
+// It exists as a reference oracle: tests check the optimised MinCost
+// against it, and BenchmarkAblationPaperReference quantifies what the
+// subtree-bounded tables and back-pointer reconstruction buy.
+//
+// Two conscious repairs of the printed pseudo-code, both documented in
+// DESIGN.md: a request vector entry distinguishes "no server" (-1)
+// from "server with zero load" (0), where Algorithm 4's reconstruction
+// (req > 0) would silently drop zero-load servers its own scan had
+// priced; and like the paper (but unlike the optimised MinCost), a
+// pre-existing root with zero traversing requests is never kept, so
+// the two implementations are only compared for delete <= 1 where that
+// branch cannot win.
+func MinCostPaperReference(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	if t.N() > maxReferenceNodes {
+		return nil, fmt.Errorf("core: paper-reference solver limited to %d nodes, got %d", maxReferenceNodes, t.N())
+	}
+	if existing.N() != t.N() {
+		return nil, fmt.Errorf("core: existing set covers %d nodes, tree has %d", existing.N(), t.N())
+	}
+	if W <= 0 {
+		return nil, fmt.Errorf("core: non-positive capacity %d", W)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+
+	r := &refDP{
+		t:        t,
+		existing: existing,
+		w:        W,
+		e:        existing.Count(),
+	}
+	r.nMax = t.N() - r.e // the paper's N − E
+	r.init()
+	if err := r.main(t.Root()); err != nil {
+		return nil, err
+	}
+	return r.replicaUpdate(c)
+}
+
+// refDP mirrors the paper's variables: minr[j][e][n] and
+// req[j][e][n][j'], with minr = W+1 marking "no solution" and
+// req = -1 marking "no server at j'".
+type refDP struct {
+	t        *tree.Tree
+	existing *tree.Replicas
+	w        int
+	e        int // E
+	nMax     int // N − E
+
+	minr [][][]int
+	req  [][][][]int16
+}
+
+// init is Algorithm 1: allocate and default every table.
+func (r *refDP) init() {
+	n := r.t.N()
+	r.minr = make([][][]int, n)
+	r.req = make([][][][]int16, n)
+	for j := 0; j < n; j++ {
+		r.minr[j] = make([][]int, r.e+1)
+		r.req[j] = make([][][]int16, r.e+1)
+		for e := 0; e <= r.e; e++ {
+			r.minr[j][e] = make([]int, r.nMax+1)
+			r.req[j][e] = make([][]int16, r.nMax+1)
+			for nn := 0; nn <= r.nMax; nn++ {
+				r.minr[j][e][nn] = r.w + 1 // no solution
+			}
+		}
+	}
+}
+
+// main is Algorithm 2: initialise from client children, then merge
+// internal children one by one.
+func (r *refDP) main(j int) error {
+	client := r.t.ClientSum(j)
+	r.minr[j][0][0] = client
+	r.req[j][0][0] = r.emptyReq()
+	if client > r.w {
+		return fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	for _, i := range r.t.Children(j) {
+		if err := r.main(i); err != nil {
+			return err
+		}
+		r.merge(j, i)
+	}
+	return nil
+}
+
+func (r *refDP) emptyReq() []int16 {
+	req := make([]int16, r.t.N())
+	for i := range req {
+		req[i] = -1
+	}
+	return req
+}
+
+// merge is Algorithm 3 with the paper's own optimisation of moving the
+// O(N) request-vector copy out of the quadruple loop: the loop records
+// the best provenance per (e, n) and a second pass materialises the
+// request vectors.
+func (r *refDP) merge(j, i int) {
+	childPre := r.existing.Has(i)
+
+	// Duplicate the table of node j (tminr/treq) and clean it up.
+	tminr := make([][]int, r.e+1)
+	treq := make([][][]int16, r.e+1)
+	for e := 0; e <= r.e; e++ {
+		tminr[e] = append([]int(nil), r.minr[j][e]...)
+		treq[e] = r.req[j][e]
+		r.req[j][e] = make([][]int16, r.nMax+1)
+		for nn := 0; nn <= r.nMax; nn++ {
+			r.minr[j][e][nn] = r.w + 1
+		}
+	}
+
+	type choice struct {
+		ePrev, nPrev int
+		place        bool
+	}
+	best := make([][]choice, r.e+1)
+	for e := range best {
+		best[e] = make([]choice, r.nMax+1)
+	}
+
+	// Try all solutions with e existing and n new replicas.
+	for e := 0; e <= r.e; e++ {
+		for n := 0; n <= r.nMax; n++ {
+			for ep := 0; ep <= e; ep++ {
+				for np := 0; np <= n; np++ {
+					tv := tminr[ep][np]
+					if tv > r.w {
+						continue
+					}
+					// e' existing and n' new on the children already
+					// processed, the rest in the subtree of i, no
+					// replica on i.
+					cv := r.minr[i][e-ep][n-np]
+					if cv <= r.w && cv+tv <= min(r.w, r.minr[j][e][n]) {
+						r.minr[j][e][n] = cv + tv
+						best[e][n] = choice{ePrev: ep, nPrev: np}
+					}
+					// Replica on i.
+					if childPre && ep < e {
+						if r.minr[i][e-ep-1][n-np] <= r.w && tv <= r.minr[j][e][n] {
+							r.minr[j][e][n] = tv
+							best[e][n] = choice{ePrev: ep, nPrev: np, place: true}
+						}
+					} else if !childPre && np < n {
+						if r.minr[i][e-ep][n-np-1] <= r.w && tv <= r.minr[j][e][n] {
+							r.minr[j][e][n] = tv
+							best[e][n] = choice{ePrev: ep, nPrev: np, place: true}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Second pass: copy the request vectors of the winning choices.
+	for e := 0; e <= r.e; e++ {
+		for n := 0; n <= r.nMax; n++ {
+			if r.minr[j][e][n] > r.w {
+				continue
+			}
+			ch := best[e][n]
+			ce, cn := e-ch.ePrev, n-ch.nPrev
+			if ch.place {
+				if childPre {
+					ce--
+				} else {
+					cn--
+				}
+			}
+			req := append([]int16(nil), treq[ch.ePrev][ch.nPrev]...)
+			for _, jp := range r.t.SubtreeNodes(i) {
+				req[jp] = r.req[i][ce][cn][jp]
+			}
+			if ch.place {
+				req[i] = int16(r.minr[i][ce][cn])
+			} else {
+				req[i] = -1
+			}
+			r.req[j][e][n] = req
+		}
+	}
+}
+
+// replicaUpdate is Algorithm 4: scan the root table with the paper's
+// three cost branches and rebuild the replica set from the request
+// vector.
+func (r *refDP) replicaUpdate(c cost.Simple) (*MinCostResult, error) {
+	root := r.t.Root()
+	rootPre := r.existing.Has(root)
+	cmin := float64(r.t.N()) * (1 + c.Create + c.Delete)
+	bestE, bestN := -1, -1
+	bestServers, bestReused := 0, 0
+	placeRoot := false
+
+	for e := 0; e <= r.e; e++ {
+		for n := 0; n <= r.nMax; n++ {
+			v := r.minr[root][e][n]
+			var cc float64
+			var servers, reused int
+			var withRoot bool
+			switch {
+			case v == 0:
+				servers, reused, withRoot = e+n, e, false
+				cc = c.Of(servers, reused, r.e)
+			case v <= r.w && rootPre:
+				servers, reused, withRoot = e+n+1, e+1, true
+				cc = c.Of(servers, reused, r.e)
+			case v <= r.w:
+				servers, reused, withRoot = e+n+1, e, true
+				cc = c.Of(servers, reused, r.e)
+			default:
+				continue
+			}
+			if cc < cmin {
+				cmin = cc
+				bestE, bestN = e, n
+				bestServers, bestReused = servers, reused
+				placeRoot = withRoot
+			}
+		}
+	}
+	if bestE < 0 {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+
+	placement := tree.NewReplicas(r.t.N())
+	req := r.req[root][bestE][bestN]
+	for j := 0; j < r.t.N(); j++ {
+		if req[j] >= 0 {
+			placement.Set(j, 1)
+		}
+	}
+	if placeRoot {
+		placement.Set(root, 1)
+	}
+	return &MinCostResult{
+		Placement: placement,
+		Cost:      cmin,
+		Servers:   bestServers,
+		Reused:    bestReused,
+		New:       bestServers - bestReused,
+	}, nil
+}

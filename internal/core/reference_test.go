@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestPaperReferenceFigure1(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	tr, ex := fig1Tree(2)
+	res, err := MinCostPaperReference(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Cost, 2.1) || !res.Placement.Has(2) {
+		t.Fatalf("root demand 2: %+v", res)
+	}
+	tr, ex = fig1Tree(4)
+	res, err = MinCostPaperReference(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Cost, 2.21) || !res.Placement.Has(3) {
+		t.Fatalf("root demand 4: %+v", res)
+	}
+}
+
+func TestPaperReferenceValidation(t *testing.T) {
+	tr, ex := fig1Tree(2)
+	if _, err := MinCostPaperReference(tr, tree.NewReplicas(1), 10, cost.Simple{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := MinCostPaperReference(tr, ex, 0, cost.Simple{}); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if _, err := MinCostPaperReference(tr, ex, 10, cost.Simple{Delete: -1}); err == nil {
+		t.Error("negative price accepted")
+	}
+	big := tree.MustGenerate(tree.FatConfig(maxReferenceNodes+1), rng.New(1))
+	if _, err := MinCostPaperReference(big, nil, 10, cost.Simple{}); err == nil {
+		t.Error("oversized tree accepted")
+	}
+	infeasible := tree.NewBuilder()
+	infeasible.AddClient(0, 99)
+	if _, err := MinCostPaperReference(infeasible.MustBuild(), nil, 10, cost.Simple{}); !errors.Is(err, ErrInfeasible) {
+		t.Error("infeasible instance not reported")
+	}
+}
+
+// Property: the optimised MinCost and the paper-faithful transcription
+// agree on the optimal cost for delete <= 1 (where the paper's root
+// scan is complete), and the reference's own placement realises its
+// reported cost.
+func TestQuickPaperReferenceAgreesWithOptimised(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 60)
+		cfg := tree.GenConfig{
+			Nodes:       1 + src.IntN(30),
+			MinChildren: 1 + src.IntN(3),
+			MaxChildren: 0,
+			ClientProb:  0.3 + src.Float64()*0.6,
+			ReqMin:      1,
+			ReqMax:      6,
+		}
+		cfg.MaxChildren = cfg.MinChildren + src.IntN(5)
+		tr := tree.MustGenerate(cfg, src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+		W := 5 + src.IntN(8)
+		c := cost.Simple{
+			Create: float64(src.IntN(20)) / 10,
+			Delete: float64(src.IntN(10)) / 10, // delete <= 1
+		}
+		ref, errR := MinCostPaperReference(tr, ex, W, c)
+		opt, errO := MinCost(tr, ex, W, c)
+		if errR != nil || errO != nil {
+			return errors.Is(errR, ErrInfeasible) == errors.Is(errO, ErrInfeasible)
+		}
+		if !almost(ref.Cost, opt.Cost) {
+			t.Logf("seed %d: reference %v, optimised %v", seed, ref.Cost, opt.Cost)
+			return false
+		}
+		if tree.ValidateUniform(tr, ref.Placement, W) != nil {
+			return false
+		}
+		return almost(c.OfReplicas(ref.Placement, ex), ref.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperReferenceZeroLoadServer pins the pseudo-code repair: a
+// reused server carrying zero requests must survive reconstruction.
+func TestPaperReferenceZeroLoadServer(t *testing.T) {
+	// Child B pre-exists with no clients below it; parent root has a
+	// client. With free prices the scan may still select a cell
+	// containing B at zero load; the placement must then include B.
+	b := tree.NewBuilder()
+	bb := b.AddNode(0)
+	b.AddClient(0, 3)
+	tr := b.MustBuild()
+	ex := tree.ReplicasOf(tr)
+	ex.Set(bb, 1)
+	// Make reuse attractive: deleting costs 1 (the paper's bound).
+	c := cost.Simple{Create: 0.9, Delete: 1}
+	res, err := MinCostPaperReference(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the scan picked, the reported stats must match the
+	// reconstructed placement exactly.
+	if res.Placement.Count() != res.Servers {
+		t.Fatalf("placement has %d servers, scan priced %d", res.Placement.Count(), res.Servers)
+	}
+	if res.Placement.Reused(ex) != res.Reused {
+		t.Fatalf("placement reuses %d, scan priced %d", res.Placement.Reused(ex), res.Reused)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// Adversarial tree shapes: the DP merge behaves very differently on
+// deep paths (tables stay large through every merge), stars (one huge
+// merge fan-in), caterpillars and brooms. Every solver must agree on
+// all of them.
+
+func pathTree(n int, src *rng.Source) *tree.Tree {
+	b := tree.NewBuilder()
+	node := b.Root()
+	for i := 1; i < n; i++ {
+		if src.Bool(0.6) {
+			b.AddClient(node, src.Between(1, 6))
+		}
+		node = b.AddNode(node)
+	}
+	b.AddClient(node, src.Between(1, 6))
+	return b.MustBuild()
+}
+
+func starTree(n int, src *rng.Source) *tree.Tree {
+	b := tree.NewBuilder()
+	for i := 1; i < n; i++ {
+		leaf := b.AddNode(b.Root())
+		b.AddClient(leaf, src.Between(1, 6))
+	}
+	return b.MustBuild()
+}
+
+func caterpillarTree(n int, src *rng.Source) *tree.Tree {
+	b := tree.NewBuilder()
+	spine := b.Root()
+	for b.N() < n {
+		leg := b.AddNode(spine)
+		b.AddClient(leg, src.Between(1, 6))
+		if b.N() < n {
+			spine = b.AddNode(spine)
+		}
+	}
+	return b.MustBuild()
+}
+
+func broomTree(n int, src *rng.Source) *tree.Tree {
+	// A path ending in a star: tables grow down the handle and then
+	// one node merges many children.
+	b := tree.NewBuilder()
+	node := b.Root()
+	for i := 0; i < n/2; i++ {
+		node = b.AddNode(node)
+	}
+	for b.N() < n {
+		leaf := b.AddNode(node)
+		b.AddClient(leaf, src.Between(1, 6))
+	}
+	return b.MustBuild()
+}
+
+func binaryTree(n int, src *rng.Source) *tree.Tree {
+	b := tree.NewBuilder()
+	for b.N() < n {
+		parent := (b.N() - 1) / 2
+		j := b.AddNode(parent)
+		if src.Bool(0.5) {
+			b.AddClient(j, src.Between(1, 6))
+		}
+	}
+	return b.MustBuild()
+}
+
+func topologyBattery(t *testing.T, run func(t *testing.T, name string, tr *tree.Tree, src *rng.Source)) {
+	t.Helper()
+	shapes := []struct {
+		name  string
+		build func(int, *rng.Source) *tree.Tree
+	}{
+		{"path", pathTree},
+		{"star", starTree},
+		{"caterpillar", caterpillarTree},
+		{"broom", broomTree},
+		{"binary", binaryTree},
+	}
+	for _, s := range shapes {
+		for seed := uint64(0); seed < 4; seed++ {
+			src := rng.Derive(seed, 70)
+			n := 10 + src.IntN(30)
+			tr := s.build(n, src)
+			run(t, s.name, tr, src)
+		}
+	}
+}
+
+func TestTopologyMinCostSolversAgree(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	topologyBattery(t, func(t *testing.T, name string, tr *tree.Tree, src *rng.Source) {
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()/2+1), 1, src)
+		opt, errO := MinCost(tr, ex, 10, c)
+		var refCost float64
+		var errR error
+		if tr.N() <= maxReferenceNodes {
+			ref, err := MinCostPaperReference(tr, ex, 10, c)
+			errR = err
+			if err == nil {
+				refCost = ref.Cost
+			}
+		} else {
+			errR, refCost = errO, 0
+			if errO == nil {
+				refCost = opt.Cost
+			}
+		}
+		g, errG := greedy.MinReplicas(tr, 10)
+		cid, errC := MinCostNoPre(tr, 10)
+
+		if (errO != nil) != (errR != nil) || (errG != nil) != (errC != nil) || (errO != nil) != (errG != nil) {
+			t.Fatalf("%s: error disagreement: %v %v %v %v", name, errO, errR, errG, errC)
+		}
+		if errO != nil {
+			return
+		}
+		if !almost(opt.Cost, refCost) {
+			t.Fatalf("%s: optimised %v vs reference %v", name, opt.Cost, refCost)
+		}
+		if g.Count() != cid.Servers {
+			t.Fatalf("%s: greedy %d vs cidon %d", name, g.Count(), cid.Servers)
+		}
+		if err := tree.ValidateUniform(tr, opt.Placement, 10); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	})
+}
+
+func TestTopologyPowerSolverValid(t *testing.T) {
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	topologyBattery(t, func(t *testing.T, name string, tr *tree.Tree, src *rng.Source) {
+		ex, _ := tree.RandomReplicas(tr, src.IntN(4), 2, src)
+		s, err := SolvePower(PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm})
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				return
+			}
+			t.Fatalf("%s: %v", name, err)
+		}
+		opt := s.MinPower()
+		if err := tree.Validate(tr, opt.Placement, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The greedy sweep never beats the optimum.
+		gr, err := greedy.PowerSweep(tr, ex, pm, cm, opt.Cost)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if gr.Found && gr.Power < opt.Power-1e-9 {
+			t.Fatalf("%s: sweep %v beat optimum %v", name, gr.Power, opt.Power)
+		}
+	})
+}
+
+// TestDeepPathRecursion exercises reconstruction on a 600-node path:
+// deep recursion must not overflow and the result must stay optimal.
+func TestDeepPathRecursion(t *testing.T) {
+	src := rng.New(71)
+	tr := pathTree(600, src)
+	ex, _ := tree.RandomReplicas(tr, 100, 1, src)
+	res, err := MinCost(tr, ex, 10, cost.Simple{Create: 0.1, Delete: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.ValidateUniform(tr, res.Placement, 10); err != nil {
+		t.Fatal(err)
+	}
+	g, err := greedy.MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers > g.Count() {
+		t.Fatalf("DP used %d servers, greedy %d", res.Servers, g.Count())
+	}
+}
+
+// TestWideStarPower exercises one node merging hundreds of children in
+// the power DP.
+func TestWideStarPower(t *testing.T) {
+	src := rng.New(72)
+	tr := starTree(150, src)
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	s, err := SolvePower(PowerProblem{Tree: tr, Power: pm, Cost: cost.UniformModal(2, 0.1, 0.01, 0.001)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := s.MinPower()
+	if err := tree.Validate(tr, opt.Placement, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package cost implements the paper's two cost functions for replica
+// reconfiguration: the simple model of Equation (2),
+//
+//	cost(R) = R + (R-e)·create + (E-e)·delete,
+//
+// and the modal model of Equation (4) that additionally prices creating a
+// server at a given mode, deleting a pre-existing server at a given mode,
+// and changing the mode of a reused server.
+package cost
+
+import (
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// Simple is the paper's Equation (2) cost model: operating any server
+// costs 1, creating a new server costs an extra Create, and deleting a
+// pre-existing server that is not reused costs Delete.
+type Simple struct {
+	Create float64
+	Delete float64
+}
+
+// Of returns the cost of a solution with servers total servers, of which
+// reused were pre-existing, against existing pre-existing servers.
+func (c Simple) Of(servers, reused, existing int) float64 {
+	return float64(servers) +
+		float64(servers-reused)*c.Create +
+		float64(existing-reused)*c.Delete
+}
+
+// OfReplicas evaluates a concrete solution against a pre-existing set.
+func (c Simple) OfReplicas(solution, existing *tree.Replicas) float64 {
+	return c.Of(solution.Count(), solution.Reused(existing), existing.Count())
+}
+
+// PrefersFewServers reports whether create + 2·delete < 1, the paper's
+// condition under which replacing two pre-existing servers by one new
+// server is always advantageous, i.e. cost minimisation gives priority to
+// minimising the total number of servers.
+func (c Simple) PrefersFewServers() bool {
+	return c.Create+2*c.Delete < 1
+}
+
+// Validate rejects negative prices.
+func (c Simple) Validate() error {
+	if c.Create < 0 || c.Delete < 0 {
+		return fmt.Errorf("cost: negative prices create=%v delete=%v", c.Create, c.Delete)
+	}
+	return nil
+}
+
+// Modal is the paper's Equation (4) cost model for servers with M modes.
+// All slices use 0-based indexing for 1-based modes: Create[i] prices a
+// new server operated at mode i+1, Delete[i] a deleted pre-existing
+// server that ran at mode i+1, and Change[i][j] a reused server moved
+// from mode i+1 to mode j+1 (Change[i][i] should be 0).
+type Modal struct {
+	Create []float64
+	Delete []float64
+	Change [][]float64
+}
+
+// UniformModal builds a modal cost with the same create price for every
+// mode, the same delete price, and the same change price for every pair
+// of distinct modes (diagonal zero). This matches the paper's Experiment
+// 3 settings.
+func UniformModal(modes int, create, del, change float64) Modal {
+	m := Modal{
+		Create: make([]float64, modes),
+		Delete: make([]float64, modes),
+		Change: make([][]float64, modes),
+	}
+	for i := 0; i < modes; i++ {
+		m.Create[i] = create
+		m.Delete[i] = del
+		m.Change[i] = make([]float64, modes)
+		for j := 0; j < modes; j++ {
+			if i != j {
+				m.Change[i][j] = change
+			}
+		}
+	}
+	return m
+}
+
+// M returns the number of modes the cost model covers.
+func (c Modal) M() int { return len(c.Create) }
+
+// Validate checks shape consistency and non-negative prices.
+func (c Modal) Validate() error {
+	m := len(c.Create)
+	if m == 0 {
+		return fmt.Errorf("cost: modal model with zero modes")
+	}
+	if len(c.Delete) != m || len(c.Change) != m {
+		return fmt.Errorf("cost: inconsistent mode counts: create=%d delete=%d change=%d",
+			m, len(c.Delete), len(c.Change))
+	}
+	for i := 0; i < m; i++ {
+		if c.Create[i] < 0 || c.Delete[i] < 0 {
+			return fmt.Errorf("cost: negative price at mode %d", i+1)
+		}
+		if len(c.Change[i]) != m {
+			return fmt.Errorf("cost: change row %d has %d entries, want %d", i, len(c.Change[i]), m)
+		}
+		for j := 0; j < m; j++ {
+			if c.Change[i][j] < 0 {
+				return fmt.Errorf("cost: negative change price %d->%d", i+1, j+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Tally counts the reconfiguration actions of a solution against a
+// pre-existing deployment: ni new servers per final mode, e_{i,i'}
+// reused servers per (initial, final) mode pair, and ki dropped
+// pre-existing servers per initial mode.
+type Tally struct {
+	New     []int   // New[i]: new servers operated at mode i+1
+	Reuse   [][]int // Reuse[i][j]: reused servers moved from mode i+1 to mode j+1
+	Dropped []int   // Dropped[i]: deleted pre-existing servers that ran at mode i+1
+}
+
+// NewTally returns a zero tally for a model with the given mode count.
+func NewTally(modes int) Tally {
+	t := Tally{
+		New:     make([]int, modes),
+		Reuse:   make([][]int, modes),
+		Dropped: make([]int, modes),
+	}
+	for i := range t.Reuse {
+		t.Reuse[i] = make([]int, modes)
+	}
+	return t
+}
+
+// Servers returns the total number of servers R in the tallied solution.
+func (t Tally) Servers() int {
+	r := 0
+	for _, n := range t.New {
+		r += n
+	}
+	for _, row := range t.Reuse {
+		for _, e := range row {
+			r += e
+		}
+	}
+	return r
+}
+
+// Reused returns the number of reused pre-existing servers e.
+func (t Tally) Reused() int {
+	e := 0
+	for _, row := range t.Reuse {
+		for _, v := range row {
+			e += v
+		}
+	}
+	return e
+}
+
+// TallyReplicas compares a solution with a pre-existing deployment and
+// counts creations, reuses (with mode transitions) and deletions. Both
+// sets must be sized identically and use modes within [1, modes].
+func TallyReplicas(solution, existing *tree.Replicas, modes int) (Tally, error) {
+	if solution.N() != existing.N() {
+		return Tally{}, fmt.Errorf("cost: solution covers %d nodes, existing %d", solution.N(), existing.N())
+	}
+	t := NewTally(modes)
+	for j := 0; j < solution.N(); j++ {
+		sm, em := solution.Mode(j), existing.Mode(j)
+		if int(sm) > modes || int(em) > modes {
+			return Tally{}, fmt.Errorf("cost: node %d uses mode beyond M=%d (solution %d, existing %d)", j, modes, sm, em)
+		}
+		switch {
+		case sm != tree.NoMode && em != tree.NoMode:
+			t.Reuse[em-1][sm-1]++
+		case sm != tree.NoMode:
+			t.New[sm-1]++
+		case em != tree.NoMode:
+			t.Dropped[em-1]++
+		}
+	}
+	return t, nil
+}
+
+// Of evaluates Equation (4) on a tally.
+func (c Modal) Of(t Tally) float64 {
+	total := float64(t.Servers())
+	for i, n := range t.New {
+		total += c.Create[i] * float64(n)
+	}
+	for i, k := range t.Dropped {
+		total += c.Delete[i] * float64(k)
+	}
+	for i, row := range t.Reuse {
+		for j, e := range row {
+			total += c.Change[i][j] * float64(e)
+		}
+	}
+	return total
+}
+
+// OfReplicas evaluates a concrete solution against a pre-existing set.
+func (c Modal) OfReplicas(solution, existing *tree.Replicas) (float64, error) {
+	t, err := TallyReplicas(solution, existing, c.M())
+	if err != nil {
+		return 0, err
+	}
+	return c.Of(t), nil
+}

@@ -1,0 +1,210 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/tree"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSimpleOf(t *testing.T) {
+	c := Simple{Create: 0.1, Delete: 0.01}
+	// 5 servers, 2 reused, 4 pre-existing:
+	// 5 + 3*0.1 + 2*0.01 = 5.32
+	if got := c.Of(5, 2, 4); !almost(got, 5.32) {
+		t.Fatalf("Of = %v, want 5.32", got)
+	}
+	// No pre-existing: cost reduces to R + R*create.
+	if got := c.Of(3, 0, 0); !almost(got, 3.3) {
+		t.Fatalf("Of = %v, want 3.3", got)
+	}
+	// Zero prices: cost is just R.
+	if got := (Simple{}).Of(7, 3, 5); !almost(got, 7) {
+		t.Fatalf("Of = %v, want 7", got)
+	}
+}
+
+func TestSimpleOfReplicas(t *testing.T) {
+	sol := tree.NewReplicas(6)
+	sol.Set(0, 1)
+	sol.Set(2, 1)
+	sol.Set(3, 1)
+	ex := tree.NewReplicas(6)
+	ex.Set(2, 1)
+	ex.Set(4, 1)
+	c := Simple{Create: 0.5, Delete: 0.25}
+	// R=3, e=1, E=2: 3 + 2*0.5 + 1*0.25 = 4.25
+	if got := c.OfReplicas(sol, ex); !almost(got, 4.25) {
+		t.Fatalf("OfReplicas = %v, want 4.25", got)
+	}
+}
+
+func TestPrefersFewServers(t *testing.T) {
+	if !(Simple{Create: 0.1, Delete: 0.01}).PrefersFewServers() {
+		t.Error("0.1 + 2*0.01 < 1 should prefer few servers")
+	}
+	if (Simple{Create: 0.5, Delete: 0.3}).PrefersFewServers() {
+		t.Error("0.5 + 0.6 >= 1 should not prefer few servers")
+	}
+}
+
+func TestSimpleValidate(t *testing.T) {
+	if err := (Simple{Create: 1, Delete: 0}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Simple{Create: -1}).Validate(); err == nil {
+		t.Fatal("negative create accepted")
+	}
+}
+
+func TestUniformModal(t *testing.T) {
+	c := UniformModal(2, 0.1, 0.01, 0.001)
+	if c.M() != 2 {
+		t.Fatalf("M = %d", c.M())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Change[0][0] != 0 || c.Change[1][1] != 0 {
+		t.Fatal("diagonal change costs not zero")
+	}
+	if c.Change[0][1] != 0.001 || c.Change[1][0] != 0.001 {
+		t.Fatal("off-diagonal change costs wrong")
+	}
+}
+
+func TestModalValidateErrors(t *testing.T) {
+	cases := []Modal{
+		{},
+		{Create: []float64{1}, Delete: []float64{1, 2}, Change: [][]float64{{0}}},
+		{Create: []float64{-1}, Delete: []float64{1}, Change: [][]float64{{0}}},
+		{Create: []float64{1}, Delete: []float64{1}, Change: [][]float64{{0, 0}}},
+		{Create: []float64{1}, Delete: []float64{1}, Change: [][]float64{{-0.5}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTallyReplicas(t *testing.T) {
+	sol := tree.NewReplicas(8)
+	ex := tree.NewReplicas(8)
+	sol.Set(0, 2) // new at mode 2
+	sol.Set(1, 1) // new at mode 1
+	ex.Set(2, 1)  // dropped mode 1
+	ex.Set(3, 2)  // dropped mode 2
+	sol.Set(4, 1) // reuse 1->1
+	ex.Set(4, 1)
+	sol.Set(5, 2) // reuse 1->2 (upgrade)
+	ex.Set(5, 1)
+	sol.Set(6, 1) // reuse 2->1 (downgrade)
+	ex.Set(6, 2)
+	tally, err := TallyReplicas(sol, ex, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.New[0] != 1 || tally.New[1] != 1 {
+		t.Fatalf("New = %v", tally.New)
+	}
+	if tally.Dropped[0] != 1 || tally.Dropped[1] != 1 {
+		t.Fatalf("Dropped = %v", tally.Dropped)
+	}
+	if tally.Reuse[0][0] != 1 || tally.Reuse[0][1] != 1 || tally.Reuse[1][0] != 1 || tally.Reuse[1][1] != 0 {
+		t.Fatalf("Reuse = %v", tally.Reuse)
+	}
+	if tally.Servers() != 5 {
+		t.Fatalf("Servers = %d, want 5", tally.Servers())
+	}
+	if tally.Reused() != 3 {
+		t.Fatalf("Reused = %d, want 3", tally.Reused())
+	}
+}
+
+func TestTallyReplicasErrors(t *testing.T) {
+	if _, err := TallyReplicas(tree.NewReplicas(2), tree.NewReplicas(3), 2); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	sol := tree.NewReplicas(1)
+	sol.Set(0, 3)
+	if _, err := TallyReplicas(sol, tree.NewReplicas(1), 2); err == nil {
+		t.Error("mode above M accepted")
+	}
+}
+
+func TestModalOf(t *testing.T) {
+	c := UniformModal(2, 0.1, 0.01, 0.001)
+	tally := NewTally(2)
+	tally.New[0] = 2      // 2 new at mode 1
+	tally.Reuse[0][1] = 1 // 1 upgraded
+	tally.Dropped[1] = 3  // 3 deleted
+	// R = 3; cost = 3 + 2*0.1 + 1*0.001 + 3*0.01 = 3.231
+	if got := c.Of(tally); !almost(got, 3.231) {
+		t.Fatalf("Of = %v, want 3.231", got)
+	}
+}
+
+func TestModalOfReplicasMatchesSimple(t *testing.T) {
+	// With one mode and uniform prices, the modal cost must equal the
+	// simple cost for any pair of replica sets.
+	f := func(solBits, exBits uint16) bool {
+		sol := tree.NewReplicas(16)
+		ex := tree.NewReplicas(16)
+		for j := 0; j < 16; j++ {
+			if solBits&(1<<j) != 0 {
+				sol.Set(j, 1)
+			}
+			if exBits&(1<<j) != 0 {
+				ex.Set(j, 1)
+			}
+		}
+		modal := UniformModal(1, 0.3, 0.2, 0)
+		simple := Simple{Create: 0.3, Delete: 0.2}
+		got, err := modal.OfReplicas(sol, ex)
+		if err != nil {
+			return false
+		}
+		return almost(got, simple.OfReplicas(sol, ex))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModalOfReplicasError(t *testing.T) {
+	c := UniformModal(1, 0, 0, 0)
+	sol := tree.NewReplicas(1)
+	sol.Set(0, 2)
+	if _, err := c.OfReplicas(sol, tree.NewReplicas(1)); err == nil {
+		t.Fatal("mode above M accepted")
+	}
+}
+
+// Property: paper Equation (4) computed independently matches Modal.Of.
+func TestQuickModalEquationFour(t *testing.T) {
+	f := func(n1, n2, e11, e12, e21, e22, k1, k2 uint8) bool {
+		c := Modal{
+			Create: []float64{0.5, 0.7},
+			Delete: []float64{0.2, 0.3},
+			Change: [][]float64{{0, 0.05}, {0.04, 0}},
+		}
+		tally := NewTally(2)
+		tally.New[0], tally.New[1] = int(n1%10), int(n2%10)
+		tally.Reuse[0][0], tally.Reuse[0][1] = int(e11%10), int(e12%10)
+		tally.Reuse[1][0], tally.Reuse[1][1] = int(e21%10), int(e22%10)
+		tally.Dropped[0], tally.Dropped[1] = int(k1%10), int(k2%10)
+		R := tally.Servers()
+		want := float64(R) +
+			0.5*float64(tally.New[0]) + 0.7*float64(tally.New[1]) +
+			0.2*float64(tally.Dropped[0]) + 0.3*float64(tally.Dropped[1]) +
+			0.05*float64(tally.Reuse[0][1]) + 0.04*float64(tally.Reuse[1][0])
+		return almost(c.Of(tally), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

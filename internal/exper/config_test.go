@@ -1,0 +1,107 @@
+package exper
+
+import (
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func TestPaperScaleSizes(t *testing.T) {
+	cfg := PaperScale()
+	if cfg.MinCostNodes != 500 || cfg.MinCostPre != 125 {
+		t.Fatalf("MinCost case: %+v", cfg)
+	}
+	if cfg.PowerNoPreNodes != 300 {
+		t.Fatalf("power NoPre case: %+v", cfg)
+	}
+	if cfg.PowerWithPreNodes != 70 || cfg.PowerWithPrePre != 10 {
+		t.Fatalf("power WithPre case: %+v", cfg)
+	}
+}
+
+func TestExpensiveIntervalsRegime(t *testing.T) {
+	cheap, exp := DefaultIntervals(), ExpensiveIntervals()
+	if exp.Cost.Create <= cheap.Cost.Create {
+		t.Fatalf("expensive regime not more expensive: %v vs %v", exp.Cost, cheap.Cost)
+	}
+	if exp.DriftProb != cheap.DriftProb || exp.Horizon != cheap.Horizon {
+		t.Fatal("regimes differ in more than prices")
+	}
+}
+
+func TestExp2Validation(t *testing.T) {
+	cfg := DefaultExp2(false)
+	cfg.Steps = 0
+	if _, err := RunExp2(cfg); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	cfg = DefaultExp2(false)
+	cfg.Cost.Create = -1
+	if _, err := RunExp2(cfg); err == nil {
+		t.Error("negative price accepted")
+	}
+	cfg = DefaultExp2(false)
+	cfg.Gen.MinChildren = 0
+	if _, err := RunExp2(cfg); err == nil {
+		t.Error("bad generator accepted")
+	}
+}
+
+func TestExp3ValidationMore(t *testing.T) {
+	cfg := DefaultExp3()
+	cfg.Trees = 0
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("Trees=0 accepted")
+	}
+	cfg = DefaultExp3()
+	cfg.Power.Caps = nil
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("invalid power model accepted")
+	}
+	cfg = DefaultExp3()
+	cfg.Gen.ReqMax = -1
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("bad generator accepted")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	pm := Exp3Power()
+	if pm.M() != 2 || pm.Cap(1) != 5 || pm.Cap(2) != 10 {
+		t.Fatalf("Exp3Power: %+v", pm)
+	}
+	if pm.Static != 12.5 || pm.Alpha != 3 {
+		t.Fatalf("Exp3Power constants: %+v", pm)
+	}
+	cm := Exp3Cost()
+	if cm.Create[0] != 0.1 || cm.Delete[1] != 0.01 || cm.Change[0][1] != 0.001 {
+		t.Fatalf("Exp3Cost: %+v", cm)
+	}
+	if !Exp1Cost().PrefersFewServers() {
+		t.Fatal("Exp1Cost must satisfy create + 2·delete < 1")
+	}
+	if c := HighPowerConfig(50); c.MaxChildren != 4 || c.ReqMax != 5 {
+		t.Fatalf("HighPowerConfig: %+v", c)
+	}
+	if got := seqInts(2, 8, 3); len(got) != 3 || got[2] != 8 {
+		t.Fatalf("seqInts: %v", got)
+	}
+	if got := seqFloats(1, 2, 0.5); len(got) != 3 {
+		t.Fatalf("seqFloats: %v", got)
+	}
+}
+
+func TestGenConfigsMatchPaper(t *testing.T) {
+	fat := tree.FatConfig(100)
+	if fat.MinChildren != 6 || fat.MaxChildren != 9 || fat.ClientProb != 0.5 || fat.ReqMax != 6 {
+		t.Fatalf("FatConfig: %+v", fat)
+	}
+	high := tree.HighConfig(100)
+	if high.MinChildren != 2 || high.MaxChildren != 4 {
+		t.Fatalf("HighConfig: %+v", high)
+	}
+	pw := tree.PowerConfig(50)
+	if pw.ReqMax != 5 || pw.Nodes != 50 {
+		t.Fatalf("PowerConfig: %+v", pw)
+	}
+}

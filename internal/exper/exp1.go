@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/par"
+	"replicatree/internal/rng"
+	"replicatree/internal/stats"
+	"replicatree/internal/tree"
+)
+
+// Exp1Config parameterises the paper's Experiment 1 (Figures 4 and 6):
+// random trees receive E random pre-existing servers, and the number of
+// servers reused by the optimal DP is compared with the pre-existing
+// servers that the oblivious greedy happens to hit.
+type Exp1Config struct {
+	Trees   int
+	Gen     tree.GenConfig
+	W       int
+	EValues []int
+	Cost    cost.Simple
+	Seed    uint64
+	Workers int
+}
+
+// DefaultExp1 returns the paper's Figure 4 settings (200 fat trees of
+// 100 nodes, E = 0..100) sampling E every eStep values. high switches to
+// the Figure 6 high trees.
+func DefaultExp1(high bool, eStep int) Exp1Config {
+	gen := tree.FatConfig(100)
+	if high {
+		gen = tree.HighConfig(100)
+	}
+	return Exp1Config{
+		Trees:   200,
+		Gen:     gen,
+		W:       DefaultW,
+		EValues: seqInts(0, gen.Nodes, eStep),
+		Cost:    Exp1Cost(),
+		Seed:    DefaultSeed,
+	}
+}
+
+// Exp1Point is one x position of Figure 4/6: the average number of
+// reused pre-existing servers for both algorithms at a given E.
+type Exp1Point struct {
+	E  int
+	DP float64
+	GR float64
+}
+
+// Exp1Result aggregates Experiment 1.
+type Exp1Result struct {
+	Points []Exp1Point
+	// AvgGain and MaxGain are the paper's summary numbers: the mean
+	// and maximum over every (tree, E) pair of (DP reuse − GR reuse).
+	AvgGain float64
+	MaxGain int
+	// Mismatches counts (tree, E) pairs where the DP's server count
+	// differed from the greedy's; with the experiment's cost model
+	// both must be minimal, so this should be zero.
+	Mismatches int
+}
+
+func (c Exp1Config) validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("exper: Trees = %d", c.Trees)
+	}
+	if len(c.EValues) == 0 {
+		return fmt.Errorf("exper: no E values")
+	}
+	for _, e := range c.EValues {
+		if e < 0 || e > c.Gen.Nodes {
+			return fmt.Errorf("exper: E = %d out of [0,%d]", e, c.Gen.Nodes)
+		}
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunExp1 executes Experiment 1.
+func RunExp1(cfg Exp1Config) (*Exp1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	type treeOut struct {
+		dp, gr     []int
+		mismatches int
+		err        error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		g, err := greedy.MinReplicas(t, cfg.W)
+		if err != nil {
+			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
+		}
+		out := treeOut{dp: make([]int, len(cfg.EValues)), gr: make([]int, len(cfg.EValues))}
+		for ei, E := range cfg.EValues {
+			existing, err := tree.RandomReplicas(t, E, 1, src)
+			if err != nil {
+				return treeOut{err: fmt.Errorf("exper: tree %d E=%d: %w", i, E, err)}
+			}
+			res, err := core.MinCost(t, existing, cfg.W, cfg.Cost)
+			if err != nil {
+				return treeOut{err: fmt.Errorf("exper: tree %d E=%d: %w", i, E, err)}
+			}
+			out.dp[ei] = res.Reused
+			out.gr[ei] = g.Reused(existing)
+			if res.Servers != g.Count() {
+				out.mismatches++
+			}
+		}
+		return out
+	})
+
+	res := &Exp1Result{Points: make([]Exp1Point, len(cfg.EValues))}
+	var gains []float64
+	for ei, E := range cfg.EValues {
+		var dp, gr []float64
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			dp = append(dp, float64(o.dp[ei]))
+			gr = append(gr, float64(o.gr[ei]))
+			gain := o.dp[ei] - o.gr[ei]
+			gains = append(gains, float64(gain))
+			if gain > res.MaxGain {
+				res.MaxGain = gain
+			}
+		}
+		res.Points[ei] = Exp1Point{E: E, DP: stats.Mean(dp), GR: stats.Mean(gr)}
+	}
+	for _, o := range outs {
+		res.Mismatches += o.mismatches
+	}
+	res.AvgGain = stats.Mean(gains)
+	return res, nil
+}

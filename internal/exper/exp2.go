@@ -1,0 +1,134 @@
+package exper
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/par"
+	"replicatree/internal/rng"
+	"replicatree/internal/stats"
+	"replicatree/internal/tree"
+)
+
+// Exp2Config parameterises the paper's Experiment 2 (Figures 5 and 7):
+// a dynamic setting with consecutive update steps. At each step the
+// per-client request counts are redrawn and both algorithms recompute a
+// placement, each taking its own previous placement as the pre-existing
+// servers.
+type Exp2Config struct {
+	Trees   int
+	Gen     tree.GenConfig
+	W       int
+	Steps   int
+	Cost    cost.Simple
+	Seed    uint64
+	Workers int
+}
+
+// DefaultExp2 returns the paper's Figure 5 settings (200 fat trees of
+// 100 nodes, 20 steps). high switches to the Figure 7 high trees.
+func DefaultExp2(high bool) Exp2Config {
+	gen := tree.FatConfig(100)
+	if high {
+		gen = tree.HighConfig(100)
+	}
+	return Exp2Config{
+		Trees: 200,
+		Gen:   gen,
+		W:     DefaultW,
+		Steps: 20,
+		Cost:  Exp1Cost(),
+		Seed:  DefaultSeed,
+	}
+}
+
+// Exp2Result aggregates Experiment 2. CumDP/CumGR are the left plots of
+// Figures 5 and 7: the cumulative number of reused servers after each
+// step, averaged over trees. Hist is the right plot: for each value of
+// (DP reuse − GR reuse), the average number of steps per tree at which
+// it occurred.
+type Exp2Result struct {
+	CumDP, CumGR []float64
+	Hist         *stats.Histogram
+	// Mismatches counts steps where the two algorithms used different
+	// numbers of servers (both should be minimal).
+	Mismatches int
+}
+
+func (c Exp2Config) validate() error {
+	if c.Trees <= 0 || c.Steps <= 0 {
+		return fmt.Errorf("exper: Trees = %d, Steps = %d", c.Trees, c.Steps)
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunExp2 executes Experiment 2.
+func RunExp2(cfg Exp2Config) (*Exp2Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	type treeOut struct {
+		dp, gr     []int // per-step reuse
+		mismatches int
+		err        error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		exDP := tree.ReplicasOf(t) // no pre-existing servers initially
+		exGR := tree.ReplicasOf(t)
+		out := treeOut{dp: make([]int, cfg.Steps), gr: make([]int, cfg.Steps)}
+		for s := 0; s < cfg.Steps; s++ {
+			tree.RedrawRequests(t, cfg.Gen, src)
+			res, err := core.MinCost(t, exDP, cfg.W, cfg.Cost)
+			if err != nil {
+				return treeOut{err: fmt.Errorf("exper: tree %d step %d: %w", i, s, err)}
+			}
+			g, err := greedy.MinReplicas(t, cfg.W)
+			if err != nil {
+				return treeOut{err: fmt.Errorf("exper: tree %d step %d: %w", i, s, err)}
+			}
+			out.dp[s] = res.Reused
+			out.gr[s] = g.Reused(exGR)
+			if res.Servers != g.Count() {
+				out.mismatches++
+			}
+			exDP = res.Placement
+			exGR = g
+		}
+		return out
+	})
+
+	res := &Exp2Result{
+		CumDP: make([]float64, cfg.Steps),
+		CumGR: make([]float64, cfg.Steps),
+		Hist:  stats.NewHistogram(),
+	}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		cumDP, cumGR := 0, 0
+		for s := 0; s < cfg.Steps; s++ {
+			cumDP += o.dp[s]
+			cumGR += o.gr[s]
+			res.CumDP[s] += float64(cumDP)
+			res.CumGR[s] += float64(cumGR)
+			res.Hist.Add(o.dp[s] - o.gr[s])
+		}
+		res.Mismatches += o.mismatches
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		res.CumDP[s] /= float64(cfg.Trees)
+		res.CumGR[s] /= float64(cfg.Trees)
+	}
+	// Average occurrences per tree, as in the paper's right plots.
+	res.Hist.Scale(1 / float64(cfg.Trees))
+	return res, nil
+}

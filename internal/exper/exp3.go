@@ -1,0 +1,187 @@
+package exper
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/par"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/stats"
+	"replicatree/internal/tree"
+)
+
+// Exp3Config parameterises the paper's Experiment 3 (Figures 8-11):
+// minimise power under a cost bound, optimal DP versus the greedy
+// capacity sweep, plotted as average inverse power against the bound.
+type Exp3Config struct {
+	Trees   int
+	Gen     tree.GenConfig
+	Pre     int // number of pre-existing servers per tree
+	Power   power.Model
+	Cost    cost.Modal
+	Bounds  []float64
+	Seed    uint64
+	Workers int
+}
+
+// DefaultExp3 returns the paper's Figure 8 settings: 100 fat trees of
+// 50 nodes, 5 pre-existing servers, modes {5,10}, cost bounds 15..45.
+// Figure 9 sets Pre = 0; Figure 10 uses high trees with bounds 10..35;
+// Figure 11 uses Fig11Cost with bounds 30..90.
+func DefaultExp3() Exp3Config {
+	return Exp3Config{
+		Trees:  100,
+		Gen:    tree.PowerConfig(50),
+		Pre:    5,
+		Power:  Exp3Power(),
+		Cost:   Exp3Cost(),
+		Bounds: seqFloats(15, 45, 1),
+		Seed:   DefaultSeed,
+	}
+}
+
+// Exp3Fig9 is Figure 9: Experiment 3 without pre-existing replicas.
+func Exp3Fig9() Exp3Config {
+	c := DefaultExp3()
+	c.Pre = 0
+	return c
+}
+
+// Exp3Fig10 is Figure 10: Experiment 3 on high trees.
+func Exp3Fig10() Exp3Config {
+	c := DefaultExp3()
+	c.Gen = HighPowerConfig(50)
+	c.Bounds = seqFloats(10, 35, 1)
+	return c
+}
+
+// Exp3Fig11 is Figure 11: Experiment 3 with expensive creation and
+// deletion (createᵢ = deleteᵢ = 1, changedᵢᵢ' = 0.1).
+func Exp3Fig11() Exp3Config {
+	c := DefaultExp3()
+	c.Cost = Fig11Cost()
+	c.Bounds = seqFloats(30, 90, 2)
+	return c
+}
+
+// Exp3Point is one x position of Figures 8-11.
+type Exp3Point struct {
+	Bound float64
+	// DPInv and GRInv are the paper's y values: the inverse of the
+	// power of the solution found under the bound, 0 when no solution
+	// exists, averaged over trees.
+	DPInv, GRInv float64
+	// DPFound/GRFound count trees where each algorithm found a
+	// solution within the bound.
+	DPFound, GRFound int
+	// GRExcessPct is the mean percentage of extra power consumed by
+	// the greedy solution relative to the optimum, over trees where
+	// both found a solution (the paper's "GR consumes 30% more").
+	GRExcessPct float64
+}
+
+// Exp3Result aggregates Experiment 3.
+type Exp3Result struct {
+	Points []Exp3Point
+}
+
+func (c Exp3Config) validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("exper: Trees = %d", c.Trees)
+	}
+	if c.Pre < 0 || c.Pre > c.Gen.Nodes {
+		return fmt.Errorf("exper: Pre = %d out of [0,%d]", c.Pre, c.Gen.Nodes)
+	}
+	if len(c.Bounds) == 0 {
+		return fmt.Errorf("exper: no cost bounds")
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if c.Cost.M() != c.Power.M() {
+		return fmt.Errorf("exper: cost has %d modes, power %d", c.Cost.M(), c.Power.M())
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunExp3 executes Experiment 3. The dynamic program runs once per tree;
+// its root table answers every cost bound (see core.PowerSolver).
+func RunExp3(cfg Exp3Config) (*Exp3Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	type treeOut struct {
+		dpPower, grPower []float64 // per bound; 0 = not found
+		err              error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		existing, err := tree.RandomReplicas(t, cfg.Pre, cfg.Power.M(), src)
+		if err != nil {
+			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
+		}
+		solver, err := core.SolvePower(core.PowerProblem{
+			Tree: t, Existing: existing, Power: cfg.Power, Cost: cfg.Cost,
+		})
+		if err != nil {
+			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
+		}
+		out := treeOut{
+			dpPower: make([]float64, len(cfg.Bounds)),
+			grPower: make([]float64, len(cfg.Bounds)),
+		}
+		for bi, bound := range cfg.Bounds {
+			if res, ok := solver.Best(bound); ok {
+				out.dpPower[bi] = res.Power
+			}
+			gr, err := greedy.PowerSweep(t, existing, cfg.Power, cfg.Cost, bound)
+			if err != nil {
+				return treeOut{err: fmt.Errorf("exper: tree %d bound %v: %w", i, bound, err)}
+			}
+			if gr.Found {
+				out.grPower[bi] = gr.Power
+			}
+		}
+		return out
+	})
+
+	res := &Exp3Result{Points: make([]Exp3Point, len(cfg.Bounds))}
+	for bi, bound := range cfg.Bounds {
+		var dpInv, grInv, excess []float64
+		p := Exp3Point{Bound: bound}
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			dp, gr := o.dpPower[bi], o.grPower[bi]
+			if dp > 0 {
+				p.DPFound++
+				dpInv = append(dpInv, 1/dp)
+			} else {
+				dpInv = append(dpInv, 0)
+			}
+			if gr > 0 {
+				p.GRFound++
+				grInv = append(grInv, 1/gr)
+			} else {
+				grInv = append(grInv, 0)
+			}
+			if dp > 0 && gr > 0 {
+				excess = append(excess, (gr/dp-1)*100)
+			}
+		}
+		p.DPInv = stats.Mean(dpInv)
+		p.GRInv = stats.Mean(grInv)
+		p.GRExcessPct = stats.Mean(excess)
+		res.Points[bi] = p
+	}
+	return res, nil
+}

@@ -1,0 +1,295 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+// smallExp1 keeps Experiment 1 fast for tests.
+func smallExp1() Exp1Config {
+	cfg := DefaultExp1(false, 10)
+	cfg.Trees = 12
+	cfg.Gen = tree.FatConfig(40)
+	cfg.EValues = []int{0, 10, 20, 40}
+	return cfg
+}
+
+func TestRunExp1Shape(t *testing.T) {
+	cfg := smallExp1()
+	res, err := RunExp1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.EValues) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(cfg.EValues))
+	}
+	// The DP reuses at least as many servers as the oblivious greedy,
+	// on average, at every E (its cost model maximises reuse).
+	for _, p := range res.Points {
+		if p.DP < p.GR-1e-9 {
+			t.Fatalf("E=%d: DP %.2f < GR %.2f", p.E, p.DP, p.GR)
+		}
+	}
+	// With E=0 both reuse nothing.
+	if res.Points[0].DP != 0 || res.Points[0].GR != 0 {
+		t.Fatalf("E=0 reuse: %+v", res.Points[0])
+	}
+	// With E=N every chosen server is a reuse for both algorithms, so
+	// the curves meet (the paper's extreme case).
+	last := res.Points[len(res.Points)-1]
+	if last.DP != last.GR {
+		t.Fatalf("E=N: DP %.2f != GR %.2f", last.DP, last.GR)
+	}
+	if res.AvgGain < 0 {
+		t.Fatalf("negative average gain %v", res.AvgGain)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("server-count mismatches: %d", res.Mismatches)
+	}
+}
+
+func TestRunExp1Deterministic(t *testing.T) {
+	cfg := smallExp1()
+	cfg.Trees = 6
+	a, err := RunExp1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunExp1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunExp1Validation(t *testing.T) {
+	cfg := smallExp1()
+	cfg.Trees = 0
+	if _, err := RunExp1(cfg); err == nil {
+		t.Error("Trees=0 accepted")
+	}
+	cfg = smallExp1()
+	cfg.EValues = []int{999}
+	if _, err := RunExp1(cfg); err == nil {
+		t.Error("E above N accepted")
+	}
+	cfg = smallExp1()
+	cfg.EValues = nil
+	if _, err := RunExp1(cfg); err == nil {
+		t.Error("empty EValues accepted")
+	}
+	cfg = smallExp1()
+	cfg.Gen.MinChildren = 0
+	if _, err := RunExp1(cfg); err == nil {
+		t.Error("bad generator config accepted")
+	}
+}
+
+func TestRunExp2Shape(t *testing.T) {
+	cfg := DefaultExp2(false)
+	cfg.Trees = 8
+	cfg.Gen = tree.FatConfig(30)
+	cfg.Steps = 6
+	res, err := RunExp2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CumDP) != cfg.Steps || len(res.CumGR) != cfg.Steps {
+		t.Fatalf("series lengths %d/%d", len(res.CumDP), len(res.CumGR))
+	}
+	// Cumulative series are non-decreasing and DP dominates GR.
+	for s := 1; s < cfg.Steps; s++ {
+		if res.CumDP[s] < res.CumDP[s-1] || res.CumGR[s] < res.CumGR[s-1] {
+			t.Fatalf("cumulative series decreased at step %d", s)
+		}
+	}
+	final := cfg.Steps - 1
+	if res.CumDP[final] < res.CumGR[final] {
+		t.Fatalf("DP cumulative reuse %.1f below GR %.1f", res.CumDP[final], res.CumGR[final])
+	}
+	// Step 1 has no pre-existing servers: zero reuse for both.
+	if res.CumDP[0] != 0 || res.CumGR[0] != 0 {
+		t.Fatalf("step 1 reuse: %v / %v", res.CumDP[0], res.CumGR[0])
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("mismatches: %d", res.Mismatches)
+	}
+	// Histogram mass: one entry per (tree, step), scaled by 1/trees.
+	mass := 0.0
+	for _, b := range res.Hist.Bins() {
+		mass += res.Hist.Count(b)
+	}
+	if mass < float64(cfg.Steps)-1e-6 || mass > float64(cfg.Steps)+1e-6 {
+		t.Fatalf("histogram mass %.2f, want %d", mass, cfg.Steps)
+	}
+}
+
+func TestRunExp3Shape(t *testing.T) {
+	cfg := DefaultExp3()
+	cfg.Trees = 6
+	cfg.Gen = tree.PowerConfig(16)
+	cfg.Pre = 2
+	cfg.Bounds = seqFloats(2, 14, 2)
+	res, err := RunExp3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.Bounds) {
+		t.Fatalf("%d points, want %d", len(res.Points), len(cfg.Bounds))
+	}
+	prevDP := -1.0
+	for _, p := range res.Points {
+		// The optimum dominates the greedy sweep everywhere.
+		if p.DPInv < p.GRInv-1e-12 {
+			t.Fatalf("bound %v: DP %.6f < GR %.6f", p.Bound, p.DPInv, p.GRInv)
+		}
+		// More budget never hurts.
+		if p.DPInv < prevDP-1e-12 {
+			t.Fatalf("bound %v: DP inverse power decreased", p.Bound)
+		}
+		prevDP = p.DPInv
+		if p.DPFound < p.GRFound {
+			t.Fatalf("bound %v: DP found %d < GR found %d", p.Bound, p.DPFound, p.GRFound)
+		}
+	}
+	// At a generous bound every tree is solved by both algorithms.
+	last := res.Points[len(res.Points)-1]
+	if last.DPFound != cfg.Trees {
+		t.Fatalf("DP failed on %d trees at the largest bound", cfg.Trees-last.DPFound)
+	}
+}
+
+func TestRunExp3NoPreMatchesFig9Config(t *testing.T) {
+	cfg := Exp3Fig9()
+	if cfg.Pre != 0 {
+		t.Fatalf("Fig9 Pre = %d", cfg.Pre)
+	}
+	cfg.Trees = 3
+	cfg.Gen = tree.PowerConfig(12)
+	cfg.Bounds = []float64{6, 20}
+	if _, err := RunExp3(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExp3ConfigVariants(t *testing.T) {
+	if c := Exp3Fig10(); c.Gen.MaxChildren != 4 || c.Bounds[0] != 10 {
+		t.Fatalf("Fig10 config: %+v", c)
+	}
+	if c := Exp3Fig11(); c.Cost.Create[0] != 1 || c.Bounds[0] != 30 {
+		t.Fatalf("Fig11 config: %+v", c)
+	}
+	if c := DefaultExp1(true, 5); c.Gen.MaxChildren != 4 {
+		t.Fatalf("high Exp1 config: %+v", c)
+	}
+	if c := DefaultExp2(true); c.Gen.MaxChildren != 4 {
+		t.Fatalf("high Exp2 config: %+v", c)
+	}
+}
+
+func TestRunExp3Validation(t *testing.T) {
+	cfg := DefaultExp3()
+	cfg.Pre = 999
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("Pre above N accepted")
+	}
+	cfg = DefaultExp3()
+	cfg.Bounds = nil
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("no bounds accepted")
+	}
+	cfg = DefaultExp3()
+	cfg.Cost = Fig11Cost()
+	cfg.Cost.Create = cfg.Cost.Create[:1]
+	if _, err := RunExp3(cfg); err == nil {
+		t.Error("inconsistent cost model accepted")
+	}
+}
+
+func TestRunScaleQuick(t *testing.T) {
+	rows, err := RunScale(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Elapsed <= 0 {
+			t.Fatalf("row %q has no timing", r.Name)
+		}
+		if r.Detail == "" {
+			t.Fatalf("row %q has no detail", r.Name)
+		}
+	}
+}
+
+func TestReports(t *testing.T) {
+	var buf bytes.Buffer
+
+	e1 := smallExp1()
+	e1.Trees = 4
+	r1, err := RunExp1(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Report(&buf, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DP reuse") || !strings.Contains(buf.String(), "avg gain") {
+		t.Fatalf("exp1 report incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	e2 := DefaultExp2(false)
+	e2.Trees = 3
+	e2.Gen = tree.FatConfig(25)
+	e2.Steps = 4
+	r2, err := RunExp2(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Report(&buf, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "histogram") {
+		t.Fatalf("exp2 report incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	e3 := DefaultExp3()
+	e3.Trees = 3
+	e3.Gen = tree.PowerConfig(12)
+	e3.Pre = 1
+	e3.Bounds = []float64{5, 10, 20}
+	r3, err := RunExp3(e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r3.Report(&buf, "fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GR excess") {
+		t.Fatalf("exp3 report incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	rows, err := RunScale(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReportScale(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MinPower-BoundedCost-WithPre") {
+		t.Fatalf("scale report incomplete:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,227 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/par"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// IntervalConfig parameterises the update-interval study sketched in
+// the paper's conclusion (Section 6): when client demand drifts over
+// time, the overall cost trades off between "lazy" updates (reconfigure
+// only when the placement becomes invalid: minimal update cost, drifting
+// resource usage) and "systematic" updates (reconfigure every step:
+// optimal resource usage, maximal update cost). This harness quantifies
+// that trade-off; it is an extension beyond the paper's evaluation,
+// built from its stated framing.
+type IntervalConfig struct {
+	Trees   int
+	Gen     tree.GenConfig
+	W       int
+	Horizon int
+	// DriftProb is the per-step probability that each client redraws
+	// its demand (the paper's "rates of the variations").
+	DriftProb float64
+	// Intervals lists the periodic strategies to evaluate: an entry k
+	// reconfigures every k steps (k = 1 is the systematic strategy).
+	// The lazy strategy is always evaluated.
+	Intervals []int
+	Cost      cost.Simple
+	// OperatingWeight is the per-step cost of one running server; the
+	// update cost of a reconfiguration counts only the transition
+	// fees of Equation (2), (R−e)·create + (E−e)·delete, so that
+	// operating and updating are not double-counted.
+	OperatingWeight float64
+	Seed            uint64
+	Workers         int
+}
+
+// DefaultIntervals studies a 100-node Experiment-1 workload over 60
+// steps of gentle drift with cheap updates; in this regime systematic
+// updating wins. ExpensiveIntervals flips the regime.
+func DefaultIntervals() IntervalConfig {
+	return IntervalConfig{
+		Trees:           50,
+		Gen:             tree.FatConfig(100),
+		W:               DefaultW,
+		Horizon:         60,
+		DriftProb:       0.02,
+		Intervals:       []int{1, 2, 5, 10, 20},
+		Cost:            cost.Simple{Create: 0.25, Delete: 0.05},
+		OperatingWeight: 0.02,
+		Seed:            DefaultSeed,
+	}
+}
+
+// ExpensiveIntervals prices updates four times higher, the regime where
+// the paper's conclusion expects lazy updating to win.
+func ExpensiveIntervals() IntervalConfig {
+	cfg := DefaultIntervals()
+	cfg.Cost = cost.Simple{Create: 1, Delete: 0.2}
+	return cfg
+}
+
+// IntervalRow aggregates one strategy.
+type IntervalRow struct {
+	Name string
+	// Updates is the average number of reconfigurations per tree
+	// (scheduled and forced); Forced counts only those triggered by an
+	// invalid placement.
+	Updates, Forced float64
+	// UpdateCost is the average total transition cost per tree.
+	UpdateCost float64
+	// AvgServers is the average number of running servers per step.
+	AvgServers float64
+	// TotalCost = UpdateCost + OperatingWeight·(server-steps).
+	TotalCost float64
+}
+
+// IntervalResult holds one row per strategy, lazy first.
+type IntervalResult struct {
+	Rows []IntervalRow
+}
+
+func (c IntervalConfig) validate() error {
+	if c.Trees <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("exper: Trees = %d, Horizon = %d", c.Trees, c.Horizon)
+	}
+	if c.DriftProb < 0 || c.DriftProb > 1 {
+		return fmt.Errorf("exper: DriftProb = %v", c.DriftProb)
+	}
+	for _, k := range c.Intervals {
+		if k <= 0 {
+			return fmt.Errorf("exper: interval %d", k)
+		}
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunIntervals executes the study. Every strategy replays the identical
+// demand trace per tree (drift is drawn from a dedicated stream), so
+// rows are directly comparable.
+func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	strategies := make([]int, 0, len(cfg.Intervals)+1)
+	strategies = append(strategies, 0) // 0 = lazy
+	strategies = append(strategies, cfg.Intervals...)
+
+	type acc struct {
+		updates, forced int
+		updateCost      float64
+		serverSteps     int
+		err             error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) []acc {
+		res := make([]acc, len(strategies))
+		base := tree.MustGenerate(cfg.Gen, rng.Derive(cfg.Seed, i))
+		// One demand trace, replayed identically for every strategy:
+		// trace[s] lists the redrawn (node, client index, value)
+		// triples of step s.
+		drift := rng.Derive(cfg.Seed, 1_000_000+i)
+		type change struct{ node, idx, value int }
+		trace := make([][]change, cfg.Horizon)
+		probe := base.Clone()
+		for s := range trace {
+			for j := 0; j < probe.N(); j++ {
+				for ci := range probe.Clients(j) {
+					if drift.Bool(cfg.DriftProb) {
+						trace[s] = append(trace[s], change{j, ci, drift.Between(cfg.Gen.ReqMin, cfg.Gen.ReqMax)})
+					}
+				}
+			}
+		}
+
+		for si, k := range strategies {
+			t := base.Clone()
+			init, err := core.MinCost(t, nil, cfg.W, cfg.Cost)
+			if err != nil {
+				res[si].err = err
+				continue
+			}
+			placement := init.Placement
+			a := &res[si]
+			for s := 0; s < cfg.Horizon; s++ {
+				for _, ch := range trace[s] {
+					reqs := append([]int(nil), t.Clients(ch.node)...)
+					reqs[ch.idx] = ch.value
+					t.SetClientRequests(ch.node, reqs)
+				}
+				scheduled := k > 0 && s%k == 0
+				invalid := tree.ValidateUniform(t, placement, cfg.W) != nil
+				if scheduled || invalid {
+					upd, err := core.MinCost(t, placement, cfg.W, cfg.Cost)
+					if err != nil {
+						a.err = err
+						break
+					}
+					a.updates++
+					if invalid && !scheduled {
+						a.forced++
+					}
+					// Transition fees only (Equation (2) minus R).
+					a.updateCost += float64(upd.New)*cfg.Cost.Create +
+						float64(placement.Count()-upd.Reused)*cfg.Cost.Delete
+					placement = upd.Placement
+				}
+				a.serverSteps += placement.Count()
+			}
+		}
+		return res
+	})
+
+	result := &IntervalResult{Rows: make([]IntervalRow, len(strategies))}
+	for si, k := range strategies {
+		row := IntervalRow{Name: "lazy"}
+		if k > 0 {
+			row.Name = fmt.Sprintf("every-%d", k)
+			if k == 1 {
+				row.Name = "systematic"
+			}
+		}
+		for _, treeAcc := range outs {
+			a := treeAcc[si]
+			if a.err != nil {
+				return nil, a.err
+			}
+			row.Updates += float64(a.updates)
+			row.Forced += float64(a.forced)
+			row.UpdateCost += a.updateCost
+			row.AvgServers += float64(a.serverSteps)
+		}
+		n := float64(cfg.Trees)
+		row.Updates /= n
+		row.Forced /= n
+		row.UpdateCost /= n
+		serverSteps := row.AvgServers / n
+		row.AvgServers = serverSteps / float64(cfg.Horizon)
+		row.TotalCost = row.UpdateCost + cfg.OperatingWeight*serverSteps
+		result.Rows[si] = row
+	}
+	return result, nil
+}
+
+// Report renders the study as a table.
+func (r *IntervalResult) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-12s %9s %8s %12s %12s %12s\n",
+		"strategy", "updates", "forced", "update cost", "avg servers", "total cost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %9.1f %8.1f %12.2f %12.2f %12.2f\n",
+			row.Name, row.Updates, row.Forced, row.UpdateCost, row.AvgServers, row.TotalCost)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

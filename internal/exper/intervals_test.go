@@ -1,0 +1,135 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func smallIntervals() IntervalConfig {
+	cfg := DefaultIntervals()
+	cfg.Trees = 6
+	cfg.Gen = tree.FatConfig(30)
+	cfg.Horizon = 20
+	cfg.Intervals = []int{1, 4, 10}
+	return cfg
+}
+
+func TestRunIntervalsShape(t *testing.T) {
+	cfg := smallIntervals()
+	res, err := RunIntervals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // lazy + 3 intervals
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]IntervalRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	lazy, ok1 := byName["lazy"]
+	sys, ok2 := byName["systematic"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing strategies: %v", res.Rows)
+	}
+	// Lazy reconfigures least; systematic reconfigures every step.
+	if lazy.Updates > sys.Updates {
+		t.Fatalf("lazy updates %.1f above systematic %.1f", lazy.Updates, sys.Updates)
+	}
+	if sys.Updates != float64(cfg.Horizon) {
+		t.Fatalf("systematic updates %.1f, want %d", sys.Updates, cfg.Horizon)
+	}
+	if sys.Forced != 0 {
+		t.Fatalf("systematic forced updates %.1f", sys.Forced)
+	}
+	// Systematic keeps the per-step optimal server count, so its
+	// average can never exceed any other strategy's.
+	for _, r := range res.Rows {
+		if sys.AvgServers > r.AvgServers+1e-9 {
+			t.Fatalf("systematic avg servers %.2f above %s's %.2f", sys.AvgServers, r.Name, r.AvgServers)
+		}
+		if r.UpdateCost < 0 || r.TotalCost < r.UpdateCost {
+			t.Fatalf("inconsistent costs in %+v", r)
+		}
+	}
+	// Lazy pays the least update cost.
+	for _, r := range res.Rows {
+		if lazy.UpdateCost > r.UpdateCost+1e-9 {
+			t.Fatalf("lazy update cost %.2f above %s's %.2f", lazy.UpdateCost, r.Name, r.UpdateCost)
+		}
+	}
+}
+
+func TestRunIntervalsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallIntervals()
+	cfg.Trees = 4
+	a, err := RunIntervals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunIntervals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestRunIntervalsValidation(t *testing.T) {
+	cfg := smallIntervals()
+	cfg.Horizon = 0
+	if _, err := RunIntervals(cfg); err == nil {
+		t.Error("Horizon=0 accepted")
+	}
+	cfg = smallIntervals()
+	cfg.DriftProb = 2
+	if _, err := RunIntervals(cfg); err == nil {
+		t.Error("DriftProb=2 accepted")
+	}
+	cfg = smallIntervals()
+	cfg.Intervals = []int{0}
+	if _, err := RunIntervals(cfg); err == nil {
+		t.Error("interval 0 accepted")
+	}
+}
+
+func TestRunIntervalsZeroDrift(t *testing.T) {
+	// Without drift the lazy strategy never needs to reconfigure.
+	cfg := smallIntervals()
+	cfg.DriftProb = 0
+	res, err := RunIntervals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Name == "lazy" && r.Updates != 0 {
+			t.Fatalf("lazy updates %.1f without drift", r.Updates)
+		}
+	}
+}
+
+func TestIntervalsReport(t *testing.T) {
+	cfg := smallIntervals()
+	cfg.Trees = 3
+	res, err := RunIntervals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Report(&buf, "update intervals"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lazy", "systematic", "total cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

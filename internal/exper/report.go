@@ -1,0 +1,95 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"replicatree/internal/textplot"
+)
+
+// Report renders an Experiment 1 result as a table followed by the
+// Figure 4/6 plot.
+func (r *Exp1Result) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%6s %12s %12s %8s\n", "E", "DP reuse", "GR reuse", "gain")
+	xs := make([]float64, len(r.Points))
+	dp := make([]float64, len(r.Points))
+	gr := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(&sb, "%6d %12.2f %12.2f %8.2f\n", p.E, p.DP, p.GR, p.DP-p.GR)
+		xs[i], dp[i], gr[i] = float64(p.E), p.DP, p.GR
+	}
+	fmt.Fprintf(&sb, "avg gain (DP-GR) over all (tree,E): %.2f servers; max gain: %d; count mismatches: %d\n\n",
+		r.AvgGain, r.MaxGain, r.Mismatches)
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	return textplot.Plot(w, "reused pre-existing servers vs E", xs,
+		[]textplot.Series{{Name: "DP", Ys: dp}, {Name: "GR", Ys: gr}}, 60, 16)
+}
+
+// Report renders an Experiment 2 result: the cumulative-reuse table and
+// plot (left figure) and the reuse-difference histogram (right figure).
+func (r *Exp2Result) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%6s %14s %14s\n", "step", "cum DP reuse", "cum GR reuse")
+	xs := make([]float64, len(r.CumDP))
+	for s := range r.CumDP {
+		fmt.Fprintf(&sb, "%6d %14.1f %14.1f\n", s+1, r.CumDP[s], r.CumGR[s])
+		xs[s] = float64(s + 1)
+	}
+	fmt.Fprintf(&sb, "count mismatches: %d\n\n", r.Mismatches)
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	if err := textplot.Plot(w, "cumulative reused servers vs step", xs,
+		[]textplot.Series{{Name: "DP", Ys: r.CumDP}, {Name: "GR", Ys: r.CumGR}}, 60, 14); err != nil {
+		return err
+	}
+	sb.Reset()
+	fmt.Fprintf(&sb, "\nhistogram of (reused in DP) - (reused in GR), avg steps per tree:\n")
+	for _, bin := range r.Hist.Bins() {
+		bar := strings.Repeat("#", int(r.Hist.Count(bin)*4+0.5))
+		fmt.Fprintf(&sb, "%+4d %6.2f %s\n", bin, r.Hist.Count(bin), bar)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Report renders an Experiment 3 result as the Figure 8-11 table and
+// plot.
+func (r *Exp3Result) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%8s %12s %12s %8s %8s %10s\n",
+		"bound", "DP 1/power", "GR 1/power", "DP#", "GR#", "GR excess")
+	xs := make([]float64, len(r.Points))
+	dp := make([]float64, len(r.Points))
+	gr := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(&sb, "%8.1f %12.6f %12.6f %8d %8d %9.1f%%\n",
+			p.Bound, p.DPInv, p.GRInv, p.DPFound, p.GRFound, p.GRExcessPct)
+		xs[i], dp[i], gr[i] = p.Bound, p.DPInv, p.GRInv
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	return textplot.Plot(w, "average inverse power vs cost bound", xs,
+		[]textplot.Series{{Name: "DP", Ys: dp}, {Name: "GR", Ys: gr}}, 60, 16)
+}
+
+// Report renders the scalability rows.
+func ReportScale(w io.Writer, rows []ScaleRow) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scalability (single solver invocations)\n")
+	fmt.Fprintf(&sb, "%-30s %6s %5s %12s  %s\n", "case", "nodes", "pre", "elapsed", "detail")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-30s %6d %5d %12s  %s\n", r.Name, r.Nodes, r.Pre, r.Elapsed.Round(1e6), r.Detail)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,124 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// ScaleConfig parameterises the scalability measurements reported in the
+// last paragraph of the paper's Section 5.2: MinCost on a 500-node tree
+// with 125 pre-existing servers (paper: 30 minutes), power without
+// pre-existing servers on 300 nodes (paper: one hour), and power with 10
+// pre-existing servers on 70 nodes (paper: around one hour).
+type ScaleConfig struct {
+	MinCostNodes, MinCostPre           int
+	PowerNoPreNodes                    int
+	PowerWithPreNodes, PowerWithPrePre int
+	Seed                               uint64
+}
+
+// PaperScale returns the paper's instance sizes.
+func PaperScale() ScaleConfig {
+	return ScaleConfig{
+		MinCostNodes: 500, MinCostPre: 125,
+		PowerNoPreNodes:   300,
+		PowerWithPreNodes: 70, PowerWithPrePre: 10,
+		Seed: DefaultSeed,
+	}
+}
+
+// QuickScale returns reduced sizes suitable for tests and CI.
+func QuickScale() ScaleConfig {
+	return ScaleConfig{
+		MinCostNodes: 120, MinCostPre: 30,
+		PowerNoPreNodes:   60,
+		PowerWithPreNodes: 30, PowerWithPrePre: 4,
+		Seed: DefaultSeed,
+	}
+}
+
+// ScaleRow is one scalability measurement.
+type ScaleRow struct {
+	Name    string
+	Nodes   int
+	Pre     int
+	Elapsed time.Duration
+	Detail  string
+}
+
+// RunScale executes the three scalability cases sequentially (each case
+// is a single solver invocation; parallelism would only blur the
+// timings) and reports wall-clock durations.
+func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
+	var rows []ScaleRow
+
+	{ // MinCost-WithPre at scale.
+		src := rng.Derive(cfg.Seed, 101)
+		t := tree.MustGenerate(tree.FatConfig(cfg.MinCostNodes), src)
+		existing, err := tree.RandomReplicas(t, cfg.MinCostPre, 1, src)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := core.MinCost(t, existing, DefaultW, Exp1Cost())
+		if err != nil {
+			return nil, fmt.Errorf("exper: scale MinCost: %w", err)
+		}
+		rows = append(rows, ScaleRow{
+			Name: "MinCost-WithPre", Nodes: cfg.MinCostNodes, Pre: cfg.MinCostPre,
+			Elapsed: time.Since(start),
+			Detail:  fmt.Sprintf("servers=%d reused=%d cost=%.3f", res.Servers, res.Reused, res.Cost),
+		})
+	}
+
+	{ // MinPower-BoundedCost-NoPre at scale, serial and parallel.
+		src := rng.Derive(cfg.Seed, 102)
+		t := tree.MustGenerate(tree.PowerConfig(cfg.PowerNoPreNodes), src)
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			start := time.Now()
+			solver, err := core.SolvePower(core.PowerProblem{
+				Tree: t, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exper: scale power NoPre: %w", err)
+			}
+			opt := solver.MinPower()
+			rows = append(rows, ScaleRow{
+				Name: fmt.Sprintf("MinPower-BoundedCost-NoPre/w=%d", workers), Nodes: cfg.PowerNoPreNodes,
+				Elapsed: time.Since(start),
+				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(solver.Front())),
+			})
+		}
+	}
+
+	{ // MinPower-BoundedCost-WithPre at scale, serial and parallel.
+		src := rng.Derive(cfg.Seed, 103)
+		t := tree.MustGenerate(tree.PowerConfig(cfg.PowerWithPreNodes), src)
+		existing, err := tree.RandomReplicas(t, cfg.PowerWithPrePre, 2, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			start := time.Now()
+			solver, err := core.SolvePower(core.PowerProblem{
+				Tree: t, Existing: existing, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exper: scale power WithPre: %w", err)
+			}
+			opt := solver.MinPower()
+			rows = append(rows, ScaleRow{
+				Name: fmt.Sprintf("MinPower-BoundedCost-WithPre/w=%d", workers), Nodes: cfg.PowerWithPreNodes, Pre: cfg.PowerWithPrePre,
+				Elapsed: time.Since(start),
+				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(solver.Front())),
+			})
+		}
+	}
+
+	return rows, nil
+}

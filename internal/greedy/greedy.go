@@ -1,0 +1,169 @@
+// Package greedy implements the replica placement baseline the paper
+// compares against: the greedy algorithm of Wu, Lin and Liu [19] for the
+// MinCost-NoPre problem (minimal number of servers under the closest
+// policy), and the paper's power-adapted variant of it used as "GR" in
+// Experiment 3 (Section 5.2).
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// InfeasibleError reports an instance that no placement can serve: the
+// clients attached to one node demand more than a single server's
+// capacity, and the closest policy forces them onto a single server.
+type InfeasibleError struct {
+	Node   int
+	Demand int
+	Cap    int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("greedy: clients of node %d demand %d > capacity %d; no valid placement exists",
+		e.Node, e.Demand, e.Cap)
+}
+
+// MinReplicas returns a replica set of minimal cardinality serving every
+// client with capacity W under the closest policy, with every replica
+// set to mode 1. It runs in O(N log N): a post-order lazy pass that
+// equips the heaviest child branches of a node only when the traversing
+// flow would exceed W.
+//
+// Optimality follows from an exchange argument: all requests traversing
+// a node are served by the same next server, so whenever the flow at j
+// exceeds W some branches below j must be cut; a replica anywhere inside
+// the branch of child c absorbs at most the flow leaving c (with
+// equality when placed on c itself), hence cutting the heaviest child
+// branches first is never worse. The result is cross-checked against the
+// dynamic program in the core package's tests.
+func MinReplicas(t *tree.Tree, W int) (*tree.Replicas, error) {
+	if W <= 0 {
+		return nil, fmt.Errorf("greedy: non-positive capacity %d", W)
+	}
+	r := tree.ReplicasOf(t)
+	up := make([]int, t.N()) // flow leaving each node, given placements so far
+	for _, j := range t.PostOrder() {
+		own := t.ClientSum(j)
+		if own > W {
+			return nil, &InfeasibleError{Node: j, Demand: own, Cap: W}
+		}
+		f := own
+		kids := t.Children(j)
+		contrib := make([]int, 0, len(kids))
+		order := make([]int, 0, len(kids))
+		for _, c := range kids {
+			f += up[c]
+			if up[c] > 0 {
+				contrib = append(contrib, up[c])
+				order = append(order, c)
+			}
+		}
+		if f > W {
+			// Equip the heaviest contributing children until the
+			// residual flow fits; ties broken by node id for
+			// determinism.
+			idx := make([]int, len(order))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				if contrib[idx[a]] != contrib[idx[b]] {
+					return contrib[idx[a]] > contrib[idx[b]]
+				}
+				return order[idx[a]] < order[idx[b]]
+			})
+			for _, i := range idx {
+				if f <= W {
+					break
+				}
+				c := order[i]
+				r.Set(c, 1)
+				f -= up[c]
+				up[c] = 0
+			}
+		}
+		up[j] = f
+	}
+	if up[t.Root()] > 0 {
+		r.Set(t.Root(), 1)
+	}
+	return r, nil
+}
+
+// SweepResult is the outcome of the paper's power-adapted greedy: the
+// best placement found across the capacity sweep, with load-determined
+// modes assigned, and its cost and power.
+type SweepResult struct {
+	Solution *tree.Replicas
+	Cost     float64
+	Power    float64
+	// Capacity is the sweep value W' whose greedy placement won.
+	Capacity int
+	// Found is false when no capacity in the sweep yields a solution
+	// within the cost bound.
+	Found bool
+}
+
+// PowerSweep is the paper's "GR" of Experiment 3: run MinReplicas for
+// every integer capacity W' between W_1 and W_M, operate each server of
+// each resulting placement at its load-determined mode (a server with at
+// most W_1 requests runs in mode 1, and so on), price the placement
+// against the pre-existing deployment with the modal cost model, and
+// keep the solution of minimal power among those with cost at most
+// bound. Ties prefer lower cost, then lower W'.
+func PowerSweep(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.Modal, bound float64) (SweepResult, error) {
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	if err := pm.Validate(); err != nil {
+		return SweepResult{}, err
+	}
+	if err := cm.Validate(); err != nil {
+		return SweepResult{}, err
+	}
+	if cm.M() != pm.M() {
+		return SweepResult{}, fmt.Errorf("greedy: cost model has %d modes, power model %d", cm.M(), pm.M())
+	}
+	best := SweepResult{}
+	for capW := pm.Caps[0]; capW <= pm.MaxCap(); capW++ {
+		sol, err := MinReplicas(t, capW)
+		if err != nil {
+			continue // this capacity cannot serve the instance
+		}
+		if err := pm.AssignModes(t, sol); err != nil {
+			// Loads are bounded by capW <= W_M, so this cannot
+			// happen for a solution MinReplicas accepted.
+			return SweepResult{}, err
+		}
+		c, err := cm.OfReplicas(sol, existing)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if c > bound {
+			continue
+		}
+		p := pm.OfReplicas(sol)
+		if better(p, c, capW, best) {
+			best = SweepResult{Solution: sol, Cost: c, Power: p, Capacity: capW, Found: true}
+		}
+	}
+	return best, nil
+}
+
+func better(p, c float64, capW int, cur SweepResult) bool {
+	if !cur.Found {
+		return true
+	}
+	if p != cur.Power {
+		return p < cur.Power
+	}
+	if c != cur.Cost {
+		return c < cur.Cost
+	}
+	return capW < cur.Capacity
+}

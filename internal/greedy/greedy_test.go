@@ -1,0 +1,328 @@
+package greedy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// fig1Tree is the paper's Figure 1 topology: root with an optional
+// client, child A, grandchildren B (4 requests) and C (7 requests).
+func fig1Tree(rootReq int) *tree.Tree {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(cc, 7)
+	if rootReq > 0 {
+		b.AddClient(b.Root(), rootReq)
+	}
+	return b.MustBuild()
+}
+
+func TestMinReplicasFigure1(t *testing.T) {
+	// W=10. Total 13 (root 2): two servers suffice and are necessary.
+	tr := fig1Tree(2)
+	r, err := MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d, want 2", r.Count())
+	}
+	if err := tree.ValidateUniform(tr, r, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Root demand 4: total 15, still two servers.
+	tr = fig1Tree(4)
+	r, err = MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d, want 2", r.Count())
+	}
+	if err := tree.ValidateUniform(tr, r, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinReplicasNoRequests(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddNode(0)
+	tr := b.MustBuild()
+	r, err := MinReplicas(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("count = %d for a tree without clients", r.Count())
+	}
+}
+
+func TestMinReplicasSingleServerSuffices(t *testing.T) {
+	tr := fig1Tree(2)
+	r, err := MinReplicas(tr, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 1 || !r.Has(tr.Root()) {
+		t.Fatalf("W=13 solution = %v, want root only", r)
+	}
+}
+
+func TestMinReplicasInfeasible(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(0, 11)
+	tr := b.MustBuild()
+	_, err := MinReplicas(tr, 10)
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error = %v, want InfeasibleError", err)
+	}
+	if ie.Node != 0 || ie.Demand != 11 || ie.Cap != 10 {
+		t.Fatalf("InfeasibleError = %+v", ie)
+	}
+	if ie.Error() == "" {
+		t.Fatal("empty message")
+	}
+}
+
+func TestMinReplicasBadCapacity(t *testing.T) {
+	tr := fig1Tree(0)
+	if _, err := MinReplicas(tr, 0); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+}
+
+func TestMinReplicasEquipsHeaviestBranch(t *testing.T) {
+	// Root has two children: X carries 8, Y carries 3; root client 1.
+	// W=10: flow at root would be 12, equipping X (the heaviest)
+	// leaves 4 <= 10, so one child replica plus the root.
+	b := tree.NewBuilder()
+	x := b.AddNode(0)
+	y := b.AddNode(0)
+	b.AddClient(x, 8)
+	b.AddClient(y, 3)
+	b.AddClient(0, 1)
+	tr := b.MustBuild()
+	r, err := MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(x) || r.Has(y) {
+		t.Fatalf("solution = %v, want X equipped, Y not", r)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d, want 2", r.Count())
+	}
+}
+
+func TestMinReplicasDeterministic(t *testing.T) {
+	cfg := tree.FatConfig(150)
+	tr := tree.MustGenerate(cfg, rng.New(77))
+	a, err := MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("two runs differ")
+	}
+}
+
+// bruteMinCount exhaustively finds the minimal number of servers for
+// small trees by enumerating all subsets.
+func bruteMinCount(tr *tree.Tree, W int) int {
+	n := tr.N()
+	best := -1
+	for mask := 0; mask < 1<<n; mask++ {
+		r := tree.ReplicasOf(tr)
+		cnt := 0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				r.Set(j, 1)
+				cnt++
+			}
+		}
+		if best >= 0 && cnt >= best {
+			continue
+		}
+		if tree.ValidateUniform(tr, r, W) == nil {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestQuickMinReplicasOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 1)
+		cfg := tree.GenConfig{
+			Nodes:       1 + src.IntN(11),
+			MinChildren: 1 + src.IntN(2),
+			MaxChildren: 3,
+			ClientProb:  0.7,
+			ReqMin:      1,
+			ReqMax:      6,
+		}
+		tr := tree.MustGenerate(cfg, src)
+		W := 4 + src.IntN(8)
+		want := bruteMinCount(tr, W)
+		got, err := MinReplicas(tr, W)
+		if want < 0 {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		if tree.ValidateUniform(tr, got, W) != nil {
+			return false
+		}
+		return got.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solutions are always valid, and larger capacities never need
+// more servers.
+func TestQuickMinReplicasMonotoneInW(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 2)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(60)), src)
+		W := 6 + src.IntN(6)
+		a, errA := MinReplicas(tr, W)
+		b, errB := MinReplicas(tr, W+3)
+		if errA != nil {
+			return true // a fortiori nothing to compare
+		}
+		if tree.ValidateUniform(tr, a, W) != nil || errB != nil {
+			return false
+		}
+		return b.Count() <= a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fig2Tree is the paper's Figure 2 topology with modes {7, 10}.
+func fig2Tree(rootReq int) *tree.Tree {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 3)
+	b.AddClient(cc, 7)
+	if rootReq > 0 {
+		b.AddClient(b.Root(), rootReq)
+	}
+	return b.MustBuild()
+}
+
+func TestPowerSweepFigure2(t *testing.T) {
+	pm := power.MustNew([]int{7, 10}, 10, 2)
+	cm := cost.UniformModal(2, 0, 0, 0)
+	tr := fig2Tree(4)
+	res, err := PowerSweep(tr, tree.ReplicasOf(tr), pm, cm, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no solution found")
+	}
+	if err := tree.Validate(tr, res.Solution, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+		t.Fatal(err)
+	}
+	// The best greedy solution uses capacity 7: servers at C (7 req)
+	// and root (3+4=7 req), both mode 1: power 2*(10+49) = 118.
+	if math.Abs(res.Power-118) > 1e-9 {
+		t.Fatalf("power = %v, want 118", res.Power)
+	}
+	if res.Capacity != 7 {
+		t.Fatalf("winning capacity = %d, want 7", res.Capacity)
+	}
+}
+
+func TestPowerSweepRespectsBound(t *testing.T) {
+	pm := power.MustNew([]int{7, 10}, 10, 2)
+	cm := cost.UniformModal(2, 1, 0, 0) // each new server costs 2 total
+	tr := fig2Tree(4)
+	// Two-server solutions cost 4; bound 3 leaves only one-server
+	// solutions (a mode-2 server at the root serves 14 > 10: none).
+	res, err := PowerSweep(tr, tree.ReplicasOf(tr), pm, cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("found %v under impossible bound", res.Solution)
+	}
+	res, err = PowerSweep(tr, tree.ReplicasOf(tr), pm, cm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Cost > 4 {
+		t.Fatalf("bound 4: found=%v cost=%v", res.Found, res.Cost)
+	}
+}
+
+func TestPowerSweepCountsReuse(t *testing.T) {
+	pm := power.MustNew([]int{7, 10}, 10, 2)
+	cm := cost.UniformModal(2, 10, 0, 0) // creation is expensive
+	tr := fig2Tree(4)
+	existing := tree.ReplicasOf(tr)
+	existing.Set(3, 1) // C pre-exists at mode 1
+	existing.Set(0, 1) // root pre-exists at mode 1
+	// GR's capacity-7 solution {C, root} reuses both: cost 2.
+	res, err := PowerSweep(tr, existing, pm, cm, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no solution within bound despite full reuse")
+	}
+	if res.Solution.Reused(existing) != 2 {
+		t.Fatalf("reused = %d, want 2", res.Solution.Reused(existing))
+	}
+}
+
+func TestPowerSweepModelValidation(t *testing.T) {
+	tr := fig2Tree(0)
+	pm := power.MustNew([]int{7, 10}, 10, 2)
+	if _, err := PowerSweep(tr, tree.ReplicasOf(tr), pm, cost.UniformModal(3, 0, 0, 0), 1); err == nil {
+		t.Fatal("mode count mismatch accepted")
+	}
+	if _, err := PowerSweep(tr, tree.ReplicasOf(tr), power.Model{}, cost.UniformModal(2, 0, 0, 0), 1); err == nil {
+		t.Fatal("invalid power model accepted")
+	}
+	bad := cost.Modal{Create: []float64{-1, 0}, Delete: []float64{0, 0}, Change: [][]float64{{0, 0}, {0, 0}}}
+	if _, err := PowerSweep(tr, tree.ReplicasOf(tr), pm, bad, 1); err == nil {
+		t.Fatal("invalid cost model accepted")
+	}
+}
+
+func TestPowerSweepInfeasibleInstance(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(0, 50)
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{5, 10}, 0, 2)
+	res, err := PowerSweep(tr, tree.ReplicasOf(tr), pm, cost.UniformModal(2, 0, 0, 0), math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("found a solution for an infeasible instance")
+	}
+}

@@ -1,0 +1,294 @@
+// Package heuristic implements the polynomial-time heuristic the paper
+// sketches as future work (Section 6): local optimisations that
+// re-balance requests across replicas to reduce power consumption under
+// a cost bound, at a fraction of the optimal dynamic program's cost.
+//
+// The heuristic seeds from the best greedy capacity-sweep solution (and
+// a few other cheap candidates) and then hill-climbs with four move
+// families — server removal, server addition, moving a server to a
+// neighbour, and mode reassignment — accepting only moves that keep the
+// solution valid and affordable while strictly reducing power (ties
+// broken by cost). Each pass is O(N²) flow evaluations; the pass count
+// is bounded by Options.MaxPasses.
+package heuristic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxPasses bounds the number of full improvement passes
+	// (default 10).
+	MaxPasses int
+}
+
+// Result is the heuristic's outcome.
+type Result struct {
+	// Found is false when no valid solution within the bound was
+	// discovered; the remaining fields are then meaningless.
+	Found     bool
+	Placement *tree.Replicas
+	Cost      float64
+	Power     float64
+	// Passes is the number of improvement passes performed.
+	Passes int
+}
+
+// PowerAware computes a placement for MinPower-BoundedCost heuristically.
+func PowerAware(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.Modal, bound float64, opts Options) (Result, error) {
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	if existing.N() != t.N() {
+		return Result{}, fmt.Errorf("heuristic: existing set covers %d nodes, tree has %d", existing.N(), t.N())
+	}
+	if err := pm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cm.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cm.M() != pm.M() {
+		return Result{}, fmt.Errorf("heuristic: cost model has %d modes, power model %d", cm.M(), pm.M())
+	}
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 10
+	}
+
+	h := &search{t: t, existing: existing, pm: pm, cm: cm, bound: bound}
+	best, found := h.seed()
+	if !found {
+		return Result{Found: false}, nil
+	}
+
+	passes := 0
+	for passes < opts.MaxPasses {
+		passes++
+		improved := false
+		if cand, ok := h.passRemove(best); ok {
+			best, improved = cand, true
+		}
+		if cand, ok := h.passAdd(best); ok {
+			best, improved = cand, true
+		}
+		if cand, ok := h.passMove(best); ok {
+			best, improved = cand, true
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{
+		Found:     true,
+		Placement: best.placement,
+		Cost:      best.cost,
+		Power:     best.power,
+		Passes:    passes,
+	}, nil
+}
+
+// candidate is an evaluated placement.
+type candidate struct {
+	placement *tree.Replicas
+	cost      float64
+	power     float64
+}
+
+type search struct {
+	t        *tree.Tree
+	existing *tree.Replicas
+	pm       power.Model
+	cm       cost.Modal
+	bound    float64
+}
+
+// better implements the acceptance order: strictly less power, or equal
+// power at strictly lower cost.
+func better(a candidate, than candidate) bool {
+	const eps = 1e-12
+	if a.power < than.power-eps {
+		return true
+	}
+	return math.Abs(a.power-than.power) <= eps && a.cost < than.cost-eps
+}
+
+// seed evaluates the cheap starting points and returns the best.
+func (h *search) seed() (candidate, bool) {
+	var best candidate
+	found := false
+	try := func(c candidate, ok bool) {
+		if ok && (!found || better(c, best)) {
+			best, found = c, true
+		}
+	}
+
+	if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found {
+		try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
+	}
+	// Reuse the pre-existing deployment as-is.
+	try(h.assignModes(h.existing))
+	// Every node equipped (always valid; expensive but a fallback).
+	full := tree.NewReplicas(h.t.N())
+	for j := 0; j < h.t.N(); j++ {
+		full.Set(j, 1)
+	}
+	try(h.assignModes(full))
+	return best, found
+}
+
+// assignModes evaluates a structure (which nodes are equipped): every
+// server gets its minimal covering mode; if the resulting cost exceeds
+// the bound, reused servers are greedily switched back to their initial
+// modes — zero change fee — in increasing order of power penalty until
+// the solution is affordable. ok is false when the structure cannot be
+// made valid and affordable this way.
+func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
+	loads, unserved := tree.Flows(h.t, structure)
+	if unserved > 0 {
+		return candidate{}, false
+	}
+	p := tree.NewReplicas(h.t.N())
+	for j := 0; j < h.t.N(); j++ {
+		if !structure.Has(j) {
+			continue
+		}
+		m, ok := h.pm.ModeFor(loads[j])
+		if !ok {
+			return candidate{}, false
+		}
+		p.Set(j, uint8(m))
+	}
+	c, err := h.cm.OfReplicas(p, h.existing)
+	if err != nil {
+		return candidate{}, false
+	}
+	if c > h.bound {
+		p, c = h.relaxToInitialModes(p, loads)
+		if c > h.bound {
+			return candidate{}, false
+		}
+	}
+	return candidate{placement: p, cost: c, power: h.pm.OfReplicas(p)}, true
+}
+
+// relaxToInitialModes switches reused servers from their minimal mode to
+// their (covering) initial mode to shed change fees, cheapest power
+// penalty first.
+func (h *search) relaxToInitialModes(p *tree.Replicas, loads []int) (*tree.Replicas, float64) {
+	type swap struct {
+		node    int
+		penalty float64
+	}
+	var swaps []swap
+	for j := 0; j < h.t.N(); j++ {
+		if !p.Has(j) || !h.existing.Has(j) {
+			continue
+		}
+		init := int(h.existing.Mode(j))
+		cur := int(p.Mode(j))
+		if init == cur || h.pm.Cap(init) < loads[j] {
+			continue
+		}
+		swaps = append(swaps, swap{node: j, penalty: h.pm.NodePower(init) - h.pm.NodePower(cur)})
+	}
+	sort.Slice(swaps, func(a, b int) bool {
+		if swaps[a].penalty != swaps[b].penalty {
+			return swaps[a].penalty < swaps[b].penalty
+		}
+		return swaps[a].node < swaps[b].node
+	})
+	out := p.Clone()
+	for _, s := range swaps {
+		c, err := h.cm.OfReplicas(out, h.existing)
+		if err != nil || c <= h.bound {
+			break
+		}
+		out.Set(s.node, h.existing.Mode(s.node))
+	}
+	c, err := h.cm.OfReplicas(out, h.existing)
+	if err != nil {
+		return p, math.Inf(1)
+	}
+	return out, c
+}
+
+// tryStructure evaluates a structural variant and reports whether it
+// improves on cur while staying valid and affordable.
+func (h *search) tryStructure(structure *tree.Replicas, cur candidate) (candidate, bool) {
+	cand, ok := h.assignModes(structure)
+	if !ok || !better(cand, cur) {
+		return candidate{}, false
+	}
+	return cand, true
+}
+
+// passRemove tries dropping each server (first improvement wins).
+func (h *search) passRemove(cur candidate) (candidate, bool) {
+	improvedAny := false
+	for j := 0; j < h.t.N(); j++ {
+		if !cur.placement.Has(j) {
+			continue
+		}
+		s := cur.placement.Clone()
+		s.Unset(j)
+		if cand, ok := h.tryStructure(s, cur); ok {
+			cur = cand
+			improvedAny = true
+		}
+	}
+	return cur, improvedAny
+}
+
+// passAdd tries equipping each empty node.
+func (h *search) passAdd(cur candidate) (candidate, bool) {
+	improvedAny := false
+	for j := 0; j < h.t.N(); j++ {
+		if cur.placement.Has(j) {
+			continue
+		}
+		s := cur.placement.Clone()
+		s.Set(j, 1)
+		if cand, ok := h.tryStructure(s, cur); ok {
+			cur = cand
+			improvedAny = true
+		}
+	}
+	return cur, improvedAny
+}
+
+// passMove tries relocating each server to its parent or a child.
+func (h *search) passMove(cur candidate) (candidate, bool) {
+	improvedAny := false
+	for j := 0; j < h.t.N(); j++ {
+		if !cur.placement.Has(j) {
+			continue
+		}
+		var targets []int
+		if p := h.t.Parent(j); p >= 0 {
+			targets = append(targets, p)
+		}
+		targets = append(targets, h.t.Children(j)...)
+		for _, to := range targets {
+			if cur.placement.Has(to) {
+				continue
+			}
+			s := cur.placement.Clone()
+			s.Unset(j)
+			s.Set(to, 1)
+			if cand, ok := h.tryStructure(s, cur); ok {
+				cur = cand
+				improvedAny = true
+				break // j moved; stop trying its other targets
+			}
+		}
+	}
+	return cur, improvedAny
+}

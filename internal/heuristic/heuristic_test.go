@@ -1,0 +1,192 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func paperModels() (power.Model, cost.Modal) {
+	return power.MustNew([]int{5, 10}, 12.5, 3), cost.UniformModal(2, 0.1, 0.01, 0.001)
+}
+
+func TestPowerAwareValidatesArgs(t *testing.T) {
+	tr := tree.MustGenerate(tree.PowerConfig(10), rng.New(1))
+	pm, cm := paperModels()
+	if _, err := PowerAware(tr, tree.NewReplicas(3), pm, cm, 10, Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := PowerAware(tr, nil, power.Model{}, cm, 10, Options{}); err == nil {
+		t.Error("invalid power model accepted")
+	}
+	if _, err := PowerAware(tr, nil, pm, cost.UniformModal(3, 0, 0, 0), 10, Options{}); err == nil {
+		t.Error("mode mismatch accepted")
+	}
+}
+
+func TestPowerAwareFindsValidSolutions(t *testing.T) {
+	pm, cm := paperModels()
+	for seed := uint64(0); seed < 20; seed++ {
+		src := rng.Derive(seed, 31)
+		tr := tree.MustGenerate(tree.PowerConfig(5+src.IntN(40)), src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()/3+1), 2, src)
+		res, err := PowerAware(tr, ex, pm, cm, 30, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			continue
+		}
+		if err := tree.Validate(tr, res.Placement, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+			t.Fatalf("seed %d: invalid placement: %v", seed, err)
+		}
+		if res.Cost > 30+1e-9 {
+			t.Fatalf("seed %d: cost %v exceeds bound", seed, res.Cost)
+		}
+		c, err := cm.OfReplicas(res.Placement, ex)
+		if err != nil || math.Abs(c-res.Cost) > 1e-9 {
+			t.Fatalf("seed %d: reported cost %v, recomputed %v", seed, res.Cost, c)
+		}
+		if math.Abs(pm.OfReplicas(res.Placement)-res.Power) > 1e-9 {
+			t.Fatalf("seed %d: power mismatch", seed)
+		}
+	}
+}
+
+func TestPowerAwareNeverWorseThanGreedySweep(t *testing.T) {
+	pm, cm := paperModels()
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 32)
+		tr := tree.MustGenerate(tree.PowerConfig(1+src.IntN(40)), src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(min(6, tr.N()+1)), 2, src)
+		bound := 5 + float64(src.IntN(30))
+		gr, err := greedy.PowerSweep(tr, ex, pm, cm, bound)
+		if err != nil {
+			return false
+		}
+		res, err := PowerAware(tr, ex, pm, cm, bound, Options{})
+		if err != nil {
+			return false
+		}
+		if gr.Found && !res.Found {
+			return false // the sweep is a seed, so it can never be lost
+		}
+		if gr.Found && res.Power > gr.Power+1e-9 {
+			t.Logf("seed %d: heuristic %v worse than sweep %v", seed, res.Power, gr.Power)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerAwareBoundedByOptimal(t *testing.T) {
+	pm, cm := paperModels()
+	gaps := 0.0
+	n := 0
+	for seed := uint64(0); seed < 25; seed++ {
+		src := rng.Derive(seed, 33)
+		tr := tree.MustGenerate(tree.PowerConfig(3+src.IntN(20)), src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(4), 2, src)
+		bound := 5 + float64(src.IntN(20))
+		solver, err := core.SolvePower(core.PowerProblem{Tree: tr, Existing: ex, Power: pm, Cost: cm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, optOK := solver.Best(bound)
+		res, err := PowerAware(tr, ex, pm, cm, bound, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found && !optOK {
+			t.Fatalf("seed %d: heuristic found a solution the optimum says is impossible", seed)
+		}
+		if !optOK || !res.Found {
+			continue
+		}
+		if res.Power < opt.Power-1e-9 {
+			t.Fatalf("seed %d: heuristic power %v below optimum %v", seed, res.Power, opt.Power)
+		}
+		gaps += res.Power/opt.Power - 1
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no instance produced comparable solutions")
+	}
+	if avg := gaps / float64(n); avg > 0.25 {
+		t.Fatalf("average optimality gap %.1f%% too large for a local-search heuristic", avg*100)
+	}
+}
+
+func TestPowerAwareImpossibleBound(t *testing.T) {
+	pm, cm := paperModels()
+	tr := tree.MustGenerate(tree.PowerConfig(20), rng.New(4))
+	res, err := PowerAware(tr, nil, pm, cm, 0.001, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("found %v under an impossible bound", res.Placement)
+	}
+}
+
+func TestPowerAwareUsesInitialModesUnderTightBound(t *testing.T) {
+	// Single node, pre-existing at mode 2, expensive downgrades: the
+	// heuristic must keep mode 2 to stay within the bound.
+	b := tree.NewBuilder()
+	b.AddClient(0, 3)
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{5, 10}, 0, 2)
+	cm := cost.Modal{
+		Create: []float64{0, 0},
+		Delete: []float64{0, 0},
+		Change: [][]float64{{0, 10}, {10, 0}},
+	}
+	ex := tree.ReplicasOf(tr)
+	ex.Set(0, 2)
+	res, err := PowerAware(tr, ex, pm, cm, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Placement.Mode(0) != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestPowerAwareDeterministic(t *testing.T) {
+	pm, cm := paperModels()
+	tr := tree.MustGenerate(tree.PowerConfig(30), rng.New(5))
+	ex, _ := tree.RandomReplicas(tr, 4, 2, rng.New(6))
+	a, err := PowerAware(tr, ex, pm, cm, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := PowerAware(tr, ex, pm, cm, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Found != b2.Found || a.Power != b2.Power || !a.Placement.Equal(b2.Placement) {
+		t.Fatal("two runs differ")
+	}
+}
+
+func TestPowerAwarePassLimit(t *testing.T) {
+	pm, cm := paperModels()
+	tr := tree.MustGenerate(tree.PowerConfig(40), rng.New(7))
+	res, err := PowerAware(tr, nil, pm, cm, 30, Options{MaxPasses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found && res.Passes > 1 {
+		t.Fatalf("passes = %d, limit 1", res.Passes)
+	}
+}

@@ -1,0 +1,242 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/tree"
+)
+
+// UpdateResult is the outcome of the MinCost update heuristic.
+type UpdateResult struct {
+	Found     bool
+	Placement *tree.Replicas
+	Cost      float64
+	Servers   int
+	Reused    int
+	Passes    int
+}
+
+// UpdateAware is a fast heuristic for MinCost-WithPre — the paper's
+// Section 6 observation that "with frequent updates or low-cost
+// servers, we may prefer to resort to faster (but sub-optimal) update
+// heuristics" rather than the O(N⁵) optimum. It seeds with the
+// oblivious greedy placement and then hill-climbs on the exact cost
+// function with three move families:
+//
+//   - drop: remove a server whose load fits elsewhere;
+//   - swap-to-reuse: relocate a newly-created server onto an unused
+//     pre-existing node;
+//   - slide: relocate a server to its parent or a child.
+//
+// Every accepted move keeps the placement valid and strictly reduces
+// Equation (2). Each pass costs O(N·(E+deg)) flow evaluations of O(N),
+// far below the optimal DP, and lands within a few percent of the
+// optimal cost on the paper's workloads (see the package tests and
+// BenchmarkAblationUpdateHeuristic).
+func UpdateAware(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple, opts Options) (UpdateResult, error) {
+	if existing == nil {
+		existing = tree.NewReplicas(t.N())
+	}
+	if existing.N() != t.N() {
+		return UpdateResult{}, fmt.Errorf("heuristic: existing set covers %d nodes, tree has %d", existing.N(), t.N())
+	}
+	if W <= 0 {
+		return UpdateResult{}, fmt.Errorf("heuristic: non-positive capacity %d", W)
+	}
+	if err := c.Validate(); err != nil {
+		return UpdateResult{}, err
+	}
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 10
+	}
+
+	seed, err := greedy.MinReplicas(t, W)
+	if err != nil {
+		return UpdateResult{Found: false}, nil // infeasible instance
+	}
+	h := &updateSearch{t: t, existing: existing, w: W, c: c}
+	best := h.eval(seed)
+
+	// A second seed: keep every pre-existing server that the tree can
+	// still use, then let the greedy fill the gaps. Starting from full
+	// reuse helps when deletion is expensive.
+	if cand, ok := h.reuseSeed(); ok && betterCost(cand, best) {
+		best = cand
+	}
+
+	passes := 0
+	for passes < opts.MaxPasses {
+		passes++
+		improved := false
+		if cand, ok := h.passDrop(best); ok {
+			best, improved = cand, true
+		}
+		if cand, ok := h.passSwapToReuse(best); ok {
+			best, improved = cand, true
+		}
+		if cand, ok := h.passSlide(best); ok {
+			best, improved = cand, true
+		}
+		if !improved {
+			break
+		}
+	}
+	return UpdateResult{
+		Found:     true,
+		Placement: best.placement,
+		Cost:      best.cost,
+		Servers:   best.placement.Count(),
+		Reused:    best.placement.Reused(h.existing),
+		Passes:    passes,
+	}, nil
+}
+
+type updateCand struct {
+	placement *tree.Replicas
+	cost      float64
+}
+
+func betterCost(a, than updateCand) bool { return a.cost < than.cost-1e-12 }
+
+type updateSearch struct {
+	t        *tree.Tree
+	existing *tree.Replicas
+	w        int
+	c        cost.Simple
+}
+
+func (h *updateSearch) eval(p *tree.Replicas) updateCand {
+	return updateCand{placement: p, cost: h.c.OfReplicas(p, h.existing)}
+}
+
+// try evaluates a candidate structure and reports an improvement.
+func (h *updateSearch) try(p *tree.Replicas, cur updateCand) (updateCand, bool) {
+	if tree.ValidateUniform(h.t, p, h.w) != nil {
+		return updateCand{}, false
+	}
+	cand := h.eval(p)
+	if !betterCost(cand, cur) {
+		return updateCand{}, false
+	}
+	return cand, true
+}
+
+// reuseSeed equips every pre-existing node, fills remaining overflow
+// with the greedy, then lets the improvement passes trim it.
+func (h *updateSearch) reuseSeed() (updateCand, bool) {
+	p := tree.NewReplicas(h.t.N())
+	for j := 0; j < h.t.N(); j++ {
+		if h.existing.Has(j) {
+			p.Set(j, 1)
+		}
+	}
+	// Greedy repair: walk post-order and equip nodes whose flow
+	// overflows (heaviest child first), as in greedy.MinReplicas but
+	// on top of the reused servers.
+	up := make([]int, h.t.N())
+	for _, j := range h.t.PostOrder() {
+		f := h.t.ClientSum(j)
+		if f > h.w {
+			return updateCand{}, false
+		}
+		for _, ch := range h.t.Children(j) {
+			f += up[ch]
+		}
+		if p.Has(j) {
+			up[j] = 0
+			continue
+		}
+		if f > h.w {
+			// Equip the heaviest contributing children until the
+			// residual fits.
+			for f > h.w {
+				bestCh, bestUp := -1, 0
+				for _, ch := range h.t.Children(j) {
+					if up[ch] > bestUp {
+						bestCh, bestUp = ch, up[ch]
+					}
+				}
+				if bestCh < 0 {
+					return updateCand{}, false
+				}
+				p.Set(bestCh, 1)
+				f -= bestUp
+				up[bestCh] = 0
+			}
+		}
+		up[j] = f
+	}
+	if up[h.t.Root()] > 0 {
+		p.Set(h.t.Root(), 1)
+	}
+	if tree.ValidateUniform(h.t, p, h.w) != nil {
+		return updateCand{}, false
+	}
+	return h.eval(p), true
+}
+
+func (h *updateSearch) passDrop(cur updateCand) (updateCand, bool) {
+	improved := false
+	for j := 0; j < h.t.N(); j++ {
+		if !cur.placement.Has(j) {
+			continue
+		}
+		p := cur.placement.Clone()
+		p.Unset(j)
+		if cand, ok := h.try(p, cur); ok {
+			cur, improved = cand, true
+		}
+	}
+	return cur, improved
+}
+
+func (h *updateSearch) passSwapToReuse(cur updateCand) (updateCand, bool) {
+	improved := false
+	for j := 0; j < h.t.N(); j++ {
+		if !cur.placement.Has(j) || h.existing.Has(j) {
+			continue // only relocate newly-created servers
+		}
+		for p2 := 0; p2 < h.t.N(); p2++ {
+			if !h.existing.Has(p2) || cur.placement.Has(p2) {
+				continue
+			}
+			p := cur.placement.Clone()
+			p.Unset(j)
+			p.Set(p2, 1)
+			if cand, ok := h.try(p, cur); ok {
+				cur, improved = cand, true
+				break // j relocated; move on
+			}
+		}
+	}
+	return cur, improved
+}
+
+func (h *updateSearch) passSlide(cur updateCand) (updateCand, bool) {
+	improved := false
+	for j := 0; j < h.t.N(); j++ {
+		if !cur.placement.Has(j) {
+			continue
+		}
+		var targets []int
+		if p := h.t.Parent(j); p >= 0 {
+			targets = append(targets, p)
+		}
+		targets = append(targets, h.t.Children(j)...)
+		for _, to := range targets {
+			if cur.placement.Has(to) {
+				continue
+			}
+			p := cur.placement.Clone()
+			p.Unset(j)
+			p.Set(to, 1)
+			if cand, ok := h.try(p, cur); ok {
+				cur, improved = cand, true
+				break
+			}
+		}
+	}
+	return cur, improved
+}

@@ -1,0 +1,215 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestUpdateAwareValidatesArgs(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(10), rng.New(1))
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	if _, err := UpdateAware(tr, tree.NewReplicas(3), 10, c, Options{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := UpdateAware(tr, nil, 0, c, Options{}); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if _, err := UpdateAware(tr, nil, 10, cost.Simple{Create: -1}, Options{}); err == nil {
+		t.Error("negative price accepted")
+	}
+}
+
+func TestUpdateAwareInfeasible(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(0, 99)
+	res, err := UpdateAware(b.MustBuild(), nil, 10, cost.Simple{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("found a solution for an infeasible instance")
+	}
+}
+
+func TestUpdateAwareFigure1(t *testing.T) {
+	// The heuristic should recover the optimal decisions of the
+	// paper's running example.
+	build := func(rootReq int) (*tree.Tree, *tree.Replicas) {
+		b := tree.NewBuilder()
+		a := b.AddNode(b.Root())
+		bb := b.AddNode(a)
+		cc := b.AddNode(a)
+		b.AddClient(bb, 4)
+		b.AddClient(cc, 7)
+		if rootReq > 0 {
+			b.AddClient(b.Root(), rootReq)
+		}
+		tr := b.MustBuild()
+		ex := tree.ReplicasOf(tr)
+		ex.Set(bb, 1)
+		return tr, ex
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+
+	tr, ex := build(2)
+	res, err := UpdateAware(tr, ex, 10, c, Options{})
+	if err != nil || !res.Found {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if math.Abs(res.Cost-2.1) > 1e-9 || res.Reused != 1 {
+		t.Fatalf("root demand 2: cost %v reused %d, want 2.1 / 1", res.Cost, res.Reused)
+	}
+
+	tr, ex = build(4)
+	res, err = UpdateAware(tr, ex, 10, c, Options{})
+	if err != nil || !res.Found {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if math.Abs(res.Cost-2.21) > 1e-9 {
+		t.Fatalf("root demand 4: cost %v, want 2.21", res.Cost)
+	}
+}
+
+// Property: the heuristic is always valid, never beats the optimum,
+// and never loses to the oblivious greedy it seeds from.
+func TestQuickUpdateAwareSandwich(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 50)
+		tr := tree.MustGenerate(tree.FatConfig(1+src.IntN(60)), src)
+		ex, _ := tree.RandomReplicas(tr, src.IntN(tr.N()+1), 1, src)
+		c := cost.Simple{
+			Create: float64(1+src.IntN(20)) / 20,
+			Delete: float64(src.IntN(20)) / 20,
+		}
+		opt, errOpt := core.MinCost(tr, ex, 10, c)
+		res, err := UpdateAware(tr, ex, 10, c, Options{})
+		if err != nil {
+			return false
+		}
+		if errOpt != nil {
+			return !res.Found
+		}
+		if !res.Found {
+			return false
+		}
+		if tree.ValidateUniform(tr, res.Placement, 10) != nil {
+			return false
+		}
+		if math.Abs(c.OfReplicas(res.Placement, ex)-res.Cost) > 1e-9 {
+			return false
+		}
+		if res.Cost < opt.Cost-1e-9 {
+			t.Logf("seed %d: heuristic %v beat the optimum %v", seed, res.Cost, opt.Cost)
+			return false
+		}
+		g, errG := greedy.MinReplicas(tr, 10)
+		if errG != nil {
+			return false
+		}
+		return res.Cost <= c.OfReplicas(g, ex)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateAwareGapIsSmall quantifies the optimality gap on the
+// paper's Experiment 1 workload.
+func TestUpdateAwareGapIsSmall(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	totalGap, n := 0.0, 0
+	for seed := uint64(0); seed < 30; seed++ {
+		src := rng.Derive(seed, 51)
+		tr := tree.MustGenerate(tree.FatConfig(100), src)
+		ex, _ := tree.RandomReplicas(tr, 25, 1, src)
+		opt, err := core.MinCost(tr, ex, 10, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := UpdateAware(tr, ex, 10, c, Options{})
+		if err != nil || !res.Found {
+			t.Fatalf("seed %d: %+v %v", seed, res, err)
+		}
+		totalGap += res.Cost/opt.Cost - 1
+		n++
+	}
+	if avg := totalGap / float64(n); avg > 0.05 {
+		t.Fatalf("average cost gap %.2f%% exceeds 5%%", avg*100)
+	}
+}
+
+// Property: the heuristic reuses strictly more than the oblivious
+// greedy on average (its purpose).
+func TestUpdateAwareImprovesReuse(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	heurReuse, greedyReuse := 0, 0
+	for seed := uint64(0); seed < 20; seed++ {
+		src := rng.Derive(seed, 52)
+		tr := tree.MustGenerate(tree.FatConfig(80), src)
+		ex, _ := tree.RandomReplicas(tr, 20, 1, src)
+		g, err := greedy.MinReplicas(tr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := UpdateAware(tr, ex, 10, c, Options{})
+		if err != nil || !res.Found {
+			t.Fatal(err)
+		}
+		heurReuse += res.Reused
+		greedyReuse += g.Reused(ex)
+	}
+	if heurReuse <= greedyReuse {
+		t.Fatalf("heuristic reuse %d not above greedy %d", heurReuse, greedyReuse)
+	}
+}
+
+func TestUpdateAwareKeepsServersWhenDeleteExpensive(t *testing.T) {
+	// With delete >> 1, the reuse seed should keep pre-existing
+	// servers that the oblivious greedy would abandon.
+	b := tree.NewBuilder()
+	ch := b.AddNode(0)
+	b.AddClient(ch, 5)
+	tr := b.MustBuild()
+	ex := tree.ReplicasOf(tr)
+	ex.Set(ch, 1)
+	c := cost.Simple{Create: 0.9, Delete: 5}
+	res, err := UpdateAware(tr, ex, 10, c, Options{})
+	if err != nil || !res.Found {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if !res.Placement.Has(ch) {
+		t.Fatalf("pre-existing server dropped despite delete=5: %v", res.Placement)
+	}
+	opt, err := core.MinCost(tr, ex, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-opt.Cost) > 1e-9 {
+		t.Fatalf("heuristic %v, optimum %v", res.Cost, opt.Cost)
+	}
+}
+
+func TestUpdateAwareDeterministic(t *testing.T) {
+	src := rng.New(53)
+	tr := tree.MustGenerate(tree.FatConfig(70), src)
+	ex, _ := tree.RandomReplicas(tr, 15, 1, src)
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	a, err := UpdateAware(tr, ex, 10, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UpdateAware(tr, ex, 10, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || !a.Placement.Equal(b.Placement) {
+		t.Fatal("two runs differ")
+	}
+}

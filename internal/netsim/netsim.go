@@ -1,0 +1,132 @@
+// Package netsim is a time-stepped request-flow simulator for
+// distribution trees: the operational counterpart of the paper's static
+// model. Each step, every client issues its per-time-unit requests,
+// requests are routed to the closest equipped ancestor, servers process
+// up to their mode's capacity, and the simulator accounts served and
+// dropped requests, per-server utilisation, and energy (power × time).
+// Placements can be swapped mid-run with a reconfiguration cost tally,
+// which is how the dynamic examples replay the paper's Experiment 2
+// setting end to end.
+package netsim
+
+import (
+	"fmt"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// Metrics accumulates simulation results.
+type Metrics struct {
+	// Steps is the number of simulated time units.
+	Steps int
+	// Served and Dropped count requests over all steps. Requests are
+	// dropped when they reach the root unserved or exceed their
+	// server's capacity.
+	Served, Dropped int
+	// Energy is the integral of total power over time (power model
+	// units × steps).
+	Energy float64
+	// Violations counts (server, step) pairs whose load exceeded the
+	// operating mode's capacity.
+	Violations int
+	// PeakUtilisation is the maximum load/capacity ratio observed.
+	PeakUtilisation float64
+	// ReconfigCost accumulates the modal cost of every Reconfigure
+	// call.
+	ReconfigCost float64
+	// Reconfigurations counts Reconfigure calls.
+	Reconfigurations int
+}
+
+// Simulator replays traffic on one tree. The tree's request counts may
+// be mutated between steps (tree.SetClientRequests or
+// tree.RedrawRequests) to model demand changes.
+type Simulator struct {
+	t         *tree.Tree
+	pm        power.Model
+	placement *tree.Replicas
+	m         Metrics
+}
+
+// New validates the placement's modes against the power model and
+// returns a simulator. An invalid or lossy placement is accepted — the
+// point of simulating is to observe drops and violations — but mode
+// indices must exist in the model.
+func New(t *tree.Tree, placement *tree.Replicas, pm power.Model) (*Simulator, error) {
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	if placement.N() != t.N() {
+		return nil, fmt.Errorf("netsim: placement covers %d nodes, tree has %d", placement.N(), t.N())
+	}
+	for j := 0; j < t.N(); j++ {
+		if m := placement.Mode(j); m != tree.NoMode && int(m) > pm.M() {
+			return nil, fmt.Errorf("netsim: node %d uses mode %d, model has %d", j, m, pm.M())
+		}
+	}
+	return &Simulator{t: t, pm: pm, placement: placement.Clone()}, nil
+}
+
+// Placement returns a copy of the active placement.
+func (s *Simulator) Placement() *tree.Replicas { return s.placement.Clone() }
+
+// Step advances the simulation by n time units under the current
+// request rates and placement.
+func (s *Simulator) Step(n int) {
+	if n <= 0 {
+		return
+	}
+	loads, unserved := tree.Flows(s.t, s.placement)
+	served, dropped, violations := 0, 0, 0
+	stepPower := 0.0
+	peak := s.m.PeakUtilisation
+	for j, load := range loads {
+		if !s.placement.Has(j) {
+			continue
+		}
+		capacity := s.pm.Cap(int(s.placement.Mode(j)))
+		stepPower += s.pm.NodePower(int(s.placement.Mode(j)))
+		if load > capacity {
+			violations++
+			served += capacity
+			dropped += load - capacity
+		} else {
+			served += load
+		}
+		if u := float64(load) / float64(capacity); u > peak {
+			peak = u
+		}
+	}
+	dropped += unserved
+	s.m.Steps += n
+	s.m.Served += served * n
+	s.m.Dropped += dropped * n
+	s.m.Violations += violations * n
+	s.m.Energy += stepPower * float64(n)
+	s.m.PeakUtilisation = peak
+}
+
+// Reconfigure swaps in a new placement, pricing the transition with the
+// modal cost model (creations, deletions, mode changes) and returning
+// that cost.
+func (s *Simulator) Reconfigure(next *tree.Replicas, cm cost.Modal) (float64, error) {
+	if next.N() != s.t.N() {
+		return 0, fmt.Errorf("netsim: placement covers %d nodes, tree has %d", next.N(), s.t.N())
+	}
+	c, err := cm.OfReplicas(next, s.placement)
+	if err != nil {
+		return 0, err
+	}
+	// The returned value is the paper's full Equation (4): the R
+	// operating term plus creation, deletion and mode-change fees for
+	// the transition from the current placement.
+	s.placement = next.Clone()
+	s.m.ReconfigCost += c
+	s.m.Reconfigurations++
+	return c, nil
+}
+
+// Metrics returns the accumulated metrics.
+func (s *Simulator) Metrics() Metrics { return s.m }

@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func testTree() *tree.Tree {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(cc, 7)
+	b.AddClient(b.Root(), 2)
+	return b.MustBuild()
+}
+
+func TestNewValidates(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	if _, err := New(tr, tree.NewReplicas(2), pm); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	bad := tree.ReplicasOf(tr)
+	bad.Set(0, 3)
+	if _, err := New(tr, bad, pm); err == nil {
+		t.Error("mode above M accepted")
+	}
+	if _, err := New(tr, tree.ReplicasOf(tr), power.Model{}); err == nil {
+		t.Error("invalid power model accepted")
+	}
+}
+
+func TestStepServesAndMeters(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	p := tree.ReplicasOf(tr)
+	p.Set(3, 2) // C: 7 requests at mode 2
+	p.Set(0, 2) // root: 2 + 4 = 6 requests at mode 2
+	s, err := New(tr, p, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(3)
+	m := s.Metrics()
+	if m.Steps != 3 {
+		t.Fatalf("Steps = %d", m.Steps)
+	}
+	if m.Served != 13*3 || m.Dropped != 0 || m.Violations != 0 {
+		t.Fatalf("Served=%d Dropped=%d Violations=%d", m.Served, m.Dropped, m.Violations)
+	}
+	// Energy per step = 2 servers at mode 2 = 2·(1+100).
+	if !almost(m.Energy, 3*2*101) {
+		t.Fatalf("Energy = %v, want %v", m.Energy, 3*2*101.0)
+	}
+	if !almost(m.PeakUtilisation, 0.7) {
+		t.Fatalf("PeakUtilisation = %v, want 0.7", m.PeakUtilisation)
+	}
+}
+
+func TestStepZeroOrNegative(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	s, err := New(tr, tree.ReplicasOf(tr), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(0)
+	s.Step(-5)
+	if s.Metrics().Steps != 0 {
+		t.Fatal("zero/negative steps advanced the clock")
+	}
+}
+
+func TestStepCountsDropsAndViolations(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	p := tree.ReplicasOf(tr)
+	p.Set(3, 1) // C: 7 requests at mode 1 (cap 5): 2 dropped, violation
+	// B's 4 and root's 2 requests reach the root unserved.
+	s, err := New(tr, p, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(2)
+	m := s.Metrics()
+	if m.Violations != 2 {
+		t.Fatalf("Violations = %d, want 2", m.Violations)
+	}
+	if m.Served != 5*2 {
+		t.Fatalf("Served = %d, want 10", m.Served)
+	}
+	if m.Dropped != (2+6)*2 {
+		t.Fatalf("Dropped = %d, want 16", m.Dropped)
+	}
+	if m.PeakUtilisation < 1.39 || m.PeakUtilisation > 1.41 {
+		t.Fatalf("PeakUtilisation = %v, want 1.4", m.PeakUtilisation)
+	}
+}
+
+func TestEnergyMatchesAnalyticPower(t *testing.T) {
+	// For a valid placement, energy per step must equal the power
+	// model's total for the placement.
+	tr := tree.MustGenerate(tree.PowerConfig(40), rng.New(3))
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	solver, err := core.SolvePower(core.PowerProblem{
+		Tree: tr, Power: pm, Cost: cost.UniformModal(2, 0, 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := solver.MinPower()
+	s, err := New(tr, opt.Placement, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(10)
+	m := s.Metrics()
+	if m.Dropped != 0 || m.Violations != 0 {
+		t.Fatalf("optimal placement dropped traffic: %+v", m)
+	}
+	if !almost(m.Energy, 10*opt.Power) {
+		t.Fatalf("Energy = %v, want %v", m.Energy, 10*opt.Power)
+	}
+	if m.Served != 10*tr.TotalRequests() {
+		t.Fatalf("Served = %d, want %d", m.Served, 10*tr.TotalRequests())
+	}
+}
+
+func TestReconfigureCostAndPlacement(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	cm := cost.UniformModal(2, 0.5, 0.25, 0.125)
+	p1 := tree.ReplicasOf(tr)
+	p1.Set(3, 1)
+	s, err := New(tr, p1, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := tree.ReplicasOf(tr)
+	p2.Set(3, 2) // mode change
+	p2.Set(0, 1) // creation
+	c, err := s.Reconfigure(p2, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation (4): R=2, one creation (0.5), one change (0.125).
+	if !almost(c, 2+0.5+0.125) {
+		t.Fatalf("cost = %v, want 2.625", c)
+	}
+	if !s.Placement().Equal(p2) {
+		t.Fatal("placement not swapped")
+	}
+	m := s.Metrics()
+	if m.Reconfigurations != 1 || !almost(m.ReconfigCost, 2.625) {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// The simulator owns a copy: mutating the caller's set must not
+	// leak in.
+	p2.Set(1, 1)
+	if s.Placement().Has(1) {
+		t.Fatal("simulator aliased caller placement")
+	}
+}
+
+func TestReconfigureErrors(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	s, err := New(tr, tree.ReplicasOf(tr), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reconfigure(tree.NewReplicas(1), cost.UniformModal(2, 0, 0, 0)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	bad := tree.ReplicasOf(tr)
+	bad.Set(0, 3)
+	if _, err := s.Reconfigure(bad, cost.UniformModal(2, 0, 0, 0)); err == nil {
+		t.Error("mode above cost model accepted")
+	}
+}
+
+func TestDynamicWorkloadEndToEnd(t *testing.T) {
+	// Experiment-2-style loop: redraw demand, re-optimise with the DP
+	// against the current deployment, reconfigure, and simulate. The
+	// run must never drop requests and the reconfiguration cost of an
+	// unchanged placement is exactly its operating cost R.
+	cfg := tree.FatConfig(30)
+	tr := tree.MustGenerate(cfg, rng.New(9))
+	pm := power.MustNew([]int{10}, 1, 2)
+	cm := cost.UniformModal(1, 0.01, 0.001, 0)
+	sc := cost.Simple{Create: 0.01, Delete: 0.001}
+
+	res, err := core.MinCost(tr, nil, 10, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(tr, res.Placement, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(5)
+	src := rng.New(10)
+	for step := 0; step < 5; step++ {
+		tree.RedrawRequests(tr, cfg, src)
+		res, err = core.MinCost(tr, sim.Placement(), 10, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Reconfigure(res.Placement, cm); err != nil {
+			t.Fatal(err)
+		}
+		sim.Step(5)
+	}
+	m := sim.Metrics()
+	if m.Dropped != 0 || m.Violations != 0 {
+		t.Fatalf("optimally managed run dropped traffic: %+v", m)
+	}
+	if m.Reconfigurations != 5 {
+		t.Fatalf("Reconfigurations = %d", m.Reconfigurations)
+	}
+}

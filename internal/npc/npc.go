@@ -1,0 +1,274 @@
+// Package npc materialises the paper's NP-completeness proof for
+// MinPower (Theorem 2, Section 4.2): a polynomial reduction from
+// 2-Partition. Given integers a_1..a_n with even sum S, it builds the
+// Figure 3 tree, the mode set
+//
+//	W_1 = K,  W_{1+i} = K + a_i·X,  W_{n+2} = K + S·X,
+//
+// with K = n·S², X = 1/(α·K^{α−1}), no static power, and the threshold
+// P_max = (K+S·X)^α + n·K^α + S/2 + (n−1)/n, such that the instance
+// admits a placement of power at most P_max iff the integers can be
+// split into two halves of equal sum.
+//
+// The package fixes α = 2, for which X = 1/(2K); scaling every capacity
+// and request count by 2K then makes all quantities integers while
+// multiplying every power value (and P_max) by the constant (2K)²,
+// preserving the reduction exactly. Instances stay small enough that all
+// scaled powers are exactly representable in float64.
+package npc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// Alpha is the dynamic-power exponent used by the construction.
+const Alpha = 2
+
+// maxN bounds instance sizes so that scaled powers (~4K⁴ = 4n⁴S⁸) stay
+// exactly representable in float64 and the MinPower tables stay small.
+const maxN = 6
+
+// Reduction is a constructed MinPower instance equivalent to a
+// 2-Partition instance.
+type Reduction struct {
+	// A is the 2-Partition input, sorted ascending.
+	A []int
+	// S is the sum of A; K = n·S²; Scale = 2K (the integer scaling of
+	// capacities and requests, valid for α = 2).
+	S, K, Scale int
+	// Tree is the Figure 3 tree: the root holds a client with
+	// (scaled) K + (S/2)·X requests; each ANode[i] holds a client
+	// with a_i·X requests and the child BNode[i], which holds a
+	// client with K requests.
+	Tree           *tree.Tree
+	ANodes, BNodes []int
+	// Caps are the scaled capacities of the mode set, deduplicated
+	// and ascending.
+	Caps []int
+	// PMax is the scaled power threshold.
+	PMax float64
+}
+
+// New builds the reduction for a 2-Partition instance. The integers must
+// be positive, n must be in [3, maxN], the sum S must be even, and every
+// integer must be strictly below S/2.
+//
+// The last two conditions make explicit what the paper's proof uses
+// implicitly: with an odd sum or an element of at least S/2 the
+// 2-Partition answer is decidable in linear time (an element above S/2
+// makes it "no"; an element equal to S/2 makes it "yes"), and — more
+// subtly — with an element a_i ≥ S/2 the capacity W_{1+i} = K + a_i·X
+// would suffice for the root's K + (S/2)·X client, breaking the proof's
+// step "the root server must run at mode W_{n+2}". 2-Partition remains
+// NP-complete under these restrictions, so Theorem 2 is unaffected.
+func New(a []int) (*Reduction, error) {
+	n := len(a)
+	if n < 3 || n > maxN {
+		return nil, fmt.Errorf("npc: need between 3 and %d integers, got %d", maxN, n)
+	}
+	s := 0
+	for _, v := range a {
+		if v <= 0 {
+			return nil, fmt.Errorf("npc: non-positive integer %d", v)
+		}
+		s += v
+	}
+	if s%2 != 0 {
+		return nil, fmt.Errorf("npc: sum %d is odd; the construction assumes an even sum", s)
+	}
+	for _, v := range a {
+		if 2*v >= s {
+			return nil, fmt.Errorf("npc: element %d is at least half the sum %d; such instances are trivially decidable and break the proof's root-mode argument", v, s)
+		}
+	}
+	sorted := append([]int(nil), a...)
+	sort.Ints(sorted)
+
+	k := n * s * s
+	scale := 2 * k
+	twoK2 := 2 * k * k // scaled W_1 = K·2K
+
+	r := &Reduction{A: sorted, S: s, K: k, Scale: scale}
+
+	// Scaled capacities: W_1 = 2K², W_{1+i} = 2K² + a_i, W_{n+2} = 2K² + S.
+	capSet := map[int]bool{twoK2: true, twoK2 + s: true}
+	for _, v := range sorted {
+		capSet[twoK2+v] = true
+	}
+	for c := range capSet {
+		r.Caps = append(r.Caps, c)
+	}
+	sort.Ints(r.Caps)
+
+	// Figure 3 tree, with scaled request counts.
+	b := tree.NewBuilder()
+	b.AddClient(b.Root(), twoK2+s/2) // K + (S/2)·X, scaled
+	for _, v := range sorted {
+		ai := b.AddNode(b.Root())
+		b.AddClient(ai, v) // a_i·X, scaled
+		bi := b.AddNode(ai)
+		b.AddClient(bi, twoK2) // K requests, scaled
+		r.ANodes = append(r.ANodes, ai)
+		r.BNodes = append(r.BNodes, bi)
+	}
+	var err error
+	r.Tree, err = b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Scaled P_max = (2K²+S)² + n·(2K²)² + (2K)²·(S/2 + (n−1)/n).
+	fk := float64(twoK2)
+	r.PMax = math.Pow(float64(twoK2+s), Alpha) +
+		float64(n)*math.Pow(fk, Alpha) +
+		math.Pow(float64(scale), Alpha)*(float64(s)/2+float64(n-1)/float64(n))
+	return r, nil
+}
+
+// Problem returns the MinPower instance (no pre-existing servers, no
+// static power, cost ignored) ready for core.SolvePower.
+func (r *Reduction) Problem() core.PowerProblem {
+	return core.PowerProblem{
+		Tree:  r.Tree,
+		Power: power.MustNew(r.Caps, 0, Alpha),
+		Cost:  cost.UniformModal(len(r.Caps), 0, 0, 0),
+	}
+}
+
+// VerifyBounds numerically checks the proof's Equation (5) for every
+// integer: (K + a_i·X)^α ≤ K^α + a_i + 1/n (in scaled units), which is
+// what makes the power threshold separate partitions from
+// non-partitions.
+func (r *Reduction) VerifyBounds() error {
+	n := len(r.A)
+	twoK2 := float64(2 * r.K * r.K)
+	scaleA := math.Pow(float64(r.Scale), Alpha)
+	for _, v := range r.A {
+		lhs := math.Pow(twoK2+float64(v), Alpha)
+		rhs := math.Pow(twoK2, Alpha) + scaleA*(float64(v)+1/float64(n))
+		if lhs > rhs {
+			return fmt.Errorf("npc: equation (5) violated for a_i=%d: %v > %v", v, lhs, rhs)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of solving a reduction.
+type Result struct {
+	// Solvable reports whether the optimal power is at most PMax,
+	// i.e. whether the 2-Partition instance has a solution.
+	Solvable bool
+	// Power is the optimal total power (scaled units).
+	Power float64
+	// Partition holds, when Solvable, indices into A whose values sum
+	// to S/2 (the set I of the proof: positions where the optimal
+	// placement equips the A_i node).
+	Partition []int
+	// Placement is the optimal replica placement.
+	Placement *tree.Replicas
+}
+
+// Solve runs the optimal MinPower dynamic program on the constructed
+// instance and extracts the partition. Solving is exponential in n (the
+// construction uses n+2 modes, and Theorem 2 says this is inherent
+// unless P=NP), so only small instances are practical — which is all a
+// correctness witness needs.
+func (r *Reduction) Solve() (*Result, error) {
+	solver, err := core.SolvePower(r.Problem())
+	if err != nil {
+		return nil, err
+	}
+	opt := solver.MinPower()
+	res := &Result{Power: opt.Power, Placement: opt.Placement}
+	// Strict comparison with a tolerance far below the gap: a
+	// non-partition overshoots PMax by at least (2K)²/n.
+	gap := math.Pow(float64(r.Scale), Alpha) / float64(len(r.A))
+	if opt.Power <= r.PMax+gap/2 {
+		res.Solvable = true
+		part, err := r.ExtractPartition(opt.Placement)
+		if err != nil {
+			return nil, err
+		}
+		res.Partition = part
+	}
+	return res, nil
+}
+
+// ExtractPartition maps a placement of power ≤ PMax back to a
+// 2-Partition solution: the indices i whose A_i node hosts a server. It
+// validates the structural properties established in the proof (a server
+// on the root, exactly one server per branch) and that the extracted set
+// sums to S/2.
+func (r *Reduction) ExtractPartition(placement *tree.Replicas) ([]int, error) {
+	if !placement.Has(r.Tree.Root()) {
+		return nil, fmt.Errorf("npc: placement has no root server; cannot be within PMax")
+	}
+	var part []int
+	sum := 0
+	for i := range r.A {
+		onA, onB := placement.Has(r.ANodes[i]), placement.Has(r.BNodes[i])
+		if onA == onB {
+			return nil, fmt.Errorf("npc: branch %d has %d servers, proof requires exactly one", i, b2i(onA)+b2i(onB))
+		}
+		if onA {
+			part = append(part, i)
+			sum += r.A[i]
+		}
+	}
+	if sum != r.S/2 {
+		return nil, fmt.Errorf("npc: extracted subset sums to %d, want %d", sum, r.S/2)
+	}
+	return part, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TwoPartitionExact solves 2-Partition exactly with a subset-sum dynamic
+// program, returning a witness subset (indices) or ok = false. It is the
+// independent oracle the reduction is tested against.
+func TwoPartitionExact(a []int) (subset []int, ok bool) {
+	s := 0
+	for _, v := range a {
+		s += v
+	}
+	if s%2 != 0 {
+		return nil, false
+	}
+	half := s / 2
+	// reach[v] = index of the last element added to reach sum v, or -2
+	// when unreached (-1 marks the empty sum).
+	reach := make([]int, half+1)
+	for i := range reach {
+		reach[i] = -2
+	}
+	reach[0] = -1
+	for i, v := range a {
+		for t := half; t >= v; t-- {
+			if reach[t] == -2 && reach[t-v] != -2 && reach[t-v] != i {
+				reach[t] = i
+			}
+		}
+	}
+	if reach[half] == -2 {
+		return nil, false
+	}
+	for t := half; t > 0; {
+		i := reach[t]
+		subset = append(subset, i)
+		t -= a[i]
+	}
+	sort.Ints(subset)
+	return subset, true
+}

@@ -1,0 +1,278 @@
+package npc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestNewValidates(t *testing.T) {
+	cases := [][]int{
+		{},                    // empty
+		{4},                   // too few
+		{1, 1},                // too few (n >= 3 under the strict precondition)
+		{1, 2, 3, 4, 5, 6, 7}, // too many
+		{1, -2, 3, 4},         // non-positive
+		{0, 2, 2},             // zero
+		{1, 2, 4},             // odd sum
+		{3, 1, 2},             // 3 = S/2: trivially decidable, breaks root-mode step
+		{5, 1, 2},             // 5 > S/2: trivially "no"
+	}
+	for _, a := range cases {
+		if _, err := New(a); err == nil {
+			t.Errorf("New(%v) accepted", a)
+		}
+	}
+}
+
+func TestConstructionShape(t *testing.T) {
+	r, err := New([]int{4, 1, 3, 2}) // S = 10, max 4 < 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.S != 10 || r.K != 4*100 || r.Scale != 2*r.K {
+		t.Fatalf("parameters: %+v", r)
+	}
+	// Sorted copy.
+	for i, want := range []int{1, 2, 3, 4} {
+		if r.A[i] != want {
+			t.Fatalf("A = %v, want sorted", r.A)
+		}
+	}
+	// Tree: root + n A-nodes + n B-nodes.
+	if r.Tree.N() != 9 {
+		t.Fatalf("tree has %d nodes, want 9", r.Tree.N())
+	}
+	twoK2 := 2 * r.K * r.K
+	if r.Tree.ClientSum(r.Tree.Root()) != twoK2+5 {
+		t.Fatalf("root client = %d, want %d", r.Tree.ClientSum(r.Tree.Root()), twoK2+5)
+	}
+	for i, ai := range r.ANodes {
+		if r.Tree.ClientSum(ai) != r.A[i] {
+			t.Fatalf("A_%d client = %d, want %d", i, r.Tree.ClientSum(ai), r.A[i])
+		}
+		bi := r.BNodes[i]
+		if r.Tree.Parent(bi) != ai || r.Tree.ClientSum(bi) != twoK2 {
+			t.Fatalf("B_%d misplaced or misloaded", i)
+		}
+	}
+	// Capacities: W1, one per distinct a_i, and W_{n+2}.
+	want := []int{twoK2, twoK2 + 1, twoK2 + 2, twoK2 + 3, twoK2 + 4, twoK2 + 10}
+	if len(r.Caps) != len(want) {
+		t.Fatalf("caps = %v, want %v", r.Caps, want)
+	}
+	for i := range want {
+		if r.Caps[i] != want[i] {
+			t.Fatalf("caps = %v, want %v", r.Caps, want)
+		}
+	}
+}
+
+func TestConstructionDeduplicatesCapacities(t *testing.T) {
+	r, err := New([]int{2, 2, 2}) // duplicates; S = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoK2 := 2 * r.K * r.K
+	want := []int{twoK2, twoK2 + 2, twoK2 + 6}
+	if len(r.Caps) != len(want) {
+		t.Fatalf("caps = %v, want %v", r.Caps, want)
+	}
+	for i := range want {
+		if r.Caps[i] != want[i] {
+			t.Fatalf("caps = %v, want %v", r.Caps, want)
+		}
+	}
+}
+
+func TestVerifyBounds(t *testing.T) {
+	for _, a := range [][]int{{2, 2, 2}, {2, 3, 3}, {1, 2, 2, 3}, {5, 3, 2, 4}} {
+		r, err := New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.VerifyBounds(); err != nil {
+			t.Errorf("bounds violated for %v: %v", a, err)
+		}
+	}
+}
+
+func TestSolvePositiveInstance(t *testing.T) {
+	r, err := New([]int{2, 2, 3, 3}) // {2,3} vs {2,3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solvable {
+		t.Fatalf("instance {2,2,3,3} should be solvable, power %v > PMax %v", res.Power, r.PMax)
+	}
+	sum := 0
+	for _, i := range res.Partition {
+		sum += r.A[i]
+	}
+	if sum != r.S/2 {
+		t.Fatalf("partition %v sums to %d, want %d", res.Partition, sum, r.S/2)
+	}
+	if _, err := r.ExtractPartition(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNegativeInstance(t *testing.T) {
+	for _, a := range [][]int{{2, 3, 3}, {2, 2, 2}} {
+		r, err := New(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solvable {
+			t.Fatalf("instance %v should not be solvable, power %v <= PMax %v", a, res.Power, r.PMax)
+		}
+		if res.Power <= r.PMax {
+			t.Fatalf("instance %v: optimal power %v not above PMax %v", a, res.Power, r.PMax)
+		}
+	}
+}
+
+func TestExtractPartitionRejectsBadPlacements(t *testing.T) {
+	r, err := New([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No root server.
+	p := tree.ReplicasOf(r.Tree)
+	if _, err := r.ExtractPartition(p); err == nil {
+		t.Error("missing root server accepted")
+	}
+	// Both A_0 and B_0 equipped.
+	p.Set(r.Tree.Root(), 1)
+	p.Set(r.ANodes[0], 1)
+	p.Set(r.BNodes[0], 1)
+	p.Set(r.BNodes[1], 1)
+	p.Set(r.BNodes[2], 1)
+	if _, err := r.ExtractPartition(p); err == nil {
+		t.Error("double-equipped branch accepted")
+	}
+	// Valid structure but wrong subset sum: equip every A node.
+	p2 := tree.ReplicasOf(r.Tree)
+	p2.Set(r.Tree.Root(), 1)
+	for _, ai := range r.ANodes {
+		p2.Set(ai, 1)
+	}
+	if _, err := r.ExtractPartition(p2); err == nil {
+		t.Error("subset summing to S accepted")
+	}
+}
+
+func TestTwoPartitionExact(t *testing.T) {
+	cases := []struct {
+		a  []int
+		ok bool
+	}{
+		{[]int{1, 1}, true},
+		{[]int{3, 1}, false},
+		{[]int{1, 2, 3}, true},
+		{[]int{2, 2, 2}, false},
+		{[]int{5, 5, 4, 6}, true},
+		{[]int{1, 2}, false}, // odd sum
+		{[]int{8, 1, 1, 2}, false},
+		{[]int{2, 2, 3, 3}, true},
+	}
+	for _, c := range cases {
+		got, ok := TwoPartitionExact(c.a)
+		if ok != c.ok {
+			t.Errorf("TwoPartitionExact(%v) ok = %v, want %v", c.a, ok, c.ok)
+			continue
+		}
+		if ok {
+			sum, total := 0, 0
+			for _, v := range c.a {
+				total += v
+			}
+			seen := map[int]bool{}
+			for _, i := range got {
+				if seen[i] {
+					t.Errorf("TwoPartitionExact(%v) repeats index %d", c.a, i)
+				}
+				seen[i] = true
+				sum += c.a[i]
+			}
+			if sum != total/2 {
+				t.Errorf("TwoPartitionExact(%v) witness sums to %d", c.a, sum)
+			}
+		}
+	}
+}
+
+// drawInstance produces a random valid reduction input: n integers with
+// an even sum, each strictly below half the sum. ok is false when the
+// sampler fails to produce one (the property test then skips the draw).
+func drawInstance(src *rng.Source, n int) ([]int, bool) {
+	for attempt := 0; attempt < 50; attempt++ {
+		a := make([]int, n)
+		sum := 0
+		for i := range a {
+			a[i] = 1 + src.IntN(6)
+			sum += a[i]
+		}
+		if sum%2 != 0 {
+			continue
+		}
+		ok := true
+		for _, v := range a {
+			if 2*v >= sum {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Property: the reduction agrees with the exact 2-Partition oracle
+// (the "iff" of Theorem 2) on random valid instances.
+func TestQuickReductionEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 20)
+		n := 3 + src.IntN(2) // 3 or 4 integers keep the DP small
+		a, ok := drawInstance(src, n)
+		if !ok {
+			return true
+		}
+		r, err := New(a)
+		if err != nil {
+			t.Logf("seed %d: New(%v): %v", seed, a, err)
+			return false
+		}
+		if err := r.VerifyBounds(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		res, err := r.Solve()
+		if err != nil {
+			t.Logf("seed %d: Solve: %v", seed, err)
+			return false
+		}
+		_, want := TwoPartitionExact(r.A)
+		if res.Solvable != want {
+			t.Logf("seed %d: a=%v reduction=%v oracle=%v power=%v pmax=%v",
+				seed, r.A, res.Solvable, want, res.Power, r.PMax)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

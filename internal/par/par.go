@@ -1,0 +1,58 @@
+// Package par provides the bounded fork-join helper used to run
+// per-tree simulations in parallel. Work items write into
+// caller-preallocated, index-addressed storage and draw randomness from
+// per-item derived streams, so results are identical whatever the worker
+// count or scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), using up to workers
+// goroutines (workers <= 0 selects runtime.NumCPU()). It returns after
+// every invocation has completed. fn must confine its side effects to
+// index-addressed storage to keep the run deterministic.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with ForEach and collects the results in
+// order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 57
+		hit := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hit[i], 1)
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for negative n")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(10, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := Map(100, 1, func(i int) int { return i * 3 })
+	b := Map(100, 8, func(i int) int { return i * 3 })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d", i)
+		}
+	}
+}
+
+func TestForEachParallelismIsBounded(t *testing.T) {
+	var cur, peak atomic.Int32
+	ForEach(64, 4, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent workers, limit 4", peak.Load())
+	}
+}

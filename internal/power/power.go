@@ -1,0 +1,146 @@
+// Package power implements the paper's multi-modal power-consumption
+// model (Section 2.2): a server operating at mode m with capacity W_m
+// dissipates P_static + W_m^α, where α ∈ [2,3] is the model exponent.
+// Modes are load-determined: a server processing q requests runs at the
+// smallest mode whose capacity covers q.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"replicatree/internal/tree"
+)
+
+// Model describes the mode set and the power function.
+type Model struct {
+	// Caps holds the request capacities W_1 < W_2 < … < W_M.
+	Caps []int
+	// Static is P(static), the constant power of a powered-on server.
+	Static float64
+	// Alpha is the dynamic-power exponent (the paper uses values in
+	// [2,3]).
+	Alpha float64
+}
+
+// New validates and returns a model.
+func New(caps []int, static, alpha float64) (Model, error) {
+	m := Model{Caps: append([]int(nil), caps...), Static: static, Alpha: alpha}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// MustNew is New for statically correct model literals.
+func MustNew(caps []int, static, alpha float64) Model {
+	m, err := New(caps, static, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate checks that capacities are positive and strictly increasing
+// and that the power parameters are sane.
+func (m Model) Validate() error {
+	if len(m.Caps) == 0 {
+		return fmt.Errorf("power: no modes")
+	}
+	if m.Caps[0] <= 0 {
+		return fmt.Errorf("power: non-positive capacity W1=%d", m.Caps[0])
+	}
+	if !sort.IntsAreSorted(m.Caps) {
+		return fmt.Errorf("power: capacities not increasing: %v", m.Caps)
+	}
+	for i := 1; i < len(m.Caps); i++ {
+		if m.Caps[i] == m.Caps[i-1] {
+			return fmt.Errorf("power: duplicate capacity %d", m.Caps[i])
+		}
+	}
+	if m.Static < 0 {
+		return fmt.Errorf("power: negative static power %v", m.Static)
+	}
+	if m.Alpha <= 0 {
+		return fmt.Errorf("power: non-positive alpha %v", m.Alpha)
+	}
+	return nil
+}
+
+// M returns the number of modes.
+func (m Model) M() int { return len(m.Caps) }
+
+// MaxCap returns W_M, the capacity of the fastest mode.
+func (m Model) MaxCap() int { return m.Caps[len(m.Caps)-1] }
+
+// Cap returns the capacity of the 1-based mode.
+func (m Model) Cap(mode int) int { return m.Caps[mode-1] }
+
+// ModeFor returns the smallest 1-based mode whose capacity covers load
+// (mode 1 for an idle server). ok is false when load exceeds W_M, in
+// which case no single server can carry it.
+func (m Model) ModeFor(load int) (mode int, ok bool) {
+	for i, c := range m.Caps {
+		if load <= c {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// NodePower returns the power dissipated by one server operating at the
+// 1-based mode: P_static + W_mode^α.
+func (m Model) NodePower(mode int) float64 {
+	return m.Static + math.Pow(float64(m.Cap(mode)), m.Alpha)
+}
+
+// OfCounts returns the total power of countByMode[i] servers operating at
+// mode i+1 (Equation (3)).
+func (m Model) OfCounts(countByMode []int) float64 {
+	total := 0.0
+	for i, n := range countByMode {
+		if n != 0 {
+			total += float64(n) * m.NodePower(i+1)
+		}
+	}
+	return total
+}
+
+// OfReplicas returns the total power of a solution whose modes are
+// already assigned.
+func (m Model) OfReplicas(sol *tree.Replicas) float64 {
+	return m.OfCounts(sol.CountByMode(m.M()))
+}
+
+// AssignModes sets the mode of every equipped node in sol to the
+// load-determined mode under the closest policy on t (the paper's rule:
+// W_{i-1} < req ≤ W_i ⇒ mode W_i). It fails if some requests are
+// unserved or some server's load exceeds W_M.
+func (m Model) AssignModes(t *tree.Tree, sol *tree.Replicas) error {
+	loads, unserved := tree.Flows(t, sol)
+	if unserved > 0 {
+		return &tree.CapacityError{Node: -1, Load: unserved}
+	}
+	for j := 0; j < t.N(); j++ {
+		if !sol.Has(j) {
+			continue
+		}
+		mode, ok := m.ModeFor(loads[j])
+		if !ok {
+			return &tree.CapacityError{Node: j, Load: loads[j], Cap: m.MaxCap()}
+		}
+		sol.Set(j, uint8(mode))
+	}
+	return nil
+}
+
+// Evaluate assigns load-determined modes on a copy of sol and returns the
+// copy together with its total power.
+func (m Model) Evaluate(t *tree.Tree, sol *tree.Replicas) (*tree.Replicas, float64, error) {
+	out := sol.Clone()
+	if err := m.AssignModes(t, out); err != nil {
+		return nil, 0, err
+	}
+	return out, m.OfReplicas(out), nil
+}

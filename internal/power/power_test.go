@@ -1,0 +1,222 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/tree"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New([]int{5, 10}, 12.5, 3); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		caps   []int
+		static float64
+		alpha  float64
+	}{
+		{nil, 0, 2},
+		{[]int{0, 5}, 0, 2},
+		{[]int{10, 5}, 0, 2},
+		{[]int{5, 5}, 0, 2},
+		{[]int{5}, -1, 2},
+		{[]int{5}, 0, 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c.caps, c.static, c.alpha); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad caps did not panic")
+		}
+	}()
+	MustNew(nil, 0, 2)
+}
+
+func TestModeFor(t *testing.T) {
+	m := MustNew([]int{5, 10}, 0, 2)
+	cases := []struct {
+		load, mode int
+		ok         bool
+	}{
+		{0, 1, true}, {1, 1, true}, {5, 1, true},
+		{6, 2, true}, {10, 2, true},
+		{11, 0, false},
+	}
+	for _, c := range cases {
+		mode, ok := m.ModeFor(c.load)
+		if mode != c.mode || ok != c.ok {
+			t.Errorf("ModeFor(%d) = (%d,%v), want (%d,%v)", c.load, mode, ok, c.mode, c.ok)
+		}
+	}
+}
+
+func TestNodePowerPaperFigure2(t *testing.T) {
+	// Figure 2 uses P = 10 + W^2 with modes {7, 10}.
+	m := MustNew([]int{7, 10}, 10, 2)
+	if got := m.NodePower(1); !almost(got, 59) {
+		t.Fatalf("NodePower(1) = %v, want 59", got)
+	}
+	if got := m.NodePower(2); !almost(got, 110) {
+		t.Fatalf("NodePower(2) = %v, want 110", got)
+	}
+	// The paper's inequality motivating the example:
+	// two mode-1 servers consume more than one mode-2 server.
+	if 2*m.NodePower(1) <= m.NodePower(2) {
+		t.Fatal("2*P(W1) should exceed P(W2) in the Figure 2 model")
+	}
+}
+
+func TestNodePowerPaperExperiment3(t *testing.T) {
+	// Experiment 3 uses P_i = W1^3/10 + W_i^3 with modes {5, 10}.
+	m := MustNew([]int{5, 10}, math.Pow(5, 3)/10, 3)
+	if got := m.NodePower(1); !almost(got, 12.5+125) {
+		t.Fatalf("NodePower(1) = %v, want 137.5", got)
+	}
+	if got := m.NodePower(2); !almost(got, 12.5+1000) {
+		t.Fatalf("NodePower(2) = %v, want 1012.5", got)
+	}
+}
+
+func TestOfCounts(t *testing.T) {
+	m := MustNew([]int{5, 10}, 1, 2)
+	// 2 servers at mode 1 (1+25 each), 1 at mode 2 (1+100).
+	if got := m.OfCounts([]int{2, 1}); !almost(got, 2*26+101) {
+		t.Fatalf("OfCounts = %v, want 153", got)
+	}
+	if got := m.OfCounts([]int{0, 0}); got != 0 {
+		t.Fatalf("OfCounts(empty) = %v", got)
+	}
+}
+
+func TestOfReplicas(t *testing.T) {
+	m := MustNew([]int{5, 10}, 0, 2)
+	r := tree.NewReplicas(4)
+	r.Set(0, 2)
+	r.Set(2, 1)
+	if got := m.OfReplicas(r); !almost(got, 125) {
+		t.Fatalf("OfReplicas = %v, want 125", got)
+	}
+}
+
+// fig2Tree reproduces the Figure 2 topology: root r with its own client,
+// node A under r, nodes B and C under A with 3 and 7 requests below.
+func fig2Tree(rootReq int) *tree.Tree {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 3)
+	b.AddClient(cc, 7)
+	if rootReq > 0 {
+		b.AddClient(b.Root(), rootReq)
+	}
+	return b.MustBuild()
+}
+
+func TestAssignModes(t *testing.T) {
+	m := MustNew([]int{7, 10}, 10, 2)
+	tr := fig2Tree(4)
+	sol := tree.ReplicasOf(tr)
+	sol.Set(3, 1) // C carries 7 -> mode 1
+	sol.Set(0, 1) // root carries 3+4=7 -> mode 1
+	if err := m.AssignModes(tr, sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Mode(3) != 1 || sol.Mode(0) != 1 {
+		t.Fatalf("modes = %v", sol)
+	}
+	// Placing only at A forces mode 2 (10 requests ≤ W2).
+	sol2 := tree.ReplicasOf(tr)
+	sol2.Set(1, 1)
+	sol2.Set(0, 1)
+	if err := m.AssignModes(tr, sol2); err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Mode(1) != 2 {
+		t.Fatalf("A mode = %d, want 2", sol2.Mode(1))
+	}
+}
+
+func TestAssignModesErrors(t *testing.T) {
+	m := MustNew([]int{7, 10}, 10, 2)
+	tr := fig2Tree(11)
+	sol := tree.ReplicasOf(tr)
+	sol.Set(1, 1) // root's 11 requests unserved
+	if err := m.AssignModes(tr, sol); err == nil {
+		t.Fatal("unserved requests accepted")
+	}
+	sol.Set(0, 1) // root now carries 11 > W2
+	if err := m.AssignModes(tr, sol); err == nil {
+		t.Fatal("overload accepted")
+	}
+}
+
+func TestEvaluateDoesNotMutate(t *testing.T) {
+	m := MustNew([]int{7, 10}, 10, 2)
+	tr := fig2Tree(4)
+	sol := tree.ReplicasOf(tr)
+	sol.Set(1, 1)
+	sol.Set(0, 1)
+	out, p, err := m.Evaluate(tr, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Mode(1) != 1 {
+		t.Fatal("Evaluate mutated its input")
+	}
+	if out.Mode(1) != 2 {
+		t.Fatalf("Evaluate mode = %d", out.Mode(1))
+	}
+	// A at mode 2 (10+100) + root at mode 1 (10+49) = 169.
+	if !almost(p, 169) {
+		t.Fatalf("Evaluate power = %v, want 169", p)
+	}
+}
+
+// Property: ModeFor returns the minimal covering mode.
+func TestQuickModeForMinimal(t *testing.T) {
+	m := MustNew([]int{3, 7, 12, 20}, 0, 2)
+	f := func(load uint8) bool {
+		l := int(load) % 25
+		mode, ok := m.ModeFor(l)
+		if l > 20 {
+			return !ok
+		}
+		if !ok || m.Cap(mode) < l {
+			return false
+		}
+		// No smaller mode covers the load.
+		return mode == 1 || m.Cap(mode-1) < l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: power is monotone in mode and in counts.
+func TestQuickPowerMonotone(t *testing.T) {
+	m := MustNew([]int{2, 5, 9}, 4, 2.5)
+	for mode := 2; mode <= 3; mode++ {
+		if m.NodePower(mode) <= m.NodePower(mode-1) {
+			t.Fatalf("NodePower not increasing at mode %d", mode)
+		}
+	}
+	f := func(a, b, c uint8) bool {
+		base := []int{int(a % 50), int(b % 50), int(c % 50)}
+		more := []int{base[0] + 1, base[1], base[2]}
+		return m.OfCounts(more) > m.OfCounts(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 equal draws", same)
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	a := Derive(7, 0)
+	b := Derive(7, 1)
+	c := Derive(7, 0)
+	var av, bv, cv [64]uint64
+	for i := range av {
+		av[i], bv[i], cv[i] = a.Uint64(), b.Uint64(), c.Uint64()
+	}
+	if av != cv {
+		t.Fatal("Derive(7,0) not deterministic")
+	}
+	if av == bv {
+		t.Fatal("Derive(7,0) and Derive(7,1) identical")
+	}
+}
+
+func TestBetweenBounds(t *testing.T) {
+	s := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.Between(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("Between(2,5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("Between(2,5) never produced %d", v)
+		}
+	}
+}
+
+func TestBetweenSingleton(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		if v := s.Between(9, 9); v != 9 {
+			t.Fatalf("Between(9,9) = %d", v)
+		}
+	}
+}
+
+func TestBetweenPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Between(5,2) did not panic")
+		}
+	}()
+	New(1).Between(5, 2)
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := New(5)
+	for trial := 0; trial < 100; trial++ {
+		k := s.IntN(10)
+		got := s.Sample(10, k)
+		if len(got) != k {
+			t.Fatalf("Sample(10,%d) returned %d values", k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 10 {
+				t.Fatalf("Sample value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("Sample returned duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(6)
+	n := 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) hit rate %.3f, want ~0.3", frac)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1.0) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("Perm duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(9)
+	check := func(seed uint64) bool {
+		src := Derive(seed, 0)
+		n := 1 + src.IntN(20)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = src.IntN(5)
+		}
+		count := map[int]int{}
+		for _, v := range xs {
+			count[v]++
+		}
+		s.Shuffle(xs)
+		for _, v := range xs {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64Scrambles(t *testing.T) {
+	// Consecutive inputs must produce very different outputs.
+	a := splitMix64(1)
+	b := splitMix64(2)
+	if a == b {
+		t.Fatal("splitMix64(1) == splitMix64(2)")
+	}
+	if splitMix64(1) != a {
+		t.Fatal("splitMix64 not deterministic")
+	}
+}

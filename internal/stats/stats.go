@@ -1,0 +1,113 @@
+// Package stats provides the small aggregation helpers used by the
+// experiment harness: means, standard deviations, and integer-keyed
+// histograms averaged across simulation runs.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stdev returns the population standard deviation of xs, or 0 when xs
+// has fewer than two values.
+func Stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the smallest value, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram counts occurrences of integer values.
+type Histogram struct {
+	counts map[int]float64
+	n      int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]float64)}
+}
+
+// Add records one occurrence of v.
+func (h *Histogram) Add(v int) { h.AddWeighted(v, 1) }
+
+// AddWeighted records w occurrences of v.
+func (h *Histogram) AddWeighted(v int, w float64) {
+	h.counts[v] += w
+	h.n++
+}
+
+// Merge adds every bin of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, w := range other.counts {
+		h.counts[v] += w
+	}
+	h.n += other.n
+}
+
+// Scale multiplies every bin by f (used to average histograms across
+// runs).
+func (h *Histogram) Scale(f float64) {
+	for v := range h.counts {
+		h.counts[v] *= f
+	}
+}
+
+// Count returns the weight of bin v.
+func (h *Histogram) Count(v int) float64 { return h.counts[v] }
+
+// Bins returns the occupied bins in ascending order.
+func (h *Histogram) Bins() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestStdev(t *testing.T) {
+	if Stdev([]float64{5}) != 0 {
+		t.Fatal("Stdev of singleton != 0")
+	}
+	got := Stdev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Stdev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2)
+	h.Add(2)
+	h.Add(-1)
+	h.AddWeighted(5, 0.5)
+	if h.Count(2) != 2 || h.Count(-1) != 1 || h.Count(5) != 0.5 || h.Count(99) != 0 {
+		t.Fatalf("counts wrong: %v %v %v", h.Count(2), h.Count(-1), h.Count(5))
+	}
+	bins := h.Bins()
+	want := []int{-1, 2, 5}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Fatalf("Bins = %v, want %v", bins, want)
+		}
+	}
+}
+
+func TestHistogramMergeScale(t *testing.T) {
+	a := NewHistogram()
+	a.Add(1)
+	b := NewHistogram()
+	b.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.Count(1) != 2 || a.Count(3) != 1 {
+		t.Fatalf("merge wrong: %v %v", a.Count(1), a.Count(3))
+	}
+	a.Scale(0.5)
+	if a.Count(1) != 1 || a.Count(3) != 0.5 {
+		t.Fatalf("scale wrong: %v %v", a.Count(1), a.Count(3))
+	}
+}
+
+// Property: mean is within [min, max] and shifting inputs shifts the
+// mean.
+func TestQuickMeanProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 10
+		}
+		return math.Abs(Mean(shifted)-(m+10)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package textplot renders experiment series as ASCII line charts so
+// the figure-regeneration harness can display the paper's plots directly
+// in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// markers distinguishes overlapping series; series beyond the set reuse
+// the last marker.
+var markers = []byte{'*', '+', 'o', 'x', '#'}
+
+// Plot renders the series against the shared x values into w as a
+// width×height character grid with axis labels. All series must have
+// len(xs) points.
+func Plot(w io.Writer, title string, xs []float64, series []Series, width, height int) error {
+	if len(xs) == 0 || len(series) == 0 {
+		return fmt.Errorf("textplot: nothing to plot")
+	}
+	for _, s := range series {
+		if len(s.Ys) != len(xs) {
+			return fmt.Errorf("textplot: series %q has %d points, x axis has %d", s.Name, len(s.Ys), len(xs))
+		}
+	}
+	if width < 16 || height < 4 {
+		return fmt.Errorf("textplot: plot area %dx%d too small", width, height)
+	}
+
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[min(si, len(markers)-1)]
+		for i, y := range s.Ys {
+			col := int(math.Round((xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+			grid[row][col] = m
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&sb, "%s %s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s %-*.4g%*.4g\n", strings.Repeat(" ", 9), width/2, xmin, width-width/2, xmax)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c %s", markers[min(si, len(markers)-1)], s.Name)
+	}
+	fmt.Fprintf(&sb, "%s %s\n", strings.Repeat(" ", 9), strings.Join(legend, "    "))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 1, 2, 3, 4}
+	err := Plot(&buf, "test figure", xs, []Series{
+		{Name: "DP", Ys: []float64{0, 1, 2, 3, 4}},
+		{Name: "GR", Ys: []float64{4, 3, 2, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test figure", "* DP", "+ GR", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+3 {
+		t.Fatalf("got %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "flat", []float64{1, 2}, []Series{{Name: "s", Ys: []float64{5, 5}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, "t", nil, []Series{{Name: "s"}}, 40, 10); err == nil {
+		t.Error("empty x axis accepted")
+	}
+	if err := Plot(&buf, "t", []float64{1}, nil, 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Plot(&buf, "t", []float64{1, 2}, []Series{{Name: "s", Ys: []float64{1}}}, 40, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Plot(&buf, "t", []float64{1, 2}, []Series{{Name: "s", Ys: []float64{1, 2}}}, 2, 2); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+func TestPlotExtremeValuesStayInGrid(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "range", []float64{-5, 0, 5}, []Series{
+		{Name: "a", Ys: []float64{-100, 0, 100}},
+	}, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 9+1+30+1 {
+			t.Fatalf("line overflows grid: %q", line)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder constructs trees incrementally. The root (node 0) exists from
+// the start; every other node is added under an existing parent, which
+// makes cycles impossible by construction.
+type Builder struct {
+	parent  []int
+	clients [][]int
+}
+
+// NewBuilder returns a builder holding only the root node.
+func NewBuilder() *Builder {
+	return &Builder{parent: []int{-1}, clients: [][]int{nil}}
+}
+
+// Root returns the id of the root node.
+func (b *Builder) Root() int { return 0 }
+
+// N returns the number of nodes added so far.
+func (b *Builder) N() int { return len(b.parent) }
+
+// AddNode adds an internal node under parent and returns its id. It
+// panics if parent does not exist; builders are driver code where an
+// invalid parent is a programming error.
+func (b *Builder) AddNode(parent int) int {
+	if parent < 0 || parent >= len(b.parent) {
+		panic(fmt.Sprintf("tree: AddNode under unknown parent %d", parent))
+	}
+	id := len(b.parent)
+	b.parent = append(b.parent, parent)
+	b.clients = append(b.clients, nil)
+	return id
+}
+
+// AddClient attaches a client issuing req requests to node j.
+func (b *Builder) AddClient(j, req int) {
+	if j < 0 || j >= len(b.parent) {
+		panic(fmt.Sprintf("tree: AddClient under unknown node %d", j))
+	}
+	if req < 0 {
+		panic(fmt.Sprintf("tree: AddClient with negative requests %d", req))
+	}
+	b.clients[j] = append(b.clients[j], req)
+}
+
+// Build finalises the tree. The builder remains usable (Build copies).
+func (b *Builder) Build() (*Tree, error) {
+	raw := newRawBuilder(len(b.parent))
+	copy(raw.parent, b.parent)
+	for j := range b.clients {
+		raw.clients[j] = append([]int(nil), b.clients[j]...)
+	}
+	return raw.finish()
+}
+
+// MustBuild is Build for tests and examples where failure is impossible.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// rawBuilder assembles the derived structures (children lists, post
+// order, depths) shared by Builder.Build and FromParents.
+type rawBuilder struct {
+	parent  []int
+	clients [][]int
+}
+
+func newRawBuilder(n int) *rawBuilder {
+	rb := &rawBuilder{parent: make([]int, n), clients: make([][]int, n)}
+	rb.parent[0] = -1
+	return rb
+}
+
+func (rb *rawBuilder) finish() (*Tree, error) {
+	n := len(rb.parent)
+	t := &Tree{
+		parent:   rb.parent,
+		children: make([][]int, n),
+		clients:  rb.clients,
+		depth:    make([]int, n),
+	}
+	for j := 1; j < n; j++ {
+		p := t.parent[j]
+		t.children[p] = append(t.children[p], j)
+	}
+	for j := range t.children {
+		sort.Ints(t.children[j])
+	}
+	// Iterative DFS from the root assigns depths and detects
+	// unreachable nodes (which would indicate a cycle among non-root
+	// nodes in a FromParents input).
+	t.post = make([]int, 0, n)
+	visited := make([]bool, n)
+	type frame struct{ node, next int }
+	stack := []frame{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.children[f.node]) {
+			c := t.children[f.node][f.next]
+			f.next++
+			if visited[c] {
+				return nil, fmt.Errorf("tree: node %d reached twice; parent vector has a cycle", c)
+			}
+			visited[c] = true
+			t.depth[c] = t.depth[f.node] + 1
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.post = append(t.post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	if len(t.post) != n {
+		return nil, errors.New("tree: parent vector contains nodes unreachable from the root")
+	}
+	return t, nil
+}

@@ -1,0 +1,46 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format for inspection.
+// Internal nodes are circles; equipped nodes (per the optional replica
+// sets) are filled: existing servers light blue, solution servers light
+// green, nodes in both (reused) gold. Clients are small boxes labelled
+// with their request count. Either replica set may be nil.
+func WriteDOT(w io.Writer, t *Tree, existing, solution *Replicas) error {
+	var sb strings.Builder
+	sb.WriteString("digraph tree {\n  rankdir=TB;\n  node [fontsize=10];\n")
+	for j := 0; j < t.N(); j++ {
+		attrs := []string{"shape=circle"}
+		inE := existing != nil && existing.Has(j)
+		inR := solution != nil && solution.Has(j)
+		label := fmt.Sprintf("%d", j)
+		switch {
+		case inE && inR:
+			attrs = append(attrs, `style=filled`, `fillcolor=gold`)
+			label += fmt.Sprintf("\\nE@%d R@%d", existing.Mode(j), solution.Mode(j))
+		case inE:
+			attrs = append(attrs, `style=filled`, `fillcolor=lightblue`)
+			label += fmt.Sprintf("\\nE@%d", existing.Mode(j))
+		case inR:
+			attrs = append(attrs, `style=filled`, `fillcolor=palegreen`)
+			label += fmt.Sprintf("\\nR@%d", solution.Mode(j))
+		}
+		attrs = append(attrs, fmt.Sprintf(`label="%s"`, label))
+		fmt.Fprintf(&sb, "  n%d [%s];\n", j, strings.Join(attrs, ", "))
+		if p := t.Parent(j); p >= 0 {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", p, j)
+		}
+		for i, r := range t.Clients(j) {
+			fmt.Fprintf(&sb, "  c%d_%d [shape=box, fontsize=8, label=\"%d req\"];\n", j, i, r)
+			fmt.Fprintf(&sb, "  n%d -> c%d_%d [style=dashed];\n", j, j, i)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

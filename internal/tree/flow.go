@@ -1,0 +1,104 @@
+package tree
+
+import "fmt"
+
+// Flows evaluates a replica set under the paper's closest service policy:
+// every request travels from its client toward the root and is absorbed
+// by the first equipped node it meets. It returns the resulting load of
+// every node (zero for unequipped nodes) and the number of requests that
+// escape the root unserved. A valid solution has unserved == 0.
+func Flows(t *Tree, r *Replicas) (loads []int, unserved int) {
+	if r.N() != t.N() {
+		panic(fmt.Sprintf("tree: Flows with replica set of size %d on tree of size %d", r.N(), t.N()))
+	}
+	loads = make([]int, t.N())
+	up := make([]int, t.N()) // requests leaving node j upward
+	for _, j := range t.post {
+		f := t.ClientSum(j)
+		for _, c := range t.children[j] {
+			f += up[c]
+		}
+		if r.Has(j) {
+			loads[j] = f
+			up[j] = 0
+		} else {
+			up[j] = f
+		}
+	}
+	return loads, up[t.Root()]
+}
+
+// ServerFor returns the node serving the clients attached to node j under
+// the closest policy (j itself if equipped, else its nearest equipped
+// ancestor), or -1 if no equipped node lies on the path to the root.
+func ServerFor(t *Tree, r *Replicas, j int) int {
+	for n := j; n >= 0; n = t.parent[n] {
+		if r.Has(n) {
+			return n
+		}
+	}
+	return -1
+}
+
+// Assignments returns, for every internal node, the server that handles
+// the requests of its attached clients (-1 when unserved). Nodes without
+// clients still get an entry, describing where their clients would be
+// served.
+func Assignments(t *Tree, r *Replicas) []int {
+	out := make([]int, t.N())
+	// Top-down pass: the serving node for j is j if equipped, else the
+	// serving node of its parent.
+	post := t.post
+	for i := len(post) - 1; i >= 0; i-- {
+		j := post[i]
+		switch {
+		case r.Has(j):
+			out[j] = j
+		case j == t.Root():
+			out[j] = -1
+		default:
+			out[j] = out[t.parent[j]]
+		}
+	}
+	return out
+}
+
+// CapacityError describes a violated constraint found by Validate.
+type CapacityError struct {
+	Node int // overloaded server, or -1 for unserved requests
+	Load int // offending load (or count of unserved requests)
+	Cap  int // capacity that was exceeded (0 for unserved)
+}
+
+func (e *CapacityError) Error() string {
+	if e.Node < 0 {
+		return fmt.Sprintf("tree: %d requests reach the root unserved", e.Load)
+	}
+	return fmt.Sprintf("tree: server at node %d carries %d requests, capacity %d", e.Node, e.Load, e.Cap)
+}
+
+// Validate checks that r is a valid solution for t: every request is
+// served and every equipped node's load is within the capacity of its
+// operating mode, as given by capOf (1-based mode index -> capacity).
+func Validate(t *Tree, r *Replicas, capOf func(mode uint8) int) error {
+	loads, unserved := Flows(t, r)
+	if unserved > 0 {
+		return &CapacityError{Node: -1, Load: unserved}
+	}
+	for j, l := range loads {
+		if !r.Has(j) {
+			continue
+		}
+		c := capOf(r.Mode(j))
+		if l > c {
+			return &CapacityError{Node: j, Load: l, Cap: c}
+		}
+	}
+	return nil
+}
+
+// ValidateUniform checks a single-capacity solution: every replica
+// (whatever its mode) may carry at most W requests.
+func ValidateUniform(t *Tree, r *Replicas, W int) error {
+	return Validate(t, r, func(uint8) int { return W })
+}

@@ -1,0 +1,189 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlowsNoServers(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	loads, unserved := Flows(tr, r)
+	if unserved != 13 {
+		t.Fatalf("unserved = %d, want 13", unserved)
+	}
+	for j, l := range loads {
+		if l != 0 {
+			t.Fatalf("load[%d] = %d with no servers", j, l)
+		}
+	}
+}
+
+func TestFlowsPaperFigure1Scenarios(t *testing.T) {
+	// Keeping the pre-existing server at B leaves 7 requests going up
+	// through A; a server at C instead leaves 4; servers at both leave 0.
+	tr := paperTree(0)
+	const A, B, C = 1, 2, 3
+
+	r := ReplicasOf(tr)
+	r.Set(B, 1)
+	up := flowThrough(tr, r, A)
+	if up != 7 {
+		t.Fatalf("server at B: %d requests through A, want 7", up)
+	}
+
+	r = ReplicasOf(tr)
+	r.Set(C, 1)
+	if up = flowThrough(tr, r, A); up != 4 {
+		t.Fatalf("server at C: %d requests through A, want 4", up)
+	}
+
+	r.Set(B, 1)
+	if up = flowThrough(tr, r, A); up != 0 {
+		t.Fatalf("servers at B and C: %d requests through A, want 0", up)
+	}
+}
+
+// flowThrough returns the number of requests leaving node j upward.
+func flowThrough(tr *Tree, r *Replicas, j int) int {
+	up := make(map[int]int)
+	for _, n := range tr.PostOrder() {
+		f := tr.ClientSum(n)
+		for _, c := range tr.Children(n) {
+			f += up[c]
+		}
+		if r.Has(n) {
+			up[n] = 0
+		} else {
+			up[n] = f
+		}
+	}
+	return up[j]
+}
+
+func TestFlowsRootServer(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(tr.Root(), 1)
+	loads, unserved := Flows(tr, r)
+	if unserved != 0 {
+		t.Fatalf("unserved = %d", unserved)
+	}
+	if loads[0] != 13 {
+		t.Fatalf("root load = %d, want 13", loads[0])
+	}
+}
+
+func TestFlowsClosestAbsorption(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(0, 1)
+	r.Set(2, 1) // B absorbs its 4 requests
+	loads, unserved := Flows(tr, r)
+	if unserved != 0 {
+		t.Fatalf("unserved = %d", unserved)
+	}
+	if loads[2] != 4 {
+		t.Fatalf("B load = %d, want 4", loads[2])
+	}
+	if loads[0] != 9 { // root client 2 + C's 7
+		t.Fatalf("root load = %d, want 9", loads[0])
+	}
+}
+
+func TestFlowsPanicsOnSizeMismatch(t *testing.T) {
+	tr := paperTree(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	Flows(tr, NewReplicas(2))
+}
+
+func TestServerFor(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(1, 1) // A
+	if got := ServerFor(tr, r, 2); got != 1 {
+		t.Fatalf("ServerFor(B) = %d, want A=1", got)
+	}
+	if got := ServerFor(tr, r, 1); got != 1 {
+		t.Fatalf("ServerFor(A) = %d, want itself", got)
+	}
+	if got := ServerFor(tr, r, 0); got != -1 {
+		t.Fatalf("ServerFor(root) = %d, want -1", got)
+	}
+}
+
+func TestAssignmentsMatchesServerFor(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(0, 1)
+	r.Set(3, 2)
+	got := Assignments(tr, r)
+	for j := 0; j < tr.N(); j++ {
+		if want := ServerFor(tr, r, j); got[j] != want {
+			t.Errorf("Assignments[%d] = %d, want %d", j, got[j], want)
+		}
+	}
+}
+
+func TestValidateUniform(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(0, 1)
+	if err := ValidateUniform(tr, r, 13); err != nil {
+		t.Fatalf("W=13 should be valid: %v", err)
+	}
+	err := ValidateUniform(tr, r, 10)
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("W=10 error = %v, want CapacityError", err)
+	}
+	if ce.Node != 0 || ce.Load != 13 || ce.Cap != 10 {
+		t.Fatalf("CapacityError = %+v", ce)
+	}
+}
+
+func TestValidateUnserved(t *testing.T) {
+	tr := paperTree(2)
+	r := ReplicasOf(tr)
+	r.Set(2, 1) // B only: root client and C unserved
+	err := ValidateUniform(tr, r, 100)
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v", err)
+	}
+	if ce.Node != -1 || ce.Load != 9 {
+		t.Fatalf("CapacityError = %+v, want unserved 9", ce)
+	}
+	if ce.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestValidateModal(t *testing.T) {
+	tr := paperTree(0)
+	r := ReplicasOf(tr)
+	r.Set(2, 1) // B: 4 requests at mode 1 (cap 5)
+	r.Set(3, 2) // C: 7 requests at mode 2 (cap 10)
+	caps := func(m uint8) int { return []int{5, 10}[m-1] }
+	if err := Validate(tr, r, caps); err != nil {
+		t.Fatalf("valid modal solution rejected: %v", err)
+	}
+	r.Set(3, 1) // C at mode 1 overflows
+	if err := Validate(tr, r, caps); err == nil {
+		t.Fatal("overloaded mode-1 server accepted")
+	}
+}
+
+func TestValidateEmptyTreeNoClients(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode(0)
+	tr := b.MustBuild()
+	r := ReplicasOf(tr)
+	if err := ValidateUniform(tr, r, 1); err != nil {
+		t.Fatalf("tree without clients needs no servers: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFromParents feeds arbitrary parent vectors to the topology
+// validator: it must never panic, and every accepted tree must have a
+// complete post-order and consistent child lists.
+func FuzzFromParents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 1, 1})
+	f.Add([]byte{0, 2, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		parents := make([]int, len(raw))
+		for i, b := range raw {
+			// Map bytes to plausible parent ids, including invalid
+			// ones, with node 0 forced to be the root.
+			parents[i] = int(b)%(len(raw)+2) - 1
+		}
+		if len(parents) > 0 {
+			parents[0] = -1
+		}
+		tr, err := FromParents(parents, nil)
+		if err != nil {
+			return
+		}
+		if len(tr.PostOrder()) != tr.N() {
+			t.Fatalf("post order covers %d of %d nodes", len(tr.PostOrder()), tr.N())
+		}
+		for j := 0; j < tr.N(); j++ {
+			for _, c := range tr.Children(j) {
+				if tr.Parent(c) != j {
+					t.Fatalf("child list of %d contains %d whose parent is %d", j, c, tr.Parent(c))
+				}
+			}
+		}
+	})
+}
+
+// FuzzTreeJSON round-trips arbitrary JSON through the tree decoder: no
+// panics, and anything accepted must re-encode to an equivalent tree.
+func FuzzTreeJSON(f *testing.F) {
+	f.Add([]byte(`{"parents": [-1], "clients": [[3]]}`))
+	f.Add([]byte(`{"parents": [-1, 0, 0], "clients": [[], [1, 2]]}`))
+	f.Add([]byte(`{"parents": [0]}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"parents": [-1, 0, 1, 2, 3], "clients": [[1000000]]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var tr Tree
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return
+		}
+		out, err := json.Marshal(&tr)
+		if err != nil {
+			t.Fatalf("accepted tree failed to marshal: %v", err)
+		}
+		var back Tree
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != tr.N() || back.TotalRequests() != tr.TotalRequests() {
+			t.Fatalf("round trip changed the tree: %v vs %v", &back, &tr)
+		}
+	})
+}
+
+// FuzzReplicasJSON round-trips arbitrary replica-set JSON.
+func FuzzReplicasJSON(f *testing.F) {
+	f.Add([]byte(`{"modes": [0, 1, 2]}`))
+	f.Add([]byte(`{"modes": []}`))
+	f.Add([]byte(`{"modes": [300]}`))
+	f.Add([]byte(`{"modes": [-1]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var r Replicas
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return
+		}
+		out, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("accepted set failed to marshal: %v", err)
+		}
+		var back Replicas
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !r.Equal(&back) {
+			t.Fatalf("round trip changed the set")
+		}
+	})
+}
+
+// FuzzWriteDOT checks the DOT exporter never panics on odd trees.
+func FuzzWriteDOT(f *testing.F) {
+	f.Add(uint8(1), uint8(0))
+	f.Add(uint8(5), uint8(3))
+	f.Fuzz(func(t *testing.T, n, equipped uint8) {
+		size := int(n)%12 + 1
+		parents := make([]int, size)
+		parents[0] = -1
+		for i := 1; i < size; i++ {
+			parents[i] = (i - 1) / 2
+		}
+		clients := make([][]int, size)
+		clients[0] = []int{int(equipped)}
+		tr, err := FromParents(parents, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ReplicasOf(tr)
+		if int(equipped) < size {
+			r.Set(int(equipped), 1)
+		}
+		var buf bytes.Buffer
+		if err := WriteDOT(&buf, tr, r, r); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty DOT output")
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package tree
+
+import (
+	"testing"
+
+	"replicatree/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := FatConfig(100)
+	a := MustGenerate(cfg, rng.New(1))
+	b := MustGenerate(cfg, rng.New(1))
+	if a.N() != b.N() {
+		t.Fatalf("sizes differ: %d vs %d", a.N(), b.N())
+	}
+	for j := 0; j < a.N(); j++ {
+		if a.Parent(j) != b.Parent(j) || a.ClientSum(j) != b.ClientSum(j) {
+			t.Fatalf("trees differ at node %d", j)
+		}
+	}
+}
+
+func TestGenerateNodeCount(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 50, 100, 257} {
+		tr := MustGenerate(FatConfig(n), rng.New(uint64(n)))
+		if tr.N() != n {
+			t.Fatalf("Generate(%d) produced %d nodes", n, tr.N())
+		}
+	}
+}
+
+func TestGenerateChildrenRange(t *testing.T) {
+	cfg := FatConfig(200)
+	tr := MustGenerate(cfg, rng.New(7))
+	// All internal nodes except those truncated at the end must have
+	// between MinChildren and MaxChildren children; nodes with zero
+	// children are the frontier that never drew. Nothing may exceed max.
+	for j := 0; j < tr.N(); j++ {
+		k := len(tr.Children(j))
+		if k > cfg.MaxChildren {
+			t.Fatalf("node %d has %d children > max %d", j, k, cfg.MaxChildren)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("fat 200-node tree with height %d", tr.Height())
+	}
+}
+
+func TestHighTreesAreTaller(t *testing.T) {
+	fat := MustGenerate(FatConfig(100), rng.New(3))
+	high := MustGenerate(HighConfig(100), rng.New(3))
+	if high.Height() <= fat.Height() {
+		t.Fatalf("high tree height %d not above fat tree height %d", high.Height(), fat.Height())
+	}
+}
+
+func TestGenerateClientRanges(t *testing.T) {
+	cfg := PowerConfig(120)
+	tr := MustGenerate(cfg, rng.New(9))
+	for j := 0; j < tr.N(); j++ {
+		for _, r := range tr.Clients(j) {
+			if r < cfg.ReqMin || r > cfg.ReqMax {
+				t.Fatalf("client request %d out of [%d,%d]", r, cfg.ReqMin, cfg.ReqMax)
+			}
+		}
+		if len(tr.Clients(j)) > 1 {
+			t.Fatalf("node %d has %d clients, generator attaches at most one", j, len(tr.Clients(j)))
+		}
+	}
+	if tr.TotalRequests() == 0 {
+		t.Fatal("EnsureClient failed to guarantee a client")
+	}
+}
+
+func TestGenerateEnsureClient(t *testing.T) {
+	cfg := GenConfig{Nodes: 5, MinChildren: 2, MaxChildren: 3, ClientProb: 0, ReqMin: 1, ReqMax: 6, EnsureClient: true}
+	tr := MustGenerate(cfg, rng.New(1))
+	if tr.ClientCount() != 1 {
+		t.Fatalf("ClientCount = %d, want exactly the ensured client", tr.ClientCount())
+	}
+	cfg.EnsureClient = false
+	tr = MustGenerate(cfg, rng.New(1))
+	if tr.ClientCount() != 0 {
+		t.Fatalf("ClientCount = %d, want 0", tr.ClientCount())
+	}
+}
+
+func TestGenerateConfigErrors(t *testing.T) {
+	bad := []GenConfig{
+		{Nodes: 0, MinChildren: 1, MaxChildren: 2},
+		{Nodes: 5, MinChildren: 0, MaxChildren: 2},
+		{Nodes: 5, MinChildren: 3, MaxChildren: 2},
+		{Nodes: 5, MinChildren: 1, MaxChildren: 2, ClientProb: 1.5},
+		{Nodes: 5, MinChildren: 1, MaxChildren: 2, ReqMin: 3, ReqMax: 2},
+		{Nodes: 5, MinChildren: 1, MaxChildren: 2, ReqMin: -1, ReqMax: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRedrawRequestsKeepsStructure(t *testing.T) {
+	cfg := FatConfig(80)
+	tr := MustGenerate(cfg, rng.New(11))
+	before := make([]int, tr.N())
+	for j := range before {
+		before[j] = len(tr.Clients(j))
+	}
+	RedrawRequests(tr, cfg, rng.New(12))
+	for j := 0; j < tr.N(); j++ {
+		if len(tr.Clients(j)) != before[j] {
+			t.Fatalf("node %d client count changed: %d -> %d", j, before[j], len(tr.Clients(j)))
+		}
+		for _, r := range tr.Clients(j) {
+			if r < cfg.ReqMin || r > cfg.ReqMax {
+				t.Fatalf("redrawn request %d out of range", r)
+			}
+		}
+	}
+}
+
+func TestRedrawRequestsChangesSomething(t *testing.T) {
+	cfg := FatConfig(80)
+	tr := MustGenerate(cfg, rng.New(11))
+	before := tr.TotalRequests()
+	changed := false
+	for trial := 0; trial < 5 && !changed; trial++ {
+		RedrawRequests(tr, cfg, rng.Derive(50, trial))
+		changed = tr.TotalRequests() != before
+	}
+	if !changed {
+		t.Fatal("5 redraws never changed total requests")
+	}
+}
+
+func TestRandomReplicas(t *testing.T) {
+	tr := MustGenerate(FatConfig(60), rng.New(2))
+	r, err := RandomReplicas(tr, 15, 2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 15 {
+		t.Fatalf("Count = %d, want 15", r.Count())
+	}
+	modes := map[uint8]int{}
+	for _, j := range r.Nodes() {
+		modes[r.Mode(j)]++
+	}
+	for m := range modes {
+		if m < 1 || m > 2 {
+			t.Fatalf("mode %d out of range", m)
+		}
+	}
+	// Single-mode draws always use mode 1.
+	r1, err := RandomReplicas(tr, 10, 1, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range r1.Nodes() {
+		if r1.Mode(j) != 1 {
+			t.Fatalf("single-mode draw used mode %d", r1.Mode(j))
+		}
+	}
+}
+
+func TestRandomReplicasErrors(t *testing.T) {
+	tr := MustGenerate(FatConfig(10), rng.New(2))
+	if _, err := RandomReplicas(tr, 11, 1, rng.New(1)); err == nil {
+		t.Error("count > N accepted")
+	}
+	if _, err := RandomReplicas(tr, -1, 1, rng.New(1)); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := RandomReplicas(tr, 1, 0, rng.New(1)); err == nil {
+		t.Error("zero modes accepted")
+	}
+	if r, err := RandomReplicas(tr, 0, 1, rng.New(1)); err != nil || r.Count() != 0 {
+		t.Errorf("zero count: %v, %v", r, err)
+	}
+}

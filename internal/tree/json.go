@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// treeJSON is the on-disk representation of a tree: the parent vector
+// (node 0 is the root with parent -1) and the per-node client request
+// lists.
+type treeJSON struct {
+	Parents []int   `json:"parents"`
+	Clients [][]int `json:"clients"`
+}
+
+// replicasJSON is the on-disk representation of a replica set: the
+// per-node operating mode, 0 meaning "no replica". Modes are plain
+// integers (a []uint8 field would serialise as base64).
+type replicasJSON struct {
+	Modes []int `json:"modes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(treeJSON{Parents: t.parent, Clients: t.clients})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the topology.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var raw treeJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("tree: decoding: %w", err)
+	}
+	built, err := FromParents(raw.Parents, raw.Clients)
+	if err != nil {
+		return err
+	}
+	*t = *built
+	return nil
+}
+
+// WriteJSON writes the tree to w as indented JSON.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTreeJSON decodes a tree from r.
+func ReadTreeJSON(r io.Reader) (*Tree, error) {
+	var t Tree
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Replicas) MarshalJSON() ([]byte, error) {
+	modes := make([]int, len(r.mode))
+	for i, m := range r.mode {
+		modes[i] = int(m)
+	}
+	return json.Marshal(replicasJSON{Modes: modes})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Replicas) UnmarshalJSON(data []byte) error {
+	var raw replicasJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("tree: decoding replicas: %w", err)
+	}
+	modes := make([]uint8, len(raw.Modes))
+	for i, m := range raw.Modes {
+		if m < 0 || m > 255 {
+			return fmt.Errorf("tree: replica mode %d out of range", m)
+		}
+		modes[i] = uint8(m)
+	}
+	r.mode = modes
+	return nil
+}
+
+// ReadReplicasJSON decodes a replica set from rd and checks it is sized
+// for t.
+func ReadReplicasJSON(rd io.Reader, t *Tree) (*Replicas, error) {
+	var r Replicas
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.N() != t.N() {
+		return nil, fmt.Errorf("tree: replica set covers %d nodes, tree has %d", r.N(), t.N())
+	}
+	return &r, nil
+}

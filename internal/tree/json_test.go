@@ -1,0 +1,129 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"replicatree/internal/rng"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	orig := MustGenerate(FatConfig(40), rng.New(5))
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() {
+		t.Fatalf("size changed: %d -> %d", orig.N(), back.N())
+	}
+	for j := 0; j < orig.N(); j++ {
+		if back.Parent(j) != orig.Parent(j) {
+			t.Fatalf("parent[%d] changed", j)
+		}
+		if back.ClientSum(j) != orig.ClientSum(j) {
+			t.Fatalf("clients[%d] changed", j)
+		}
+	}
+}
+
+func TestTreeWriteReadJSON(t *testing.T) {
+	orig := paperTree(2)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTreeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.TotalRequests() != orig.TotalRequests() {
+		t.Fatalf("round trip lost data: %v vs %v", back, orig)
+	}
+}
+
+func TestTreeJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"parents": [0], "clients": []}`,
+		`{"parents": [-1, 7], "clients": []}`,
+		`{"parents": [-1], "clients": [[-1]]}`,
+		`{"parents": [-1, 2, 1], "clients": []}`,
+	}
+	for _, c := range cases {
+		var tr Tree
+		if err := json.Unmarshal([]byte(c), &tr); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+		if _, err := ReadTreeJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadTreeJSON accepted %q", c)
+		}
+	}
+}
+
+func TestReplicasJSONRoundTrip(t *testing.T) {
+	r := NewReplicas(6)
+	r.Set(1, 2)
+	r.Set(5, 1)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Replicas
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(&back) {
+		t.Fatalf("round trip changed set: %v -> %v", r, &back)
+	}
+}
+
+func TestReadReplicasJSONSizeCheck(t *testing.T) {
+	tr := paperTree(0) // 4 nodes
+	ok := `{"modes": [0, 1, 0, 2]}`
+	r, err := ReadReplicasJSON(strings.NewReader(ok), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(1) || r.Mode(3) != 2 {
+		t.Fatalf("decoded set wrong: %v", r)
+	}
+	bad := `{"modes": [0, 1]}`
+	if _, err := ReadReplicasJSON(strings.NewReader(bad), tr); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := ReadReplicasJSON(strings.NewReader("xx"), tr); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := paperTree(2)
+	existing := ReplicasOf(tr)
+	existing.Set(2, 1)
+	sol := ReplicasOf(tr)
+	sol.Set(2, 1)
+	sol.Set(0, 2)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, tr, existing, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "gold", "palegreen", "2 req", "n1 -> n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, tr, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "filled") {
+		t.Error("DOT with nil sets has filled nodes")
+	}
+}

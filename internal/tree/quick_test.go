@@ -1,0 +1,166 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"replicatree/internal/rng"
+)
+
+// randomInstance draws a small random tree and replica set from a seed.
+func randomInstance(seed uint64) (*Tree, *Replicas) {
+	src := rng.Derive(seed, 0)
+	cfg := GenConfig{
+		Nodes:       1 + src.IntN(30),
+		MinChildren: 1 + src.IntN(3),
+		MaxChildren: 0,
+		ClientProb:  src.Float64(),
+		ReqMin:      1,
+		ReqMax:      1 + src.IntN(8),
+	}
+	cfg.MaxChildren = cfg.MinChildren + src.IntN(4)
+	tr := MustGenerate(cfg, src)
+	r := ReplicasOf(tr)
+	for j := 0; j < tr.N(); j++ {
+		if src.Bool(0.4) {
+			r.Set(j, uint8(1+src.IntN(3)))
+		}
+	}
+	return tr, r
+}
+
+// Property: flow conservation. Total requests = sum of server loads +
+// unserved requests, for any replica set.
+func TestQuickFlowConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		loads, unserved := Flows(tr, r)
+		sum := unserved
+		for _, l := range loads {
+			sum += l
+		}
+		return sum == tr.TotalRequests()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: loads are exactly the closest-policy assignment. For every
+// node j, the requests of j's clients count toward ServerFor(j).
+func TestQuickFlowsMatchAssignments(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		loads, unserved := Flows(tr, r)
+		wantLoad := make([]int, tr.N())
+		wantUnserved := 0
+		for j := 0; j < tr.N(); j++ {
+			s := ServerFor(tr, r, j)
+			if s < 0 {
+				wantUnserved += tr.ClientSum(j)
+			} else {
+				wantLoad[s] += tr.ClientSum(j)
+			}
+		}
+		if unserved != wantUnserved {
+			return false
+		}
+		for j := range loads {
+			if loads[j] != wantLoad[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: only equipped nodes carry load, and unequipped ancestors
+// forward everything.
+func TestQuickOnlyServersLoaded(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		loads, _ := Flows(tr, r)
+		for j := range loads {
+			if loads[j] > 0 && !r.Has(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equipping every node with ample capacity is always valid.
+func TestQuickFullPlacementValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, _ := randomInstance(seed)
+		r := ReplicasOf(tr)
+		for j := 0; j < tr.N(); j++ {
+			r.Set(j, 1)
+		}
+		return ValidateUniform(tr, r, tr.MaxClientSum()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JSON round-trips preserve flows for arbitrary instances.
+func TestQuickJSONPreservesFlows(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		data, err := tr.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back Tree
+		if err := back.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		l1, u1 := Flows(tr, r)
+		l2, u2 := Flows(&back, r)
+		if u1 != u2 {
+			return false
+		}
+		for j := range l1 {
+			if l1[j] != l2[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: post-order visits each node exactly once, and SubtreeNodes
+// sizes are consistent with a recount via IsAncestor.
+func TestQuickSubtreeConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, _ := randomInstance(seed)
+		if len(tr.PostOrder()) != tr.N() {
+			return false
+		}
+		for j := 0; j < tr.N(); j++ {
+			count := 0
+			for d := 0; d < tr.N(); d++ {
+				if tr.IsAncestor(j, d) {
+					count++
+				}
+			}
+			if count != len(tr.SubtreeNodes(j)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

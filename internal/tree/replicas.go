@@ -1,0 +1,133 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoMode marks the absence of a replica in a Replicas set.
+const NoMode uint8 = 0
+
+// Replicas maps each internal node of a tree to an operating mode:
+// NoMode (0) when the node hosts no replica, or a 1-based mode index
+// otherwise. The same type describes pre-existing deployments (the
+// paper's set E with initial modes) and computed solutions (the set R).
+// In single-capacity problems every equipped node uses mode 1.
+type Replicas struct {
+	mode []uint8
+}
+
+// NewReplicas returns an empty replica set over n nodes.
+func NewReplicas(n int) *Replicas { return &Replicas{mode: make([]uint8, n)} }
+
+// ReplicasOf returns an empty replica set sized for tree t.
+func ReplicasOf(t *Tree) *Replicas { return NewReplicas(t.N()) }
+
+// N returns the number of nodes the set is defined over.
+func (r *Replicas) N() int { return len(r.mode) }
+
+// Has reports whether node j hosts a replica.
+func (r *Replicas) Has(j int) bool { return r.mode[j] != NoMode }
+
+// Mode returns the 1-based operating mode of the replica at node j, or
+// NoMode if j hosts no replica.
+func (r *Replicas) Mode(j int) uint8 { return r.mode[j] }
+
+// Set places a replica at node j operating at the 1-based mode m.
+func (r *Replicas) Set(j int, m uint8) {
+	if m == NoMode {
+		panic("tree: Replicas.Set with mode 0; use Unset")
+	}
+	r.mode[j] = m
+}
+
+// Unset removes the replica at node j, if any.
+func (r *Replicas) Unset(j int) { r.mode[j] = NoMode }
+
+// Count returns the number of equipped nodes.
+func (r *Replicas) Count() int {
+	c := 0
+	for _, m := range r.mode {
+		if m != NoMode {
+			c++
+		}
+	}
+	return c
+}
+
+// Nodes returns the equipped node ids in ascending order.
+func (r *Replicas) Nodes() []int {
+	var out []int
+	for j, m := range r.mode {
+		if m != NoMode {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// CountByMode returns, for a model with M modes, how many replicas
+// operate at each mode; index 0 of the result corresponds to mode 1.
+// It panics if any replica uses a mode above M.
+func (r *Replicas) CountByMode(M int) []int {
+	out := make([]int, M)
+	for j, m := range r.mode {
+		if m == NoMode {
+			continue
+		}
+		if int(m) > M {
+			panic(fmt.Sprintf("tree: node %d operates at mode %d > M=%d", j, m, M))
+		}
+		out[m-1]++
+	}
+	return out
+}
+
+// Reused returns the number of nodes equipped in both r and other
+// (the paper's e = |R ∩ E|, ignoring modes).
+func (r *Replicas) Reused(other *Replicas) int {
+	c := 0
+	for j, m := range r.mode {
+		if m != NoMode && other.mode[j] != NoMode {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (r *Replicas) Clone() *Replicas {
+	return &Replicas{mode: append([]uint8(nil), r.mode...)}
+}
+
+// Equal reports whether both sets equip the same nodes at the same modes.
+func (r *Replicas) Equal(other *Replicas) bool {
+	if len(r.mode) != len(other.mode) {
+		return false
+	}
+	for j := range r.mode {
+		if r.mode[j] != other.mode[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as {node@mode, ...}.
+func (r *Replicas) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for j, m := range r.mode {
+		if m == NoMode {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d@%d", j, m)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

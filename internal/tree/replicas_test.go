@@ -1,0 +1,112 @@
+package tree
+
+import "testing"
+
+func TestReplicasBasics(t *testing.T) {
+	r := NewReplicas(5)
+	if r.N() != 5 || r.Count() != 0 {
+		t.Fatalf("fresh set: N=%d Count=%d", r.N(), r.Count())
+	}
+	r.Set(2, 1)
+	r.Set(4, 3)
+	if !r.Has(2) || !r.Has(4) || r.Has(0) {
+		t.Fatal("Has wrong")
+	}
+	if r.Mode(4) != 3 || r.Mode(0) != NoMode {
+		t.Fatalf("Mode wrong: %d, %d", r.Mode(4), r.Mode(0))
+	}
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != 2 || nodes[1] != 4 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	r.Unset(2)
+	if r.Has(2) || r.Count() != 1 {
+		t.Fatal("Unset failed")
+	}
+}
+
+func TestReplicasSetZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(j, 0) did not panic")
+		}
+	}()
+	NewReplicas(1).Set(0, 0)
+}
+
+func TestCountByMode(t *testing.T) {
+	r := NewReplicas(6)
+	r.Set(0, 1)
+	r.Set(1, 2)
+	r.Set(2, 2)
+	r.Set(3, 1)
+	got := r.CountByMode(3)
+	want := []int{2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountByMode = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountByModePanicsOnOverflow(t *testing.T) {
+	r := NewReplicas(1)
+	r.Set(0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mode above M")
+		}
+	}()
+	r.CountByMode(2)
+}
+
+func TestReused(t *testing.T) {
+	a := NewReplicas(5)
+	b := NewReplicas(5)
+	a.Set(1, 1)
+	a.Set(2, 1)
+	a.Set(3, 1)
+	b.Set(2, 2) // modes ignored for reuse counting
+	b.Set(3, 1)
+	b.Set(4, 1)
+	if got := a.Reused(b); got != 2 {
+		t.Fatalf("Reused = %d, want 2", got)
+	}
+	if got := b.Reused(a); got != 2 {
+		t.Fatalf("Reused not symmetric: %d", got)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	a := NewReplicas(4)
+	a.Set(1, 2)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(2, 1)
+	if a.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Has(2) {
+		t.Fatal("clone aliased original")
+	}
+	if a.Equal(NewReplicas(5)) {
+		t.Fatal("different sizes equal")
+	}
+}
+
+func TestReplicasString(t *testing.T) {
+	r := NewReplicas(4)
+	if got := r.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+	r.Set(1, 2)
+	r.Set(3, 1)
+	if got := r.String(); got != "{1@2, 3@1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

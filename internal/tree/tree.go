@@ -1,0 +1,226 @@
+// Package tree implements the distribution-tree substrate of the paper:
+// internal nodes that may host replica servers, leaf clients attached to
+// internal nodes that issue requests, replica sets with operating modes,
+// and the closest-policy request flows that every algorithm in this
+// repository is built on.
+//
+// Internal nodes are identified by dense integer ids 0..N-1 with node 0
+// the root. Clients are not materialised as nodes: each internal node
+// carries the list of request counts of the clients attached to it, which
+// is equivalent to the paper's model (clients are leaves whose unique
+// neighbour is an internal node) and keeps every algorithm allocation
+// friendly.
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tree is an immutable-topology distribution tree. Request counts are
+// mutable through SetClientRequests (used by the dynamic-update
+// experiments); the topology is fixed at Build time, matching the paper's
+// fixed-network assumption.
+type Tree struct {
+	parent   []int   // parent[j] is the parent id of node j; -1 for the root
+	children [][]int // internal-node children, ascending id order
+	clients  [][]int // request count of each client attached to node j
+	post     []int   // post-order traversal: children before parents
+	depth    []int   // depth[j], root has depth 0
+}
+
+// N returns the number of internal nodes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the id of the root node (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Parent returns the parent id of node j, or -1 for the root.
+func (t *Tree) Parent(j int) int { return t.parent[j] }
+
+// Children returns the internal-node children of node j. The caller must
+// not modify the returned slice.
+func (t *Tree) Children(j int) []int { return t.children[j] }
+
+// Clients returns the request counts of the clients attached to node j.
+// The caller must not modify the returned slice.
+func (t *Tree) Clients(j int) []int { return t.clients[j] }
+
+// ClientSum returns the total number of requests issued by the clients
+// attached to node j (the paper's client(j)).
+func (t *Tree) ClientSum(j int) int {
+	s := 0
+	for _, r := range t.clients[j] {
+		s += r
+	}
+	return s
+}
+
+// SetClientRequests replaces the request counts of the clients attached to
+// node j. The number of clients at j may change; the topology of internal
+// nodes does not.
+func (t *Tree) SetClientRequests(j int, reqs []int) {
+	t.clients[j] = append([]int(nil), reqs...)
+}
+
+// PostOrder returns a traversal in which every node appears after all of
+// its children. The caller must not modify the returned slice.
+func (t *Tree) PostOrder() []int { return t.post }
+
+// Depth returns the depth of node j (root = 0).
+func (t *Tree) Depth(j int) int { return t.depth[j] }
+
+// Height returns the maximum node depth.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// TotalRequests returns the total number of requests issued by all
+// clients in the tree.
+func (t *Tree) TotalRequests() int {
+	s := 0
+	for j := range t.clients {
+		s += t.ClientSum(j)
+	}
+	return s
+}
+
+// ClientCount returns the total number of clients in the tree.
+func (t *Tree) ClientCount() int {
+	c := 0
+	for j := range t.clients {
+		c += len(t.clients[j])
+	}
+	return c
+}
+
+// MaxClientSum returns the largest per-node client demand. Any solution
+// must serve all clients of a node at a single ancestor server, so an
+// instance is infeasible with capacity W whenever MaxClientSum() > W.
+func (t *Tree) MaxClientSum() int {
+	m := 0
+	for j := range t.clients {
+		if s := t.ClientSum(j); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// SubtreeNodes returns the ids of the internal nodes in the subtree rooted
+// at j, excluding j itself (the paper's subtree_j restricted to N).
+func (t *Tree) SubtreeNodes(j int) []int {
+	var out []int
+	var stack []int
+	stack = append(stack, t.children[j]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		stack = append(stack, t.children[n]...)
+	}
+	return out
+}
+
+// IsAncestor reports whether a is a strict ancestor of d.
+func (t *Tree) IsAncestor(a, d int) bool {
+	for p := t.parent[d]; p >= 0; p = t.parent[p] {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		parent:   append([]int(nil), t.parent...),
+		children: make([][]int, len(t.children)),
+		clients:  make([][]int, len(t.clients)),
+		post:     append([]int(nil), t.post...),
+		depth:    append([]int(nil), t.depth...),
+	}
+	for j := range t.children {
+		c.children[j] = append([]int(nil), t.children[j]...)
+		c.clients[j] = append([]int(nil), t.clients[j]...)
+	}
+	return c
+}
+
+// Stats summarises a tree for reports and logs.
+type Stats struct {
+	Nodes         int
+	Clients       int
+	TotalRequests int
+	Height        int
+	Leaves        int // internal nodes without internal children
+	MaxClientSum  int
+}
+
+// Summary returns basic statistics about the tree.
+func (t *Tree) Summary() Stats {
+	s := Stats{
+		Nodes:         t.N(),
+		Clients:       t.ClientCount(),
+		TotalRequests: t.TotalRequests(),
+		Height:        t.Height(),
+		MaxClientSum:  t.MaxClientSum(),
+	}
+	for j := range t.children {
+		if len(t.children[j]) == 0 {
+			s.Leaves++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (t *Tree) String() string {
+	s := t.Summary()
+	return fmt.Sprintf("tree{nodes=%d clients=%d requests=%d height=%d}",
+		s.Nodes, s.Clients, s.TotalRequests, s.Height)
+}
+
+// FromParents builds a tree from a parent vector (parents[0] must be -1,
+// every other entry must point to a lower-numbered... any valid node) and
+// per-node client request lists. clients may be shorter than parents; the
+// missing tail is treated as empty.
+func FromParents(parents []int, clients [][]int) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, errors.New("tree: empty parent vector")
+	}
+	if parents[0] != -1 {
+		return nil, fmt.Errorf("tree: node 0 must be the root (parent -1), got %d", parents[0])
+	}
+	if len(clients) > n {
+		return nil, fmt.Errorf("tree: %d client lists for %d nodes", len(clients), n)
+	}
+	b := newRawBuilder(n)
+	for j := 1; j < n; j++ {
+		p := parents[j]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("tree: node %d has out-of-range parent %d", j, p)
+		}
+		if p == j {
+			return nil, fmt.Errorf("tree: node %d is its own parent", j)
+		}
+		b.parent[j] = p
+	}
+	for j := range clients {
+		for _, r := range clients[j] {
+			if r < 0 {
+				return nil, fmt.Errorf("tree: node %d has a client with negative requests %d", j, r)
+			}
+		}
+		b.clients[j] = append([]int(nil), clients[j]...)
+	}
+	return b.finish()
+}

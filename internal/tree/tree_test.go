@@ -1,0 +1,235 @@
+package tree
+
+import (
+	"testing"
+)
+
+// paperTree builds the Figure 1 topology: root r with a client, child A,
+// A's children B (4 requests below) and C (7 requests below).
+//
+//	r ── A ── B ── client(4)
+//	│         └ C ── client(7)
+//	└ client(rootReq)
+func paperTree(rootReq int) *Tree {
+	b := NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	cc := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(cc, 7)
+	if rootReq > 0 {
+		b.AddClient(b.Root(), rootReq)
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tr := paperTree(2)
+	if tr.N() != 4 {
+		t.Fatalf("N = %d, want 4", tr.N())
+	}
+	if tr.Root() != 0 {
+		t.Fatalf("Root = %d", tr.Root())
+	}
+	if tr.Parent(0) != -1 {
+		t.Fatalf("root parent = %d", tr.Parent(0))
+	}
+	if got := tr.Children(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("children of A = %v", got)
+	}
+	if tr.ClientSum(2) != 4 || tr.ClientSum(3) != 7 || tr.ClientSum(0) != 2 {
+		t.Fatalf("client sums = %d,%d,%d", tr.ClientSum(2), tr.ClientSum(3), tr.ClientSum(0))
+	}
+	if tr.TotalRequests() != 13 {
+		t.Fatalf("TotalRequests = %d", tr.TotalRequests())
+	}
+	if tr.ClientCount() != 3 {
+		t.Fatalf("ClientCount = %d", tr.ClientCount())
+	}
+}
+
+func TestPostOrderChildrenFirst(t *testing.T) {
+	tr := paperTree(2)
+	pos := make(map[int]int)
+	for i, j := range tr.PostOrder() {
+		pos[j] = i
+	}
+	if len(pos) != tr.N() {
+		t.Fatalf("post order has %d entries, want %d", len(pos), tr.N())
+	}
+	for j := 0; j < tr.N(); j++ {
+		for _, c := range tr.Children(j) {
+			if pos[c] > pos[j] {
+				t.Fatalf("child %d after parent %d in post order", c, j)
+			}
+		}
+	}
+}
+
+func TestDepthAndHeight(t *testing.T) {
+	tr := paperTree(0)
+	want := []int{0, 1, 2, 2}
+	for j, d := range want {
+		if tr.Depth(j) != d {
+			t.Errorf("Depth(%d) = %d, want %d", j, tr.Depth(j), d)
+		}
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("Height = %d", tr.Height())
+	}
+}
+
+func TestSubtreeNodes(t *testing.T) {
+	tr := paperTree(0)
+	got := tr.SubtreeNodes(1)
+	if len(got) != 2 {
+		t.Fatalf("SubtreeNodes(A) = %v", got)
+	}
+	seen := map[int]bool{}
+	for _, j := range got {
+		seen[j] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("SubtreeNodes(A) = %v, want {2,3}", got)
+	}
+	if len(tr.SubtreeNodes(2)) != 0 {
+		t.Fatalf("SubtreeNodes(leaf) = %v", tr.SubtreeNodes(2))
+	}
+	if got := tr.SubtreeNodes(0); len(got) != 3 {
+		t.Fatalf("SubtreeNodes(root) = %v", got)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := paperTree(0)
+	cases := []struct {
+		a, d int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {0, 3, true},
+		{1, 2, true}, {1, 3, true},
+		{2, 3, false}, {3, 2, false},
+		{1, 0, false}, {2, 2, false},
+	}
+	for _, c := range cases {
+		if got := tr.IsAncestor(c.a, c.d); got != c.want {
+			t.Errorf("IsAncestor(%d,%d) = %v, want %v", c.a, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := paperTree(2)
+	cl := tr.Clone()
+	cl.SetClientRequests(2, []int{9, 9})
+	if tr.ClientSum(2) != 4 {
+		t.Fatalf("mutating clone changed original: %d", tr.ClientSum(2))
+	}
+	if cl.ClientSum(2) != 18 {
+		t.Fatalf("clone mutation lost: %d", cl.ClientSum(2))
+	}
+}
+
+func TestSetClientRequests(t *testing.T) {
+	tr := paperTree(0)
+	tr.SetClientRequests(0, []int{1, 2, 3})
+	if tr.ClientSum(0) != 6 || len(tr.Clients(0)) != 3 {
+		t.Fatalf("SetClientRequests: sum=%d len=%d", tr.ClientSum(0), len(tr.Clients(0)))
+	}
+	// Caller's slice must not alias the tree.
+	in := []int{5}
+	tr.SetClientRequests(1, in)
+	in[0] = 99
+	if tr.ClientSum(1) != 5 {
+		t.Fatalf("SetClientRequests aliased caller slice")
+	}
+}
+
+func TestMaxClientSum(t *testing.T) {
+	tr := paperTree(2)
+	if got := tr.MaxClientSum(); got != 7 {
+		t.Fatalf("MaxClientSum = %d, want 7", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := paperTree(2)
+	s := tr.Summary()
+	if s.Nodes != 4 || s.Clients != 3 || s.TotalRequests != 13 || s.Height != 2 || s.Leaves != 2 || s.MaxClientSum != 7 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if tr.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestFromParentsValid(t *testing.T) {
+	tr, err := FromParents([]int{-1, 0, 0, 1}, [][]int{{3}, nil, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 4 || tr.ClientSum(2) != 3 || tr.ClientSum(0) != 3 {
+		t.Fatalf("FromParents: %v", tr)
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		parents []int
+		clients [][]int
+	}{
+		{"empty", nil, nil},
+		{"root not -1", []int{0}, nil},
+		{"out of range parent", []int{-1, 5}, nil},
+		{"self parent", []int{-1, 1}, nil},
+		{"negative parent non-root", []int{-1, -1}, nil},
+		{"too many client lists", []int{-1}, [][]int{nil, nil}},
+		{"negative requests", []int{-1}, [][]int{{-2}}},
+		{"two-cycle", []int{-1, 2, 1}, nil},
+	}
+	for _, c := range cases {
+		if _, err := FromParents(c.parents, c.clients); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	b := NewBuilder()
+	mustPanic("AddNode bad parent", func() { b.AddNode(7) })
+	mustPanic("AddClient bad node", func() { b.AddClient(3, 1) })
+	mustPanic("AddClient negative", func() { b.AddClient(0, -1) })
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	b := NewBuilder()
+	b.AddClient(0, 5)
+	tr := b.MustBuild()
+	if tr.N() != 1 || tr.TotalRequests() != 5 || tr.Height() != 0 {
+		t.Fatalf("single node tree: %v", tr)
+	}
+	if len(tr.PostOrder()) != 1 || tr.PostOrder()[0] != 0 {
+		t.Fatalf("post order: %v", tr.PostOrder())
+	}
+}
+
+func TestBuilderReusableAfterBuild(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode(0)
+	t1 := b.MustBuild()
+	b.AddNode(0)
+	t2 := b.MustBuild()
+	if t1.N() != 2 || t2.N() != 3 {
+		t.Fatalf("builds: %d then %d nodes", t1.N(), t2.N())
+	}
+}

@@ -1,0 +1,194 @@
+// Package replicatree is a complete implementation of the algorithms in
+//
+//	Benoit, Renaud-Goud, Robert: "Power-aware replica placement and
+//	update strategies in tree networks" (IPPS 2011).
+//
+// It places replica servers in a fixed distribution tree where leaf
+// clients issue requests served by their closest equipped ancestor, and
+// answers four optimisation problems exactly:
+//
+//   - MinCost-NoPre — the classical minimal-server placement;
+//   - MinCost-WithPre — minimal-cost reconfiguration of an existing
+//     deployment (Theorem 1, O(N⁵) dynamic programming);
+//   - MinPower — minimal power with multi-modal servers (NP-complete in
+//     the number of modes, Theorem 2; see internal/npc for the
+//     constructive reduction);
+//   - MinPower-BoundedCost — minimal power under a reconfiguration cost
+//     threshold, with or without pre-existing servers (Theorem 3,
+//     polynomial for a fixed number of modes), including the full
+//     cost/power Pareto front.
+//
+// The greedy baseline of Wu, Lin and Liu the paper compares against, a
+// faster local-search heuristic (the paper's future work), a
+// request-flow simulator, and harnesses regenerating every figure of the
+// paper's evaluation (cmd/replicasim) are included.
+//
+// # Quick start
+//
+//	b := replicatree.NewBuilder()
+//	region := b.AddNode(b.Root())
+//	b.AddClient(region, 7) // a client issuing 7 requests per time unit
+//	t := b.MustBuild()
+//
+//	res, err := replicatree.MinCost(t, nil, 10, replicatree.SimpleCost{Create: 0.1, Delete: 0.01})
+//	if err != nil { ... }
+//	fmt.Println(res.Placement, res.Cost)
+//
+// See the examples directory for complete programs.
+package replicatree
+
+import (
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/heuristic"
+	"replicatree/internal/netsim"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// Core model types.
+type (
+	// Tree is a fixed distribution tree of internal nodes and leaf
+	// clients.
+	Tree = tree.Tree
+	// Builder constructs trees incrementally from the root down.
+	Builder = tree.Builder
+	// GenConfig parameterises the random tree generators used in the
+	// paper's evaluation.
+	GenConfig = tree.GenConfig
+	// Replicas maps nodes to operating modes; it describes both
+	// pre-existing deployments and computed solutions.
+	Replicas = tree.Replicas
+	// TreeStats summarises a tree.
+	TreeStats = tree.Stats
+	// CapacityError reports an overloaded server or unserved requests.
+	CapacityError = tree.CapacityError
+
+	// SimpleCost is the paper's Equation (2) reconfiguration cost.
+	SimpleCost = cost.Simple
+	// ModalCost is the paper's Equation (4) cost with per-mode
+	// creation, deletion and mode-change prices.
+	ModalCost = cost.Modal
+	// Tally counts the reconfiguration actions between two
+	// deployments.
+	Tally = cost.Tally
+	// PowerModel holds the server modes and the static+dynamic power
+	// function of Section 2.2.
+	PowerModel = power.Model
+
+	// MinCostResult is an optimal MinCost-WithPre solution.
+	MinCostResult = core.MinCostResult
+	// PowerProblem is a MinPower(-BoundedCost) instance.
+	PowerProblem = core.PowerProblem
+	// PowerSolver answers every cost bound from one dynamic-program
+	// run.
+	PowerSolver = core.PowerSolver
+	// PowerResult is an optimal placement with its cost and power.
+	PowerResult = core.PowerResult
+	// ParetoPoint is one non-dominated (cost, power) trade-off.
+	ParetoPoint = core.ParetoPoint
+
+	// SweepResult is the outcome of the greedy capacity sweep.
+	SweepResult = greedy.SweepResult
+	// HeuristicOptions tunes the local-search heuristic.
+	HeuristicOptions = heuristic.Options
+	// HeuristicResult is the local-search heuristic's outcome.
+	HeuristicResult = heuristic.Result
+
+	// Simulator replays request traffic on a placement over time.
+	Simulator = netsim.Simulator
+	// SimMetrics accumulates simulation results.
+	SimMetrics = netsim.Metrics
+
+	// RNG is the deterministic random stream used by generators.
+	RNG = rng.Source
+)
+
+// ErrInfeasible is returned when no placement can serve every client.
+var ErrInfeasible = core.ErrInfeasible
+
+// Tree construction and workloads.
+var (
+	// NewBuilder returns a tree builder holding only the root.
+	NewBuilder = tree.NewBuilder
+	// FromParents builds a tree from a parent vector and client lists.
+	FromParents = tree.FromParents
+	// ReadTreeJSON decodes a tree from JSON.
+	ReadTreeJSON = tree.ReadTreeJSON
+	// WriteDOT renders a tree (and optional replica sets) as Graphviz.
+	WriteDOT = tree.WriteDOT
+
+	// NewReplicas returns an empty replica set over n nodes.
+	NewReplicas = tree.NewReplicas
+	// ReplicasOf returns an empty replica set sized for a tree.
+	ReplicasOf = tree.ReplicasOf
+	// ReadReplicasJSON decodes a replica set sized for a tree.
+	ReadReplicasJSON = tree.ReadReplicasJSON
+
+	// GenerateTree draws a random tree from a GenConfig.
+	GenerateTree = tree.Generate
+	// FatConfig is the paper's Experiment 1 workload (6-9 children).
+	FatConfig = tree.FatConfig
+	// HighConfig is the paper's high-tree workload (2-4 children).
+	HighConfig = tree.HighConfig
+	// PowerConfig is the paper's Experiment 3 workload.
+	PowerConfig = tree.PowerConfig
+	// RandomReplicas draws a random pre-existing deployment.
+	RandomReplicas = tree.RandomReplicas
+	// RedrawRequests re-draws every client's demand (Experiment 2).
+	RedrawRequests = tree.RedrawRequests
+
+	// Flows evaluates closest-policy request flows for a placement.
+	Flows = tree.Flows
+	// Assignments maps every node to its serving server.
+	Assignments = tree.Assignments
+	// ValidateSolution checks service and per-mode capacities.
+	ValidateSolution = tree.Validate
+	// ValidateUniform checks service under a single capacity.
+	ValidateUniform = tree.ValidateUniform
+
+	// NewRNG returns a seeded deterministic stream.
+	NewRNG = rng.New
+	// DeriveRNG returns an independent sub-stream of a seed.
+	DeriveRNG = rng.Derive
+)
+
+// Models.
+var (
+	// NewPowerModel validates and builds a power model.
+	NewPowerModel = power.New
+	// UniformModalCost builds an Equation (4) cost with uniform
+	// prices.
+	UniformModalCost = cost.UniformModal
+	// TallyReplicas counts reconfiguration actions between two
+	// deployments.
+	TallyReplicas = cost.TallyReplicas
+)
+
+// Solvers.
+var (
+	// MinCost solves MinCost-WithPre optimally (Theorem 1). A nil
+	// existing set gives the classical MinCost-NoPre problem.
+	MinCost = core.MinCost
+	// MinReplicaCount returns the classical minimal server count.
+	MinReplicaCount = core.MinReplicaCount
+	// SolvePower runs the MinPower-BoundedCost dynamic program
+	// (Theorem 3); one run answers every cost bound and exposes the
+	// Pareto front.
+	SolvePower = core.SolvePower
+
+	// GreedyMinReplicas is the O(N log N) baseline of Wu, Lin and
+	// Liu: a minimal-cardinality placement for one capacity.
+	GreedyMinReplicas = greedy.MinReplicas
+	// GreedyPowerSweep is the paper's power-adapted greedy baseline.
+	GreedyPowerSweep = greedy.PowerSweep
+
+	// HeuristicPowerAware is the fast local-search heuristic for
+	// MinPower-BoundedCost (the paper's future-work design).
+	HeuristicPowerAware = heuristic.PowerAware
+
+	// NewSimulator replays request traffic on a placement.
+	NewSimulator = netsim.New
+)
