@@ -139,3 +139,72 @@ func TestFacadeGeneratorsAndSerialisation(t *testing.T) {
 		t.Fatalf("assignments: %v", got)
 	}
 }
+
+// TestFacadePolicies drives the policy-parametric surface: the policy
+// constants, parser, flow engine, greedy and simulator under every
+// access policy.
+func TestFacadePolicies(t *testing.T) {
+	b := replicatree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(bb, 3)
+	tr := b.MustBuild()
+
+	for _, p := range []replicatree.Policy{
+		replicatree.PolicyClosest, replicatree.PolicyUpwards, replicatree.PolicyMultiple,
+	} {
+		got, err := replicatree.ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+
+	r := replicatree.ReplicasOf(tr)
+	r.Set(bb, 1)
+	r.Set(tr.Root(), 1)
+	if err := replicatree.ValidatePolicy(tr, r, replicatree.PolicyClosest, 5); err == nil {
+		t.Fatal("closest accepted an overloaded server")
+	}
+	if err := replicatree.ValidatePolicy(tr, r, replicatree.PolicyUpwards, 5); err != nil {
+		t.Fatalf("upwards: %v", err)
+	}
+	loads, unserved := replicatree.FlowsPolicy(tr, r, replicatree.PolicyMultiple, 5)
+	if unserved != 0 || loads[bb] != 5 {
+		t.Fatalf("multiple loads = %v unserved = %d", loads, unserved)
+	}
+
+	engine := replicatree.NewFlowEngine(tr)
+	if res := engine.EvalUniform(r, replicatree.PolicyUpwards, 5); res.Unserved != 0 {
+		t.Fatalf("engine upwards unserved = %d", res.Unserved)
+	}
+
+	sol, err := replicatree.GreedyMinReplicasPolicy(tr, 5, replicatree.PolicyUpwards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replicatree.ValidatePolicy(tr, sol, replicatree.PolicyUpwards, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	pm, err := replicatree.NewPowerModel([]int{5}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := replicatree.NewPolicySimulator(tr, r, pm, replicatree.PolicyMultiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(1)
+	if m := sim.Metrics(); m.Served != 7 || m.Dropped != 0 {
+		t.Fatalf("simulator metrics = %+v", m)
+	}
+
+	// The heuristic accepts the policy through its options.
+	cm := replicatree.UniformModalCost(1, 0.1, 0.01, 0.001)
+	h, err := replicatree.HeuristicPowerAware(tr, nil, pm, cm, math.Inf(1),
+		replicatree.HeuristicOptions{Policy: replicatree.PolicyMultiple})
+	if err != nil || !h.Found {
+		t.Fatalf("heuristic under multiple: %+v, %v", h, err)
+	}
+}

@@ -345,3 +345,69 @@ func BenchmarkUpdateIntervalStudy(b *testing.B) {
 	}
 	b.ReportMetric((systematic/best-1)*100, "systematic-overhead-%")
 }
+
+// --- Flow-engine micro-benchmarks (all access policies) ---
+
+// benchPolicyWorkload builds a paper workload (100-node fat or high
+// tree), a valid W=10 placement and a reusable engine. The closest
+// greedy placement is valid under all three policies, so every policy
+// benchmark evaluates the same instance.
+func benchPolicyWorkload(b *testing.B, high bool) (*tree.Engine, *tree.Replicas) {
+	b.Helper()
+	cfg := tree.FatConfig(100)
+	if high {
+		cfg = tree.HighConfig(100)
+	}
+	tr := tree.MustGenerate(cfg, replicatree.NewRNG(exper.DefaultSeed))
+	r, err := replicatree.GreedyMinReplicas(tr, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree.NewEngine(tr), r
+}
+
+// BenchmarkFlows times one flow evaluation per policy on the paper's
+// 100-node trees. With a reused engine every variant must run
+// allocation-free (watch allocs/op).
+func BenchmarkFlows(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		high bool
+	}{{"fat100", false}, {"high100", true}} {
+		e, r := benchPolicyWorkload(b, shape.high)
+		for _, p := range tree.Policies() {
+			b.Run(shape.name+"/"+p.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				unserved := 0
+				for i := 0; i < b.N; i++ {
+					res := e.EvalUniform(r, p, 10)
+					unserved += res.Unserved
+				}
+				if unserved != 0 {
+					b.Fatalf("benchmark placement invalid: %d unserved", unserved)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkValidate times one full validation per policy on the same
+// workloads (evaluation plus the capacity check).
+func BenchmarkValidate(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		high bool
+	}{{"fat100", false}, {"high100", true}} {
+		e, r := benchPolicyWorkload(b, shape.high)
+		for _, p := range tree.Policies() {
+			b.Run(shape.name+"/"+p.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := e.ValidateUniform(r, p, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

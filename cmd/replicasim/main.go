@@ -10,6 +10,9 @@
 //	10 Experiment 3, high trees
 //	11 Experiment 3, expensive creations/deletions
 //
+// -policies runs the companion access-policy comparison (Closest vs
+// Upwards vs Multiple, arXiv cs/0611034) instead of a paper figure.
+//
 // By default a reduced tree count keeps runs interactive; -full uses the
 // paper's exact scale (200 trees for Experiments 1-2, 100 for
 // Experiment 3). -scale reproduces the in-text scalability timings.
@@ -38,6 +41,7 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate every figure")
 		scale     = flag.Bool("scale", false, "run the Section 5.2 scalability measurements")
 		intervals = flag.Bool("intervals", false, "run the Section 6 lazy-vs-systematic update-interval study")
+		policies  = flag.Bool("policies", false, "compare the Closest/Upwards/Multiple access policies (cs/0611034)")
 		full      = flag.Bool("full", false, "use the paper's full tree counts and instance sizes")
 		trees     = flag.Int("trees", 0, "override the number of trees per experiment")
 		seed      = flag.Uint64("seed", exper.DefaultSeed, "random seed")
@@ -49,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(ids) == 0 && !*scale && !*intervals {
+	if len(ids) == 0 && !*scale && !*intervals && !*policies {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,6 +63,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+
+	if *policies {
+		for _, high := range []bool{false, true} {
+			if err := runPolicyComparison(high, *full, *trees, *seed, *workers); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
 	}
 
 	if *intervals {
@@ -172,6 +185,23 @@ func runFigure(id int, full bool, trees int, seed uint64, workers int) error {
 			variant, cfg.Trees, cfg.Gen.Nodes, cfg.Pre)))
 	}
 	return fmt.Errorf("replicasim: unknown figure %d", id)
+}
+
+// runPolicyComparison runs the cross-policy experiment on fat or high
+// trees and reports it.
+func runPolicyComparison(high, full bool, trees int, seed uint64, workers int) error {
+	cfg := exper.DefaultPolicyCompare(high)
+	if !full {
+		cfg.Trees = 10
+	}
+	applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+	res, err := exper.RunPolicyCompare(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Report(os.Stdout, fmt.Sprintf(
+		"=== Access-policy comparison (%s trees): %d trees of %d nodes ===",
+		shape(high), cfg.Trees, cfg.Gen.Nodes))
 }
 
 func applyCommon(cfgTrees *int, cfgSeed *uint64, cfgWorkers *int, trees int, seed uint64, workers int) {

@@ -47,3 +47,9 @@ func TestRunFigureSmall(t *testing.T) {
 		t.Fatal("unknown figure accepted")
 	}
 }
+
+func TestPolicyComparisonSmoke(t *testing.T) {
+	if err := runPolicyComparison(false, false, 2, 7, 0); err != nil {
+		t.Fatalf("policy comparison: %v", err)
+	}
+}

@@ -12,6 +12,10 @@
 //	greedy    run the greedy baseline
 //	check     validate a placement against a tree
 //
+// The greedy and check subcommands accept -policy closest|upwards|multiple
+// to place and validate under the access policies of arXiv cs/0611034
+// (the exact solvers assume the closest policy).
+//
 // Examples:
 //
 //	replicatool gen -nodes 50 -shape fat -seed 7 > tree.json
@@ -30,7 +34,6 @@ import (
 	"strings"
 
 	"replicatree"
-	"replicatree/internal/tree"
 )
 
 func main() {
@@ -229,20 +232,26 @@ func cmdGreedy(args []string) error {
 	fs := flag.NewFlagSet("greedy", flag.ExitOnError)
 	treeF := fs.String("tree", "", "tree JSON file")
 	w := fs.Int("w", 10, "server capacity W")
+	policyF := fs.String("policy", "closest", "access policy: closest, upwards or multiple")
 	fs.Parse(args)
 
 	t, err := loadTree(*treeF)
 	if err != nil {
 		return err
 	}
-	sol, err := replicatree.GreedyMinReplicas(t, *w)
+	policy, err := replicatree.ParsePolicy(*policyF)
+	if err != nil {
+		return err
+	}
+	sol, err := replicatree.GreedyMinReplicasPolicy(t, *w, policy)
 	if err != nil {
 		return err
 	}
 	return emit(struct {
+		Policy   string                `json:"policy"`
 		Servers  int                   `json:"servers"`
 		Replicas *replicatree.Replicas `json:"replicas"`
-	}{sol.Count(), sol})
+	}{policy.String(), sol.Count(), sol})
 }
 
 func cmdCheck(args []string) error {
@@ -250,6 +259,7 @@ func cmdCheck(args []string) error {
 	treeF := fs.String("tree", "", "tree JSON file")
 	placementF := fs.String("placement", "", "placement JSON file")
 	capsF := fs.String("caps", "10", "mode capacities W_1,...,W_M")
+	policyF := fs.String("policy", "closest", "access policy: closest, upwards or multiple")
 	fs.Parse(args)
 
 	t, err := loadTree(*treeF)
@@ -272,22 +282,28 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := replicatree.ValidateSolution(t, placement, func(m uint8) int {
-		if int(m) > len(caps) {
-			return -1
-		}
-		return caps[m-1]
-	}); err != nil {
+	policy, err := replicatree.ParsePolicy(*policyF)
+	if err != nil {
 		return err
 	}
-	loads, _ := tree.Flows(t, placement)
+	for j := 0; j < t.N(); j++ {
+		if m := placement.Mode(j); m != 0 && int(m) > len(caps) {
+			return fmt.Errorf("replicatool: node %d uses mode %d, but -caps lists only %d capacities", j, m, len(caps))
+		}
+	}
+	capOf := func(m uint8) int { return caps[m-1] }
+	engine := replicatree.NewFlowEngine(t)
+	if err := engine.Validate(placement, policy, capOf); err != nil {
+		return err
+	}
+	res := engine.Eval(placement, policy, capOf)
 	maxLoad := 0
-	for _, l := range loads {
+	for _, l := range res.Loads {
 		if l > maxLoad {
 			maxLoad = l
 		}
 	}
-	fmt.Printf("valid: %d servers, %d requests served, max load %d\n",
-		placement.Count(), t.TotalRequests(), maxLoad)
+	fmt.Printf("valid under the %s policy: %d servers, %d requests served, max load %d\n",
+		policy, placement.Count(), t.TotalRequests(), maxLoad)
 	return nil
 }

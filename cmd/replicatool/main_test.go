@@ -117,3 +117,32 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 		t.Fatal("missing placement accepted")
 	}
 }
+
+func TestPolicyFlagsEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	for _, policy := range []string{"closest", "upwards", "multiple"} {
+		if err := cmdGreedy([]string{"-tree", path, "-w", "10", "-policy", policy}); err != nil {
+			t.Fatalf("greedy -policy %s: %v", policy, err)
+		}
+	}
+	if err := cmdGreedy([]string{"-tree", path, "-w", "10", "-policy", "nearest"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// A root-only placement overloads under closest at W=10 (13
+	// requests) but the relaxed policies cannot fix an overloaded root
+	// either; a placement at the root plus node 1 routes around the
+	// bottleneck only for upwards/multiple.
+	place := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(place, []byte(`{"modes": [1, 0, 0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "10", "-policy", "multiple"}); err == nil {
+		t.Fatal("multiple policy served 13 requests on a capacity-10 root")
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "13", "-policy", "upwards"}); err != nil {
+		t.Fatalf("check -policy upwards: %v", err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "13", "-policy", "bogus"}); err == nil {
+		t.Fatal("unknown check policy accepted")
+	}
+}

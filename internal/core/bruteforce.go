@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 
 	"replicatree/internal/cost"
 	"replicatree/internal/power"
@@ -26,6 +28,7 @@ func BruteMinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (
 	E := existing.Count()
 	var best *MinCostResult
 	n := t.N()
+	e := tree.NewEngine(t)
 	for mask := 0; mask < 1<<n; mask++ {
 		r := tree.NewReplicas(n)
 		for j := 0; j < n; j++ {
@@ -33,7 +36,7 @@ func BruteMinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (
 				r.Set(j, 1)
 			}
 		}
-		if tree.ValidateUniform(t, r, W) != nil {
+		if e.ValidateUniform(r, tree.PolicyClosest, W) != nil {
 			continue
 		}
 		servers := r.Count()
@@ -76,6 +79,7 @@ func BrutePowerCandidates(t *tree.Tree, existing *tree.Replicas, pm power.Model,
 	}
 	var out []BruteCandidate
 	n := t.N()
+	e := tree.NewEngine(t)
 	for mask := 0; mask < 1<<n; mask++ {
 		r := tree.NewReplicas(n)
 		var servers []int
@@ -85,7 +89,8 @@ func BrutePowerCandidates(t *tree.Tree, existing *tree.Replicas, pm power.Model,
 				servers = append(servers, j)
 			}
 		}
-		loads, unserved := tree.Flows(t, r)
+		res := e.Eval(r, tree.PolicyClosest, nil)
+		loads, unserved := res.Loads, res.Unserved
 		if unserved > 0 {
 			continue
 		}
@@ -143,4 +148,224 @@ func BruteBestPower(cands []BruteCandidate, bound float64) (best BruteCandidate,
 		}
 	}
 	return best, found
+}
+
+// BruteFeasible decides exactly whether placement r serves every client
+// of t under access policy p with uniform capacity W. Unlike the flow
+// engine — whose Upwards pass is a conservative certifier — this is the
+// ground truth the policy layer is cross-validated against:
+//
+//   - Closest: the engine's deterministic evaluation (already exact).
+//   - Upwards: exhaustive backtracking over assignments of whole
+//     clients to equipped ancestors (the problem is NP-complete).
+//   - Multiple: an independent max-flow formulation, checked in tests
+//     against the engine's saturating pass (which is exact too).
+//
+// Exponential for Upwards; restricted to small trees.
+func BruteFeasible(t *tree.Tree, r *tree.Replicas, p tree.Policy, W int) (bool, error) {
+	if t.N() > maxBruteNodes {
+		return false, fmt.Errorf("core: BruteFeasible limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	if W < 0 {
+		return false, fmt.Errorf("core: BruteFeasible with negative capacity %d", W)
+	}
+	switch p {
+	case tree.PolicyClosest:
+		return tree.ValidateUniform(t, r, W) == nil, nil
+	case tree.PolicyUpwards:
+		return upwardsFeasible(t, r, W), nil
+	case tree.PolicyMultiple:
+		return multipleFeasibleMaxFlow(t, r, W), nil
+	default:
+		return false, fmt.Errorf("core: BruteFeasible with unknown policy %v", p)
+	}
+}
+
+// upwardsFeasible searches for an assignment of every client (atomic
+// demand) to an equipped node on its path to the root, no server
+// exceeding W. Clients are processed in decreasing demand order with a
+// residual-capacity bound and a symmetry break for identical clients.
+func upwardsFeasible(t *tree.Tree, r *tree.Replicas, W int) bool {
+	type item struct {
+		node, demand int
+	}
+	var items []item
+	total := 0
+	for j := 0; j < t.N(); j++ {
+		for _, d := range t.Clients(j) {
+			if d > 0 {
+				items = append(items, item{j, d})
+				total += d
+			}
+		}
+	}
+	if total == 0 {
+		return true
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].demand != items[b].demand {
+			return items[a].demand > items[b].demand
+		}
+		return items[a].node < items[b].node
+	})
+	// Candidate servers per item: equipped nodes on the path to the root.
+	cands := make([][]int, len(items))
+	residual := make(map[int]int)
+	for i, it := range items {
+		for n := it.node; n >= 0; n = t.Parent(n) {
+			if r.Has(n) {
+				cands[i] = append(cands[i], n)
+				residual[n] = W
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+	free := 0
+	for range residual {
+		free += W
+	}
+	remaining := total
+	var rec func(i, prevChoice int) bool
+	rec = func(i, prevChoice int) bool {
+		if i == len(items) {
+			return true
+		}
+		if remaining > free {
+			return false
+		}
+		start := 0
+		if i > 0 && items[i] == items[i-1] {
+			// Identical clients are interchangeable: only try servers
+			// from the previous twin's choice onward.
+			start = prevChoice
+		}
+		for ci := start; ci < len(cands[i]); ci++ {
+			s := cands[i][ci]
+			if residual[s] < items[i].demand {
+				continue
+			}
+			residual[s] -= items[i].demand
+			free -= items[i].demand
+			remaining -= items[i].demand
+			if rec(i+1, ci) {
+				return true
+			}
+			residual[s] += items[i].demand
+			free += items[i].demand
+			remaining += items[i].demand
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// multipleFeasibleMaxFlow decides multiple-policy feasibility as a
+// maximum flow: source -> (node with clients, capacity = its demand) ->
+// (equipped ancestor, unbounded) -> sink (capacity W per server). The
+// placement is feasible iff the max flow saturates every demand.
+// Splittable demands make the aggregation per node lossless.
+func multipleFeasibleMaxFlow(t *tree.Tree, r *tree.Replicas, W int) bool {
+	n := t.N()
+	// Vertex ids: 0 = source, 1..n = demand vertices, n+1..2n = server
+	// vertices, 2n+1 = sink.
+	V := 2*n + 2
+	src, sink := 0, 2*n+1
+	capacity := make([][]int, V)
+	for i := range capacity {
+		capacity[i] = make([]int, V)
+	}
+	total := 0
+	for j := 0; j < n; j++ {
+		d := t.ClientSum(j)
+		if d == 0 {
+			continue
+		}
+		total += d
+		capacity[src][1+j] = d
+		for a := j; a >= 0; a = t.Parent(a) {
+			if r.Has(a) {
+				capacity[1+j][n+1+a] = d
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		if r.Has(j) {
+			capacity[n+1+j][sink] = W
+		}
+	}
+	flow := 0
+	parent := make([]int, V)
+	queue := make([]int, 0, V)
+	for {
+		// BFS for an augmenting path.
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue = append(queue[:0], src)
+		for len(queue) > 0 && parent[sink] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < V; v++ {
+				if parent[v] < 0 && capacity[u][v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[sink] < 0 {
+			break
+		}
+		aug := math.MaxInt
+		for v := sink; v != src; v = parent[v] {
+			if c := capacity[parent[v]][v]; c < aug {
+				aug = c
+			}
+		}
+		for v := sink; v != src; v = parent[v] {
+			capacity[parent[v]][v] -= aug
+			capacity[v][parent[v]] += aug
+		}
+		flow += aug
+	}
+	return flow == total
+}
+
+// BruteMinReplicasPolicy returns a minimal-cardinality placement that is
+// exactly feasible under policy p with uniform capacity W (every replica
+// at mode 1; among equal-cardinality placements the smallest node-set
+// bitmask wins, i.e. the one concentrated on the lowest node ids).
+// Exponential; it exists to cross-validate the greedy policy layer.
+func BruteMinReplicasPolicy(t *tree.Tree, W int, p tree.Policy) (*tree.Replicas, error) {
+	if t.N() > maxBruteNodes {
+		return nil, fmt.Errorf("core: BruteMinReplicasPolicy limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	n := t.N()
+	var best *tree.Replicas
+	bestCount := n + 1
+	for mask := 0; mask < 1<<n; mask++ {
+		count := bits.OnesCount(uint(mask))
+		if count >= bestCount {
+			continue
+		}
+		r := tree.NewReplicas(n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				r.Set(j, 1)
+			}
+		}
+		ok, err := BruteFeasible(t, r, p, W)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			best, bestCount = r, count
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	return best, nil
 }

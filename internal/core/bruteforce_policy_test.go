@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"replicatree/internal/greedy"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// smallPolicyTree draws a random tree with at most maxNodes internal
+// nodes for exhaustive policy checks.
+func smallPolicyTree(seed uint64, maxNodes int) *tree.Tree {
+	src := rng.Derive(seed, 7)
+	cfg := tree.GenConfig{
+		Nodes:       2 + src.IntN(maxNodes-1),
+		MinChildren: 1 + src.IntN(2),
+		ClientProb:  0.3 + 0.6*src.Float64(),
+		ReqMin:      1,
+		ReqMax:      1 + src.IntN(6),
+	}
+	cfg.MaxChildren = cfg.MinChildren + src.IntN(3)
+	return tree.MustGenerate(cfg, src)
+}
+
+func maskReplicas(n, mask int) *tree.Replicas {
+	r := tree.NewReplicas(n)
+	for j := 0; j < n; j++ {
+		if mask&(1<<j) != 0 {
+			r.Set(j, 1)
+		}
+	}
+	return r
+}
+
+// The defining containment of cs/0611034, checked against the exact
+// exponential searches over every replica subset of random small trees:
+// Closest-feasible ⊆ Upwards-feasible ⊆ Multiple-feasible.
+func TestPolicyContainmentExact(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		tr := smallPolicyTree(seed, 10)
+		W := 3 + int(seed%6)
+		for mask := 0; mask < 1<<tr.N(); mask++ {
+			r := maskReplicas(tr.N(), mask)
+			closest, err := BruteFeasible(tr, r, tree.PolicyClosest, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upwards, err := BruteFeasible(tr, r, tree.PolicyUpwards, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			multiple, err := BruteFeasible(tr, r, tree.PolicyMultiple, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if closest && !upwards {
+				t.Fatalf("seed %d W=%d mask %b: closest-feasible but not upwards-feasible", seed, W, mask)
+			}
+			if upwards && !multiple {
+				t.Fatalf("seed %d W=%d mask %b: upwards-feasible but not multiple-feasible", seed, W, mask)
+			}
+		}
+	}
+}
+
+// The engine's saturating bottom-up pass claims to be an exact
+// feasibility test for the multiple policy; cross-check it against the
+// independent max-flow formulation on every subset.
+func TestEngineMultipleMatchesMaxFlow(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		tr := smallPolicyTree(seed, 10)
+		e := tree.NewEngine(tr)
+		W := 2 + int(seed%7)
+		for mask := 0; mask < 1<<tr.N(); mask++ {
+			r := maskReplicas(tr.N(), mask)
+			exact, err := BruteFeasible(tr, r, tree.PolicyMultiple, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine := e.ValidateUniform(r, tree.PolicyMultiple, W) == nil
+			if exact != engine {
+				t.Fatalf("seed %d W=%d mask %b: max-flow says %v, engine says %v", seed, W, mask, exact, engine)
+			}
+		}
+	}
+}
+
+// The engine's upwards pass is a sound certifier: whenever it validates
+// a placement, the exact backtracking search must agree.
+func TestEngineUpwardsSound(t *testing.T) {
+	certified, exactOnly := 0, 0
+	for seed := uint64(0); seed < 25; seed++ {
+		tr := smallPolicyTree(seed, 10)
+		e := tree.NewEngine(tr)
+		W := 2 + int(seed%7)
+		for mask := 0; mask < 1<<tr.N(); mask++ {
+			r := maskReplicas(tr.N(), mask)
+			engine := e.ValidateUniform(r, tree.PolicyUpwards, W) == nil
+			exact, err := BruteFeasible(tr, r, tree.PolicyUpwards, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if engine && !exact {
+				t.Fatalf("seed %d W=%d mask %b: engine certified an infeasible upwards placement", seed, W, mask)
+			}
+			if engine {
+				certified++
+			}
+			if exact && !engine {
+				exactOnly++
+			}
+		}
+	}
+	if certified == 0 {
+		t.Fatal("the upwards certifier never accepted anything; the test is vacuous")
+	}
+	t.Logf("upwards: %d engine-certified, %d feasible placements the conservative pass missed", certified, exactOnly)
+}
+
+// The engine's best-fit-decreasing upwards pass is conservative by
+// design. This is the canonical miss: demands {4,3,3} with servers at
+// their node (W=6) and the root (W=4) are exactly feasible (3+3 low, 4
+// high) but the largest-first pass strands a 3.
+func TestEngineUpwardsConservativeExample(t *testing.T) {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	b.AddClient(a, 4)
+	b.AddClient(a, 3)
+	b.AddClient(a, 3)
+	tr := b.MustBuild()
+	r := tree.NewReplicas(tr.N())
+	r.Set(0, 1) // root, mode 1
+	r.Set(1, 2) // A, mode 2
+	caps := func(m uint8) int { return []int{4, 6}[m-1] }
+
+	// Exact search (uniform capacities are enough here: swap the modes
+	// so both views exist).
+	feasible, err := BruteFeasible(tr, maskReplicas(tr.N(), 0b11), tree.PolicyUpwards, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("exact search rejected a feasible instance")
+	}
+	if err := tree.NewEngine(tr).Validate(r, tree.PolicyUpwards, caps); err == nil {
+		t.Fatal("best-fit-decreasing unexpectedly certified the {4,3,3} instance; update the docs if the pass got smarter")
+	}
+}
+
+// Greedy policy placements must be valid under their policy and can
+// never beat the exact minimal count.
+func TestGreedyPolicyAgainstBrute(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		tr := smallPolicyTree(seed, 9)
+		e := tree.NewEngine(tr)
+		W := 3 + int(seed%5)
+		for _, p := range tree.Policies() {
+			brute, bruteErr := BruteMinReplicasPolicy(tr, W, p)
+			sol, err := greedy.MinReplicasPolicy(tr, W, p)
+			if err != nil {
+				// The greedy may be conservative under Upwards, but
+				// it must not fail when the closest policy succeeds,
+				// and under Multiple it fails only on exact
+				// infeasibility (the full placement is exact there).
+				if p == tree.PolicyMultiple && bruteErr == nil {
+					t.Fatalf("seed %d W=%d: greedy multiple failed on a feasible instance: %v", seed, W, err)
+				}
+				continue
+			}
+			if verr := e.ValidateUniform(sol, p, W); verr != nil {
+				t.Fatalf("seed %d W=%d policy %v: invalid greedy placement: %v", seed, W, p, verr)
+			}
+			if bruteErr != nil {
+				t.Fatalf("seed %d W=%d policy %v: greedy found a placement where brute force found none", seed, W, p)
+			}
+			if sol.Count() < brute.Count() {
+				t.Fatalf("seed %d W=%d policy %v: greedy used %d servers, brute-force minimum is %d",
+					seed, W, p, sol.Count(), brute.Count())
+			}
+			if p == tree.PolicyClosest && sol.Count() != brute.Count() {
+				t.Fatalf("seed %d W=%d: closest greedy is optimal but used %d servers vs %d",
+					seed, W, sol.Count(), brute.Count())
+			}
+		}
+	}
+}
+
+// Relaxed policies strictly enlarge the feasible region: a 6-request
+// client at W=5 is infeasible under closest and upwards (the demand is
+// atomic) yet served under multiple by splitting across the chain, and
+// the {4,3} instance needs upwards routing to become feasible at all.
+func TestPolicyStrictSeparationInstances(t *testing.T) {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	b.AddClient(a, 6)
+	tr := b.MustBuild()
+	const W = 5
+	if _, err := BruteMinReplicasPolicy(tr, W, tree.PolicyClosest); err == nil {
+		t.Fatal("closest should be infeasible with a 6-request client at W=5")
+	}
+	if _, err := BruteMinReplicasPolicy(tr, W, tree.PolicyUpwards); err == nil {
+		t.Fatal("upwards should be infeasible with a 6-request client at W=5")
+	}
+	sol, err := BruteMinReplicasPolicy(tr, W, tree.PolicyMultiple)
+	if err != nil {
+		t.Fatalf("multiple should split the client across the chain: %v", err)
+	}
+	if sol.Count() != 2 {
+		t.Fatalf("multiple minimum = %d servers, want 2", sol.Count())
+	}
+
+	// Upwards beats closest: {4,3} at B with B and root equipped, W=5
+	// (the engine separation example, now at the counting level).
+	b2 := tree.NewBuilder()
+	bb := b2.AddNode(b2.AddNode(b2.Root()))
+	b2.AddClient(bb, 4)
+	b2.AddClient(bb, 3)
+	tr2 := b2.MustBuild()
+	cl, err := BruteMinReplicasPolicy(tr2, 5, tree.PolicyClosest)
+	if err == nil {
+		t.Fatalf("closest should be infeasible (7 > 5 at one node), got %v", cl)
+	}
+	up, err := BruteMinReplicasPolicy(tr2, 5, tree.PolicyUpwards)
+	if err != nil || up.Count() != 2 {
+		t.Fatalf("upwards minimum = %v, %v; want 2 servers", up, err)
+	}
+}

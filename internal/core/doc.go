@@ -12,6 +12,15 @@
 //     with an arbitrary number of modes is NP-complete (Theorem 2, see
 //     package npc); the algorithm here is exponential in M only.
 //
+// Both dynamic programs assume the closest access policy
+// (tree.PolicyClosest): Lemma 1's "requests traversing a node" argument
+// relies on every request being absorbed by the first equipped ancestor.
+// They are not valid under the relaxed upwards/multiple policies of
+// tree.Policy; for those, the exhaustive BruteFeasible /
+// BruteMinReplicasPolicy searches in this package are the exact
+// (exponential) references, and the greedy and heuristic packages
+// provide polynomial baselines.
+//
 // Both algorithms follow the paper's structure — a bottom-up traversal
 // that merges children one at a time, where the table entry for a given
 // "server budget" in a subtree records the minimal number of requests

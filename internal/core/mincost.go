@@ -33,7 +33,10 @@ type MinCostResult struct {
 //	cost(R) = R + (R−e)·create + (E−e)·delete,
 //
 // where e is the number of reused servers of the pre-existing set. A nil
-// existing set solves the classical MinCost-NoPre problem. The worst
+// existing set solves the classical MinCost-NoPre problem. The dynamic
+// program is exact only under tree.PolicyClosest (see the package
+// documentation); use BruteMinReplicasPolicy to cross-check other
+// access policies on small trees. The worst
 // case running time is O(N·(N−E+1)²·(E+1)²) = O(N⁵) as in the paper;
 // subtree-bounded tables make typical instances far cheaper.
 func MinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {

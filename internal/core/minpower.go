@@ -105,6 +105,10 @@ type pStep struct {
 // servers and O(N^{2M²+2M+1}) with them, in the worst case; per-subtree
 // dimension bounds make typical instances far cheaper, and large merges
 // run in parallel when Workers > 1.
+//
+// The program is exact only under the closest access policy
+// (tree.PolicyClosest); see the package documentation for the relaxed
+// policies.
 func SolvePower(p PowerProblem) (*PowerSolver, error) {
 	if p.Tree == nil {
 		return nil, fmt.Errorf("core: nil tree")

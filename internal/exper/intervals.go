@@ -145,6 +145,7 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 
 		for si, k := range strategies {
 			t := base.Clone()
+			engine := tree.NewEngine(t)
 			init, err := core.MinCost(t, nil, cfg.W, cfg.Cost)
 			if err != nil {
 				res[si].err = err
@@ -159,7 +160,7 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 					t.SetClientRequests(ch.node, reqs)
 				}
 				scheduled := k > 0 && s%k == 0
-				invalid := tree.ValidateUniform(t, placement, cfg.W) != nil
+				invalid := engine.ValidateUniform(placement, tree.PolicyClosest, cfg.W) != nil
 				if scheduled || invalid {
 					upd, err := core.MinCost(t, placement, cfg.W, cfg.Cost)
 					if err != nil {

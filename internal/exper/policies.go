@@ -1,0 +1,191 @@
+package exper
+
+import (
+	"fmt"
+
+	"replicatree/internal/greedy"
+	"replicatree/internal/par"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// PolicyCompareConfig parameterises the cross-policy experiment: on the
+// paper's fat or high trees, compare the number of replicas (and the
+// power of the load-determined-mode solution) needed to serve every
+// client under the Closest, Upwards and Multiple access policies of
+// Benoit, Rehn & Robert (arXiv cs/0611034). Placements come from the
+// policy-aware greedy (greedy.MinReplicasPolicy); every placement is
+// validated under its policy before it is counted.
+type PolicyCompareConfig struct {
+	Trees int
+	Gen   tree.GenConfig
+	// Ws are the uniform server capacities swept for the replica-count
+	// comparison.
+	Ws []int
+	// Power is the model used for the power comparison, which places
+	// with capacity W_M and assigns load-determined modes per policy.
+	Power   power.Model
+	Seed    uint64
+	Workers int
+}
+
+// DefaultPolicyCompare returns the default workload: 50 fat (or high)
+// trees of 100 nodes as in Experiment 1, capacities swept around the
+// paper's W=10, and the Experiment 3 power model.
+func DefaultPolicyCompare(high bool) PolicyCompareConfig {
+	gen := tree.FatConfig(100)
+	if high {
+		gen = tree.HighConfig(100)
+	}
+	return PolicyCompareConfig{
+		Trees: 50,
+		Gen:   gen,
+		Ws:    []int{4, 6, 8, 10, 12, 14},
+		Power: Exp3Power(),
+		Seed:  DefaultSeed,
+	}
+}
+
+// PolicyCountPoint aggregates the replica-count comparison at one
+// capacity. Averages are over the trees where the policy admitted a
+// valid placement at all (Feasible counts them); the relaxed policies
+// can be feasible where Closest is not.
+type PolicyCountPoint struct {
+	W        int
+	Servers  []float64 // avg replica count per policy, tree.Policies() order
+	Feasible []int     // trees with a valid placement per policy
+}
+
+// PolicyPowerRow aggregates the power comparison for one policy.
+type PolicyPowerRow struct {
+	Policy     tree.Policy
+	Feasible   int
+	AvgServers float64
+	AvgPower   float64
+}
+
+// PolicyCompareResult aggregates the cross-policy experiment.
+type PolicyCompareResult struct {
+	Policies []tree.Policy
+	Counts   []PolicyCountPoint
+	Power    []PolicyPowerRow
+}
+
+func (c PolicyCompareConfig) validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("exper: Trees = %d", c.Trees)
+	}
+	if len(c.Ws) == 0 {
+		return fmt.Errorf("exper: no capacities to sweep")
+	}
+	for _, w := range c.Ws {
+		if w <= 0 {
+			return fmt.Errorf("exper: non-positive capacity %d", w)
+		}
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunPolicyCompare executes the cross-policy experiment. Runs are
+// parallel across trees and deterministic for a fixed seed.
+func RunPolicyCompare(cfg PolicyCompareConfig) (*PolicyCompareResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	policies := tree.Policies()
+	type treeOut struct {
+		// servers[wi][pi] is the replica count at cfg.Ws[wi] under
+		// policies[pi], or -1 when no valid placement was found.
+		servers [][]int
+		// power[pi] and pservers[pi] describe the W_M placement with
+		// load-determined modes, or -1 when infeasible.
+		power    []float64
+		pservers []int
+		err      error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		e := tree.NewEngine(t)
+		out := treeOut{
+			servers:  make([][]int, len(cfg.Ws)),
+			power:    make([]float64, len(policies)),
+			pservers: make([]int, len(policies)),
+		}
+		for wi, w := range cfg.Ws {
+			out.servers[wi] = make([]int, len(policies))
+			for pi, p := range policies {
+				out.servers[wi][pi] = -1
+				sol, err := greedy.MinReplicasPolicy(t, w, p)
+				if err != nil {
+					continue // infeasible at this capacity
+				}
+				if err := e.ValidateUniform(sol, p, w); err != nil {
+					out.err = fmt.Errorf("exper: tree %d W=%d policy %v: invalid greedy placement: %w", i, w, p, err)
+					return out
+				}
+				out.servers[wi][pi] = sol.Count()
+			}
+		}
+		for pi, p := range policies {
+			out.power[pi], out.pservers[pi] = -1, -1
+			sol, err := greedy.MinReplicasPolicy(t, cfg.Power.MaxCap(), p)
+			if err != nil {
+				continue
+			}
+			if err := cfg.Power.AssignModesEngine(e, sol, p); err != nil {
+				continue
+			}
+			out.power[pi] = cfg.Power.OfReplicas(sol)
+			out.pservers[pi] = sol.Count()
+		}
+		return out
+	})
+
+	res := &PolicyCompareResult{Policies: policies}
+	for wi, w := range cfg.Ws {
+		pt := PolicyCountPoint{
+			W:        w,
+			Servers:  make([]float64, len(policies)),
+			Feasible: make([]int, len(policies)),
+		}
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			for pi := range policies {
+				if s := o.servers[wi][pi]; s >= 0 {
+					pt.Feasible[pi]++
+					pt.Servers[pi] += float64(s)
+				}
+			}
+		}
+		for pi := range policies {
+			if pt.Feasible[pi] > 0 {
+				pt.Servers[pi] /= float64(pt.Feasible[pi])
+			}
+		}
+		res.Counts = append(res.Counts, pt)
+	}
+	for pi, p := range policies {
+		row := PolicyPowerRow{Policy: p}
+		for _, o := range outs {
+			if o.power[pi] >= 0 {
+				row.Feasible++
+				row.AvgPower += o.power[pi]
+				row.AvgServers += float64(o.pservers[pi])
+			}
+		}
+		if row.Feasible > 0 {
+			row.AvgPower /= float64(row.Feasible)
+			row.AvgServers /= float64(row.Feasible)
+		}
+		res.Power = append(res.Power, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func quickPolicyCfg() PolicyCompareConfig {
+	cfg := DefaultPolicyCompare(false)
+	cfg.Trees = 4
+	cfg.Gen = tree.FatConfig(40)
+	cfg.Ws = []int{4, 10}
+	return cfg
+}
+
+func TestRunPolicyCompareShape(t *testing.T) {
+	cfg := quickPolicyCfg()
+	res, err := RunPolicyCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 3 {
+		t.Fatalf("policies = %v", res.Policies)
+	}
+	if len(res.Counts) != len(cfg.Ws) {
+		t.Fatalf("%d count points for %d capacities", len(res.Counts), len(cfg.Ws))
+	}
+	for _, pt := range res.Counts {
+		for pi, p := range res.Policies {
+			if pt.Feasible[pi] < 0 || pt.Feasible[pi] > cfg.Trees {
+				t.Fatalf("W=%d policy %v: feasible = %d", pt.W, p, pt.Feasible[pi])
+			}
+			if pt.Feasible[pi] > 0 && pt.Servers[pi] <= 0 {
+				t.Fatalf("W=%d policy %v: avg servers = %v with %d feasible trees",
+					pt.W, p, pt.Servers[pi], pt.Feasible[pi])
+			}
+		}
+	}
+	// W=10 covers every client demand (ReqMax 6), so every policy must
+	// serve every tree; relaxation never loses feasibility.
+	last := res.Counts[len(res.Counts)-1]
+	for pi, p := range res.Policies {
+		if last.Feasible[pi] != cfg.Trees {
+			t.Fatalf("W=10 policy %v: only %d/%d trees feasible", p, last.Feasible[pi], cfg.Trees)
+		}
+	}
+	// Relaxed policies never need more feasible trees' worth of
+	// servers than closest on average (their greedy starts from the
+	// closest solution and prunes).
+	if last.Servers[1] > last.Servers[0]+1e-9 || last.Servers[2] > last.Servers[0]+1e-9 {
+		t.Fatalf("relaxed policies used more servers than closest: %v", last.Servers)
+	}
+	for pi := range res.Policies {
+		if res.Power[pi].Feasible != cfg.Trees {
+			t.Fatalf("power row %d: %d/%d feasible", pi, res.Power[pi].Feasible, cfg.Trees)
+		}
+		if res.Power[pi].AvgPower <= 0 {
+			t.Fatalf("power row %d: avg power %v", pi, res.Power[pi].AvgPower)
+		}
+	}
+}
+
+func TestRunPolicyCompareDeterministic(t *testing.T) {
+	cfg := quickPolicyCfg()
+	a, err := RunPolicyCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := RunPolicyCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Counts {
+		for pi := range a.Policies {
+			if a.Counts[i].Servers[pi] != b.Counts[i].Servers[pi] ||
+				a.Counts[i].Feasible[pi] != b.Counts[i].Feasible[pi] {
+				t.Fatalf("worker count changed the result at point %d", i)
+			}
+		}
+	}
+	for pi := range a.Policies {
+		if a.Power[pi] != b.Power[pi] {
+			t.Fatalf("worker count changed the power row %d", pi)
+		}
+	}
+}
+
+func TestRunPolicyCompareValidation(t *testing.T) {
+	cfg := quickPolicyCfg()
+	cfg.Trees = 0
+	if _, err := RunPolicyCompare(cfg); err == nil {
+		t.Fatal("Trees=0 accepted")
+	}
+	cfg = quickPolicyCfg()
+	cfg.Ws = nil
+	if _, err := RunPolicyCompare(cfg); err == nil {
+		t.Fatal("empty capacity sweep accepted")
+	}
+	cfg = quickPolicyCfg()
+	cfg.Ws = []int{0}
+	if _, err := RunPolicyCompare(cfg); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+}
+
+func TestPolicyCompareReport(t *testing.T) {
+	res, err := RunPolicyCompare(quickPolicyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Report(&sb, "policies"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"policies", "closest", "upwards", "multiple", "avg power"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

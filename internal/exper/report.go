@@ -93,3 +93,58 @@ func ReportScale(w io.Writer, rows []ScaleRow) error {
 	_, err := io.WriteString(w, sb.String())
 	return err
 }
+
+// Report renders a cross-policy comparison: the replica-count table and
+// plot over the capacity sweep, followed by the power table.
+func (r *PolicyCompareResult) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%6s", "W")
+	for _, p := range r.Policies {
+		fmt.Fprintf(&sb, " %10s %5s", p, "ok")
+	}
+	sb.WriteByte('\n')
+	var xs []float64
+	series := make([]textplot.Series, len(r.Policies))
+	for pi, p := range r.Policies {
+		series[pi] = textplot.Series{Name: p.String()}
+	}
+	for _, pt := range r.Counts {
+		fmt.Fprintf(&sb, "%6d", pt.W)
+		allFeasible := true
+		for pi := range r.Policies {
+			fmt.Fprintf(&sb, " %10.2f %5d", pt.Servers[pi], pt.Feasible[pi])
+			if pt.Feasible[pi] == 0 {
+				allFeasible = false
+			}
+		}
+		sb.WriteByte('\n')
+		// A zero average means "no feasible tree", not "zero replicas";
+		// plotting it would invert the story, so the plot keeps only
+		// capacities every policy can serve.
+		if allFeasible {
+			xs = append(xs, float64(pt.W))
+			for pi := range r.Policies {
+				series[pi].Ys = append(series[pi].Ys, pt.Servers[pi])
+			}
+		}
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	if len(xs) > 0 {
+		if err := textplot.Plot(w, "average replicas vs capacity W (capacities feasible under every policy)",
+			xs, series, 60, 16); err != nil {
+			return err
+		}
+	}
+	sb.Reset()
+	fmt.Fprintf(&sb, "\npower at load-determined modes (capacity W_M placements):\n")
+	fmt.Fprintf(&sb, "%10s %8s %12s %12s\n", "policy", "ok", "avg servers", "avg power")
+	for _, row := range r.Power {
+		fmt.Fprintf(&sb, "%10s %8d %12.2f %12.1f\n", row.Policy, row.Feasible, row.AvgServers, row.AvgPower)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -95,6 +95,92 @@ func MinReplicas(t *tree.Tree, W int) (*tree.Replicas, error) {
 	return r, nil
 }
 
+// MinReplicasPolicy returns a valid single-capacity placement under the
+// chosen access policy, with every replica set to mode 1. For
+// tree.PolicyClosest it is exactly MinReplicas and therefore optimal.
+// For the upwards and multiple policies — where feasible placements are
+// a superset of the closest ones, and Upwards placement is NP-hard —
+// it seeds from the closest solution when one exists (falling back to
+// equipping every node) and then greedily prunes servers in increasing
+// order of absorbed load while the placement stays valid under the
+// policy's flow evaluation. The result is always validated; it is a
+// baseline, not an optimum (the core package's brute force is the
+// reference on small trees).
+func MinReplicasPolicy(t *tree.Tree, W int, p tree.Policy) (*tree.Replicas, error) {
+	if p == tree.PolicyClosest {
+		return MinReplicas(t, W)
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("greedy: unknown access policy %v", p)
+	}
+	if W <= 0 {
+		return nil, fmt.Errorf("greedy: non-positive capacity %d", W)
+	}
+	if p == tree.PolicyUpwards {
+		// A client's requests stay together under Upwards, so one
+		// demand above W dooms every placement.
+		for j := 0; j < t.N(); j++ {
+			for _, d := range t.Clients(j) {
+				if d > W {
+					return nil, &InfeasibleError{Node: j, Demand: d, Cap: W}
+				}
+			}
+		}
+	}
+	e := tree.NewEngine(t)
+	r, err := MinReplicas(t, W)
+	if err != nil || e.ValidateUniform(r, p, W) != nil {
+		// No closest solution (or, under Upwards, one the best-fit
+		// certifier cannot re-certify): start from the full placement,
+		// which serves the most requests any placement can.
+		r = tree.ReplicasOf(t)
+		for j := 0; j < t.N(); j++ {
+			r.Set(j, 1)
+		}
+		if err := e.ValidateUniform(r, p, W); err != nil {
+			return nil, fmt.Errorf("greedy: no valid placement under the %v policy with capacity %d: %w", p, W, err)
+		}
+	}
+	pruneReplicas(e, r, p, W)
+	return r, nil
+}
+
+// pruneReplicas repeatedly removes the server whose removal keeps r
+// valid, trying lightest observed loads first (ties by node id), until
+// no single server can be dropped.
+func pruneReplicas(e *tree.Engine, r *tree.Replicas, p tree.Policy, W int) {
+	t := e.Tree()
+	order := make([]int, 0, t.N())
+	for {
+		res := e.EvalUniform(r, p, W)
+		order = order[:0]
+		for j := 0; j < t.N(); j++ {
+			if r.Has(j) {
+				order = append(order, j)
+			}
+		}
+		loads := append([]int(nil), res.Loads...)
+		sort.Slice(order, func(a, b int) bool {
+			if loads[order[a]] != loads[order[b]] {
+				return loads[order[a]] < loads[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		removed := false
+		for _, j := range order {
+			r.Unset(j)
+			if e.ValidateUniform(r, p, W) == nil {
+				removed = true
+				break
+			}
+			r.Set(j, 1)
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
 // SweepResult is the outcome of the paper's power-adapted greedy: the
 // best placement found across the capacity sweep, with load-determined
 // modes assigned, and its cost and power.
@@ -117,6 +203,19 @@ type SweepResult struct {
 // keep the solution of minimal power among those with cost at most
 // bound. Ties prefer lower cost, then lower W'.
 func PowerSweep(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.Modal, bound float64) (SweepResult, error) {
+	return PowerSweepPolicy(t, existing, pm, cm, bound, tree.PolicyClosest)
+}
+
+// PowerSweepPolicy is PowerSweep under an arbitrary access policy: the
+// capacity sweep places with MinReplicasPolicy, modes are assigned with
+// the policy-aware load-determined rule (power.Model.AssignModesEngine),
+// and — under the relaxed policies, whose routing depends on
+// capacities — candidates that do not re-validate under their per-mode
+// capacities are skipped.
+func PowerSweepPolicy(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.Modal, bound float64, p tree.Policy) (SweepResult, error) {
+	if !p.Valid() {
+		return SweepResult{}, fmt.Errorf("greedy: unknown access policy %v", p)
+	}
 	if existing == nil {
 		existing = tree.NewReplicas(t.N())
 	}
@@ -129,16 +228,20 @@ func PowerSweep(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.M
 	if cm.M() != pm.M() {
 		return SweepResult{}, fmt.Errorf("greedy: cost model has %d modes, power model %d", cm.M(), pm.M())
 	}
+	e := tree.NewEngine(t)
 	best := SweepResult{}
 	for capW := pm.Caps[0]; capW <= pm.MaxCap(); capW++ {
-		sol, err := MinReplicas(t, capW)
+		sol, err := MinReplicasPolicy(t, capW, p)
 		if err != nil {
 			continue // this capacity cannot serve the instance
 		}
-		if err := pm.AssignModes(t, sol); err != nil {
-			// Loads are bounded by capW <= W_M, so this cannot
-			// happen for a solution MinReplicas accepted.
-			return SweepResult{}, err
+		if err := pm.AssignModesEngine(e, sol, p); err != nil {
+			if p == tree.PolicyClosest {
+				// Closest loads are bounded by capW <= W_M, so this
+				// cannot happen for a solution MinReplicas accepted.
+				return SweepResult{}, err
+			}
+			continue // mode capacities cannot carry this routing
 		}
 		c, err := cm.OfReplicas(sol, existing)
 		if err != nil {
@@ -147,9 +250,9 @@ func PowerSweep(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.M
 		if c > bound {
 			continue
 		}
-		p := pm.OfReplicas(sol)
-		if better(p, c, capW, best) {
-			best = SweepResult{Solution: sol, Cost: c, Power: p, Capacity: capW, Found: true}
+		pw := pm.OfReplicas(sol)
+		if better(pw, c, capW, best) {
+			best = SweepResult{Solution: sol, Cost: c, Power: pw, Capacity: capW, Found: true}
 		}
 	}
 	return best, nil

@@ -326,3 +326,126 @@ func TestPowerSweepInfeasibleInstance(t *testing.T) {
 		t.Fatal("found a solution for an infeasible instance")
 	}
 }
+
+func TestMinReplicasPolicyClosestDelegates(t *testing.T) {
+	src := rng.New(41)
+	tr := tree.MustGenerate(tree.FatConfig(60), src)
+	a, err := MinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinReplicasPolicy(tr, 10, tree.PolicyClosest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("MinReplicasPolicy(closest) differs from MinReplicas")
+	}
+}
+
+func TestMinReplicasPolicyValidAndNoWorse(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		tr := tree.MustGenerate(tree.HighConfig(40), rng.Derive(seed, 3))
+		e := tree.NewEngine(tr)
+		const W = 8
+		closest, err := MinReplicas(tr, W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []tree.Policy{tree.PolicyUpwards, tree.PolicyMultiple} {
+			sol, err := MinReplicasPolicy(tr, W, p)
+			if err != nil {
+				t.Fatalf("seed %d policy %v: %v", seed, p, err)
+			}
+			if verr := e.ValidateUniform(sol, p, W); verr != nil {
+				t.Fatalf("seed %d policy %v: invalid placement: %v", seed, p, verr)
+			}
+			if sol.Count() > closest.Count() {
+				t.Fatalf("seed %d policy %v: %d servers, closest needs only %d",
+					seed, p, sol.Count(), closest.Count())
+			}
+		}
+	}
+}
+
+func TestMinReplicasPolicyMultipleServesOversizedClients(t *testing.T) {
+	// One 12-request client: closest and upwards cannot serve it with
+	// W=5, multiple splits it along the chain of three nodes.
+	b := tree.NewBuilder()
+	n1 := b.AddNode(b.Root())
+	n2 := b.AddNode(n1)
+	b.AddClient(n2, 12)
+	tr := b.MustBuild()
+	if _, err := MinReplicasPolicy(tr, 5, tree.PolicyClosest); err == nil {
+		t.Fatal("closest served a 12-request client at W=5")
+	}
+	if _, err := MinReplicasPolicy(tr, 5, tree.PolicyUpwards); err == nil {
+		t.Fatal("upwards served a 12-request client at W=5")
+	}
+	sol, err := MinReplicasPolicy(tr, 5, tree.PolicyMultiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Count() != 3 {
+		t.Fatalf("multiple used %d servers, want all 3 on the chain", sol.Count())
+	}
+	if _, err := MinReplicasPolicy(tr, 3, tree.PolicyMultiple); err == nil {
+		t.Fatal("W=3 cannot serve 12 requests on a 3-node chain")
+	}
+}
+
+func TestMinReplicasPolicyRejectsBadArgs(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(10), rng.New(1))
+	if _, err := MinReplicasPolicy(tr, 0, tree.PolicyMultiple); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+	if _, err := MinReplicasPolicy(tr, 5, tree.Policy(9)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPowerSweepPolicyClosestDelegates(t *testing.T) {
+	src := rng.New(17)
+	tr := tree.MustGenerate(tree.PowerConfig(30), src)
+	existing, err := tree.RandomReplicas(tr, 4, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	a, err := PowerSweep(tr, existing, pm, cm, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerSweepPolicy(tr, existing, pm, cm, 40, tree.PolicyClosest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Found != b.Found || a.Cost != b.Cost || a.Power != b.Power || a.Capacity != b.Capacity {
+		t.Fatalf("PowerSweepPolicy(closest) = %+v, PowerSweep = %+v", b, a)
+	}
+}
+
+func TestPowerSweepPolicyValidSolutions(t *testing.T) {
+	src := rng.New(23)
+	tr := tree.MustGenerate(tree.PowerConfig(30), src)
+	existing, err := tree.RandomReplicas(tr, 4, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	e := tree.NewEngine(tr)
+	for _, p := range tree.Policies() {
+		res, err := PowerSweepPolicy(tr, existing, pm, cm, 1e9, p)
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if !res.Found {
+			t.Fatalf("policy %v: nothing found with an unbounded budget", p)
+		}
+		if verr := e.Validate(res.Solution, p, func(m uint8) int { return pm.Cap(int(m)) }); verr != nil {
+			t.Fatalf("policy %v: invalid sweep solution: %v", p, verr)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Options struct {
 	// MaxPasses bounds the number of full improvement passes
 	// (default 10).
 	MaxPasses int
+	// Policy selects the access policy candidate placements are
+	// validated under (default tree.PolicyClosest). The weaker Upwards
+	// and Multiple policies admit more structures, so the search can
+	// reach placements the closest policy would reject.
+	Policy tree.Policy
 }
 
 // Result is the heuristic's outcome.
@@ -62,8 +67,12 @@ func PowerAware(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.M
 	if opts.MaxPasses <= 0 {
 		opts.MaxPasses = 10
 	}
+	if !opts.Policy.Valid() {
+		return Result{}, fmt.Errorf("heuristic: unknown access policy %v", opts.Policy)
+	}
 
-	h := &search{t: t, existing: existing, pm: pm, cm: cm, bound: bound}
+	h := &search{t: t, existing: existing, pm: pm, cm: cm, bound: bound,
+		policy: opts.Policy, engine: tree.NewEngine(t)}
 	best, found := h.seed()
 	if !found {
 		return Result{Found: false}, nil
@@ -108,6 +117,8 @@ type search struct {
 	pm       power.Model
 	cm       cost.Modal
 	bound    float64
+	policy   tree.Policy
+	engine   *tree.Engine
 }
 
 // better implements the acceptance order: strictly less power, or equal
@@ -130,8 +141,16 @@ func (h *search) seed() (candidate, bool) {
 		}
 	}
 
-	if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found {
+	if sw, err := greedy.PowerSweepPolicy(h.t, h.existing, h.pm, h.cm, h.bound, h.policy); err == nil && sw.Found {
 		try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
+	}
+	if h.policy != tree.PolicyClosest {
+		// Any closest-valid placement stays valid under the relaxed
+		// policies, so the plain closest sweep is one more seed — and
+		// it guarantees the search never ends above that baseline.
+		if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found {
+			try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
+		}
 	}
 	// Reuse the pre-existing deployment as-is.
 	try(h.assignModes(h.existing))
@@ -151,7 +170,12 @@ func (h *search) seed() (candidate, bool) {
 // the solution is affordable. ok is false when the structure cannot be
 // made valid and affordable this way.
 func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
-	loads, unserved := tree.Flows(h.t, structure)
+	// Routing under the upwards/multiple policies is capacity-aware;
+	// evaluating at the fastest mode W_M shows the most each server can
+	// be asked to carry (for the closest policy capacities are ignored
+	// and this is the plain flow evaluation).
+	res := h.engine.EvalUniform(structure, h.policy, h.pm.MaxCap())
+	loads, unserved := res.Loads, res.Unserved
 	if unserved > 0 {
 		return candidate{}, false
 	}
@@ -173,6 +197,15 @@ func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
 	if c > h.bound {
 		p, c = h.relaxToInitialModes(p, loads)
 		if c > h.bound {
+			return candidate{}, false
+		}
+	}
+	if h.policy != tree.PolicyClosest {
+		// Shrinking capacities from W_M to the assigned modes can shift
+		// the capacity-aware routing; keep only structures that still
+		// validate. (Under the closest policy loads are mode-independent
+		// and the minimal covering mode is valid by construction.)
+		if h.engine.Validate(p, h.policy, func(m uint8) int { return h.pm.Cap(int(m)) }) != nil {
 			return candidate{}, false
 		}
 	}

@@ -190,3 +190,68 @@ func TestPowerAwarePassLimit(t *testing.T) {
 		t.Fatalf("passes = %d, limit 1", res.Passes)
 	}
 }
+
+func TestPowerAwarePolicyValidAndNoWorse(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		src := rng.Derive(seed, 11)
+		tr := tree.MustGenerate(tree.PowerConfig(30), src)
+		existing, err := tree.RandomReplicas(tr, 4, 2, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := power.MustNew([]int{5, 10}, 12.5, 3)
+		cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+		e := tree.NewEngine(tr)
+		sweep, err := greedy.PowerSweep(tr, existing, pm, cm, math.Inf(1))
+		if err != nil || !sweep.Found {
+			t.Fatalf("seed %d: greedy sweep baseline failed: %v", seed, err)
+		}
+		for _, p := range tree.Policies() {
+			res, err := PowerAware(tr, existing, pm, cm, math.Inf(1), Options{Policy: p})
+			if err != nil {
+				t.Fatalf("seed %d policy %v: %v", seed, p, err)
+			}
+			if !res.Found {
+				t.Fatalf("seed %d policy %v: nothing found with an unbounded budget", seed, p)
+			}
+			if verr := e.Validate(res.Placement, p, func(m uint8) int { return pm.Cap(int(m)) }); verr != nil {
+				t.Fatalf("seed %d policy %v: invalid placement: %v", seed, p, verr)
+			}
+			// The closest greedy sweep seeds every policy's search
+			// (its placements are valid under all three), so no run
+			// may end above that baseline.
+			if res.Power > sweep.Power+1e-9 {
+				t.Fatalf("seed %d policy %v: power %v worse than the greedy sweep's %v",
+					seed, p, res.Power, sweep.Power)
+			}
+		}
+	}
+}
+
+func TestPowerAwareRejectsUnknownPolicy(t *testing.T) {
+	tr := tree.MustGenerate(tree.PowerConfig(10), rng.New(1))
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	if _, err := PowerAware(tr, nil, pm, cm, math.Inf(1), Options{Policy: tree.Policy(9)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPowerAwareClosestUnchangedByPolicyField(t *testing.T) {
+	src := rng.New(77)
+	tr := tree.MustGenerate(tree.PowerConfig(30), src)
+	existing, _ := tree.RandomReplicas(tr, 4, 2, src)
+	pm := power.MustNew([]int{5, 10}, 12.5, 3)
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	a, err := PowerAware(tr, existing, pm, cm, math.Inf(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerAware(tr, existing, pm, cm, math.Inf(1), Options{Policy: tree.PolicyClosest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Placement.Equal(b.Placement) || a.Cost != b.Cost || a.Power != b.Power {
+		t.Fatal("explicit PolicyClosest changed the default result")
+	}
+}

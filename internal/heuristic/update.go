@@ -56,7 +56,7 @@ func UpdateAware(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple, op
 	if err != nil {
 		return UpdateResult{Found: false}, nil // infeasible instance
 	}
-	h := &updateSearch{t: t, existing: existing, w: W, c: c}
+	h := &updateSearch{t: t, existing: existing, w: W, c: c, engine: tree.NewEngine(t)}
 	best := h.eval(seed)
 
 	// A second seed: keep every pre-existing server that the tree can
@@ -105,6 +105,7 @@ type updateSearch struct {
 	existing *tree.Replicas
 	w        int
 	c        cost.Simple
+	engine   *tree.Engine // reused across the O(N·E) validations per pass
 }
 
 func (h *updateSearch) eval(p *tree.Replicas) updateCand {
@@ -113,7 +114,7 @@ func (h *updateSearch) eval(p *tree.Replicas) updateCand {
 
 // try evaluates a candidate structure and reports an improvement.
 func (h *updateSearch) try(p *tree.Replicas, cur updateCand) (updateCand, bool) {
-	if tree.ValidateUniform(h.t, p, h.w) != nil {
+	if h.engine.ValidateUniform(p, tree.PolicyClosest, h.w) != nil {
 		return updateCand{}, false
 	}
 	cand := h.eval(p)
@@ -171,7 +172,7 @@ func (h *updateSearch) reuseSeed() (updateCand, bool) {
 	if up[h.t.Root()] > 0 {
 		p.Set(h.t.Root(), 1)
 	}
-	if tree.ValidateUniform(h.t, p, h.w) != nil {
+	if h.engine.ValidateUniform(p, tree.PolicyClosest, h.w) != nil {
 		return updateCand{}, false
 	}
 	return h.eval(p), true

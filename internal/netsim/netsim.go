@@ -1,12 +1,22 @@
 // Package netsim is a time-stepped request-flow simulator for
 // distribution trees: the operational counterpart of the paper's static
 // model. Each step, every client issues its per-time-unit requests,
-// requests are routed to the closest equipped ancestor, servers process
-// up to their mode's capacity, and the simulator accounts served and
-// dropped requests, per-server utilisation, and energy (power × time).
-// Placements can be swapped mid-run with a reconfiguration cost tally,
-// which is how the dynamic examples replay the paper's Experiment 2
-// setting end to end.
+// requests are routed to servers according to the configured access
+// policy, servers process up to their mode's capacity, and the
+// simulator accounts served and dropped requests, per-server
+// utilisation, and energy (power × time). Placements can be swapped
+// mid-run with a reconfiguration cost tally, which is how the dynamic
+// examples replay the paper's Experiment 2 setting end to end.
+//
+// Routing follows the placement's access policy (see tree.Policy).
+// Under the default closest policy a server receives every request
+// whose first equipped ancestor it is, and requests beyond its capacity
+// are dropped at the server (a capacity violation). Under the upwards
+// policy whole clients that do not fit a server climb further toward
+// the root, and under the multiple policy flows split so that every
+// server absorbs exactly up to its capacity; under both, requests are
+// only dropped when they pass the root, and no server ever runs beyond
+// its capacity.
 package netsim
 
 import (
@@ -47,16 +57,27 @@ type Simulator struct {
 	t         *tree.Tree
 	pm        power.Model
 	placement *tree.Replicas
+	policy    tree.Policy
+	engine    *tree.Engine
+	caps      tree.CapOf // mode -> capacity, built once to keep Step allocation-free
 	m         Metrics
 }
 
 // New validates the placement's modes against the power model and
-// returns a simulator. An invalid or lossy placement is accepted — the
-// point of simulating is to observe drops and violations — but mode
-// indices must exist in the model.
+// returns a simulator routing under the closest policy. An invalid or
+// lossy placement is accepted — the point of simulating is to observe
+// drops and violations — but mode indices must exist in the model.
 func New(t *tree.Tree, placement *tree.Replicas, pm power.Model) (*Simulator, error) {
+	return NewPolicy(t, placement, pm, tree.PolicyClosest)
+}
+
+// NewPolicy is New with an explicit access policy.
+func NewPolicy(t *tree.Tree, placement *tree.Replicas, pm power.Model, p tree.Policy) (*Simulator, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, err
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("netsim: unknown access policy %v", p)
 	}
 	if placement.N() != t.N() {
 		return nil, fmt.Errorf("netsim: placement covers %d nodes, tree has %d", placement.N(), t.N())
@@ -66,8 +87,14 @@ func New(t *tree.Tree, placement *tree.Replicas, pm power.Model) (*Simulator, er
 			return nil, fmt.Errorf("netsim: node %d uses mode %d, model has %d", j, m, pm.M())
 		}
 	}
-	return &Simulator{t: t, pm: pm, placement: placement.Clone()}, nil
+	s := &Simulator{t: t, pm: pm, placement: placement.Clone(),
+		policy: p, engine: tree.NewEngine(t)}
+	s.caps = func(m uint8) int { return s.pm.Cap(int(m)) }
+	return s, nil
 }
+
+// Policy returns the access policy the simulator routes under.
+func (s *Simulator) Policy() tree.Policy { return s.policy }
 
 // Placement returns a copy of the active placement.
 func (s *Simulator) Placement() *tree.Replicas { return s.placement.Clone() }
@@ -78,17 +105,19 @@ func (s *Simulator) Step(n int) {
 	if n <= 0 {
 		return
 	}
-	loads, unserved := tree.Flows(s.t, s.placement)
+	res := s.engine.Eval(s.placement, s.policy, s.caps)
 	served, dropped, violations := 0, 0, 0
 	stepPower := 0.0
 	peak := s.m.PeakUtilisation
-	for j, load := range loads {
+	for j, load := range res.Loads {
 		if !s.placement.Has(j) {
 			continue
 		}
 		capacity := s.pm.Cap(int(s.placement.Mode(j)))
 		stepPower += s.pm.NodePower(int(s.placement.Mode(j)))
 		if load > capacity {
+			// Closest policy only: capacity-aware routing never
+			// overloads a server.
 			violations++
 			served += capacity
 			dropped += load - capacity
@@ -99,7 +128,7 @@ func (s *Simulator) Step(n int) {
 			peak = u
 		}
 	}
-	dropped += unserved
+	dropped += res.Unserved
 	s.m.Steps += n
 	s.m.Served += served * n
 	s.m.Dropped += dropped * n

@@ -229,3 +229,84 @@ func TestDynamicWorkloadEndToEnd(t *testing.T) {
 		t.Fatalf("Reconfigurations = %d", m.Reconfigurations)
 	}
 }
+
+func TestPolicyRoutingSplitsAndClimbs(t *testing.T) {
+	// root(0) - A(1) - B(2); clients {4,3} at B; servers at B and root,
+	// both capacity 5 (mode 1).
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(bb, 3)
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{5}, 1, 2)
+	p := tree.ReplicasOf(tr)
+	p.Set(2, 1)
+	p.Set(0, 1)
+
+	// Closest: all 7 requests hit B (capacity 5): 2 dropped there, a
+	// violation every step.
+	s, err := New(tr, p, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy() != tree.PolicyClosest {
+		t.Fatalf("New routes under %v", s.Policy())
+	}
+	s.Step(2)
+	if m := s.Metrics(); m.Served != 5*2 || m.Dropped != 2*2 || m.Violations != 1*2 {
+		t.Fatalf("closest metrics = %+v", m)
+	}
+
+	// Upwards: the 3-request client climbs to the root; everything is
+	// served with no violations.
+	s, err = NewPolicy(tr, p, pm, tree.PolicyUpwards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(2)
+	if m := s.Metrics(); m.Served != 7*2 || m.Dropped != 0 || m.Violations != 0 {
+		t.Fatalf("upwards metrics = %+v", m)
+	}
+	if m := s.Metrics(); !almost(m.PeakUtilisation, 4.0/5) {
+		t.Fatalf("upwards peak utilisation = %v, want 0.8", m.PeakUtilisation)
+	}
+
+	// Multiple: B saturates at 5, the root takes the 2-request
+	// overflow.
+	s, err = NewPolicy(tr, p, pm, tree.PolicyMultiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(1)
+	if m := s.Metrics(); m.Served != 7 || m.Dropped != 0 || m.Violations != 0 || !almost(m.PeakUtilisation, 1) {
+		t.Fatalf("multiple metrics = %+v", m)
+	}
+}
+
+func TestPolicyRoutingDropsOnlyAtRoot(t *testing.T) {
+	b := tree.NewBuilder()
+	a := b.AddNode(b.Root())
+	b.AddClient(a, 9)
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{4}, 1, 2)
+	p := tree.ReplicasOf(tr)
+	p.Set(1, 1)
+	p.Set(0, 1)
+	s, err := NewPolicy(tr, p, pm, tree.PolicyMultiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(1)
+	if m := s.Metrics(); m.Served != 8 || m.Dropped != 1 || m.Violations != 0 {
+		t.Fatalf("metrics = %+v, want 8 served, 1 dropped past the root", m)
+	}
+}
+
+func TestNewPolicyRejectsUnknown(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5}, 1, 2)
+	if _, err := NewPolicy(tr, tree.ReplicasOf(tr), pm, tree.Policy(7)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -144,3 +144,51 @@ func (m Model) Evaluate(t *tree.Tree, sol *tree.Replicas) (*tree.Replicas, float
 	}
 	return out, m.OfReplicas(out), nil
 }
+
+// AssignModesEngine assigns load-determined modes under an arbitrary
+// access policy, reusing the caller's flow engine (sol must be sized
+// for the engine's tree). Routing is first evaluated with every server
+// at the fastest mode W_M; each server then gets the smallest mode
+// covering its observed load, and the assignment is re-validated under
+// the resulting per-mode capacities. Under the upwards policy the
+// best-fit routing can shift when capacities shrink, so modes are
+// escalated one step at a time until the placement validates again
+// (reaching W_M everywhere reproduces the initial routing, which makes
+// the loop terminate with a valid assignment whenever one step-one
+// routing existed).
+func (m Model) AssignModesEngine(e *tree.Engine, sol *tree.Replicas, p tree.Policy) error {
+	t := e.Tree()
+	if p == tree.PolicyClosest {
+		return m.AssignModes(t, sol)
+	}
+	res := e.EvalUniform(sol, p, m.MaxCap())
+	if res.Unserved > 0 {
+		return &tree.CapacityError{Node: -1, Load: res.Unserved, Policy: p}
+	}
+	for j := 0; j < t.N(); j++ {
+		if !sol.Has(j) {
+			continue
+		}
+		mode, ok := m.ModeFor(res.Loads[j])
+		if !ok {
+			return &tree.CapacityError{Node: j, Load: res.Loads[j], Cap: m.MaxCap(), Policy: p}
+		}
+		sol.Set(j, uint8(mode))
+	}
+	capOf := func(mode uint8) int { return m.Cap(int(mode)) }
+	for e.Validate(sol, p, capOf) != nil {
+		raised := false
+		for j := 0; j < t.N(); j++ {
+			if sol.Has(j) && int(sol.Mode(j)) < m.M() {
+				sol.Set(j, sol.Mode(j)+1)
+				raised = true
+			}
+		}
+		if !raised {
+			// Every server already runs at W_M; cannot happen after a
+			// successful max-capacity evaluation above.
+			return &tree.CapacityError{Node: -1, Load: 1, Policy: p}
+		}
+	}
+	return nil
+}

@@ -1,31 +1,260 @@
 package tree
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
+
+// CapOf maps a 1-based operating mode to its request capacity. It is
+// how the flow engine asks for capacities without depending on the
+// power package's model type.
+type CapOf func(mode uint8) int
+
+// Result describes one flow evaluation: the number of requests absorbed
+// by every node (zero for unequipped nodes) and the number of requests
+// that reach past the root unserved. Loads aliases the engine's scratch
+// buffer and is only valid until the engine's next evaluation; callers
+// that retain it must copy.
+type Result struct {
+	Policy   Policy
+	Loads    []int
+	Unserved int
+}
+
+// Engine evaluates request flows for one tree under any access policy.
+// All scratch state is preallocated and index-addressed at construction,
+// so evaluations after the first perform no heap allocations and a
+// reused engine turns flow evaluation into a pure array sweep — the
+// building block every solver, heuristic and simulator in this
+// repository shares. An Engine is not safe for concurrent use; create
+// one per goroutine (construction is O(N)).
+type Engine struct {
+	t *Tree
+
+	loads []int // absorbed requests per node (aliased by Result.Loads)
+	up    []int // aggregate flow leaving each node upward
+
+	// Upwards scratch: pending atomic client demands, kept as a stack
+	// aligned with the post-order traversal so that the demands still
+	// unserved inside subtree(j) form the contiguous tail pend[base:].
+	pend     []int
+	pendBase []int // stack length before post[i] was processed
+	size     []int // subtree sizes (including the node itself)
+
+	w       int   // capacity used by the uniform-capacity closure
+	uniform CapOf // returns w; avoids a per-call closure allocation
+}
+
+// NewEngine returns a flow engine for t. The engine keeps a reference
+// to t; topology must not change afterwards (request counts may).
+func NewEngine(t *Tree) *Engine {
+	n := t.N()
+	e := &Engine{
+		t:        t,
+		loads:    make([]int, n),
+		up:       make([]int, n),
+		pendBase: make([]int, n),
+		size:     make([]int, n),
+	}
+	for _, j := range t.post {
+		s := 1
+		for _, c := range t.children[j] {
+			s += e.size[c]
+		}
+		e.size[j] = s
+	}
+	e.uniform = func(uint8) int { return e.w }
+	return e
+}
+
+// Tree returns the tree the engine evaluates.
+func (e *Engine) Tree() *Tree { return e.t }
+
+// Eval evaluates replica set r under policy p. capOf supplies per-mode
+// capacities; it may be nil for PolicyClosest, whose routing ignores
+// capacities (requests stop at the first equipped ancestor even when it
+// overloads — Validate reports the overload). For PolicyUpwards and
+// PolicyMultiple, routing is capacity-aware: a server absorbs at most
+// its capacity and the remainder continues toward the root, so returned
+// loads never exceed capacities and Unserved alone decides feasibility.
+func (e *Engine) Eval(r *Replicas, p Policy, capOf CapOf) Result {
+	if r.N() != e.t.N() {
+		panic(fmt.Sprintf("tree: flow evaluation with replica set of size %d on tree of size %d", r.N(), e.t.N()))
+	}
+	switch p {
+	case PolicyClosest:
+		return e.evalClosest(r)
+	case PolicyUpwards:
+		if capOf == nil {
+			panic("tree: Eval under the upwards policy needs capacities")
+		}
+		return e.evalUpwards(r, capOf)
+	case PolicyMultiple:
+		if capOf == nil {
+			panic("tree: Eval under the multiple policy needs capacities")
+		}
+		return e.evalMultiple(r, capOf)
+	default:
+		panic(fmt.Sprintf("tree: Eval with unknown policy %d", uint8(p)))
+	}
+}
+
+// EvalUniform is Eval with every mode mapped to the single capacity W.
+func (e *Engine) EvalUniform(r *Replicas, p Policy, W int) Result {
+	if p == PolicyClosest {
+		return e.Eval(r, p, nil)
+	}
+	e.w = W
+	return e.Eval(r, p, e.uniform)
+}
+
+// evalClosest is the paper's closest service policy: every request is
+// absorbed by the first equipped node on its way to the root.
+func (e *Engine) evalClosest(r *Replicas) Result {
+	t := e.t
+	for _, j := range t.post {
+		f := t.ClientSum(j)
+		for _, c := range t.children[j] {
+			f += e.up[c]
+		}
+		if r.Has(j) {
+			e.loads[j] = f
+			e.up[j] = 0
+		} else {
+			e.loads[j] = 0
+			e.up[j] = f
+		}
+	}
+	return Result{Policy: PolicyClosest, Loads: e.loads, Unserved: e.up[t.Root()]}
+}
+
+// evalMultiple routes splittable flows: each equipped node absorbs as
+// much of the traversing flow as its capacity allows and forwards the
+// rest. Because a server can only serve requests originating in its own
+// subtree — a strict subset of what any ancestor can serve — saturating
+// servers bottom-up is never worse than any other split, which makes
+// this single pass an exact feasibility test for the multiple policy
+// (cross-checked against a max-flow formulation in the core package's
+// tests).
+func (e *Engine) evalMultiple(r *Replicas, capOf CapOf) Result {
+	t := e.t
+	for _, j := range t.post {
+		f := t.ClientSum(j)
+		for _, c := range t.children[j] {
+			f += e.up[c]
+		}
+		absorbed := 0
+		if r.Has(j) {
+			if c := capOf(r.Mode(j)); c > 0 {
+				absorbed = min(f, c)
+			}
+		}
+		e.loads[j] = absorbed
+		e.up[j] = f - absorbed
+	}
+	return Result{Policy: PolicyMultiple, Loads: e.loads, Unserved: e.up[t.Root()]}
+}
+
+// evalUpwards assigns whole clients to servers: pending client demands
+// climb toward the root and every equipped node keeps the largest
+// demands that fit (best-fit decreasing), forwarding the rest. The pass
+// is a sound feasibility certificate — when Unserved is zero the
+// constructed assignment proves the placement valid — but deciding
+// Upwards feasibility exactly is NP-complete (bin packing on the root
+// path), so a non-zero Unserved can over-reject; the core package's
+// brute-force search is the exact reference on small trees.
+func (e *Engine) evalUpwards(r *Replicas, capOf CapOf) Result {
+	t := e.t
+	e.pend = e.pend[:0]
+	unserved := 0
+	for i, j := range t.post {
+		e.pendBase[i] = len(e.pend)
+		for _, d := range t.clients[j] {
+			if d > 0 {
+				e.pend = append(e.pend, d)
+			}
+		}
+		e.loads[j] = 0
+		if !r.Has(j) {
+			continue
+		}
+		// The demands still unserved in subtree(j) are the stack tail
+		// that accumulated since the subtree's first post-order node.
+		base := e.pendBase[i-e.size[j]+1]
+		seg := e.pend[base:]
+		sort.Ints(seg)
+		load, c := 0, capOf(r.Mode(j))
+		for k := len(seg) - 1; k >= 0; k-- {
+			if d := seg[k]; load+d <= c {
+				load += d
+				seg[k] = -1 // absorbed; compacted below
+			}
+		}
+		w := base
+		for k := base; k < len(e.pend); k++ {
+			if e.pend[k] >= 0 {
+				e.pend[w] = e.pend[k]
+				w++
+			}
+		}
+		e.pend = e.pend[:w]
+		e.loads[j] = load
+	}
+	for _, d := range e.pend {
+		unserved += d
+	}
+	return Result{Policy: PolicyUpwards, Loads: e.loads, Unserved: unserved}
+}
+
+// Validate checks that r is a valid solution for the engine's tree
+// under policy p: every request is served and no server exceeds the
+// capacity of its operating mode. Under PolicyClosest the routing is
+// capacity-oblivious, so both unserved requests and overloads can
+// occur; under PolicyUpwards and PolicyMultiple routing is
+// capacity-aware and only unserved requests remain to report (for
+// Upwards the check is conservative — see Policy).
+func (e *Engine) Validate(r *Replicas, p Policy, capOf CapOf) error {
+	res := e.Eval(r, p, capOf)
+	if res.Unserved > 0 {
+		return &CapacityError{Node: -1, Load: res.Unserved, Policy: p}
+	}
+	if p == PolicyClosest {
+		for j, l := range res.Loads {
+			if !r.Has(j) {
+				continue
+			}
+			if c := capOf(r.Mode(j)); l > c {
+				return &CapacityError{Node: j, Load: l, Cap: c, Policy: p}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateUniform is Validate with a single capacity W for every mode.
+func (e *Engine) ValidateUniform(r *Replicas, p Policy, W int) error {
+	e.w = W
+	return e.Validate(r, p, e.uniform)
+}
 
 // Flows evaluates a replica set under the paper's closest service policy:
 // every request travels from its client toward the root and is absorbed
 // by the first equipped node it meets. It returns the resulting load of
 // every node (zero for unequipped nodes) and the number of requests that
 // escape the root unserved. A valid solution has unserved == 0.
+//
+// Flows constructs a throwaway engine; callers evaluating many replica
+// sets on one tree should hold a NewEngine instead.
 func Flows(t *Tree, r *Replicas) (loads []int, unserved int) {
-	if r.N() != t.N() {
-		panic(fmt.Sprintf("tree: Flows with replica set of size %d on tree of size %d", r.N(), t.N()))
-	}
-	loads = make([]int, t.N())
-	up := make([]int, t.N()) // requests leaving node j upward
-	for _, j := range t.post {
-		f := t.ClientSum(j)
-		for _, c := range t.children[j] {
-			f += up[c]
-		}
-		if r.Has(j) {
-			loads[j] = f
-			up[j] = 0
-		} else {
-			up[j] = f
-		}
-	}
-	return loads, up[t.Root()]
+	res := NewEngine(t).Eval(r, PolicyClosest, nil)
+	return res.Loads, res.Unserved
+}
+
+// FlowsPolicy evaluates a replica set under an arbitrary access policy
+// with the single capacity W (see Engine.Eval for the semantics).
+func FlowsPolicy(t *Tree, r *Replicas, p Policy, W int) (loads []int, unserved int) {
+	res := NewEngine(t).EvalUniform(r, p, W)
+	return res.Loads, res.Unserved
 }
 
 // ServerFor returns the node serving the clients attached to node j under
@@ -41,9 +270,10 @@ func ServerFor(t *Tree, r *Replicas, j int) int {
 }
 
 // Assignments returns, for every internal node, the server that handles
-// the requests of its attached clients (-1 when unserved). Nodes without
-// clients still get an entry, describing where their clients would be
-// served.
+// the requests of its attached clients (-1 when unserved) under the
+// closest policy, the only policy whose node-to-server map is unique.
+// Nodes without clients still get an entry, describing where their
+// clients would be served.
 func Assignments(t *Tree, r *Replicas) []int {
 	out := make([]int, t.N())
 	// Top-down pass: the serving node for j is j if equipped, else the
@@ -65,40 +295,38 @@ func Assignments(t *Tree, r *Replicas) []int {
 
 // CapacityError describes a violated constraint found by Validate.
 type CapacityError struct {
-	Node int // overloaded server, or -1 for unserved requests
-	Load int // offending load (or count of unserved requests)
-	Cap  int // capacity that was exceeded (0 for unserved)
+	Node   int    // overloaded server, or -1 for unserved requests
+	Load   int    // offending load (or count of unserved requests)
+	Cap    int    // capacity that was exceeded (0 for unserved)
+	Policy Policy // access policy the check ran under
 }
 
 func (e *CapacityError) Error() string {
 	if e.Node < 0 {
-		return fmt.Sprintf("tree: %d requests reach the root unserved", e.Load)
+		if e.Policy == PolicyClosest {
+			return fmt.Sprintf("tree: %d requests reach the root unserved", e.Load)
+		}
+		return fmt.Sprintf("tree: %d requests reach the root unserved under the %s policy", e.Load, e.Policy)
 	}
 	return fmt.Sprintf("tree: server at node %d carries %d requests, capacity %d", e.Node, e.Load, e.Cap)
 }
 
-// Validate checks that r is a valid solution for t: every request is
-// served and every equipped node's load is within the capacity of its
-// operating mode, as given by capOf (1-based mode index -> capacity).
+// Validate checks that r is a valid solution for t under the closest
+// policy: every request is served and every equipped node's load is
+// within the capacity of its operating mode, as given by capOf (1-based
+// mode index -> capacity). See Engine.Validate for other policies.
 func Validate(t *Tree, r *Replicas, capOf func(mode uint8) int) error {
-	loads, unserved := Flows(t, r)
-	if unserved > 0 {
-		return &CapacityError{Node: -1, Load: unserved}
-	}
-	for j, l := range loads {
-		if !r.Has(j) {
-			continue
-		}
-		c := capOf(r.Mode(j))
-		if l > c {
-			return &CapacityError{Node: j, Load: l, Cap: c}
-		}
-	}
-	return nil
+	return NewEngine(t).Validate(r, PolicyClosest, capOf)
 }
 
-// ValidateUniform checks a single-capacity solution: every replica
-// (whatever its mode) may carry at most W requests.
+// ValidateUniform checks a single-capacity closest-policy solution:
+// every replica (whatever its mode) may carry at most W requests.
 func ValidateUniform(t *Tree, r *Replicas, W int) error {
-	return Validate(t, r, func(uint8) int { return W })
+	return NewEngine(t).ValidateUniform(r, PolicyClosest, W)
+}
+
+// ValidatePolicy checks a single-capacity solution under an arbitrary
+// access policy.
+func ValidatePolicy(t *Tree, r *Replicas, p Policy, W int) error {
+	return NewEngine(t).ValidateUniform(r, p, W)
 }

@@ -1,0 +1,83 @@
+package tree
+
+import "fmt"
+
+// Policy selects the access policy that decides which replica servers
+// may serve a client's requests, following Benoit, Rehn & Robert,
+// "Strategies for Replica Placement in Tree Networks" (arXiv
+// cs/0611034):
+//
+//   - Closest — every request is served by the first equipped node on
+//     the path from its client toward the root. Routing is fully
+//     determined by the placement; capacities only decide validity.
+//     This is the policy of the IPPS 2011 power paper and the default
+//     everywhere in this repository.
+//   - Upwards — each client is served by exactly one equipped node on
+//     its path to the root, but not necessarily the closest one: a
+//     request may bypass an overloaded server and be absorbed higher
+//     up. A client's requests stay together (no splitting). Deciding
+//     feasibility of a fixed placement is NP-complete under Upwards
+//     (it embeds bin packing on the root path), so the flow engine
+//     certifies feasibility with a deterministic best-fit-decreasing
+//     pass that is sound but may miss feasible instances; the core
+//     package's brute-force search is the exact reference on small
+//     trees.
+//   - Multiple — a client's requests may be split between several
+//     equipped nodes on its path to the root. The engine's bottom-up
+//     saturating pass is an exact feasibility test for this policy
+//     (absorbing as low as possible is never worse, because a deeper
+//     server can only serve a subset of the clients a higher one can).
+//
+// Feasible placements nest: any Closest-valid placement is
+// Upwards-valid, and any Upwards-valid placement is Multiple-valid.
+type Policy uint8
+
+const (
+	// PolicyClosest is the paper's closest service policy (default).
+	PolicyClosest Policy = iota
+	// PolicyUpwards allows a request to bypass equipped ancestors, but
+	// each client is served by a single server.
+	PolicyUpwards
+	// PolicyMultiple allows a client's requests to be split between
+	// several servers on its path to the root.
+	PolicyMultiple
+
+	numPolicies
+)
+
+// Policies lists every access policy in increasing order of permissiveness.
+func Policies() []Policy {
+	return []Policy{PolicyClosest, PolicyUpwards, PolicyMultiple}
+}
+
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool { return p < numPolicies }
+
+// String implements fmt.Stringer with the paper's policy names.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClosest:
+		return "closest"
+	case PolicyUpwards:
+		return "upwards"
+	case PolicyMultiple:
+		return "multiple"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy converts a policy name ("closest", "upwards", "multiple")
+// to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "closest":
+		return PolicyClosest, nil
+	case "upwards":
+		return PolicyUpwards, nil
+	case "multiple":
+		return PolicyMultiple, nil
+	default:
+		return 0, fmt.Errorf("tree: unknown access policy %q (want closest, upwards or multiple)", s)
+	}
+}

@@ -1,0 +1,189 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyStringParse(t *testing.T) {
+	for _, p := range Policies() {
+		if !p.Valid() {
+			t.Fatalf("Policies() returned invalid %v", p)
+		}
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), back, err)
+		}
+	}
+	if _, err := ParsePolicy("nearest"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+	if Policy(200).Valid() {
+		t.Fatal("Policy(200) reported valid")
+	}
+	if s := Policy(200).String(); !strings.Contains(s, "200") {
+		t.Fatalf("Policy(200).String() = %q", s)
+	}
+}
+
+// chainTree builds root(0) - A(1) - B(2) with clients {4, 3} at B.
+func chainTree() *Tree {
+	b := NewBuilder()
+	a := b.AddNode(b.Root())
+	bb := b.AddNode(a)
+	b.AddClient(bb, 4)
+	b.AddClient(bb, 3)
+	return b.MustBuild()
+}
+
+// The canonical separation example: with servers at B and the root and
+// W=5, the closest policy overloads B with all 7 requests, the upwards
+// policy sends one whole client past B to the root, and the multiple
+// policy splits a client so B runs exactly at capacity.
+func TestPolicySeparationOnChain(t *testing.T) {
+	tr := chainTree()
+	r := ReplicasOf(tr)
+	r.Set(2, 1) // B
+	r.Set(0, 1) // root
+	e := NewEngine(tr)
+	const W = 5
+
+	if err := e.ValidateUniform(r, PolicyClosest, W); err == nil {
+		t.Fatal("closest policy accepted an overloaded server")
+	}
+
+	res := e.EvalUniform(r, PolicyUpwards, W)
+	if res.Unserved != 0 {
+		t.Fatalf("upwards unserved = %d", res.Unserved)
+	}
+	if res.Loads[2] != 4 || res.Loads[0] != 3 {
+		t.Fatalf("upwards loads = %v, want B=4 root=3", res.Loads)
+	}
+	if err := e.ValidateUniform(r, PolicyUpwards, W); err != nil {
+		t.Fatalf("upwards validation: %v", err)
+	}
+
+	res = e.EvalUniform(r, PolicyMultiple, W)
+	if res.Unserved != 0 {
+		t.Fatalf("multiple unserved = %d", res.Unserved)
+	}
+	if res.Loads[2] != 5 || res.Loads[0] != 2 {
+		t.Fatalf("multiple loads = %v, want B=5 root=2", res.Loads)
+	}
+}
+
+// With only B equipped at W=5 the upwards policy must leave a whole
+// client unserved while the multiple policy drops only the overflow.
+func TestPolicyUnservedGranularity(t *testing.T) {
+	tr := chainTree()
+	r := ReplicasOf(tr)
+	r.Set(2, 1)
+	e := NewEngine(tr)
+
+	if res := e.EvalUniform(r, PolicyUpwards, 5); res.Unserved != 3 {
+		t.Fatalf("upwards unserved = %d, want the whole 3-request client", res.Unserved)
+	}
+	if res := e.EvalUniform(r, PolicyMultiple, 5); res.Unserved != 2 {
+		t.Fatalf("multiple unserved = %d, want the 2-request overflow", res.Unserved)
+	}
+	if res := e.EvalUniform(r, PolicyClosest, 5); res.Unserved != 0 {
+		t.Fatalf("closest unserved = %d (routing ignores capacities)", res.Unserved)
+	}
+}
+
+// A server bypassed under upwards still serves later-arriving smaller
+// demands: best-fit-decreasing keeps the largest fitting clients low.
+func TestPolicyUpwardsBestFitDecreasing(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(b.Root())
+	b.AddClient(a, 6)
+	b.AddClient(a, 4)
+	b.AddClient(a, 3)
+	tr := b.MustBuild()
+	r := ReplicasOf(tr)
+	r.Set(1, 1)
+	r.Set(0, 1)
+	e := NewEngine(tr)
+	// W=9: A keeps 6+3 (4 does not fit after 6), root takes 4.
+	res := e.EvalUniform(r, PolicyUpwards, 9)
+	if res.Unserved != 0 || res.Loads[1] != 9 || res.Loads[0] != 4 {
+		t.Fatalf("loads = %v unserved = %d, want A=9 root=4", res.Loads, res.Unserved)
+	}
+}
+
+func TestPolicyEngineModalCapacities(t *testing.T) {
+	tr := chainTree()
+	r := ReplicasOf(tr)
+	r.Set(2, 1) // B at mode 1, capacity 5
+	r.Set(0, 2) // root at mode 2, capacity 10
+	caps := func(m uint8) int { return []int{5, 10}[m-1] }
+	e := NewEngine(tr)
+	res := e.Eval(r, PolicyMultiple, caps)
+	if res.Unserved != 0 || res.Loads[2] != 5 || res.Loads[0] != 2 {
+		t.Fatalf("modal multiple loads = %v unserved = %d", res.Loads, res.Unserved)
+	}
+	if err := e.Validate(r, PolicyUpwards, caps); err != nil {
+		t.Fatalf("modal upwards validation: %v", err)
+	}
+}
+
+// The engine's scratch is reused across evaluations; interleaving
+// policies and replica sets must not leak state.
+func TestPolicyEngineReuseMatchesFresh(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		tr, r1 := randomInstance(seed)
+		_, r2 := randomInstanceOn(tr, seed+1000)
+		shared := NewEngine(tr)
+		W := 1 + int(seed%9)
+		for _, r := range []*Replicas{r1, r2, r1} {
+			for _, p := range Policies() {
+				got := shared.EvalUniform(r, p, W)
+				want := NewEngine(tr).EvalUniform(r, p, W)
+				if got.Unserved != want.Unserved {
+					t.Fatalf("seed %d policy %v: reused unserved %d, fresh %d", seed, p, got.Unserved, want.Unserved)
+				}
+				for j := range want.Loads {
+					if got.Loads[j] != want.Loads[j] {
+						t.Fatalf("seed %d policy %v node %d: reused load %d, fresh %d",
+							seed, p, j, got.Loads[j], want.Loads[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyEvalPanics(t *testing.T) {
+	tr := chainTree()
+	e := NewEngine(tr)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("size mismatch", func() { e.Eval(NewReplicas(1), PolicyClosest, nil) })
+	mustPanic("upwards without capacities", func() { e.Eval(ReplicasOf(tr), PolicyUpwards, nil) })
+	mustPanic("multiple without capacities", func() { e.Eval(ReplicasOf(tr), PolicyMultiple, nil) })
+	mustPanic("unknown policy", func() { e.EvalUniform(ReplicasOf(tr), Policy(9), 5) })
+}
+
+func TestFlowsPolicyAndValidatePolicyWrappers(t *testing.T) {
+	tr := chainTree()
+	r := ReplicasOf(tr)
+	r.Set(2, 1)
+	r.Set(0, 1)
+	loads, unserved := FlowsPolicy(tr, r, PolicyMultiple, 5)
+	if unserved != 0 || loads[2] != 5 || loads[0] != 2 {
+		t.Fatalf("FlowsPolicy = %v, %d", loads, unserved)
+	}
+	if err := ValidatePolicy(tr, r, PolicyClosest, 5); err == nil {
+		t.Fatal("ValidatePolicy(closest) accepted overload")
+	}
+	if err := ValidatePolicy(tr, r, PolicyUpwards, 5); err != nil {
+		t.Fatalf("ValidatePolicy(upwards): %v", err)
+	}
+}

@@ -164,3 +164,135 @@ func TestQuickSubtreeConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randomInstanceOn draws a fresh random replica set for an existing
+// tree (modes 1..3).
+func randomInstanceOn(tr *Tree, seed uint64) (*Tree, *Replicas) {
+	src := rng.Derive(seed, 1)
+	r := ReplicasOf(tr)
+	for j := 0; j < tr.N(); j++ {
+		if src.Bool(0.4) {
+			r.Set(j, uint8(1+src.IntN(3)))
+		}
+	}
+	return tr, r
+}
+
+// Property: flow conservation holds under every access policy: absorbed
+// loads plus unserved requests account for every request exactly once.
+func TestQuickPolicyFlowConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		e := NewEngine(tr)
+		W := 1 + int(seed%17)
+		for _, p := range Policies() {
+			res := e.EvalUniform(r, p, W)
+			sum := res.Unserved
+			for _, l := range res.Loads {
+				sum += l
+			}
+			if sum != tr.TotalRequests() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under the capacity-aware policies no server ever exceeds
+// its mode's capacity and only equipped nodes carry load, for arbitrary
+// modal capacities.
+func TestQuickPolicyLoadsWithinCapacity(t *testing.T) {
+	caps := []int{3, 7, 12}
+	capOf := func(m uint8) int { return caps[m-1] }
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		e := NewEngine(tr)
+		for _, p := range []Policy{PolicyUpwards, PolicyMultiple} {
+			res := e.Eval(r, p, capOf)
+			for j, l := range res.Loads {
+				if l > 0 && !r.Has(j) {
+					return false
+				}
+				if r.Has(j) && l > capOf(r.Mode(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: policy containment. A placement valid under Closest is
+// valid under Upwards, and a placement the engine certifies under
+// Upwards is valid under Multiple (cs/0611034, Section 3; the exact
+// brute-force counterpart lives in the core package's tests).
+func TestQuickPolicyContainment(t *testing.T) {
+	caps := []int{4, 8, 15}
+	capOf := func(m uint8) int { return caps[m-1] }
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		e := NewEngine(tr)
+		if e.Validate(r, PolicyClosest, capOf) == nil &&
+			e.Validate(r, PolicyUpwards, capOf) != nil {
+			return false
+		}
+		if e.Validate(r, PolicyUpwards, capOf) == nil &&
+			e.Validate(r, PolicyMultiple, capOf) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine's closest evaluation is bit-identical to the
+// package-level Flows wrapper (the pre-engine semantics).
+func TestQuickEngineMatchesFlows(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		loads, unserved := Flows(tr, r)
+		res := NewEngine(tr).EvalUniform(r, PolicyClosest, 1)
+		if unserved != res.Unserved {
+			return false
+		}
+		for j := range loads {
+			if loads[j] != res.Loads[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serving never degrades when capacity grows, under the exact
+// multiple-policy evaluation.
+func TestQuickMultipleMonotoneInCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr, r := randomInstance(seed)
+		e := NewEngine(tr)
+		prev := int(^uint(0) >> 1)
+		for W := 1; W <= 12; W++ {
+			res := e.EvalUniform(r, PolicyMultiple, W)
+			if res.Unserved > prev {
+				return false
+			}
+			prev = res.Unserved
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,22 @@
 // Package tree implements the distribution-tree substrate of the paper:
 // internal nodes that may host replica servers, leaf clients attached to
 // internal nodes that issue requests, replica sets with operating modes,
-// and the closest-policy request flows that every algorithm in this
-// repository is built on.
+// and the request-flow engine that every algorithm in this repository
+// is built on.
+//
+// Flow evaluation is parametric in the access policy (see Policy),
+// following Benoit, Rehn & Robert, "Strategies for Replica Placement in
+// Tree Networks" (arXiv cs/0611034) and Rehn-Sonigo, "Optimal Replica
+// Placement in Tree Networks with QoS and Bandwidth Constraints and the
+// Closest Allocation Policy" (arXiv 0706.3350): Closest serves each
+// request at the first equipped ancestor (the IPPS 2011 power paper's
+// model and the default), Upwards lets a whole client bypass equipped
+// ancestors, and Multiple additionally splits a client's requests
+// across the servers of its root path. Feasible placements nest —
+// Closest ⊆ Upwards ⊆ Multiple — which the tests verify against
+// exhaustive searches. Engine holds preallocated scratch so that
+// repeated evaluations on one tree are allocation-free; Flows,
+// Validate and friends are one-shot wrappers around it.
 //
 // Internal nodes are identified by dense integer ids 0..N-1 with node 0
 // the root. Clients are not materialised as nodes: each internal node

@@ -23,6 +23,16 @@
 // request-flow simulator, and harnesses regenerating every figure of the
 // paper's evaluation (cmd/replicasim) are included.
 //
+// Beyond the paper's closest policy, the library implements the Upwards
+// and Multiple access policies of the companion line of work (Benoit,
+// Rehn & Robert, arXiv cs/0611034) behind the Policy type: a reusable,
+// allocation-free FlowEngine evaluates and validates placements under
+// any policy, the greedy baseline, heuristic and simulator are
+// policy-parametric, and the exact dynamic programs — which assume the
+// closest policy — are cross-validated against exponential searches on
+// small trees. See internal/tree's package documentation for the policy
+// semantics.
+//
 // # Quick start
 //
 //	b := replicatree.NewBuilder()
@@ -65,6 +75,13 @@ type (
 	TreeStats = tree.Stats
 	// CapacityError reports an overloaded server or unserved requests.
 	CapacityError = tree.CapacityError
+	// Policy selects the access policy (closest, upwards, multiple).
+	Policy = tree.Policy
+	// FlowEngine evaluates request flows under any access policy with
+	// preallocated scratch; reuse one per goroutine for hot loops.
+	FlowEngine = tree.Engine
+	// FlowResult is one flow evaluation (loads and unserved requests).
+	FlowResult = tree.Result
 
 	// SimpleCost is the paper's Equation (2) reconfiguration cost.
 	SimpleCost = cost.Simple
@@ -109,6 +126,17 @@ type (
 // ErrInfeasible is returned when no placement can serve every client.
 var ErrInfeasible = core.ErrInfeasible
 
+// Access policies (see Policy).
+const (
+	// PolicyClosest serves every request at the first equipped
+	// ancestor (the paper's policy; the default everywhere).
+	PolicyClosest = tree.PolicyClosest
+	// PolicyUpwards lets whole clients bypass equipped ancestors.
+	PolicyUpwards = tree.PolicyUpwards
+	// PolicyMultiple lets a client's requests split across servers.
+	PolicyMultiple = tree.PolicyMultiple
+)
+
 // Tree construction and workloads.
 var (
 	// NewBuilder returns a tree builder holding only the root.
@@ -142,12 +170,20 @@ var (
 
 	// Flows evaluates closest-policy request flows for a placement.
 	Flows = tree.Flows
+	// FlowsPolicy evaluates single-capacity flows under any policy.
+	FlowsPolicy = tree.FlowsPolicy
+	// NewFlowEngine returns a reusable flow engine for one tree.
+	NewFlowEngine = tree.NewEngine
+	// ParsePolicy converts "closest", "upwards" or "multiple".
+	ParsePolicy = tree.ParsePolicy
 	// Assignments maps every node to its serving server.
 	Assignments = tree.Assignments
 	// ValidateSolution checks service and per-mode capacities.
 	ValidateSolution = tree.Validate
 	// ValidateUniform checks service under a single capacity.
 	ValidateUniform = tree.ValidateUniform
+	// ValidatePolicy checks a single-capacity solution under a policy.
+	ValidatePolicy = tree.ValidatePolicy
 
 	// NewRNG returns a seeded deterministic stream.
 	NewRNG = rng.New
@@ -182,13 +218,20 @@ var (
 	// GreedyMinReplicas is the O(N log N) baseline of Wu, Lin and
 	// Liu: a minimal-cardinality placement for one capacity.
 	GreedyMinReplicas = greedy.MinReplicas
+	// GreedyMinReplicasPolicy places under any access policy.
+	GreedyMinReplicasPolicy = greedy.MinReplicasPolicy
 	// GreedyPowerSweep is the paper's power-adapted greedy baseline.
 	GreedyPowerSweep = greedy.PowerSweep
+	// GreedyPowerSweepPolicy is the capacity sweep under any policy.
+	GreedyPowerSweepPolicy = greedy.PowerSweepPolicy
 
 	// HeuristicPowerAware is the fast local-search heuristic for
 	// MinPower-BoundedCost (the paper's future-work design).
 	HeuristicPowerAware = heuristic.PowerAware
 
-	// NewSimulator replays request traffic on a placement.
+	// NewSimulator replays request traffic on a placement under the
+	// closest policy.
 	NewSimulator = netsim.New
+	// NewPolicySimulator replays traffic under any access policy.
+	NewPolicySimulator = netsim.NewPolicy
 )
