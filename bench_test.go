@@ -366,15 +366,30 @@ func benchPolicyWorkload(b *testing.B, high bool) (*tree.Engine, *tree.Replicas)
 	return tree.NewEngine(tr), r
 }
 
+// benchConstraints builds loose-but-real constraints for the workload:
+// every client bounded to the tree height + 1 hops (satisfiable by any
+// server) and every link capped at the total request count, so the
+// constrained code paths run in full without invalidating the greedy
+// placement.
+func benchConstraints(tr *tree.Tree) *tree.Constraints {
+	c := tree.NewConstraints(tr)
+	c.SetUniformQoS(tr, tr.Height()+1)
+	c.SetUniformBandwidth(tr.TotalRequests())
+	return c
+}
+
 // BenchmarkFlows times one flow evaluation per policy on the paper's
-// 100-node trees. With a reused engine every variant must run
-// allocation-free (watch allocs/op).
+// 100-node trees, with and without QoS/bandwidth constraints. With a
+// reused engine every variant must run allocation-free (watch
+// allocs/op); one warm-up evaluation lets the constrained passes grow
+// their pending-demand scratch before counting.
 func BenchmarkFlows(b *testing.B) {
 	for _, shape := range []struct {
 		name string
 		high bool
 	}{{"fat100", false}, {"high100", true}} {
 		e, r := benchPolicyWorkload(b, shape.high)
+		cons := benchConstraints(e.Tree())
 		for _, p := range tree.Policies() {
 			b.Run(shape.name+"/"+p.String(), func(b *testing.B) {
 				b.ReportAllocs()
@@ -387,18 +402,33 @@ func BenchmarkFlows(b *testing.B) {
 					b.Fatalf("benchmark placement invalid: %d unserved", unserved)
 				}
 			})
+			b.Run(shape.name+"/"+p.String()+"/constrained", func(b *testing.B) {
+				e.EvalUniformConstrained(r, p, 10, cons) // warm up scratch
+				b.ResetTimer()
+				b.ReportAllocs()
+				unserved := 0
+				for i := 0; i < b.N; i++ {
+					res := e.EvalUniformConstrained(r, p, 10, cons)
+					unserved += res.Unserved
+				}
+				if unserved != 0 {
+					b.Fatalf("constrained benchmark placement invalid: %d unserved", unserved)
+				}
+			})
 		}
 	}
 }
 
 // BenchmarkValidate times one full validation per policy on the same
-// workloads (evaluation plus the capacity check).
+// workloads (evaluation plus the capacity check), with and without
+// constraints.
 func BenchmarkValidate(b *testing.B) {
 	for _, shape := range []struct {
 		name string
 		high bool
 	}{{"fat100", false}, {"high100", true}} {
 		e, r := benchPolicyWorkload(b, shape.high)
+		cons := benchConstraints(e.Tree())
 		for _, p := range tree.Policies() {
 			b.Run(shape.name+"/"+p.String(), func(b *testing.B) {
 				b.ReportAllocs()
@@ -408,6 +438,48 @@ func BenchmarkValidate(b *testing.B) {
 					}
 				}
 			})
+			b.Run(shape.name+"/"+p.String()+"/constrained", func(b *testing.B) {
+				e.EvalUniformConstrained(r, p, 10, cons) // warm up scratch
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := e.ValidateUniformConstrained(r, p, 10, cons); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
+	}
+}
+
+// BenchmarkMinReplicasQoS times the exact constrained DP (arXiv
+// 0706.3350) against the constrained greedy on a 100-node paper
+// workload with a 4-hop QoS bound.
+func BenchmarkMinReplicasQoS(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		high bool
+	}{{"fat100", false}, {"high100", true}} {
+		cfg := tree.FatConfig(100)
+		if shape.high {
+			cfg = tree.HighConfig(100)
+		}
+		tr := tree.MustGenerate(cfg, replicatree.NewRNG(exper.DefaultSeed))
+		cons := tree.NewConstraints(tr)
+		cons.SetUniformQoS(tr, 4)
+		b.Run(shape.name+"/exact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinReplicasQoS(tr, 10, cons); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(shape.name+"/greedy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := replicatree.GreedyMinReplicasConstrained(tr, 10, cons); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

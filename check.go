@@ -1,0 +1,65 @@
+package replicatree
+
+import (
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// The FlowEngine keeps the panic contract of internal code: evaluating
+// a replica set of the wrong size, passing a nil capacity function
+// under the upwards or multiple policies, or passing an unknown policy
+// is a programming error and panics. EvalPlacement and CheckPlacement
+// are the error-returning entry points for untrusted input (files,
+// flags, network payloads): they validate every argument first, so
+// malformed input yields an error, never a panic.
+
+// EvalPlacement evaluates replica set r on t under policy p with
+// optional QoS/bandwidth constraints c (nil = unconstrained), guarding
+// every argument. capOf maps 1-based modes to capacities and may be nil
+// only under PolicyClosest, whose routing ignores capacities. The
+// returned loads are freshly allocated (callers evaluating many sets on
+// one tree should hold a FlowEngine instead).
+func EvalPlacement(t *Tree, r *Replicas, p Policy, capOf func(mode uint8) int, c *Constraints) (FlowResult, error) {
+	if err := checkArgs(t, r, p, capOf, c, p != PolicyClosest); err != nil {
+		return FlowResult{}, err
+	}
+	res := tree.NewEngine(t).EvalConstrained(r, p, capOf, c)
+	res.Loads = append([]int(nil), res.Loads...)
+	return res, nil
+}
+
+// CheckPlacement validates replica set r on t under policy p with
+// optional QoS/bandwidth constraints c (nil = unconstrained), guarding
+// every argument; capOf is required under every policy (the closest
+// policy needs it for the capacity check). It returns nil for a valid
+// placement and a CapacityError, QoSError or BandwidthError describing
+// the first violation otherwise.
+func CheckPlacement(t *Tree, r *Replicas, p Policy, capOf func(mode uint8) int, c *Constraints) error {
+	if err := checkArgs(t, r, p, capOf, c, true); err != nil {
+		return err
+	}
+	return tree.NewEngine(t).ValidateConstrained(r, p, capOf, c)
+}
+
+func checkArgs(t *Tree, r *Replicas, p Policy, capOf func(mode uint8) int, c *Constraints, needCaps bool) error {
+	if t == nil {
+		return fmt.Errorf("replicatree: nil tree")
+	}
+	if r == nil {
+		return fmt.Errorf("replicatree: nil replica set")
+	}
+	if r.N() != t.N() {
+		return fmt.Errorf("replicatree: replica set covers %d nodes, tree has %d", r.N(), t.N())
+	}
+	if !p.Valid() {
+		return fmt.Errorf("replicatree: unknown access policy %v", p)
+	}
+	if capOf == nil && needCaps {
+		return fmt.Errorf("replicatree: the %v policy needs a capacity function", p)
+	}
+	if err := c.Validate(t); err != nil {
+		return err
+	}
+	return nil
+}

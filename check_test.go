@@ -1,0 +1,158 @@
+package replicatree_test
+
+import (
+	"errors"
+	"testing"
+
+	"replicatree"
+)
+
+// TestGuardedEntryPoints checks that EvalPlacement and CheckPlacement
+// turn every engine panic path into an error: malformed user input must
+// never crash a caller.
+func TestGuardedEntryPoints(t *testing.T) {
+	b := replicatree.NewBuilder()
+	n := b.AddNode(b.Root())
+	b.AddClient(n, 5)
+	tr := b.MustBuild()
+	ok := replicatree.ReplicasOf(tr)
+	ok.Set(tr.Root(), 1)
+	capOf := func(uint8) int { return 10 }
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil tree", func() error {
+			_, err := replicatree.EvalPlacement(nil, ok, replicatree.PolicyClosest, capOf, nil)
+			return err
+		}},
+		{"nil replicas", func() error {
+			return replicatree.CheckPlacement(tr, nil, replicatree.PolicyClosest, capOf, nil)
+		}},
+		{"size mismatch", func() error {
+			return replicatree.CheckPlacement(tr, replicatree.NewReplicas(1), replicatree.PolicyClosest, capOf, nil)
+		}},
+		{"unknown policy", func() error {
+			return replicatree.CheckPlacement(tr, ok, replicatree.Policy(9), capOf, nil)
+		}},
+		{"upwards without capacities", func() error {
+			_, err := replicatree.EvalPlacement(tr, ok, replicatree.PolicyUpwards, nil, nil)
+			return err
+		}},
+		{"multiple without capacities", func() error {
+			_, err := replicatree.EvalPlacement(tr, ok, replicatree.PolicyMultiple, nil, nil)
+			return err
+		}},
+		{"check without capacities", func() error {
+			return replicatree.CheckPlacement(tr, ok, replicatree.PolicyClosest, nil, nil)
+		}},
+		{"mismatched constraints", func() error {
+			other := replicatree.NewBuilder()
+			other.AddNode(other.Root())
+			other.AddNode(1)
+			wrong := replicatree.NewConstraints(other.MustBuild())
+			return replicatree.CheckPlacement(tr, ok, replicatree.PolicyClosest, capOf, wrong)
+		}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: panicked: %v", tc.name, r)
+				}
+			}()
+			if err := tc.run(); err == nil {
+				t.Errorf("%s: no error", tc.name)
+			}
+		}()
+	}
+
+	// The happy paths still work, with and without constraints.
+	if err := replicatree.CheckPlacement(tr, ok, replicatree.PolicyClosest, capOf, nil); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	cons := replicatree.NewConstraints(tr)
+	cons.SetQoS(n, 0, 1) // server must sit on the client's node
+	err := replicatree.CheckPlacement(tr, ok, replicatree.PolicyClosest, capOf, cons)
+	var qe *replicatree.QoSError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error = %v, want QoSError", err)
+	}
+	res, err := replicatree.EvalPlacement(tr, ok, replicatree.PolicyMultiple, capOf, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unserved != 5 {
+		t.Fatalf("Unserved = %d, want 5 (QoS-expired under multiple)", res.Unserved)
+	}
+
+	// The greedy/heuristic infeasibility sentinel is exported, and the
+	// module-wide ErrInfeasible matches infeasibility from every
+	// solver layer.
+	bb := replicatree.NewBuilder()
+	bb.AddClient(bb.AddNode(bb.Root()), 50)
+	_, err = replicatree.GreedyMinReplicas(bb.MustBuild(), 10)
+	if !errors.Is(err, replicatree.ErrGreedyInfeasible) {
+		t.Fatalf("greedy error %v does not wrap ErrGreedyInfeasible", err)
+	}
+	if !errors.Is(err, replicatree.ErrInfeasible) {
+		t.Fatalf("greedy error %v does not match the module-wide ErrInfeasible", err)
+	}
+	_, err = replicatree.MinReplicaCount(bb.MustBuild(), 10)
+	if !errors.Is(err, replicatree.ErrInfeasible) {
+		t.Fatalf("core error %v does not match ErrInfeasible", err)
+	}
+}
+
+// TestConstrainedFacadeEndToEnd drives the constrained API the way a
+// downstream user would: build constraints, solve exactly, compare with
+// the greedy, and simulate.
+func TestConstrainedFacadeEndToEnd(t *testing.T) {
+	tr, err := replicatree.GenerateTree(replicatree.HighConfig(50), replicatree.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := replicatree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 3)
+
+	exact, err := replicatree.MinReplicasQoS(tr, 10, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grdy, err := replicatree.GreedyMinReplicasConstrained(tr, 10, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Count() > grdy.Count() {
+		t.Fatalf("exact DP used %d servers, greedy %d", exact.Count(), grdy.Count())
+	}
+	if err := replicatree.ValidateConstrained(tr, exact, replicatree.PolicyClosest, 10, cons); err != nil {
+		t.Fatal(err)
+	}
+	unconstrained, err := replicatree.GreedyMinReplicas(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Count() < unconstrained.Count() {
+		t.Fatalf("constrained optimum %d below unconstrained optimum %d",
+			exact.Count(), unconstrained.Count())
+	}
+
+	pm, err := replicatree.NewPowerModel([]int{10}, 12.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := replicatree.NewConstrainedSimulator(tr, exact, pm, replicatree.PolicyClosest, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(5)
+	m := sim.Metrics()
+	if m.QoSMisses != 0 {
+		t.Fatalf("exact placement missed QoS %d times in simulation", m.QoSMisses)
+	}
+	if m.Dropped != 0 {
+		t.Fatalf("exact placement dropped %d requests", m.Dropped)
+	}
+}

@@ -12,6 +12,9 @@
 //
 // -policies runs the companion access-policy comparison (Closest vs
 // Upwards vs Multiple, arXiv cs/0611034) instead of a paper figure.
+// -qos runs the QoS/bandwidth constraint study (arXiv 0706.3350):
+// replica counts with and without constraints on the paper's fat and
+// high trees, exact DP vs constrained greedy.
 //
 // By default a reduced tree count keeps runs interactive; -full uses the
 // paper's exact scale (200 trees for Experiments 1-2, 100 for
@@ -42,6 +45,7 @@ func main() {
 		scale     = flag.Bool("scale", false, "run the Section 5.2 scalability measurements")
 		intervals = flag.Bool("intervals", false, "run the Section 6 lazy-vs-systematic update-interval study")
 		policies  = flag.Bool("policies", false, "compare the Closest/Upwards/Multiple access policies (cs/0611034)")
+		qos       = flag.Bool("qos", false, "compare replica counts with and without QoS/bandwidth constraints (0706.3350)")
 		full      = flag.Bool("full", false, "use the paper's full tree counts and instance sizes")
 		trees     = flag.Int("trees", 0, "override the number of trees per experiment")
 		seed      = flag.Uint64("seed", exper.DefaultSeed, "random seed")
@@ -53,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(ids) == 0 && !*scale && !*intervals && !*policies {
+	if len(ids) == 0 && !*scale && !*intervals && !*policies && !*qos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -68,6 +72,15 @@ func main() {
 	if *policies {
 		for _, high := range []bool{false, true} {
 			if err := runPolicyComparison(high, *full, *trees, *seed, *workers); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *qos {
+		for _, high := range []bool{false, true} {
+			if err := runQoSComparison(high, *full, *trees, *seed, *workers); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
@@ -202,6 +215,23 @@ func runPolicyComparison(high, full bool, trees int, seed uint64, workers int) e
 	return res.Report(os.Stdout, fmt.Sprintf(
 		"=== Access-policy comparison (%s trees): %d trees of %d nodes ===",
 		shape(high), cfg.Trees, cfg.Gen.Nodes))
+}
+
+// runQoSComparison runs the QoS/bandwidth constraint study on fat or
+// high trees and reports it.
+func runQoSComparison(high, full bool, trees int, seed uint64, workers int) error {
+	cfg := exper.DefaultQoSCompare(high)
+	if !full {
+		cfg.Trees = 10
+	}
+	applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+	res, err := exper.RunQoSCompare(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Report(os.Stdout, fmt.Sprintf(
+		"=== QoS/bandwidth constraint study (%s trees): %d trees of %d nodes, W=%d ===",
+		shape(high), cfg.Trees, cfg.Gen.Nodes, cfg.W))
 }
 
 func applyCommon(cfgTrees *int, cfgSeed *uint64, cfgWorkers *int, trees int, seed uint64, workers int) {

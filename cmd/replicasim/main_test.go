@@ -53,3 +53,9 @@ func TestPolicyComparisonSmoke(t *testing.T) {
 		t.Fatalf("policy comparison: %v", err)
 	}
 }
+
+func TestQoSComparisonSmoke(t *testing.T) {
+	if err := runQoSComparison(true, false, 2, 7, 0); err != nil {
+		t.Fatalf("qos comparison: %v", err)
+	}
+}

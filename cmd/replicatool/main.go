@@ -1,7 +1,11 @@
 // Command replicatool solves individual replica placement instances from
 // the command line. Trees and pre-existing deployments are JSON files
 // (see internal/tree's format: {"parents": [-1, 0, ...], "clients":
-// [[2], [], [7], ...]} and {"modes": [0, 1, ...]}).
+// [[2], [], [7], ...]} and {"modes": [0, 1, ...]}). Tree files may
+// additionally carry QoS and bandwidth constraints (arXiv 0706.3350):
+// an optional "qos" field with one bound per client (0 = unbounded)
+// and an optional "bandwidth" field with one capacity per upward link
+// (negative = unbounded).
 //
 // Subcommands:
 //
@@ -9,19 +13,26 @@
 //	mincost   solve MinCost-WithPre (or NoPre without -existing)
 //	minpower  solve MinPower / MinPower-BoundedCost
 //	pareto    print the full cost/power Pareto front
-//	greedy    run the greedy baseline
+//	greedy    run the greedy baseline (or the exact QoS DP with -exact)
 //	check     validate a placement against a tree
 //
 // The greedy and check subcommands accept -policy closest|upwards|multiple
 // to place and validate under the access policies of arXiv cs/0611034
-// (the exact solvers assume the closest policy).
+// (the exact solvers assume the closest policy), and -qos/-bw to
+// override the instance's constraints with uniform ones. greedy -exact
+// runs the exact polynomial algorithm of arXiv 0706.3350 instead of
+// the greedy baseline (closest policy only). The mincost, minpower and
+// pareto solvers are unconstrained and ignore any constraints in the
+// instance (a note is printed when they do).
 //
 // Examples:
 //
-//	replicatool gen -nodes 50 -shape fat -seed 7 > tree.json
+//	replicatool gen -nodes 50 -shape fat -seed 7 -qos 3 -bw 40 > tree.json
 //	replicatool mincost -tree tree.json -w 10 -create 0.1 -delete 0.01
 //	replicatool minpower -tree tree.json -caps 5,10 -bound 25
 //	replicatool pareto -tree tree.json -caps 5,10
+//	replicatool greedy -tree tree.json -w 10 -exact
+//	replicatool check -tree tree.json -placement sol.json -qos 3
 package main
 
 import (
@@ -77,6 +88,8 @@ func cmdGen(args []string) error {
 	shapeF := fs.String("shape", "fat", "tree shape: fat (6-9 children) or high (2-4)")
 	reqMax := fs.Int("reqmax", 6, "maximum client request count")
 	seed := fs.Uint64("seed", 1, "random seed")
+	qos := fs.Int("qos", 0, "uniform per-client QoS bound to embed (0 = none)")
+	bw := fs.Int("bw", -1, "uniform per-link bandwidth to embed (negative = none)")
 	fs.Parse(args)
 
 	var cfg replicatree.GenConfig
@@ -93,19 +106,57 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	return t.WriteJSON(os.Stdout)
+	var cons *replicatree.Constraints
+	cons = applyUniformConstraints(t, cons, *qos, *bw)
+	return replicatree.WriteInstanceJSON(os.Stdout, t, cons)
 }
 
-func loadTree(path string) (*replicatree.Tree, error) {
+// loadInstance reads a tree file together with any embedded QoS and
+// bandwidth constraints (nil when the file carries none).
+func loadInstance(path string) (*replicatree.Tree, *replicatree.Constraints, error) {
 	if path == "" {
-		return nil, fmt.Errorf("replicatool: -tree is required")
+		return nil, nil, fmt.Errorf("replicatool: -tree is required")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return replicatree.ReadTreeJSON(f)
+	return replicatree.ReadInstanceJSON(f)
+}
+
+// loadTree reads a tree file for the unconstrained solvers, noting
+// ignored constraints on stderr.
+func loadTree(path string) (*replicatree.Tree, error) {
+	t, cons, err := loadInstance(path)
+	if err != nil {
+		return nil, err
+	}
+	if cons != nil {
+		fmt.Fprintln(os.Stderr, "replicatool: note: this solver is unconstrained; ignoring the instance's QoS/bandwidth constraints")
+	}
+	return t, nil
+}
+
+// applyUniformConstraints overlays uniform -qos/-bw flag values (qos >
+// 0, bw >= 0) on the instance's constraints, materialising a set when
+// needed.
+func applyUniformConstraints(t *replicatree.Tree, cons *replicatree.Constraints, qos, bw int) *replicatree.Constraints {
+	if qos <= 0 && bw < 0 {
+		return cons
+	}
+	if cons == nil {
+		cons = replicatree.NewConstraints(t)
+	} else {
+		cons = cons.Clone()
+	}
+	if qos > 0 {
+		cons.SetUniformQoS(t, qos)
+	}
+	if bw >= 0 {
+		cons.SetUniformBandwidth(bw)
+	}
+	return cons
 }
 
 func loadExisting(path string, t *replicatree.Tree) (*replicatree.Replicas, error) {
@@ -233,25 +284,41 @@ func cmdGreedy(args []string) error {
 	treeF := fs.String("tree", "", "tree JSON file")
 	w := fs.Int("w", 10, "server capacity W")
 	policyF := fs.String("policy", "closest", "access policy: closest, upwards or multiple")
+	qos := fs.Int("qos", 0, "uniform per-client QoS bound (0 = keep the instance's)")
+	bw := fs.Int("bw", -1, "uniform per-link bandwidth (negative = keep the instance's)")
+	exact := fs.Bool("exact", false, "run the exact QoS DP of arXiv 0706.3350 (closest policy only)")
 	fs.Parse(args)
 
-	t, err := loadTree(*treeF)
+	t, cons, err := loadInstance(*treeF)
 	if err != nil {
 		return err
 	}
+	cons = applyUniformConstraints(t, cons, *qos, *bw)
 	policy, err := replicatree.ParsePolicy(*policyF)
 	if err != nil {
 		return err
 	}
-	sol, err := replicatree.GreedyMinReplicasPolicy(t, *w, policy)
+	algorithm := "greedy"
+	var sol *replicatree.Replicas
+	if *exact {
+		if policy != replicatree.PolicyClosest {
+			return fmt.Errorf("replicatool: -exact solves the closest policy only (got %v)", policy)
+		}
+		algorithm = "exact-dp"
+		sol, err = replicatree.MinReplicasQoS(t, *w, cons)
+	} else {
+		sol, err = replicatree.GreedyMinReplicasPolicyConstrained(t, *w, policy, cons)
+	}
 	if err != nil {
 		return err
 	}
 	return emit(struct {
-		Policy   string                `json:"policy"`
-		Servers  int                   `json:"servers"`
-		Replicas *replicatree.Replicas `json:"replicas"`
-	}{policy.String(), sol.Count(), sol})
+		Policy      string                `json:"policy"`
+		Algorithm   string                `json:"algorithm"`
+		Constrained bool                  `json:"constrained"`
+		Servers     int                   `json:"servers"`
+		Replicas    *replicatree.Replicas `json:"replicas"`
+	}{policy.String(), algorithm, cons.Bounded(), sol.Count(), sol})
 }
 
 func cmdCheck(args []string) error {
@@ -260,12 +327,15 @@ func cmdCheck(args []string) error {
 	placementF := fs.String("placement", "", "placement JSON file")
 	capsF := fs.String("caps", "10", "mode capacities W_1,...,W_M")
 	policyF := fs.String("policy", "closest", "access policy: closest, upwards or multiple")
+	qos := fs.Int("qos", 0, "uniform per-client QoS bound (0 = keep the instance's)")
+	bw := fs.Int("bw", -1, "uniform per-link bandwidth (negative = keep the instance's)")
 	fs.Parse(args)
 
-	t, err := loadTree(*treeF)
+	t, cons, err := loadInstance(*treeF)
 	if err != nil {
 		return err
 	}
+	cons = applyUniformConstraints(t, cons, *qos, *bw)
 	if *placementF == "" {
 		return fmt.Errorf("replicatool: -placement is required")
 	}
@@ -292,18 +362,26 @@ func cmdCheck(args []string) error {
 		}
 	}
 	capOf := func(m uint8) int { return caps[m-1] }
-	engine := replicatree.NewFlowEngine(t)
-	if err := engine.Validate(placement, policy, capOf); err != nil {
+	// CheckPlacement guards every argument, so malformed input yields
+	// an error instead of tripping the flow engine's panic contract.
+	if err := replicatree.CheckPlacement(t, placement, policy, capOf, cons); err != nil {
 		return err
 	}
-	res := engine.Eval(placement, policy, capOf)
+	res, err := replicatree.EvalPlacement(t, placement, policy, capOf, cons)
+	if err != nil {
+		return err
+	}
 	maxLoad := 0
 	for _, l := range res.Loads {
 		if l > maxLoad {
 			maxLoad = l
 		}
 	}
-	fmt.Printf("valid under the %s policy: %d servers, %d requests served, max load %d\n",
-		policy, placement.Count(), t.TotalRequests(), maxLoad)
+	constrained := ""
+	if cons.Bounded() {
+		constrained = " within QoS/bandwidth constraints"
+	}
+	fmt.Printf("valid under the %s policy%s: %d servers, %d requests served, max load %d\n",
+		policy, constrained, placement.Count(), t.TotalRequests(), maxLoad)
 	return nil
 }

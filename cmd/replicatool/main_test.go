@@ -146,3 +146,58 @@ func TestPolicyFlagsEndToEnd(t *testing.T) {
 		t.Fatal("unknown check policy accepted")
 	}
 }
+
+// writeTempInstance writes a constrained instance: a 3-node star whose
+// two leaf clients are QoS-bounded and whose links carry bandwidths.
+func writeTempInstance(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	data := `{"parents": [-1, 0, 0], "clients": [[2], [7], [4]],
+		"qos": [[0], [2], [2]], "bandwidth": [-1, 20, 20]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConstraintFlagsEndToEnd(t *testing.T) {
+	path := writeTempInstance(t)
+	// The embedded constraints load and both solvers run under them.
+	if err := cmdGreedy([]string{"-tree", path, "-w", "10"}); err != nil {
+		t.Fatalf("constrained greedy: %v", err)
+	}
+	if err := cmdGreedy([]string{"-tree", path, "-w", "10", "-exact"}); err != nil {
+		t.Fatalf("exact DP: %v", err)
+	}
+	if err := cmdGreedy([]string{"-tree", path, "-w", "10", "-exact", "-policy", "multiple"}); err == nil {
+		t.Fatal("-exact accepted a relaxed policy")
+	}
+	// gen embeds uniform constraints.
+	if err := cmdGen([]string{"-nodes", "8", "-seed", "3", "-qos", "3", "-bw", "25"}); err != nil {
+		t.Fatalf("gen with constraints: %v", err)
+	}
+	// check honours embedded constraints and -qos overrides.
+	place := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(place, []byte(`{"modes": [1, 1, 1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", place, "-caps", "13"}); err != nil {
+		t.Fatalf("constrained check: %v", err)
+	}
+	rootOnly := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(rootOnly, []byte(`{"modes": [1, 0, 0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The leaf clients' qos of 2 tolerates the root; tightening to 1
+	// must reject the root-only placement without panicking.
+	if err := cmdCheck([]string{"-tree", path, "-placement", rootOnly, "-caps", "13"}); err != nil {
+		t.Fatalf("in-range placement rejected: %v", err)
+	}
+	if err := cmdCheck([]string{"-tree", path, "-placement", rootOnly, "-caps", "13", "-qos", "1"}); err == nil {
+		t.Fatal("QoS-violating placement accepted")
+	}
+	// A bandwidth override below the leaf demands rejects it too.
+	if err := cmdCheck([]string{"-tree", path, "-placement", rootOnly, "-caps", "13", "-bw", "3"}); err == nil {
+		t.Fatal("bandwidth-violating placement accepted")
+	}
+}

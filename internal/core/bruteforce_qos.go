@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"replicatree/internal/tree"
+)
+
+// maxBruteItems bounds the constrained assignment searches: the
+// multiple policy is checked at unit granularity, so the search space
+// is exponential in the total request count.
+const maxBruteItems = 96
+
+// BruteFeasibleConstrained decides exactly whether placement r serves
+// every client of t under access policy p with uniform capacity W, QoS
+// bounds and link bandwidths c. A nil c is BruteFeasible. Ground truth
+// for the constrained flow engine on small trees:
+//
+//   - Closest: the engine's constrained validation (already exact —
+//     routing is forced).
+//   - Upwards: exhaustive backtracking over assignments of whole
+//     clients to equipped ancestors within their QoS range, tracking
+//     per-link residual bandwidth.
+//   - Multiple: the same backtracking at unit-request granularity
+//     (splitting a client is assigning its unit requests
+//     independently), which cross-checks the engine's deadline-aware
+//     saturating pass.
+func BruteFeasibleConstrained(t *tree.Tree, r *tree.Replicas, p tree.Policy, W int, c *tree.Constraints) (bool, error) {
+	if c == nil {
+		return BruteFeasible(t, r, p, W)
+	}
+	if t.N() > maxBruteNodes {
+		return false, fmt.Errorf("core: BruteFeasibleConstrained limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	if W < 0 {
+		return false, fmt.Errorf("core: BruteFeasibleConstrained with negative capacity %d", W)
+	}
+	if err := c.Validate(t); err != nil {
+		return false, err
+	}
+	switch p {
+	case tree.PolicyClosest:
+		return tree.ValidateConstrained(t, r, tree.PolicyClosest, W, c) == nil, nil
+	case tree.PolicyUpwards:
+		return assignFeasibleConstrained(t, r, W, c, false)
+	case tree.PolicyMultiple:
+		return assignFeasibleConstrained(t, r, W, c, true)
+	default:
+		return false, fmt.Errorf("core: BruteFeasibleConstrained with unknown policy %v", p)
+	}
+}
+
+// assignFeasibleConstrained searches for an assignment of demands to
+// equipped ancestors within their QoS depth range, no server exceeding
+// W and no link exceeding its bandwidth. With unit=false demands are
+// whole clients (the upwards policy); with unit=true every request is
+// assigned independently (the multiple policy).
+func assignFeasibleConstrained(t *tree.Tree, r *tree.Replicas, W int, c *tree.Constraints, unit bool) (bool, error) {
+	type item struct {
+		node, demand, minDepth int
+	}
+	var items []item
+	total := 0
+	for j := 0; j < t.N(); j++ {
+		for k, d := range t.Clients(j) {
+			if d <= 0 {
+				continue
+			}
+			l := c.MinServerDepth(j, k, t.Depth(j))
+			if unit {
+				for u := 0; u < d; u++ {
+					items = append(items, item{j, 1, l})
+				}
+			} else {
+				items = append(items, item{j, d, l})
+			}
+			total += d
+		}
+	}
+	if total == 0 {
+		return true, nil
+	}
+	if len(items) > maxBruteItems {
+		return false, fmt.Errorf("core: constrained search limited to %d demands, got %d", maxBruteItems, len(items))
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].demand != items[b].demand {
+			return items[a].demand > items[b].demand
+		}
+		if items[a].minDepth != items[b].minDepth {
+			return items[a].minDepth > items[b].minDepth
+		}
+		return items[a].node < items[b].node
+	})
+	// Candidate servers per item: equipped ancestors within the QoS
+	// depth range, nearest first.
+	cands := make([][]int, len(items))
+	residual := make(map[int]int)
+	for i, it := range items {
+		for n := it.node; n >= 0; n = t.Parent(n) {
+			if t.Depth(n) < it.minDepth {
+				break
+			}
+			if r.Has(n) {
+				cands[i] = append(cands[i], n)
+				residual[n] = W
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false, nil
+		}
+	}
+	linkRes := make([]int, t.N())
+	for j := 1; j < t.N(); j++ {
+		linkRes[j] = c.Bandwidth(j)
+		if linkRes[j] < 0 {
+			linkRes[j] = total // effectively unbounded
+		}
+	}
+	free := 0
+	for range residual {
+		free += W
+	}
+	remaining := total
+	var rec func(i, prevChoice int) bool
+	rec = func(i, prevChoice int) bool {
+		if i == len(items) {
+			return true
+		}
+		if remaining > free {
+			return false
+		}
+		start := 0
+		if i > 0 && items[i] == items[i-1] {
+			// Identical demands are interchangeable: only try servers
+			// from the previous twin's choice onward.
+			start = prevChoice
+		}
+		it := items[i]
+		for ci := start; ci < len(cands[i]); ci++ {
+			s := cands[i][ci]
+			if residual[s] < it.demand {
+				continue
+			}
+			ok := true
+			for v := it.node; v != s; v = t.Parent(v) {
+				if linkRes[v] < it.demand {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			residual[s] -= it.demand
+			free -= it.demand
+			remaining -= it.demand
+			for v := it.node; v != s; v = t.Parent(v) {
+				linkRes[v] -= it.demand
+			}
+			if rec(i+1, ci) {
+				return true
+			}
+			residual[s] += it.demand
+			free += it.demand
+			remaining += it.demand
+			for v := it.node; v != s; v = t.Parent(v) {
+				linkRes[v] += it.demand
+			}
+		}
+		return false
+	}
+	return rec(0, 0), nil
+}
+
+// BruteMinReplicasConstrained returns a minimal-cardinality placement
+// that is exactly feasible under policy p with uniform capacity W and
+// constraints c (every replica at mode 1; ties prefer the placement
+// concentrated on the lowest node ids). Exponential; it exists to
+// cross-validate MinReplicasQoS and the constrained greedy layer.
+func BruteMinReplicasConstrained(t *tree.Tree, W int, p tree.Policy, c *tree.Constraints) (*tree.Replicas, error) {
+	if t.N() > maxBruteNodes {
+		return nil, fmt.Errorf("core: BruteMinReplicasConstrained limited to %d nodes, got %d", maxBruteNodes, t.N())
+	}
+	n := t.N()
+	var best *tree.Replicas
+	bestCount := n + 1
+	for mask := 0; mask < 1<<n; mask++ {
+		count := bits.OnesCount(uint(mask))
+		if count >= bestCount {
+			continue
+		}
+		r := tree.NewReplicas(n)
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				r.Set(j, 1)
+			}
+		}
+		ok, err := BruteFeasibleConstrained(t, r, p, W, c)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			best, bestCount = r, count
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	return best, nil
+}

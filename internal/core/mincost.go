@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -10,7 +9,9 @@ import (
 )
 
 // ErrInfeasible is returned when no placement can serve every client.
-var ErrInfeasible = errors.New("no valid placement exists")
+// It is the shared tree.ErrInfeasible sentinel, so it also matches the
+// greedy and heuristic layers' infeasibility errors.
+var ErrInfeasible = tree.ErrInfeasible
 
 const invalid = int32(-1)
 

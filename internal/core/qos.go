@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// This file implements the polynomial-time exact algorithm of
+// Rehn-Sonigo, "Optimal Replica Placement in Tree Networks with QoS and
+// Bandwidth Constraints and the Closest Allocation Policy" (arXiv
+// 0706.3350): minimal replica counting under the closest policy with
+// per-client QoS (distance) bounds and per-link bandwidths.
+//
+// The dynamic program exploits the closest policy's structure: all flow
+// escaping a subtree is absorbed at the same node — the first equipped
+// proper ancestor of the subtree's root. A subtree state is therefore
+// fully described by (replicas used, escaped flow, depth requirement),
+// where the requirement is the minimal depth the absorbing ancestor may
+// have without violating any contributing client's QoS bound. For a
+// fixed replica count and requirement, less escaped flow is always at
+// least as good (capacity, bandwidth and downstream sums are all
+// monotone in it), so each node keeps one table
+//
+//	tab[r][L] = minimal escaped flow of the subtree using r replicas,
+//	            requiring the first equipped proper ancestor to sit at
+//	            depth >= some bound <= L
+//
+// built bottom-up with a knapsack merge over the children (checking
+// each child link's bandwidth as its flow crosses) and two closures per
+// node: equip it (all traversing flow absorbed, load <= W, nothing
+// escapes) or let the flow pass (possible only while every contributing
+// client's QoS still tolerates a higher server).
+
+const qInf = int(1) << 60
+
+const (
+	qNone uint8 = iota
+	qEquip
+	qEscape
+)
+
+// MinReplicasQoS returns a replica set of minimal cardinality serving
+// every client under the closest policy with uniform capacity W, every
+// client within its QoS bound and every link within its bandwidth
+// (every replica at mode 1). A nil constraint set solves the classical
+// problem (and then agrees with greedy.MinReplicas, which the tests
+// check). It returns ErrInfeasible when no placement at all serves the
+// instance.
+//
+// Time and memory are O(N²·H) in the worst case (H the tree height),
+// the polynomial bound of the paper: comfortably fast on the
+// evaluation's 100-node trees, but not intended for degenerate
+// path-shaped instances with thousands of nodes.
+func MinReplicasQoS(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, error) {
+	if W <= 0 {
+		return nil, fmt.Errorf("core: non-positive capacity %d", W)
+	}
+	if err := c.Validate(t); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		c = tree.NewConstraints(t)
+	}
+	d := &qosDP{t: t, w: W, c: c}
+	d.run()
+
+	root := t.Root()
+	best := -1
+	for r := 0; r < len(d.tab[root]); r++ {
+		if d.tab[root][r][0] == 0 {
+			best = r
+			break
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+	}
+	res := tree.ReplicasOf(t)
+	d.build(res, root, best, 0)
+	// The tables are exact by construction; re-validate as a cheap
+	// guard against implementation drift.
+	if err := tree.ValidateConstrained(t, res, tree.PolicyClosest, W, c); err != nil {
+		return nil, fmt.Errorf("core: MinReplicasQoS produced an invalid placement (bug): %w", err)
+	}
+	return res, nil
+}
+
+type qosDP struct {
+	t *tree.Tree
+	w int
+	c *tree.Constraints
+
+	size []int
+	// tab[j][r][L] and choice[j][r][L]: see the file comment. Rows run
+	// L = 0..max(depth(j)-1, 0): an escaping flow must be absorbed by a
+	// proper ancestor, so deeper requirements are unsatisfiable.
+	tab    [][][]int
+	choice [][][]uint8
+	// splits[j][i][r][L]: replicas assigned to children(j)[i] in the
+	// accumulated-merge cell (r, L) after merging children 0..i.
+	splits [][][][]int
+}
+
+func (d *qosDP) run() {
+	t := d.t
+	n := t.N()
+	d.size = make([]int, n)
+	d.tab = make([][][]int, n)
+	d.choice = make([][][]uint8, n)
+	d.splits = make([][][][]int, n)
+
+	for _, j := range t.PostOrder() {
+		D := t.Depth(j)
+		kids := t.Children(j)
+		accRows := D + 1 // child requirements live in 0..D
+
+		// Knapsack merge of the children: acc[r][L] is the minimal sum
+		// of child flows using r replicas below, every child bound <= L
+		// and every child link within its bandwidth.
+		acc := [][]int{make([]int, accRows)} // acc[0][*] = 0
+		sz := 0
+		d.splits[j] = make([][][]int, len(kids))
+		for ci, child := range kids {
+			csz := d.size[child]
+			bw := d.c.Bandwidth(child)
+			next := make([][]int, sz+csz+1)
+			spl := make([][]int, sz+csz+1)
+			for r := range next {
+				next[r] = make([]int, accRows)
+				spl[r] = make([]int, accRows)
+				for L := range next[r] {
+					next[r][L] = qInf
+				}
+			}
+			for r1 := 0; r1 <= sz; r1++ {
+				for r2 := 0; r2 <= csz; r2++ {
+					for L := 0; L < accRows; L++ {
+						a := acc[r1][L]
+						f := d.tab[child][r2][L]
+						if a >= qInf || f >= qInf || (bw >= 0 && f > bw) {
+							continue
+						}
+						if v := a + f; v < next[r1+r2][L] {
+							next[r1+r2][L] = v
+							spl[r1+r2][L] = r2
+						}
+					}
+				}
+			}
+			acc = next
+			d.splits[j][ci] = spl
+			sz += csz
+		}
+		d.size[j] = sz + 1
+
+		own := t.ClientSum(j)
+		ownL := 0 // minimal server depth the node's own clients tolerate
+		for k, dem := range t.Clients(j) {
+			if dem > 0 {
+				if l := d.c.MinServerDepth(j, k, D); l > ownL {
+					ownL = l
+				}
+			}
+		}
+
+		rows := max(D-1, 0) + 1
+		tab := make([][]int, d.size[j]+1)
+		ch := make([][]uint8, d.size[j]+1)
+		for r := range tab {
+			tab[r] = make([]int, rows)
+			ch[r] = make([]uint8, rows)
+			for L := range tab[r] {
+				tab[r][L] = qInf
+			}
+			// Equip j: the whole traversing flow is absorbed here, so
+			// nothing escapes and no requirement remains (own clients
+			// are 1 hop away, within any positive QoS bound).
+			if r >= 1 {
+				if a := acc[r-1][D]; a < qInf && own+a <= d.w {
+					for L := range tab[r] {
+						tab[r][L] = 0
+						ch[r][L] = qEquip
+					}
+				}
+			}
+			// Let the flow pass: only while every contributing client
+			// tolerates a server at depth <= D-1.
+			if j != t.Root() {
+				for L := ownL; L < rows && r <= sz; L++ {
+					if a := acc[r][L]; a < qInf {
+						if f := own + a; f < tab[r][L] {
+							tab[r][L] = f
+							ch[r][L] = qEscape
+						}
+					}
+				}
+			} else if own == 0 && r <= sz && acc[r][0] == 0 && tab[r][0] > 0 {
+				// The root has no ancestor: passing is only "nothing to
+				// pass".
+				tab[r][0] = 0
+				ch[r][0] = qEscape
+			}
+		}
+		d.tab[j] = tab
+		d.choice[j] = ch
+	}
+}
+
+// build reconstructs the placement behind tab[j][r][L] into res.
+func (d *qosDP) build(res *tree.Replicas, j, r, L int) {
+	kids := d.t.Children(j)
+	accR, accRow := r, L
+	if d.choice[j][r][L] == qEquip {
+		res.Set(j, 1)
+		accR, accRow = r-1, d.t.Depth(j)
+	}
+	for i := len(kids) - 1; i >= 0; i-- {
+		r2 := d.splits[j][i][accR][accRow]
+		d.build(res, kids[i], r2, accRow)
+		accR -= r2
+	}
+}

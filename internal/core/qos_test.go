@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"replicatree/internal/greedy"
+	"replicatree/internal/tree"
+)
+
+// randomConstrainedInstance draws a small random tree with random QoS
+// bounds and link bandwidths. loose leaves roughly half the clients and
+// links unconstrained.
+func randomConstrainedInstance(rng *rand.Rand, maxNodes, maxReq int) (*tree.Tree, *tree.Constraints) {
+	n := 2 + rng.Intn(maxNodes-1)
+	b := tree.NewBuilder()
+	nodes := []int{b.Root()}
+	for len(nodes) < n {
+		p := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, b.AddNode(p))
+	}
+	for _, j := range nodes {
+		for k := rng.Intn(3); k > 0; k-- {
+			b.AddClient(j, rng.Intn(maxReq+1))
+		}
+	}
+	t := b.MustBuild()
+	c := tree.NewConstraints(t)
+	for j := 0; j < t.N(); j++ {
+		for k := range t.Clients(j) {
+			if rng.Intn(2) == 0 {
+				c.SetQoS(j, k, 1+rng.Intn(4))
+			}
+		}
+		if j > 0 && rng.Intn(2) == 0 {
+			c.SetBandwidth(j, rng.Intn(8))
+		}
+	}
+	return t, c
+}
+
+// TestMinReplicasQoSMatchesBrute cross-validates the polynomial DP
+// against exhaustive subset enumeration on random constrained
+// instances.
+func TestMinReplicasQoSMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		tr, c := randomConstrainedInstance(rng, 9, 4)
+		W := 1 + rng.Intn(8)
+
+		brute, errB := BruteMinReplicasConstrained(tr, W, tree.PolicyClosest, c)
+		dp, errD := MinReplicasQoS(tr, W, c)
+		if (errB == nil) != (errD == nil) {
+			t.Fatalf("trial %d: brute err = %v, DP err = %v (tree %v, W=%d)", trial, errB, errD, tr, W)
+		}
+		if errB != nil {
+			if !errors.Is(errD, ErrInfeasible) {
+				t.Fatalf("trial %d: DP error %v is not ErrInfeasible", trial, errD)
+			}
+			continue
+		}
+		if brute.Count() != dp.Count() {
+			t.Fatalf("trial %d: brute needs %d replicas, DP %d (tree %v, W=%d, brute %v, dp %v)",
+				trial, brute.Count(), dp.Count(), tr, W, brute, dp)
+		}
+		if err := tree.ValidateConstrained(tr, dp, tree.PolicyClosest, W, c); err != nil {
+			t.Fatalf("trial %d: DP placement invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestMinReplicasQoSUnconstrainedMatchesGreedy checks that with no
+// constraints the DP reproduces the optimal unconstrained count of the
+// greedy algorithm on larger trees.
+func TestMinReplicasQoSUnconstrainedMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr, _ := randomConstrainedInstance(rng, 40, 5)
+		W := 2 + rng.Intn(10)
+		g, errG := greedy.MinReplicas(tr, W)
+		dp, errD := MinReplicasQoS(tr, W, nil)
+		if (errG == nil) != (errD == nil) {
+			t.Fatalf("trial %d: greedy err = %v, DP err = %v", trial, errG, errD)
+		}
+		if errG != nil {
+			continue
+		}
+		if g.Count() != dp.Count() {
+			t.Fatalf("trial %d: greedy needs %d replicas, DP %d (tree %v, W=%d)",
+				trial, g.Count(), dp.Count(), tr, W)
+		}
+	}
+}
+
+// TestMultipleConstrainedEngineExactVsBrute cross-validates the
+// engine's deadline-aware saturating pass for the multiple policy
+// against the unit-granularity exhaustive search: the pass is claimed
+// to be an exact feasibility test even under QoS and bandwidth
+// constraints.
+func TestMultipleConstrainedEngineExactVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 250; trial++ {
+		tr, c := randomConstrainedInstance(rng, 7, 3)
+		W := 1 + rng.Intn(6)
+		e := tree.NewEngine(tr)
+		n := tr.N()
+		for mask := 0; mask < 1<<n; mask++ {
+			r := tree.NewReplicas(n)
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					r.Set(j, 1)
+				}
+			}
+			engineOK := e.ValidateUniformConstrained(r, tree.PolicyMultiple, W, c) == nil
+			bruteOK, err := BruteFeasibleConstrained(tr, r, tree.PolicyMultiple, W, c)
+			if err != nil {
+				t.Fatalf("trial %d: brute: %v", trial, err)
+			}
+			if engineOK != bruteOK {
+				t.Fatalf("trial %d mask %b: engine says %v, brute says %v (tree %v, W=%d)",
+					trial, mask, engineOK, bruteOK, tr, W)
+			}
+		}
+	}
+}
+
+// TestUpwardsConstrainedEngineSound checks that the constrained upwards
+// certifier stays sound: whenever it certifies a placement, the
+// exhaustive search confirms it.
+func TestUpwardsConstrainedEngineSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 250; trial++ {
+		tr, c := randomConstrainedInstance(rng, 7, 3)
+		W := 1 + rng.Intn(6)
+		e := tree.NewEngine(tr)
+		n := tr.N()
+		for mask := 0; mask < 1<<n; mask++ {
+			r := tree.NewReplicas(n)
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					r.Set(j, 1)
+				}
+			}
+			if e.ValidateUniformConstrained(r, tree.PolicyUpwards, W, c) != nil {
+				continue
+			}
+			ok, err := BruteFeasibleConstrained(tr, r, tree.PolicyUpwards, W, c)
+			if err != nil {
+				t.Fatalf("trial %d: brute: %v", trial, err)
+			}
+			if !ok {
+				t.Fatalf("trial %d mask %b: engine certified an infeasible upwards placement (tree %v, W=%d)",
+					trial, mask, tr, W)
+			}
+		}
+	}
+}
+
+// TestBruteFeasibleConstrainedContainment checks the constraint
+// containment property on the exact references: adding constraints can
+// only shrink the feasible set, for every policy.
+func TestBruteFeasibleConstrainedContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		tr, c := randomConstrainedInstance(rng, 7, 3)
+		W := 1 + rng.Intn(6)
+		n := tr.N()
+		for _, p := range tree.Policies() {
+			for mask := 0; mask < 1<<n; mask++ {
+				r := tree.NewReplicas(n)
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						r.Set(j, 1)
+					}
+				}
+				conOK, err := BruteFeasibleConstrained(tr, r, p, W, c)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !conOK {
+					continue
+				}
+				unOK, err := BruteFeasible(tr, r, p, W)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !unOK {
+					t.Fatalf("trial %d policy %v mask %b: constrained-feasible but not unconstrained-feasible",
+						trial, p, mask)
+				}
+			}
+		}
+	}
+}

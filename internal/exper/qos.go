@@ -1,0 +1,211 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"replicatree/internal/core"
+	"replicatree/internal/greedy"
+	"replicatree/internal/par"
+	"replicatree/internal/rng"
+	"replicatree/internal/textplot"
+	"replicatree/internal/tree"
+)
+
+// QoSCompareConfig parameterises the constraint experiment: on the
+// paper's fat or high trees, sweep a uniform per-client QoS bound (and
+// optionally a uniform per-link bandwidth) and compare the number of
+// replicas needed with and without the constraints, placing with both
+// the exact polynomial algorithm of arXiv 0706.3350
+// (core.MinReplicasQoS) and the constrained greedy baseline
+// (greedy.MinReplicasConstrained). Every placement is validated before
+// it is counted.
+type QoSCompareConfig struct {
+	Trees int
+	Gen   tree.GenConfig
+	// W is the uniform server capacity.
+	W int
+	// QoS lists the uniform per-client bounds swept; 0 is the
+	// unconstrained baseline.
+	QoS []int
+	// Bandwidth caps every link uniformly during the whole sweep;
+	// negative leaves links unconstrained.
+	Bandwidth int
+	Seed      uint64
+	Workers   int
+}
+
+// DefaultQoSCompare returns the default workload: fat (or high) trees
+// of 100 nodes as in Experiment 1 with the paper's W=10, QoS bounds
+// swept from unconstrained down to 2 hops, and unconstrained links.
+func DefaultQoSCompare(high bool) QoSCompareConfig {
+	gen := tree.FatConfig(100)
+	if high {
+		gen = tree.HighConfig(100)
+	}
+	return QoSCompareConfig{
+		Trees:     50,
+		Gen:       gen,
+		W:         10,
+		QoS:       []int{0, 6, 4, 3, 2},
+		Bandwidth: -1,
+		Seed:      DefaultSeed,
+	}
+}
+
+// QoSPoint aggregates one swept QoS bound. Averages are over the trees
+// where a valid placement exists at all (Feasible counts them;
+// tightening QoS can make instances infeasible only through bandwidth,
+// so with unconstrained links Feasible stays at Trees).
+type QoSPoint struct {
+	QoS      int // 0 = unconstrained
+	Feasible int
+	// AvgExact and AvgGreedy are the average replica counts of the
+	// exact DP and the constrained greedy over the feasible trees.
+	AvgExact  float64
+	AvgGreedy float64
+}
+
+// QoSCompareResult aggregates the constraint experiment.
+type QoSCompareResult struct {
+	W         int
+	Bandwidth int
+	Points    []QoSPoint
+}
+
+func (c QoSCompareConfig) validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("exper: Trees = %d", c.Trees)
+	}
+	if c.W <= 0 {
+		return fmt.Errorf("exper: non-positive capacity %d", c.W)
+	}
+	if len(c.QoS) == 0 {
+		return fmt.Errorf("exper: no QoS bounds to sweep")
+	}
+	for _, q := range c.QoS {
+		if q < 0 {
+			return fmt.Errorf("exper: negative QoS bound %d", q)
+		}
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// RunQoSCompare executes the constraint experiment. Runs are parallel
+// across trees and deterministic for a fixed seed.
+func RunQoSCompare(cfg QoSCompareConfig) (*QoSCompareResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	type treeOut struct {
+		// exact[qi] and grdy[qi] are replica counts at cfg.QoS[qi], or
+		// -1 when no valid placement exists.
+		exact []int
+		grdy  []int
+		err   error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		out := treeOut{exact: make([]int, len(cfg.QoS)), grdy: make([]int, len(cfg.QoS))}
+		for qi, q := range cfg.QoS {
+			out.exact[qi], out.grdy[qi] = -1, -1
+			var cons *tree.Constraints
+			if q > 0 || cfg.Bandwidth >= 0 {
+				cons = tree.NewConstraints(t)
+				if q > 0 {
+					cons.SetUniformQoS(t, q)
+				}
+				if cfg.Bandwidth >= 0 {
+					cons.SetUniformBandwidth(cfg.Bandwidth)
+				}
+			}
+			exact, err := core.MinReplicasQoS(t, cfg.W, cons)
+			if err != nil {
+				if errors.Is(err, core.ErrInfeasible) {
+					continue // infeasible under these constraints
+				}
+				out.err = fmt.Errorf("exper: tree %d qos=%d: %w", i, q, err)
+				return out
+			}
+			out.exact[qi] = exact.Count()
+			grdy, err := greedy.MinReplicasConstrained(t, cfg.W, cons)
+			if err != nil {
+				out.err = fmt.Errorf("exper: tree %d qos=%d: greedy failed where the DP succeeded: %w", i, q, err)
+				return out
+			}
+			if err := tree.ValidateConstrained(t, grdy, tree.PolicyClosest, cfg.W, cons); err != nil {
+				out.err = fmt.Errorf("exper: tree %d qos=%d: invalid greedy placement: %w", i, q, err)
+				return out
+			}
+			if grdy.Count() < exact.Count() {
+				out.err = fmt.Errorf("exper: tree %d qos=%d: greedy beat the exact DP (%d < %d)",
+					i, q, grdy.Count(), exact.Count())
+				return out
+			}
+			out.grdy[qi] = grdy.Count()
+		}
+		return out
+	})
+
+	res := &QoSCompareResult{W: cfg.W, Bandwidth: cfg.Bandwidth}
+	for qi, q := range cfg.QoS {
+		pt := QoSPoint{QoS: q}
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			if o.exact[qi] >= 0 {
+				pt.Feasible++
+				pt.AvgExact += float64(o.exact[qi])
+				pt.AvgGreedy += float64(o.grdy[qi])
+			}
+		}
+		if pt.Feasible > 0 {
+			pt.AvgExact /= float64(pt.Feasible)
+			pt.AvgGreedy /= float64(pt.Feasible)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Report renders the constraint experiment: the replica-count table and
+// a plot of the constrained-over-unconstrained replica overhead.
+func (r *QoSCompareResult) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%6s %8s %12s %12s %10s\n", "qos", "ok", "exact DP", "greedy", "greedy +%")
+	var xs []float64
+	exactSeries := textplot.Series{Name: "exact"}
+	greedySeries := textplot.Series{Name: "greedy"}
+	for _, pt := range r.Points {
+		label := "inf"
+		if pt.QoS > 0 {
+			label = fmt.Sprintf("%d", pt.QoS)
+		}
+		over := 0.0
+		if pt.AvgExact > 0 {
+			over = (pt.AvgGreedy/pt.AvgExact - 1) * 100
+		}
+		fmt.Fprintf(&sb, "%6s %8d %12.2f %12.2f %9.1f%%\n",
+			label, pt.Feasible, pt.AvgExact, pt.AvgGreedy, over)
+		if pt.Feasible > 0 && pt.QoS > 0 {
+			xs = append(xs, float64(pt.QoS))
+			exactSeries.Ys = append(exactSeries.Ys, pt.AvgExact)
+			greedySeries.Ys = append(greedySeries.Ys, pt.AvgGreedy)
+		}
+	}
+	sb.WriteByte('\n')
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return err
+	}
+	if len(xs) > 1 {
+		return textplot.Plot(w, fmt.Sprintf("average replicas vs QoS bound (W=%d)", r.W),
+			xs, []textplot.Series{exactSeries, greedySeries}, 60, 16)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+// TestRunQoSCompareSmall runs the constraint experiment at a reduced
+// scale and checks its internal invariants: the exact count never
+// exceeds the greedy count (enforced inside the runner), counts are
+// monotone as the QoS bound tightens, and the unconstrained point
+// matches the classical optimum.
+func TestRunQoSCompareSmall(t *testing.T) {
+	cfg := DefaultQoSCompare(true)
+	cfg.Trees = 4
+	cfg.Gen = tree.HighConfig(40)
+	res, err := RunQoSCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.QoS) {
+		t.Fatalf("%d points for %d bounds", len(res.Points), len(cfg.QoS))
+	}
+	// cfg.QoS runs from loose to tight, so the exact average must be
+	// non-decreasing over the feasible points (constraints only shrink
+	// the feasible set).
+	prev := -1.0
+	for _, pt := range res.Points {
+		if pt.Feasible != cfg.Trees {
+			t.Fatalf("qos=%d: %d/%d feasible (links are unconstrained, so all trees must be)",
+				pt.QoS, pt.Feasible, cfg.Trees)
+		}
+		if pt.AvgExact < prev-1e-9 {
+			t.Fatalf("exact average decreased while tightening QoS: %v", res.Points)
+		}
+		prev = pt.AvgExact
+		if pt.AvgGreedy < pt.AvgExact-1e-9 {
+			t.Fatalf("greedy average %v below exact %v", pt.AvgGreedy, pt.AvgExact)
+		}
+	}
+
+	var sb strings.Builder
+	if err := res.Report(&sb, "qos test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "exact DP") {
+		t.Fatalf("report lacks the table header:\n%s", sb.String())
+	}
+}
+
+// TestRunQoSCompareBandwidth exercises the bandwidth dimension: very
+// tight links force more replicas than the unconstrained baseline.
+func TestRunQoSCompareBandwidth(t *testing.T) {
+	cfg := DefaultQoSCompare(false)
+	cfg.Trees = 3
+	cfg.Gen = tree.FatConfig(30)
+	cfg.QoS = []int{0}
+	cfg.Bandwidth = 2
+	res, err := RunQoSCompare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFree := cfg
+	cfgFree.Bandwidth = -1
+	free, err := RunQoSCompare(cfgFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Feasible > 0 && free.Points[0].Feasible > 0 &&
+		res.Points[0].AvgExact < free.Points[0].AvgExact-1e-9 {
+		t.Fatalf("bandwidth-capped instance needs fewer replicas (%v) than the free one (%v)",
+			res.Points[0].AvgExact, free.Points[0].AvgExact)
+	}
+	if err := RunQoSCompareInvalid(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// RunQoSCompareInvalid exercises the config validation path.
+func RunQoSCompareInvalid() error {
+	cfg := DefaultQoSCompare(false)
+	cfg.QoS = nil
+	_, err := RunQoSCompare(cfg)
+	return err
+}

@@ -1,0 +1,192 @@
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"replicatree/internal/tree"
+)
+
+// MinReplicasConstrained is MinReplicas under QoS and bandwidth
+// constraints (arXiv 0706.3350): a valid single-capacity closest-policy
+// placement, every replica at mode 1. The post-order pass keeps the
+// unconstrained rule — equip the heaviest child branches when the
+// traversing flow exceeds W — and additionally equips any node the
+// climbing flow cannot pass: because some contributing client's QoS
+// range ends there, or because the upward link's bandwidth is too
+// small. A nil constraint set is exactly MinReplicas and therefore
+// optimal; with constraints the result is a valid baseline but not
+// necessarily minimal (core.MinReplicasQoS is the exact polynomial
+// algorithm; the tests compare the two).
+func MinReplicasConstrained(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, error) {
+	if c == nil {
+		return MinReplicas(t, W)
+	}
+	if W <= 0 {
+		return nil, fmt.Errorf("greedy: non-positive capacity %d", W)
+	}
+	if err := c.Validate(t); err != nil {
+		return nil, err
+	}
+	r := tree.ReplicasOf(t)
+	n := t.N()
+	up := make([]int, n)  // flow leaving each node, given placements so far
+	upL := make([]int, n) // tightest min-server-depth among the flow's clients
+	for _, j := range t.PostOrder() {
+		D := t.Depth(j)
+		own := t.ClientSum(j)
+		if own > W {
+			return nil, &InfeasibleError{Node: j, Demand: own, Cap: W}
+		}
+		ownL := 0
+		for k, dem := range t.Clients(j) {
+			if dem > 0 {
+				if l := c.MinServerDepth(j, k, D); l > ownL {
+					ownL = l
+				}
+			}
+		}
+		f := own
+		kids := t.Children(j)
+		contrib := make([]int, 0, len(kids))
+		order := make([]int, 0, len(kids))
+		for _, ch := range kids {
+			f += up[ch]
+			if up[ch] > 0 {
+				contrib = append(contrib, up[ch])
+				order = append(order, ch)
+			}
+		}
+		if f > W {
+			// Equip the heaviest contributing children until the
+			// residual flow fits; ties broken by node id.
+			idx := make([]int, len(order))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				if contrib[idx[a]] != contrib[idx[b]] {
+					return contrib[idx[a]] > contrib[idx[b]]
+				}
+				return order[idx[a]] < order[idx[b]]
+			})
+			for _, i := range idx {
+				if f <= W {
+					break
+				}
+				ch := order[i]
+				r.Set(ch, 1)
+				f -= up[ch]
+				up[ch] = 0
+			}
+		}
+		L := ownL
+		for _, ch := range order {
+			if up[ch] > 0 && upL[ch] > L {
+				L = upL[ch]
+			}
+		}
+		// The residual flow may climb only if every contributing client
+		// tolerates a server above j (L < D, with any server at depth
+		// >= L acceptable) and the upward link carries it.
+		bw := c.Bandwidth(j)
+		if f > 0 && (j == t.Root() || L >= D || (bw >= 0 && f > bw)) {
+			r.Set(j, 1)
+			up[j], upL[j] = 0, 0
+		} else {
+			up[j], upL[j] = f, L
+		}
+	}
+	// The pass enforces every constraint locally, so the placement is
+	// valid by construction; re-check as a guard against drift.
+	if err := tree.ValidateConstrained(t, r, tree.PolicyClosest, W, c); err != nil {
+		return nil, fmt.Errorf("greedy: constrained placement failed validation (bug): %w", err)
+	}
+	return r, nil
+}
+
+// MinReplicasPolicyConstrained is MinReplicasPolicy under QoS and
+// bandwidth constraints: for tree.PolicyClosest it is exactly
+// MinReplicasConstrained; for the relaxed policies it seeds from the
+// constrained closest solution (falling back to equipping every node)
+// and greedily prunes servers while the placement stays valid under the
+// policy's constrained flow evaluation.
+func MinReplicasPolicyConstrained(t *tree.Tree, W int, p tree.Policy, c *tree.Constraints) (*tree.Replicas, error) {
+	if p == tree.PolicyClosest {
+		return MinReplicasConstrained(t, W, c)
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("greedy: unknown access policy %v", p)
+	}
+	if W <= 0 {
+		return nil, fmt.Errorf("greedy: non-positive capacity %d", W)
+	}
+	if err := c.Validate(t); err != nil {
+		return nil, err
+	}
+	if p == tree.PolicyUpwards {
+		// A client's requests stay together under Upwards, so one
+		// demand above W dooms every placement.
+		for j := 0; j < t.N(); j++ {
+			for _, d := range t.Clients(j) {
+				if d > W {
+					return nil, &InfeasibleError{Node: j, Demand: d, Cap: W}
+				}
+			}
+		}
+	}
+	e := tree.NewEngine(t)
+	r, err := MinReplicasConstrained(t, W, c)
+	if err != nil || e.ValidateUniformConstrained(r, p, W, c) != nil {
+		// No constrained closest solution (or, under Upwards, one the
+		// best-fit certifier cannot re-certify): start from the full
+		// placement, which serves the most requests any placement can.
+		r = tree.ReplicasOf(t)
+		for j := 0; j < t.N(); j++ {
+			r.Set(j, 1)
+		}
+		if err := e.ValidateUniformConstrained(r, p, W, c); err != nil {
+			return nil, fmt.Errorf("greedy: no valid placement under the %v policy with capacity %d: %w: %w",
+				p, W, ErrInfeasible, err)
+		}
+	}
+	pruneReplicasConstrained(e, r, p, W, c)
+	return r, nil
+}
+
+// pruneReplicasConstrained repeatedly removes the server whose removal
+// keeps r valid under the constrained evaluation, trying lightest
+// observed loads first (ties by node id), until no single server can be
+// dropped.
+func pruneReplicasConstrained(e *tree.Engine, r *tree.Replicas, p tree.Policy, W int, c *tree.Constraints) {
+	t := e.Tree()
+	order := make([]int, 0, t.N())
+	for {
+		res := e.EvalUniformConstrained(r, p, W, c)
+		order = order[:0]
+		for j := 0; j < t.N(); j++ {
+			if r.Has(j) {
+				order = append(order, j)
+			}
+		}
+		loads := append([]int(nil), res.Loads...)
+		sort.Slice(order, func(a, b int) bool {
+			if loads[order[a]] != loads[order[b]] {
+				return loads[order[a]] < loads[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		removed := false
+		for _, j := range order {
+			r.Unset(j)
+			if e.ValidateUniformConstrained(r, p, W, c) == nil {
+				removed = true
+				break
+			}
+			r.Set(j, 1)
+		}
+		if !removed {
+			return
+		}
+	}
+}

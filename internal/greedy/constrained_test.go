@@ -1,0 +1,151 @@
+package greedy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func TestErrInfeasibleSentinel(t *testing.T) {
+	var err error = &InfeasibleError{Node: 3, Demand: 12, Cap: 10}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatal("InfeasibleError does not wrap ErrInfeasible")
+	}
+	var ie *InfeasibleError
+	if !errors.As(err, &ie) || ie.Node != 3 {
+		t.Fatal("errors.As lost the detail")
+	}
+
+	// The overloaded-clients path of MinReplicas.
+	b := tree.NewBuilder()
+	b.AddClient(b.AddNode(b.Root()), 50)
+	_, err = MinReplicas(b.MustBuild(), 10)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("MinReplicas error %v does not wrap ErrInfeasible", err)
+	}
+	// The policy fallback path: a single client above W is infeasible
+	// under Upwards.
+	_, err = MinReplicasPolicy(b.MustBuild(), 10, tree.PolicyUpwards)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("MinReplicasPolicy error %v does not wrap ErrInfeasible", err)
+	}
+	// Real errors must NOT register as infeasibility.
+	if _, err = MinReplicas(b.MustBuild(), 0); errors.Is(err, ErrInfeasible) {
+		t.Fatal("a non-positive capacity is an argument error, not infeasibility")
+	}
+	if _, err = MinReplicasPolicy(b.MustBuild(), 10, tree.Policy(9)); errors.Is(err, ErrInfeasible) {
+		t.Fatal("an unknown policy is an argument error, not infeasibility")
+	}
+}
+
+// randomConstrained draws a random tree with random constraints.
+func randomConstrained(rng *rand.Rand, maxNodes int) (*tree.Tree, *tree.Constraints) {
+	n := 2 + rng.Intn(maxNodes-1)
+	b := tree.NewBuilder()
+	nodes := []int{b.Root()}
+	for len(nodes) < n {
+		nodes = append(nodes, b.AddNode(nodes[rng.Intn(len(nodes))]))
+	}
+	for _, j := range nodes {
+		for k := rng.Intn(3); k > 0; k-- {
+			b.AddClient(j, rng.Intn(6))
+		}
+	}
+	t := b.MustBuild()
+	c := tree.NewConstraints(t)
+	for j := 0; j < t.N(); j++ {
+		for k := range t.Clients(j) {
+			if rng.Intn(2) == 0 {
+				c.SetQoS(j, k, 1+rng.Intn(4))
+			}
+		}
+		if j > 0 && rng.Intn(3) == 0 {
+			c.SetBandwidth(j, rng.Intn(12))
+		}
+	}
+	return t, c
+}
+
+// TestMinReplicasConstrainedValid checks on random instances that the
+// constrained greedy either proves infeasibility or returns a placement
+// the constrained validation accepts.
+func TestMinReplicasConstrainedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	feasible := 0
+	for trial := 0; trial < 500; trial++ {
+		tr, c := randomConstrained(rng, 30)
+		W := 1 + rng.Intn(12)
+		r, err := MinReplicasConstrained(tr, W, c)
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: real error %v", trial, err)
+			}
+			continue
+		}
+		feasible++
+		if err := tree.ValidateConstrained(tr, r, tree.PolicyClosest, W, c); err != nil {
+			t.Fatalf("trial %d: invalid constrained greedy placement: %v", trial, err)
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible instance drawn; the test checked nothing")
+	}
+}
+
+// TestMinReplicasConstrainedUnboundedMatchesPlain checks that an
+// all-unbounded constraint set reproduces the plain greedy exactly.
+func TestMinReplicasConstrainedUnboundedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		tr, _ := randomConstrained(rng, 40)
+		W := 1 + rng.Intn(12)
+		plain, errP := MinReplicas(tr, W)
+		cons, errC := MinReplicasConstrained(tr, W, tree.NewConstraints(tr))
+		if (errP == nil) != (errC == nil) {
+			t.Fatalf("trial %d: plain err %v, constrained err %v", trial, errP, errC)
+		}
+		if errP != nil {
+			continue
+		}
+		if !plain.Equal(cons) {
+			t.Fatalf("trial %d: unbounded constraints changed the placement (%v != %v)", trial, plain, cons)
+		}
+	}
+}
+
+// TestMinReplicasPolicyConstrainedValid checks every policy's
+// constrained placement validates, and that relaxed policies never need
+// more servers than the constrained closest solution.
+func TestMinReplicasPolicyConstrainedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 200; trial++ {
+		tr, c := randomConstrained(rng, 20)
+		W := 1 + rng.Intn(12)
+		closestCount := -1
+		for _, p := range tree.Policies() {
+			r, err := MinReplicasPolicyConstrained(tr, W, p, c)
+			if err != nil {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Fatalf("trial %d policy %v: real error %v", trial, p, err)
+				}
+				continue
+			}
+			if err := tree.ValidateConstrained(tr, r, p, W, c); err != nil {
+				t.Fatalf("trial %d policy %v: invalid placement: %v", trial, p, err)
+			}
+			if p == tree.PolicyClosest {
+				closestCount = r.Count()
+			} else if p == tree.PolicyMultiple && closestCount >= 0 && r.Count() > closestCount {
+				// A closest-valid placement is always multiple-valid and
+				// the multiple certifier is exact, so pruning from the
+				// closest seed can only shrink it. (No such guarantee
+				// for Upwards: its conservative certifier may reject
+				// the seed and prune from the full placement instead.)
+				t.Fatalf("trial %d policy %v: %d servers, closest needs only %d",
+					trial, p, r.Count(), closestCount)
+			}
+		}
+	}
+}

@@ -14,9 +14,20 @@ import (
 	"replicatree/internal/tree"
 )
 
+// ErrInfeasible is the sentinel wrapped by every error this package
+// returns for an instance that no placement can serve. Callers must
+// distinguish it from real errors (invalid trees or arguments) with
+// errors.Is: only ErrInfeasible means "the instance itself is
+// unsolvable". It wraps the shared tree.ErrInfeasible, so checks
+// against the core package's identical sentinel match too.
+var ErrInfeasible = fmt.Errorf("greedy: %w", tree.ErrInfeasible)
+
 // InfeasibleError reports an instance that no placement can serve: the
 // clients attached to one node demand more than a single server's
-// capacity, and the closest policy forces them onto a single server.
+// capacity, and the closest policy forces them onto a single server
+// (under the upwards policy, a single client demanding more than one
+// server's capacity — the multiple policy splits such demands). It
+// wraps ErrInfeasible.
 type InfeasibleError struct {
 	Node   int
 	Demand int
@@ -27,6 +38,9 @@ func (e *InfeasibleError) Error() string {
 	return fmt.Sprintf("greedy: clients of node %d demand %d > capacity %d; no valid placement exists",
 		e.Node, e.Demand, e.Cap)
 }
+
+// Unwrap makes errors.Is(err, ErrInfeasible) hold for InfeasibleError.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
 // MinReplicas returns a replica set of minimal cardinality serving every
 // client with capacity W under the closest policy, with every replica
@@ -107,78 +121,7 @@ func MinReplicas(t *tree.Tree, W int) (*tree.Replicas, error) {
 // baseline, not an optimum (the core package's brute force is the
 // reference on small trees).
 func MinReplicasPolicy(t *tree.Tree, W int, p tree.Policy) (*tree.Replicas, error) {
-	if p == tree.PolicyClosest {
-		return MinReplicas(t, W)
-	}
-	if !p.Valid() {
-		return nil, fmt.Errorf("greedy: unknown access policy %v", p)
-	}
-	if W <= 0 {
-		return nil, fmt.Errorf("greedy: non-positive capacity %d", W)
-	}
-	if p == tree.PolicyUpwards {
-		// A client's requests stay together under Upwards, so one
-		// demand above W dooms every placement.
-		for j := 0; j < t.N(); j++ {
-			for _, d := range t.Clients(j) {
-				if d > W {
-					return nil, &InfeasibleError{Node: j, Demand: d, Cap: W}
-				}
-			}
-		}
-	}
-	e := tree.NewEngine(t)
-	r, err := MinReplicas(t, W)
-	if err != nil || e.ValidateUniform(r, p, W) != nil {
-		// No closest solution (or, under Upwards, one the best-fit
-		// certifier cannot re-certify): start from the full placement,
-		// which serves the most requests any placement can.
-		r = tree.ReplicasOf(t)
-		for j := 0; j < t.N(); j++ {
-			r.Set(j, 1)
-		}
-		if err := e.ValidateUniform(r, p, W); err != nil {
-			return nil, fmt.Errorf("greedy: no valid placement under the %v policy with capacity %d: %w", p, W, err)
-		}
-	}
-	pruneReplicas(e, r, p, W)
-	return r, nil
-}
-
-// pruneReplicas repeatedly removes the server whose removal keeps r
-// valid, trying lightest observed loads first (ties by node id), until
-// no single server can be dropped.
-func pruneReplicas(e *tree.Engine, r *tree.Replicas, p tree.Policy, W int) {
-	t := e.Tree()
-	order := make([]int, 0, t.N())
-	for {
-		res := e.EvalUniform(r, p, W)
-		order = order[:0]
-		for j := 0; j < t.N(); j++ {
-			if r.Has(j) {
-				order = append(order, j)
-			}
-		}
-		loads := append([]int(nil), res.Loads...)
-		sort.Slice(order, func(a, b int) bool {
-			if loads[order[a]] != loads[order[b]] {
-				return loads[order[a]] < loads[order[b]]
-			}
-			return order[a] < order[b]
-		})
-		removed := false
-		for _, j := range order {
-			r.Unset(j)
-			if e.ValidateUniform(r, p, W) == nil {
-				removed = true
-				break
-			}
-			r.Set(j, 1)
-		}
-		if !removed {
-			return
-		}
-	}
+	return MinReplicasPolicyConstrained(t, W, p, nil)
 }
 
 // SweepResult is the outcome of the paper's power-adapted greedy: the

@@ -1,0 +1,114 @@
+package heuristic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/greedy"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// TestUpdateAwareInfeasibleIsNotAnError is the regression test for the
+// error-propagation fix: a genuinely unsolvable instance yields
+// Found=false with a nil error.
+func TestUpdateAwareInfeasibleIsNotAnError(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(b.AddNode(b.Root()), 50) // one node demands 50 > W
+	res, err := UpdateAware(b.MustBuild(), nil, 10, cost.Simple{Create: 0.1, Delete: 0.01}, Options{})
+	if err != nil {
+		t.Fatalf("infeasible instance returned error %v, want nil", err)
+	}
+	if res.Found {
+		t.Fatal("infeasible instance reported Found")
+	}
+}
+
+// TestUpdateAwarePropagatesRealErrors is the other half of the
+// regression: a real argument error out of the greedy seeding (here:
+// constraints that do not fit the tree) must propagate, not be
+// swallowed as "infeasible".
+func TestUpdateAwarePropagatesRealErrors(t *testing.T) {
+	b := tree.NewBuilder()
+	n := b.AddNode(b.Root())
+	b.AddClient(n, 5)
+	tr := b.MustBuild()
+
+	bigger := tree.NewBuilder()
+	bn := bigger.AddNode(bigger.Root())
+	bigger.AddNode(bn)
+	mismatched := tree.NewConstraints(bigger.MustBuild()) // 3 nodes vs 2
+
+	res, err := UpdateAware(tr, nil, 10, cost.Simple{Create: 0.1, Delete: 0.01},
+		Options{Constraints: mismatched})
+	if err == nil {
+		t.Fatalf("mismatched constraints returned nil error (res = %+v)", res)
+	}
+	if errors.Is(err, greedy.ErrInfeasible) {
+		t.Fatalf("argument error %v wrongly classified as infeasibility", err)
+	}
+	if res.Found {
+		t.Fatal("errored call reported Found")
+	}
+}
+
+// TestUpdateAwareConstrained checks the heuristic only returns
+// constraint-valid placements and still improves on (or matches) the
+// constrained greedy seed's cost.
+func TestUpdateAwareConstrained(t *testing.T) {
+	src := rng.New(17)
+	tr := tree.MustGenerate(tree.HighConfig(60), src)
+	existing, err := tree.RandomReplicas(tr, 15, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tree.NewConstraints(tr)
+	c.SetUniformQoS(tr, 3)
+	cs := cost.Simple{Create: 0.25, Delete: 0.05}
+
+	res, err := UpdateAware(tr, existing, 10, cs, Options{Constraints: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("constrained instance reported infeasible")
+	}
+	if err := tree.ValidateConstrained(tr, res.Placement, tree.PolicyClosest, 10, c); err != nil {
+		t.Fatalf("heuristic returned a constraint-invalid placement: %v", err)
+	}
+	seed, err := greedy.MinReplicasConstrained(tr, 10, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCost := cs.OfReplicas(seed, existing)
+	if res.Cost > seedCost+1e-9 {
+		t.Fatalf("heuristic cost %v above its own seed's cost %v", res.Cost, seedCost)
+	}
+}
+
+// TestPowerAwareConstrained checks the power heuristic under
+// constraints: the result must re-validate with its per-mode
+// capacities, QoS and bandwidths.
+func TestPowerAwareConstrained(t *testing.T) {
+	src := rng.New(23)
+	tr := tree.MustGenerate(tree.PowerConfig(40), src)
+	pm, cm := paperModels()
+	c := tree.NewConstraints(tr)
+	c.SetUniformQoS(tr, 4)
+
+	for _, p := range tree.Policies() {
+		res, err := PowerAware(tr, nil, pm, cm, math.Inf(1), Options{Policy: p, Constraints: c})
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if !res.Found {
+			continue // tight constraints may make the instance infeasible
+		}
+		e := tree.NewEngine(tr)
+		if err := e.ValidateConstrained(res.Placement, p, func(m uint8) int { return pm.Cap(int(m)) }, c); err != nil {
+			t.Fatalf("policy %v: constraint-invalid result: %v", p, err)
+		}
+	}
+}

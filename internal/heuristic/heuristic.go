@@ -33,6 +33,11 @@ type Options struct {
 	// and Multiple policies admit more structures, so the search can
 	// reach placements the closest policy would reject.
 	Policy tree.Policy
+	// Constraints adds QoS and bandwidth constraints (nil =
+	// unconstrained): every seed and every accepted move is validated
+	// under them, so the search only traverses constraint-valid
+	// placements.
+	Constraints *tree.Constraints
 }
 
 // Result is the heuristic's outcome.
@@ -70,9 +75,12 @@ func PowerAware(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.M
 	if !opts.Policy.Valid() {
 		return Result{}, fmt.Errorf("heuristic: unknown access policy %v", opts.Policy)
 	}
+	if err := opts.Constraints.Validate(t); err != nil {
+		return Result{}, err
+	}
 
 	h := &search{t: t, existing: existing, pm: pm, cm: cm, bound: bound,
-		policy: opts.Policy, engine: tree.NewEngine(t)}
+		policy: opts.Policy, cons: opts.Constraints, engine: tree.NewEngine(t)}
 	best, found := h.seed()
 	if !found {
 		return Result{Found: false}, nil
@@ -118,6 +126,7 @@ type search struct {
 	cm       cost.Modal
 	bound    float64
 	policy   tree.Policy
+	cons     *tree.Constraints // nil = unconstrained
 	engine   *tree.Engine
 }
 
@@ -141,14 +150,22 @@ func (h *search) seed() (candidate, bool) {
 		}
 	}
 
-	if sw, err := greedy.PowerSweepPolicy(h.t, h.existing, h.pm, h.cm, h.bound, h.policy); err == nil && sw.Found {
+	// The capacity sweeps place without constraints; their candidates
+	// only qualify as seeds once the constrained validation passes.
+	sweepOK := func(p *tree.Replicas) bool {
+		if h.cons == nil {
+			return true
+		}
+		return h.engine.ValidateConstrained(p, h.policy, func(m uint8) int { return h.pm.Cap(int(m)) }, h.cons) == nil
+	}
+	if sw, err := greedy.PowerSweepPolicy(h.t, h.existing, h.pm, h.cm, h.bound, h.policy); err == nil && sw.Found && sweepOK(sw.Solution) {
 		try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
 	}
 	if h.policy != tree.PolicyClosest {
 		// Any closest-valid placement stays valid under the relaxed
 		// policies, so the plain closest sweep is one more seed — and
 		// it guarantees the search never ends above that baseline.
-		if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found {
+		if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found && sweepOK(sw.Solution) {
 			try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
 		}
 	}
@@ -174,7 +191,7 @@ func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
 	// evaluating at the fastest mode W_M shows the most each server can
 	// be asked to carry (for the closest policy capacities are ignored
 	// and this is the plain flow evaluation).
-	res := h.engine.EvalUniform(structure, h.policy, h.pm.MaxCap())
+	res := h.engine.EvalUniformConstrained(structure, h.policy, h.pm.MaxCap(), h.cons)
 	loads, unserved := res.Loads, res.Unserved
 	if unserved > 0 {
 		return candidate{}, false
@@ -200,12 +217,13 @@ func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
 			return candidate{}, false
 		}
 	}
-	if h.policy != tree.PolicyClosest {
+	if h.policy != tree.PolicyClosest || h.cons != nil {
 		// Shrinking capacities from W_M to the assigned modes can shift
 		// the capacity-aware routing; keep only structures that still
 		// validate. (Under the closest policy loads are mode-independent
-		// and the minimal covering mode is valid by construction.)
-		if h.engine.Validate(p, h.policy, func(m uint8) int { return h.pm.Cap(int(m)) }) != nil {
+		// and the minimal covering mode is valid by construction, but
+		// QoS and bandwidth constraints still depend on the structure.)
+		if h.engine.ValidateConstrained(p, h.policy, func(m uint8) int { return h.pm.Cap(int(m)) }, h.cons) != nil {
 			return candidate{}, false
 		}
 	}

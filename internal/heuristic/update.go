@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"errors"
 	"fmt"
 
 	"replicatree/internal/cost"
@@ -35,6 +36,13 @@ type UpdateResult struct {
 // far below the optimal DP, and lands within a few percent of the
 // optimal cost on the paper's workloads (see the package tests and
 // BenchmarkAblationUpdateHeuristic).
+//
+// With opts.Constraints set, the seed comes from the constrained
+// greedy and every accepted move re-validates under the QoS and
+// bandwidth constraints, so the result is always constraint-valid. A
+// Found of false means the instance is infeasible; any returned error
+// is a real one (invalid tree, arguments or constraints), never
+// infeasibility.
 func UpdateAware(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple, opts Options) (UpdateResult, error) {
 	if existing == nil {
 		existing = tree.NewReplicas(t.N())
@@ -51,12 +59,21 @@ func UpdateAware(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple, op
 	if opts.MaxPasses <= 0 {
 		opts.MaxPasses = 10
 	}
-
-	seed, err := greedy.MinReplicas(t, W)
-	if err != nil {
-		return UpdateResult{Found: false}, nil // infeasible instance
+	if err := opts.Constraints.Validate(t); err != nil {
+		return UpdateResult{}, err
 	}
-	h := &updateSearch{t: t, existing: existing, w: W, c: c, engine: tree.NewEngine(t)}
+
+	seed, err := greedy.MinReplicasConstrained(t, W, opts.Constraints)
+	if err != nil {
+		// Only a genuinely unsolvable instance is a non-result; real
+		// errors (invalid trees or arguments) propagate to the caller.
+		if errors.Is(err, greedy.ErrInfeasible) {
+			return UpdateResult{Found: false}, nil
+		}
+		return UpdateResult{}, err
+	}
+	h := &updateSearch{t: t, existing: existing, w: W, c: c,
+		cons: opts.Constraints, engine: tree.NewEngine(t)}
 	best := h.eval(seed)
 
 	// A second seed: keep every pre-existing server that the tree can
@@ -105,7 +122,8 @@ type updateSearch struct {
 	existing *tree.Replicas
 	w        int
 	c        cost.Simple
-	engine   *tree.Engine // reused across the O(N·E) validations per pass
+	cons     *tree.Constraints // nil = unconstrained
+	engine   *tree.Engine      // reused across the O(N·E) validations per pass
 }
 
 func (h *updateSearch) eval(p *tree.Replicas) updateCand {
@@ -114,7 +132,7 @@ func (h *updateSearch) eval(p *tree.Replicas) updateCand {
 
 // try evaluates a candidate structure and reports an improvement.
 func (h *updateSearch) try(p *tree.Replicas, cur updateCand) (updateCand, bool) {
-	if h.engine.ValidateUniform(p, tree.PolicyClosest, h.w) != nil {
+	if h.engine.ValidateUniformConstrained(p, tree.PolicyClosest, h.w, h.cons) != nil {
 		return updateCand{}, false
 	}
 	cand := h.eval(p)
@@ -172,7 +190,9 @@ func (h *updateSearch) reuseSeed() (updateCand, bool) {
 	if up[h.t.Root()] > 0 {
 		p.Set(h.t.Root(), 1)
 	}
-	if h.engine.ValidateUniform(p, tree.PolicyClosest, h.w) != nil {
+	// The repair pass is constraint-oblivious; the constrained
+	// validation gates any candidate it produces.
+	if h.engine.ValidateUniformConstrained(p, tree.PolicyClosest, h.w, h.cons) != nil {
 		return updateCand{}, false
 	}
 	return h.eval(p), true

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// constrainedChain builds root -> 1 -> 2 with a 5-request client at the
+// deepest node and a single server at the root.
+func constrainedChain() (*tree.Tree, *tree.Replicas) {
+	b := tree.NewBuilder()
+	n1 := b.AddNode(b.Root())
+	n2 := b.AddNode(n1)
+	b.AddClient(n2, 5)
+	t := b.MustBuild()
+	r := tree.ReplicasOf(t)
+	r.Set(t.Root(), 1)
+	return t, r
+}
+
+// TestStepClosestConstraintTallies checks the closest policy's SLA
+// accounting: forced routing still serves, but QoS misses and link
+// overflows are tallied per step.
+func TestStepClosestConstraintTallies(t *testing.T) {
+	tr, r := constrainedChain()
+	pm := power.MustNew([]int{10}, 1, 2)
+	c := tree.NewConstraints(tr)
+	c.SetQoS(2, 0, 2)       // the root is 3 hops away
+	c.SetBandwidth(1, 3)    // 5 requests cross link 1->0
+	c.SetBandwidth(2, 1000) // slack link: no overflow
+
+	s, err := NewConstrained(tr, r, pm, tree.PolicyClosest, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(3)
+	m := s.Metrics()
+	if m.Served != 15 || m.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d, want 15/0 (closest routing is forced)", m.Served, m.Dropped)
+	}
+	if m.QoSMisses != 15 {
+		t.Fatalf("QoSMisses = %d, want 15 (5 requests x 3 steps)", m.QoSMisses)
+	}
+	if m.LinkOverflows != 6 {
+		t.Fatalf("LinkOverflows = %d, want 6 (2 excess units x 3 steps)", m.LinkOverflows)
+	}
+}
+
+// TestStepRelaxedConstraintDrops checks that under the relaxed policies
+// constraint-blocked requests are dropped rather than tallied.
+func TestStepRelaxedConstraintDrops(t *testing.T) {
+	tr, r := constrainedChain()
+	pm := power.MustNew([]int{10}, 1, 2)
+	for _, p := range []tree.Policy{tree.PolicyUpwards, tree.PolicyMultiple} {
+		c := tree.NewConstraints(tr)
+		c.SetQoS(2, 0, 2)
+		s, err := NewConstrained(tr, r, pm, p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step(2)
+		m := s.Metrics()
+		if m.Served != 0 || m.Dropped != 10 {
+			t.Fatalf("%v: served/dropped = %d/%d, want 0/10", p, m.Served, m.Dropped)
+		}
+		if m.QoSMisses != 0 || m.LinkOverflows != 0 {
+			t.Fatalf("%v: tallies = %d/%d, want zero (relaxed policies drop instead)",
+				p, m.QoSMisses, m.LinkOverflows)
+		}
+	}
+}
+
+// TestNewConstrainedValidates checks the constructor's constraint
+// validation.
+func TestNewConstrainedValidates(t *testing.T) {
+	tr, r := constrainedChain()
+	pm := power.MustNew([]int{10}, 1, 2)
+	b := tree.NewBuilder()
+	b.AddNode(b.Root())
+	wrong := tree.NewConstraints(b.MustBuild()) // 2 nodes vs 3
+	if _, err := NewConstrained(tr, r, pm, tree.PolicyClosest, wrong); err == nil {
+		t.Fatal("mismatched constraints accepted")
+	}
+}

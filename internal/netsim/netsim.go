@@ -17,6 +17,16 @@
 // server absorbs exactly up to its capacity; under both, requests are
 // only dropped when they pass the root, and no server ever runs beyond
 // its capacity.
+//
+// A simulator built with NewConstrained additionally models QoS and
+// bandwidth constraints (tree.Constraints). Under the relaxed policies
+// the constrained routing drops requests that cannot reach any server
+// within their QoS range or across a saturated link (they appear in
+// Dropped). Under the closest policy the routing is forced by the
+// placement, so constraint breaches cannot reroute traffic; they are
+// tallied instead: QoSMisses counts requests served beyond their QoS
+// bound (SLA misses) and LinkOverflows counts request units crossing a
+// link beyond its bandwidth.
 package netsim
 
 import (
@@ -48,6 +58,15 @@ type Metrics struct {
 	ReconfigCost float64
 	// Reconfigurations counts Reconfigure calls.
 	Reconfigurations int
+	// QoSMisses counts requests routed to a server beyond their QoS
+	// bound under the closest policy — routing-level SLA misses,
+	// counted whether or not an overloaded server also dropped part of
+	// that load (the relaxed policies drop such requests instead; see
+	// the package documentation). Zero without constraints.
+	QoSMisses int
+	// LinkOverflows counts request units crossing a link beyond its
+	// bandwidth under the closest policy. Zero without constraints.
+	LinkOverflows int
 }
 
 // Simulator replays traffic on one tree. The tree's request counts may
@@ -58,6 +77,7 @@ type Simulator struct {
 	pm        power.Model
 	placement *tree.Replicas
 	policy    tree.Policy
+	cons      *tree.Constraints
 	engine    *tree.Engine
 	caps      tree.CapOf // mode -> capacity, built once to keep Step allocation-free
 	m         Metrics
@@ -73,6 +93,13 @@ func New(t *tree.Tree, placement *tree.Replicas, pm power.Model) (*Simulator, er
 
 // NewPolicy is New with an explicit access policy.
 func NewPolicy(t *tree.Tree, placement *tree.Replicas, pm power.Model, p tree.Policy) (*Simulator, error) {
+	return NewConstrained(t, placement, pm, p, nil)
+}
+
+// NewConstrained is NewPolicy with QoS and bandwidth constraints (a nil
+// set is NewPolicy). See the package documentation for how constraints
+// surface in the metrics per policy.
+func NewConstrained(t *tree.Tree, placement *tree.Replicas, pm power.Model, p tree.Policy, c *tree.Constraints) (*Simulator, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,13 +109,16 @@ func NewPolicy(t *tree.Tree, placement *tree.Replicas, pm power.Model, p tree.Po
 	if placement.N() != t.N() {
 		return nil, fmt.Errorf("netsim: placement covers %d nodes, tree has %d", placement.N(), t.N())
 	}
+	if err := c.Validate(t); err != nil {
+		return nil, err
+	}
 	for j := 0; j < t.N(); j++ {
 		if m := placement.Mode(j); m != tree.NoMode && int(m) > pm.M() {
 			return nil, fmt.Errorf("netsim: node %d uses mode %d, model has %d", j, m, pm.M())
 		}
 	}
 	s := &Simulator{t: t, pm: pm, placement: placement.Clone(),
-		policy: p, engine: tree.NewEngine(t)}
+		policy: p, cons: c.Clone(), engine: tree.NewEngine(t)}
 	s.caps = func(m uint8) int { return s.pm.Cap(int(m)) }
 	return s, nil
 }
@@ -105,7 +135,7 @@ func (s *Simulator) Step(n int) {
 	if n <= 0 {
 		return
 	}
-	res := s.engine.Eval(s.placement, s.policy, s.caps)
+	res := s.engine.EvalConstrained(s.placement, s.policy, s.caps, s.cons)
 	served, dropped, violations := 0, 0, 0
 	stepPower := 0.0
 	peak := s.m.PeakUtilisation
@@ -135,6 +165,33 @@ func (s *Simulator) Step(n int) {
 	s.m.Violations += violations * n
 	s.m.Energy += stepPower * float64(n)
 	s.m.PeakUtilisation = peak
+	if s.cons != nil && s.policy == tree.PolicyClosest {
+		misses, overflows := s.closestConstraintTally()
+		s.m.QoSMisses += misses * n
+		s.m.LinkOverflows += overflows * n
+	}
+}
+
+// closestConstraintTally counts QoS misses and bandwidth overflows for
+// one time unit from the engine's forced closest routing. O(N),
+// allocation-free on the engine's scratch.
+func (s *Simulator) closestConstraintTally() (misses, overflows int) {
+	t := s.t
+	up, srv := s.engine.ClosestRouting(s.placement)
+	for j := 0; j < t.N(); j++ {
+		for k, d := range t.Clients(j) {
+			if d == 0 || srv[j] < 0 {
+				continue // unserved requests are already in Dropped
+			}
+			if q := s.cons.QoS(j, k); q > 0 && t.Depth(j)-srv[j]+1 > q {
+				misses += d
+			}
+		}
+		if bw := s.cons.Bandwidth(j); bw >= 0 && up[j] > bw {
+			overflows += up[j] - bw
+		}
+	}
+	return misses, overflows
 }
 
 // Reconfigure swaps in a new placement, pricing the transition with the

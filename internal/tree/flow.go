@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -9,6 +10,13 @@ import (
 // how the flow engine asks for capacities without depending on the
 // power package's model type.
 type CapOf func(mode uint8) int
+
+// ErrInfeasible is the module-wide sentinel for "no placement at all
+// can serve this instance". Every solver layer (core's exact programs,
+// the greedy baseline, the heuristics) wraps it, so a single
+// errors.Is(err, ErrInfeasible) distinguishes unsolvable instances
+// from real errors whichever layer produced them.
+var ErrInfeasible = errors.New("no valid placement exists")
 
 // Result describes one flow evaluation: the number of requests absorbed
 // by every node (zero for unequipped nodes) and the number of requests
@@ -38,8 +46,10 @@ type Engine struct {
 	// aligned with the post-order traversal so that the demands still
 	// unserved inside subtree(j) form the contiguous tail pend[base:].
 	pend     []int
+	pendL    []int // minimal server depth per pending demand (constrained passes)
 	pendBase []int // stack length before post[i] was processed
 	size     []int // subtree sizes (including the node itself)
+	srv      []int // serving-node depth per node (constrained closest validation)
 
 	w       int   // capacity used by the uniform-capacity closure
 	uniform CapOf // returns w; avoids a per-call closure allocation
@@ -55,6 +65,7 @@ func NewEngine(t *Tree) *Engine {
 		up:       make([]int, n),
 		pendBase: make([]int, n),
 		size:     make([]int, n),
+		srv:      make([]int, n),
 	}
 	for _, j := range t.post {
 		s := 1

@@ -1,0 +1,384 @@
+package tree
+
+import "fmt"
+
+// This file extends the flow engine with QoS (distance) and bandwidth
+// constraints (arXiv 0706.3350). Every pass reuses the engine's
+// preallocated scratch, so constrained evaluations stay allocation-free
+// once the pending-demand buffers have grown to their working size.
+//
+// Semantics per policy:
+//
+//   - Closest: routing is fully determined by the placement, so
+//     EvalConstrained equals Eval; ValidateConstrained additionally
+//     reports the first QoS violation (a client served beyond its hop
+//     bound) or link overflow (more requests crossing a link than its
+//     bandwidth).
+//   - Multiple: the bottom-up pass becomes deadline-aware. Each pending
+//     demand carries the minimal server depth its QoS allows; equipped
+//     nodes absorb the tightest demands first, demands expire (become
+//     unserved) once they would have to climb above their allowed
+//     depth, and when a link's bandwidth is exceeded the tightest
+//     demands are cut first (the loosest have the most chances above).
+//     The same exchange argument as the unconstrained pass makes this
+//     an exact feasibility test: the ancestors able to serve a pending
+//     demand always form a chain, nested by the demand's depth bound
+//     (cross-checked against an exhaustive unit-level search in the
+//     core package's tests).
+//   - Upwards: the best-fit-decreasing certifier serves demands that
+//     would expire at the current node first, then the rest; expiry and
+//     bandwidth cuts work as under Multiple but on whole clients. As in
+//     the unconstrained case the pass is sound (a zero Unserved proves
+//     the placement valid) but may over-reject; the core package's
+//     exhaustive search is the exact reference.
+
+// QoSError reports a client served beyond its QoS bound under the
+// closest policy.
+type QoSError struct {
+	Node   int // node the client is attached to
+	Client int // index within Tree.Clients(Node)
+	Server int // node that serves the client
+	Dist   int // hops between client and server (client edge included)
+	Limit  int // the violated QoS bound
+}
+
+func (e *QoSError) Error() string {
+	return fmt.Sprintf("tree: client %d of node %d is served by node %d at distance %d > QoS %d",
+		e.Client, e.Node, e.Server, e.Dist, e.Limit)
+}
+
+// BandwidthError reports a link carrying more requests than its
+// bandwidth under the closest policy.
+type BandwidthError struct {
+	Node int // the link is Node -> parent(Node)
+	Flow int // requests crossing the link
+	Cap  int // the violated bandwidth
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("tree: link %d->parent carries %d requests, bandwidth %d", e.Node, e.Flow, e.Cap)
+}
+
+// EvalConstrained evaluates replica set r under policy p with QoS and
+// bandwidth constraints c. A nil c is Eval. Under PolicyClosest the
+// routing is forced by the placement, so constraints cannot change the
+// result and EvalConstrained equals Eval (ValidateConstrained reports
+// the violations); under PolicyUpwards and PolicyMultiple requests that
+// cannot reach any server within their QoS bound or across a saturated
+// link count into Unserved and loads respect both capacities and
+// constraints. Like Eval, it panics on a replica set of the wrong size
+// or a missing capOf for the relaxed policies; the replicatree facade
+// wraps it with error-returning guards for untrusted input.
+func (e *Engine) EvalConstrained(r *Replicas, p Policy, capOf CapOf, c *Constraints) Result {
+	if c == nil {
+		return e.Eval(r, p, capOf)
+	}
+	if r.N() != e.t.N() {
+		panic(fmt.Sprintf("tree: flow evaluation with replica set of size %d on tree of size %d", r.N(), e.t.N()))
+	}
+	switch p {
+	case PolicyClosest:
+		return e.evalClosest(r)
+	case PolicyUpwards:
+		if capOf == nil {
+			panic("tree: EvalConstrained under the upwards policy needs capacities")
+		}
+		return e.evalUpwardsConstrained(r, capOf, c)
+	case PolicyMultiple:
+		if capOf == nil {
+			panic("tree: EvalConstrained under the multiple policy needs capacities")
+		}
+		return e.evalMultipleConstrained(r, capOf, c)
+	default:
+		panic(fmt.Sprintf("tree: EvalConstrained with unknown policy %d", uint8(p)))
+	}
+}
+
+// EvalUniformConstrained is EvalConstrained with a single capacity W.
+func (e *Engine) EvalUniformConstrained(r *Replicas, p Policy, W int, c *Constraints) Result {
+	if c == nil {
+		return e.EvalUniform(r, p, W)
+	}
+	if p == PolicyClosest {
+		return e.EvalConstrained(r, p, nil, c)
+	}
+	e.w = W
+	return e.EvalConstrained(r, p, e.uniform, c)
+}
+
+// ValidateConstrained checks that r serves every client under policy p
+// within capacities, QoS bounds and link bandwidths. A nil c is
+// Validate. Under PolicyClosest the forced routing is checked against
+// all three constraint families; under the relaxed policies the
+// constrained evaluation already routes within the constraints, so only
+// unserved requests remain to report (conservatively for Upwards — see
+// Policy).
+func (e *Engine) ValidateConstrained(r *Replicas, p Policy, capOf CapOf, c *Constraints) error {
+	if c == nil {
+		return e.Validate(r, p, capOf)
+	}
+	res := e.EvalConstrained(r, p, capOf, c)
+	if res.Unserved > 0 {
+		return &CapacityError{Node: -1, Load: res.Unserved, Policy: p}
+	}
+	if p != PolicyClosest {
+		return nil
+	}
+	t := e.t
+	for j, l := range res.Loads {
+		if !r.Has(j) {
+			continue
+		}
+		if cp := capOf(r.Mode(j)); l > cp {
+			return &CapacityError{Node: j, Load: l, Cap: cp, Policy: p}
+		}
+	}
+	e.fillServingDepths(r)
+	for j := 0; j < t.N(); j++ {
+		for k, d := range t.clients[j] {
+			if d == 0 {
+				continue
+			}
+			q := c.QoS(j, k)
+			if q <= 0 {
+				continue
+			}
+			// Unserved == 0, so every demand-carrying node has a server.
+			if dist := t.depth[j] - e.srv[j] + 1; dist > q {
+				server := j
+				for !r.Has(server) {
+					server = t.parent[server]
+				}
+				return &QoSError{Node: j, Client: k, Server: server, Dist: dist, Limit: q}
+			}
+		}
+	}
+	for j := 1; j < t.N(); j++ {
+		if bw := c.Bandwidth(j); bw >= 0 && e.up[j] > bw {
+			return &BandwidthError{Node: j, Flow: e.up[j], Cap: bw}
+		}
+	}
+	return nil
+}
+
+// ClosestRouting evaluates the forced closest routing of r: up[j] is
+// the flow crossing the link j -> parent(j) and servingDepth[j] is the
+// depth of the node serving j's clients (-1 when no equipped node
+// covers j). It is the single source of truth for closest routing that
+// constraint accounting builds on (the simulator's SLA tallies, the
+// engine's own constrained validation). Both slices alias engine
+// scratch and are only valid until the next evaluation.
+func (e *Engine) ClosestRouting(r *Replicas) (up, servingDepth []int) {
+	if r.N() != e.t.N() {
+		panic(fmt.Sprintf("tree: routing with replica set of size %d on tree of size %d", r.N(), e.t.N()))
+	}
+	e.evalClosest(r)
+	e.fillServingDepths(r)
+	return e.up, e.srv
+}
+
+// fillServingDepths computes the serving depth of every node into the
+// srv scratch, top-down (post order reversed visits parents before
+// children).
+func (e *Engine) fillServingDepths(r *Replicas) {
+	t := e.t
+	post := t.post
+	for i := len(post) - 1; i >= 0; i-- {
+		j := post[i]
+		switch {
+		case r.Has(j):
+			e.srv[j] = t.depth[j]
+		case j == t.Root():
+			e.srv[j] = -1
+		default:
+			e.srv[j] = e.srv[t.parent[j]]
+		}
+	}
+}
+
+// ValidateUniformConstrained is ValidateConstrained with a single
+// capacity W for every mode.
+func (e *Engine) ValidateUniformConstrained(r *Replicas, p Policy, W int, c *Constraints) error {
+	e.w = W
+	return e.ValidateConstrained(r, p, e.uniform, c)
+}
+
+// pushClients appends the positive demands of node j (at depth d) with
+// their minimal server depths to the pending stack.
+func (e *Engine) pushClients(j, d int, c *Constraints) {
+	for k, dem := range e.t.clients[j] {
+		if dem > 0 {
+			e.pend = append(e.pend, dem)
+			e.pendL = append(e.pendL, c.MinServerDepth(j, k, d))
+		}
+	}
+}
+
+// sortSegByBoundDesc orders pend/pendL[base:] by depth bound descending
+// (tightest deadline first), ties by larger demand. Insertion sort: the
+// segments are small, nearly sorted after compaction, and sorting in
+// place keeps the pass allocation-free.
+func (e *Engine) sortSegByBoundDesc(base int) {
+	for i := base + 1; i < len(e.pend); i++ {
+		d, l := e.pend[i], e.pendL[i]
+		k := i - 1
+		for k >= base && (e.pendL[k] < l || (e.pendL[k] == l && e.pend[k] < d)) {
+			e.pend[k+1], e.pendL[k+1] = e.pend[k], e.pendL[k]
+			k--
+		}
+		e.pend[k+1], e.pendL[k+1] = d, l
+	}
+}
+
+// compactSeg removes pending entries whose demand was zeroed or marked
+// absorbed (negative), preserving order.
+func (e *Engine) compactSeg(base int) {
+	w := base
+	for i := base; i < len(e.pend); i++ {
+		if e.pend[i] > 0 {
+			e.pend[w], e.pendL[w] = e.pend[i], e.pendL[i]
+			w++
+		}
+	}
+	e.pend = e.pend[:w]
+	e.pendL = e.pendL[:w]
+}
+
+// evalMultipleConstrained routes splittable flows under QoS and
+// bandwidth constraints; see the file comment for why the
+// tightest-first / cut-tightest rules keep the pass exact.
+func (e *Engine) evalMultipleConstrained(r *Replicas, capOf CapOf, c *Constraints) Result {
+	t := e.t
+	e.pend = e.pend[:0]
+	e.pendL = e.pendL[:0]
+	unserved := 0
+	for i, j := range t.post {
+		e.pendBase[i] = len(e.pend)
+		e.pushClients(j, t.depth[j], c)
+		base := e.pendBase[i-e.size[j]+1]
+		e.loads[j] = 0
+		if r.Has(j) {
+			if cp := capOf(r.Mode(j)); cp > 0 {
+				e.sortSegByBoundDesc(base)
+				for k := base; k < len(e.pend) && cp > 0; k++ {
+					take := min(e.pend[k], cp)
+					e.pend[k] -= take
+					cp -= take
+					e.loads[j] += take
+				}
+				e.compactSeg(base)
+			}
+		}
+		if j == t.Root() {
+			continue // whatever remains past the root is counted below
+		}
+		pd := t.depth[t.parent[j]]
+		total := 0
+		for k := base; k < len(e.pend); k++ {
+			if e.pendL[k] > pd {
+				unserved += e.pend[k]
+				e.pend[k] = 0
+			} else {
+				total += e.pend[k]
+			}
+		}
+		if bw := c.Bandwidth(j); bw >= 0 && total > bw {
+			// Cut the tightest demands first: the loosest are servable
+			// wherever a tighter one is, and higher still.
+			e.sortSegByBoundDesc(base)
+			excess := total - bw
+			for k := base; k < len(e.pend) && excess > 0; k++ {
+				take := min(e.pend[k], excess)
+				e.pend[k] -= take
+				excess -= take
+				unserved += take
+			}
+		}
+		e.compactSeg(base)
+	}
+	for _, d := range e.pend {
+		unserved += d
+	}
+	return Result{Policy: PolicyMultiple, Loads: e.loads, Unserved: unserved}
+}
+
+// evalUpwardsConstrained assigns whole clients to servers under QoS and
+// bandwidth constraints: a sound certifier like the unconstrained pass
+// (see Policy), serving must-expire demands first at every server.
+func (e *Engine) evalUpwardsConstrained(r *Replicas, capOf CapOf, c *Constraints) Result {
+	t := e.t
+	e.pend = e.pend[:0]
+	e.pendL = e.pendL[:0]
+	unserved := 0
+	for i, j := range t.post {
+		e.pendBase[i] = len(e.pend)
+		e.pushClients(j, t.depth[j], c)
+		base := e.pendBase[i-e.size[j]+1]
+		e.loads[j] = 0
+		pd := -1 // past the root nothing survives
+		if j != t.Root() {
+			pd = t.depth[t.parent[j]]
+		}
+		if r.Has(j) {
+			// Tightest bounds (the demands that expire soonest) first,
+			// larger demands first within a bound: best-fit-decreasing
+			// per deadline class.
+			e.sortSegByBoundDesc(base)
+			load, cp := 0, capOf(r.Mode(j))
+			for k := base; k < len(e.pend); k++ {
+				if d := e.pend[k]; load+d <= cp {
+					load += d
+					e.pend[k] = -1 // absorbed; compacted below
+				}
+			}
+			e.loads[j] = load
+			e.compactSeg(base)
+		}
+		total := 0
+		for k := base; k < len(e.pend); k++ {
+			if e.pendL[k] > pd {
+				unserved += e.pend[k]
+				e.pend[k] = 0
+			} else {
+				total += e.pend[k]
+			}
+		}
+		if bw := c.Bandwidth(j); j != t.Root() && bw >= 0 && total > bw {
+			// Forward the loosest demands first (most chances above);
+			// whole clients cannot split, so the greedy prefix that
+			// fits the link crosses and the rest is dropped.
+			e.sortSegByBoundDesc(base)
+			room := bw
+			for k := len(e.pend) - 1; k >= base; k-- { // loosest at the tail
+				if e.pend[k] <= 0 {
+					continue
+				}
+				if e.pend[k] <= room {
+					room -= e.pend[k]
+				} else {
+					unserved += e.pend[k]
+					e.pend[k] = 0
+				}
+			}
+		}
+		e.compactSeg(base)
+	}
+	for _, d := range e.pend {
+		unserved += d
+	}
+	return Result{Policy: PolicyUpwards, Loads: e.loads, Unserved: unserved}
+}
+
+// FlowsConstrained evaluates a replica set under policy p with a single
+// capacity W and constraints c, constructing a throwaway engine (hold a
+// NewEngine to evaluate many sets on one tree).
+func FlowsConstrained(t *Tree, r *Replicas, p Policy, W int, c *Constraints) (loads []int, unserved int) {
+	res := NewEngine(t).EvalUniformConstrained(r, p, W, c)
+	return res.Loads, res.Unserved
+}
+
+// ValidateConstrained checks a single-capacity solution under policy p
+// with constraints c. See Engine.ValidateConstrained.
+func ValidateConstrained(t *Tree, r *Replicas, p Policy, W int, c *Constraints) error {
+	return NewEngine(t).ValidateUniformConstrained(r, p, W, c)
+}

@@ -82,6 +82,88 @@ func (r *Replicas) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// instanceJSON is the on-disk representation of a constrained instance:
+// the tree plus optional per-client QoS bounds (aligned with clients; 0
+// = unbounded) and per-link bandwidths (bandwidth[j] caps the link
+// j -> parent(j); negative = unbounded; entry 0 is ignored). A plain
+// tree file is a valid instance with nil constraints, and instance
+// files decode as plain trees through ReadTreeJSON (the extra fields
+// are ignored).
+type instanceJSON struct {
+	Parents   []int   `json:"parents"`
+	Clients   [][]int `json:"clients"`
+	QoS       [][]int `json:"qos,omitempty"`
+	Bandwidth []int   `json:"bandwidth,omitempty"`
+}
+
+// ReadInstanceJSON decodes a tree and its optional QoS/bandwidth
+// constraints from r. When the file carries neither a "qos" nor a
+// "bandwidth" field the returned constraints are nil.
+func ReadInstanceJSON(rd io.Reader) (*Tree, *Constraints, error) {
+	var raw instanceJSON
+	if err := json.NewDecoder(rd).Decode(&raw); err != nil {
+		return nil, nil, fmt.Errorf("tree: decoding instance: %w", err)
+	}
+	t, err := FromParents(raw.Parents, raw.Clients)
+	if err != nil {
+		return nil, nil, err
+	}
+	if raw.QoS == nil && raw.Bandwidth == nil {
+		return t, nil, nil
+	}
+	c := NewConstraints(t)
+	if raw.QoS != nil {
+		if len(raw.QoS) > t.N() {
+			return nil, nil, fmt.Errorf("tree: %d QoS lists for %d nodes", len(raw.QoS), t.N())
+		}
+		for j := range raw.QoS {
+			for k, q := range raw.QoS[j] {
+				c.SetQoS(j, k, q)
+			}
+		}
+	}
+	if raw.Bandwidth != nil {
+		if len(raw.Bandwidth) != t.N() {
+			return nil, nil, fmt.Errorf("tree: %d bandwidth entries for %d nodes", len(raw.Bandwidth), t.N())
+		}
+		for j := 1; j < t.N(); j++ {
+			c.SetBandwidth(j, raw.Bandwidth[j])
+		}
+	}
+	if err := c.Validate(t); err != nil {
+		return nil, nil, err
+	}
+	return t, c, nil
+}
+
+// WriteInstanceJSON writes the tree and its constraints to w as
+// indented JSON. A nil constraint set writes a plain tree file.
+func WriteInstanceJSON(w io.Writer, t *Tree, c *Constraints) error {
+	raw := instanceJSON{Parents: t.parent, Clients: t.clients}
+	if c != nil {
+		if err := c.Validate(t); err != nil {
+			return err
+		}
+		if c.Bounded() {
+			raw.QoS = make([][]int, t.N())
+			for j := 0; j < t.N(); j++ {
+				raw.QoS[j] = make([]int, len(t.clients[j]))
+				for k := range t.clients[j] {
+					raw.QoS[j][k] = c.QoS(j, k)
+				}
+			}
+			raw.Bandwidth = make([]int, t.N())
+			raw.Bandwidth[0] = NoBandwidthLimit
+			for j := 1; j < t.N(); j++ {
+				raw.Bandwidth[j] = c.Bandwidth(j)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(raw)
+}
+
 // ReadReplicasJSON decodes a replica set from rd and checks it is sized
 // for t.
 func ReadReplicasJSON(rd io.Reader, t *Tree) (*Replicas, error) {

@@ -16,7 +16,9 @@
 // Closest ⊆ Upwards ⊆ Multiple — which the tests verify against
 // exhaustive searches. Engine holds preallocated scratch so that
 // repeated evaluations on one tree are allocation-free; Flows,
-// Validate and friends are one-shot wrappers around it.
+// Validate and friends are one-shot wrappers around it. Constraints
+// adds the per-client QoS bounds and per-link bandwidths of 0706.3350,
+// enforced by the engine's constrained passes (see flowc.go).
 //
 // Internal nodes are identified by dense integer ids 0..N-1 with node 0
 // the root. Clients are not materialised as nodes: each internal node

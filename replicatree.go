@@ -33,6 +33,15 @@
 // small trees. See internal/tree's package documentation for the policy
 // semantics.
 //
+// QoS (distance) and bandwidth constraints in the sense of Rehn-Sonigo
+// (arXiv 0706.3350) attach to any tree through the Constraints type:
+// the flow engine evaluates and validates under them for all three
+// policies, MinReplicasQoS is the paper's exact polynomial algorithm
+// for constrained replica counting under the closest policy, and the
+// greedy baseline, heuristics and simulator are constraint-aware. Use
+// EvalPlacement and CheckPlacement to evaluate untrusted input without
+// the engine's internal panic contract.
+//
 // # Quick start
 //
 //	b := replicatree.NewBuilder()
@@ -75,10 +84,20 @@ type (
 	TreeStats = tree.Stats
 	// CapacityError reports an overloaded server or unserved requests.
 	CapacityError = tree.CapacityError
+	// QoSError reports a client served beyond its QoS bound.
+	QoSError = tree.QoSError
+	// BandwidthError reports a link carrying more than its bandwidth.
+	BandwidthError = tree.BandwidthError
+	// Constraints carries per-client QoS bounds and per-link bandwidth
+	// capacities (arXiv 0706.3350); nil means unconstrained.
+	Constraints = tree.Constraints
 	// Policy selects the access policy (closest, upwards, multiple).
 	Policy = tree.Policy
 	// FlowEngine evaluates request flows under any access policy with
 	// preallocated scratch; reuse one per goroutine for hot loops.
+	// Its methods panic on programming errors (wrong replica-set size,
+	// nil capacities under the relaxed policies, unknown policy); use
+	// EvalPlacement/CheckPlacement for untrusted input.
 	FlowEngine = tree.Engine
 	// FlowResult is one flow evaluation (loads and unserved requests).
 	FlowResult = tree.Result
@@ -126,6 +145,16 @@ type (
 // ErrInfeasible is returned when no placement can serve every client.
 var ErrInfeasible = core.ErrInfeasible
 
+// ErrGreedyInfeasible is the sentinel the greedy baseline and the
+// update heuristic wrap for unsolvable instances; check it with
+// errors.Is to tell infeasibility apart from real errors. It wraps
+// ErrInfeasible, so errors.Is(err, ErrInfeasible) matches
+// infeasibility from every solver layer.
+var ErrGreedyInfeasible = greedy.ErrInfeasible
+
+// NoBandwidthLimit marks a link without a bandwidth constraint.
+const NoBandwidthLimit = tree.NoBandwidthLimit
+
 // Access policies (see Policy).
 const (
 	// PolicyClosest serves every request at the first equipped
@@ -145,6 +174,12 @@ var (
 	FromParents = tree.FromParents
 	// ReadTreeJSON decodes a tree from JSON.
 	ReadTreeJSON = tree.ReadTreeJSON
+	// NewConstraints returns an all-unbounded constraint set for a tree.
+	NewConstraints = tree.NewConstraints
+	// ReadInstanceJSON decodes a tree plus optional constraints.
+	ReadInstanceJSON = tree.ReadInstanceJSON
+	// WriteInstanceJSON writes a tree plus optional constraints.
+	WriteInstanceJSON = tree.WriteInstanceJSON
 	// WriteDOT renders a tree (and optional replica sets) as Graphviz.
 	WriteDOT = tree.WriteDOT
 
@@ -184,6 +219,12 @@ var (
 	ValidateUniform = tree.ValidateUniform
 	// ValidatePolicy checks a single-capacity solution under a policy.
 	ValidatePolicy = tree.ValidatePolicy
+	// FlowsConstrained evaluates single-capacity flows under QoS and
+	// bandwidth constraints.
+	FlowsConstrained = tree.FlowsConstrained
+	// ValidateConstrained checks a single-capacity solution under a
+	// policy with QoS and bandwidth constraints.
+	ValidateConstrained = tree.ValidateConstrained
 
 	// NewRNG returns a seeded deterministic stream.
 	NewRNG = rng.New
@@ -220,6 +261,16 @@ var (
 	GreedyMinReplicas = greedy.MinReplicas
 	// GreedyMinReplicasPolicy places under any access policy.
 	GreedyMinReplicasPolicy = greedy.MinReplicasPolicy
+	// GreedyMinReplicasConstrained places under the closest policy
+	// with QoS and bandwidth constraints (valid, not always minimal).
+	GreedyMinReplicasConstrained = greedy.MinReplicasConstrained
+	// GreedyMinReplicasPolicyConstrained places under any access
+	// policy with QoS and bandwidth constraints.
+	GreedyMinReplicasPolicyConstrained = greedy.MinReplicasPolicyConstrained
+	// MinReplicasQoS is the exact polynomial algorithm of arXiv
+	// 0706.3350: a minimal placement under the closest policy with QoS
+	// and bandwidth constraints.
+	MinReplicasQoS = core.MinReplicasQoS
 	// GreedyPowerSweep is the paper's power-adapted greedy baseline.
 	GreedyPowerSweep = greedy.PowerSweep
 	// GreedyPowerSweepPolicy is the capacity sweep under any policy.
@@ -234,4 +285,7 @@ var (
 	NewSimulator = netsim.New
 	// NewPolicySimulator replays traffic under any access policy.
 	NewPolicySimulator = netsim.NewPolicy
+	// NewConstrainedSimulator replays traffic under any access policy
+	// with QoS and bandwidth constraints.
+	NewConstrainedSimulator = netsim.NewConstrained
 )
