@@ -221,6 +221,88 @@ func BenchmarkPowerSolverExp3Tree(b *testing.B) {
 	}
 }
 
+// --- Reusable solver micro-benchmarks (arena steady state) ---
+//
+// The *SolverReuse benchmarks measure the arena-backed solver objects
+// after two warm-up solves (the first sizes the arenas, the second
+// fits them): every iteration must report 0 allocs/op (the CI
+// zero-alloc gate fails otherwise), the same contract
+// BenchmarkFlows/BenchmarkValidate enforce for the flow engine.
+
+// BenchmarkMinCostSolverReuse times steady-state MinCost solves through
+// a reused solver on the Experiment 1 workload (compare with the
+// cold-solver BenchmarkMinCostFatTree).
+func BenchmarkMinCostSolverReuse(b *testing.B) {
+	src := replicatree.NewRNG(1)
+	t := tree.MustGenerate(tree.FatConfig(100), src)
+	existing, _ := tree.RandomReplicas(t, 25, 1, src)
+	solver := core.NewMinCostSolver(t)
+	dst := tree.ReplicasOf(t)
+	for warm := 0; warm < 2; warm++ {
+		if _, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerSolverReuse times steady-state power solves (full DP
+// plus one unbounded reconstruction) through a reused PowerDP on the
+// Experiment 3 workload (compare with BenchmarkPowerSolverExp3Tree).
+func BenchmarkPowerSolverReuse(b *testing.B) {
+	src := replicatree.NewRNG(4)
+	t := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, _ := tree.RandomReplicas(t, 5, 2, src)
+	dp := core.NewPowerDP(t)
+	prob := core.PowerProblem{Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost()}
+	dst := tree.ReplicasOf(t)
+	for warm := 0; warm < 2; warm++ {
+		if _, err := dp.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solver, err := dp.Solve(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := solver.BestInto(math.Inf(1), dst); !ok {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+// BenchmarkQoSSolverReuse times steady-state constrained-counting
+// solves through a reused QoSSolver on the 100-node fat workload with a
+// 4-hop QoS bound (compare with BenchmarkMinReplicasQoS).
+func BenchmarkQoSSolverReuse(b *testing.B) {
+	tr := tree.MustGenerate(tree.FatConfig(100), replicatree.NewRNG(exper.DefaultSeed))
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 4)
+	solver := core.NewQoSSolver(tr)
+	dst := tree.ReplicasOf(tr)
+	for warm := 0; warm < 2; warm++ {
+		if _, err := solver.Solve(10, cons, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(10, cons, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTreeGeneration times the workload generator itself.
 func BenchmarkTreeGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,206 @@
+// Command benchjson records one point of the repository's performance
+// trajectory. It runs `go test -bench` over the module (or parses a
+// pre-captured benchmark log) and writes BENCH_<sha>.json holding
+// ns/op, B/op and allocs/op — plus any custom b.ReportMetric series —
+// for every benchmark, so successive commits can be diffed without
+// re-running old revisions. CI regenerates and uploads the file on
+// every push.
+//
+// It doubles as the zero-allocation gate: with -assert-zero, any
+// matching benchmark reporting nonzero allocs/op fails the run, which
+// keeps the arena-backed solvers (and the flow engine) honest.
+//
+// Usage:
+//
+//	benchjson                        # run the default set, write BENCH_<sha>.json
+//	benchjson -bench 'Reuse' -benchtime 10x
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -in - -assert-zero 'SolverReuse'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every reported unit, including the three above and
+	// any custom b.ReportMetric series (e.g. "gap-vs-optimal-%").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<sha>.json payload.
+type File struct {
+	SHA        string      `json:"sha"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench      = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "1x", "benchtime passed to go test")
+		in         = flag.String("in", "", "parse this pre-captured benchmark log instead of running go test (\"-\" = stdin)")
+		out        = flag.String("out", ".", "directory receiving BENCH_<sha>.json")
+		sha        = flag.String("sha", "", "commit id for the file name (default: git rev-parse --short=12 HEAD)")
+		assertZero = flag.String("assert-zero", "", "fail if a benchmark matching this regex reports nonzero allocs/op")
+	)
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *in, *out, *sha, *assertZero); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, in, out, sha, assertZero string) error {
+	var log io.Reader
+	switch in {
+	case "":
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+			"-benchtime", benchtime, "-benchmem", "./...")
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w", err)
+		}
+		log = strings.NewReader(string(raw))
+	case "-":
+		log = os.Stdin
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		log = f
+	}
+
+	benches, err := parseBenchLog(log)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+
+	if sha == "" {
+		sha = headSHA()
+	}
+	payload := File{SHA: sha, GoVersion: runtime.Version(), Benchmarks: benches}
+	path := filepath.Join(out, "BENCH_"+sha+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(benches))
+
+	if assertZero != "" {
+		re, err := regexp.Compile(assertZero)
+		if err != nil {
+			return fmt.Errorf("bad -assert-zero regex: %w", err)
+		}
+		var dirty []string
+		matched := 0
+		for _, b := range benches {
+			if !re.MatchString(b.Name) {
+				continue
+			}
+			matched++
+			if b.AllocsPerOp != 0 {
+				dirty = append(dirty, fmt.Sprintf("%s: %v allocs/op", b.Name, b.AllocsPerOp))
+			}
+		}
+		if matched == 0 {
+			return fmt.Errorf("-assert-zero %q matched no benchmark", assertZero)
+		}
+		if len(dirty) > 0 {
+			return fmt.Errorf("allocation regression:\n  %s", strings.Join(dirty, "\n  "))
+		}
+		fmt.Printf("benchjson: %d benchmarks matching %q at 0 allocs/op\n", matched, assertZero)
+	}
+	return nil
+}
+
+// benchLine matches `BenchmarkName-8   100   123 ns/op   ...`; the
+// -GOMAXPROCS suffix is optional (it is absent with GOMAXPROCS=1).
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchLog extracts the benchmark results from `go test -bench`
+// output: one line per benchmark, value/unit pairs after the iteration
+// count. Non-benchmark lines (package headers, PASS/ok) are skipped.
+func parseBenchLog(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("line %q: odd value/unit field count", sc.Text())
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q: %w", sc.Text(), fields[i], err)
+			}
+			unit := fields[i+1]
+			b.Metrics[unit] = v
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// headSHA returns the short commit id, or "worktree" outside a
+// repository so local runs still produce a usable file name.
+func headSHA() string {
+	raw, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "worktree"
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: replicatree
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMinCostSolverReuse-8 	      50	    466828 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPowerSolverReuse-8   	      50	  98810751 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig4-8               	       1	 923031266 ns/op	         4.159 avg-extra-reuse	        13.00 max-extra-reuse	234180248 B/op	 2854546 allocs/op
+BenchmarkFlows/fat100/closest-8         	14440257	        82.41 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTreeGeneration
+BenchmarkTreeGeneration-8     	   37676	     31950 ns/op
+PASS
+ok  	replicatree	12.345s
+`
+
+func TestParseBenchLog(t *testing.T) {
+	benches, err := parseBenchLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(benches))
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+
+	mc := byName["BenchmarkMinCostSolverReuse"]
+	if mc.Iterations != 50 || mc.NsPerOp != 466828 || mc.AllocsPerOp != 0 || mc.BytesPerOp != 0 {
+		t.Fatalf("MinCostSolverReuse parsed as %+v", mc)
+	}
+
+	fig := byName["BenchmarkFig4"]
+	if fig.AllocsPerOp != 2854546 {
+		t.Fatalf("Fig4 allocs/op = %v, want 2854546", fig.AllocsPerOp)
+	}
+	if got := fig.Metrics["avg-extra-reuse"]; got != 4.159 {
+		t.Fatalf("Fig4 avg-extra-reuse = %v, want 4.159", got)
+	}
+	if got := fig.Metrics["max-extra-reuse"]; got != 13 {
+		t.Fatalf("Fig4 max-extra-reuse = %v, want 13", got)
+	}
+
+	sub := byName["BenchmarkFlows/fat100/closest"]
+	if sub.NsPerOp != 82.41 {
+		t.Fatalf("sub-benchmark ns/op = %v, want 82.41", sub.NsPerOp)
+	}
+
+	gen := byName["BenchmarkTreeGeneration"]
+	if gen.NsPerOp != 31950 || gen.AllocsPerOp != 0 {
+		t.Fatalf("TreeGeneration parsed as %+v", gen)
+	}
+}
+
+func TestParseBenchLogRejectsMalformedPairs(t *testing.T) {
+	if _, err := parseBenchLog(strings.NewReader("BenchmarkBroken-8 10 123 ns/op 77\n")); err == nil {
+		t.Fatal("expected an error for an odd value/unit field count")
+	}
+}

@@ -208,7 +208,7 @@ func cmdMinCost(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := replicatree.MinCost(t, existing, *w, replicatree.SimpleCost{Create: *create, Delete: *del})
+	res, err := replicatree.NewMinCostSolver(t).Solve(existing, *w, replicatree.SimpleCost{Create: *create, Delete: *del})
 	if err != nil {
 		return err
 	}
@@ -256,8 +256,8 @@ func cmdMinPower(sub string, args []string) error {
 		return err
 	}
 	cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
-	solver, err := replicatree.SolvePower(replicatree.PowerProblem{
-		Tree: t, Existing: existing, Power: pm, Cost: cm,
+	solver, err := replicatree.NewPowerDP(t).Solve(replicatree.PowerProblem{
+		Existing: existing, Power: pm, Cost: cm,
 	})
 	if err != nil {
 		return err
@@ -305,7 +305,7 @@ func cmdGreedy(args []string) error {
 			return fmt.Errorf("replicatool: -exact solves the closest policy only (got %v)", policy)
 		}
 		algorithm = "exact-dp"
-		sol, err = replicatree.MinReplicasQoS(t, *w, cons)
+		sol, err = replicatree.NewQoSSolver(t).Solve(*w, cons, nil)
 	} else {
 		sol, err = replicatree.GreedyMinReplicasPolicyConstrained(t, *w, policy, cons)
 	}

@@ -1,0 +1,47 @@
+package core
+
+// arena is the flat scratch allocator behind the reusable solvers
+// (MinCostSolver, PowerDP, QoSSolver). Each solver owns one arena per
+// element type; a solve resets the arena and carves every table it
+// needs out of one backing buffer. The reset fits the buffer to the
+// high-water mark of the solves before it, so the buffer only ever
+// grows: a one-shot solve pays nothing for fitting, and from the third
+// solve of a given instance shape on (the second still grows the
+// buffer once) every solve runs without a single heap allocation.
+//
+// Slices handed out by alloc stay valid for the whole solve even after
+// the buffer is replaced by a later reset's growth (they keep
+// referencing the old block); they are invalidated by the next reset,
+// which is why solver results that must outlive a solve (placements,
+// fronts) are copied out of arena storage.
+type arena[T any] struct {
+	buf []T
+	off int
+	// need is the running total requested since the last reset; the
+	// next reset grows buf to it.
+	need int
+}
+
+// reset recycles the buffer for a new solve, first growing it to the
+// previous solve's high-water mark.
+func (a *arena[T]) reset() {
+	if a.need > len(a.buf) {
+		a.buf = make([]T, a.need)
+	}
+	a.off = 0
+	a.need = 0
+}
+
+// alloc returns a scratch slice of length n with unspecified contents:
+// callers must initialise every cell they later read. When the backing
+// buffer is exhausted the slice is heap-allocated instead and the next
+// reset grows the buffer accordingly.
+func (a *arena[T]) alloc(n int) []T {
+	a.need += n
+	if a.off+n <= len(a.buf) {
+		s := a.buf[a.off : a.off+n : a.off+n]
+		a.off += n
+		return s
+	}
+	return make([]T, n)
+}

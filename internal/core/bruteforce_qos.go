@@ -95,9 +95,16 @@ func assignFeasibleConstrained(t *tree.Tree, r *tree.Replicas, W int, c *tree.Co
 		return items[a].node < items[b].node
 	})
 	// Candidate servers per item: equipped ancestors within the QoS
-	// depth range, nearest first.
+	// depth range, nearest first. The per-server residual capacity is a
+	// slice keyed by node id (-1 = not a candidate of any item): the
+	// backtracking below hits it on every assignment attempt, where a
+	// map's hashing dominated the whole search.
 	cands := make([][]int, len(items))
-	residual := make(map[int]int)
+	residual := make([]int, t.N())
+	for n := range residual {
+		residual[n] = -1
+	}
+	free := 0
 	for i, it := range items {
 		for n := it.node; n >= 0; n = t.Parent(n) {
 			if t.Depth(n) < it.minDepth {
@@ -105,7 +112,10 @@ func assignFeasibleConstrained(t *tree.Tree, r *tree.Replicas, W int, c *tree.Co
 			}
 			if r.Has(n) {
 				cands[i] = append(cands[i], n)
-				residual[n] = W
+				if residual[n] < 0 {
+					residual[n] = W
+					free += W
+				}
 			}
 		}
 		if len(cands[i]) == 0 {
@@ -118,10 +128,6 @@ func assignFeasibleConstrained(t *tree.Tree, r *tree.Replicas, W int, c *tree.Co
 		if linkRes[j] < 0 {
 			linkRes[j] = total // effectively unbounded
 		}
-	}
-	free := 0
-	for range residual {
-		free += W
 	}
 	remaining := total
 	var rec func(i, prevChoice int) bool

@@ -40,29 +40,11 @@ type MinCostResult struct {
 // access policies on small trees. The worst
 // case running time is O(N·(N−E+1)²·(E+1)²) = O(N⁵) as in the paper;
 // subtree-bounded tables make typical instances far cheaper.
+//
+// MinCost builds a fresh solver per call; hot loops solving many
+// instances on the same tree should hold a MinCostSolver instead.
 func MinCost(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
-	if existing == nil {
-		existing = tree.NewReplicas(t.N())
-	}
-	if existing.N() != t.N() {
-		return nil, fmt.Errorf("core: existing set covers %d nodes, tree has %d", existing.N(), t.N())
-	}
-	if W <= 0 {
-		return nil, fmt.Errorf("core: non-positive capacity %d", W)
-	}
-	if W > math.MaxInt32/4 {
-		return nil, fmt.Errorf("core: capacity %d too large", W)
-	}
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	if m := t.MaxClientSum(); m > W {
-		return nil, fmt.Errorf("core: a node's clients demand %d > W=%d: %w", m, W, ErrInfeasible)
-	}
-
-	d := &mcDP{t: t, existing: existing, w: int32(W)}
-	d.run()
-	return d.scanRoot(c)
+	return NewMinCostSolver(t).Solve(existing, W, c)
 }
 
 // MinReplicaCount returns the minimal number of servers needed to serve
@@ -89,38 +71,122 @@ type mcStep struct {
 	decs       []mcDec
 }
 
-// mcDP carries the state of the MinCost dynamic program.
-type mcDP struct {
-	t        *tree.Tree
-	existing *tree.Replicas
-	w        int32
+// MinCostSolver solves MinCost-WithPre instances on one tree. All
+// dynamic-program tables live in two flat arenas grown monotonically
+// to the high-water mark of past solves, so after two warm-up solves
+// of an instance shape every further Solve performs no heap allocation
+// (use SolveInto with a caller-owned destination to avoid the result
+// placement allocation too). A solver is not safe for concurrent use;
+// run one per goroutine.
+type MinCostSolver struct {
+	t     *tree.Tree
+	empty *tree.Replicas // stands in for a nil existing set
 
-	// Per node: final table (freed once merged into the parent), its
-	// dimensions, and the per-merge decision tables for reconstruction.
+	// Per node: final table (vals), its dimensions, and the per-merge
+	// decision tables for reconstruction.
 	vals  [][]int32
 	dimE  []int32
 	dimN  []int32
 	steps [][]mcStep
 
+	ints arena[int32]
+	decs arena[mcDec]
+
+	// Per solve:
+	existing  *tree.Replicas
+	w         int32
 	placement *tree.Replicas
 }
 
-func (d *mcDP) run() {
-	n := d.t.N()
-	d.vals = make([][]int32, n)
-	d.dimE = make([]int32, n)
-	d.dimN = make([]int32, n)
-	d.steps = make([][]mcStep, n)
+// NewMinCostSolver returns a reusable solver for MinCost instances on t.
+func NewMinCostSolver(t *tree.Tree) *MinCostSolver {
+	n := t.N()
+	return &MinCostSolver{
+		t:     t,
+		empty: tree.NewReplicas(n),
+		vals:  make([][]int32, n),
+		dimE:  make([]int32, n),
+		dimN:  make([]int32, n),
+		steps: make([][]mcStep, n),
+	}
+}
 
-	for _, j := range d.t.PostOrder() {
+// Solve runs the dynamic program and returns a freshly allocated
+// result. See SolveInto for the allocation-free variant.
+func (s *MinCostSolver) Solve(existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
+	res, err := s.SolveInto(existing, W, c, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SolveInto runs the dynamic program and writes the optimal placement
+// into dst (allocated fresh when nil; reset first otherwise). dst must
+// not alias existing: the reconstruction reads the pre-existing set
+// while writing the placement. The returned result's Placement field is
+// dst.
+func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple, dst *tree.Replicas) (MinCostResult, error) {
+	t := s.t
+	if existing == nil {
+		existing = s.empty
+	}
+	if existing.N() != t.N() {
+		return MinCostResult{}, fmt.Errorf("core: existing set covers %d nodes, tree has %d", existing.N(), t.N())
+	}
+	if dst != nil {
+		if dst.N() != t.N() {
+			return MinCostResult{}, fmt.Errorf("core: destination set covers %d nodes, tree has %d", dst.N(), t.N())
+		}
+		if dst == existing {
+			return MinCostResult{}, fmt.Errorf("core: destination set aliases the existing set")
+		}
+	}
+	if W <= 0 {
+		return MinCostResult{}, fmt.Errorf("core: non-positive capacity %d", W)
+	}
+	if W > math.MaxInt32/4 {
+		return MinCostResult{}, fmt.Errorf("core: capacity %d too large", W)
+	}
+	if err := c.Validate(); err != nil {
+		return MinCostResult{}, err
+	}
+	if m := t.MaxClientSum(); m > W {
+		return MinCostResult{}, fmt.Errorf("core: a node's clients demand %d > W=%d: %w", m, W, ErrInfeasible)
+	}
+	// dst is only touched once every input check has passed, so a
+	// failed call leaves a reused destination's previous contents
+	// intact.
+	if dst == nil {
+		dst = tree.ReplicasOf(t)
+	} else {
+		dst.Reset()
+	}
+
+	s.existing, s.w, s.placement = existing, int32(W), dst
+	s.ints.reset()
+	s.decs.reset()
+	s.run()
+	res, err := s.scanRoot(c)
+	s.existing, s.placement = nil, nil
+	if err != nil {
+		return MinCostResult{}, err
+	}
+	return res, nil
+}
+
+func (s *MinCostSolver) run() {
+	for _, j := range s.t.PostOrder() {
 		// Base: no internal children merged yet; the only cell is
 		// (0,0) holding the requests of j's own clients (Algorithm 2).
 		accE, accN := int32(0), int32(0)
-		acc := []int32{int32(d.t.ClientSum(j))}
-		for _, ch := range d.t.Children(j) {
-			acc, accE, accN = d.merge(j, ch, acc, accE, accN)
+		acc := s.ints.alloc(1)
+		acc[0] = int32(s.t.ClientSum(j))
+		s.steps[j] = s.steps[j][:0]
+		for _, ch := range s.t.Children(j) {
+			acc, accE, accN = s.merge(j, ch, acc, accE, accN)
 		}
-		d.vals[j], d.dimE[j], d.dimN[j] = acc, accE, accN
+		s.vals[j], s.dimE[j], s.dimN[j] = acc, accE, accN
 	}
 }
 
@@ -128,10 +194,10 @@ func (d *mcDP) run() {
 // exclusive upper bounds accE+1 and accN+1 on coordinates) with the
 // final table of child ch, considering for every split the option of
 // placing a replica on ch itself (Algorithm 3).
-func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, int32) {
-	chE, chN := d.dimE[ch], d.dimN[ch]
-	chVals := d.vals[ch]
-	childPre := d.existing.Has(ch)
+func (s *MinCostSolver) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, int32) {
+	chE, chN := s.dimE[ch], s.dimN[ch]
+	chVals := s.vals[ch]
+	childPre := s.existing.Has(ch)
 
 	outE := accE + chE
 	outN := accN + chN
@@ -140,11 +206,14 @@ func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, 
 	} else {
 		outN++
 	}
-	out := make([]int32, (outE+1)*(outN+1))
+	out := s.ints.alloc(int(outE+1) * int(outN+1))
 	for i := range out {
 		out[i] = invalid
 	}
-	decs := make([]mcDec, len(out))
+	// Stale decision cells are never read: the reconstruction only
+	// follows cells whose value was written this solve, and every value
+	// write refreshes its decision.
+	decs := s.decs.alloc(len(out))
 	ostride := outN + 1
 
 	update := func(e, n, v int32, dec mcDec) {
@@ -171,7 +240,7 @@ func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, 
 					}
 					// No replica on ch: its traversing requests join ours
 					// and must still fit one upstream server.
-					if a+cv <= d.w {
+					if a+cv <= s.w {
 						update(e+ec, n+nc, a+cv, dec)
 					}
 					// Replica on ch absorbs cv (cv <= W by construction).
@@ -185,8 +254,8 @@ func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, 
 		}
 	}
 
-	d.steps[j] = append(d.steps[j], mcStep{dimE: outE, dimN: outN, decs: decs})
-	d.vals[ch] = nil // the child's table is no longer needed
+	s.steps[j] = append(s.steps[j], mcStep{dimE: outE, dimN: outN, decs: decs})
+	s.vals[ch] = nil // the child's table is no longer needed
 	return out, outE, outN
 }
 
@@ -194,12 +263,12 @@ func (d *mcDP) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, 
 // the root itself (Algorithm 4) and reconstructs the cheapest solution.
 // In addition to the paper's branches, a pre-existing root may be kept
 // as a server even when minr = 0, which is cheaper whenever delete > 1.
-func (d *mcDP) scanRoot(c cost.Simple) (*MinCostResult, error) {
-	r := d.t.Root()
-	E := d.existing.Count()
-	rootPre := d.existing.Has(r)
-	dimE, dimN := d.dimE[r], d.dimN[r]
-	vals := d.vals[r]
+func (s *MinCostSolver) scanRoot(c cost.Simple) (MinCostResult, error) {
+	r := s.t.Root()
+	E := s.existing.Count()
+	rootPre := s.existing.Has(r)
+	dimE, dimN := s.dimE[r], s.dimN[r]
+	vals := s.vals[r]
 
 	bestCost := math.Inf(1)
 	bestE, bestN := int32(-1), int32(-1)
@@ -232,22 +301,21 @@ func (d *mcDP) scanRoot(c cost.Simple) (*MinCostResult, error) {
 			if v == 0 {
 				consider(e, n, false)
 			}
-			if v <= d.w {
+			if v <= s.w {
 				consider(e, n, true)
 			}
 		}
 	}
 	if bestE < 0 {
-		return nil, fmt.Errorf("core: %w", ErrInfeasible)
+		return MinCostResult{}, fmt.Errorf("core: %w", ErrInfeasible)
 	}
 
-	d.placement = tree.NewReplicas(d.t.N())
 	if bestPlaceRoot {
-		d.placement.Set(r, 1)
+		s.placement.Set(r, 1)
 	}
-	d.rebuild(r, bestE, bestN)
-	return &MinCostResult{
-		Placement: d.placement,
+	s.rebuild(r, bestE, bestN)
+	return MinCostResult{
+		Placement: s.placement,
 		Cost:      bestCost,
 		Servers:   bestServers,
 		Reused:    bestReused,
@@ -257,23 +325,23 @@ func (d *mcDP) scanRoot(c cost.Simple) (*MinCostResult, error) {
 
 // rebuild unwinds the merge decisions of node j for target cell (e, n),
 // equipping children along the way and recursing into their subtrees.
-func (d *mcDP) rebuild(j int, e, n int32) {
-	steps := d.steps[j]
-	kids := d.t.Children(j)
-	for s := len(steps) - 1; s >= 0; s-- {
-		st := steps[s]
-		dec := st.decs[e*(st.dimN+1)+n]
-		ch := kids[s]
+func (s *MinCostSolver) rebuild(j int, e, n int32) {
+	steps := s.steps[j]
+	kids := s.t.Children(j)
+	for st := len(steps) - 1; st >= 0; st-- {
+		step := steps[st]
+		dec := step.decs[e*(step.dimN+1)+n]
+		ch := kids[st]
 		ce, cn := e-dec.ePrev, n-dec.nPrev
 		if dec.place {
-			d.placement.Set(ch, 1)
-			if d.existing.Has(ch) {
+			s.placement.Set(ch, 1)
+			if s.existing.Has(ch) {
 				ce--
 			} else {
 				cn--
 			}
 		}
-		d.rebuild(ch, ce, cn)
+		s.rebuild(ch, ce, cn)
 		e, n = dec.ePrev, dec.nPrev
 	}
 	if e != 0 || n != 0 {

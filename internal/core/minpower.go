@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -18,6 +19,8 @@ import (
 // in Existing are the initial operating modes of the pre-existing
 // servers.
 type PowerProblem struct {
+	// Tree may be nil when solving through a PowerDP, which supplies
+	// its own tree.
 	Tree     *tree.Tree
 	Existing *tree.Replicas
 	Power    power.Model
@@ -27,7 +30,8 @@ type PowerProblem struct {
 	// way: the parallel path resolves ties with the same deterministic
 	// provenance order the sequential scan produces. Leave it at 0
 	// when the caller already runs many solvers concurrently, as the
-	// experiment harness does.
+	// experiment harness does; the parallel path also trades the
+	// sequential path's allocation-freeness for wall-clock.
 	Workers int
 }
 
@@ -48,7 +52,9 @@ type ParetoPoint struct {
 // PowerSolver holds the output of one run of the power dynamic program.
 // A single run answers MinPower, MinPower-BoundedCost for every bound,
 // and the full Pareto front, because the root table enumerates every
-// achievable server-count vector (Theorem 3).
+// achievable server-count vector (Theorem 3). A PowerSolver returned by
+// a PowerDP borrows that solver's scratch and stays valid only until
+// the next PowerDP.Solve call.
 type PowerSolver struct {
 	prob  PowerProblem
 	front []frontEntry // ascending cost, strictly descending power
@@ -109,12 +115,85 @@ type pStep struct {
 // The program is exact only under the closest access policy
 // (tree.PolicyClosest); see the package documentation for the relaxed
 // policies.
+//
+// SolvePower builds a fresh PowerDP per call; hot loops solving many
+// instances on the same tree should hold one PowerDP instead.
 func SolvePower(p PowerProblem) (*PowerSolver, error) {
 	if p.Tree == nil {
 		return nil, fmt.Errorf("core: nil tree")
 	}
+	sol, err := NewPowerDP(p.Tree).Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	// Detach the solution view from the throwaway PowerDP: the copy
+	// keeps only the front and the provenance tables alive, letting
+	// the value-table arena (about half the DP's memory) be collected
+	// while the caller holds the solver.
+	detached := *sol
+	return &detached, nil
+}
+
+// PowerDP is a reusable MinPower-BoundedCost solver for one tree. All
+// dynamic-program tables live in flat arenas grown monotonically to
+// the high-water mark of past solves, so after two warm-up solves of
+// an instance shape every further sequential Solve performs no heap
+// allocation. The PowerSolver it returns aliases the solver's scratch:
+// it is invalidated by the next Solve. A PowerDP is not safe for
+// concurrent use; run one per goroutine.
+type PowerDP struct {
+	t     *tree.Tree
+	empty *tree.Replicas
+
+	// Per-solve configuration.
+	prob    PowerProblem
+	M       int   // number of modes
+	nf      int   // number of vector fields, M + M²
+	wm      int32 // W_M
+	workers int
+
+	shapes []shape
+	vals   [][]int32
+	steps  [][]pStep
+
+	// Per node: subtree (exclusive) counts of non-pre-existing nodes
+	// and of pre-existing nodes per initial mode.
+	newCnt []int32
+	preCnt [][]int32
+
+	i32   arena[int32]
+	u64   arena[uint64]
+	ints  arena[int]
+	cands []frontEntry // root-scan candidates, high-water reused
+	front []frontEntry // pruned Pareto front, high-water reused
+	sol   PowerSolver
+}
+
+// NewPowerDP returns a reusable power solver for t.
+func NewPowerDP(t *tree.Tree) *PowerDP {
+	n := t.N()
+	return &PowerDP{
+		t:      t,
+		empty:  tree.NewReplicas(n),
+		shapes: make([]shape, n),
+		vals:   make([][]int32, n),
+		steps:  make([][]pStep, n),
+		newCnt: make([]int32, n),
+		preCnt: make([][]int32, n),
+	}
+}
+
+// Solve runs the dynamic program for one problem instance on the
+// solver's tree (p.Tree may be nil or must match it). The returned
+// PowerSolver is owned by the PowerDP and valid until the next Solve.
+func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
+	if p.Tree == nil {
+		p.Tree = d.t
+	} else if p.Tree != d.t {
+		return nil, fmt.Errorf("core: PowerDP bound to a different tree")
+	}
 	if p.Existing == nil {
-		p.Existing = tree.NewReplicas(p.Tree.N())
+		p.Existing = d.empty
 	}
 	if p.Existing.N() != p.Tree.N() {
 		return nil, fmt.Errorf("core: existing set covers %d nodes, tree has %d", p.Existing.N(), p.Tree.N())
@@ -151,48 +230,32 @@ func SolvePower(p PowerProblem) (*PowerSolver, error) {
 		workers = runtime.NumCPU()
 	}
 
-	d := &pDP{prob: p, M: M, nf: M + M*M, wm: int32(p.Power.MaxCap()), workers: workers}
+	d.prob, d.M, d.nf, d.wm, d.workers = p, M, M+M*M, int32(p.Power.MaxCap()), workers
+	d.i32.reset()
+	d.u64.reset()
+	d.ints.reset()
 	if err := d.run(); err != nil {
 		return nil, err
 	}
-	s := &PowerSolver{prob: p, steps: d.steps}
-	s.front = d.scanRoot()
-	if len(s.front) == 0 {
+	d.scanRoot()
+	if len(d.front) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrInfeasible)
 	}
-	return s, nil
-}
-
-// pDP carries the dynamic-program state.
-type pDP struct {
-	prob    PowerProblem
-	M       int   // number of modes
-	nf      int   // number of vector fields, M + M²
-	wm      int32 // W_M
-	workers int
-
-	shapes []shape
-	vals   [][]int32
-	steps  [][]pStep
-
-	// Per node: subtree (exclusive) counts of non-pre-existing nodes
-	// and of pre-existing nodes per initial mode.
-	newCnt []int32
-	preCnt [][]int32
+	d.sol = PowerSolver{prob: p, front: d.front, steps: d.steps}
+	return &d.sol, nil
 }
 
 // fieldNew returns the vector field of n_m (1-based mode m).
-func (d *pDP) fieldNew(m int) int { return m - 1 }
+func (d *PowerDP) fieldNew(m int) int { return m - 1 }
 
 // fieldReuse returns the vector field of e_{i→m} (1-based modes).
-func (d *pDP) fieldReuse(i, m int) int { return d.M + (i-1)*d.M + (m - 1) }
+func (d *PowerDP) fieldReuse(i, m int) int { return d.M + (i-1)*d.M + (m - 1) }
 
-// nodeDims returns the table dimensions for the subtree of j (node j
-// excluded): every n_m field is bounded by the number of non-pre nodes,
-// every e_{i→m} field by the number of pre-existing nodes with initial
-// mode i.
-func (d *pDP) nodeDims(newCnt int32, preCnt []int32) []int32 {
-	dims := make([]int32, d.nf)
+// nodeDims fills dims with the table dimensions for the subtree of j
+// (node j excluded): every n_m field is bounded by the number of
+// non-pre nodes, every e_{i→m} field by the number of pre-existing
+// nodes with initial mode i.
+func (d *PowerDP) nodeDims(dims []int32, newCnt int32, preCnt []int32) {
 	for m := 1; m <= d.M; m++ {
 		dims[d.fieldNew(m)] = newCnt + 1
 	}
@@ -201,33 +264,29 @@ func (d *pDP) nodeDims(newCnt int32, preCnt []int32) []int32 {
 			dims[d.fieldReuse(i, m)] = preCnt[i-1] + 1
 		}
 	}
-	return dims
 }
 
-func (d *pDP) run() error {
+func (d *PowerDP) run() error {
 	t := d.prob.Tree
-	n := t.N()
-	d.shapes = make([]shape, n)
-	d.vals = make([][]int32, n)
-	d.steps = make([][]pStep, n)
-	d.newCnt = make([]int32, n)
-	d.preCnt = make([][]int32, n)
-
-	oneDims := make([]int32, d.nf)
-	for f := range oneDims {
-		oneDims[f] = 1
-	}
 
 	for _, j := range t.PostOrder() {
-		d.preCnt[j] = make([]int32, d.M)
 		accNew := int32(0)
-		accPre := make([]int32, d.M)
-		accShape, err := newShape(append([]int32(nil), oneDims...))
+		accPre := d.i32.alloc(d.M)
+		for i := range accPre {
+			accPre[i] = 0
+		}
+		accDims := d.i32.alloc(d.nf)
+		for f := range accDims {
+			accDims[f] = 1
+		}
+		accShape, err := fillShape(accDims, d.i32.alloc(d.nf))
 		if err != nil {
 			return err
 		}
-		acc := []int32{int32(t.ClientSum(j))}
+		acc := d.i32.alloc(1)
+		acc[0] = int32(t.ClientSum(j))
 
+		d.steps[j] = d.steps[j][:0]
 		for _, ch := range t.Children(j) {
 			acc, accShape, err = d.merge(j, ch, acc, accShape, &accNew, accPre)
 			if err != nil {
@@ -242,13 +301,13 @@ func (d *pDP) run() error {
 
 // merge folds child ch into the accumulated table of node j, updating
 // the accumulated subtree counts in place.
-func (d *pDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32) ([]int32, shape, error) {
+func (d *PowerDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32) ([]int32, shape, error) {
 	chShape := d.shapes[ch]
 	chVals := d.vals[ch]
 	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
 
 	outNew := *accNew + d.newCnt[ch]
-	outPre := make([]int32, d.M)
+	outPre := d.i32.alloc(d.M)
 	for i := range outPre {
 		outPre[i] = accPre[i] + d.preCnt[ch][i]
 	}
@@ -257,22 +316,25 @@ func (d *pDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPr
 	} else {
 		outPre[chMode0-1]++
 	}
-	outShape, err := newShape(d.nodeDims(outNew, outPre))
+	outDims := d.i32.alloc(d.nf)
+	d.nodeDims(outDims, outNew, outPre)
+	outShape, err := fillShape(outDims, d.i32.alloc(d.nf))
 	if err != nil {
 		return nil, shape{}, err
 	}
-	out := make([]int32, outShape.size)
+	out := d.i32.alloc(outShape.size)
 	for i := range out {
 		out[i] = pUnreached
 	}
-	prov := make([]uint64, outShape.size)
+	prov := d.u64.alloc(outShape.size)
 	for i := range prov {
 		prov[i] = noProv
 	}
 
 	// Precompute the output-stride bump of placing the child's server
 	// at each mode.
-	placeBump := make([]int32, d.M+1)
+	placeBump := d.i32.alloc(d.M + 1)
+	placeBump[0] = 0
 	for m := 1; m <= d.M; m++ {
 		if chMode0 == 0 {
 			placeBump[m] = outShape.strides[d.fieldNew(m)]
@@ -301,7 +363,7 @@ func (d *pDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPr
 // mergeSequential is the single-goroutine merge: first writer of the
 // minimal value wins, which by scan order is the smallest (accumulated
 // cell, child cell) pair — the same order packProv encodes.
-func (d *pDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
+func (d *PowerDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
 	pm := d.prob.Power
 	update := func(idx int32, v int32, p uint64) {
 		if v < out[idx] {
@@ -309,8 +371,9 @@ func (d *pDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chSha
 			prov[idx] = p
 		}
 	}
-	ao := newOdometer(accShape.dims, outShape.strides)
-	co := newOdometer(chShape.dims, outShape.strides)
+	var ao, co odometer
+	ao.init(accShape.dims, outShape.strides, d.i32.alloc(len(accShape.dims)))
+	co.init(chShape.dims, outShape.strides, d.i32.alloc(len(chShape.dims)))
 	for aFlat := 0; aFlat < accShape.size; aFlat++ {
 		a := acc[aFlat]
 		if a <= d.wm {
@@ -340,7 +403,7 @@ func (d *pDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chSha
 // phases: an atomic-min pass over the values, then an atomic-min pass
 // over the packed provenance of value-optimal transitions. Both minima
 // are order-free, so the result is identical to the sequential merge.
-func (d *pDP) mergeParallel(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
+func (d *PowerDP) mergeParallel(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
 	pm := d.prob.Power
 	chunks := d.workers * 4
 	chunkSize := (accShape.size + chunks - 1) / chunks
@@ -421,9 +484,10 @@ func atomicMinUint64(addr *uint64, v uint64) {
 }
 
 // scanRoot enumerates every root cell together with the root-placement
-// options, prices each resulting global vector, and returns the Pareto
-// front ordered by ascending cost and strictly descending power.
-func (d *pDP) scanRoot() []frontEntry {
+// options, prices each resulting global vector, and stores the Pareto
+// front in d.front ordered by ascending cost and strictly descending
+// power.
+func (d *PowerDP) scanRoot() {
 	t := d.prob.Tree
 	r := t.Root()
 	rootMode0 := int(d.prob.Existing.Mode(r))
@@ -431,21 +495,25 @@ func (d *pDP) scanRoot() []frontEntry {
 	vals := d.vals[r]
 	pm := d.prob.Power
 
-	totalPre := make([]int, d.M)
+	totalPre := d.ints.alloc(d.M)
+	for i := range totalPre {
+		totalPre[i] = 0
+	}
 	for j := 0; j < t.N(); j++ {
 		if m := d.prob.Existing.Mode(j); m != tree.NoMode {
 			totalPre[m-1]++
 		}
 	}
 
-	counts := make([]int, d.nf)
-	var cands []frontEntry
+	counts := d.ints.alloc(d.nf)
+	cands := d.cands[:0]
 	evaluate := func(cell int32, rootMode uint8) {
 		c, p := d.price(counts, totalPre)
 		cands = append(cands, frontEntry{cost: c, power: p, rootCell: cell, rootMode: rootMode})
 	}
 
-	o := newOdometer(sh.dims, sh.strides)
+	var o odometer
+	o.init(sh.dims, sh.strides, d.i32.alloc(len(sh.dims)))
 	for flat := 0; flat < sh.size; flat++ {
 		v := vals[flat]
 		if v <= d.wm {
@@ -469,12 +537,13 @@ func (d *pDP) scanRoot() []frontEntry {
 		}
 		o.next()
 	}
-	return paretoPrune(cands)
+	d.cands = cands
+	d.paretoPrune()
 }
 
 // price evaluates Equation (4) and Equation (3) on a global count
 // vector.
-func (d *pDP) price(counts, totalPre []int) (c, p float64) {
+func (d *PowerDP) price(counts, totalPre []int) (c, p float64) {
 	cm, pm := d.prob.Cost, d.prob.Power
 	servers := 0
 	for _, v := range counts {
@@ -504,24 +573,34 @@ func (d *pDP) price(counts, totalPre []int) (c, p float64) {
 	return c, p
 }
 
-// paretoPrune keeps the non-dominated candidates, sorted by ascending
-// cost with strictly descending power. Costs within frontEps are
-// treated as equal so that floating-point jitter in summed prices does
-// not produce near-duplicate front points.
-func paretoPrune(cands []frontEntry) []frontEntry {
+// paretoPrune keeps the non-dominated candidates of d.cands in d.front,
+// sorted by ascending cost with strictly descending power. Costs within
+// frontEps are treated as equal so that floating-point jitter in summed
+// prices does not produce near-duplicate front points.
+func (d *PowerDP) paretoPrune() {
 	const frontEps = 1e-9
-	if len(cands) == 0 {
-		return nil
+	front := d.front[:0]
+	if len(d.cands) == 0 {
+		d.front = front
+		return
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].cost != cands[b].cost {
-			return cands[a].cost < cands[b].cost
+	slices.SortFunc(d.cands, func(a, b frontEntry) int {
+		if a.cost != b.cost {
+			if a.cost < b.cost {
+				return -1
+			}
+			return 1
 		}
-		return cands[a].power < cands[b].power
+		if a.power != b.power {
+			if a.power < b.power {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	var front []frontEntry
 	bestPower := math.Inf(1)
-	for _, c := range cands {
+	for _, c := range d.cands {
 		if c.power >= bestPower-frontEps {
 			continue
 		}
@@ -534,7 +613,7 @@ func paretoPrune(cands []frontEntry) []frontEntry {
 		}
 		bestPower = c.power
 	}
-	return front
+	d.front = front
 }
 
 // Front returns the cost/power Pareto front, ascending in cost.
@@ -550,13 +629,27 @@ func (s *PowerSolver) Front() []ParetoPoint {
 // bound, or found == false when the bound is unreachable. Among equal
 // power values the cheaper solution wins.
 func (s *PowerSolver) Best(bound float64) (*PowerResult, bool) {
+	res, ok := s.BestInto(bound, nil)
+	if !ok {
+		return nil, false
+	}
+	return &res, true
+}
+
+// BestInto is Best with a caller-owned destination placement (allocated
+// fresh when nil; reset first otherwise), enabling allocation-free
+// sweeps over many cost bounds. The returned result's Placement field
+// is dst. Like the flow engine's hot-path methods it panics on the
+// programming error of a destination sized for a different tree; use
+// Best for untrusted destinations.
+func (s *PowerSolver) BestInto(bound float64, dst *tree.Replicas) (PowerResult, bool) {
 	// The front is sorted by ascending cost with descending power, so
 	// the best affordable entry is the last one within the bound.
 	idx := sort.Search(len(s.front), func(i int) bool { return s.front[i].cost > bound }) - 1
 	if idx < 0 {
-		return nil, false
+		return PowerResult{}, false
 	}
-	return s.reconstruct(s.front[idx]), true
+	return s.reconstruct(s.front[idx], dst), true
 }
 
 // MinPower returns the minimal-power solution regardless of cost (the
@@ -568,16 +661,24 @@ func (s *PowerSolver) MinPower() *PowerResult {
 
 // At reconstructs the i-th point of the Pareto front.
 func (s *PowerSolver) At(i int) *PowerResult {
-	return s.reconstruct(s.front[i])
+	res := s.reconstruct(s.front[i], nil)
+	return &res
 }
 
-func (s *PowerSolver) reconstruct(f frontEntry) *PowerResult {
-	placement := tree.NewReplicas(s.prob.Tree.N())
-	if f.rootMode != 0 {
-		placement.Set(s.prob.Tree.Root(), f.rootMode)
+func (s *PowerSolver) reconstruct(f frontEntry, dst *tree.Replicas) PowerResult {
+	if dst == nil {
+		dst = tree.ReplicasOf(s.prob.Tree)
+	} else {
+		if dst.N() != s.prob.Tree.N() {
+			panic(fmt.Sprintf("core: destination set covers %d nodes, tree has %d", dst.N(), s.prob.Tree.N()))
+		}
+		dst.Reset()
 	}
-	s.rebuild(s.prob.Tree.Root(), f.rootCell, placement)
-	return &PowerResult{Placement: placement, Cost: f.cost, Power: f.power}
+	if f.rootMode != 0 {
+		dst.Set(s.prob.Tree.Root(), f.rootMode)
+	}
+	s.rebuild(s.prob.Tree.Root(), f.rootCell, dst)
+	return PowerResult{Placement: dst, Cost: f.cost, Power: f.power}
 }
 
 // rebuild unwinds the merge decisions of node j for the given flat cell.

@@ -31,6 +31,10 @@ import (
 // node: equip it (all traversing flow absorbed, load <= W, nothing
 // escapes) or let the flow pass (possible only while every contributing
 // client's QoS still tolerates a higher server).
+//
+// Every per-node table is a flat row-major slice carved out of the
+// solver's arenas (row r at offset r*rowWidth), the same index-addressed
+// layout the shape type gives the power tables.
 
 const qInf = int(1) << 60
 
@@ -52,7 +56,63 @@ const (
 // the polynomial bound of the paper: comfortably fast on the
 // evaluation's 100-node trees, but not intended for degenerate
 // path-shaped instances with thousands of nodes.
+//
+// MinReplicasQoS builds a fresh solver per call; hot loops sweeping
+// many constraint sets on the same tree should hold a QoSSolver
+// instead.
 func MinReplicasQoS(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, error) {
+	return NewQoSSolver(t).Solve(W, c, nil)
+}
+
+// QoSSolver solves constrained replica-counting instances on one tree.
+// All dynamic-program tables live in flat arenas grown monotonically
+// to the high-water mark of past solves, so after two warm-up solves
+// of an instance shape every further Solve with a caller-owned
+// destination performs no heap allocation. A solver is not safe for
+// concurrent use; run one per goroutine.
+type QoSSolver struct {
+	t             *tree.Tree
+	eng           *tree.Engine
+	unconstrained *tree.Constraints
+
+	// Per node: replica capacity of the subtree including the node,
+	// its flat tab/choice block ((size+1) rows of width
+	// max(depth-1,0)+1), and — indexed by the CHILD's id — the flat
+	// split table of the merge that folded that child into its parent
+	// (rows of width depth(child), the parent's accumulator width).
+	size    []int
+	tabs    [][]int
+	choices [][]uint8
+	splits  [][]int
+
+	ints  arena[int]
+	bytes arena[uint8]
+
+	// Per solve:
+	w int
+	c *tree.Constraints
+}
+
+// NewQoSSolver returns a reusable constrained-counting solver for t.
+func NewQoSSolver(t *tree.Tree) *QoSSolver {
+	n := t.N()
+	return &QoSSolver{
+		t:             t,
+		eng:           tree.NewEngine(t),
+		unconstrained: tree.NewConstraints(t),
+		size:          make([]int, n),
+		tabs:          make([][]int, n),
+		choices:       make([][]uint8, n),
+		splits:        make([][]int, n),
+	}
+}
+
+// Solve runs the dynamic program for capacity W under constraints c
+// (nil = unconstrained) and writes the minimal placement into dst
+// (allocated fresh when nil; reset first otherwise). The returned set
+// is dst.
+func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree.Replicas, error) {
+	t := s.t
 	if W <= 0 {
 		return nil, fmt.Errorf("core: non-positive capacity %d", W)
 	}
@@ -60,15 +120,26 @@ func MinReplicasQoS(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, e
 		return nil, err
 	}
 	if c == nil {
-		c = tree.NewConstraints(t)
+		c = s.unconstrained
 	}
-	d := &qosDP{t: t, w: W, c: c}
-	d.run()
+	if dst == nil {
+		dst = tree.ReplicasOf(t)
+	} else {
+		if dst.N() != t.N() {
+			return nil, fmt.Errorf("core: destination set covers %d nodes, tree has %d", dst.N(), t.N())
+		}
+		dst.Reset()
+	}
+	s.w, s.c = W, c
+	s.ints.reset()
+	s.bytes.reset()
+	s.run()
 
 	root := t.Root()
+	rootTab := s.tabs[root] // width 1: the root sits at depth 0
 	best := -1
-	for r := 0; r < len(d.tab[root]); r++ {
-		if d.tab[root][r][0] == 0 {
+	for r := 0; r <= s.size[root]; r++ {
+		if rootTab[r] == 0 {
 			best = r
 			break
 		}
@@ -76,111 +147,97 @@ func MinReplicasQoS(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, e
 	if best < 0 {
 		return nil, fmt.Errorf("core: %w", ErrInfeasible)
 	}
-	res := tree.ReplicasOf(t)
-	d.build(res, root, best, 0)
+	s.build(dst, root, best, 0)
 	// The tables are exact by construction; re-validate as a cheap
 	// guard against implementation drift.
-	if err := tree.ValidateConstrained(t, res, tree.PolicyClosest, W, c); err != nil {
+	if err := s.eng.ValidateUniformConstrained(dst, tree.PolicyClosest, W, c); err != nil {
 		return nil, fmt.Errorf("core: MinReplicasQoS produced an invalid placement (bug): %w", err)
 	}
-	return res, nil
+	return dst, nil
 }
 
-type qosDP struct {
-	t *tree.Tree
-	w int
-	c *tree.Constraints
+// tabRows returns the row width of node j's tab/choice block: an
+// escaping flow must be absorbed by a proper ancestor, so requirements
+// live in 0..max(depth(j)-1, 0).
+func (s *QoSSolver) tabRows(j int) int { return max(s.t.Depth(j)-1, 0) + 1 }
 
-	size []int
-	// tab[j][r][L] and choice[j][r][L]: see the file comment. Rows run
-	// L = 0..max(depth(j)-1, 0): an escaping flow must be absorbed by a
-	// proper ancestor, so deeper requirements are unsatisfiable.
-	tab    [][][]int
-	choice [][][]uint8
-	// splits[j][i][r][L]: replicas assigned to children(j)[i] in the
-	// accumulated-merge cell (r, L) after merging children 0..i.
-	splits [][][][]int
-}
-
-func (d *qosDP) run() {
-	t := d.t
-	n := t.N()
-	d.size = make([]int, n)
-	d.tab = make([][][]int, n)
-	d.choice = make([][][]uint8, n)
-	d.splits = make([][][][]int, n)
-
+func (s *QoSSolver) run() {
+	t := s.t
 	for _, j := range t.PostOrder() {
 		D := t.Depth(j)
 		kids := t.Children(j)
 		accRows := D + 1 // child requirements live in 0..D
 
-		// Knapsack merge of the children: acc[r][L] is the minimal sum
-		// of child flows using r replicas below, every child bound <= L
-		// and every child link within its bandwidth.
-		acc := [][]int{make([]int, accRows)} // acc[0][*] = 0
+		// Knapsack merge of the children: acc cell (r, L) is the
+		// minimal sum of child flows using r replicas below, every
+		// child bound <= L and every child link within its bandwidth.
+		// Every child's tab block has row width accRows too (its depth
+		// is D+1), so rows align without re-indexing.
+		acc := s.ints.alloc(accRows) // the single r = 0 row, all zero
+		for L := range acc {
+			acc[L] = 0
+		}
 		sz := 0
-		d.splits[j] = make([][][]int, len(kids))
-		for ci, child := range kids {
-			csz := d.size[child]
-			bw := d.c.Bandwidth(child)
-			next := make([][]int, sz+csz+1)
-			spl := make([][]int, sz+csz+1)
-			for r := range next {
-				next[r] = make([]int, accRows)
-				spl[r] = make([]int, accRows)
-				for L := range next[r] {
-					next[r][L] = qInf
-				}
+		for _, child := range kids {
+			csz := s.size[child]
+			bw := s.c.Bandwidth(child)
+			ctab := s.tabs[child]
+			next := s.ints.alloc((sz + csz + 1) * accRows)
+			for i := range next {
+				next[i] = qInf
 			}
+			// Stale split cells are never read: build only follows
+			// cells whose next value was written this solve, and every
+			// value write refreshes its split.
+			spl := s.ints.alloc((sz + csz + 1) * accRows)
 			for r1 := 0; r1 <= sz; r1++ {
 				for r2 := 0; r2 <= csz; r2++ {
+					o := (r1 + r2) * accRows
 					for L := 0; L < accRows; L++ {
-						a := acc[r1][L]
-						f := d.tab[child][r2][L]
+						a := acc[r1*accRows+L]
+						f := ctab[r2*accRows+L]
 						if a >= qInf || f >= qInf || (bw >= 0 && f > bw) {
 							continue
 						}
-						if v := a + f; v < next[r1+r2][L] {
-							next[r1+r2][L] = v
-							spl[r1+r2][L] = r2
+						if v := a + f; v < next[o+L] {
+							next[o+L] = v
+							spl[o+L] = r2
 						}
 					}
 				}
 			}
 			acc = next
-			d.splits[j][ci] = spl
+			s.splits[child] = spl
 			sz += csz
 		}
-		d.size[j] = sz + 1
+		s.size[j] = sz + 1
 
 		own := t.ClientSum(j)
 		ownL := 0 // minimal server depth the node's own clients tolerate
 		for k, dem := range t.Clients(j) {
 			if dem > 0 {
-				if l := d.c.MinServerDepth(j, k, D); l > ownL {
+				if l := s.c.MinServerDepth(j, k, D); l > ownL {
 					ownL = l
 				}
 			}
 		}
 
-		rows := max(D-1, 0) + 1
-		tab := make([][]int, d.size[j]+1)
-		ch := make([][]uint8, d.size[j]+1)
-		for r := range tab {
-			tab[r] = make([]int, rows)
-			ch[r] = make([]uint8, rows)
-			for L := range tab[r] {
-				tab[r][L] = qInf
+		rows := s.tabRows(j)
+		tab := s.ints.alloc((s.size[j] + 1) * rows)
+		ch := s.bytes.alloc((s.size[j] + 1) * rows)
+		for r := 0; r <= s.size[j]; r++ {
+			o := r * rows
+			for L := 0; L < rows; L++ {
+				tab[o+L] = qInf
 			}
 			// Equip j: the whole traversing flow is absorbed here, so
 			// nothing escapes and no requirement remains (own clients
 			// are 1 hop away, within any positive QoS bound).
 			if r >= 1 {
-				if a := acc[r-1][D]; a < qInf && own+a <= d.w {
-					for L := range tab[r] {
-						tab[r][L] = 0
-						ch[r][L] = qEquip
+				if a := acc[(r-1)*accRows+D]; a < qInf && own+a <= s.w {
+					for L := 0; L < rows; L++ {
+						tab[o+L] = 0
+						ch[o+L] = qEquip
 					}
 				}
 			}
@@ -188,36 +245,39 @@ func (d *qosDP) run() {
 			// tolerates a server at depth <= D-1.
 			if j != t.Root() {
 				for L := ownL; L < rows && r <= sz; L++ {
-					if a := acc[r][L]; a < qInf {
-						if f := own + a; f < tab[r][L] {
-							tab[r][L] = f
-							ch[r][L] = qEscape
+					if a := acc[r*accRows+L]; a < qInf {
+						if f := own + a; f < tab[o+L] {
+							tab[o+L] = f
+							ch[o+L] = qEscape
 						}
 					}
 				}
-			} else if own == 0 && r <= sz && acc[r][0] == 0 && tab[r][0] > 0 {
+			} else if own == 0 && r <= sz && acc[r*accRows] == 0 && tab[o] > 0 {
 				// The root has no ancestor: passing is only "nothing to
 				// pass".
-				tab[r][0] = 0
-				ch[r][0] = qEscape
+				tab[o] = 0
+				ch[o] = qEscape
 			}
 		}
-		d.tab[j] = tab
-		d.choice[j] = ch
+		s.tabs[j] = tab
+		s.choices[j] = ch
 	}
 }
 
-// build reconstructs the placement behind tab[j][r][L] into res.
-func (d *qosDP) build(res *tree.Replicas, j, r, L int) {
-	kids := d.t.Children(j)
+// build reconstructs the placement behind tab cell (r, L) of node j
+// into res.
+func (s *QoSSolver) build(res *tree.Replicas, j, r, L int) {
+	kids := s.t.Children(j)
+	accRows := s.t.Depth(j) + 1
 	accR, accRow := r, L
-	if d.choice[j][r][L] == qEquip {
+	if s.choices[j][r*s.tabRows(j)+L] == qEquip {
 		res.Set(j, 1)
-		accR, accRow = r-1, d.t.Depth(j)
+		accR, accRow = r-1, s.t.Depth(j)
 	}
 	for i := len(kids) - 1; i >= 0; i-- {
-		r2 := d.splits[j][i][accR][accRow]
-		d.build(res, kids[i], r2, accRow)
+		child := kids[i]
+		r2 := s.splits[child][accR*accRows+accRow]
+		s.build(res, child, r2, accRow)
 		accR -= r2
 	}
 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// powerModel2 is the paper's Experiment 3 model: modes {5, 10} with
+// static power 12.5 and α = 3.
+func powerModel2() power.Model {
+	return power.MustNew([]int{5, 10}, 12.5, 3)
+}
+
+// These tests prove the reuse contract of the arena-backed solvers: a
+// solver hit many times with different instances must return exactly
+// what the one-shot functions (which build a fresh solver per call)
+// return, so no scratch state can leak between solves.
+
+const reuseTrees = 100
+
+func reuseTreeCount(t *testing.T) int {
+	if testing.Short() {
+		return 25
+	}
+	return reuseTrees
+}
+
+// reuseGen draws the i-th differential workload: alternating fat and
+// high shapes with drifting sizes, so consecutive solves on one solver
+// see different table dimensions.
+func reuseGen(i int) tree.GenConfig {
+	n := 30 + i%25
+	if i%2 == 0 {
+		return tree.FatConfig(n)
+	}
+	return tree.HighConfig(n)
+}
+
+func TestMinCostSolverReuseMatchesOneShot(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(41, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		solver := NewMinCostSolver(tr)
+		dst := tree.ReplicasOf(tr)
+		for _, combo := range []struct{ e, w int }{
+			{0, 10}, {tr.N() / 4, 10}, {tr.N() / 2, 8},
+		} {
+			existing, err := tree.RandomReplicas(tr, combo.e, 1, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantErr := MinCost(tr, existing, combo.w, c)
+			got, gotErr := solver.SolveInto(existing, combo.w, c, dst)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d E=%d W=%d: one-shot err %v, reused err %v", i, combo.e, combo.w, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrInfeasible) || !errors.Is(wantErr, ErrInfeasible) {
+					t.Fatalf("tree %d E=%d W=%d: non-infeasibility errors %v / %v", i, combo.e, combo.w, wantErr, gotErr)
+				}
+				continue
+			}
+			if !want.Placement.Equal(got.Placement) ||
+				want.Placement.String() != got.Placement.String() ||
+				want.Cost != got.Cost || want.Servers != got.Servers ||
+				want.Reused != got.Reused || want.New != got.New {
+				t.Fatalf("tree %d E=%d W=%d: one-shot %v (cost %v) != reused %v (cost %v)",
+					i, combo.e, combo.w, want.Placement, want.Cost, got.Placement, got.Cost)
+			}
+		}
+	}
+}
+
+func TestPowerDPReuseMatchesOneShot(t *testing.T) {
+	pm := powerModel2()
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(43, i)
+		gen := tree.PowerConfig(18 + i%12)
+		tr := tree.MustGenerate(gen, src)
+		dp := NewPowerDP(tr)
+		dst := tree.ReplicasOf(tr)
+		for _, pre := range []int{0, 3} {
+			existing, err := tree.RandomReplicas(tr, pre, 2, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prob := PowerProblem{Tree: tr, Existing: existing, Power: pm, Cost: cm}
+			want, wantErr := SolvePower(prob)
+			got, gotErr := dp.Solve(prob)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d pre=%d: one-shot err %v, reused err %v", i, pre, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			wf, gf := want.Front(), got.Front()
+			if len(wf) != len(gf) {
+				t.Fatalf("tree %d pre=%d: front sizes %d != %d", i, pre, len(wf), len(gf))
+			}
+			for k := range wf {
+				if wf[k] != gf[k] {
+					t.Fatalf("tree %d pre=%d: front[%d] %v != %v", i, pre, k, wf[k], gf[k])
+				}
+			}
+			wantOpt := want.MinPower()
+			gotOpt, ok := got.BestInto(math.Inf(1), dst)
+			if !ok {
+				t.Fatalf("tree %d pre=%d: reused solver lost the unbounded optimum", i, pre)
+			}
+			if !wantOpt.Placement.Equal(gotOpt.Placement) ||
+				wantOpt.Placement.String() != gotOpt.Placement.String() ||
+				wantOpt.Cost != gotOpt.Cost || wantOpt.Power != gotOpt.Power {
+				t.Fatalf("tree %d pre=%d: optimum %v (%v, %v) != %v (%v, %v)", i, pre,
+					wantOpt.Placement, wantOpt.Cost, wantOpt.Power,
+					gotOpt.Placement, gotOpt.Cost, gotOpt.Power)
+			}
+			// A mid-front bound exercises reconstruction of a non-trivial
+			// cell through the reused back-pointer tables.
+			if len(wf) > 1 {
+				bound := wf[len(wf)/2].Cost
+				wb, wok := want.Best(bound)
+				gb, gok := got.BestInto(bound, dst)
+				if wok != gok || !wb.Placement.Equal(gb.Placement) || wb.Power != gb.Power {
+					t.Fatalf("tree %d pre=%d bound %v: one-shot and reused Best disagree", i, pre, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestQoSSolverReuseMatchesOneShot(t *testing.T) {
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(47, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		solver := NewQoSSolver(tr)
+		dst := tree.ReplicasOf(tr)
+		for _, combo := range []struct{ qos, bw int }{
+			{0, -1}, {4, -1}, {2, -1}, {3, 40},
+		} {
+			var cons *tree.Constraints
+			if combo.qos > 0 || combo.bw >= 0 {
+				cons = tree.NewConstraints(tr)
+				if combo.qos > 0 {
+					cons.SetUniformQoS(tr, combo.qos)
+				}
+				if combo.bw >= 0 {
+					cons.SetUniformBandwidth(combo.bw)
+				}
+			}
+			want, wantErr := MinReplicasQoS(tr, 10, cons)
+			got, gotErr := solver.Solve(10, cons, dst)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d qos=%d bw=%d: one-shot err %v, reused err %v",
+					i, combo.qos, combo.bw, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(wantErr, ErrInfeasible) || !errors.Is(gotErr, ErrInfeasible) {
+					t.Fatalf("tree %d qos=%d bw=%d: non-infeasibility errors %v / %v",
+						i, combo.qos, combo.bw, wantErr, gotErr)
+				}
+				continue
+			}
+			if !want.Equal(got) || want.String() != got.String() {
+				t.Fatalf("tree %d qos=%d bw=%d: one-shot %v != reused %v",
+					i, combo.qos, combo.bw, want, got)
+			}
+		}
+	}
+}
+
+// TestSolveIntoKeepsDstOnValidationError pins the destination
+// contract: a solve rejected by input validation must leave a reused
+// destination's previous placement intact, so callers can fall back to
+// it.
+func TestSolveIntoKeepsDstOnValidationError(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(40), rng.New(7))
+	solver := NewMinCostSolver(tr)
+	dst := tree.ReplicasOf(tr)
+	if _, err := solver.SolveInto(nil, 10, cost.Simple{}, dst); err != nil {
+		t.Fatal(err)
+	}
+	held := dst.Clone()
+	if held.Count() == 0 {
+		t.Fatal("expected a non-empty placement")
+	}
+	if _, err := solver.SolveInto(nil, 0, cost.Simple{}, dst); err == nil {
+		t.Fatal("expected a validation error for W=0")
+	}
+	if _, err := solver.SolveInto(nil, 10, cost.Simple{Create: -1}, dst); err == nil {
+		t.Fatal("expected a validation error for a negative price")
+	}
+	if !dst.Equal(held) {
+		t.Fatalf("rejected solves changed dst: %v != %v", dst, held)
+	}
+}
+
+// TestSolverSteadyStateAllocs asserts the arena contract directly: after
+// one warm-up solve, further solves of the same instance allocate
+// nothing. Skipped in -short runs (the race detector instruments
+// allocations).
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -short/-race")
+	}
+	src := rng.New(2011)
+	tr := tree.MustGenerate(tree.FatConfig(100), src)
+	existing, err := tree.RandomReplicas(tr, 25, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+
+	mc := NewMinCostSolver(tr)
+	dst := tree.ReplicasOf(tr)
+	if _, err := mc.SolveInto(existing, 10, c, dst); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(3, func() {
+		if _, err := mc.SolveInto(existing, 10, c, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MinCostSolver.SolveInto: %v allocs/op, want 0", n)
+	}
+
+	qs := NewQoSSolver(tr)
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 4)
+	if _, err := qs.Solve(10, cons, dst); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(3, func() {
+		if _, err := qs.Solve(10, cons, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("QoSSolver.Solve: %v allocs/op, want 0", n)
+	}
+
+	ptr := tree.MustGenerate(tree.PowerConfig(50), src)
+	pexisting, err := tree.RandomReplicas(ptr, 5, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := NewPowerDP(ptr)
+	prob := PowerProblem{Existing: pexisting, Power: powerModel2(), Cost: cost.UniformModal(2, 0.1, 0.01, 0.001)}
+	pdst := tree.ReplicasOf(ptr)
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(3, func() {
+		sol, err := dp.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sol.BestInto(math.Inf(1), pdst); !ok {
+			t.Fatal("no solution")
+		}
+	}); n != 0 {
+		t.Errorf("PowerDP.Solve + BestInto: %v allocs/op, want 0", n)
+	}
+}

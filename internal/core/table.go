@@ -17,7 +17,13 @@ type shape struct {
 }
 
 func newShape(dims []int32) (shape, error) {
-	s := shape{dims: dims, strides: make([]int32, len(dims))}
+	return fillShape(dims, make([]int32, len(dims)))
+}
+
+// fillShape is newShape with caller-provided stride storage, so arena
+// allocators can build shapes without a heap allocation.
+func fillShape(dims, strides []int32) (shape, error) {
+	s := shape{dims: dims, strides: strides}
 	size := int64(1)
 	for i := len(dims) - 1; i >= 0; i-- {
 		if dims[i] < 1 {
@@ -46,6 +52,14 @@ type odometer struct {
 
 func newOdometer(dims, outStrides []int32) *odometer {
 	return &odometer{dims: dims, ostr: outStrides, coords: make([]int32, len(dims))}
+}
+
+// init readies a caller-owned odometer with caller-provided coordinate
+// storage (zeroed here), avoiding the heap allocations of newOdometer in
+// arena-backed merge loops.
+func (o *odometer) init(dims, outStrides, coords []int32) {
+	o.dims, o.ostr, o.coords = dims, outStrides, coords
+	o.reset()
 }
 
 // odometerAt returns an odometer positioned at the given flat index,

@@ -101,13 +101,17 @@ func RunExp1(cfg Exp1Config) (*Exp1Result, error) {
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
+		// One arena-backed solver per tree (and so per worker
+		// goroutine): the whole E sweep reuses its scratch tables.
+		solver := core.NewMinCostSolver(t)
+		dst := tree.ReplicasOf(t)
 		out := treeOut{dp: make([]int, len(cfg.EValues)), gr: make([]int, len(cfg.EValues))}
 		for ei, E := range cfg.EValues {
 			existing, err := tree.RandomReplicas(t, E, 1, src)
 			if err != nil {
 				return treeOut{err: fmt.Errorf("exper: tree %d E=%d: %w", i, E, err)}
 			}
-			res, err := core.MinCost(t, existing, cfg.W, cfg.Cost)
+			res, err := solver.SolveInto(existing, cfg.W, cfg.Cost, dst)
 			if err != nil {
 				return treeOut{err: fmt.Errorf("exper: tree %d E=%d: %w", i, E, err)}
 			}

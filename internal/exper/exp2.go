@@ -81,12 +81,17 @@ func RunExp2(cfg Exp2Config) (*Exp2Result, error) {
 	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
+		// One arena-backed solver per tree, reused across every update
+		// step; the previous step's placement and the next one
+		// double-buffer so the DP never writes the set it is reading.
+		solver := core.NewMinCostSolver(t)
 		exDP := tree.ReplicasOf(t) // no pre-existing servers initially
+		nextDP := tree.ReplicasOf(t)
 		exGR := tree.ReplicasOf(t)
 		out := treeOut{dp: make([]int, cfg.Steps), gr: make([]int, cfg.Steps)}
 		for s := 0; s < cfg.Steps; s++ {
 			tree.RedrawRequests(t, cfg.Gen, src)
-			res, err := core.MinCost(t, exDP, cfg.W, cfg.Cost)
+			res, err := solver.SolveInto(exDP, cfg.W, cfg.Cost, nextDP)
 			if err != nil {
 				return treeOut{err: fmt.Errorf("exper: tree %d step %d: %w", i, s, err)}
 			}
@@ -99,7 +104,7 @@ func RunExp2(cfg Exp2Config) (*Exp2Result, error) {
 			if res.Servers != g.Count() {
 				out.mismatches++
 			}
-			exDP = res.Placement
+			exDP, nextDP = res.Placement, exDP
 			exGR = g
 		}
 		return out

@@ -128,18 +128,22 @@ func RunExp3(cfg Exp3Config) (*Exp3Result, error) {
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
-		solver, err := core.SolvePower(core.PowerProblem{
-			Tree: t, Existing: existing, Power: cfg.Power, Cost: cfg.Cost,
+		// The arena-backed DP runs once per tree; its root table then
+		// answers every bound, and the reused destination set keeps the
+		// per-bound reconstructions allocation-free.
+		solver, err := core.NewPowerDP(t).Solve(core.PowerProblem{
+			Existing: existing, Power: cfg.Power, Cost: cfg.Cost,
 		})
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
+		dst := tree.ReplicasOf(t)
 		out := treeOut{
 			dpPower: make([]float64, len(cfg.Bounds)),
 			grPower: make([]float64, len(cfg.Bounds)),
 		}
 		for bi, bound := range cfg.Bounds {
-			if res, ok := solver.Best(bound); ok {
+			if res, ok := solver.BestInto(bound, dst); ok {
 				out.dpPower[bi] = res.Power
 			}
 			gr, err := greedy.PowerSweep(t, existing, cfg.Power, cfg.Cost, bound)

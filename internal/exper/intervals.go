@@ -146,12 +146,16 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 		for si, k := range strategies {
 			t := base.Clone()
 			engine := tree.NewEngine(t)
-			init, err := core.MinCost(t, nil, cfg.W, cfg.Cost)
+			// One arena-backed solver per strategy replay; the current
+			// placement and a spare set double-buffer across updates.
+			solver := core.NewMinCostSolver(t)
+			init, err := solver.Solve(nil, cfg.W, cfg.Cost)
 			if err != nil {
 				res[si].err = err
 				continue
 			}
 			placement := init.Placement
+			spare := tree.ReplicasOf(t)
 			a := &res[si]
 			for s := 0; s < cfg.Horizon; s++ {
 				for _, ch := range trace[s] {
@@ -162,7 +166,7 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 				scheduled := k > 0 && s%k == 0
 				invalid := engine.ValidateUniform(placement, tree.PolicyClosest, cfg.W) != nil
 				if scheduled || invalid {
-					upd, err := core.MinCost(t, placement, cfg.W, cfg.Cost)
+					upd, err := solver.SolveInto(placement, cfg.W, cfg.Cost, spare)
 					if err != nil {
 						a.err = err
 						break
@@ -174,7 +178,7 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 					// Transition fees only (Equation (2) minus R).
 					a.updateCost += float64(upd.New)*cfg.Cost.Create +
 						float64(placement.Count()-upd.Reused)*cfg.Cost.Delete
-					placement = upd.Placement
+					placement, spare = upd.Placement, placement
 				}
 				a.serverSteps += placement.Count()
 			}

@@ -110,20 +110,23 @@ func RunQoSCompare(cfg QoSCompareConfig) (*QoSCompareResult, error) {
 	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
+		// One arena-backed solver, one destination set and one mutable
+		// constraint set per tree, reused across the whole QoS sweep.
+		solver := core.NewQoSSolver(t)
+		dst := tree.ReplicasOf(t)
+		sweepCons := tree.NewConstraints(t)
 		out := treeOut{exact: make([]int, len(cfg.QoS)), grdy: make([]int, len(cfg.QoS))}
 		for qi, q := range cfg.QoS {
 			out.exact[qi], out.grdy[qi] = -1, -1
 			var cons *tree.Constraints
 			if q > 0 || cfg.Bandwidth >= 0 {
-				cons = tree.NewConstraints(t)
-				if q > 0 {
-					cons.SetUniformQoS(t, q)
-				}
+				cons = sweepCons
+				cons.SetUniformQoS(t, q) // q = 0 clears the previous bound
 				if cfg.Bandwidth >= 0 {
 					cons.SetUniformBandwidth(cfg.Bandwidth)
 				}
 			}
-			exact, err := core.MinReplicasQoS(t, cfg.W, cons)
+			exact, err := solver.Solve(cfg.W, cons, dst)
 			if err != nil {
 				if errors.Is(err, core.ErrInfeasible) {
 					continue // infeasible under these constraints

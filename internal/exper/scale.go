@@ -65,7 +65,7 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := core.MinCost(t, existing, DefaultW, Exp1Cost())
+		res, err := core.NewMinCostSolver(t).Solve(existing, DefaultW, Exp1Cost())
 		if err != nil {
 			return nil, fmt.Errorf("exper: scale MinCost: %w", err)
 		}
@@ -76,13 +76,16 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 		})
 	}
 
-	{ // MinPower-BoundedCost-NoPre at scale, serial and parallel.
+	{ // MinPower-BoundedCost-NoPre at scale, serial and parallel. The
+		// serial and parallel runs share one arena-backed PowerDP, so
+		// the second run also measures the warmed-scratch steady state.
 		src := rng.Derive(cfg.Seed, 102)
 		t := tree.MustGenerate(tree.PowerConfig(cfg.PowerNoPreNodes), src)
+		dp := core.NewPowerDP(t)
 		for _, workers := range []int{1, runtime.NumCPU()} {
 			start := time.Now()
-			solver, err := core.SolvePower(core.PowerProblem{
-				Tree: t, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
+			solver, err := dp.Solve(core.PowerProblem{
+				Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exper: scale power NoPre: %w", err)
@@ -103,10 +106,11 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		dp := core.NewPowerDP(t)
 		for _, workers := range []int{1, runtime.NumCPU()} {
 			start := time.Now()
-			solver, err := core.SolvePower(core.PowerProblem{
-				Tree: t, Existing: existing, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
+			solver, err := dp.Solve(core.PowerProblem{
+				Existing: existing, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exper: scale power WithPre: %w", err)

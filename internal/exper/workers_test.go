@@ -1,0 +1,106 @@
+package exper
+
+import (
+	"reflect"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+// The sweep runners fan (tree, swept value) cells across goroutines
+// with one arena-backed solver per worker. These tests run the fanned
+// paths with Workers > 1 — exercised under the race detector by the CI
+// short suite — and check they reproduce the sequential results bit for
+// bit.
+
+func TestRunExp1WorkersDeterministic(t *testing.T) {
+	cfg := DefaultExp1(false, 25)
+	cfg.Trees = 6
+	cfg.Gen = tree.FatConfig(40)
+	cfg.EValues = []int{0, 10, 20}
+
+	serial := cfg
+	serial.Workers = 1
+	want, err := RunExp1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = 4
+	got, err := RunExp1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Workers=4 result differs from Workers=1:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestRunExp2WorkersDeterministic(t *testing.T) {
+	cfg := DefaultExp2(false)
+	cfg.Trees = 4
+	cfg.Gen = tree.FatConfig(40)
+	cfg.Steps = 4
+
+	serial := cfg
+	serial.Workers = 1
+	want, err := RunExp2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = 4
+	got, err := RunExp2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Workers=4 result differs from Workers=1:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestRunExp3WorkersDeterministic(t *testing.T) {
+	cfg := DefaultExp3()
+	cfg.Trees = 4
+	cfg.Gen = tree.PowerConfig(25)
+	cfg.Bounds = []float64{20, 30, 40}
+
+	serial := cfg
+	serial.Workers = 1
+	want, err := RunExp3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = 4
+	got, err := RunExp3(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Workers=4 result differs from Workers=1:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestRunQoSCompareWorkersDeterministic(t *testing.T) {
+	cfg := DefaultQoSCompare(false)
+	cfg.Trees = 6
+	cfg.Gen = tree.FatConfig(40)
+	cfg.QoS = []int{0, 4, 2}
+
+	serial := cfg
+	serial.Workers = 1
+	want, err := RunQoSCompare(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Workers = 4
+	got, err := RunQoSCompare(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Workers=4 result differs from Workers=1:\n%+v\n%+v", got, want)
+	}
+}

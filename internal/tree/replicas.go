@@ -44,6 +44,13 @@ func (r *Replicas) Set(j int, m uint8) {
 // Unset removes the replica at node j, if any.
 func (r *Replicas) Unset(j int) { r.mode[j] = NoMode }
 
+// Reset removes every replica, recycling the set for a new solution.
+func (r *Replicas) Reset() {
+	for j := range r.mode {
+		r.mode[j] = NoMode
+	}
+}
+
 // Count returns the number of equipped nodes.
 func (r *Replicas) Count() int {
 	c := 0

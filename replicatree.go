@@ -116,11 +116,22 @@ type (
 
 	// MinCostResult is an optimal MinCost-WithPre solution.
 	MinCostResult = core.MinCostResult
+	// MinCostSolver is the reusable, arena-backed MinCost solver for
+	// one tree: steady-state SolveInto calls allocate nothing. One
+	// solver per goroutine.
+	MinCostSolver = core.MinCostSolver
 	// PowerProblem is a MinPower(-BoundedCost) instance.
 	PowerProblem = core.PowerProblem
+	// PowerDP is the reusable, arena-backed MinPower-BoundedCost
+	// solver for one tree; the PowerSolver it returns stays valid
+	// until its next Solve. One solver per goroutine.
+	PowerDP = core.PowerDP
 	// PowerSolver answers every cost bound from one dynamic-program
 	// run.
 	PowerSolver = core.PowerSolver
+	// QoSSolver is the reusable, arena-backed constrained
+	// replica-counting solver for one tree. One solver per goroutine.
+	QoSSolver = core.QoSSolver
 	// PowerResult is an optimal placement with its cost and power.
 	PowerResult = core.PowerResult
 	// ParetoPoint is one non-dominated (cost, power) trade-off.
@@ -249,12 +260,23 @@ var (
 	// MinCost solves MinCost-WithPre optimally (Theorem 1). A nil
 	// existing set gives the classical MinCost-NoPre problem.
 	MinCost = core.MinCost
+	// NewMinCostSolver returns a reusable MinCost solver for one tree
+	// (see MinCostSolver); hot loops solving many instances on the
+	// same tree should prefer it over the one-shot MinCost.
+	NewMinCostSolver = core.NewMinCostSolver
 	// MinReplicaCount returns the classical minimal server count.
 	MinReplicaCount = core.MinReplicaCount
 	// SolvePower runs the MinPower-BoundedCost dynamic program
 	// (Theorem 3); one run answers every cost bound and exposes the
 	// Pareto front.
 	SolvePower = core.SolvePower
+	// NewPowerDP returns a reusable power solver for one tree (see
+	// PowerDP); hot loops should prefer it over one-shot SolvePower.
+	NewPowerDP = core.NewPowerDP
+	// NewQoSSolver returns a reusable constrained-counting solver for
+	// one tree (see QoSSolver); constraint sweeps should prefer it
+	// over one-shot MinReplicasQoS.
+	NewQoSSolver = core.NewQoSSolver
 
 	// GreedyMinReplicas is the O(N log N) baseline of Wu, Lin and
 	// Liu: a minimal-cardinality placement for one capacity.
