@@ -224,10 +224,13 @@ func BenchmarkPowerSolverExp3Tree(b *testing.B) {
 // --- Reusable solver micro-benchmarks (arena steady state) ---
 //
 // The *SolverReuse benchmarks measure the arena-backed solver objects
-// after two warm-up solves (the first sizes the arenas, the second
+// after two warm-up solves (the first sizes the buffers, the second
 // fits them): every iteration must report 0 allocs/op (the CI
 // zero-alloc gate fails otherwise), the same contract
-// BenchmarkFlows/BenchmarkValidate enforce for the flow engine.
+// BenchmarkFlows/BenchmarkValidate enforce for the flow engine. Each
+// iteration calls Invalidate first so the whole table set is rebuilt —
+// without it the incremental solver would detect the unchanged inputs
+// and skip every table (that path is BenchmarkIncrementalResolve's).
 
 // BenchmarkMinCostSolverReuse times steady-state MinCost solves through
 // a reused solver on the Experiment 1 workload (compare with the
@@ -246,6 +249,7 @@ func BenchmarkMinCostSolverReuse(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		solver.Invalidate()
 		if _, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), dst); err != nil {
 			b.Fatal(err)
 		}
@@ -270,6 +274,7 @@ func BenchmarkPowerSolverReuse(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		dp.Invalidate()
 		solver, err := dp.Solve(prob)
 		if err != nil {
 			b.Fatal(err)
@@ -297,9 +302,140 @@ func BenchmarkQoSSolverReuse(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		solver.Invalidate()
 		if _, err := solver.Solve(10, cons, dst); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Incremental re-solve micro-benchmarks (dirty ancestor chains) ---
+
+// BenchmarkIncrementalResolve times one drift step — mutate a handful
+// of client demands through SetDemand and re-solve with a warm solver —
+// for all three DP solvers. Only the dirty ancestor chains are
+// recomputed, so a step costs O(changed clients × depth) table work
+// instead of O(N); compare each sub-benchmark with its full-rebuild
+// *SolverReuse counterpart. Every iteration must report 0 allocs/op
+// (the CI zero-alloc gate covers these benchmarks too).
+func BenchmarkIncrementalResolve(b *testing.B) {
+	pickClients := func(t *tree.Tree, k int) []int {
+		var nodes []int
+		for j := 0; j < t.N() && len(nodes) < k; j++ {
+			if len(t.Clients(j)) > 0 {
+				nodes = append(nodes, j)
+			}
+		}
+		return nodes
+	}
+
+	b.Run("mincost/drift3", func(b *testing.B) {
+		src := replicatree.NewRNG(1)
+		t := tree.MustGenerate(tree.FatConfig(100), src)
+		existing, _ := tree.RandomReplicas(t, 25, 1, src)
+		nodes := pickClients(t, 3)
+		solver := core.NewMinCostSolver(t)
+		dst := tree.ReplicasOf(t)
+		for warm := 0; warm < 2; warm++ {
+			if _, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, j := range nodes {
+				t.SetDemand(j, 0, 1+i%2)
+			}
+			if _, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("qos/drift3", func(b *testing.B) {
+		tr := tree.MustGenerate(tree.FatConfig(100), replicatree.NewRNG(exper.DefaultSeed))
+		cons := tree.NewConstraints(tr)
+		cons.SetUniformQoS(tr, 4)
+		nodes := pickClients(tr, 3)
+		solver := core.NewQoSSolver(tr)
+		dst := tree.ReplicasOf(tr)
+		for warm := 0; warm < 2; warm++ {
+			if _, err := solver.Solve(10, cons, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, j := range nodes {
+				tr.SetDemand(j, 0, 1+i%2)
+			}
+			if _, err := solver.Solve(10, cons, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("power/drift3", func(b *testing.B) {
+		src := replicatree.NewRNG(4)
+		t := tree.MustGenerate(tree.PowerConfig(50), src)
+		existing, _ := tree.RandomReplicas(t, 5, 2, src)
+		nodes := pickClients(t, 3)
+		dp := core.NewPowerDP(t)
+		prob := core.PowerProblem{Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost()}
+		dst := tree.ReplicasOf(t)
+		for warm := 0; warm < 2; warm++ {
+			if _, err := dp.Solve(prob); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, j := range nodes {
+				t.SetDemand(j, 0, 1+i%2)
+			}
+			solver, err := dp.Solve(prob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := solver.BestInto(math.Inf(1), dst); !ok {
+				b.Fatal("no solution")
+			}
+		}
+	})
+
+}
+
+// BenchmarkExp2DriftStep times one full Experiment 2 drift step on a
+// shared tree: redraw 10% of the clients, re-solve taking the previous
+// placement as the pre-existing set (placement diffs dirty chains
+// too). Unlike the IncrementalResolve family this one is not under the
+// zero-alloc gate: every step's new placement reshapes the ancestor
+// tables, so retained buffers may still grow for many iterations
+// before the high-water mark covers every placement shape.
+func BenchmarkExp2DriftStep(b *testing.B) {
+	src := replicatree.NewRNG(7)
+	cfg := tree.FatConfig(100)
+	t := tree.MustGenerate(cfg, src)
+	solver := core.NewMinCostSolver(t)
+	existing := tree.ReplicasOf(t)
+	spare := tree.ReplicasOf(t)
+	res, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), spare)
+	if err != nil {
+		b.Fatal(err)
+	}
+	existing, spare = res.Placement, existing
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tree.DriftRequests(t, cfg, 0.1, src)
+		res, err := solver.SolveInto(existing, 10, exper.Exp1Cost(), spare)
+		if err != nil {
+			b.Fatal(err)
+		}
+		existing, spare = res.Placement, existing
 	}
 }
 

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// regression describes one benchmark that got worse beyond tolerance.
+type regression struct {
+	name   string
+	metric string // "ns/op" or "allocs/op"
+	old    float64
+	new    float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s %v -> %v (%+.1f%%)", r.name, r.metric, r.old, r.new, pct(r.old, r.new))
+}
+
+// pct returns the relative change from old to new in percent (+ =
+// slower/more).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new/old - 1) * 100
+}
+
+// diffRun loads two trajectory files and compares them; see diffFiles.
+func diffRun(oldPath, newPath string, nsTol, allocTol, minNs float64, w io.Writer) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", oldPath, err)
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return fmt.Errorf("candidate %s: %w", newPath, err)
+	}
+	return diffFiles(oldF, newF, nsTol, allocTol, minNs, w)
+}
+
+func loadFile(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// diffFiles prints a per-benchmark comparison of two trajectory points
+// and returns an error listing every regression:
+//
+//   - ns/op worse than old*(1+nsTol) on benchmarks whose new time is at
+//     least minNs (single-iteration smoke runs on shared CI runners are
+//     noisy; sub-floor benchmarks are reported but never fail);
+//   - allocs/op worse than old*(1+allocTol). Allocation counts are
+//     deterministic, so the default tolerance 0 fails any increase —
+//     including the 0 -> n case the zero-alloc gate cares about.
+//
+// Benchmarks present in only one file are noted but never regress, so
+// the gate survives adding or retiring benchmarks.
+func diffFiles(oldF, newF File, nsTol, allocTol, minNs float64, w io.Writer) error {
+	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	var regs []regression
+	var added, removed []string
+	seen := make(map[string]bool, len(newF.Benchmarks))
+
+	fmt.Fprintf(w, "benchjson diff: %s (%s) -> %s (%s)\n", oldF.SHA, oldF.GoVersion, newF.SHA, newF.GoVersion)
+	fmt.Fprintf(w, "%-55s %15s %15s %9s %11s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "allocs/op")
+	for _, nb := range newF.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			added = append(added, nb.Name)
+			continue
+		}
+		mark := ""
+		if nb.NsPerOp >= minNs && nb.NsPerOp > ob.NsPerOp*(1+nsTol) {
+			regs = append(regs, regression{nb.Name, "ns/op", ob.NsPerOp, nb.NsPerOp})
+			mark = "  << ns regression"
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp*(1+allocTol) {
+			regs = append(regs, regression{nb.Name, "allocs/op", ob.AllocsPerOp, nb.AllocsPerOp})
+			mark += "  << alloc regression"
+		}
+		fmt.Fprintf(w, "%-55s %15.0f %15.0f %8.1f%% %5.0f->%-5.0f%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct(ob.NsPerOp, nb.NsPerOp),
+			ob.AllocsPerOp, nb.AllocsPerOp, mark)
+	}
+	for _, ob := range oldF.Benchmarks {
+		if !seen[ob.Name] {
+			removed = append(removed, ob.Name)
+		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(w, "new benchmarks (no baseline): %s\n", strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "retired benchmarks (baseline only): %s\n", strings.Join(removed, ", "))
+	}
+
+	if len(regs) > 0 {
+		lines := make([]string, len(regs))
+		for i, r := range regs {
+			lines[i] = r.String()
+		}
+		return fmt.Errorf("%d regression(s):\n  %s", len(regs), strings.Join(lines, "\n  "))
+	}
+	fmt.Fprintf(w, "no regressions (ns tolerance %+.0f%% above %v ns floor, alloc tolerance %+.0f%%)\n",
+		nsTol*100, minNs, allocTol*100)
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func trajectory(sha string, benches ...Benchmark) File {
+	return File{SHA: sha, GoVersion: "go1.24", Benchmarks: benches}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	old := trajectory("old",
+		bench("BenchmarkA", 100_000, 0),
+		bench("BenchmarkB", 500_000, 12),
+	)
+	new := trajectory("new",
+		bench("BenchmarkA", 120_000, 0), // +20% < 40% tolerance
+		bench("BenchmarkB", 400_000, 12),
+	)
+	var sb strings.Builder
+	if err := diffFiles(old, new, 0.40, 0, 50_000, &sb); err != nil {
+		t.Fatalf("unexpected regression: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Fatalf("missing pass summary:\n%s", sb.String())
+	}
+}
+
+func TestDiffFailsOnInjectedNsRegression(t *testing.T) {
+	old := trajectory("old", bench("BenchmarkHot", 100_000, 0))
+	new := trajectory("new", bench("BenchmarkHot", 200_000, 0)) // +100%
+	var sb strings.Builder
+	err := diffFiles(old, new, 0.40, 0, 50_000, &sb)
+	if err == nil {
+		t.Fatalf("injected ns regression not caught:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHot") || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("regression error lacks detail: %v", err)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	// 0 -> 1 allocs must fail even though the ns time improved: this is
+	// the cross-commit form of the zero-alloc gate.
+	old := trajectory("old", bench("BenchmarkSolverReuse", 400_000, 0))
+	new := trajectory("new", bench("BenchmarkSolverReuse", 300_000, 1))
+	err := diffFiles(old, new, 0.40, 0, 50_000, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc regression not caught: %v", err)
+	}
+}
+
+func TestDiffIgnoresNoiseBelowFloor(t *testing.T) {
+	// 80ns -> 300ns is +275%, but far below the 50µs noise floor.
+	old := trajectory("old", bench("BenchmarkTiny", 80, 0))
+	new := trajectory("new", bench("BenchmarkTiny", 300, 0))
+	if err := diffFiles(old, new, 0.40, 0, 50_000, &strings.Builder{}); err != nil {
+		t.Fatalf("sub-floor noise failed the diff: %v", err)
+	}
+}
+
+func TestDiffToleratesAddedAndRetiredBenchmarks(t *testing.T) {
+	old := trajectory("old",
+		bench("BenchmarkKept", 100_000, 0),
+		bench("BenchmarkRetired", 100_000, 0),
+	)
+	new := trajectory("new",
+		bench("BenchmarkKept", 100_000, 0),
+		bench("BenchmarkAdded", 900_000, 55),
+	)
+	var sb strings.Builder
+	if err := diffFiles(old, new, 0.40, 0, 50_000, &sb); err != nil {
+		t.Fatalf("membership change failed the diff: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkAdded") || !strings.Contains(out, "BenchmarkRetired") {
+		t.Fatalf("membership changes not reported:\n%s", out)
+	}
+}
+
+func TestDiffAllocTolerance(t *testing.T) {
+	old := trajectory("old", bench("BenchmarkLoose", 100_000, 100))
+	new := trajectory("new", bench("BenchmarkLoose", 100_000, 109))
+	if err := diffFiles(old, new, 0.40, 0.10, 50_000, &strings.Builder{}); err != nil {
+		t.Fatalf("within-tolerance alloc growth failed: %v", err)
+	}
+	if err := diffFiles(old, new, 0.40, 0.05, 50_000, &strings.Builder{}); err == nil {
+		t.Fatal("alloc growth beyond tolerance passed")
+	}
+}
+
+// TestDiffRunEndToEnd exercises the file-loading path exactly as CI
+// invokes it.
+func TestDiffRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		raw, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("BENCH_old.json", trajectory("old", bench("BenchmarkX", 100_000, 0)))
+	newPath := write("BENCH_new.json", trajectory("new", bench("BenchmarkX", 101_000, 0)))
+	if err := diffRun(oldPath, newPath, 0.40, 0, 50_000, &strings.Builder{}); err != nil {
+		t.Fatalf("clean end-to-end diff failed: %v", err)
+	}
+	badPath := write("BENCH_bad.json", trajectory("bad", bench("BenchmarkX", 500_000, 3)))
+	if err := diffRun(oldPath, badPath, 0.40, 0, 50_000, &strings.Builder{}); err == nil {
+		t.Fatal("regressed end-to-end diff passed")
+	}
+	if err := diffRun(filepath.Join(dir, "missing.json"), newPath, 0.40, 0, 50_000, &strings.Builder{}); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}

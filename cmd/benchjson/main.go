@@ -10,11 +10,21 @@
 // matching benchmark reporting nonzero allocs/op fails the run, which
 // keeps the arena-backed solvers (and the flow engine) honest.
 //
+// With -diff it instead compares two trajectory files and exits
+// nonzero on a regression, closing the loop CI-side: the PR job diffs
+// the pull request's smoke run against the base branch's uploaded
+// artifact. ns/op regressions beyond -ns-tol (on benchmarks slower
+// than the -min-ns noise floor) and allocs/op regressions beyond
+// -alloc-tol fail the run; benchmarks present in only one file are
+// reported but never fail, so adding or retiring benchmarks does not
+// break the gate.
+//
 // Usage:
 //
 //	benchjson                        # run the default set, write BENCH_<sha>.json
 //	benchjson -bench 'Reuse' -benchtime 10x
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -in - -assert-zero 'SolverReuse'
+//	benchjson -diff -ns-tol 0.40 old.json new.json
 package main
 
 import (
@@ -59,8 +69,24 @@ func main() {
 		out        = flag.String("out", ".", "directory receiving BENCH_<sha>.json")
 		sha        = flag.String("sha", "", "commit id for the file name (default: git rev-parse --short=12 HEAD)")
 		assertZero = flag.String("assert-zero", "", "fail if a benchmark matching this regex reports nonzero allocs/op")
+		diffMode   = flag.Bool("diff", false, "compare two BENCH_*.json files (benchjson -diff old.json new.json) and fail on regressions")
+		nsTol      = flag.Float64("ns-tol", 0.40, "-diff: fractional ns/op regression tolerance (0.40 = +40%)")
+		allocTol   = flag.Float64("alloc-tol", 0, "-diff: fractional allocs/op regression tolerance (0 = any increase fails)")
+		minNs      = flag.Float64("min-ns", 50000, "-diff: ignore ns/op regressions on benchmarks faster than this floor (timer noise)")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		if err := diffRun(flag.Arg(0), flag.Arg(1), *nsTol, *allocTol, *minNs, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*bench, *benchtime, *in, *out, *sha, *assertZero); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -15,6 +15,7 @@
 //	pareto    print the full cost/power Pareto front
 //	greedy    run the greedy baseline (or the exact QoS DP with -exact)
 //	check     validate a placement against a tree
+//	drift     replay a demand-drift sequence with one incremental solver
 //
 // The greedy and check subcommands accept -policy closest|upwards|multiple
 // to place and validate under the access policies of arXiv cs/0611034
@@ -33,6 +34,7 @@
 //	replicatool pareto -tree tree.json -caps 5,10
 //	replicatool greedy -tree tree.json -w 10 -exact
 //	replicatool check -tree tree.json -placement sol.json -qos 3
+//	replicatool drift -tree tree.json -w 10 -steps 20 -k 3
 package main
 
 import (
@@ -64,6 +66,8 @@ func main() {
 		err = cmdGreedy(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "drift":
+		err = cmdDrift(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: replicatool <gen|mincost|minpower|pareto|greedy|check> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: replicatool <gen|mincost|minpower|pareto|greedy|check|drift> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'replicatool <subcommand> -h' for flags")
 }
 
@@ -319,6 +323,94 @@ func cmdGreedy(args []string) error {
 		Servers     int                   `json:"servers"`
 		Replicas    *replicatree.Replicas `json:"replicas"`
 	}{policy.String(), algorithm, cons.Bounded(), sol.Count(), sol})
+}
+
+// cmdDrift replays a demand-drift sequence on one tree through a single
+// warm MinCost solver: every step mutates k random client demands in
+// place (Tree.SetDemand) and re-solves incrementally, taking the
+// previous step's placement as the pre-existing set. The per-step
+// output shows how many of the tree's node tables the solver actually
+// rebuilt — the dirty ancestor chains — next to the reconfiguration it
+// chose.
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	treeF := fs.String("tree", "", "tree JSON file")
+	w := fs.Int("w", 10, "server capacity W")
+	steps := fs.Int("steps", 20, "number of drift steps")
+	k := fs.Int("k", 3, "client demands redrawn per step")
+	reqMax := fs.Int("reqmax", 6, "maximum redrawn request count")
+	seed := fs.Uint64("seed", 1, "random seed for the drift sequence")
+	create := fs.Float64("create", 0.1, "creation cost")
+	del := fs.Float64("delete", 0.01, "deletion cost")
+	fs.Parse(args)
+
+	if *steps <= 0 || *k < 0 || *reqMax < 1 {
+		return fmt.Errorf("replicatool: drift needs -steps > 0, -k >= 0 and -reqmax >= 1")
+	}
+	t, err := loadTree(*treeF)
+	if err != nil {
+		return err
+	}
+	var clients [][2]int // (node, client index) pairs eligible for drift
+	for j := 0; j < t.N(); j++ {
+		for ci := range t.Clients(j) {
+			clients = append(clients, [2]int{j, ci})
+		}
+	}
+	if len(clients) == 0 {
+		return fmt.Errorf("replicatool: the tree has no clients to drift")
+	}
+
+	c := replicatree.SimpleCost{Create: *create, Delete: *del}
+	solver := replicatree.NewMinCostSolver(t)
+	src := replicatree.NewRNG(*seed)
+	res, err := solver.Solve(nil, *w, c)
+	if err != nil {
+		return err
+	}
+	placement, spare := res.Placement, replicatree.ReplicasOf(t)
+
+	type stepOut struct {
+		Step       int     `json:"step"`
+		Changed    int     `json:"changed_demands"`
+		Recomputed int     `json:"recomputed_tables"`
+		Nodes      int     `json:"nodes"`
+		Servers    int     `json:"servers"`
+		Reused     int     `json:"reused"`
+		Cost       float64 `json:"cost"`
+	}
+	out := struct {
+		Initial int       `json:"initial_servers"`
+		Steps   []stepOut `json:"steps"`
+		// TablesRebuilt sums recomputed tables across steps; a
+		// non-incremental replay would rebuild steps × nodes.
+		TablesRebuilt int `json:"tables_rebuilt"`
+		TablesFull    int `json:"tables_full_rebuild"`
+	}{Initial: res.Servers}
+
+	for s := 1; s <= *steps; s++ {
+		changed := 0
+		for i := 0; i < *k; i++ {
+			pick := clients[src.IntN(len(clients))]
+			if t.SetDemand(pick[0], pick[1], src.Between(1, *reqMax)) {
+				changed++
+			}
+		}
+		upd, err := solver.SolveInto(placement, *w, c, spare)
+		if err != nil {
+			return err
+		}
+		st := solver.Stats()
+		out.Steps = append(out.Steps, stepOut{
+			Step: s, Changed: changed,
+			Recomputed: st.Recomputed, Nodes: st.Nodes,
+			Servers: upd.Servers, Reused: upd.Reused, Cost: upd.Cost,
+		})
+		out.TablesRebuilt += st.Recomputed
+		out.TablesFull += st.Nodes
+		placement, spare = upd.Placement, placement
+	}
+	return emit(out)
 }
 
 func cmdCheck(args []string) error {

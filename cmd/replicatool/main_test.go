@@ -118,6 +118,24 @@ func TestSubcommandsEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDriftEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	if err := cmdDrift([]string{"-tree", path, "-w", "10", "-steps", "5", "-k", "1", "-seed", "3"}); err != nil {
+		t.Fatalf("drift: %v", err)
+	}
+	if err := cmdDrift([]string{"-tree", path, "-steps", "0"}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	// A clientless tree cannot drift.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"parents": [-1, 0], "clients": [[], []]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDrift([]string{"-tree", empty, "-steps", "2"}); err == nil {
+		t.Fatal("clientless tree accepted")
+	}
+}
+
 func TestPolicyFlagsEndToEnd(t *testing.T) {
 	path := writeTempTree(t)
 	for _, policy := range []string{"closest", "upwards", "multiple"} {

@@ -2,12 +2,15 @@ package core
 
 // arena is the flat scratch allocator behind the reusable solvers
 // (MinCostSolver, PowerDP, QoSSolver). Each solver owns one arena per
-// element type; a solve resets the arena and carves every table it
-// needs out of one backing buffer. The reset fits the buffer to the
-// high-water mark of the solves before it, so the buffer only ever
-// grows: a one-shot solve pays nothing for fitting, and from the third
-// solve of a given instance shape on (the second still grows the
-// buffer once) every solve runs without a single heap allocation.
+// element type; a solve resets the arena and carves its merge
+// intermediates out of one backing buffer (everything that must
+// outlive the solve — final node tables, reconstruction back-pointers
+// — lives in the retained per-node buffers of incremental.go instead).
+// The reset fits the buffer to the high-water mark of the solves
+// before it, so the buffer only ever grows: a one-shot solve pays
+// nothing for fitting, and from the third solve of a given instance
+// shape on (the second still grows the buffer once) every solve runs
+// without a single heap allocation.
 //
 // Slices handed out by alloc stay valid for the whole solve even after
 // the buffer is replaced by a later reset's growth (they keep

@@ -1,0 +1,125 @@
+package core
+
+import "replicatree/internal/tree"
+
+// This file holds the machinery shared by the incremental re-solve
+// paths of MinCostSolver, QoSSolver and PowerDP. The dynamic programs
+// are subtree-decomposable: the table of a node depends only on its own
+// client demands, its children's tables, and per-child attributes of
+// the instance (pre-existing membership/modes, link bandwidths). When a
+// solve changes only a few of those inputs, every table outside the
+// ancestor chains of the changed nodes is still exact, so the solvers
+// keep all per-node tables in retained buffers across solves and
+// recompute only the dirty chains — O(changed nodes × depth) instead of
+// O(N) tables per solve.
+//
+// Staleness is detected per input class:
+//
+//   - client demands, via tree.Tree.DemandGen stamps (a change at node
+//     x dirties x and its ancestors);
+//   - pre-existing sets and operating modes, by diffing against a
+//     retained copy of the previous solve's set (a change at x dirties
+//     parent(x) and above: x's own table never depends on x's
+//     membership, only its parent's merge does);
+//   - global parameters that reshape every table (capacity W, the power
+//     model, a constraint set), by full invalidation;
+//   - parameters read only by the root scan (cost models), by nothing:
+//     the root scan and the reconstruction run on every solve.
+//
+// The retained buffers replace the per-solve arenas for everything
+// that must outlive a solve (final node tables, reconstruction
+// back-pointers); merge intermediates still live in the arenas. Both
+// only ever grow, so the zero-allocation steady state of the arena
+// contract carries over to incremental solves.
+
+// grown returns a slice of length n with unspecified contents for
+// retained per-node DP storage, reusing buf's capacity when possible.
+func grown[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
+// grownKeep is grown preserving the prefix already in buf. Used for
+// slices whose elements are themselves retained buffers (per-node
+// tables), so a cross-tree rebind keeps every buffer as a capacity
+// donor.
+func grownKeep[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	out := make([]T, n)
+	copy(out, buf)
+	return out
+}
+
+// SolveStats profiles a reusable solver's most recent completed solve.
+type SolveStats struct {
+	// Nodes is the number of internal nodes of the bound tree.
+	Nodes int
+	// Recomputed counts the nodes whose DP tables were rebuilt: equal
+	// to Nodes on a cold (or invalidated) solve, the total size of the
+	// dirty ancestor chains on an incremental one, and 0 when nothing
+	// relevant changed since the previous solve.
+	Recomputed int
+}
+
+// dirtyTracker decides, at the start of a solve, which nodes' cached
+// subtree tables are stale. Not safe for concurrent use (it lives
+// inside the solvers, which already are single-goroutine).
+type dirtyTracker struct {
+	solved bool
+	seen   []uint64 // demand generation folded into each node's table
+	dirty  []bool
+}
+
+// bind sizes the tracker for an n-node tree and forces the next solve
+// to be a full one.
+func (d *dirtyTracker) bind(n int) {
+	d.seen = grown(d.seen, n)
+	d.dirty = grown(d.dirty, n)
+	d.solved = false
+}
+
+// invalidate forces the next solve to recompute every table.
+func (d *dirtyTracker) invalidate() { d.solved = false }
+
+// mark seeds the dirty set from the demand generations (or everything,
+// when full is set or no valid solve exists yet).
+func (d *dirtyTracker) mark(t *tree.Tree, full bool) {
+	full = full || !d.solved
+	for j := 0; j < t.N(); j++ {
+		d.dirty[j] = full || t.DemandGen(j) != d.seen[j]
+	}
+}
+
+// markParent dirties the parent of j: the hook for per-child inputs
+// (membership, modes) that a node's own table does not depend on.
+func (d *dirtyTracker) markParent(t *tree.Tree, j int) {
+	if p := t.Parent(j); p >= 0 {
+		d.dirty[p] = true
+	}
+}
+
+// propagate pushes dirtiness up the ancestor chains. Walking the
+// post-order visits every child before its parent, so one pass
+// suffices.
+func (d *dirtyTracker) propagate(t *tree.Tree) {
+	for _, j := range t.PostOrder() {
+		if d.dirty[j] {
+			if p := t.Parent(j); p >= 0 {
+				d.dirty[p] = true
+			}
+		}
+	}
+}
+
+// commit records that every table now reflects the tree's current
+// demands. Call only after the recomputation pass succeeded.
+func (d *dirtyTracker) commit(t *tree.Tree) {
+	for j := 0; j < t.N(); j++ {
+		d.seen[j] = t.DemandGen(j)
+	}
+	d.solved = true
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// These tests prove the incremental contract: a solver that carries
+// cached subtree tables across solves must return byte-for-byte what a
+// cold solver (fresh tables, same inputs) returns, for any sequence of
+// demand drifts, pre-existing set changes and parameter swaps — while
+// actually recomputing only the dirty ancestor chains.
+
+// driftClients mutates k random client demands of t through SetDemand
+// and returns the nodes it touched.
+func driftClients(t *tree.Tree, k int, src *rng.Source) []int {
+	withClients := make([]int, 0, t.N())
+	for j := 0; j < t.N(); j++ {
+		if len(t.Clients(j)) > 0 {
+			withClients = append(withClients, j)
+		}
+	}
+	var touched []int
+	for i := 0; i < k && len(withClients) > 0; i++ {
+		j := withClients[src.IntN(len(withClients))]
+		ci := src.IntN(len(t.Clients(j)))
+		if t.SetDemand(j, ci, src.Between(1, 9)) {
+			touched = append(touched, j)
+		}
+	}
+	return touched
+}
+
+// chainBound returns the number of nodes on the ancestor chains
+// (inclusive) of the touched nodes: the most an incremental solve may
+// recompute after only those demands changed.
+func chainBound(t *tree.Tree, touched []int) int {
+	on := make(map[int]bool)
+	for _, j := range touched {
+		for n := j; n >= 0; n = t.Parent(n) {
+			on[n] = true
+		}
+	}
+	return len(on)
+}
+
+func TestMinCostIncrementalMatchesCold(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(101, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		warm := NewMinCostSolver(tr)
+		existing := tree.ReplicasOf(tr)
+		dst := tree.ReplicasOf(tr)
+		W := 10
+		for step := 0; step < 12; step++ {
+			driftClients(tr, src.IntN(4), src)
+			if step%5 == 4 {
+				W = 8 + src.IntN(3) // occasionally reshape every table
+			}
+			got, gotErr := warm.SolveInto(existing, W, c, dst)
+			want, wantErr := MinCost(tr, existing, W, c)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d step %d: cold err %v, incremental err %v", i, step, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrInfeasible) {
+					t.Fatalf("tree %d step %d: non-infeasibility error %v", i, step, gotErr)
+				}
+				continue
+			}
+			if !want.Placement.Equal(got.Placement) || want.Cost != got.Cost ||
+				want.Servers != got.Servers || want.Reused != got.Reused || want.New != got.New {
+				t.Fatalf("tree %d step %d: cold %v (cost %v) != incremental %v (cost %v)",
+					i, step, want.Placement, want.Cost, got.Placement, got.Cost)
+			}
+			// The next solve's pre-existing set is this solution; the
+			// diff against the previous existing dirties a few chains.
+			existing, dst = got.Placement, existing
+		}
+	}
+}
+
+func TestMinCostIncrementalRecomputesOnlyDirtyChains(t *testing.T) {
+	src := rng.New(2024)
+	tr := tree.MustGenerate(tree.FatConfig(100), src)
+	solver := NewMinCostSolver(tr)
+	existing := tree.ReplicasOf(tr)
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	if _, err := solver.SolveInto(existing, 10, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := solver.Stats(); st.Recomputed != tr.N() {
+		t.Fatalf("cold solve recomputed %d of %d nodes", st.Recomputed, tr.N())
+	}
+
+	// Nothing changed: the re-solve must reuse every table.
+	if _, err := solver.SolveInto(existing, 10, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := solver.Stats(); st.Recomputed != 0 {
+		t.Fatalf("no-op solve recomputed %d nodes, want 0", st.Recomputed)
+	}
+
+	// One changed demand: at most its ancestor chain recomputes.
+	for trial := 0; trial < 20; trial++ {
+		touched := driftClients(tr, 1, src)
+		if _, err := solver.SolveInto(existing, 10, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st, bound := solver.Stats(), chainBound(tr, touched); st.Recomputed > bound {
+			t.Fatalf("trial %d: recomputed %d nodes, chain bound is %d", trial, st.Recomputed, bound)
+		}
+	}
+
+	// A pre-existing membership change dirties the parent's chain only.
+	node := 1 + src.IntN(tr.N()-1)
+	existing.Set(node, 1)
+	if _, err := solver.SolveInto(existing, 10, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st, bound := solver.Stats(), chainBound(tr, []int{tr.Parent(node)}); st.Recomputed > bound {
+		t.Fatalf("membership change recomputed %d nodes, chain bound is %d", st.Recomputed, bound)
+	}
+
+	// Invalidate forces the next solve back to a full recompute.
+	solver.Invalidate()
+	if _, err := solver.SolveInto(existing, 10, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := solver.Stats(); st.Recomputed != tr.N() {
+		t.Fatalf("invalidated solve recomputed %d of %d nodes", st.Recomputed, tr.N())
+	}
+}
+
+func TestQoSIncrementalMatchesCold(t *testing.T) {
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(103, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		warm := NewQoSSolver(tr)
+		cons := tree.NewConstraints(tr)
+		cons.SetUniformQoS(tr, 4)
+		dst := tree.ReplicasOf(tr)
+		for step := 0; step < 12; step++ {
+			touched := driftClients(tr, src.IntN(4), src)
+			if step%4 == 3 {
+				// Mutate the shared constraint set in place; the solver
+				// must notice through its generation counter.
+				cons.SetUniformQoS(tr, 3+src.IntN(3))
+			}
+			got, gotErr := warm.Solve(10, cons, dst)
+			want, wantErr := MinReplicasQoS(tr, 10, cons)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d step %d: cold err %v, incremental err %v", i, step, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrInfeasible) {
+					t.Fatalf("tree %d step %d: non-infeasibility error %v", i, step, gotErr)
+				}
+				continue
+			}
+			if !want.Equal(got) || want.String() != got.String() {
+				t.Fatalf("tree %d step %d (touched %v): cold %v != incremental %v",
+					i, step, touched, want, got)
+			}
+		}
+	}
+}
+
+func TestQoSIncrementalRecomputesOnlyDirtyChains(t *testing.T) {
+	src := rng.New(2025)
+	tr := tree.MustGenerate(tree.FatConfig(100), src)
+	solver := NewQoSSolver(tr)
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 4)
+	if _, err := solver.Solve(10, cons, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Solve(10, cons, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := solver.Stats(); st.Recomputed != 0 {
+		t.Fatalf("no-op solve recomputed %d nodes, want 0", st.Recomputed)
+	}
+	for trial := 0; trial < 20; trial++ {
+		touched := driftClients(tr, 1, src)
+		if _, err := solver.Solve(10, cons, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st, bound := solver.Stats(), chainBound(tr, touched); st.Recomputed > bound {
+			t.Fatalf("trial %d: recomputed %d nodes, chain bound is %d", trial, st.Recomputed, bound)
+		}
+	}
+	// An in-place constraint edit invalidates everything.
+	cons.SetQoS(tr.Root(), 0, 2)
+	if _, err := solver.Solve(10, cons, nil); err == nil {
+		if st := solver.Stats(); st.Recomputed != tr.N() {
+			t.Fatalf("constraint edit recomputed %d of %d nodes", st.Recomputed, tr.N())
+		}
+	}
+}
+
+func TestPowerIncrementalMatchesCold(t *testing.T) {
+	pm := powerModel2()
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	for i := 0; i < reuseTreeCount(t)/2; i++ {
+		src := rng.Derive(107, i)
+		tr := tree.MustGenerate(tree.PowerConfig(18+i%10), src)
+		dp := NewPowerDP(tr)
+		existing, err := tree.RandomReplicas(tr, 3, 2, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := tree.ReplicasOf(tr)
+		for step := 0; step < 8; step++ {
+			driftClients(tr, src.IntN(3), src)
+			if step%3 == 2 && tr.N() > 1 {
+				// Flip one pre-existing server's membership or mode.
+				j := 1 + src.IntN(tr.N()-1)
+				if existing.Has(j) {
+					existing.Unset(j)
+				} else {
+					existing.Set(j, uint8(1+src.IntN(2)))
+				}
+			}
+			prob := PowerProblem{Tree: tr, Existing: existing, Power: pm, Cost: cm}
+			got, gotErr := dp.Solve(prob)
+			want, wantErr := SolvePower(prob)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("tree %d step %d: cold err %v, incremental err %v", i, step, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			wf, gf := want.Front(), got.Front()
+			if len(wf) != len(gf) {
+				t.Fatalf("tree %d step %d: front sizes %d != %d", i, step, len(wf), len(gf))
+			}
+			for k := range wf {
+				if wf[k] != gf[k] {
+					t.Fatalf("tree %d step %d: front[%d] %v != %v", i, step, k, wf[k], gf[k])
+				}
+			}
+			wantOpt := want.MinPower()
+			gotOpt, ok := got.BestInto(math.Inf(1), dst)
+			if !ok || !wantOpt.Placement.Equal(gotOpt.Placement) ||
+				wantOpt.Cost != gotOpt.Cost || wantOpt.Power != gotOpt.Power {
+				t.Fatalf("tree %d step %d: cold optimum %v != incremental %v",
+					i, step, wantOpt.Placement, gotOpt.Placement)
+			}
+		}
+	}
+}
+
+func TestPowerIncrementalRecomputesOnlyDirtyChains(t *testing.T) {
+	src := rng.New(2026)
+	tr := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, err := tree.RandomReplicas(tr, 5, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := NewPowerDP(tr)
+	prob := PowerProblem{Tree: tr, Existing: existing, Power: powerModel2(), Cost: cost.UniformModal(2, 0.1, 0.01, 0.001)}
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if st := dp.Stats(); st.Recomputed != 0 {
+		t.Fatalf("no-op solve recomputed %d nodes, want 0", st.Recomputed)
+	}
+	for trial := 0; trial < 10; trial++ {
+		touched := driftClients(tr, 1, src)
+		if _, err := dp.Solve(prob); err != nil {
+			t.Fatal(err)
+		}
+		if st, bound := dp.Stats(), chainBound(tr, touched); st.Recomputed > bound {
+			t.Fatalf("trial %d: recomputed %d nodes, chain bound is %d", trial, st.Recomputed, bound)
+		}
+	}
+	// A different power model reshapes every table.
+	prob.Power = power.MustNew([]int{5, 12}, 12.5, 3)
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if st := dp.Stats(); st.Recomputed != tr.N() {
+		t.Fatalf("model swap recomputed %d of %d nodes", st.Recomputed, tr.N())
+	}
+}
+
+// TestPowerFailedSolveInvalidatesTables pins the error-path contract:
+// a Solve that dies mid-tree (table-size overflow) has already
+// overwritten retained tables for the failed instance, so a following
+// solve with the previously valid parameters must rebuild everything
+// instead of silently mixing the two instances' tables.
+func TestPowerFailedSolveInvalidatesTables(t *testing.T) {
+	src := rng.New(2028)
+	tr := tree.MustGenerate(tree.PowerConfig(40), src)
+	existing, err := tree.RandomReplicas(tr, 6, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := PowerProblem{Tree: tr, Existing: existing, Power: powerModel2(), Cost: cost.UniformModal(2, 0.1, 0.01, 0.001)}
+	dp := NewPowerDP(tr)
+	if _, err := dp.Solve(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 12-mode model explodes the count-vector tables past the
+	// maxTableCells bound partway through the post-order.
+	caps := make([]int, 12)
+	for i := range caps {
+		caps[i] = i + 5
+	}
+	bad := good
+	bad.Power = power.MustNew(caps, 12.5, 3)
+	bad.Cost = cost.UniformModal(12, 0.1, 0.01, 0.001)
+	if _, err := dp.Solve(bad); err == nil {
+		t.Skip("expected the 12-mode instance to overflow the table bound")
+	}
+
+	got, err := dp.Solve(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := dp.Stats(); st.Recomputed != tr.N() {
+		t.Fatalf("solve after a failed run recomputed %d of %d nodes", st.Recomputed, tr.N())
+	}
+	want, err := SolvePower(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wOpt, gOpt := want.MinPower(), got.MinPower()
+	if !wOpt.Placement.Equal(gOpt.Placement) || wOpt.Power != gOpt.Power || wOpt.Cost != gOpt.Cost {
+		t.Fatalf("post-failure solve diverged: fresh %v (%v) != warm %v (%v)",
+			wOpt.Placement, wOpt.Power, gOpt.Placement, gOpt.Power)
+	}
+}
+
+// TestSolverResetRebindsAcrossTrees proves the cross-tree rebind: one
+// solver swept over many differently-shaped trees through Reset must
+// match one-shot solves on every tree.
+func TestSolverResetRebindsAcrossTrees(t *testing.T) {
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	mc := NewMinCostSolver(tree.MustGenerate(tree.FatConfig(10), rng.New(1)))
+	qs := NewQoSSolver(tree.MustGenerate(tree.FatConfig(10), rng.New(1)))
+	pm := powerModel2()
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	dp := NewPowerDP(tree.MustGenerate(tree.PowerConfig(10), rng.New(1)))
+
+	for i := 0; i < reuseTreeCount(t)/2; i++ {
+		src := rng.Derive(109, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		existing, err := tree.RandomReplicas(tr, tr.N()/5, 1, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mc.Reset(tr)
+		want, wantErr := MinCost(tr, existing, 10, c)
+		got, gotErr := mc.Solve(existing, 10, c)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("tree %d mincost: cold err %v, rebound err %v", i, wantErr, gotErr)
+		}
+		if wantErr == nil && (!want.Placement.Equal(got.Placement) || want.Cost != got.Cost) {
+			t.Fatalf("tree %d mincost: cold %v != rebound %v", i, want.Placement, got.Placement)
+		}
+
+		qs.Reset(tr)
+		qWant, qWantErr := MinReplicasQoS(tr, 10, nil)
+		qGot, qGotErr := qs.Solve(10, nil, nil)
+		if (qWantErr == nil) != (qGotErr == nil) {
+			t.Fatalf("tree %d qos: cold err %v, rebound err %v", i, qWantErr, qGotErr)
+		}
+		if qWantErr == nil && !qWant.Equal(qGot) {
+			t.Fatalf("tree %d qos: cold %v != rebound %v", i, qWant, qGot)
+		}
+
+		ptr := tree.MustGenerate(tree.PowerConfig(14+i%8), src)
+		dp.Reset(ptr)
+		prob := PowerProblem{Tree: ptr, Power: pm, Cost: cm}
+		pWant, pWantErr := SolvePower(prob)
+		pGot, pGotErr := dp.Solve(prob)
+		if (pWantErr == nil) != (pGotErr == nil) {
+			t.Fatalf("tree %d power: cold err %v, rebound err %v", i, pWantErr, pGotErr)
+		}
+		if pWantErr == nil {
+			wOpt, gOpt := pWant.MinPower(), pGot.MinPower()
+			if !wOpt.Placement.Equal(gOpt.Placement) || wOpt.Power != gOpt.Power {
+				t.Fatalf("tree %d power: cold %v != rebound %v", i, wOpt.Placement, gOpt.Placement)
+			}
+		}
+	}
+}
+
+// TestIncrementalSteadyStateAllocs pins the allocation contract of the
+// incremental path: once warm, a drift step (SetDemand + re-solve)
+// allocates nothing for any of the three solvers.
+func TestIncrementalSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is unreliable under -short/-race")
+	}
+	src := rng.New(2027)
+	tr := tree.MustGenerate(tree.FatConfig(100), src)
+	node := -1
+	for j := 0; j < tr.N(); j++ {
+		if len(tr.Clients(j)) > 0 {
+			node = j
+			break
+		}
+	}
+	if node < 0 {
+		t.Fatal("no clients")
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+
+	mc := NewMinCostSolver(tr)
+	dst := tree.ReplicasOf(tr)
+	existing := tree.ReplicasOf(tr)
+	flip := 1
+	if _, err := mc.SolveInto(existing, 10, c, dst); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(5, func() {
+		flip = 3 - flip // alternate 1 and 2 so every run dirties the chain
+		tr.SetDemand(node, 0, flip)
+		if _, err := mc.SolveInto(existing, 10, c, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MinCost drift step: %v allocs/op, want 0", n)
+	}
+
+	qs := NewQoSSolver(tr)
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 4)
+	if _, err := qs.Solve(10, cons, dst); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(5, func() {
+		flip = 3 - flip
+		tr.SetDemand(node, 0, flip)
+		if _, err := qs.Solve(10, cons, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("QoS drift step: %v allocs/op, want 0", n)
+	}
+
+	ptr := tree.MustGenerate(tree.PowerConfig(50), src)
+	pnode := -1
+	for j := 0; j < ptr.N(); j++ {
+		if len(ptr.Clients(j)) > 0 {
+			pnode = j
+			break
+		}
+	}
+	dp := NewPowerDP(ptr)
+	prob := PowerProblem{Existing: nil, Power: powerModel2(), Cost: cost.UniformModal(2, 0.1, 0.01, 0.001)}
+	pdst := tree.ReplicasOf(ptr)
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(5, func() {
+		flip = 3 - flip
+		ptr.SetDemand(pnode, 0, flip)
+		sol, err := dp.Solve(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sol.BestInto(math.Inf(1), pdst); !ok {
+			t.Fatal("no solution")
+		}
+	}); n != 0 {
+		t.Errorf("Power drift step: %v allocs/op, want 0", n)
+	}
+}

@@ -71,26 +71,47 @@ type mcStep struct {
 	decs       []mcDec
 }
 
-// MinCostSolver solves MinCost-WithPre instances on one tree. All
-// dynamic-program tables live in two flat arenas grown monotonically
-// to the high-water mark of past solves, so after two warm-up solves
-// of an instance shape every further Solve performs no heap allocation
-// (use SolveInto with a caller-owned destination to avoid the result
-// placement allocation too). A solver is not safe for concurrent use;
-// run one per goroutine.
+// MinCostSolver solves MinCost-WithPre instances on one tree. Merge
+// intermediates live in a flat arena and every node's final table and
+// reconstruction back-pointers in retained per-node buffers, all grown
+// monotonically to the high-water mark of past solves: after two
+// warm-up solves of an instance shape every further Solve performs no
+// heap allocation (use SolveInto with a caller-owned destination to
+// avoid the result placement allocation too).
+//
+// The retained tables make solves incremental. A solve reuses every
+// cached subtree table whose inputs did not change since the previous
+// solve and recomputes only the dirty ancestor chains: demand edits
+// through tree.Tree.SetDemand (or any mutator that advances the demand
+// generations) dirty the touched node upward, membership changes of
+// the pre-existing set dirty the changed node's parent upward, and a
+// different capacity W invalidates everything. The cost model never
+// invalidates tables (only the root scan prices it), so sweeping costs
+// over a static tree re-solves in O(root-table) time. Use Invalidate
+// after mutating state the solver cannot observe, and Reset to rebind
+// the solver to another tree while keeping its buffers.
+//
+// A solver is not safe for concurrent use; run one per goroutine.
 type MinCostSolver struct {
 	t     *tree.Tree
 	empty *tree.Replicas // stands in for a nil existing set
 
-	// Per node: final table (vals), its dimensions, and the per-merge
-	// decision tables for reconstruction.
+	// Per node, retained across solves: final table (vals), its
+	// dimensions, and the per-merge decision tables for reconstruction
+	// (steps[j] has exactly one entry per child of j).
 	vals  [][]int32
 	dimE  []int32
 	dimN  []int32
 	steps [][]mcStep
 
-	ints arena[int32]
-	decs arena[mcDec]
+	ints arena[int32] // merge intermediates, recycled every solve
+
+	// Incremental bookkeeping: which demands each cached table reflects,
+	// the previous solve's pre-existing membership, and its capacity.
+	track      dirtyTracker
+	lastHas    []bool
+	lastW      int32
+	recomputed int
 
 	// Per solve:
 	existing  *tree.Replicas
@@ -100,15 +121,45 @@ type MinCostSolver struct {
 
 // NewMinCostSolver returns a reusable solver for MinCost instances on t.
 func NewMinCostSolver(t *tree.Tree) *MinCostSolver {
+	s := &MinCostSolver{}
+	s.Reset(t)
+	return s
+}
+
+// Reset rebinds the solver to tree t, keeping every retained buffer as
+// scratch for the new tree, so sweeping many trees of similar shape
+// through one solver skips most warm-up allocations. The first solve
+// after a Reset recomputes every table, even when t is the tree the
+// solver was already bound to (which makes Reset(sameTree) an explicit
+// full invalidation; see Invalidate for the cheaper flag-only form).
+func (s *MinCostSolver) Reset(t *tree.Tree) {
 	n := t.N()
-	return &MinCostSolver{
-		t:     t,
-		empty: tree.NewReplicas(n),
-		vals:  make([][]int32, n),
-		dimE:  make([]int32, n),
-		dimN:  make([]int32, n),
-		steps: make([][]mcStep, n),
+	s.t = t
+	if s.empty == nil || s.empty.N() != n {
+		s.empty = tree.NewReplicas(n)
 	}
+	s.vals = grownKeep(s.vals, n)
+	s.dimE = grown(s.dimE, n)
+	s.dimN = grown(s.dimN, n)
+	s.steps = grownKeep(s.steps, n)
+	for j := 0; j < n; j++ {
+		s.steps[j] = grownKeep(s.steps[j], len(t.Children(j)))
+	}
+	s.lastHas = grown(s.lastHas, n)
+	s.track.bind(n)
+}
+
+// Invalidate discards the validity of every cached subtree table,
+// forcing the next solve to recompute the whole tree. It is needed
+// only after out-of-band mutations the solver cannot observe (demand
+// edits through SetDemand/SetClientRequests and pre-existing set
+// changes are detected automatically).
+func (s *MinCostSolver) Invalidate() { s.track.invalidate() }
+
+// Stats profiles the most recent completed solve: how many of the
+// tree's node tables it actually recomputed.
+func (s *MinCostSolver) Stats() SolveStats {
+	return SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
 }
 
 // Solve runs the dynamic program and returns a freshly allocated
@@ -164,9 +215,31 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	}
 
 	s.existing, s.w, s.placement = existing, int32(W), dst
+
+	// Decide which cached tables survive: demands via generation
+	// stamps, the pre-existing set by content diff (it dirties the
+	// parent: a node's own table ignores its own membership), W by full
+	// invalidation. The cost model only prices the root scan below.
+	t0 := s.t
+	s.track.mark(t0, s.w != s.lastW)
+	for j := 0; j < t0.N(); j++ {
+		if s.lastHas[j] != existing.Has(j) {
+			s.track.markParent(t0, j)
+		}
+	}
+	s.track.propagate(t0)
+
 	s.ints.reset()
-	s.decs.reset()
 	s.run()
+
+	// The tables now reflect the current inputs even if the root scan
+	// finds the instance infeasible, so commit before scanning.
+	s.lastW = s.w
+	for j := 0; j < t0.N(); j++ {
+		s.lastHas[j] = existing.Has(j)
+	}
+	s.track.commit(t0)
+
 	res, err := s.scanRoot(c)
 	s.existing, s.placement = nil, nil
 	if err != nil {
@@ -176,25 +249,38 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 }
 
 func (s *MinCostSolver) run() {
+	s.recomputed = 0
 	for _, j := range s.t.PostOrder() {
-		// Base: no internal children merged yet; the only cell is
-		// (0,0) holding the requests of j's own clients (Algorithm 2).
+		if !s.track.dirty[j] {
+			continue
+		}
+		s.recomputed++
+		kids := s.t.Children(j)
+		if len(kids) == 0 {
+			// A leaf's final table is the single base cell (0,0) holding
+			// the requests of j's own clients (Algorithm 2).
+			s.vals[j] = grown(s.vals[j], 1)
+			s.vals[j][0] = int32(s.t.ClientSum(j))
+			s.dimE[j], s.dimN[j] = 0, 0
+			continue
+		}
 		accE, accN := int32(0), int32(0)
 		acc := s.ints.alloc(1)
 		acc[0] = int32(s.t.ClientSum(j))
-		s.steps[j] = s.steps[j][:0]
-		for _, ch := range s.t.Children(j) {
-			acc, accE, accN = s.merge(j, ch, acc, accE, accN)
+		for st, ch := range kids {
+			acc, accE, accN = s.merge(j, st, ch, acc, accE, accN, st == len(kids)-1)
 		}
-		s.vals[j], s.dimE[j], s.dimN[j] = acc, accE, accN
+		s.dimE[j], s.dimN[j] = accE, accN
 	}
 }
 
 // merge combines the accumulated table of node j (dimensions accE×accN,
 // exclusive upper bounds accE+1 and accN+1 on coordinates) with the
-// final table of child ch, considering for every split the option of
-// placing a replica on ch itself (Algorithm 3).
-func (s *MinCostSolver) merge(j, ch int, acc []int32, accE, accN int32) ([]int32, int32, int32) {
+// final table of child ch — the st-th child of j — considering for
+// every split the option of placing a replica on ch itself (Algorithm
+// 3). The last merge writes straight into j's retained final table;
+// earlier ones use arena intermediates.
+func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last bool) ([]int32, int32, int32) {
 	chE, chN := s.dimE[ch], s.dimN[ch]
 	chVals := s.vals[ch]
 	childPre := s.existing.Has(ch)
@@ -206,14 +292,24 @@ func (s *MinCostSolver) merge(j, ch int, acc []int32, accE, accN int32) ([]int32
 	} else {
 		outN++
 	}
-	out := s.ints.alloc(int(outE+1) * int(outN+1))
+	cells := int(outE+1) * int(outN+1)
+	var out []int32
+	if last {
+		s.vals[j] = grown(s.vals[j], cells)
+		out = s.vals[j]
+	} else {
+		out = s.ints.alloc(cells)
+	}
 	for i := range out {
 		out[i] = invalid
 	}
 	// Stale decision cells are never read: the reconstruction only
-	// follows cells whose value was written this solve, and every value
-	// write refreshes its decision.
-	decs := s.decs.alloc(len(out))
+	// follows cells whose value was written when the table was last
+	// rebuilt, and every value write refreshes its decision.
+	step := &s.steps[j][st]
+	step.dimE, step.dimN = outE, outN
+	step.decs = grown(step.decs, cells)
+	decs := step.decs
 	ostride := outN + 1
 
 	update := func(e, n, v int32, dec mcDec) {
@@ -254,8 +350,6 @@ func (s *MinCostSolver) merge(j, ch int, acc []int32, accE, accN int32) ([]int32
 		}
 	}
 
-	s.steps[j] = append(s.steps[j], mcStep{dimE: outE, dimN: outN, decs: decs})
-	s.vals[ch] = nil // the child's table is no longer needed
 	return out, outE, outN
 }
 

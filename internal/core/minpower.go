@@ -128,18 +128,32 @@ func SolvePower(p PowerProblem) (*PowerSolver, error) {
 	}
 	// Detach the solution view from the throwaway PowerDP: the copy
 	// keeps only the front and the provenance tables alive, letting
-	// the value-table arena (about half the DP's memory) be collected
-	// while the caller holds the solver.
+	// the value tables (about half the DP's memory) be collected while
+	// the caller holds the solver.
 	detached := *sol
 	return &detached, nil
 }
 
-// PowerDP is a reusable MinPower-BoundedCost solver for one tree. All
-// dynamic-program tables live in flat arenas grown monotonically to
-// the high-water mark of past solves, so after two warm-up solves of
-// an instance shape every further sequential Solve performs no heap
-// allocation. The PowerSolver it returns aliases the solver's scratch:
-// it is invalidated by the next Solve. A PowerDP is not safe for
+// PowerDP is a reusable MinPower-BoundedCost solver for one tree.
+// Merge intermediates live in flat arenas and every node's final
+// table, shape and provenance in retained per-node buffers, all grown
+// monotonically to the high-water mark of past solves, so after two
+// warm-up solves of an instance shape every further sequential Solve
+// performs no heap allocation.
+//
+// The retained tables make solves incremental, mode-indexed shapes
+// included: demand edits through tree.Tree.SetDemand dirty the touched
+// node's ancestor chain, a changed initial mode of a pre-existing
+// server dirties its parent's chain (the mode re-dimensions every
+// ancestor's count vector, which is exactly the set of tables the
+// chain covers), and a different power model invalidates everything.
+// The cost model never invalidates tables — only the root scan prices
+// it — so sweeping cost models re-solves in O(root-table) time. Use
+// Invalidate after mutations the solver cannot observe, and Reset to
+// rebind the solver to another tree while keeping its buffers.
+//
+// The PowerSolver a Solve returns aliases the solver's scratch: it is
+// invalidated by the next Solve (or Reset). A PowerDP is not safe for
 // concurrent use; run one per goroutine.
 type PowerDP struct {
 	t     *tree.Tree
@@ -152,17 +166,23 @@ type PowerDP struct {
 	wm      int32 // W_M
 	workers int
 
+	// Per node, retained across solves: final table, its shape, the
+	// per-merge provenance tables (steps[j] has one entry per child of
+	// j), and the subtree (exclusive) counts of non-pre-existing nodes
+	// and of pre-existing nodes per initial mode.
 	shapes []shape
 	vals   [][]int32
 	steps  [][]pStep
-
-	// Per node: subtree (exclusive) counts of non-pre-existing nodes
-	// and of pre-existing nodes per initial mode.
 	newCnt []int32
 	preCnt [][]int32
 
+	// Incremental bookkeeping.
+	track      dirtyTracker
+	lastMode   []uint8
+	lastPower  power.Model
+	recomputed int
+
 	i32   arena[int32]
-	u64   arena[uint64]
 	ints  arena[int]
 	cands []frontEntry // root-scan candidates, high-water reused
 	front []frontEntry // pruned Pareto front, high-water reused
@@ -171,16 +191,53 @@ type PowerDP struct {
 
 // NewPowerDP returns a reusable power solver for t.
 func NewPowerDP(t *tree.Tree) *PowerDP {
+	d := &PowerDP{}
+	d.Reset(t)
+	return d
+}
+
+// Reset rebinds the solver to tree t, keeping every retained buffer as
+// scratch for the new tree, so sweeping many trees of similar shape
+// through one solver skips most warm-up allocations. The first solve
+// after a Reset recomputes every table, and any PowerSolver returned
+// by an earlier Solve is invalidated.
+func (d *PowerDP) Reset(t *tree.Tree) {
 	n := t.N()
-	return &PowerDP{
-		t:      t,
-		empty:  tree.NewReplicas(n),
-		shapes: make([]shape, n),
-		vals:   make([][]int32, n),
-		steps:  make([][]pStep, n),
-		newCnt: make([]int32, n),
-		preCnt: make([][]int32, n),
+	d.t = t
+	if d.empty == nil || d.empty.N() != n {
+		d.empty = tree.NewReplicas(n)
 	}
+	d.shapes = grownKeep(d.shapes, n)
+	d.vals = grownKeep(d.vals, n)
+	d.steps = grownKeep(d.steps, n)
+	for j := 0; j < n; j++ {
+		d.steps[j] = grownKeep(d.steps[j], len(t.Children(j)))
+	}
+	d.newCnt = grown(d.newCnt, n)
+	d.preCnt = grownKeep(d.preCnt, n)
+	d.lastMode = grown(d.lastMode, n)
+	d.track.bind(n)
+}
+
+// Invalidate discards the validity of every cached subtree table,
+// forcing the next solve to recompute the whole tree. Demand edits
+// through SetDemand/SetClientRequests, pre-existing mode changes and
+// power-model swaps are detected automatically and do not need it.
+func (d *PowerDP) Invalidate() { d.track.invalidate() }
+
+// Stats profiles the most recent completed solve: how many of the
+// tree's node tables it actually recomputed.
+func (d *PowerDP) Stats() SolveStats {
+	return SolveStats{Nodes: d.t.N(), Recomputed: d.recomputed}
+}
+
+// retainShape copies a shape built from arena storage into node j's
+// retained shape buffers.
+func (d *PowerDP) retainShape(j int, sh shape) {
+	s := &d.shapes[j]
+	s.dims = append(s.dims[:0], sh.dims...)
+	s.strides = append(s.strides[:0], sh.strides...)
+	s.size = sh.size
 }
 
 // Solve runs the dynamic program for one problem instance on the
@@ -231,12 +288,46 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	}
 
 	d.prob, d.M, d.nf, d.wm, d.workers = p, M, M+M*M, int32(p.Power.MaxCap()), workers
+
+	// Demands dirty their ancestor chain; a changed initial mode of a
+	// pre-existing server dirties its parent's chain (a node's own
+	// table never depends on its own mode, but every ancestor's count
+	// vector does); a different power model reshapes every table. The
+	// cost model only prices the root scan below.
+	t0 := p.Tree
+	d.track.mark(t0, !p.Power.Equal(d.lastPower))
+	for j := 0; j < t0.N(); j++ {
+		if d.lastMode[j] != p.Existing.Mode(j) {
+			d.track.markParent(t0, j)
+		}
+	}
+	d.track.propagate(t0)
+
 	d.i32.reset()
-	d.u64.reset()
 	d.ints.reset()
 	if err := d.run(); err != nil {
+		// A mid-tree failure (table-size overflow) has already
+		// overwritten some retained tables for the failed instance;
+		// nothing was committed, so force the next solve to rebuild
+		// everything rather than mix instances.
+		d.track.invalidate()
 		return nil, err
 	}
+
+	// Commit before the root scan: the tables are valid even when the
+	// scan finds the instance infeasible. The model copy reuses the
+	// retained capacity slice so a steady-state solve stays alloc-free
+	// and later in-place mutations of the caller's slice cannot alias.
+	d.lastPower = power.Model{
+		Caps:   append(d.lastPower.Caps[:0], p.Power.Caps...),
+		Static: p.Power.Static,
+		Alpha:  p.Power.Alpha,
+	}
+	for j := 0; j < t0.N(); j++ {
+		d.lastMode[j] = p.Existing.Mode(j)
+	}
+	d.track.commit(t0)
+
 	d.scanRoot()
 	if len(d.front) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrInfeasible)
@@ -268,8 +359,14 @@ func (d *PowerDP) nodeDims(dims []int32, newCnt int32, preCnt []int32) {
 
 func (d *PowerDP) run() error {
 	t := d.prob.Tree
+	d.recomputed = 0
 
 	for _, j := range t.PostOrder() {
+		if !d.track.dirty[j] {
+			continue
+		}
+		d.recomputed++
+		kids := t.Children(j)
 		accNew := int32(0)
 		accPre := d.i32.alloc(d.M)
 		for i := range accPre {
@@ -283,25 +380,34 @@ func (d *PowerDP) run() error {
 		if err != nil {
 			return err
 		}
-		acc := d.i32.alloc(1)
-		acc[0] = int32(t.ClientSum(j))
 
-		d.steps[j] = d.steps[j][:0]
-		for _, ch := range t.Children(j) {
-			acc, accShape, err = d.merge(j, ch, acc, accShape, &accNew, accPre)
-			if err != nil {
-				return err
+		if len(kids) == 0 {
+			// A leaf's final table is the single base cell holding the
+			// requests of j's own clients.
+			d.vals[j] = grown(d.vals[j], 1)
+			d.vals[j][0] = int32(t.ClientSum(j))
+		} else {
+			acc := d.i32.alloc(1)
+			acc[0] = int32(t.ClientSum(j))
+			for st, ch := range kids {
+				acc, accShape, err = d.merge(j, st, ch, acc, accShape, &accNew, accPre, st == len(kids)-1)
+				if err != nil {
+					return err
+				}
 			}
 		}
-		d.vals[j], d.shapes[j] = acc, accShape
-		d.newCnt[j], d.preCnt[j] = accNew, accPre
+		d.retainShape(j, accShape)
+		d.newCnt[j] = accNew
+		d.preCnt[j] = append(d.preCnt[j][:0], accPre...)
 	}
 	return nil
 }
 
-// merge folds child ch into the accumulated table of node j, updating
-// the accumulated subtree counts in place.
-func (d *PowerDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32) ([]int32, shape, error) {
+// merge folds child ch — the st-th child of j — into the accumulated
+// table of node j, updating the accumulated subtree counts in place.
+// The last merge writes straight into j's retained final table;
+// earlier ones use arena intermediates.
+func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool) ([]int32, shape, error) {
 	chShape := d.shapes[ch]
 	chVals := d.vals[ch]
 	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
@@ -322,11 +428,22 @@ func (d *PowerDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, a
 	if err != nil {
 		return nil, shape{}, err
 	}
-	out := d.i32.alloc(outShape.size)
+	var out []int32
+	if last {
+		d.vals[j] = grown(d.vals[j], outShape.size)
+		out = d.vals[j]
+	} else {
+		out = d.i32.alloc(outShape.size)
+	}
 	for i := range out {
 		out[i] = pUnreached
 	}
-	prov := d.u64.alloc(outShape.size)
+	// Stale provenance cells are never read: the reconstruction only
+	// follows cells whose value was written when the table was last
+	// rebuilt, and every value write refreshes its provenance.
+	step := &d.steps[j][st]
+	step.prov = grown(step.prov, outShape.size)
+	prov := step.prov
 	for i := range prov {
 		prov[i] = noProv
 	}
@@ -353,8 +470,6 @@ func (d *PowerDP) merge(j, ch int, acc []int32, accShape shape, accNew *int32, a
 		d.mergeSequential(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
 	}
 
-	d.steps[j] = append(d.steps[j], pStep{prov: prov})
-	d.vals[ch] = nil // child's value table is no longer needed
 	*accNew = outNew
 	copy(accPre, outPre)
 	return out, outShape, nil

@@ -32,9 +32,11 @@ import (
 // escapes) or let the flow pass (possible only while every contributing
 // client's QoS still tolerates a higher server).
 //
-// Every per-node table is a flat row-major slice carved out of the
-// solver's arenas (row r at offset r*rowWidth), the same index-addressed
-// layout the shape type gives the power tables.
+// Every per-node table is a flat row-major slice (row r at offset
+// r*rowWidth, the same index-addressed layout the shape type gives the
+// power tables) held in a retained buffer so it can carry over to the
+// next solve; only the knapsack-merge intermediates live in the
+// solver's per-solve arena.
 
 const qInf = int(1) << 60
 
@@ -65,28 +67,45 @@ func MinReplicasQoS(t *tree.Tree, W int, c *tree.Constraints) (*tree.Replicas, e
 }
 
 // QoSSolver solves constrained replica-counting instances on one tree.
-// All dynamic-program tables live in flat arenas grown monotonically
-// to the high-water mark of past solves, so after two warm-up solves
-// of an instance shape every further Solve with a caller-owned
-// destination performs no heap allocation. A solver is not safe for
-// concurrent use; run one per goroutine.
+// Merge intermediates live in a flat arena and every node's tables in
+// retained per-node buffers, all grown monotonically to the high-water
+// mark of past solves, so after two warm-up solves of an instance shape
+// every further Solve with a caller-owned destination performs no heap
+// allocation.
+//
+// The retained tables make solves incremental: demand edits through
+// tree.Tree.SetDemand dirty only the touched node's ancestor chain,
+// while a different capacity W or constraint set (a different
+// *tree.Constraints, or the same one mutated — detected through
+// Constraints.Generation) invalidates every table. Use Invalidate
+// after mutations the solver cannot observe, and Reset to rebind it to
+// another tree while keeping its buffers.
+//
+// A solver is not safe for concurrent use; run one per goroutine.
 type QoSSolver struct {
 	t             *tree.Tree
 	eng           *tree.Engine
 	unconstrained *tree.Constraints
 
-	// Per node: replica capacity of the subtree including the node,
-	// its flat tab/choice block ((size+1) rows of width
-	// max(depth-1,0)+1), and — indexed by the CHILD's id — the flat
-	// split table of the merge that folded that child into its parent
-	// (rows of width depth(child), the parent's accumulator width).
+	// Per node, retained across solves: replica capacity of the subtree
+	// including the node, its flat tab/choice block ((size+1) rows of
+	// width max(depth-1,0)+1), and — indexed by the CHILD's id — the
+	// flat split table of the merge that folded that child into its
+	// parent (rows of width depth(child), the parent's accumulator
+	// width).
 	size    []int
 	tabs    [][]int
 	choices [][]uint8
 	splits  [][]int
 
-	ints  arena[int]
-	bytes arena[uint8]
+	ints arena[int] // knapsack-merge intermediates, recycled every solve
+
+	// Incremental bookkeeping.
+	track      dirtyTracker
+	lastW      int
+	lastC      *tree.Constraints
+	lastCGen   uint64
+	recomputed int
 
 	// Per solve:
 	w int
@@ -95,16 +114,38 @@ type QoSSolver struct {
 
 // NewQoSSolver returns a reusable constrained-counting solver for t.
 func NewQoSSolver(t *tree.Tree) *QoSSolver {
+	s := &QoSSolver{}
+	s.Reset(t)
+	return s
+}
+
+// Reset rebinds the solver to tree t, keeping every retained buffer as
+// scratch for the new tree, so sweeping many trees of similar shape
+// through one solver skips most warm-up allocations. The first solve
+// after a Reset recomputes every table.
+func (s *QoSSolver) Reset(t *tree.Tree) {
 	n := t.N()
-	return &QoSSolver{
-		t:             t,
-		eng:           tree.NewEngine(t),
-		unconstrained: tree.NewConstraints(t),
-		size:          make([]int, n),
-		tabs:          make([][]int, n),
-		choices:       make([][]uint8, n),
-		splits:        make([][]int, n),
-	}
+	s.t = t
+	s.eng = tree.NewEngine(t)
+	s.unconstrained = tree.NewConstraints(t)
+	s.size = grown(s.size, n)
+	s.tabs = grownKeep(s.tabs, n)
+	s.choices = grownKeep(s.choices, n)
+	s.splits = grownKeep(s.splits, n)
+	s.lastC = nil
+	s.track.bind(n)
+}
+
+// Invalidate discards the validity of every cached subtree table,
+// forcing the next solve to recompute the whole tree. Demand edits
+// through SetDemand/SetClientRequests and constraint edits through the
+// Constraints setters are detected automatically and do not need it.
+func (s *QoSSolver) Invalidate() { s.track.invalidate() }
+
+// Stats profiles the most recent completed solve: how many of the
+// tree's node tables it actually recomputed.
+func (s *QoSSolver) Stats() SolveStats {
+	return SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
 }
 
 // Solve runs the dynamic program for capacity W under constraints c
@@ -131,9 +172,19 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 		dst.Reset()
 	}
 	s.w, s.c = W, c
+
+	// Demands dirty their ancestor chain; a different capacity or
+	// constraint set reshapes every table. Constraint identity is the
+	// pointer plus its mutation generation, so in-place edits between
+	// solves are caught too.
+	s.track.mark(t, W != s.lastW || c != s.lastC || c.Generation() != s.lastCGen)
+	s.track.propagate(t)
+
 	s.ints.reset()
-	s.bytes.reset()
 	s.run()
+
+	s.lastW, s.lastC, s.lastCGen = W, c, c.Generation()
+	s.track.commit(t)
 
 	root := t.Root()
 	rootTab := s.tabs[root] // width 1: the root sits at depth 0
@@ -163,7 +214,12 @@ func (s *QoSSolver) tabRows(j int) int { return max(s.t.Depth(j)-1, 0) + 1 }
 
 func (s *QoSSolver) run() {
 	t := s.t
+	s.recomputed = 0
 	for _, j := range t.PostOrder() {
+		if !s.track.dirty[j] {
+			continue
+		}
+		s.recomputed++
 		D := t.Depth(j)
 		kids := t.Children(j)
 		accRows := D + 1 // child requirements live in 0..D
@@ -187,9 +243,11 @@ func (s *QoSSolver) run() {
 				next[i] = qInf
 			}
 			// Stale split cells are never read: build only follows
-			// cells whose next value was written this solve, and every
-			// value write refreshes its split.
-			spl := s.ints.alloc((sz + csz + 1) * accRows)
+			// cells whose next value was written when the parent's
+			// table was last rebuilt, and every value write refreshes
+			// its split.
+			s.splits[child] = grown(s.splits[child], (sz+csz+1)*accRows)
+			spl := s.splits[child]
 			for r1 := 0; r1 <= sz; r1++ {
 				for r2 := 0; r2 <= csz; r2++ {
 					o := (r1 + r2) * accRows
@@ -207,7 +265,6 @@ func (s *QoSSolver) run() {
 				}
 			}
 			acc = next
-			s.splits[child] = spl
 			sz += csz
 		}
 		s.size[j] = sz + 1
@@ -223,8 +280,9 @@ func (s *QoSSolver) run() {
 		}
 
 		rows := s.tabRows(j)
-		tab := s.ints.alloc((s.size[j] + 1) * rows)
-		ch := s.bytes.alloc((s.size[j] + 1) * rows)
+		s.tabs[j] = grown(s.tabs[j], (s.size[j]+1)*rows)
+		s.choices[j] = grown(s.choices[j], (s.size[j]+1)*rows)
+		tab, ch := s.tabs[j], s.choices[j]
 		for r := 0; r <= s.size[j]; r++ {
 			o := r * rows
 			for L := 0; L < rows; L++ {
@@ -259,8 +317,6 @@ func (s *QoSSolver) run() {
 				ch[o] = qEscape
 			}
 		}
-		s.tabs[j] = tab
-		s.choices[j] = ch
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"replicatree/internal/cost"
 	"replicatree/internal/tree"
@@ -24,14 +25,20 @@ const maxReferenceNodes = 48
 // against it, and BenchmarkAblationPaperReference quantifies what the
 // subtree-bounded tables and back-pointer reconstruction buy.
 //
-// Two conscious repairs of the printed pseudo-code, both documented in
-// DESIGN.md: a request vector entry distinguishes "no server" (-1)
-// from "server with zero load" (0), where Algorithm 4's reconstruction
-// (req > 0) would silently drop zero-load servers its own scan had
-// priced; and like the paper (but unlike the optimised MinCost), a
-// pre-existing root with zero traversing requests is never kept, so
-// the two implementations are only compared for delete <= 1 where that
-// branch cannot win.
+// Three conscious repairs of the printed pseudo-code: a request vector
+// entry distinguishes "no server" (-1) from "server with zero load"
+// (0), where Algorithm 4's reconstruction (req > 0) would silently
+// drop zero-load servers its own scan had priced; like the paper (but
+// unlike the optimised MinCost), a pre-existing root with zero
+// traversing requests is never kept, so the two implementations are
+// only compared for delete <= 1 where that branch cannot win; and
+// Algorithm 4's running minimum starts at infinity rather than the
+// paper's N·(1+create+delete) seed — the seed is a valid upper bound
+// on the optimal cost but not a strict one (equip every node: exactly
+// N servers, N−E creations, E deletions ≥ the optimum), so a strict
+// less-than against it rejects every candidate whenever the optimum
+// attains the bound (e.g. any tree whose only solution equips all
+// nodes, with delete = 0) and misreports the instance as infeasible.
 func MinCostPaperReference(t *tree.Tree, existing *tree.Replicas, W int, c cost.Simple) (*MinCostResult, error) {
 	if existing == nil {
 		existing = tree.NewReplicas(t.N())
@@ -218,7 +225,7 @@ func (r *refDP) merge(j, i int) {
 func (r *refDP) replicaUpdate(c cost.Simple) (*MinCostResult, error) {
 	root := r.t.Root()
 	rootPre := r.existing.Has(root)
-	cmin := float64(r.t.N()) * (1 + c.Create + c.Delete)
+	cmin := math.Inf(1) // see the repair note: the paper's seed bound is not strict
 	bestE, bestN := -1, -1
 	bestServers, bestReused := 0, 0
 	placeRoot := false

@@ -94,6 +94,27 @@ func TestQuickPaperReferenceAgreesWithOptimised(t *testing.T) {
 	}
 }
 
+// TestPaperReferenceCostAtSeedBound pins the third pseudo-code repair:
+// when the optimal cost exactly attains the paper's N·(1+create+delete)
+// initialisation bound of Algorithm 4, the scan must still return it
+// instead of reporting infeasibility. A clientful single node with no
+// pre-existing servers and delete = 0 costs exactly 1 + create — the
+// bound — and previously came back as ErrInfeasible (caught by
+// TestQuickPaperReferenceAgreesWithOptimised at quick seeds
+// 0xbf66953e8ea1ff7b and 0xc05909af978c13c4).
+func TestPaperReferenceCostAtSeedBound(t *testing.T) {
+	b := tree.NewBuilder()
+	b.AddClient(0, 5)
+	tr := b.MustBuild()
+	res, err := MinCostPaperReference(tr, nil, 12, cost.Simple{Create: 1.6})
+	if err != nil {
+		t.Fatalf("cost-at-bound instance reported infeasible: %v", err)
+	}
+	if !almost(res.Cost, 2.6) || !res.Placement.Has(0) {
+		t.Fatalf("cost-at-bound instance solved as %+v", res)
+	}
+}
+
 // TestPaperReferenceZeroLoadServer pins the pseudo-code repair: a
 // reused server carrying zero requests must survive reconstruction.
 func TestPaperReferenceZeroLoadServer(t *testing.T) {

@@ -18,11 +18,17 @@ import (
 // placement, each taking its own previous placement as the pre-existing
 // servers.
 type Exp2Config struct {
-	Trees   int
-	Gen     tree.GenConfig
-	W       int
-	Steps   int
-	Cost    cost.Simple
+	Trees int
+	Gen   tree.GenConfig
+	W     int
+	Steps int
+	Cost  cost.Simple
+	// Drift, when in (0, 1), redraws each client's demand with that
+	// probability per step instead of the paper's full redraw (0 or 1
+	// keeps the paper's Experiment 2 behaviour). Smaller drifts leave
+	// most subtree tables valid, so the incremental solver recomputes
+	// only the dirty ancestor chains of the changed clients.
+	Drift   float64
 	Seed    uint64
 	Workers int
 }
@@ -61,6 +67,9 @@ func (c Exp2Config) validate() error {
 	if c.Trees <= 0 || c.Steps <= 0 {
 		return fmt.Errorf("exper: Trees = %d, Steps = %d", c.Trees, c.Steps)
 	}
+	if c.Drift < 0 || c.Drift > 1 {
+		return fmt.Errorf("exper: Drift = %v out of [0,1]", c.Drift)
+	}
 	if err := c.Cost.Validate(); err != nil {
 		return err
 	}
@@ -81,16 +90,23 @@ func RunExp2(cfg Exp2Config) (*Exp2Result, error) {
 	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
-		// One arena-backed solver per tree, reused across every update
-		// step; the previous step's placement and the next one
-		// double-buffer so the DP never writes the set it is reading.
+		// One arena-backed solver per tree. Each step mutates demands
+		// in place (through the generation-stamping mutators) and
+		// re-solves incrementally: only the dirty ancestor chains of
+		// changed clients and of placement diffs are recomputed. The
+		// previous step's placement and the next one double-buffer so
+		// the DP never writes the set it is reading.
 		solver := core.NewMinCostSolver(t)
 		exDP := tree.ReplicasOf(t) // no pre-existing servers initially
 		nextDP := tree.ReplicasOf(t)
 		exGR := tree.ReplicasOf(t)
 		out := treeOut{dp: make([]int, cfg.Steps), gr: make([]int, cfg.Steps)}
 		for s := 0; s < cfg.Steps; s++ {
-			tree.RedrawRequests(t, cfg.Gen, src)
+			if cfg.Drift > 0 && cfg.Drift < 1 {
+				tree.DriftRequests(t, cfg.Gen, cfg.Drift, src)
+			} else {
+				tree.RedrawRequests(t, cfg.Gen, src)
+			}
 			res, err := solver.SolveInto(exDP, cfg.W, cfg.Cost, nextDP)
 			if err != nil {
 				return treeOut{err: fmt.Errorf("exper: tree %d step %d: %w", i, s, err)}

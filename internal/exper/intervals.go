@@ -148,6 +148,9 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 			engine := tree.NewEngine(t)
 			// One arena-backed solver per strategy replay; the current
 			// placement and a spare set double-buffer across updates.
+			// Drift steps mutate demands in place through SetDemand, so
+			// a re-solve after k changed clients recomputes only their
+			// dirty ancestor chains, not the whole tree.
 			solver := core.NewMinCostSolver(t)
 			init, err := solver.Solve(nil, cfg.W, cfg.Cost)
 			if err != nil {
@@ -159,9 +162,7 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 			a := &res[si]
 			for s := 0; s < cfg.Horizon; s++ {
 				for _, ch := range trace[s] {
-					reqs := append([]int(nil), t.Clients(ch.node)...)
-					reqs[ch.idx] = ch.value
-					t.SetClientRequests(ch.node, reqs)
+					t.SetDemand(ch.node, ch.idx, ch.value)
 				}
 				scheduled := k > 0 && s%k == 0
 				invalid := engine.ValidateUniform(placement, tree.PolicyClosest, cfg.W) != nil

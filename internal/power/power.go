@@ -71,6 +71,21 @@ func (m Model) Validate() error {
 // M returns the number of modes.
 func (m Model) M() int { return len(m.Caps) }
 
+// Equal reports whether two models describe the same mode capacities
+// and power function. The incremental power solver uses it to decide
+// whether its cached subtree tables survive a model swap.
+func (m Model) Equal(o Model) bool {
+	if len(m.Caps) != len(o.Caps) || m.Static != o.Static || m.Alpha != o.Alpha {
+		return false
+	}
+	for i := range m.Caps {
+		if m.Caps[i] != o.Caps[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxCap returns W_M, the capacity of the fastest mode.
 func (m Model) MaxCap() int { return m.Caps[len(m.Caps)-1] }
 

@@ -84,10 +84,11 @@ func newRawBuilder(n int) *rawBuilder {
 func (rb *rawBuilder) finish() (*Tree, error) {
 	n := len(rb.parent)
 	t := &Tree{
-		parent:   rb.parent,
-		children: make([][]int, n),
-		clients:  rb.clients,
-		depth:    make([]int, n),
+		parent:    rb.parent,
+		children:  make([][]int, n),
+		clients:   rb.clients,
+		depth:     make([]int, n),
+		demandGen: make([]uint64, n),
 	}
 	for j := 1; j < n; j++ {
 		p := t.parent[j]

@@ -28,6 +28,7 @@ const NoBandwidthLimit = -1
 type Constraints struct {
 	qos [][]int // per node, aligned with Tree.Clients(j); nil list = all unbounded
 	bw  []int   // capacity of the link j -> parent(j); entry 0 (the root) is unused
+	gen uint64  // mutation counter, advanced by every effective setter call
 }
 
 // NewConstraints returns an all-unbounded constraint set sized for t.
@@ -67,7 +68,10 @@ func (c *Constraints) SetQoS(j, k, q int) {
 	if q < 0 {
 		q = 0
 	}
-	c.qos[j][k] = q
+	if c.qos[j][k] != q {
+		c.qos[j][k] = q
+		c.gen++
+	}
 }
 
 // SetUniformQoS bounds every client of t to q hops (q <= 0 removes all
@@ -99,7 +103,21 @@ func (c *Constraints) SetBandwidth(j, bw int) {
 	if bw < 0 {
 		bw = NoBandwidthLimit
 	}
-	c.bw[j] = bw
+	if c.bw[j] != bw {
+		c.bw[j] = bw
+		c.gen++
+	}
+}
+
+// Generation returns a counter advanced by every setter call that
+// changed a bound. Caches keyed on a constraint set (for example
+// core.QoSSolver's per-node tables) compare it to detect out-of-band
+// mutations between solves; a nil set reports generation 0.
+func (c *Constraints) Generation() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.gen
 }
 
 // SetUniformBandwidth caps every non-root link at bw requests (negative

@@ -117,14 +117,33 @@ func MustGenerate(cfg GenConfig, src *rng.Source) *Tree {
 // RedrawRequests re-draws the request count of every existing client
 // uniformly in [cfg.ReqMin, cfg.ReqMax], keeping the set of clients
 // fixed. This is the per-step mutation of the paper's Experiment 2
-// ("we update the number of requests per client").
+// ("we update the number of requests per client"). Mutations go through
+// SetDemand, so only nodes whose demand actually changed advance their
+// generation and dirty the incremental solvers' caches.
 func RedrawRequests(t *Tree, cfg GenConfig, src *rng.Source) {
 	for j := 0; j < t.N(); j++ {
-		cl := t.clients[j]
-		for i := range cl {
-			cl[i] = src.Between(cfg.ReqMin, cfg.ReqMax)
+		for i := range t.Clients(j) {
+			t.SetDemand(j, i, src.Between(cfg.ReqMin, cfg.ReqMax))
 		}
 	}
+}
+
+// DriftRequests re-draws each client's demand independently with
+// probability prob (uniformly in [cfg.ReqMin, cfg.ReqMax]), returning
+// the number of demands that actually changed. With prob = 1 it is
+// RedrawRequests; smaller probabilities model the gentle per-step drift
+// of the Section 6 update-interval study, where incremental re-solves
+// touch only the dirty ancestor chains.
+func DriftRequests(t *Tree, cfg GenConfig, prob float64, src *rng.Source) int {
+	changed := 0
+	for j := 0; j < t.N(); j++ {
+		for i := range t.Clients(j) {
+			if src.Bool(prob) && t.SetDemand(j, i, src.Between(cfg.ReqMin, cfg.ReqMax)) {
+				changed++
+			}
+		}
+	}
+	return changed
 }
 
 // RandomReplicas equips count distinct random nodes, each at a mode drawn

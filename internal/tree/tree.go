@@ -31,18 +31,28 @@ package tree
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Tree is an immutable-topology distribution tree. Request counts are
-// mutable through SetClientRequests (used by the dynamic-update
-// experiments); the topology is fixed at Build time, matching the paper's
-// fixed-network assumption.
+// mutable through SetDemand and SetClientRequests (used by the
+// dynamic-update experiments); the topology is fixed at Build time,
+// matching the paper's fixed-network assumption.
+//
+// Every demand mutation stamps the touched node with a fresh generation
+// from a tree-local clock (see DemandGen). The arena-backed DP solvers
+// in internal/core compare these stamps against the generation they
+// last folded into each node's cached subtree table, which is what lets
+// them recompute only the dirty ancestor chains of changed clients.
 type Tree struct {
 	parent   []int   // parent[j] is the parent id of node j; -1 for the root
 	children [][]int // internal-node children, ascending id order
 	clients  [][]int // request count of each client attached to node j
 	post     []int   // post-order traversal: children before parents
 	depth    []int   // depth[j], root has depth 0
+
+	clock     uint64   // monotone demand-mutation counter
+	demandGen []uint64 // demandGen[j] is the clock value of node j's last mutation
 }
 
 // N returns the number of internal nodes.
@@ -74,9 +84,56 @@ func (t *Tree) ClientSum(j int) int {
 
 // SetClientRequests replaces the request counts of the clients attached to
 // node j. The number of clients at j may change; the topology of internal
-// nodes does not.
+// nodes does not. The node's demand generation advances unless the new
+// list equals the old one. Single-client edits in hot loops should use
+// SetDemand, which mutates in place without allocating.
 func (t *Tree) SetClientRequests(j int, reqs []int) {
+	// A caller may (against Clients' contract) mutate the returned
+	// internal slice in place and pass it back here; comparing it
+	// against itself would skip the stamp and leave solver caches
+	// stale, so aliased input always stamps.
+	cur := t.clients[j]
+	aliased := len(reqs) > 0 && len(cur) > 0 && &reqs[0] == &cur[0]
+	if !aliased && slices.Equal(cur, reqs) {
+		return
+	}
 	t.clients[j] = append([]int(nil), reqs...)
+	t.touch(j)
+}
+
+// SetDemand sets the request count of the k-th client of node j,
+// reporting whether the value actually changed. A changed value
+// advances the node's demand generation (see DemandGen); setting the
+// current value is a no-op and leaves caches warm. It panics on a
+// negative count or an out-of-range client index, mirroring the
+// builder's contract for driver code.
+func (t *Tree) SetDemand(j, k, reqs int) bool {
+	if reqs < 0 {
+		panic(fmt.Sprintf("tree: SetDemand with negative requests %d", reqs))
+	}
+	cl := t.clients[j]
+	if k < 0 || k >= len(cl) {
+		panic(fmt.Sprintf("tree: SetDemand(%d, %d): node has %d clients", j, k, len(cl)))
+	}
+	if cl[k] == reqs {
+		return false
+	}
+	cl[k] = reqs
+	t.touch(j)
+	return true
+}
+
+// DemandGen returns the demand generation of node j: a value that
+// strictly increases every time one of j's client demands changes.
+// Solvers cache it per node to detect which subtrees went stale since
+// their last solve. Generations are local to one tree (clones restart
+// the comparison base by copying both stamps and clock).
+func (t *Tree) DemandGen(j int) uint64 { return t.demandGen[j] }
+
+// touch stamps node j with a fresh demand generation.
+func (t *Tree) touch(j int) {
+	t.clock++
+	t.demandGen[j] = t.clock
 }
 
 // PostOrder returns a traversal in which every node appears after all of
@@ -157,11 +214,13 @@ func (t *Tree) IsAncestor(a, d int) bool {
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
 	c := &Tree{
-		parent:   append([]int(nil), t.parent...),
-		children: make([][]int, len(t.children)),
-		clients:  make([][]int, len(t.clients)),
-		post:     append([]int(nil), t.post...),
-		depth:    append([]int(nil), t.depth...),
+		parent:    append([]int(nil), t.parent...),
+		children:  make([][]int, len(t.children)),
+		clients:   make([][]int, len(t.clients)),
+		post:      append([]int(nil), t.post...),
+		depth:     append([]int(nil), t.depth...),
+		clock:     t.clock,
+		demandGen: append([]uint64(nil), t.demandGen...),
 	}
 	for j := range t.children {
 		c.children[j] = append([]int(nil), t.children[j]...)

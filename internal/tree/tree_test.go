@@ -145,6 +145,64 @@ func TestSetClientRequests(t *testing.T) {
 	}
 }
 
+func TestDemandGenerations(t *testing.T) {
+	tr := paperTree(0)
+	tr.SetClientRequests(0, []int{1, 2, 3})
+	g := tr.DemandGen(0)
+
+	// SetDemand: a real change stamps, a no-op does not.
+	if !tr.SetDemand(0, 1, 7) || tr.DemandGen(0) <= g {
+		t.Fatalf("SetDemand change did not stamp: gen %d -> %d", g, tr.DemandGen(0))
+	}
+	g = tr.DemandGen(0)
+	if tr.SetDemand(0, 1, 7) || tr.DemandGen(0) != g {
+		t.Fatal("SetDemand no-op stamped")
+	}
+
+	// SetClientRequests: an equal fresh slice is a no-op...
+	tr.SetClientRequests(0, []int{1, 7, 3})
+	if tr.DemandGen(0) != g {
+		t.Fatal("equal SetClientRequests stamped")
+	}
+	// ...but the tree's own slice mutated in place (against Clients'
+	// contract) must stamp: self-comparison cannot detect the change.
+	own := tr.Clients(0)
+	own[0] = 42
+	tr.SetClientRequests(0, own)
+	if tr.DemandGen(0) <= g || tr.ClientSum(0) != 42+7+3 {
+		t.Fatalf("aliased SetClientRequests skipped the stamp (gen %d, sum %d)", tr.DemandGen(0), tr.ClientSum(0))
+	}
+
+	// Clones carry the stamps and diverge independently.
+	g = tr.DemandGen(0)
+	cl := tr.Clone()
+	if cl.DemandGen(0) != g {
+		t.Fatalf("clone lost demand gen: %d != %d", cl.DemandGen(0), g)
+	}
+	cl.SetDemand(0, 0, 1)
+	if tr.DemandGen(0) != g {
+		t.Fatal("clone mutation stamped the original")
+	}
+}
+
+func TestSetDemandPanicsOnBadInput(t *testing.T) {
+	tr := paperTree(0)
+	tr.SetClientRequests(0, []int{1})
+	for name, f := range map[string]func(){
+		"negative":     func() { tr.SetDemand(0, 0, -1) },
+		"out-of-range": func() { tr.SetDemand(0, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestMaxClientSum(t *testing.T) {
 	tr := paperTree(2)
 	if got := tr.MaxClientSum(); got != 7 {

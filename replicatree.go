@@ -117,21 +117,32 @@ type (
 	// MinCostResult is an optimal MinCost-WithPre solution.
 	MinCostResult = core.MinCostResult
 	// MinCostSolver is the reusable, arena-backed MinCost solver for
-	// one tree: steady-state SolveInto calls allocate nothing. One
+	// one tree: steady-state SolveInto calls allocate nothing, and
+	// solves are incremental — demand edits through Tree.SetDemand and
+	// pre-existing set changes recompute only the dirty ancestor
+	// chains (Reset rebinds the solver across trees; Invalidate forces
+	// a full recompute; Stats reports the work of the last solve). One
 	// solver per goroutine.
 	MinCostSolver = core.MinCostSolver
 	// PowerProblem is a MinPower(-BoundedCost) instance.
 	PowerProblem = core.PowerProblem
 	// PowerDP is the reusable, arena-backed MinPower-BoundedCost
 	// solver for one tree; the PowerSolver it returns stays valid
-	// until its next Solve. One solver per goroutine.
+	// until its next Solve. Like MinCostSolver it re-solves
+	// incrementally under demand and pre-existing mode changes. One
+	// solver per goroutine.
 	PowerDP = core.PowerDP
 	// PowerSolver answers every cost bound from one dynamic-program
 	// run.
 	PowerSolver = core.PowerSolver
 	// QoSSolver is the reusable, arena-backed constrained
-	// replica-counting solver for one tree. One solver per goroutine.
+	// replica-counting solver for one tree; it re-solves incrementally
+	// under demand edits and detects constraint mutations through
+	// Constraints.Generation. One solver per goroutine.
 	QoSSolver = core.QoSSolver
+	// SolveStats profiles a reusable solver's most recent solve: how
+	// many node tables the incremental re-solve actually rebuilt.
+	SolveStats = core.SolveStats
 	// PowerResult is an optimal placement with its cost and power.
 	PowerResult = core.PowerResult
 	// ParetoPoint is one non-dominated (cost, power) trade-off.
@@ -213,6 +224,11 @@ var (
 	RandomReplicas = tree.RandomReplicas
 	// RedrawRequests re-draws every client's demand (Experiment 2).
 	RedrawRequests = tree.RedrawRequests
+	// DriftRequests re-draws each client's demand with a probability,
+	// the gentle-drift mutation of the update-interval study. Both
+	// mutators stamp demand generations (see Tree.SetDemand), so warm
+	// solvers re-solve incrementally afterwards.
+	DriftRequests = tree.DriftRequests
 
 	// Flows evaluates closest-policy request flows for a placement.
 	Flows = tree.Flows
