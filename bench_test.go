@@ -385,7 +385,13 @@ func BenchmarkIncrementalResolve(b *testing.B) {
 		dp := core.NewPowerDP(t)
 		prob := core.PowerProblem{Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost()}
 		dst := tree.ReplicasOf(t)
-		for warm := 0; warm < 2; warm++ {
+		// Warm through the drift cycle itself (both demand parities),
+		// so the measured steps re-visit table states whose retained
+		// root-block fronts have already grown to size.
+		for warm := 0; warm < 4; warm++ {
+			for _, j := range nodes {
+				t.SetDemand(j, 0, 1+warm%2)
+			}
 			if _, err := dp.Solve(prob); err != nil {
 				b.Fatal(err)
 			}
@@ -406,6 +412,137 @@ func BenchmarkIncrementalResolve(b *testing.B) {
 		}
 	})
 
+}
+
+// BenchmarkRootScanReuse isolates the power DP's delta-priced root
+// scan: a warm PowerDP re-solving under alternating cost models. The
+// cost model invalidates no subtree table, so every iteration pays
+// exactly one full root re-price (plus the Pareto merge of the block
+// fronts) and no merge work at all — SolveStats shows Recomputed == 0
+// with RootCellsRepriced == the root-table size. Must report 0
+// allocs/op (CI zero-alloc gate).
+func BenchmarkRootScanReuse(b *testing.B) {
+	src := replicatree.NewRNG(4)
+	t := tree.MustGenerate(tree.PowerConfig(50), src)
+	existing, _ := tree.RandomReplicas(t, 5, 2, src)
+	dp := core.NewPowerDP(t)
+	alt := exper.Exp3Cost()
+	for i := range alt.Create {
+		alt.Create[i] += 0.25
+	}
+	probs := [2]core.PowerProblem{
+		{Existing: existing, Power: exper.Exp3Power(), Cost: exper.Exp3Cost()},
+		{Existing: existing, Power: exper.Exp3Power(), Cost: alt},
+	}
+	// An even warm count leaves the solver on probs[1], so iteration 0
+	// (probs[0]) swaps the cost model — every measured iteration prices
+	// the full root table rather than hitting the skip-scan path.
+	for warm := 0; warm < 4; warm++ {
+		if _, err := dp.Solve(probs[warm%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Solve(probs[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPooledSweep times the per-worker solver-pool pattern the
+// sweep runners use: one warm solver rebound across a cycle of
+// same-shaped trees via Reset. Once the retained buffers cover every
+// tree in the cycle, a Reset + full solve allocates nothing — the
+// steady state par.MapPooled buys RunExp1-RunExp3 and RunQoSCompare
+// (CI zero-alloc gate).
+func BenchmarkPooledSweep(b *testing.B) {
+	const cycle = 4
+
+	b.Run("mincost", func(b *testing.B) {
+		src := replicatree.NewRNG(11)
+		trees := make([]*tree.Tree, cycle)
+		existing := make([]*tree.Replicas, cycle)
+		for i := range trees {
+			trees[i] = tree.MustGenerate(tree.FatConfig(100), src)
+			existing[i], _ = tree.RandomReplicas(trees[i], 25, 1, src)
+		}
+		solver := core.NewMinCostSolver(trees[0])
+		dst := tree.ReplicasOf(trees[0])
+		for warm := 0; warm < 2*cycle; warm++ {
+			solver.Reset(trees[warm%cycle])
+			if _, err := solver.SolveInto(existing[warm%cycle], 10, exper.Exp1Cost(), dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			solver.Reset(trees[i%cycle])
+			if _, err := solver.SolveInto(existing[i%cycle], 10, exper.Exp1Cost(), dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("qos", func(b *testing.B) {
+		src := replicatree.NewRNG(12)
+		trees := make([]*tree.Tree, cycle)
+		cons := make([]*tree.Constraints, cycle)
+		for i := range trees {
+			trees[i] = tree.MustGenerate(tree.FatConfig(100), src)
+			cons[i] = tree.NewConstraints(trees[i])
+			cons[i].SetUniformQoS(trees[i], 4)
+		}
+		solver := core.NewQoSSolver(trees[0])
+		dst := tree.ReplicasOf(trees[0])
+		for warm := 0; warm < 2*cycle; warm++ {
+			solver.Reset(trees[warm%cycle])
+			if _, err := solver.Solve(10, cons[warm%cycle], dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			solver.Reset(trees[i%cycle])
+			if _, err := solver.Solve(10, cons[i%cycle], dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("power", func(b *testing.B) {
+		src := replicatree.NewRNG(13)
+		trees := make([]*tree.Tree, cycle)
+		probs := make([]core.PowerProblem, cycle)
+		for i := range trees {
+			trees[i] = tree.MustGenerate(tree.PowerConfig(30), src)
+			ex, _ := tree.RandomReplicas(trees[i], 4, 2, src)
+			probs[i] = core.PowerProblem{Existing: ex, Power: exper.Exp3Power(), Cost: exper.Exp3Cost()}
+		}
+		dp := core.NewPowerDP(trees[0])
+		dst := tree.ReplicasOf(trees[0])
+		for warm := 0; warm < 2*cycle; warm++ {
+			dp.Reset(trees[warm%cycle])
+			if _, err := dp.Solve(probs[warm%cycle]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dp.Reset(trees[i%cycle])
+			solver, err := dp.Solve(probs[i%cycle])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := solver.BestInto(math.Inf(1), dst); !ok {
+				b.Fatal("no solution")
+			}
+		}
+	})
 }
 
 // BenchmarkExp2DriftStep times one full Experiment 2 drift step on a

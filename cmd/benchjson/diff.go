@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strings"
 )
 
@@ -32,8 +33,31 @@ func pct(old, new float64) float64 {
 	return (new/old - 1) * 100
 }
 
+// diffConfig carries the regression thresholds of one diff run. The
+// base ns tolerance/floor applies to every benchmark; names matching
+// the optional stable regex — benchmarks CI measures with a longer
+// -benchtime, so their timings are far less noisy — are held to the
+// tighter stableNsTol above the (lower) stableMinNs floor instead.
+type diffConfig struct {
+	nsTol    float64
+	allocTol float64
+	minNs    float64
+
+	stable      *regexp.Regexp
+	stableNsTol float64
+	stableMinNs float64
+}
+
+// nsGate returns the ns tolerance and noise floor applying to name.
+func (c diffConfig) nsGate(name string) (tol, floor float64) {
+	if c.stable != nil && c.stable.MatchString(name) {
+		return c.stableNsTol, c.stableMinNs
+	}
+	return c.nsTol, c.minNs
+}
+
 // diffRun loads two trajectory files and compares them; see diffFiles.
-func diffRun(oldPath, newPath string, nsTol, allocTol, minNs float64, w io.Writer) error {
+func diffRun(oldPath, newPath string, cfg diffConfig, w io.Writer) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return fmt.Errorf("baseline %s: %w", oldPath, err)
@@ -42,7 +66,7 @@ func diffRun(oldPath, newPath string, nsTol, allocTol, minNs float64, w io.Write
 	if err != nil {
 		return fmt.Errorf("candidate %s: %w", newPath, err)
 	}
-	return diffFiles(oldF, newF, nsTol, allocTol, minNs, w)
+	return diffFiles(oldF, newF, cfg, w)
 }
 
 func loadFile(path string) (File, error) {
@@ -60,16 +84,19 @@ func loadFile(path string) (File, error) {
 // diffFiles prints a per-benchmark comparison of two trajectory points
 // and returns an error listing every regression:
 //
-//   - ns/op worse than old*(1+nsTol) on benchmarks whose new time is at
-//     least minNs (single-iteration smoke runs on shared CI runners are
-//     noisy; sub-floor benchmarks are reported but never fail);
+//   - ns/op worse than old*(1+tol) on benchmarks whose new time is at
+//     least the noise floor (single-iteration smoke runs on shared CI
+//     runners are noisy; sub-floor benchmarks are reported but never
+//     fail). Benchmarks matching cfg.stable use the tighter
+//     stableNsTol/stableMinNs pair — CI runs them at -benchtime=5x, so
+//     their timings support a much smaller tolerance;
 //   - allocs/op worse than old*(1+allocTol). Allocation counts are
 //     deterministic, so the default tolerance 0 fails any increase —
 //     including the 0 -> n case the zero-alloc gate cares about.
 //
 // Benchmarks present in only one file are noted but never regress, so
 // the gate survives adding or retiring benchmarks.
-func diffFiles(oldF, newF File, nsTol, allocTol, minNs float64, w io.Writer) error {
+func diffFiles(oldF, newF File, cfg diffConfig, w io.Writer) error {
 	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
 	for _, b := range oldF.Benchmarks {
 		oldBy[b.Name] = b
@@ -89,11 +116,12 @@ func diffFiles(oldF, newF File, nsTol, allocTol, minNs float64, w io.Writer) err
 			continue
 		}
 		mark := ""
+		nsTol, minNs := cfg.nsGate(nb.Name)
 		if nb.NsPerOp >= minNs && nb.NsPerOp > ob.NsPerOp*(1+nsTol) {
 			regs = append(regs, regression{nb.Name, "ns/op", ob.NsPerOp, nb.NsPerOp})
 			mark = "  << ns regression"
 		}
-		if nb.AllocsPerOp > ob.AllocsPerOp*(1+allocTol) {
+		if nb.AllocsPerOp > ob.AllocsPerOp*(1+cfg.allocTol) {
 			regs = append(regs, regression{nb.Name, "allocs/op", ob.AllocsPerOp, nb.AllocsPerOp})
 			mark += "  << alloc regression"
 		}
@@ -120,7 +148,11 @@ func diffFiles(oldF, newF File, nsTol, allocTol, minNs float64, w io.Writer) err
 		}
 		return fmt.Errorf("%d regression(s):\n  %s", len(regs), strings.Join(lines, "\n  "))
 	}
-	fmt.Fprintf(w, "no regressions (ns tolerance %+.0f%% above %v ns floor, alloc tolerance %+.0f%%)\n",
-		nsTol*100, minNs, allocTol*100)
+	fmt.Fprintf(w, "no regressions (ns tolerance %+.0f%% above %v ns floor, alloc tolerance %+.0f%%",
+		cfg.nsTol*100, cfg.minNs, cfg.allocTol*100)
+	if cfg.stable != nil {
+		fmt.Fprintf(w, "; stable tier %+.0f%% above %v ns", cfg.stableNsTol*100, cfg.stableMinNs)
+	}
+	fmt.Fprintln(w, ")")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -26,7 +27,7 @@ func TestDiffPassesWithinTolerance(t *testing.T) {
 		bench("BenchmarkB", 400_000, 12),
 	)
 	var sb strings.Builder
-	if err := diffFiles(old, new, 0.40, 0, 50_000, &sb); err != nil {
+	if err := diffFiles(old, new, diffConfig{nsTol: 0.40, minNs: 50_000}, &sb); err != nil {
 		t.Fatalf("unexpected regression: %v\n%s", err, sb.String())
 	}
 	if !strings.Contains(sb.String(), "no regressions") {
@@ -38,7 +39,7 @@ func TestDiffFailsOnInjectedNsRegression(t *testing.T) {
 	old := trajectory("old", bench("BenchmarkHot", 100_000, 0))
 	new := trajectory("new", bench("BenchmarkHot", 200_000, 0)) // +100%
 	var sb strings.Builder
-	err := diffFiles(old, new, 0.40, 0, 50_000, &sb)
+	err := diffFiles(old, new, diffConfig{nsTol: 0.40, minNs: 50_000}, &sb)
 	if err == nil {
 		t.Fatalf("injected ns regression not caught:\n%s", sb.String())
 	}
@@ -52,7 +53,7 @@ func TestDiffFailsOnAllocRegression(t *testing.T) {
 	// the cross-commit form of the zero-alloc gate.
 	old := trajectory("old", bench("BenchmarkSolverReuse", 400_000, 0))
 	new := trajectory("new", bench("BenchmarkSolverReuse", 300_000, 1))
-	err := diffFiles(old, new, 0.40, 0, 50_000, &strings.Builder{})
+	err := diffFiles(old, new, diffConfig{nsTol: 0.40, minNs: 50_000}, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("alloc regression not caught: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestDiffIgnoresNoiseBelowFloor(t *testing.T) {
 	// 80ns -> 300ns is +275%, but far below the 50µs noise floor.
 	old := trajectory("old", bench("BenchmarkTiny", 80, 0))
 	new := trajectory("new", bench("BenchmarkTiny", 300, 0))
-	if err := diffFiles(old, new, 0.40, 0, 50_000, &strings.Builder{}); err != nil {
+	if err := diffFiles(old, new, diffConfig{nsTol: 0.40, minNs: 50_000}, &strings.Builder{}); err != nil {
 		t.Fatalf("sub-floor noise failed the diff: %v", err)
 	}
 }
@@ -77,7 +78,7 @@ func TestDiffToleratesAddedAndRetiredBenchmarks(t *testing.T) {
 		bench("BenchmarkAdded", 900_000, 55),
 	)
 	var sb strings.Builder
-	if err := diffFiles(old, new, 0.40, 0, 50_000, &sb); err != nil {
+	if err := diffFiles(old, new, diffConfig{nsTol: 0.40, minNs: 50_000}, &sb); err != nil {
 		t.Fatalf("membership change failed the diff: %v", err)
 	}
 	out := sb.String()
@@ -89,11 +90,49 @@ func TestDiffToleratesAddedAndRetiredBenchmarks(t *testing.T) {
 func TestDiffAllocTolerance(t *testing.T) {
 	old := trajectory("old", bench("BenchmarkLoose", 100_000, 100))
 	new := trajectory("new", bench("BenchmarkLoose", 100_000, 109))
-	if err := diffFiles(old, new, 0.40, 0.10, 50_000, &strings.Builder{}); err != nil {
+	if err := diffFiles(old, new, diffConfig{nsTol: 0.40, allocTol: 0.10, minNs: 50_000}, &strings.Builder{}); err != nil {
 		t.Fatalf("within-tolerance alloc growth failed: %v", err)
 	}
-	if err := diffFiles(old, new, 0.40, 0.05, 50_000, &strings.Builder{}); err == nil {
+	if err := diffFiles(old, new, diffConfig{nsTol: 0.40, allocTol: 0.05, minNs: 50_000}, &strings.Builder{}); err == nil {
 		t.Fatal("alloc growth beyond tolerance passed")
+	}
+}
+
+// TestDiffStableTier checks the two-tier ns gate: benchmarks matching
+// the stable regex are held to the tight tolerance above the lower
+// floor, everything else keeps the loose smoke-run gate.
+func TestDiffStableTier(t *testing.T) {
+	cfg := diffConfig{
+		nsTol: 0.75, allocTol: 0, minNs: 100_000,
+		stable:      regexp.MustCompile(`SolverReuse|IncrementalResolve`),
+		stableNsTol: 0.30, stableMinNs: 20_000,
+	}
+	// +50% on a stable benchmark regresses under the tight tier even
+	// though the loose tier would wave it through.
+	old := trajectory("old", bench("BenchmarkMinCostSolverReuse", 400_000, 0))
+	new := trajectory("new", bench("BenchmarkMinCostSolverReuse", 600_000, 0))
+	err := diffFiles(old, new, cfg, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMinCostSolverReuse") {
+		t.Fatalf("stable-tier regression not caught: %v", err)
+	}
+	// The same +50% on a smoke-run benchmark stays within the loose gate.
+	old = trajectory("old", bench("BenchmarkFig8", 400_000, 0))
+	new = trajectory("new", bench("BenchmarkFig8", 600_000, 0))
+	if err := diffFiles(old, new, cfg, &strings.Builder{}); err != nil {
+		t.Fatalf("loose tier misapplied to a smoke benchmark: %v", err)
+	}
+	// The stable tier's lower floor gates benchmarks the loose floor
+	// would ignore (50µs-scale solver micros).
+	old = trajectory("old", bench("BenchmarkIncrementalResolve/qos/drift3", 30_000, 0))
+	new = trajectory("new", bench("BenchmarkIncrementalResolve/qos/drift3", 60_000, 0))
+	if err := diffFiles(old, new, cfg, &strings.Builder{}); err == nil {
+		t.Fatal("sub-loose-floor stable regression not caught")
+	}
+	// But genuine sub-floor noise still never fails.
+	old = trajectory("old", bench("BenchmarkFlowsSolverReuse", 1_000, 0))
+	new = trajectory("new", bench("BenchmarkFlowsSolverReuse", 3_000, 0))
+	if err := diffFiles(old, new, cfg, &strings.Builder{}); err != nil {
+		t.Fatalf("sub-stable-floor noise failed the diff: %v", err)
 	}
 }
 
@@ -114,14 +153,14 @@ func TestDiffRunEndToEnd(t *testing.T) {
 	}
 	oldPath := write("BENCH_old.json", trajectory("old", bench("BenchmarkX", 100_000, 0)))
 	newPath := write("BENCH_new.json", trajectory("new", bench("BenchmarkX", 101_000, 0)))
-	if err := diffRun(oldPath, newPath, 0.40, 0, 50_000, &strings.Builder{}); err != nil {
+	if err := diffRun(oldPath, newPath, diffConfig{nsTol: 0.40, minNs: 50_000}, &strings.Builder{}); err != nil {
 		t.Fatalf("clean end-to-end diff failed: %v", err)
 	}
 	badPath := write("BENCH_bad.json", trajectory("bad", bench("BenchmarkX", 500_000, 3)))
-	if err := diffRun(oldPath, badPath, 0.40, 0, 50_000, &strings.Builder{}); err == nil {
+	if err := diffRun(oldPath, badPath, diffConfig{nsTol: 0.40, minNs: 50_000}, &strings.Builder{}); err == nil {
 		t.Fatal("regressed end-to-end diff passed")
 	}
-	if err := diffRun(filepath.Join(dir, "missing.json"), newPath, 0.40, 0, 50_000, &strings.Builder{}); err == nil {
+	if err := diffRun(filepath.Join(dir, "missing.json"), newPath, diffConfig{nsTol: 0.40, minNs: 50_000}, &strings.Builder{}); err == nil {
 		t.Fatal("missing baseline file did not error")
 	}
 }

@@ -73,6 +73,9 @@ func main() {
 		nsTol      = flag.Float64("ns-tol", 0.40, "-diff: fractional ns/op regression tolerance (0.40 = +40%)")
 		allocTol   = flag.Float64("alloc-tol", 0, "-diff: fractional allocs/op regression tolerance (0 = any increase fails)")
 		minNs      = flag.Float64("min-ns", 50000, "-diff: ignore ns/op regressions on benchmarks faster than this floor (timer noise)")
+		stable     = flag.String("stable", "", "-diff: regex of benchmarks measured at a longer -benchtime; they use the tighter -stable-ns-tol/-stable-min-ns gate")
+		stableTol  = flag.Float64("stable-ns-tol", 0.35, "-diff: ns/op tolerance for benchmarks matching -stable")
+		stableMin  = flag.Float64("stable-min-ns", 20000, "-diff: noise floor for benchmarks matching -stable")
 	)
 	flag.Parse()
 
@@ -81,7 +84,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: benchjson -diff old.json new.json")
 			os.Exit(2)
 		}
-		if err := diffRun(flag.Arg(0), flag.Arg(1), *nsTol, *allocTol, *minNs, os.Stdout); err != nil {
+		cfg := diffConfig{nsTol: *nsTol, allocTol: *allocTol, minNs: *minNs,
+			stableNsTol: *stableTol, stableMinNs: *stableMin}
+		if *stable != "" {
+			re, err := regexp.Compile(*stable)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -stable regex:", err)
+				os.Exit(2)
+			}
+			cfg.stable = re
+		}
+		if err := diffRun(flag.Arg(0), flag.Arg(1), cfg, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -179,8 +192,12 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 // parseBenchLog extracts the benchmark results from `go test -bench`
 // output: one line per benchmark, value/unit pairs after the iteration
 // count. Non-benchmark lines (package headers, PASS/ok) are skipped.
+// When the same benchmark appears more than once — CI concatenates the
+// 1x smoke log with the -benchtime=5x re-run of the stable micros — the
+// later, higher-precision measurement supersedes the earlier one.
 func parseBenchLog(r io.Reader) ([]Benchmark, error) {
 	var out []Benchmark
+	byName := map[string]int{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -213,7 +230,12 @@ func parseBenchLog(r io.Reader) ([]Benchmark, error) {
 				b.AllocsPerOp = v
 			}
 		}
-		out = append(out, b)
+		if at, ok := byName[b.Name]; ok {
+			out[at] = b
+		} else {
+			byName[b.Name] = len(out)
+			out = append(out, b)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

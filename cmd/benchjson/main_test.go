@@ -59,6 +59,29 @@ func TestParseBenchLog(t *testing.T) {
 	}
 }
 
+// TestParseBenchLogDeduplicates pins the concatenated-log contract: CI
+// appends the -benchtime=5x stable re-run after the 1x smoke log, and
+// the later measurement must supersede the earlier one.
+func TestParseBenchLogDeduplicates(t *testing.T) {
+	log := `BenchmarkMinCostSolverReuse-8 	 1	  900000 ns/op	  128 B/op	  2 allocs/op
+BenchmarkFig4-8 	 1	 923031266 ns/op	 0 B/op	 0 allocs/op
+BenchmarkMinCostSolverReuse-8 	 5	  466828 ns/op	  0 B/op	  0 allocs/op
+`
+	benches, err := parseBenchLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (duplicate collapsed)", len(benches))
+	}
+	if benches[0].Name != "BenchmarkMinCostSolverReuse" || benches[1].Name != "BenchmarkFig4" {
+		t.Fatalf("order not preserved: %v, %v", benches[0].Name, benches[1].Name)
+	}
+	if b := benches[0]; b.Iterations != 5 || b.NsPerOp != 466828 || b.AllocsPerOp != 0 {
+		t.Fatalf("duplicate not superseded by the later line: %+v", b)
+	}
+}
+
 func TestParseBenchLogRejectsMalformedPairs(t *testing.T) {
 	if _, err := parseBenchLog(strings.NewReader("BenchmarkBroken-8 10 123 ns/op 77\n")); err == nil {
 		t.Fatal("expected an error for an odd value/unit field count")

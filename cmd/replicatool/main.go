@@ -17,6 +17,11 @@
 //	check     validate a placement against a tree
 //	drift     replay a demand-drift sequence with one incremental solver
 //
+// minpower and pareto accept -stats to include the solver's SolveStats
+// (recomputed tables, root cells scanned/repriced) in the output, and
+// drift accepts -power to replay the sequence through the incremental
+// power DP, reporting the per-step root-scan counters.
+//
 // The greedy and check subcommands accept -policy closest|upwards|multiple
 // to place and validate under the access policies of arXiv cs/0611034
 // (the exact solvers assume the closest policy), and -qos/-bw to
@@ -35,6 +40,8 @@
 //	replicatool greedy -tree tree.json -w 10 -exact
 //	replicatool check -tree tree.json -placement sol.json -qos 3
 //	replicatool drift -tree tree.json -w 10 -steps 20 -k 3
+//	replicatool drift -tree tree.json -power -caps 5,10 -steps 20 -k 3
+//	replicatool minpower -tree tree.json -caps 5,10 -stats
 package main
 
 import (
@@ -241,6 +248,7 @@ func cmdMinPower(sub string, args []string) error {
 	fs := flag.NewFlagSet(sub, flag.ExitOnError)
 	treeF, existingF, capsF, static, alpha, create, del, change := powerSetup(fs)
 	bound := fs.Float64("bound", math.Inf(1), "cost bound (minpower only; +Inf = unconstrained)")
+	stats := fs.Bool("stats", false, "include the solver's SolveStats (recomputed tables, root cells scanned/repriced) in the output")
 	fs.Parse(args)
 
 	t, err := loadTree(*treeF)
@@ -260,14 +268,25 @@ func cmdMinPower(sub string, args []string) error {
 		return err
 	}
 	cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
-	solver, err := replicatree.NewPowerDP(t).Solve(replicatree.PowerProblem{
+	dp := replicatree.NewPowerDP(t)
+	solver, err := dp.Solve(replicatree.PowerProblem{
 		Existing: existing, Power: pm, Cost: cm,
 	})
 	if err != nil {
 		return err
 	}
 
+	var st *statsOut
+	if *stats {
+		st = newStatsOut(dp.Stats())
+	}
 	if sub == "pareto" {
+		if st != nil {
+			return emit(struct {
+				Front []replicatree.ParetoPoint `json:"front"`
+				Stats *statsOut                 `json:"stats"`
+			}{solver.Front(), st})
+		}
 		return emit(solver.Front())
 	}
 	res, ok := solver.Best(*bound)
@@ -280,7 +299,25 @@ func cmdMinPower(sub string, args []string) error {
 		Cost     float64               `json:"cost"`
 		Servers  int                   `json:"servers"`
 		Replicas *replicatree.Replicas `json:"replicas"`
-	}{res.Power, res.Cost, res.Placement.Count(), res.Placement})
+		Stats    *statsOut             `json:"stats,omitempty"`
+	}{res.Power, res.Cost, res.Placement.Count(), res.Placement, st})
+}
+
+// statsOut is the JSON shape of a solver's SolveStats.
+type statsOut struct {
+	Nodes             int `json:"nodes"`
+	Recomputed        int `json:"recomputed_tables"`
+	RootCellsScanned  int `json:"root_cells_scanned"`
+	RootCellsRepriced int `json:"root_cells_repriced"`
+}
+
+func newStatsOut(st replicatree.SolveStats) *statsOut {
+	return &statsOut{
+		Nodes:             st.Nodes,
+		Recomputed:        st.Recomputed,
+		RootCellsScanned:  st.RootCellsScanned,
+		RootCellsRepriced: st.RootCellsRepriced,
+	}
 }
 
 func cmdGreedy(args []string) error {
@@ -326,22 +363,30 @@ func cmdGreedy(args []string) error {
 }
 
 // cmdDrift replays a demand-drift sequence on one tree through a single
-// warm MinCost solver: every step mutates k random client demands in
-// place (Tree.SetDemand) and re-solves incrementally, taking the
+// warm incremental solver: every step mutates k random client demands
+// in place (Tree.SetDemand) and re-solves incrementally, taking the
 // previous step's placement as the pre-existing set. The per-step
 // output shows how many of the tree's node tables the solver actually
 // rebuilt — the dirty ancestor chains — next to the reconfiguration it
-// chose.
+// chose. With -power the replay drives the MinPower-BoundedCost DP
+// instead of MinCost, and each step additionally reports how much of
+// the root table the incremental root scan re-priced
+// (root_cells_scanned / root_cells_repriced).
 func cmdDrift(args []string) error {
 	fs := flag.NewFlagSet("drift", flag.ExitOnError)
 	treeF := fs.String("tree", "", "tree JSON file")
-	w := fs.Int("w", 10, "server capacity W")
+	w := fs.Int("w", 10, "server capacity W (mincost mode)")
 	steps := fs.Int("steps", 20, "number of drift steps")
 	k := fs.Int("k", 3, "client demands redrawn per step")
 	reqMax := fs.Int("reqmax", 6, "maximum redrawn request count")
 	seed := fs.Uint64("seed", 1, "random seed for the drift sequence")
 	create := fs.Float64("create", 0.1, "creation cost")
 	del := fs.Float64("delete", 0.01, "deletion cost")
+	usePower := fs.Bool("power", false, "replay through the power DP (uses -caps/-static/-alpha/-change)")
+	capsF := fs.String("caps", "5,10", "mode capacities W_1,...,W_M (power mode)")
+	static := fs.Float64("static", 12.5, "static power P(static) (power mode)")
+	alpha := fs.Float64("alpha", 3, "dynamic power exponent (power mode)")
+	change := fs.Float64("change", 0.001, "mode change cost (power mode)")
 	fs.Parse(args)
 
 	if *steps <= 0 || *k < 0 || *reqMax < 1 {
@@ -360,35 +405,8 @@ func cmdDrift(args []string) error {
 	if len(clients) == 0 {
 		return fmt.Errorf("replicatool: the tree has no clients to drift")
 	}
-
-	c := replicatree.SimpleCost{Create: *create, Delete: *del}
-	solver := replicatree.NewMinCostSolver(t)
 	src := replicatree.NewRNG(*seed)
-	res, err := solver.Solve(nil, *w, c)
-	if err != nil {
-		return err
-	}
-	placement, spare := res.Placement, replicatree.ReplicasOf(t)
-
-	type stepOut struct {
-		Step       int     `json:"step"`
-		Changed    int     `json:"changed_demands"`
-		Recomputed int     `json:"recomputed_tables"`
-		Nodes      int     `json:"nodes"`
-		Servers    int     `json:"servers"`
-		Reused     int     `json:"reused"`
-		Cost       float64 `json:"cost"`
-	}
-	out := struct {
-		Initial int       `json:"initial_servers"`
-		Steps   []stepOut `json:"steps"`
-		// TablesRebuilt sums recomputed tables across steps; a
-		// non-incremental replay would rebuild steps × nodes.
-		TablesRebuilt int `json:"tables_rebuilt"`
-		TablesFull    int `json:"tables_full_rebuild"`
-	}{Initial: res.Servers}
-
-	for s := 1; s <= *steps; s++ {
+	drift := func() int {
 		changed := 0
 		for i := 0; i < *k; i++ {
 			pick := clients[src.IntN(len(clients))]
@@ -396,18 +414,122 @@ func cmdDrift(args []string) error {
 				changed++
 			}
 		}
+		return changed
+	}
+	if *usePower {
+		caps, err := parseCaps(*capsF)
+		if err != nil {
+			return err
+		}
+		pm, err := replicatree.NewPowerModel(caps, *static, *alpha)
+		if err != nil {
+			return err
+		}
+		cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
+		return driftPower(t, *steps, drift, pm, cm)
+	}
+
+	c := replicatree.SimpleCost{Create: *create, Delete: *del}
+	solver := replicatree.NewMinCostSolver(t)
+	res, err := solver.Solve(nil, *w, c)
+	if err != nil {
+		return err
+	}
+	placement, spare := res.Placement, replicatree.ReplicasOf(t)
+
+	out := driftOut{Initial: res.Servers}
+	for s := 1; s <= *steps; s++ {
+		changed := drift()
 		upd, err := solver.SolveInto(placement, *w, c, spare)
 		if err != nil {
 			return err
 		}
 		st := solver.Stats()
-		out.Steps = append(out.Steps, stepOut{
+		out.Steps = append(out.Steps, driftStep{
 			Step: s, Changed: changed,
 			Recomputed: st.Recomputed, Nodes: st.Nodes,
 			Servers: upd.Servers, Reused: upd.Reused, Cost: upd.Cost,
 		})
 		out.TablesRebuilt += st.Recomputed
 		out.TablesFull += st.Nodes
+		placement, spare = upd.Placement, placement
+	}
+	return emit(out)
+}
+
+type driftStep struct {
+	Step       int     `json:"step"`
+	Changed    int     `json:"changed_demands"`
+	Recomputed int     `json:"recomputed_tables"`
+	Nodes      int     `json:"nodes"`
+	Servers    int     `json:"servers"`
+	Reused     int     `json:"reused"`
+	Cost       float64 `json:"cost"`
+	// Power-mode extras: the solution's power and the incremental
+	// root-scan counters. Pointers so power mode always emits them —
+	// legitimate zeros included (a step whose redraws changed nothing
+	// skips the scan) — while mincost mode omits them entirely.
+	Power             *float64 `json:"power,omitempty"`
+	RootCellsScanned  *int     `json:"root_cells_scanned,omitempty"`
+	RootCellsRepriced *int     `json:"root_cells_repriced,omitempty"`
+}
+
+type driftOut struct {
+	Initial int         `json:"initial_servers"`
+	Steps   []driftStep `json:"steps"`
+	// TablesRebuilt sums recomputed tables across steps; a
+	// non-incremental replay would rebuild steps × nodes
+	// (tables_full_rebuild).
+	TablesRebuilt int `json:"tables_rebuilt"`
+	TablesFull    int `json:"tables_full_rebuild"`
+	// Power mode: total root cells re-priced across steps next to the
+	// total the scans covered (unchanged blocks are scanned via a cheap
+	// diff but reuse their retained Pareto fronts instead of
+	// re-pricing). Pointers so power mode always emits the totals, even
+	// when every scan was skipped.
+	RootCellsRepriced *int `json:"root_cells_repriced,omitempty"`
+	RootCellsScanned  *int `json:"root_cells_scanned,omitempty"`
+}
+
+// driftPower is cmdDrift's power-DP replay: each step re-solves the
+// MinPower-BoundedCost program incrementally, taking the previous
+// minimal-power placement (with its operating modes) as the
+// pre-existing deployment.
+func driftPower(t *replicatree.Tree, steps int, drift func() int, pm replicatree.PowerModel, cm replicatree.ModalCost) error {
+	dp := replicatree.NewPowerDP(t)
+	sol, err := dp.Solve(replicatree.PowerProblem{Power: pm, Cost: cm})
+	if err != nil {
+		return err
+	}
+	first := sol.MinPower()
+	placement, spare := first.Placement, replicatree.ReplicasOf(t)
+
+	out := driftOut{Initial: placement.Count()}
+	var totalRepriced, totalScanned int
+	out.RootCellsRepriced, out.RootCellsScanned = &totalRepriced, &totalScanned
+	for s := 1; s <= steps; s++ {
+		changed := drift()
+		sol, err := dp.Solve(replicatree.PowerProblem{Existing: placement, Power: pm, Cost: cm})
+		if err != nil {
+			return err
+		}
+		upd, ok := sol.BestInto(math.Inf(1), spare)
+		if !ok {
+			return fmt.Errorf("replicatool: drift step %d became infeasible", s)
+		}
+		st := dp.Stats()
+		power, scanned, repriced := upd.Power, st.RootCellsScanned, st.RootCellsRepriced
+		out.Steps = append(out.Steps, driftStep{
+			Step: s, Changed: changed,
+			Recomputed: st.Recomputed, Nodes: st.Nodes,
+			Servers: upd.Placement.Count(), Reused: upd.Placement.Reused(placement),
+			Cost: upd.Cost, Power: &power,
+			RootCellsScanned: &scanned, RootCellsRepriced: &repriced,
+		})
+		out.TablesRebuilt += st.Recomputed
+		out.TablesFull += st.Nodes
+		totalRepriced += st.RootCellsRepriced
+		totalScanned += st.RootCellsScanned
 		placement, spare = upd.Placement, placement
 	}
 	return emit(out)

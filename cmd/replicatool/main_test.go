@@ -136,6 +136,26 @@ func TestDriftEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDriftPowerEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,10", "-steps", "5", "-k", "1", "-seed", "3"}); err != nil {
+		t.Fatalf("drift -power: %v", err)
+	}
+	if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,x"}); err == nil {
+		t.Fatal("bad capacities accepted")
+	}
+}
+
+func TestStatsFlagEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	if err := cmdMinPower("minpower", []string{"-tree", path, "-caps", "5,10", "-stats"}); err != nil {
+		t.Fatalf("minpower -stats: %v", err)
+	}
+	if err := cmdMinPower("pareto", []string{"-tree", path, "-caps", "5,10", "-stats"}); err != nil {
+		t.Fatalf("pareto -stats: %v", err)
+	}
+}
+
 func TestPolicyFlagsEndToEnd(t *testing.T) {
 	path := writeTempTree(t)
 	for _, policy := range []string{"closest", "upwards", "multiple"} {

@@ -61,8 +61,20 @@ type SolveStats struct {
 	// Recomputed counts the nodes whose DP tables were rebuilt: equal
 	// to Nodes on a cold (or invalidated) solve, the total size of the
 	// dirty ancestor chains on an incremental one, and 0 when nothing
-	// relevant changed since the previous solve.
+	// relevant changed since the previous solve. A partially re-merged
+	// power root (see RootCellsRepriced) counts as one recomputed node.
 	Recomputed int
+	// RootCellsScanned and RootCellsRepriced profile PowerDP's
+	// incremental root scan (both stay 0 for MinCostSolver and
+	// QoSSolver). Scanned is the size of the root table the scan
+	// covered — 0 when the whole scan was skipped because neither the
+	// table nor the pricing context changed. Repriced counts the cells
+	// whose price candidates were actually recomputed: equal to Scanned
+	// on a cold scan (or after a cost-model change), and only the cells
+	// of root-table blocks whose values changed on an incremental
+	// re-solve — the rest reuse their retained block Pareto fronts.
+	RootCellsScanned  int
+	RootCellsRepriced int
 }
 
 // dirtyTracker decides, at the start of a solve, which nodes' cached

@@ -180,10 +180,30 @@ type PowerDP struct {
 	track      dirtyTracker
 	lastMode   []uint8
 	lastPower  power.Model
+	fullSolve  bool // this solve rebuilds every table (set per Solve)
 	recomputed int
 
+	// Root-scan state (minpower_root.go): retained partial root merges,
+	// the previous solve's final root table and per-block Pareto fronts
+	// for the incremental delta-priced scan, plus the pricing context
+	// those fronts were computed under.
+	rootSteps      []rootStep
+	rootRecomputed bool
+	blocks         []rootBlock
+	prevRoot       []int32
+	prevDims       []int32
+	cw, pw         []float64 // per-field cost/power weights
+	baseC          float64   // count-independent cost term (deletions)
+	totalPre       []int
+	scanOK         bool
+	scanCost       cost.Modal
+	scanPower      power.Model
+	scanMode0      uint8
+	scanPre        []int
+	rootScanned    int
+	rootRepriced   int
+
 	i32   arena[int32]
-	ints  arena[int]
 	cands []frontEntry // root-scan candidates, high-water reused
 	front []frontEntry // pruned Pareto front, high-water reused
 	sol   PowerSolver
@@ -216,19 +236,32 @@ func (d *PowerDP) Reset(t *tree.Tree) {
 	d.newCnt = grown(d.newCnt, n)
 	d.preCnt = grownKeep(d.preCnt, n)
 	d.lastMode = grown(d.lastMode, n)
+	d.rootSteps = grownKeep(d.rootSteps, len(t.Children(t.Root())))
+	d.scanOK = false
 	d.track.bind(n)
 }
 
-// Invalidate discards the validity of every cached subtree table,
-// forcing the next solve to recompute the whole tree. Demand edits
-// through SetDemand/SetClientRequests, pre-existing mode changes and
-// power-model swaps are detected automatically and do not need it.
-func (d *PowerDP) Invalidate() { d.track.invalidate() }
+// Invalidate discards the validity of every cached subtree table and
+// of the retained root-scan state, forcing the next solve to recompute
+// and re-price the whole tree like a cold solver. Demand edits through
+// SetDemand/SetClientRequests, pre-existing mode changes, power-model
+// swaps and cost-model changes are detected automatically and do not
+// need it.
+func (d *PowerDP) Invalidate() {
+	d.track.invalidate()
+	d.scanOK = false
+}
 
 // Stats profiles the most recent completed solve: how many of the
-// tree's node tables it actually recomputed.
+// tree's node tables it actually recomputed, and how much of the root
+// scan it had to re-price (see SolveStats).
 func (d *PowerDP) Stats() SolveStats {
-	return SolveStats{Nodes: d.t.N(), Recomputed: d.recomputed}
+	return SolveStats{
+		Nodes:             d.t.N(),
+		Recomputed:        d.recomputed,
+		RootCellsScanned:  d.rootScanned,
+		RootCellsRepriced: d.rootRepriced,
+	}
 }
 
 // retainShape copies a shape built from arena storage into node j's
@@ -295,7 +328,8 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	// vector does); a different power model reshapes every table. The
 	// cost model only prices the root scan below.
 	t0 := p.Tree
-	d.track.mark(t0, !p.Power.Equal(d.lastPower))
+	d.fullSolve = !p.Power.Equal(d.lastPower) || !d.track.solved
+	d.track.mark(t0, d.fullSolve)
 	for j := 0; j < t0.N(); j++ {
 		if d.lastMode[j] != p.Existing.Mode(j) {
 			d.track.markParent(t0, j)
@@ -304,7 +338,6 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	d.track.propagate(t0)
 
 	d.i32.reset()
-	d.ints.reset()
 	if err := d.run(); err != nil {
 		// A mid-tree failure (table-size overflow) has already
 		// overwritten some retained tables for the failed instance;
@@ -360,8 +393,19 @@ func (d *PowerDP) nodeDims(dims []int32, newCnt int32, preCnt []int32) {
 func (d *PowerDP) run() error {
 	t := d.prob.Tree
 	d.recomputed = 0
+	d.rootRecomputed = false
+	root := t.Root()
 
 	for _, j := range t.PostOrder() {
+		if j == root {
+			// The root keeps its partial merges across solves so a
+			// single dirty child only re-runs the merge suffix from
+			// that child onward (minpower_root.go).
+			if err := d.runRoot(); err != nil {
+				return err
+			}
+			continue
+		}
 		if !d.track.dirty[j] {
 			continue
 		}
@@ -403,21 +447,15 @@ func (d *PowerDP) run() error {
 	return nil
 }
 
-// merge folds child ch — the st-th child of j — into the accumulated
-// table of node j, updating the accumulated subtree counts in place.
-// The last merge writes straight into j's retained final table;
-// earlier ones use arena intermediates.
-func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool) ([]int32, shape, error) {
-	chShape := d.shapes[ch]
-	chVals := d.vals[ch]
-	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
-
-	outNew := *accNew + d.newCnt[ch]
+// childDims computes the accumulated subtree counts after folding child
+// ch and the resulting table shape (arena-backed).
+func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32) (int32, []int32, shape, error) {
+	outNew := accNew + d.newCnt[ch]
 	outPre := d.i32.alloc(d.M)
 	for i := range outPre {
 		outPre[i] = accPre[i] + d.preCnt[ch][i]
 	}
-	if chMode0 == 0 {
+	if chMode0 := int(d.prob.Existing.Mode(ch)); chMode0 == 0 {
 		outNew++
 	} else {
 		outPre[chMode0-1]++
@@ -425,6 +463,15 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 	outDims := d.i32.alloc(d.nf)
 	d.nodeDims(outDims, outNew, outPre)
 	outShape, err := fillShape(outDims, d.i32.alloc(d.nf))
+	return outNew, outPre, outShape, err
+}
+
+// merge folds child ch — the st-th child of j — into the accumulated
+// table of node j, updating the accumulated subtree counts in place.
+// The last merge writes straight into j's retained final table;
+// earlier ones use arena intermediates.
+func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool) ([]int32, shape, error) {
+	outNew, outPre, outShape, err := d.childDims(ch, *accNew, accPre)
 	if err != nil {
 		return nil, shape{}, err
 	}
@@ -435,6 +482,20 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 	} else {
 		out = d.i32.alloc(outShape.size)
 	}
+	d.mergeInto(j, st, ch, acc, accShape, outShape, out)
+	*accNew = outNew
+	copy(accPre, outPre)
+	return out, outShape, nil
+}
+
+// mergeInto runs the actual table merge of child ch — the st-th child
+// of j — into out (sized outShape.size), refreshing the step's
+// provenance table.
+func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape, out []int32) {
+	chShape := d.shapes[ch]
+	chVals := d.vals[ch]
+	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
+
 	for i := range out {
 		out[i] = pUnreached
 	}
@@ -469,10 +530,6 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 	} else {
 		d.mergeSequential(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
 	}
-
-	*accNew = outNew
-	copy(accPre, outPre)
-	return out, outShape, nil
 }
 
 // mergeSequential is the single-goroutine merge: first writer of the
@@ -598,96 +655,6 @@ func atomicMinUint64(addr *uint64, v uint64) {
 	}
 }
 
-// scanRoot enumerates every root cell together with the root-placement
-// options, prices each resulting global vector, and stores the Pareto
-// front in d.front ordered by ascending cost and strictly descending
-// power.
-func (d *PowerDP) scanRoot() {
-	t := d.prob.Tree
-	r := t.Root()
-	rootMode0 := int(d.prob.Existing.Mode(r))
-	sh := d.shapes[r]
-	vals := d.vals[r]
-	pm := d.prob.Power
-
-	totalPre := d.ints.alloc(d.M)
-	for i := range totalPre {
-		totalPre[i] = 0
-	}
-	for j := 0; j < t.N(); j++ {
-		if m := d.prob.Existing.Mode(j); m != tree.NoMode {
-			totalPre[m-1]++
-		}
-	}
-
-	counts := d.ints.alloc(d.nf)
-	cands := d.cands[:0]
-	evaluate := func(cell int32, rootMode uint8) {
-		c, p := d.price(counts, totalPre)
-		cands = append(cands, frontEntry{cost: c, power: p, rootCell: cell, rootMode: rootMode})
-	}
-
-	var o odometer
-	o.init(sh.dims, sh.strides, d.i32.alloc(len(sh.dims)))
-	for flat := 0; flat < sh.size; flat++ {
-		v := vals[flat]
-		if v <= d.wm {
-			for f := 0; f < d.nf; f++ {
-				counts[f] = int(o.coords[f])
-			}
-			if v == 0 {
-				evaluate(int32(flat), 0)
-			}
-			if minMode, ok := pm.ModeFor(int(v)); ok {
-				for m := minMode; m <= d.M; m++ {
-					f := d.fieldNew(m)
-					if rootMode0 != 0 {
-						f = d.fieldReuse(rootMode0, m)
-					}
-					counts[f]++
-					evaluate(int32(flat), uint8(m))
-					counts[f]--
-				}
-			}
-		}
-		o.next()
-	}
-	d.cands = cands
-	d.paretoPrune()
-}
-
-// price evaluates Equation (4) and Equation (3) on a global count
-// vector.
-func (d *PowerDP) price(counts, totalPre []int) (c, p float64) {
-	cm, pm := d.prob.Cost, d.prob.Power
-	servers := 0
-	for _, v := range counts {
-		servers += v
-	}
-	c = float64(servers)
-	for m := 1; m <= d.M; m++ {
-		nm := counts[d.fieldNew(m)]
-		c += cm.Create[m-1] * float64(nm)
-		byMode := nm
-		for i := 1; i <= d.M; i++ {
-			byMode += counts[d.fieldReuse(i, m)]
-		}
-		if byMode > 0 {
-			p += float64(byMode) * pm.NodePower(m)
-		}
-	}
-	for i := 1; i <= d.M; i++ {
-		reusedI := 0
-		for m := 1; m <= d.M; m++ {
-			e := counts[d.fieldReuse(i, m)]
-			reusedI += e
-			c += cm.Change[i-1][m-1] * float64(e)
-		}
-		c += cm.Delete[i-1] * float64(totalPre[i-1]-reusedI)
-	}
-	return c, p
-}
-
 // paretoPrune keeps the non-dominated candidates of d.cands in d.front,
 // sorted by ascending cost with strictly descending power. Costs within
 // frontEps are treated as equal so that floating-point jitter in summed
@@ -733,11 +700,19 @@ func (d *PowerDP) paretoPrune() {
 
 // Front returns the cost/power Pareto front, ascending in cost.
 func (s *PowerSolver) Front() []ParetoPoint {
-	out := make([]ParetoPoint, len(s.front))
-	for i, f := range s.front {
-		out[i] = ParetoPoint{Cost: f.cost, Power: f.power}
+	return s.FrontInto(make([]ParetoPoint, 0, len(s.front)))
+}
+
+// FrontInto is Front with a caller-owned destination slice: the front is
+// written into dst[:0] (growing it only when its capacity is too small)
+// and returned, so per-solve front reads in sweep loops stay
+// allocation-free once dst has grown to the high-water front size.
+func (s *PowerSolver) FrontInto(dst []ParetoPoint) []ParetoPoint {
+	dst = dst[:0]
+	for _, f := range s.front {
+		dst = append(dst, ParetoPoint{Cost: f.cost, Power: f.power})
 	}
-	return out
+	return dst
 }
 
 // Best returns the minimal-power solution whose cost does not exceed

@@ -126,8 +126,16 @@ func NewQoSSolver(t *tree.Tree) *QoSSolver {
 func (s *QoSSolver) Reset(t *tree.Tree) {
 	n := t.N()
 	s.t = t
-	s.eng = tree.NewEngine(t)
-	s.unconstrained = tree.NewConstraints(t)
+	if s.eng == nil {
+		s.eng = tree.NewEngine(t)
+	} else {
+		s.eng.Reset(t)
+	}
+	if s.unconstrained == nil {
+		s.unconstrained = tree.NewConstraints(t)
+	} else {
+		s.unconstrained.Reset(t)
+	}
 	s.size = grown(s.size, n)
 	s.tabs = grownKeep(s.tabs, n)
 	s.choices = grownKeep(s.choices, n)

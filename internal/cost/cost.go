@@ -10,6 +10,7 @@ package cost
 
 import (
 	"fmt"
+	"slices"
 
 	"replicatree/internal/tree"
 )
@@ -87,6 +88,22 @@ func UniformModal(modes int, create, del, change float64) Modal {
 
 // M returns the number of modes the cost model covers.
 func (c Modal) M() int { return len(c.Create) }
+
+// Equal reports whether two modal models price every action
+// identically. The incremental power solver uses it to decide whether
+// its retained root-scan fronts survive a cost-model swap.
+func (c Modal) Equal(o Modal) bool {
+	if !slices.Equal(c.Create, o.Create) || !slices.Equal(c.Delete, o.Delete) ||
+		len(c.Change) != len(o.Change) {
+		return false
+	}
+	for i := range c.Change {
+		if !slices.Equal(c.Change[i], o.Change[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Validate checks shape consistency and non-negative prices.
 func (c Modal) Validate() error {

@@ -208,3 +208,27 @@ func TestQuickModalEquationFour(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestModalEqual(t *testing.T) {
+	a := UniformModal(2, 0.1, 0.01, 0.001)
+	b := UniformModal(2, 0.1, 0.01, 0.001)
+	if !a.Equal(b) || !b.Equal(a) || !a.Equal(a) {
+		t.Fatal("identical models compare unequal")
+	}
+	c := UniformModal(2, 0.1, 0.01, 0.002)
+	if a.Equal(c) {
+		t.Fatal("different change price compares equal")
+	}
+	d := UniformModal(3, 0.1, 0.01, 0.001)
+	if a.Equal(d) {
+		t.Fatal("different mode count compares equal")
+	}
+	e := UniformModal(2, 0.1, 0.01, 0.001)
+	e.Delete[1] = 0.5
+	if a.Equal(e) {
+		t.Fatal("different delete price compares equal")
+	}
+	if (Modal{}).Equal(a) || !(Modal{}).Equal(Modal{}) {
+		t.Fatal("zero-model comparisons broken")
+	}
+}

@@ -94,17 +94,29 @@ func RunExp1(cfg Exp1Config) (*Exp1Result, error) {
 		mismatches int
 		err        error
 	}
-	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+	// One arena-backed solver per worker, rebound to each drawn tree
+	// via Reset: the whole sweep shares one warmed set of scratch and
+	// retained tables per worker instead of re-growing them per tree.
+	type state struct {
+		solver *core.MinCostSolver
+		dst    *tree.Replicas
+	}
+	outs := par.MapPooled(cfg.Trees, cfg.Workers, func() *state { return new(state) }, func(st *state, i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
 		g, err := greedy.MinReplicas(t, cfg.W)
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
-		// One arena-backed solver per tree (and so per worker
-		// goroutine): the whole E sweep reuses its scratch tables.
-		solver := core.NewMinCostSolver(t)
-		dst := tree.ReplicasOf(t)
+		if st.solver == nil {
+			st.solver = core.NewMinCostSolver(t)
+		} else {
+			st.solver.Reset(t)
+		}
+		if st.dst == nil || st.dst.N() != t.N() {
+			st.dst = tree.ReplicasOf(t)
+		}
+		solver, dst := st.solver, st.dst
 		out := treeOut{dp: make([]int, len(cfg.EValues)), gr: make([]int, len(cfg.EValues))}
 		for ei, E := range cfg.EValues {
 			existing, err := tree.RandomReplicas(t, E, 1, src)

@@ -87,19 +87,37 @@ func RunExp2(cfg Exp2Config) (*Exp2Result, error) {
 		mismatches int
 		err        error
 	}
-	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+	// One arena-backed solver per worker, rebound to each tree via
+	// Reset. Each step mutates demands in place (through the
+	// generation-stamping mutators) and re-solves incrementally: only
+	// the dirty ancestor chains of changed clients and of placement
+	// diffs are recomputed. The previous step's placement and the next
+	// one double-buffer so the DP never writes the set it is reading.
+	type state struct {
+		solver             *core.MinCostSolver
+		exDP, nextDP, exGR *tree.Replicas
+	}
+	outs := par.MapPooled(cfg.Trees, cfg.Workers, func() *state { return new(state) }, func(st *state, i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
-		// One arena-backed solver per tree. Each step mutates demands
-		// in place (through the generation-stamping mutators) and
-		// re-solves incrementally: only the dirty ancestor chains of
-		// changed clients and of placement diffs are recomputed. The
-		// previous step's placement and the next one double-buffer so
-		// the DP never writes the set it is reading.
-		solver := core.NewMinCostSolver(t)
-		exDP := tree.ReplicasOf(t) // no pre-existing servers initially
-		nextDP := tree.ReplicasOf(t)
-		exGR := tree.ReplicasOf(t)
+		if st.solver == nil {
+			st.solver = core.NewMinCostSolver(t)
+		} else {
+			st.solver.Reset(t)
+		}
+		if st.exDP == nil || st.exDP.N() != t.N() {
+			st.exDP = tree.ReplicasOf(t)
+			st.nextDP = tree.ReplicasOf(t)
+			st.exGR = tree.ReplicasOf(t)
+		} else {
+			st.exDP.Reset()
+			st.nextDP.Reset()
+			st.exGR.Reset()
+		}
+		solver := st.solver
+		exDP := st.exDP // no pre-existing servers initially
+		nextDP := st.nextDP
+		exGR := st.exGR
 		out := treeOut{dp: make([]int, cfg.Steps), gr: make([]int, cfg.Steps)}
 		for s := 0; s < cfg.Steps; s++ {
 			if cfg.Drift > 0 && cfg.Drift < 1 {

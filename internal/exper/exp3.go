@@ -86,6 +86,9 @@ type Exp3Point struct {
 // Exp3Result aggregates Experiment 3.
 type Exp3Result struct {
 	Points []Exp3Point
+	// AvgFront is the mean Pareto-front size per tree — every cost
+	// bound of a tree is answered from this one front.
+	AvgFront float64
 }
 
 func (c Exp3Config) validate() error {
@@ -119,31 +122,48 @@ func RunExp3(cfg Exp3Config) (*Exp3Result, error) {
 	}
 	type treeOut struct {
 		dpPower, grPower []float64 // per bound; 0 = not found
+		frontLen         int
 		err              error
 	}
-	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+	// One arena-backed PowerDP per worker, rebound to each tree it
+	// draws via Reset, so arena warm-up amortises across the whole
+	// sweep instead of repeating per tree; the per-worker destination
+	// set and front buffer keep the per-bound reconstructions and the
+	// front read allocation-free.
+	type state struct {
+		dp    *core.PowerDP
+		dst   *tree.Replicas
+		front []core.ParetoPoint
+	}
+	outs := par.MapPooled(cfg.Trees, cfg.Workers, func() *state { return new(state) }, func(st *state, i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
 		existing, err := tree.RandomReplicas(t, cfg.Pre, cfg.Power.M(), src)
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
-		// The arena-backed DP runs once per tree; its root table then
-		// answers every bound, and the reused destination set keeps the
-		// per-bound reconstructions allocation-free.
-		solver, err := core.NewPowerDP(t).Solve(core.PowerProblem{
+		if st.dp == nil {
+			st.dp = core.NewPowerDP(t)
+		} else {
+			st.dp.Reset(t)
+		}
+		if st.dst == nil || st.dst.N() != t.N() {
+			st.dst = tree.ReplicasOf(t)
+		}
+		solver, err := st.dp.Solve(core.PowerProblem{
 			Existing: existing, Power: cfg.Power, Cost: cfg.Cost,
 		})
 		if err != nil {
 			return treeOut{err: fmt.Errorf("exper: tree %d: %w", i, err)}
 		}
-		dst := tree.ReplicasOf(t)
+		st.front = solver.FrontInto(st.front)
 		out := treeOut{
-			dpPower: make([]float64, len(cfg.Bounds)),
-			grPower: make([]float64, len(cfg.Bounds)),
+			dpPower:  make([]float64, len(cfg.Bounds)),
+			grPower:  make([]float64, len(cfg.Bounds)),
+			frontLen: len(st.front),
 		}
 		for bi, bound := range cfg.Bounds {
-			if res, ok := solver.BestInto(bound, dst); ok {
+			if res, ok := solver.BestInto(bound, st.dst); ok {
 				out.dpPower[bi] = res.Power
 			}
 			gr, err := greedy.PowerSweep(t, existing, cfg.Power, cfg.Cost, bound)
@@ -158,13 +178,17 @@ func RunExp3(cfg Exp3Config) (*Exp3Result, error) {
 	})
 
 	res := &Exp3Result{Points: make([]Exp3Point, len(cfg.Bounds))}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.AvgFront += float64(o.frontLen)
+	}
+	res.AvgFront /= float64(cfg.Trees)
 	for bi, bound := range cfg.Bounds {
 		var dpInv, grInv, excess []float64
 		p := Exp3Point{Bound: bound}
 		for _, o := range outs {
-			if o.err != nil {
-				return nil, o.err
-			}
 			dp, gr := o.dpPower[bi], o.grPower[bi]
 			if dp > 0 {
 				p.DPFound++

@@ -123,7 +123,14 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 		serverSteps     int
 		err             error
 	}
-	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) []acc {
+	// One arena-backed solver and flow engine per worker, rebound to
+	// each strategy's replay tree via Reset, so the whole study shares
+	// one warmed buffer set per worker.
+	type state struct {
+		solver *core.MinCostSolver
+		engine *tree.Engine
+	}
+	outs := par.MapPooled(cfg.Trees, cfg.Workers, func() *state { return new(state) }, func(st *state, i int) []acc {
 		res := make([]acc, len(strategies))
 		base := tree.MustGenerate(cfg.Gen, rng.Derive(cfg.Seed, i))
 		// One demand trace, replayed identically for every strategy:
@@ -145,13 +152,19 @@ func RunIntervals(cfg IntervalConfig) (*IntervalResult, error) {
 
 		for si, k := range strategies {
 			t := base.Clone()
-			engine := tree.NewEngine(t)
-			// One arena-backed solver per strategy replay; the current
-			// placement and a spare set double-buffer across updates.
-			// Drift steps mutate demands in place through SetDemand, so
-			// a re-solve after k changed clients recomputes only their
-			// dirty ancestor chains, not the whole tree.
-			solver := core.NewMinCostSolver(t)
+			// The pooled solver rebinds to each strategy's replay tree;
+			// the current placement and a spare set double-buffer across
+			// updates. Drift steps mutate demands in place through
+			// SetDemand, so a re-solve after k changed clients recomputes
+			// only their dirty ancestor chains, not the whole tree.
+			if st.solver == nil {
+				st.solver = core.NewMinCostSolver(t)
+				st.engine = tree.NewEngine(t)
+			} else {
+				st.solver.Reset(t)
+				st.engine.Reset(t)
+			}
+			solver, engine := st.solver, st.engine
 			init, err := solver.Solve(nil, cfg.W, cfg.Cost)
 			if err != nil {
 				res[si].err = err

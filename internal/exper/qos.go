@@ -107,14 +107,29 @@ func RunQoSCompare(cfg QoSCompareConfig) (*QoSCompareResult, error) {
 		grdy  []int
 		err   error
 	}
-	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+	// One arena-backed solver, destination set and mutable constraint
+	// set per worker, rebound to each tree via the Reset family and
+	// reused across the whole QoS sweep.
+	type state struct {
+		solver *core.QoSSolver
+		dst    *tree.Replicas
+		cons   *tree.Constraints
+	}
+	outs := par.MapPooled(cfg.Trees, cfg.Workers, func() *state { return new(state) }, func(st *state, i int) treeOut {
 		src := rng.Derive(cfg.Seed, i)
 		t := tree.MustGenerate(cfg.Gen, src)
-		// One arena-backed solver, one destination set and one mutable
-		// constraint set per tree, reused across the whole QoS sweep.
-		solver := core.NewQoSSolver(t)
-		dst := tree.ReplicasOf(t)
-		sweepCons := tree.NewConstraints(t)
+		if st.solver == nil {
+			st.solver = core.NewQoSSolver(t)
+			st.cons = tree.NewConstraints(t)
+		} else {
+			st.solver.Reset(t)
+			st.cons.Reset(t)
+		}
+		if st.dst == nil || st.dst.N() != t.N() {
+			st.dst = tree.ReplicasOf(t)
+		}
+		solver, dst := st.solver, st.dst
+		sweepCons := st.cons
 		out := treeOut{exact: make([]int, len(cfg.QoS)), grdy: make([]int, len(cfg.QoS))}
 		for qi, q := range cfg.QoS {
 			out.exact[qi], out.grdy[qi] = -1, -1

@@ -74,6 +74,7 @@ func (r *Exp3Result) Report(w io.Writer, title string) error {
 			p.Bound, p.DPInv, p.GRInv, p.DPFound, p.GRFound, p.GRExcessPct)
 		xs[i], dp[i], gr[i] = p.Bound, p.DPInv, p.GRInv
 	}
+	fmt.Fprintf(&sb, "avg Pareto front per tree: %.1f points (one DP run answers every bound)\n", r.AvgFront)
 	sb.WriteByte('\n')
 	if _, err := io.WriteString(w, sb.String()); err != nil {
 		return err

@@ -56,6 +56,11 @@ type ScaleRow struct {
 // timings) and reports wall-clock durations.
 func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 	var rows []ScaleRow
+	// Both power cases thread one PowerDP (rebound via Reset between
+	// the trees), so the second case starts from already-warm arenas —
+	// the same cross-tree pooling the sweep runners use per worker.
+	var dp *core.PowerDP
+	var front []core.ParetoPoint
 
 	{ // MinCost-WithPre at scale.
 		src := rng.Derive(cfg.Seed, 101)
@@ -81,8 +86,12 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 		// the second run also measures the warmed-scratch steady state.
 		src := rng.Derive(cfg.Seed, 102)
 		t := tree.MustGenerate(tree.PowerConfig(cfg.PowerNoPreNodes), src)
-		dp := core.NewPowerDP(t)
+		dp = core.NewPowerDP(t)
 		for _, workers := range []int{1, runtime.NumCPU()} {
+			// Invalidate between worker runs: the incremental solver
+			// would otherwise skip the whole re-solve of an identical
+			// instance, and the row must time a full solve.
+			dp.Invalidate()
 			start := time.Now()
 			solver, err := dp.Solve(core.PowerProblem{
 				Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
@@ -91,10 +100,11 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 				return nil, fmt.Errorf("exper: scale power NoPre: %w", err)
 			}
 			opt := solver.MinPower()
+			front = solver.FrontInto(front)
 			rows = append(rows, ScaleRow{
 				Name: fmt.Sprintf("MinPower-BoundedCost-NoPre/w=%d", workers), Nodes: cfg.PowerNoPreNodes,
 				Elapsed: time.Since(start),
-				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(solver.Front())),
+				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(front)),
 			})
 		}
 	}
@@ -106,8 +116,9 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		dp := core.NewPowerDP(t)
+		dp.Reset(t)
 		for _, workers := range []int{1, runtime.NumCPU()} {
+			dp.Invalidate() // time a full solve, not the skip path
 			start := time.Now()
 			solver, err := dp.Solve(core.PowerProblem{
 				Existing: existing, Power: Exp3Power(), Cost: Exp3Cost(), Workers: workers,
@@ -116,10 +127,11 @@ func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
 				return nil, fmt.Errorf("exper: scale power WithPre: %w", err)
 			}
 			opt := solver.MinPower()
+			front = solver.FrontInto(front)
 			rows = append(rows, ScaleRow{
 				Name: fmt.Sprintf("MinPower-BoundedCost-WithPre/w=%d", workers), Nodes: cfg.PowerWithPreNodes, Pre: cfg.PowerWithPrePre,
 				Elapsed: time.Since(start),
-				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(solver.Front())),
+				Detail:  fmt.Sprintf("minPower=%.1f servers=%d front=%d", opt.Power, opt.Placement.Count(), len(front)),
 			})
 		}
 	}

@@ -56,3 +56,49 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	ForEach(n, workers, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// MapPooled is Map with worker-pinned state: every worker goroutine
+// obtains one state from newState and threads it through each item it
+// processes, so expensive per-worker resources — arena-backed solvers,
+// retained scratch — are built once per worker instead of once per
+// item and amortise across the whole sweep. fn must produce an output
+// that depends only on the item itself (state reuse has to be
+// reset-safe, as the solvers' Reset contract guarantees) so results
+// are identical for every worker count and scheduling order.
+func MapPooled[S, T any](n, workers int, newState func() S, fn func(state S, i int) T) []T {
+	out := make([]T, n)
+	if n <= 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		s := newState()
+		for i := 0; i < n; i++ {
+			out[i] = fn(s, i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := newState()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(s, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -51,6 +51,59 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestMapPooledOrderedAndComplete(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got := MapPooled(57, workers, func() *int { return new(int) }, func(s *int, i int) int {
+			*s++ // per-worker running count; result must not depend on it
+			return i * i
+		})
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: MapPooled[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapPooledStatePerWorker(t *testing.T) {
+	const n, workers = 200, 4
+	var created atomic.Int32
+	type state struct{ items int32 }
+	outs := MapPooled(n, workers, func() *state {
+		created.Add(1)
+		return &state{}
+	}, func(s *state, i int) *state {
+		atomic.AddInt32(&s.items, 1) // the state itself is worker-local
+		return s
+	})
+	if c := created.Load(); c < 1 || c > workers {
+		t.Fatalf("created %d states, want 1..%d", c, workers)
+	}
+	// Every item was processed through exactly one of the states.
+	total := int32(0)
+	seen := map[*state]bool{}
+	for _, s := range outs {
+		if !seen[s] {
+			seen[s] = true
+			total += s.items
+		}
+	}
+	if total != n {
+		t.Fatalf("states account for %d items, want %d", total, n)
+	}
+	if len(seen) > int(created.Load()) {
+		t.Fatalf("%d distinct states observed, only %d created", len(seen), created.Load())
+	}
+}
+
+func TestMapPooledZeroItems(t *testing.T) {
+	calls := 0
+	out := MapPooled(0, 4, func() int { calls++; return 0 }, func(int, int) int { calls++; return 0 })
+	if len(out) != 0 || calls != 0 {
+		t.Fatalf("n=0: len %d, %d calls", len(out), calls)
+	}
+}
+
 func TestForEachParallelismIsBounded(t *testing.T) {
 	var cur, peak atomic.Int32
 	ForEach(64, 4, func(int) {

@@ -40,6 +40,26 @@ func NewConstraints(t *Tree) *Constraints {
 	return c
 }
 
+// Reset rebinds c to tree t as an all-unbounded set, reusing the
+// per-node storage where capacities allow (the pooled-solver analogue
+// of NewConstraints). It counts as a mutation: the generation advances.
+func (c *Constraints) Reset(t *Tree) {
+	n := t.N()
+	if cap(c.qos) >= n {
+		c.qos = c.qos[:n]
+	} else {
+		c.qos = make([][]int, n)
+	}
+	for j := range c.qos {
+		c.qos[j] = c.qos[j][:0] // zero-length list = every client unbounded
+	}
+	c.bw = growScratch(c.bw, n)
+	for j := range c.bw {
+		c.bw[j] = NoBandwidthLimit
+	}
+	c.gen++
+}
+
 // N returns the number of nodes the constraints are defined over.
 func (c *Constraints) N() int { return len(c.bw) }
 

@@ -326,3 +326,48 @@ func TestInstanceJSONRoundTrip(t *testing.T) {
 		t.Fatalf("plain tree decoded with constraints %+v", c4)
 	}
 }
+
+// TestConstraintsReset pins the pooled-solver rebind: Reset must return
+// the set to all-unbounded for the new tree, reusing storage, and count
+// as a mutation for generation-tracking solvers.
+func TestConstraintsReset(t *testing.T) {
+	b := NewBuilder()
+	n1 := b.AddNode(b.Root())
+	b.AddClient(n1, 3)
+	b.AddClient(b.Root(), 2)
+	tr := b.MustBuild()
+
+	c := NewConstraints(tr)
+	c.SetUniformQoS(tr, 3)
+	c.SetUniformBandwidth(7)
+	gen := c.Generation()
+
+	b2 := NewBuilder()
+	n2 := b2.AddNode(b2.Root())
+	b2.AddClient(n2, 5)
+	tr2 := b2.MustBuild()
+	c.Reset(tr2)
+	if c.N() != tr2.N() {
+		t.Fatalf("reset constraints cover %d nodes, tree has %d", c.N(), tr2.N())
+	}
+	if c.Bounded() {
+		t.Fatal("reset constraints still bounded")
+	}
+	if q := c.QoS(n2, 0); q != 0 {
+		t.Fatalf("reset QoS bound %d, want unbounded", q)
+	}
+	if bw := c.Bandwidth(n2); bw != NoBandwidthLimit {
+		t.Fatalf("reset bandwidth %d, want unlimited", bw)
+	}
+	if c.Generation() == gen {
+		t.Fatal("Reset did not advance the generation")
+	}
+	if err := c.Validate(tr2); err != nil {
+		t.Fatalf("reset constraints invalid: %v", err)
+	}
+	// The reset set accepts fresh bounds for the new tree.
+	c.SetUniformQoS(tr2, 2)
+	if q := c.QoS(n2, 0); q != 2 {
+		t.Fatalf("post-reset QoS bound %d, want 2", q)
+	}
+}

@@ -58,15 +58,24 @@ type Engine struct {
 // NewEngine returns a flow engine for t. The engine keeps a reference
 // to t; topology must not change afterwards (request counts may).
 func NewEngine(t *Tree) *Engine {
+	e := &Engine{}
+	e.uniform = func(uint8) int { return e.w }
+	e.Reset(t)
+	return e
+}
+
+// Reset rebinds the engine to tree t, reusing every scratch slice whose
+// capacity suffices, so per-worker pools sweeping many trees skip the
+// construction allocations of NewEngine after the first tree of each
+// size.
+func (e *Engine) Reset(t *Tree) {
 	n := t.N()
-	e := &Engine{
-		t:        t,
-		loads:    make([]int, n),
-		up:       make([]int, n),
-		pendBase: make([]int, n),
-		size:     make([]int, n),
-		srv:      make([]int, n),
-	}
+	e.t = t
+	e.loads = growScratch(e.loads, n)
+	e.up = growScratch(e.up, n)
+	e.pendBase = growScratch(e.pendBase, n)
+	e.size = growScratch(e.size, n)
+	e.srv = growScratch(e.srv, n)
 	for _, j := range t.post {
 		s := 1
 		for _, c := range t.children[j] {
@@ -74,8 +83,15 @@ func NewEngine(t *Tree) *Engine {
 		}
 		e.size[j] = s
 	}
-	e.uniform = func(uint8) int { return e.w }
-	return e
+}
+
+// growScratch returns a slice of length n with unspecified contents,
+// reusing s's capacity when possible.
+func growScratch(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // Tree returns the tree the engine evaluates.

@@ -3,6 +3,8 @@ package tree
 import (
 	"errors"
 	"testing"
+
+	"replicatree/internal/rng"
 )
 
 func TestFlowsNoServers(t *testing.T) {
@@ -185,5 +187,37 @@ func TestValidateEmptyTreeNoClients(t *testing.T) {
 	r := ReplicasOf(tr)
 	if err := ValidateUniform(tr, r, 1); err != nil {
 		t.Fatalf("tree without clients needs no servers: %v", err)
+	}
+}
+
+// TestEngineResetRebindsAcrossTrees pins the engine's pooled rebind:
+// one engine swept over differently-shaped trees via Reset must match
+// fresh engines on every tree, for every policy.
+func TestEngineResetRebindsAcrossTrees(t *testing.T) {
+	shared := NewEngine(MustGenerate(FatConfig(10), rng.New(1)))
+	for i := 0; i < 8; i++ {
+		cfg := FatConfig(20 + i*9)
+		if i%2 == 1 {
+			cfg = HighConfig(20 + i*9)
+		}
+		tr := MustGenerate(cfg, rng.New(uint64(100+i)))
+		r := ReplicasOf(tr)
+		for j := 0; j < tr.N(); j += 2 {
+			r.Set(j, 1)
+		}
+		shared.Reset(tr)
+		fresh := NewEngine(tr)
+		for _, p := range Policies() {
+			a := shared.EvalUniform(r, p, 10)
+			b := fresh.EvalUniform(r, p, 10)
+			if a.Unserved != b.Unserved {
+				t.Fatalf("tree %d %v: unserved %d != %d", i, p, a.Unserved, b.Unserved)
+			}
+			for j := range a.Loads {
+				if a.Loads[j] != b.Loads[j] {
+					t.Fatalf("tree %d %v: load[%d] %d != %d", i, p, j, a.Loads[j], b.Loads[j])
+				}
+			}
+		}
 	}
 }
