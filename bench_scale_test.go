@@ -1,0 +1,177 @@
+// The BenchmarkScale tier exercises the CSR tree layout and the
+// subtree-parallel DP far beyond the paper's experiments: fat trees
+// with sparse demand (tree.ScalePreset) at 10^4 nodes by default and at
+// 10^5 and 10^6 nodes when REPLICATREE_SCALE is set (any non-empty
+// value). The 10^4 size doubles as the CI smoke tier; the gated sizes
+// are for acceptance runs and the README numbers:
+//
+//	REPLICATREE_SCALE=1 go test -run '^$' -bench Scale -benchtime=1x
+//
+// To select one gated size, anchor the sub-benchmark level — the
+// pattern n=100000 also matches n=1000000 unanchored:
+//
+//	-bench 'ScaleColdSolve/n=100000$'
+package replicatree_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"replicatree"
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/exper"
+	"replicatree/internal/tree"
+)
+
+// scaleW is the server capacity of the scale tier. Larger than the
+// paper's W=10 so the optimal server count — and with it the capped
+// table dimension (see MinCostSolver's capB) — stays in the thousands
+// even at 10^6 nodes.
+const scaleW = 100
+
+func scaleSizes() []int {
+	sizes := []int{10_000}
+	if os.Getenv("REPLICATREE_SCALE") != "" {
+		sizes = append(sizes, 100_000, 1_000_000)
+	}
+	return sizes
+}
+
+func scaleTree(b *testing.B, n int) *tree.Tree {
+	b.Helper()
+	return tree.MustGenerate(tree.ScalePreset(n), replicatree.NewRNG(exper.DefaultSeed))
+}
+
+// scaleDriftNodes picks k client-bearing nodes spread across the tree,
+// so a drift step dirties a fixed number of ancestor chains at every
+// size (comparable per-step work, unlike percentage drift).
+func scaleDriftNodes(t *tree.Tree, k int) []int {
+	var nodes []int
+	stride := t.N()/k + 1
+	for j := 0; j < t.N() && len(nodes) < k; j++ {
+		if len(t.Clients(j)) > 0 {
+			nodes = append(nodes, j)
+			j += stride - 1
+		}
+	}
+	return nodes
+}
+
+// BenchmarkScaleColdSolve times a full (invalidated) MinCost solve of a
+// mega tree, sequentially and wave-parallel. The workers=1 vs workers=8
+// pair is the headline of the subtree-parallel DP: identical results
+// (TestWaveParallelDeterminismMinCost), wall-clock divided.
+func BenchmarkScaleColdSolve(b *testing.B) {
+	for _, n := range scaleSizes() {
+		t := scaleTree(b, n)
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				solver := core.NewMinCostSolver(t)
+				solver.SetWorkers(workers)
+				dst := tree.ReplicasOf(t)
+				if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					solver.Invalidate()
+					if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaleDriftStep times one incremental re-solve after 8
+// spread-out demand edits. The dirty ancestor chains are a vanishing
+// fraction of a mega tree, so a step costs a small fraction of
+// BenchmarkScaleColdSolve at the same size — bounded from below by
+// re-merging the capB-wide tables near the root, not by N (see the
+// merge-table compression item in ROADMAP.md).
+func BenchmarkScaleDriftStep(b *testing.B) {
+	for _, n := range scaleSizes() {
+		t := scaleTree(b, n)
+		nodes := scaleDriftNodes(t, 8)
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				solver := core.NewMinCostSolver(t)
+				solver.SetWorkers(workers)
+				dst := tree.ReplicasOf(t)
+				for warm := 0; warm < 2; warm++ {
+					for _, j := range nodes {
+						t.SetDemand(j, 0, 1+warm%2)
+					}
+					if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, j := range nodes {
+						t.SetDemand(j, 0, 1+i%2)
+					}
+					if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaleFlowEval times one full flow evaluation (closest
+// policy) of a greedy placement on a mega tree — the pure CSR traversal
+// cost, no DP: O(N) over the flat child and client spans.
+func BenchmarkScaleFlowEval(b *testing.B) {
+	for _, n := range scaleSizes() {
+		t := scaleTree(b, n)
+		r, err := replicatree.GreedyMinReplicas(t, scaleW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := tree.NewEngine(t)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			unserved := 0
+			for i := 0; i < b.N; i++ {
+				res := e.EvalUniform(r, tree.PolicyClosest, scaleW)
+				unserved += res.Unserved
+			}
+			if unserved != 0 {
+				b.Fatalf("placement invalid: %d unserved", unserved)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDPSteadyState is the wave-parallel counterpart of
+// BenchmarkMinCostSolverReuse: full table rebuilds through a solver
+// whose bottom-up pass fans across a persistent worker pool. Steady
+// state must stay allocation-free — the pool parks on pre-allocated
+// channels and each worker owns a retained arena — and the CI zero-alloc
+// gate enforces it.
+func BenchmarkParallelDPSteadyState(b *testing.B) {
+	t := scaleTree(b, 10_000)
+	solver := core.NewMinCostSolver(t)
+	solver.SetWorkers(4)
+	dst := tree.ReplicasOf(t)
+	for warm := 0; warm < 2; warm++ {
+		if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solver.Invalidate()
+		if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

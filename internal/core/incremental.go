@@ -75,6 +75,14 @@ type SolveStats struct {
 	// re-solve — the rest reuse their retained block Pareto fronts.
 	RootCellsScanned  int
 	RootCellsRepriced int
+	// RootMergeRetained counts the fold steps of PowerDP's root merge
+	// that were reused from the previous solve instead of re-merged:
+	// 0 on a cold solve, the number of root children when the whole
+	// fold was skipped, and the length of the still-exact fold prefix
+	// on a partial replay. The volatility-ordered fold (see
+	// PowerDP.Reset) exists to push this number up. Stays 0 for
+	// MinCostSolver and QoSSolver.
+	RootMergeRetained int
 }
 
 // dirtyTracker decides, at the start of a solve, which nodes' cached

@@ -104,7 +104,25 @@ type MinCostSolver struct {
 	dimN  []int32
 	steps [][]mcStep
 
-	ints arena[int32] // merge intermediates, recycled every solve
+	// Merge intermediates live in flat arenas, one per worker so the
+	// wave-parallel pass allocates without synchronisation. They are
+	// recycled per node (not per solve): intermediates never outlive
+	// the node whose merges produced them — the fold's final merge
+	// writes into the retained vals[j] — so each arena only needs to
+	// fit the largest single node, not the whole sweep, which is what
+	// keeps mega-tree solves in O(max node) scratch memory.
+	arenas []arena[int32]
+
+	// Wave-parallel scheduler (see SetWorkers and waveSched).
+	wave waveSched
+
+	// Server-count cap for mega trees (see serverCap): table cells
+	// with more than capB new servers are provably never optimal, so
+	// the n dimension of every table is clamped to capB, turning the
+	// O(N²) worst-case merge volume into O(N·capB). 0 means uncapped.
+	capB     int32
+	lastCapB int32
+	escUB    []int32 // scratch for the greedy feasibility pass
 
 	// Incremental bookkeeping: which demands each cached table reflects,
 	// the previous solve's pre-existing membership, and its capacity.
@@ -121,9 +139,26 @@ type MinCostSolver struct {
 
 // NewMinCostSolver returns a reusable solver for MinCost instances on t.
 func NewMinCostSolver(t *tree.Tree) *MinCostSolver {
-	s := &MinCostSolver{}
+	s := &MinCostSolver{arenas: make([]arena[int32], 1)}
+	s.wave.workers = 1
 	s.Reset(t)
 	return s
+}
+
+// SetWorkers sets the number of workers for the bottom-up pass
+// (workers <= 0 selects runtime.GOMAXPROCS(0); 1, the default, runs
+// sequentially without goroutines). Each height wave of the tree is
+// fanned across the workers: a node's table depends only on its
+// children's retained tables, every child sits in a strictly lower
+// wave, and each dirty node is computed by exactly one worker into its
+// own per-node buffers — so results are bit-identical for every worker
+// count (see waveSched). Incremental solves keep their advantage: only
+// the dirty nodes of each wave are dispatched.
+func (s *MinCostSolver) SetWorkers(workers int) {
+	n := s.wave.setWorkers(workers, func(w, i int) {
+		s.solveNode(s.wave.dirtyIdx[i], &s.arenas[w])
+	})
+	s.arenas = grownKeep(s.arenas, n)[:n]
 }
 
 // Reset rebinds the solver to tree t, keeping every retained buffer as
@@ -215,13 +250,15 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	}
 
 	s.existing, s.w, s.placement = existing, int32(W), dst
+	s.updateCap(c)
 
 	// Decide which cached tables survive: demands via generation
 	// stamps, the pre-existing set by content diff (it dirties the
-	// parent: a node's own table ignores its own membership), W by full
-	// invalidation. The cost model only prices the root scan below.
+	// parent: a node's own table ignores its own membership), W and the
+	// cap (both reshape every table) by full invalidation. The cost
+	// model only prices the root scan below.
 	t0 := s.t
-	s.track.mark(t0, s.w != s.lastW)
+	s.track.mark(t0, s.w != s.lastW || s.capB != s.lastCapB)
 	for j := 0; j < t0.N(); j++ {
 		if s.lastHas[j] != existing.Has(j) {
 			s.track.markParent(t0, j)
@@ -229,12 +266,12 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	}
 	s.track.propagate(t0)
 
-	s.ints.reset()
 	s.run()
 
 	// The tables now reflect the current inputs even if the root scan
 	// finds the instance infeasible, so commit before scanning.
 	s.lastW = s.w
+	s.lastCapB = s.capB
 	for j := 0; j < t0.N(); j++ {
 		s.lastHas[j] = existing.Has(j)
 	}
@@ -249,29 +286,48 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 }
 
 func (s *MinCostSolver) run() {
-	s.recomputed = 0
-	for _, j := range s.t.PostOrder() {
-		if !s.track.dirty[j] {
-			continue
+	if s.wave.workers > 1 {
+		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
+	} else {
+		s.recomputed = 0
+		for _, j := range s.t.PostOrder() {
+			if !s.track.dirty[j] {
+				continue
+			}
+			s.recomputed++
+			s.solveNode(j, &s.arenas[0])
 		}
-		s.recomputed++
-		kids := s.t.Children(j)
-		if len(kids) == 0 {
-			// A leaf's final table is the single base cell (0,0) holding
-			// the requests of j's own clients (Algorithm 2).
-			s.vals[j] = grown(s.vals[j], 1)
-			s.vals[j][0] = int32(s.t.ClientSum(j))
-			s.dimE[j], s.dimN[j] = 0, 0
-			continue
-		}
-		accE, accN := int32(0), int32(0)
-		acc := s.ints.alloc(1)
-		acc[0] = int32(s.t.ClientSum(j))
-		for st, ch := range kids {
-			acc, accE, accN = s.merge(j, st, ch, acc, accE, accN, st == len(kids)-1)
-		}
-		s.dimE[j], s.dimN[j] = accE, accN
 	}
+	// A per-node reset grows a buffer to the need of the node handled
+	// before it, so the growth owed to each arena's last node would
+	// otherwise be deferred into a later solve's first reset — a
+	// one-off allocation there (all-clean solves never reset, so it
+	// can land in a timed region). Flush it inside this solve instead.
+	for i := range s.arenas {
+		s.arenas[i].reset()
+	}
+}
+
+// solveNode rebuilds node j's table from its children's (Algorithms 2
+// and 3), carving merge intermediates out of ar.
+func (s *MinCostSolver) solveNode(j int, ar *arena[int32]) {
+	kids := s.t.Children(j)
+	if len(kids) == 0 {
+		// A leaf's final table is the single base cell (0,0) holding
+		// the requests of j's own clients (Algorithm 2).
+		s.vals[j] = grown(s.vals[j], 1)
+		s.vals[j][0] = int32(s.t.ClientSum(j))
+		s.dimE[j], s.dimN[j] = 0, 0
+		return
+	}
+	ar.reset()
+	accE, accN := int32(0), int32(0)
+	acc := ar.alloc(1)
+	acc[0] = int32(s.t.ClientSum(j))
+	for st, ch := range kids {
+		acc, accE, accN = s.merge(j, st, ch, acc, accE, accN, st == len(kids)-1, ar)
+	}
+	s.dimE[j], s.dimN[j] = accE, accN
 }
 
 // merge combines the accumulated table of node j (dimensions accE×accN,
@@ -279,8 +335,13 @@ func (s *MinCostSolver) run() {
 // final table of child ch — the st-th child of j — considering for
 // every split the option of placing a replica on ch itself (Algorithm
 // 3). The last merge writes straight into j's retained final table;
-// earlier ones use arena intermediates.
-func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last bool) ([]int32, int32, int32) {
+// earlier ones use arena intermediates. The new-server dimension is
+// clamped to capB when the cap is active: a dropped cell holds more
+// than capB new servers, its every completion costs more than capB
+// lives... see serverCap for why such cells are never optimal, and
+// note the clamp is monotone (a parent cell at n draws only on child
+// cells at n' <= n), so the kept cells are exact.
+func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last bool, ar *arena[int32]) ([]int32, int32, int32) {
 	chE, chN := s.dimE[ch], s.dimN[ch]
 	chVals := s.vals[ch]
 	childPre := s.existing.Has(ch)
@@ -292,13 +353,16 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	} else {
 		outN++
 	}
+	if b := s.capB; b > 0 && outN > b {
+		outN = b
+	}
 	cells := int(outE+1) * int(outN+1)
 	var out []int32
 	if last {
 		s.vals[j] = grown(s.vals[j], cells)
 		out = s.vals[j]
 	} else {
-		out = s.ints.alloc(cells)
+		out = ar.alloc(cells)
 	}
 	for i := range out {
 		out[i] = invalid
@@ -313,6 +377,9 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	ostride := outN + 1
 
 	update := func(e, n, v int32, dec mcDec) {
+		if n > outN { // beyond the server-count cap; never optimal
+			return
+		}
 		idx := e*ostride + n
 		if out[idx] == invalid || v < out[idx] {
 			out[idx] = v
@@ -328,8 +395,16 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 			}
 			dec := mcDec{ePrev: e, nPrev: n}
 			decP := mcDec{ePrev: e, nPrev: n, place: true}
+			// Past outN - n every cell this child row could write lies
+			// beyond the cap; skipping the range outright (rather than
+			// letting update reject cell by cell) halves the work of
+			// the capB-wide merges at the top of a mega tree.
+			ncHi := chN
+			if lim := outN - n; lim < ncHi {
+				ncHi = lim
+			}
 			for ec := int32(0); ec <= chE; ec++ {
-				for nc := int32(0); nc <= chN; nc++ {
+				for nc := int32(0); nc <= ncHi; nc++ {
 					cv := chVals[ec*(chN+1)+nc]
 					if cv == invalid {
 						continue
@@ -415,6 +490,89 @@ func (s *MinCostSolver) scanRoot(c cost.Simple) (MinCostResult, error) {
 		Reused:    bestReused,
 		New:       bestServers - bestReused,
 	}, nil
+}
+
+// minCapNodes is the tree size from which the server-count cap
+// activates. Paper-scale instances (tens to hundreds of nodes) run
+// uncapped — their tables are small and the cap would only add a cache
+// dimension — while mega trees need it: uncapped, the n dimension of a
+// table grows with the subtree size and the total merge volume is
+// O(N²). It is a variable so tests can lower it to cross-check capped
+// against uncapped solves on small trees.
+var minCapNodes = 4096
+
+// updateCap maintains capB, the clamp on the new-server dimension of
+// every table. Correctness: serverCap returns the server count of a
+// concrete feasible placement, so with non-negative prices (enforced
+// by cost.Simple.Validate) the optimum costs at most
+// costUB = c.Of(ub, 0, E) — reused servers only lower the cost. Any
+// table cell with n new servers completes only to solutions with at
+// least n new servers, each costing at least n; for n > capB >=
+// floor(costUB) that is strictly more than costUB >= bestCost, so no
+// dropped cell can be optimal or even tie the optimum: values,
+// placements and tie-breaks are identical to the uncapped program.
+//
+// The cap is part of every table's shape, so changing it forces a full
+// recompute (SolveInto treats capB like W). To keep cost sweeps and
+// demand drift from thrashing the cache, the cap is sticky: it only
+// ever grows, and any growth is by at least a 9/8 factor, bounding the
+// number of reshapes over any sweep by log_{9/8} of the range — a cap
+// larger than the current bound stays exact, just less tight. The cap
+// is otherwise kept exact rather than rounded up: the merges above the
+// cap's activation depth cost O(capB²), so a 2× rounding slack (the
+// old next-power-of-two policy) made the top of a mega tree ~4× more
+// expensive than the bound justifies.
+func (s *MinCostSolver) updateCap(c cost.Simple) {
+	if s.t.N() < minCapNodes {
+		s.capB = 0
+		return
+	}
+	costUB := c.Of(s.serverCap(), 0, s.existing.Count())
+	b := int32(math.MaxInt32 / 4)
+	if costUB < float64(b) {
+		b = int32(costUB)
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b <= s.capB {
+		return
+	}
+	if min := s.capB + (s.capB+7)/8; b < min {
+		b = min
+	}
+	s.capB = b
+}
+
+// serverCap returns the server count of a concrete feasible placement,
+// built by an O(N) greedy pass: climbing bottom-up, each node
+// accumulates the demand escaping its children and equips any child
+// whose escaped demand no longer fits the running total, then the root
+// is equipped if demand still escapes. By induction every escaped
+// demand is at most W (the base case is MaxClientSum <= W, checked
+// before solving), so under the closest policy every equipped node
+// carries at most W and the placement is valid — making the count an
+// upper bound on the optimal server count.
+func (s *MinCostSolver) serverCap() int {
+	t := s.t
+	s.escUB = grown(s.escUB, t.N())
+	esc := s.escUB
+	cnt := 0
+	for _, j := range t.PostOrder() {
+		e := int32(t.ClientSum(j))
+		for _, c := range t.Children(j) {
+			if e+esc[c] > s.w {
+				cnt++
+			} else {
+				e += esc[c]
+			}
+		}
+		esc[j] = e
+	}
+	if esc[t.Root()] > 0 {
+		cnt++
+	}
+	return cnt
 }
 
 // rebuild unwinds the merge decisions of node j for target cell (e, n),

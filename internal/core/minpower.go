@@ -32,6 +32,11 @@ type PowerProblem struct {
 	// when the caller already runs many solvers concurrently, as the
 	// experiment harness does; the parallel path also trades the
 	// sequential path's allocation-freeness for wall-clock.
+	//
+	// Workers is independent of the subtree-level parallelism selected
+	// with PowerDP.SetWorkers: when the wave scheduler is active it
+	// accelerates only the root fold and the root scan — non-root
+	// merges already run node-parallel and never nest a second fan-out.
 	Workers int
 }
 
@@ -56,9 +61,10 @@ type ParetoPoint struct {
 // a PowerDP borrows that solver's scratch and stays valid only until
 // the next PowerDP.Solve call.
 type PowerSolver struct {
-	prob  PowerProblem
-	front []frontEntry // ascending cost, strictly descending power
-	steps [][]pStep    // reconstruction back-pointers per node
+	prob      PowerProblem
+	front     []frontEntry // ascending cost, strictly descending power
+	steps     [][]pStep    // reconstruction back-pointers per node
+	rootOrder []int        // root fold position -> child position (empty = natural)
 }
 
 type frontEntry struct {
@@ -203,7 +209,23 @@ type PowerDP struct {
 	rootScanned    int
 	rootRepriced   int
 
-	i32   arena[int32]
+	// Merge intermediates, one arena per wave worker (arenas[0] also
+	// serves the sequential path and the root fold). Arenas reset per
+	// node — intermediates never outlive a node's computation, the
+	// final merge writes into the retained vals[j] — so each arena
+	// sizes to the largest single node, not a whole solve.
+	arenas   []arena[int32]
+	wave     waveSched
+	waveErrs []error // first error per wave worker
+
+	// Volatility-ordered root fold (minpower_root.go): how often each
+	// root child's subtree was observed changed since the last Reset,
+	// the fold order derived from those counts, and how many fold steps
+	// the last solve reused.
+	volCount     []int64
+	rootOrder    []int // fold position -> child position (empty = natural)
+	rootRetained int
+
 	cands []frontEntry // root-scan candidates, high-water reused
 	front []frontEntry // pruned Pareto front, high-water reused
 	sol   PowerSolver
@@ -211,9 +233,26 @@ type PowerDP struct {
 
 // NewPowerDP returns a reusable power solver for t.
 func NewPowerDP(t *tree.Tree) *PowerDP {
-	d := &PowerDP{}
+	d := &PowerDP{arenas: make([]arena[int32], 1)}
+	d.wave.workers = 1
 	d.Reset(t)
 	return d
+}
+
+// SetWorkers selects the worker count of the subtree-parallel bottom-up
+// pass (see waveSched): 1 — the default — keeps the sequential
+// post-order walk, <= 0 selects runtime.GOMAXPROCS(0). The root keeps
+// its sequential retained-prefix fold either way; only the non-root
+// waves fan out. Results are bit-identical for every worker count.
+func (d *PowerDP) SetWorkers(workers int) {
+	n := d.wave.setWorkers(workers, func(w, i int) {
+		j := d.wave.dirtyIdx[i]
+		if err := d.solveNode(j, &d.arenas[w], false); err != nil && d.waveErrs[w] == nil {
+			d.waveErrs[w] = err
+		}
+	})
+	d.arenas = grownKeep(d.arenas, n)[:n]
+	d.waveErrs = grownKeep(d.waveErrs, n)[:n]
 }
 
 // Reset rebinds the solver to tree t, keeping every retained buffer as
@@ -236,7 +275,40 @@ func (d *PowerDP) Reset(t *tree.Tree) {
 	d.newCnt = grown(d.newCnt, n)
 	d.preCnt = grownKeep(d.preCnt, n)
 	d.lastMode = grown(d.lastMode, n)
-	d.rootSteps = grownKeep(d.rootSteps, len(t.Children(t.Root())))
+	K := len(t.Children(t.Root()))
+	d.rootSteps = grownKeep(d.rootSteps, K)
+
+	// Volatility-ordered root fold: rebind-time is the one moment the
+	// fold order may change (every retained root step is invalid anyway),
+	// so sort the children by how often their subtrees were observed
+	// changed since the last Reset, coldest first. The churning child
+	// then sits late in the fold and the retained-prefix restart of
+	// runRoot skips the stable majority. Reordering cannot change the
+	// front: the merge fold is commutative and associative on table
+	// values (a min-plus convolution over disjoint count coordinates),
+	// so only the provenance path differs — and reconstruction follows
+	// the same order via PowerSolver.rootOrder.
+	d.rootOrder = nil
+	if K > 1 && K == len(d.volCount) {
+		order := make([]int, K)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return d.volCount[order[a]] < d.volCount[order[b]]
+		})
+		for i, st := range order {
+			if i != st {
+				d.rootOrder = order
+				break
+			}
+		}
+	}
+	d.volCount = grown(d.volCount, K)
+	for i := range d.volCount {
+		d.volCount[i] = 0
+	}
+
 	d.scanOK = false
 	d.track.bind(n)
 }
@@ -261,6 +333,7 @@ func (d *PowerDP) Stats() SolveStats {
 		Recomputed:        d.recomputed,
 		RootCellsScanned:  d.rootScanned,
 		RootCellsRepriced: d.rootRepriced,
+		RootMergeRetained: d.rootRetained,
 	}
 }
 
@@ -337,7 +410,6 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	}
 	d.track.propagate(t0)
 
-	d.i32.reset()
 	if err := d.run(); err != nil {
 		// A mid-tree failure (table-size overflow) has already
 		// overwritten some retained tables for the failed instance;
@@ -365,7 +437,7 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	if len(d.front) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrInfeasible)
 	}
-	d.sol = PowerSolver{prob: p, front: d.front, steps: d.steps}
+	d.sol = PowerSolver{prob: p, front: d.front, steps: d.steps, rootOrder: d.rootOrder}
 	return &d.sol, nil
 }
 
@@ -396,6 +468,30 @@ func (d *PowerDP) run() error {
 	d.rootRecomputed = false
 	root := t.Root()
 
+	if d.wave.workers > 1 {
+		// Every non-root node lies in waves 0..Waves()-2 — the root is
+		// provably the sole member of the last wave — so the scheduler
+		// covers exactly the generic nodes and the root's retained-prefix
+		// fold runs sequentially on the caller afterwards, where its big
+		// merges may still fan out via mergeParallel.
+		for w := range d.waveErrs {
+			d.waveErrs[w] = nil
+		}
+		d.recomputed = d.wave.run(t, d.track.dirty, t.Waves()-1)
+		for _, err := range d.waveErrs {
+			if err != nil {
+				return err
+			}
+		}
+		// Flush the growth owed to each wave arena's last node into
+		// this solve (see MinCostSolver.run). arenas[0] needs no flush:
+		// runRoot resets it unconditionally on every solve.
+		for i := 1; i < len(d.arenas); i++ {
+			d.arenas[i].reset()
+		}
+		return d.runRoot()
+	}
+
 	for _, j := range t.PostOrder() {
 		if j == root {
 			// The root keeps its partial merges across solves so a
@@ -410,48 +506,61 @@ func (d *PowerDP) run() error {
 			continue
 		}
 		d.recomputed++
-		kids := t.Children(j)
-		accNew := int32(0)
-		accPre := d.i32.alloc(d.M)
-		for i := range accPre {
-			accPre[i] = 0
-		}
-		accDims := d.i32.alloc(d.nf)
-		for f := range accDims {
-			accDims[f] = 1
-		}
-		accShape, err := fillShape(accDims, d.i32.alloc(d.nf))
-		if err != nil {
+		if err := d.solveNode(j, &d.arenas[0], true); err != nil {
 			return err
 		}
-
-		if len(kids) == 0 {
-			// A leaf's final table is the single base cell holding the
-			// requests of j's own clients.
-			d.vals[j] = grown(d.vals[j], 1)
-			d.vals[j][0] = int32(t.ClientSum(j))
-		} else {
-			acc := d.i32.alloc(1)
-			acc[0] = int32(t.ClientSum(j))
-			for st, ch := range kids {
-				acc, accShape, err = d.merge(j, st, ch, acc, accShape, &accNew, accPre, st == len(kids)-1)
-				if err != nil {
-					return err
-				}
-			}
-		}
-		d.retainShape(j, accShape)
-		d.newCnt[j] = accNew
-		d.preCnt[j] = append(d.preCnt[j][:0], accPre...)
 	}
 	return nil
 }
 
+// solveNode rebuilds the final table of non-root node j, drawing merge
+// intermediates from ar (reset here, per node). allowPar gates
+// mergeInto's within-merge fan-out: wave workers pass false so a
+// parallel sweep never nests a second one.
+func (d *PowerDP) solveNode(j int, ar *arena[int32], allowPar bool) error {
+	t := d.prob.Tree
+	ar.reset()
+	kids := t.Children(j)
+	accNew := int32(0)
+	accPre := ar.alloc(d.M)
+	for i := range accPre {
+		accPre[i] = 0
+	}
+	accDims := ar.alloc(d.nf)
+	for f := range accDims {
+		accDims[f] = 1
+	}
+	accShape, err := fillShape(accDims, ar.alloc(d.nf))
+	if err != nil {
+		return err
+	}
+
+	if len(kids) == 0 {
+		// A leaf's final table is the single base cell holding the
+		// requests of j's own clients.
+		d.vals[j] = grown(d.vals[j], 1)
+		d.vals[j][0] = int32(t.ClientSum(j))
+	} else {
+		acc := ar.alloc(1)
+		acc[0] = int32(t.ClientSum(j))
+		for st, ch := range kids {
+			acc, accShape, err = d.merge(j, st, ch, acc, accShape, &accNew, accPre, st == len(kids)-1, ar, allowPar)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	d.retainShape(j, accShape)
+	d.newCnt[j] = accNew
+	d.preCnt[j] = append(d.preCnt[j][:0], accPre...)
+	return nil
+}
+
 // childDims computes the accumulated subtree counts after folding child
-// ch and the resulting table shape (arena-backed).
-func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32) (int32, []int32, shape, error) {
+// ch and the resulting table shape (backed by ar).
+func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32, ar *arena[int32]) (int32, []int32, shape, error) {
 	outNew := accNew + d.newCnt[ch]
-	outPre := d.i32.alloc(d.M)
+	outPre := ar.alloc(d.M)
 	for i := range outPre {
 		outPre[i] = accPre[i] + d.preCnt[ch][i]
 	}
@@ -460,9 +569,9 @@ func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32) (int32, []int3
 	} else {
 		outPre[chMode0-1]++
 	}
-	outDims := d.i32.alloc(d.nf)
+	outDims := ar.alloc(d.nf)
 	d.nodeDims(outDims, outNew, outPre)
-	outShape, err := fillShape(outDims, d.i32.alloc(d.nf))
+	outShape, err := fillShape(outDims, ar.alloc(d.nf))
 	return outNew, outPre, outShape, err
 }
 
@@ -470,8 +579,8 @@ func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32) (int32, []int3
 // table of node j, updating the accumulated subtree counts in place.
 // The last merge writes straight into j's retained final table;
 // earlier ones use arena intermediates.
-func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool) ([]int32, shape, error) {
-	outNew, outPre, outShape, err := d.childDims(ch, *accNew, accPre)
+func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool, ar *arena[int32], allowPar bool) ([]int32, shape, error) {
+	outNew, outPre, outShape, err := d.childDims(ch, *accNew, accPre, ar)
 	if err != nil {
 		return nil, shape{}, err
 	}
@@ -480,9 +589,9 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 		d.vals[j] = grown(d.vals[j], outShape.size)
 		out = d.vals[j]
 	} else {
-		out = d.i32.alloc(outShape.size)
+		out = ar.alloc(outShape.size)
 	}
-	d.mergeInto(j, st, ch, acc, accShape, outShape, out)
+	d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, allowPar)
 	*accNew = outNew
 	copy(accPre, outPre)
 	return out, outShape, nil
@@ -491,7 +600,7 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 // mergeInto runs the actual table merge of child ch — the st-th child
 // of j — into out (sized outShape.size), refreshing the step's
 // provenance table.
-func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape, out []int32) {
+func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape, out []int32, ar *arena[int32], allowPar bool) {
 	chShape := d.shapes[ch]
 	chVals := d.vals[ch]
 	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
@@ -511,7 +620,7 @@ func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape
 
 	// Precompute the output-stride bump of placing the child's server
 	// at each mode.
-	placeBump := d.i32.alloc(d.M + 1)
+	placeBump := ar.alloc(d.M + 1)
 	placeBump[0] = 0
 	for m := 1; m <= d.M; m++ {
 		if chMode0 == 0 {
@@ -525,17 +634,17 @@ func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape
 	// pays for the second provenance pass and the goroutine fan-out.
 	const parallelThreshold = 1 << 22
 	work := int64(accShape.size) * int64(chShape.size) * int64(d.M+1)
-	if d.workers > 1 && work >= parallelThreshold {
+	if allowPar && d.workers > 1 && work >= parallelThreshold {
 		d.mergeParallel(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
 	} else {
-		d.mergeSequential(acc, accShape, chVals, chShape, outShape, out, prov, placeBump)
+		d.mergeSequential(acc, accShape, chVals, chShape, outShape, out, prov, placeBump, ar)
 	}
 }
 
 // mergeSequential is the single-goroutine merge: first writer of the
 // minimal value wins, which by scan order is the smallest (accumulated
 // cell, child cell) pair — the same order packProv encodes.
-func (d *PowerDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32) {
+func (d *PowerDP) mergeSequential(acc []int32, accShape shape, chVals []int32, chShape shape, outShape shape, out []int32, prov []uint64, placeBump []int32, ar *arena[int32]) {
 	pm := d.prob.Power
 	update := func(idx int32, v int32, p uint64) {
 		if v < out[idx] {
@@ -544,8 +653,8 @@ func (d *PowerDP) mergeSequential(acc []int32, accShape shape, chVals []int32, c
 		}
 	}
 	var ao, co odometer
-	ao.init(accShape.dims, outShape.strides, d.i32.alloc(len(accShape.dims)))
-	co.init(chShape.dims, outShape.strides, d.i32.alloc(len(chShape.dims)))
+	ao.init(accShape.dims, outShape.strides, ar.alloc(len(accShape.dims)))
+	co.init(chShape.dims, outShape.strides, ar.alloc(len(chShape.dims)))
 	for aFlat := 0; aFlat < accShape.size; aFlat++ {
 		a := acc[aFlat]
 		if a <= d.wm {
@@ -771,11 +880,18 @@ func (s *PowerSolver) reconstruct(f frontEntry, dst *tree.Replicas) PowerResult 
 	return PowerResult{Placement: dst, Cost: f.cost, Power: f.power}
 }
 
-// rebuild unwinds the merge decisions of node j for the given flat cell.
+// rebuild unwinds the merge decisions of node j for the given flat
+// cell, in reverse fold order — which at the root may be the
+// volatility-derived permutation rather than child order.
 func (s *PowerSolver) rebuild(j int, cell int32, placement *tree.Replicas) {
 	steps := s.steps[j]
 	kids := s.prob.Tree.Children(j)
-	for st := len(steps) - 1; st >= 0; st-- {
+	atRoot := len(s.rootOrder) == len(steps) && len(steps) > 0 && j == s.prob.Tree.Root()
+	for q := len(steps) - 1; q >= 0; q-- {
+		st := q
+		if atRoot {
+			st = s.rootOrder[q]
+		}
 		p := steps[st].prov[cell]
 		if p == noProv {
 			panic(fmt.Sprintf("core: power reconstruction hit an unreached cell at node %d", j))

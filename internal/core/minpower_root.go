@@ -76,14 +76,30 @@ type rootBlock struct {
 	cs, ps []float64
 }
 
+// foldPos returns the child position folded at root merge step q (the
+// volatility-derived permutation of Reset, or the natural order).
+func (d *PowerDP) foldPos(q int) int {
+	if len(d.rootOrder) > 0 {
+		return d.rootOrder[q]
+	}
+	return q
+}
+
 // runRoot recomputes the root's final table, restarting the merge fold
-// at the first child whose inputs changed and keeping every earlier
-// partial merge from the previous solve.
+// at the first fold step whose inputs changed and keeping every earlier
+// partial merge from the previous solve. The fold visits the children
+// in d.rootOrder (coldest subtree first, see Reset), so a churning
+// child invalidates only the tail of the fold; rootSteps and the stale
+// detection are indexed by fold position, the provenance steps by child
+// position.
 func (d *PowerDP) runRoot() error {
 	t := d.prob.Tree
 	j := t.Root()
 	kids := t.Children(j)
 	K := len(kids)
+	d.rootRetained = 0
+	ar := &d.arenas[0]
+	ar.reset()
 
 	if K == 0 {
 		if !d.track.dirty[j] {
@@ -91,11 +107,11 @@ func (d *PowerDP) runRoot() error {
 		}
 		d.recomputed++
 		d.rootRecomputed = true
-		accDims := d.i32.alloc(d.nf)
+		accDims := ar.alloc(d.nf)
 		for f := range accDims {
 			accDims[f] = 1
 		}
-		accShape, err := fillShape(accDims, d.i32.alloc(d.nf))
+		accShape, err := fillShape(accDims, ar.alloc(d.nf))
 		if err != nil {
 			return err
 		}
@@ -110,43 +126,54 @@ func (d *PowerDP) runRoot() error {
 		return nil
 	}
 
-	// First merge step whose retained output is stale: a change to the
+	// Record which subtrees changed this solve; the counts drive the
+	// fold order picked by the next Reset.
+	for st, ch := range kids {
+		if d.track.dirty[ch] || d.lastMode[ch] != d.prob.Existing.Mode(ch) {
+			d.volCount[st]++
+		}
+	}
+
+	// First fold step whose retained output is stale: a change to the
 	// root's own clients rewrites the base cell (step 0), and a dirty
 	// child subtree or a changed pre-existing mode of a child
 	// invalidates its own step and everything after it.
 	start := 0
 	if !d.fullSolve && t.DemandGen(j) == d.track.seen[j] {
 		start = K
-		for st, ch := range kids {
+		for q := 0; q < K; q++ {
+			ch := kids[d.foldPos(q)]
 			if d.track.dirty[ch] || d.lastMode[ch] != d.prob.Existing.Mode(ch) {
-				start = st
+				start = q
 				break
 			}
 		}
 	}
 	if start >= K {
+		d.rootRetained = K
 		return nil // every retained root merge is still exact
 	}
+	d.rootRetained = start
 	d.recomputed++
 	d.rootRecomputed = true
 
-	// Accumulated state entering step start.
+	// Accumulated state entering fold step start.
 	var acc []int32
 	var accShape shape
 	var accNew int32
-	accPre := d.i32.alloc(d.M)
+	accPre := ar.alloc(d.M)
 	if start == 0 {
-		acc = d.i32.alloc(1)
+		acc = ar.alloc(1)
 		acc[0] = int32(t.ClientSum(j))
 		for i := range accPre {
 			accPre[i] = 0
 		}
-		accDims := d.i32.alloc(d.nf)
+		accDims := ar.alloc(d.nf)
 		for f := range accDims {
 			accDims[f] = 1
 		}
 		var err error
-		accShape, err = fillShape(accDims, d.i32.alloc(d.nf))
+		accShape, err = fillShape(accDims, ar.alloc(d.nf))
 		if err != nil {
 			return err
 		}
@@ -156,25 +183,26 @@ func (d *PowerDP) runRoot() error {
 		copy(accPre, rs.accPre)
 	}
 
-	for st := start; st < K; st++ {
+	for q := start; q < K; q++ {
+		st := d.foldPos(q)
 		ch := kids[st]
-		outNew, outPre, outShape, err := d.childDims(ch, accNew, accPre)
+		outNew, outPre, outShape, err := d.childDims(ch, accNew, accPre, ar)
 		if err != nil {
 			return err
 		}
 		var out []int32
-		if st == K-1 {
+		if q == K-1 {
 			d.vals[j] = grown(d.vals[j], outShape.size)
 			out = d.vals[j]
 		} else {
-			rs := &d.rootSteps[st]
+			rs := &d.rootSteps[q]
 			rs.out = grown(rs.out, outShape.size)
 			out = rs.out
 		}
-		d.mergeInto(j, st, ch, acc, accShape, outShape, out)
-		if st < K-1 {
+		d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, true)
+		if q < K-1 {
 			// Retain this partial merge for future restarts.
-			rs := &d.rootSteps[st]
+			rs := &d.rootSteps[q]
 			rs.shape.dims = append(rs.shape.dims[:0], outShape.dims...)
 			rs.shape.strides = append(rs.shape.strides[:0], outShape.strides...)
 			rs.shape.size = outShape.size

@@ -98,7 +98,13 @@ type QoSSolver struct {
 	choices [][]uint8
 	splits  [][]int
 
-	ints arena[int] // knapsack-merge intermediates, recycled every solve
+	// Knapsack-merge intermediates, one arena per worker, recycled per
+	// node (intermediates never outlive the node whose merges produced
+	// them, so each arena sizes to the largest single node).
+	arenas []arena[int]
+
+	// Wave-parallel scheduler (see SetWorkers and waveSched).
+	wave waveSched
 
 	// Incremental bookkeeping.
 	track      dirtyTracker
@@ -114,9 +120,21 @@ type QoSSolver struct {
 
 // NewQoSSolver returns a reusable constrained-counting solver for t.
 func NewQoSSolver(t *tree.Tree) *QoSSolver {
-	s := &QoSSolver{}
+	s := &QoSSolver{arenas: make([]arena[int], 1)}
+	s.wave.workers = 1
 	s.Reset(t)
 	return s
+}
+
+// SetWorkers sets the number of workers for the bottom-up pass
+// (workers <= 0 selects runtime.GOMAXPROCS(0); 1, the default, runs
+// sequentially without goroutines). Results are bit-identical for
+// every worker count; see waveSched and MinCostSolver.SetWorkers.
+func (s *QoSSolver) SetWorkers(workers int) {
+	n := s.wave.setWorkers(workers, func(w, i int) {
+		s.solveNode(s.wave.dirtyIdx[i], &s.arenas[w])
+	})
+	s.arenas = grownKeep(s.arenas, n)[:n]
 }
 
 // Reset rebinds the solver to tree t, keeping every retained buffer as
@@ -188,7 +206,6 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 	s.track.mark(t, W != s.lastW || c != s.lastC || c.Generation() != s.lastCGen)
 	s.track.propagate(t)
 
-	s.ints.reset()
 	s.run()
 
 	s.lastW, s.lastC, s.lastCGen = W, c, c.Generation()
@@ -221,109 +238,126 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 func (s *QoSSolver) tabRows(j int) int { return max(s.t.Depth(j)-1, 0) + 1 }
 
 func (s *QoSSolver) run() {
+	if s.wave.workers > 1 {
+		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
+	} else {
+		s.recomputed = 0
+		for _, j := range s.t.PostOrder() {
+			if !s.track.dirty[j] {
+				continue
+			}
+			s.recomputed++
+			s.solveNode(j, &s.arenas[0])
+		}
+	}
+	// Flush the growth owed to each arena's last node into this solve
+	// (see MinCostSolver.run): a deferred reset would surface as a
+	// one-off allocation in a later solve's timed region.
+	for i := range s.arenas {
+		s.arenas[i].reset()
+	}
+}
+
+// solveNode rebuilds node j's table from its children's, carving
+// knapsack-merge intermediates out of ar.
+func (s *QoSSolver) solveNode(j int, ar *arena[int]) {
 	t := s.t
-	s.recomputed = 0
-	for _, j := range t.PostOrder() {
-		if !s.track.dirty[j] {
-			continue
-		}
-		s.recomputed++
-		D := t.Depth(j)
-		kids := t.Children(j)
-		accRows := D + 1 // child requirements live in 0..D
+	ar.reset()
+	D := t.Depth(j)
+	kids := t.Children(j)
+	accRows := D + 1 // child requirements live in 0..D
 
-		// Knapsack merge of the children: acc cell (r, L) is the
-		// minimal sum of child flows using r replicas below, every
-		// child bound <= L and every child link within its bandwidth.
-		// Every child's tab block has row width accRows too (its depth
-		// is D+1), so rows align without re-indexing.
-		acc := s.ints.alloc(accRows) // the single r = 0 row, all zero
-		for L := range acc {
-			acc[L] = 0
+	// Knapsack merge of the children: acc cell (r, L) is the
+	// minimal sum of child flows using r replicas below, every
+	// child bound <= L and every child link within its bandwidth.
+	// Every child's tab block has row width accRows too (its depth
+	// is D+1), so rows align without re-indexing.
+	acc := ar.alloc(accRows) // the single r = 0 row, all zero
+	for L := range acc {
+		acc[L] = 0
+	}
+	sz := 0
+	for _, child := range kids {
+		csz := s.size[child]
+		bw := s.c.Bandwidth(child)
+		ctab := s.tabs[child]
+		next := ar.alloc((sz + csz + 1) * accRows)
+		for i := range next {
+			next[i] = qInf
 		}
-		sz := 0
-		for _, child := range kids {
-			csz := s.size[child]
-			bw := s.c.Bandwidth(child)
-			ctab := s.tabs[child]
-			next := s.ints.alloc((sz + csz + 1) * accRows)
-			for i := range next {
-				next[i] = qInf
-			}
-			// Stale split cells are never read: build only follows
-			// cells whose next value was written when the parent's
-			// table was last rebuilt, and every value write refreshes
-			// its split.
-			s.splits[child] = grown(s.splits[child], (sz+csz+1)*accRows)
-			spl := s.splits[child]
-			for r1 := 0; r1 <= sz; r1++ {
-				for r2 := 0; r2 <= csz; r2++ {
-					o := (r1 + r2) * accRows
-					for L := 0; L < accRows; L++ {
-						a := acc[r1*accRows+L]
-						f := ctab[r2*accRows+L]
-						if a >= qInf || f >= qInf || (bw >= 0 && f > bw) {
-							continue
-						}
-						if v := a + f; v < next[o+L] {
-							next[o+L] = v
-							spl[o+L] = r2
-						}
+		// Stale split cells are never read: build only follows
+		// cells whose next value was written when the parent's
+		// table was last rebuilt, and every value write refreshes
+		// its split.
+		s.splits[child] = grown(s.splits[child], (sz+csz+1)*accRows)
+		spl := s.splits[child]
+		for r1 := 0; r1 <= sz; r1++ {
+			for r2 := 0; r2 <= csz; r2++ {
+				o := (r1 + r2) * accRows
+				for L := 0; L < accRows; L++ {
+					a := acc[r1*accRows+L]
+					f := ctab[r2*accRows+L]
+					if a >= qInf || f >= qInf || (bw >= 0 && f > bw) {
+						continue
+					}
+					if v := a + f; v < next[o+L] {
+						next[o+L] = v
+						spl[o+L] = r2
 					}
 				}
 			}
-			acc = next
-			sz += csz
 		}
-		s.size[j] = sz + 1
+		acc = next
+		sz += csz
+	}
+	s.size[j] = sz + 1
 
-		own := t.ClientSum(j)
-		ownL := 0 // minimal server depth the node's own clients tolerate
-		for k, dem := range t.Clients(j) {
-			if dem > 0 {
-				if l := s.c.MinServerDepth(j, k, D); l > ownL {
-					ownL = l
+	own := t.ClientSum(j)
+	ownL := 0 // minimal server depth the node's own clients tolerate
+	for k, dem := range t.Clients(j) {
+		if dem > 0 {
+			if l := s.c.MinServerDepth(j, k, D); l > ownL {
+				ownL = l
+			}
+		}
+	}
+
+	rows := s.tabRows(j)
+	s.tabs[j] = grown(s.tabs[j], (s.size[j]+1)*rows)
+	s.choices[j] = grown(s.choices[j], (s.size[j]+1)*rows)
+	tab, ch := s.tabs[j], s.choices[j]
+	for r := 0; r <= s.size[j]; r++ {
+		o := r * rows
+		for L := 0; L < rows; L++ {
+			tab[o+L] = qInf
+		}
+		// Equip j: the whole traversing flow is absorbed here, so
+		// nothing escapes and no requirement remains (own clients
+		// are 1 hop away, within any positive QoS bound).
+		if r >= 1 {
+			if a := acc[(r-1)*accRows+D]; a < qInf && own+a <= s.w {
+				for L := 0; L < rows; L++ {
+					tab[o+L] = 0
+					ch[o+L] = qEquip
 				}
 			}
 		}
-
-		rows := s.tabRows(j)
-		s.tabs[j] = grown(s.tabs[j], (s.size[j]+1)*rows)
-		s.choices[j] = grown(s.choices[j], (s.size[j]+1)*rows)
-		tab, ch := s.tabs[j], s.choices[j]
-		for r := 0; r <= s.size[j]; r++ {
-			o := r * rows
-			for L := 0; L < rows; L++ {
-				tab[o+L] = qInf
-			}
-			// Equip j: the whole traversing flow is absorbed here, so
-			// nothing escapes and no requirement remains (own clients
-			// are 1 hop away, within any positive QoS bound).
-			if r >= 1 {
-				if a := acc[(r-1)*accRows+D]; a < qInf && own+a <= s.w {
-					for L := 0; L < rows; L++ {
-						tab[o+L] = 0
-						ch[o+L] = qEquip
+		// Let the flow pass: only while every contributing client
+		// tolerates a server at depth <= D-1.
+		if j != t.Root() {
+			for L := ownL; L < rows && r <= sz; L++ {
+				if a := acc[r*accRows+L]; a < qInf {
+					if f := own + a; f < tab[o+L] {
+						tab[o+L] = f
+						ch[o+L] = qEscape
 					}
 				}
 			}
-			// Let the flow pass: only while every contributing client
-			// tolerates a server at depth <= D-1.
-			if j != t.Root() {
-				for L := ownL; L < rows && r <= sz; L++ {
-					if a := acc[r*accRows+L]; a < qInf {
-						if f := own + a; f < tab[o+L] {
-							tab[o+L] = f
-							ch[o+L] = qEscape
-						}
-					}
-				}
-			} else if own == 0 && r <= sz && acc[r*accRows] == 0 && tab[o] > 0 {
-				// The root has no ancestor: passing is only "nothing to
-				// pass".
-				tab[o] = 0
-				ch[o] = qEscape
-			}
+		} else if own == 0 && r <= sz && acc[r*accRows] == 0 && tab[o] > 0 {
+			// The root has no ancestor: passing is only "nothing to
+			// pass".
+			tab[o] = 0
+			ch[o] = qEscape
 		}
 	}
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"replicatree/internal/par"
+	"replicatree/internal/tree"
+)
+
+// waveSched is the subtree-parallel scheduler shared by the three DP
+// solvers' bottom-up passes. The tree's height waves (tree.Wave) are
+// processed in order: every child lies in a strictly lower wave, so
+// once the previous waves are complete, the nodes of one wave have all
+// their inputs ready and are independent — each reads only its
+// children's retained tables and writes only its own per-node buffers.
+// Fanning a wave across a persistent worker pool therefore yields
+// results bit-identical to the sequential post-order pass for any
+// worker count: there is no cross-node fold, and the pool's done
+// hand-off gives the next wave a happens-before edge on all writes.
+//
+// The scheduler composes with the incremental machinery: only the
+// dirty nodes of each wave are dispatched, so a drift step still
+// recomputes just the dirty ancestor chains (fanning out their sibling
+// recomputes where the chains are bushy enough to pay for the pool
+// wake-up).
+type waveSched struct {
+	workers  int
+	pool     *par.Pool
+	dirtyIdx []int // dirty nodes of the wave being dispatched
+	task     func(w, i int)
+}
+
+// setWorkers resolves and installs the worker count (<= 0 selects
+// runtime.GOMAXPROCS(0) via the pool; 1 tears the pool down) and the
+// task closure, which must solve node dirtyIdx[i] using worker w's
+// scratch. It returns the resolved count so the solver can size its
+// per-worker arenas.
+func (ws *waveSched) setWorkers(workers int, task func(w, i int)) int {
+	if ws.pool != nil {
+		ws.pool.Close()
+		ws.pool = nil
+	}
+	ws.task = nil
+	ws.workers = 1
+	if workers == 1 {
+		return 1
+	}
+	ws.pool = par.NewPool(workers)
+	ws.workers = ws.pool.Workers()
+	ws.task = task
+	return ws.workers
+}
+
+// run executes one wave-parallel bottom-up pass over the nodes flagged
+// in dirty, covering the first waves height levels (pass t.Waves() for
+// the whole tree; PowerDP passes one less to leave the root — alone in
+// the last wave — to its retained-prefix sequential fold). It returns
+// how many nodes it recomputed. Requires a prior setWorkers with
+// workers != 1. Thin waves run inline on the caller's goroutine
+// (worker 0): drift steps re-solve only sparse ancestor chains, and
+// waking the pool costs more than a few table rebuilds.
+func (ws *waveSched) run(t *tree.Tree, dirty []bool, waves int) int {
+	recomputed := 0
+	for h := 0; h < waves; h++ {
+		wd := ws.dirtyIdx[:0]
+		for _, j := range t.Wave(h) {
+			if dirty[j] {
+				wd = append(wd, j)
+			}
+		}
+		ws.dirtyIdx = wd
+		recomputed += len(wd)
+		if len(wd) < 4 {
+			for i := range wd {
+				ws.task(0, i)
+			}
+			continue
+		}
+		ws.pool.Run(len(wd), ws.task)
+	}
+	return recomputed
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// samePlacement reports whether two replica sets agree node by node
+// (membership and mode).
+func samePlacement(n int, a, b *tree.Replicas) bool {
+	for j := 0; j < n; j++ {
+		if a.Has(j) != b.Has(j) || a.Mode(j) != b.Mode(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// driftSome flips a few client demands, alternating values with step so
+// consecutive calls always change something.
+func driftSome(t *tree.Tree, step int) {
+	hit := 0
+	for j := 0; j < t.N() && hit < 5; j++ {
+		if len(t.Clients(j)) > 0 {
+			t.SetDemand(j, 0, 1+(j+step)%3)
+			hit++
+		}
+	}
+}
+
+// TestWaveParallelDeterminismMinCost checks the subtree-parallel
+// MinCost pass against the sequential one: identical costs, server
+// counts and placements (including tie-breaks) for every worker count,
+// on a cold solve and across incremental drift steps. Run with -race to
+// also exercise the scheduler's happens-before edges.
+func TestWaveParallelDeterminismMinCost(t *testing.T) {
+	src := rng.New(90)
+	tr := tree.MustGenerate(tree.FatConfig(300), src)
+	existing, err := tree.RandomReplicas(tr, 60, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+
+	seq := NewMinCostSolver(tr)
+	dstSeq := tree.ReplicasOf(tr)
+	for _, workers := range []int{2, 8} {
+		par := NewMinCostSolver(tr)
+		par.SetWorkers(workers)
+		dstPar := tree.ReplicasOf(tr)
+		for step := 0; step < 6; step++ {
+			if step > 0 {
+				driftSome(tr, step)
+			}
+			want, err := seq.SolveInto(existing, 10, c, dstSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.SolveInto(existing, 10, c, dstPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != want.Cost || got.Servers != want.Servers || got.Reused != want.Reused {
+				t.Fatalf("workers=%d step=%d: got (%v, %d, %d), want (%v, %d, %d)",
+					workers, step, got.Cost, got.Servers, got.Reused, want.Cost, want.Servers, want.Reused)
+			}
+			if !samePlacement(tr.N(), dstPar, dstSeq) {
+				t.Fatalf("workers=%d step=%d: placements differ", workers, step)
+			}
+			// After the cold step both solvers share the same cache
+			// state, so incremental steps must recompute identically.
+			if pr, sr := par.Stats().Recomputed, seq.Stats().Recomputed; step > 0 && pr != sr {
+				t.Fatalf("workers=%d step=%d: recomputed %d, want %d", workers, step, pr, sr)
+			}
+		}
+		// Switching back to one worker tears the pool down and must
+		// keep solving correctly.
+		par.SetWorkers(1)
+		driftSome(tr, 99)
+		want, err := seq.SolveInto(existing, 10, c, dstSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.SolveInto(existing, 10, c, dstPar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || !samePlacement(tr.N(), dstPar, dstSeq) {
+			t.Fatalf("workers=%d after reverting to 1: solutions differ", workers)
+		}
+	}
+}
+
+// TestWaveParallelDeterminismQoS is the MinCost determinism check for
+// the constrained-counting solver.
+func TestWaveParallelDeterminismQoS(t *testing.T) {
+	tr := tree.MustGenerate(tree.FatConfig(300), rng.New(91))
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, 4)
+
+	seq := NewQoSSolver(tr)
+	dstSeq := tree.ReplicasOf(tr)
+	for _, workers := range []int{2, 8} {
+		par := NewQoSSolver(tr)
+		par.SetWorkers(workers)
+		dstPar := tree.ReplicasOf(tr)
+		for step := 0; step < 6; step++ {
+			if step > 0 {
+				driftSome(tr, step)
+			}
+			want, err := seq.Solve(10, cons, dstSeq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.Solve(10, cons, dstPar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("workers=%d step=%d: count %d, want %d", workers, step, got.Count(), want.Count())
+			}
+			if !samePlacement(tr.N(), got, want) {
+				t.Fatalf("workers=%d step=%d: placements differ", workers, step)
+			}
+		}
+	}
+}
+
+// TestWaveParallelDeterminismPower checks the power DP: byte-identical
+// Pareto fronts and identical reconstructions for every worker count,
+// cold and across drift steps. The root fold stays sequential either
+// way; the wave scheduler covers the rest of the tree.
+func TestWaveParallelDeterminismPower(t *testing.T) {
+	src := rng.New(92)
+	tr := tree.MustGenerate(tree.PowerConfig(40), src)
+	existing, err := tree.RandomReplicas(tr, 5, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.MustNew([]int{5, 10}, 10, 2)
+	prob := PowerProblem{Existing: existing, Power: pm, Cost: cost.UniformModal(2, 0.5, 0.25, 0.25)}
+
+	seq := NewPowerDP(tr)
+	dstSeq := tree.ReplicasOf(tr)
+	for _, workers := range []int{2, 8} {
+		par := NewPowerDP(tr)
+		par.SetWorkers(workers)
+		dstPar := tree.ReplicasOf(tr)
+		var wantF, gotF []ParetoPoint
+		for step := 0; step < 6; step++ {
+			if step > 0 {
+				driftSome(tr, step)
+			}
+			ws, err := seq.Solve(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantF = ws.FrontInto(wantF)
+			wantRes, ok := ws.BestInto(1e18, dstSeq)
+			if !ok {
+				t.Fatal("sequential solve found nothing")
+			}
+			ps, err := par.Solve(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotF = ps.FrontInto(gotF)
+			gotRes, ok := ps.BestInto(1e18, dstPar)
+			if !ok {
+				t.Fatal("parallel solve found nothing")
+			}
+			if len(gotF) != len(wantF) {
+				t.Fatalf("workers=%d step=%d: front size %d, want %d", workers, step, len(gotF), len(wantF))
+			}
+			for i := range wantF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("workers=%d step=%d: front[%d] = %+v, want %+v", workers, step, i, gotF[i], wantF[i])
+				}
+			}
+			if gotRes.Cost != wantRes.Cost || gotRes.Power != wantRes.Power {
+				t.Fatalf("workers=%d step=%d: best (%v, %v), want (%v, %v)",
+					workers, step, gotRes.Cost, gotRes.Power, wantRes.Cost, wantRes.Power)
+			}
+			if !samePlacement(tr.N(), dstPar, dstSeq) {
+				t.Fatalf("workers=%d step=%d: placements differ", workers, step)
+			}
+		}
+	}
+}
+
+// TestMinCostServerCapDifferential lowers the cap activation threshold
+// so a paper-sized instance solves with an active new-server cap, and
+// cross-checks it against the uncapped program: the cap must be
+// invisible — same cost, same server split, same placement — cold and
+// across drift steps (where cap stickiness keeps the cache warm).
+func TestMinCostServerCapDifferential(t *testing.T) {
+	saved := minCapNodes
+	defer func() { minCapNodes = saved }()
+
+	src := rng.New(93)
+	tr := tree.MustGenerate(tree.FatConfig(300), src)
+	existing, err := tree.RandomReplicas(tr, 60, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+
+	minCapNodes = 50
+	capped := NewMinCostSolver(tr)
+	dstCap := tree.ReplicasOf(tr)
+	minCapNodes = 1 << 30
+	uncapped := NewMinCostSolver(tr)
+	dstUn := tree.ReplicasOf(tr)
+
+	for step := 0; step < 4; step++ {
+		if step > 0 {
+			driftSome(tr, step)
+		}
+		minCapNodes = 50
+		got, err := capped.SolveInto(existing, 10, c, dstCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capped.capB <= 0 {
+			t.Fatal("cap did not activate")
+		}
+		minCapNodes = 1 << 30
+		want, err := uncapped.SolveInto(existing, 10, c, dstUn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Servers != want.Servers || got.Reused != want.Reused {
+			t.Fatalf("step=%d: capped (%v, %d, %d), uncapped (%v, %d, %d)",
+				step, got.Cost, got.Servers, got.Reused, want.Cost, want.Servers, want.Reused)
+		}
+		if !samePlacement(tr.N(), dstCap, dstUn) {
+			t.Fatalf("step=%d: placements differ under the cap", step)
+		}
+	}
+	// The cap must actually clamp some table: the optimum uses far
+	// fewer servers than the node count, so capB stays well below it.
+	if int(capped.capB) >= tr.N() {
+		t.Fatalf("capB = %d does not clamp a %d-node tree", capped.capB, tr.N())
+	}
+}
+
+// TestPowerRootFoldVolatilityOrder drives one hot subtree under the
+// root, rebinds via Reset, and checks that the volatility-derived fold
+// order pushes the hot child to the end of the fold — so a drift step
+// reuses all but one root merge step — while the front stays
+// byte-identical to a naturally-ordered solver.
+func TestPowerRootFoldVolatilityOrder(t *testing.T) {
+	b := tree.NewBuilder()
+	var grand []int
+	for i := 0; i < 4; i++ {
+		c := b.AddNode(b.Root())
+		g := b.AddNode(c)
+		b.AddClient(g, 2+i)
+		grand = append(grand, g)
+	}
+	tr := b.MustBuild()
+	pm := power.MustNew([]int{5, 12}, 10, 2)
+	prob := PowerProblem{Power: pm, Cost: freeCost(2)}
+	const K = 4
+	hot := grand[0] // client under the root's first child
+
+	dp := NewPowerDP(tr)
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		tr.SetDemand(hot, 0, 2+step%2)
+		if _, err := dp.Solve(prob); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rebind: the observed volatility (only child 0 churned) must move
+	// the hot child to the last fold position.
+	dp.Reset(tr)
+	if len(dp.rootOrder) != K || dp.rootOrder[K-1] != 0 {
+		t.Fatalf("rootOrder = %v, want the hot child (position 0) folded last", dp.rootOrder)
+	}
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.Stats().RootMergeRetained; got != 0 {
+		t.Fatalf("cold solve retained %d root merges, want 0", got)
+	}
+
+	// A hot-child drift now invalidates only the last fold step.
+	tr.SetDemand(hot, 0, 5)
+	if _, err := dp.Solve(prob); err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.Stats().RootMergeRetained; got != K-1 {
+		t.Fatalf("RootMergeRetained = %d, want %d", got, K-1)
+	}
+
+	// An untouched re-solve keeps the whole fold. Its solver view is
+	// the one compared below (a PowerSolver is only valid until the
+	// next Solve on its PowerDP).
+	sReordered, err := dp.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.Stats().RootMergeRetained; got != K {
+		t.Fatalf("RootMergeRetained = %d after a clean re-solve, want %d", got, K)
+	}
+
+	// The reordered fold must not change the front by a single bit, and
+	// its reconstruction must price identically.
+	fresh := NewPowerDP(tr)
+	sNatural, err := fresh.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, gotF := sNatural.Front(), sReordered.Front()
+	if len(wantF) != len(gotF) {
+		t.Fatalf("front size %d, want %d", len(gotF), len(wantF))
+	}
+	for i := range wantF {
+		if gotF[i] != wantF[i] {
+			t.Fatalf("front[%d] = %+v, want %+v", i, gotF[i], wantF[i])
+		}
+	}
+	want, got := sNatural.MinPower(), sReordered.MinPower()
+	if got.Cost != want.Cost || got.Power != want.Power {
+		t.Fatalf("reordered best (%v, %v), natural (%v, %v)", got.Cost, got.Power, want.Cost, want.Power)
+	}
+}

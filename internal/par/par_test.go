@@ -120,3 +120,130 @@ func TestForEachParallelismIsBounded(t *testing.T) {
 		t.Fatalf("observed %d concurrent workers, limit 4", peak.Load())
 	}
 }
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			ForEach(16, workers, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestMapPooledPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "pooled boom" {
+			t.Fatalf("recovered %v, want pooled boom", r)
+		}
+	}()
+	MapPooled(32, 4, func() int { return 0 }, func(_ int, i int) int {
+		if i == 13 {
+			panic("pooled boom")
+		}
+		return i
+	})
+	t.Fatal("MapPooled returned instead of panicking")
+}
+
+func TestForEachWorkersDefaultAndClamp(t *testing.T) {
+	// workers <= 0 selects GOMAXPROCS(0); just check completion and
+	// that the bound respects a tiny n (no goroutine without work).
+	hit := make([]int32, 3)
+	var cur, peak atomic.Int32
+	ForEach(len(hit), -1, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&hit[i], 1)
+		cur.Add(-1)
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	if peak.Load() > int32(len(hit)) {
+		t.Fatalf("observed %d concurrent workers for n=%d", peak.Load(), len(hit))
+	}
+}
+
+func TestPoolCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		p := NewPool(workers)
+		if p.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		for _, n := range []int{0, 1, 57, 1000} {
+			hit := make([]int32, n)
+			p.Run(n, func(w, i int) {
+				if w < 0 || w >= workers {
+					t.Errorf("worker id %d out of [0,%d)", w, workers)
+				}
+				atomic.AddInt32(&hit[i], 1)
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolReusableAfterPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			if r := recover(); r != "pool boom" {
+				t.Fatalf("recovered %v, want pool boom", r)
+			}
+		}()
+		p.Run(64, func(w, i int) {
+			if i == 31 {
+				panic("pool boom")
+			}
+		})
+		t.Fatal("Run returned instead of panicking")
+	}()
+	// The pool must stay usable after a drained panic.
+	var count atomic.Int32
+	p.Run(64, func(w, i int) { count.Add(1) })
+	if count.Load() != 64 {
+		t.Fatalf("post-panic Run covered %d indices, want 64", count.Load())
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	var count atomic.Int32
+	p.Run(100, func(w, i int) { count.Add(1) })
+	if count.Load() != 100 {
+		t.Fatalf("covered %d indices, want 100", count.Load())
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Run(10, func(w, i int) {})
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,138 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent team of worker goroutines for repeated
+// fork-join sweeps. ForEach spawns fresh goroutines per call, which is
+// fine for one-shot sweeps but allocates on every invocation; the
+// incremental solvers re-run their bottom-up pass on every drift step
+// and are benchmarked under a zero-alloc gate, so they need workers
+// that outlive the call. A Pool's steady-state Run performs no heap
+// allocations: workers park on pre-allocated channels between runs and
+// indices are handed out by an atomic cursor in small chunks (dynamic
+// load balancing for the highly uneven per-node work of the DP waves).
+//
+// Run(n, fn) invokes fn(worker, i) for every i in [0, n), where worker
+// is a stable id in [0, Workers()) letting fn address per-worker state
+// (arenas, scratch) without synchronisation. The caller's goroutine
+// participates as worker 0. As with ForEach, fn must confine its side
+// effects to index-addressed or worker-private storage; a panic in fn
+// is re-raised on the caller after the sweep drains.
+//
+// A Pool is not safe for concurrent Run calls. Close releases the
+// worker goroutines; a finalizer-style cleanup also releases them when
+// a still-open Pool becomes unreachable, so dropping a Pool without
+// Close does not leak goroutines.
+type Pool struct {
+	sh *poolShared
+}
+
+// poolShared is the state the worker goroutines reference. It is split
+// from Pool so that an unreachable Pool can be collected (triggering
+// the cleanup) while its workers still park on the channels below —
+// workers must not keep the Pool itself alive.
+type poolShared struct {
+	workers int
+	start   []chan struct{} // one slot per spawned worker (ids 1..workers-1)
+	done    chan struct{}
+
+	// Per-run state, written by Run before the workers wake and read
+	// only while they run (the channel sends/receives order the
+	// accesses).
+	fn    func(worker, i int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	pb    panicBox
+
+	closeOnce sync.Once
+}
+
+// NewPool returns a pool with the given number of workers (clamped as
+// described in the package comment: <= 0 selects runtime.GOMAXPROCS(0)).
+// A one-worker pool spawns no goroutines and runs everything inline.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &poolShared{workers: workers, done: make(chan struct{}, workers)}
+	for w := 1; w < workers; w++ {
+		c := make(chan struct{}, 1)
+		sh.start = append(sh.start, c)
+		go func() {
+			for range c {
+				sh.runWorker(w)
+				sh.done <- struct{}{}
+			}
+		}()
+	}
+	p := &Pool{sh: sh}
+	runtime.AddCleanup(p, func(sh *poolShared) { sh.close() }, sh)
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.sh.workers }
+
+// Run invokes fn(worker, i) for every i in [0, n) across the pool's
+// workers and returns once all invocations completed. fn is not
+// retained after Run returns.
+func (p *Pool) Run(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	sh := p.sh
+	if sh.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	sh.fn, sh.n = fn, n
+	// Chunked claiming bounds cursor contention on huge sweeps while
+	// keeping chunks small enough to balance very uneven item costs.
+	sh.chunk = max(1, min(64, n/(sh.workers*4)))
+	sh.next.Store(0)
+	sh.pb.val, sh.pb.set = nil, false
+	for _, c := range sh.start {
+		c <- struct{}{}
+	}
+	sh.runWorker(0)
+	for range sh.start {
+		<-sh.done
+	}
+	sh.fn = nil // release fn's captures while the pool idles
+	sh.pb.rethrow()
+}
+
+// runWorker drains chunks of the current sweep as worker w.
+func (sh *poolShared) runWorker(w int) {
+	defer sh.pb.capture()
+	fn, n, chunk := sh.fn, sh.n, sh.chunk
+	for {
+		lo := int(sh.next.Add(int64(chunk))) - chunk
+		if lo >= n {
+			return
+		}
+		for i, hi := lo, min(lo+chunk, n); i < hi; i++ {
+			fn(w, i)
+		}
+	}
+}
+
+// Close releases the pool's worker goroutines. The pool must be idle;
+// Run must not be called afterwards (it would deadlock waiting on
+// parked workers). Close is idempotent.
+func (p *Pool) Close() { p.sh.close() }
+
+func (sh *poolShared) close() {
+	sh.closeOnce.Do(func() {
+		for _, c := range sh.start {
+			close(c)
+		}
+	})
+}

@@ -3,7 +3,7 @@ package tree
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
 )
 
 // Builder constructs trees incrementally. The root (node 0) exists from
@@ -68,11 +68,16 @@ func (b *Builder) MustBuild() *Tree {
 	return t
 }
 
-// rawBuilder assembles the derived structures (children lists, post
-// order, depths) shared by Builder.Build and FromParents.
+// rawBuilder assembles the derived CSR structures (child spans, client
+// spans, post order, depths, wave schedule) shared by Builder.Build,
+// FromParents and Generate. Clients arrive either as per-node lists
+// (clients) or, from the mega-tree generator, already flattened
+// (clientStart/clientReqs); the flat form wins when both are set.
 type rawBuilder struct {
-	parent  []int
-	clients [][]int
+	parent      []int
+	clients     [][]int
+	clientStart []int32
+	clientReqs  []int
 }
 
 func newRawBuilder(n int) *rawBuilder {
@@ -83,20 +88,54 @@ func newRawBuilder(n int) *rawBuilder {
 
 func (rb *rawBuilder) finish() (*Tree, error) {
 	n := len(rb.parent)
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("tree: %d nodes exceed the CSR offset range", n)
+	}
 	t := &Tree{
 		parent:    rb.parent,
-		children:  make([][]int, n),
-		clients:   rb.clients,
 		depth:     make([]int, n),
 		demandGen: make([]uint64, n),
 	}
+
+	// Children in CSR form via a counting sort on the parent vector;
+	// filling by ascending j keeps every span in ascending id order.
+	t.childStart = make([]int32, n+1)
 	for j := 1; j < n; j++ {
-		p := t.parent[j]
-		t.children[p] = append(t.children[p], j)
+		t.childStart[rb.parent[j]+1]++
 	}
-	for j := range t.children {
-		sort.Ints(t.children[j])
+	for j := 0; j < n; j++ {
+		t.childStart[j+1] += t.childStart[j]
 	}
+	t.childIDs = make([]int, n-1)
+	next := make([]int32, n)
+	copy(next, t.childStart[:n])
+	for j := 1; j < n; j++ {
+		p := rb.parent[j]
+		t.childIDs[next[p]] = j
+		next[p]++
+	}
+
+	// Client spans: adopt the generator's pre-flattened arrays or
+	// flatten the per-node lists.
+	if rb.clientStart != nil {
+		t.clientStart, t.clientReqs = rb.clientStart, rb.clientReqs
+	} else {
+		total := 0
+		for _, cl := range rb.clients {
+			total += len(cl)
+		}
+		if total > math.MaxInt32 {
+			return nil, fmt.Errorf("tree: %d clients exceed the CSR offset range", total)
+		}
+		t.clientStart = make([]int32, n+1)
+		t.clientReqs = make([]int, 0, total)
+		for j := 0; j < n; j++ {
+			t.clientStart[j] = int32(len(t.clientReqs))
+			t.clientReqs = append(t.clientReqs, rb.clients[j]...)
+		}
+		t.clientStart[n] = int32(len(t.clientReqs))
+	}
+
 	// Iterative DFS from the root assigns depths and detects
 	// unreachable nodes (which would indicate a cycle among non-root
 	// nodes in a FromParents input).
@@ -107,8 +146,8 @@ func (rb *rawBuilder) finish() (*Tree, error) {
 	visited[0] = true
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		if f.next < len(t.children[f.node]) {
-			c := t.children[f.node][f.next]
+		if kids := t.Children(f.node); f.next < len(kids) {
+			c := kids[f.next]
 			f.next++
 			if visited[c] {
 				return nil, fmt.Errorf("tree: node %d reached twice; parent vector has a cycle", c)
@@ -123,6 +162,38 @@ func (rb *rawBuilder) finish() (*Tree, error) {
 	}
 	if len(t.post) != n {
 		return nil, errors.New("tree: parent vector contains nodes unreachable from the root")
+	}
+
+	// Wave schedule: heights bottom-up over the post order, then a
+	// counting sort by height (ascending j keeps waves in id order).
+	height := make([]int32, n)
+	maxH := int32(0)
+	for _, j := range t.post {
+		h := int32(0)
+		for _, c := range t.Children(j) {
+			if hc := height[c] + 1; hc > h {
+				h = hc
+			}
+		}
+		height[j] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	t.waveStart = make([]int32, maxH+2)
+	for _, h := range height {
+		t.waveStart[h+1]++
+	}
+	for h := int32(0); h <= maxH; h++ {
+		t.waveStart[h+1] += t.waveStart[h]
+	}
+	t.waveNodes = make([]int, n)
+	nextW := next[:maxH+1]
+	copy(nextW, t.waveStart[:maxH+1])
+	for j := 0; j < n; j++ {
+		h := height[j]
+		t.waveNodes[nextW[h]] = j
+		nextW[h]++
 	}
 	return t, nil
 }

@@ -1,0 +1,264 @@
+package tree
+
+import (
+	"bytes"
+	"testing"
+
+	"replicatree/internal/rng"
+)
+
+// csrTrees builds a spread of instances covering every construction
+// path: the generator presets (flat CSR emission), the builder
+// (per-node client lists) and FromParents.
+func csrTrees(t *testing.T) map[string]*Tree {
+	t.Helper()
+	b := NewBuilder()
+	n1 := b.AddNode(b.Root())
+	b.AddNode(b.Root())
+	b.AddClient(n1, 3)
+	b.AddClient(n1, 1)
+	b.AddClient(b.Root(), 2)
+	built := b.MustBuild()
+
+	fp, err := FromParents([]int{-1, 0, 0, 1, 1, 2, 5}, [][]int{nil, {2}, nil, {1, 4}, nil, nil, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON round-trip of a generated tree: the decode path rebuilds the
+	// CSR arrays from the parent-vector wire format.
+	var buf bytes.Buffer
+	if err := MustGenerate(FatConfig(150), rng.New(5)).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadTreeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]*Tree{
+		"fat":     MustGenerate(FatConfig(200), rng.New(1)),
+		"high":    MustGenerate(HighConfig(200), rng.New(2)),
+		"scale":   MustGenerate(ScalePreset(3000), rng.New(3)),
+		"builder": built,
+		"parents": fp,
+		"json":    rt,
+		"single":  MustGenerate(GenConfig{Nodes: 1, MinChildren: 1, MaxChildren: 1, ClientProb: 1, ReqMin: 1, ReqMax: 1}, rng.New(4)),
+	}
+}
+
+// TestCSRLayoutMatchesReference cross-checks the CSR child and client
+// spans against a naive reference derived from the parent vector: same
+// lists node by node, contiguous monotone offsets, and accessors that
+// alias the shared payload arrays rather than copying.
+func TestCSRLayoutMatchesReference(t *testing.T) {
+	for name, tr := range csrTrees(t) {
+		n := tr.N()
+
+		// Reference children: parent vector order, ascending child id —
+		// the documented child order of every construction path.
+		ref := make([][]int, n)
+		edges := 0
+		for j := 1; j < n; j++ {
+			p := tr.Parent(j)
+			ref[p] = append(ref[p], j)
+			edges++
+		}
+		if got := len(tr.childIDs); got != edges {
+			t.Fatalf("%s: child payload has %d entries, want %d", name, got, edges)
+		}
+		for j := 0; j < n; j++ {
+			if tr.childStart[j] > tr.childStart[j+1] {
+				t.Fatalf("%s: childStart not monotone at %d", name, j)
+			}
+			kids := tr.Children(j)
+			if len(kids) != len(ref[j]) {
+				t.Fatalf("%s: node %d has %d children, want %d", name, j, len(kids), len(ref[j]))
+			}
+			for i, c := range ref[j] {
+				if kids[i] != c {
+					t.Fatalf("%s: Children(%d) = %v, want %v", name, j, kids, ref[j])
+				}
+			}
+			if len(kids) > 0 && &kids[0] != &tr.childIDs[tr.childStart[j]] {
+				t.Fatalf("%s: Children(%d) does not alias the CSR payload", name, j)
+			}
+			cl := tr.Clients(j)
+			if len(cl) > 0 && &cl[0] != &tr.clientReqs[tr.clientStart[j]] {
+				t.Fatalf("%s: Clients(%d) does not alias the CSR payload", name, j)
+			}
+		}
+		if int(tr.clientStart[n]) != len(tr.clientReqs) {
+			t.Fatalf("%s: client offsets end at %d, payload has %d", name, tr.clientStart[n], len(tr.clientReqs))
+		}
+		total := 0
+		for _, r := range tr.clientReqs {
+			total += r
+		}
+		if total != tr.TotalRequests() {
+			t.Fatalf("%s: TotalRequests = %d, payload sums to %d", name, tr.TotalRequests(), total)
+		}
+
+		// PostOrder visits every node once, children before parents;
+		// depths follow the parent vector.
+		visited := make([]bool, n)
+		for _, j := range tr.PostOrder() {
+			if visited[j] {
+				t.Fatalf("%s: node %d visited twice in post-order", name, j)
+			}
+			for _, c := range tr.Children(j) {
+				if !visited[c] {
+					t.Fatalf("%s: post-order visits %d before child %d", name, j, c)
+				}
+			}
+			visited[j] = true
+			if j == tr.Root() {
+				if tr.Depth(j) != 0 {
+					t.Fatalf("%s: root depth %d", name, tr.Depth(j))
+				}
+			} else if tr.Depth(j) != tr.Depth(tr.Parent(j))+1 {
+				t.Fatalf("%s: Depth(%d) = %d, parent depth %d", name, j, tr.Depth(j), tr.Depth(tr.Parent(j)))
+			}
+		}
+		for j, v := range visited {
+			if !v {
+				t.Fatalf("%s: post-order misses node %d", name, j)
+			}
+		}
+	}
+}
+
+// TestWaveInvariants checks the height-wave schedule every parallel
+// solver relies on: the waves partition the nodes, wave h holds exactly
+// the nodes of height h (so children always lie in strictly lower
+// waves), the root is the sole member of the last wave, and
+// Height() == Waves()-1.
+func TestWaveInvariants(t *testing.T) {
+	for name, tr := range csrTrees(t) {
+		n := tr.N()
+
+		// Reference heights, bottom-up over the post-order.
+		height := make([]int, n)
+		for _, j := range tr.PostOrder() {
+			h := 0
+			for _, c := range tr.Children(j) {
+				if height[c]+1 > h {
+					h = height[c] + 1
+				}
+			}
+			height[j] = h
+		}
+
+		if tr.Waves() != height[tr.Root()]+1 {
+			t.Fatalf("%s: Waves() = %d, root height %d", name, tr.Waves(), height[tr.Root()])
+		}
+		if tr.Height() != tr.Waves()-1 {
+			t.Fatalf("%s: Height() = %d, Waves() = %d", name, tr.Height(), tr.Waves())
+		}
+		seen := make([]bool, n)
+		count := 0
+		for h := 0; h < tr.Waves(); h++ {
+			wave := tr.Wave(h)
+			if len(wave) == 0 {
+				t.Fatalf("%s: wave %d empty", name, h)
+			}
+			for _, j := range wave {
+				if seen[j] {
+					t.Fatalf("%s: node %d in two waves", name, j)
+				}
+				seen[j] = true
+				count++
+				if height[j] != h {
+					t.Fatalf("%s: node %d (height %d) in wave %d", name, j, height[j], h)
+				}
+				for _, c := range tr.Children(j) {
+					if height[c] >= h {
+						t.Fatalf("%s: child %d of %d not in a lower wave", name, c, j)
+					}
+				}
+			}
+		}
+		if count != n {
+			t.Fatalf("%s: waves cover %d of %d nodes", name, count, n)
+		}
+		last := tr.Wave(tr.Waves() - 1)
+		if len(last) != 1 || last[0] != tr.Root() {
+			t.Fatalf("%s: last wave = %v, want just the root", name, last)
+		}
+	}
+}
+
+// TestSetClientRequestsSplice exercises the CSR slow path: replacing a
+// node's client list with one of a different length splices the shared
+// payload array and re-bases the offsets, leaving every other node's
+// list intact.
+func TestSetClientRequestsSplice(t *testing.T) {
+	tr := MustGenerate(FatConfig(120), rng.New(9))
+	n := tr.N()
+
+	snapshot := func() [][]int {
+		s := make([][]int, n)
+		for j := 0; j < n; j++ {
+			s[j] = append([]int(nil), tr.Clients(j)...)
+		}
+		return s
+	}
+
+	// Pick a node with clients somewhere in the middle of the payload.
+	target := -1
+	for j := n / 3; j < n; j++ {
+		if len(tr.Clients(j)) > 0 {
+			target = j
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no client node found")
+	}
+
+	for _, reqs := range [][]int{
+		{7, 8, 9, 10}, // grow
+		{5},           // shrink
+		{},            // drop all clients
+		{2, 2},        // regrow from empty
+	} {
+		before := snapshot()
+		gen := tr.DemandGen(target)
+		tr.SetClientRequests(target, reqs)
+		if tr.DemandGen(target) == gen {
+			t.Fatalf("splice to %v did not advance the demand generation", reqs)
+		}
+		got := tr.Clients(target)
+		if len(got) != len(reqs) {
+			t.Fatalf("Clients(%d) = %v, want %v", target, got, reqs)
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				t.Fatalf("Clients(%d) = %v, want %v", target, got, reqs)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j == target {
+				continue
+			}
+			cl := tr.Clients(j)
+			if len(cl) != len(before[j]) {
+				t.Fatalf("splice of %d resized Clients(%d)", target, j)
+			}
+			for i := range cl {
+				if cl[i] != before[j][i] {
+					t.Fatalf("splice of %d corrupted Clients(%d)", target, j)
+				}
+			}
+		}
+		if int(tr.clientStart[n]) != len(tr.clientReqs) {
+			t.Fatal("offsets out of sync with payload after splice")
+		}
+	}
+
+	// The same-length fast path must stay in place (no re-basing).
+	tr.SetClientRequests(target, []int{4, 4})
+	if got := tr.Clients(target); len(got) != 2 || got[0] != 4 || got[1] != 4 {
+		t.Fatalf("in-place replacement failed: %v", got)
+	}
+}

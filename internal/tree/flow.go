@@ -78,7 +78,7 @@ func (e *Engine) Reset(t *Tree) {
 	e.srv = growScratch(e.srv, n)
 	for _, j := range t.post {
 		s := 1
-		for _, c := range t.children[j] {
+		for _, c := range t.Children(j) {
 			s += e.size[c]
 		}
 		e.size[j] = s
@@ -141,7 +141,7 @@ func (e *Engine) evalClosest(r *Replicas) Result {
 	t := e.t
 	for _, j := range t.post {
 		f := t.ClientSum(j)
-		for _, c := range t.children[j] {
+		for _, c := range t.Children(j) {
 			f += e.up[c]
 		}
 		if r.Has(j) {
@@ -167,7 +167,7 @@ func (e *Engine) evalMultiple(r *Replicas, capOf CapOf) Result {
 	t := e.t
 	for _, j := range t.post {
 		f := t.ClientSum(j)
-		for _, c := range t.children[j] {
+		for _, c := range t.Children(j) {
 			f += e.up[c]
 		}
 		absorbed := 0
@@ -196,7 +196,7 @@ func (e *Engine) evalUpwards(r *Replicas, capOf CapOf) Result {
 	unserved := 0
 	for i, j := range t.post {
 		e.pendBase[i] = len(e.pend)
-		for _, d := range t.clients[j] {
+		for _, d := range t.Clients(j) {
 			if d > 0 {
 				e.pend = append(e.pend, d)
 			}

@@ -135,7 +135,7 @@ func (e *Engine) ValidateConstrained(r *Replicas, p Policy, capOf CapOf, c *Cons
 	}
 	e.fillServingDepths(r)
 	for j := 0; j < t.N(); j++ {
-		for k, d := range t.clients[j] {
+		for k, d := range t.Clients(j) {
 			if d == 0 {
 				continue
 			}
@@ -206,7 +206,7 @@ func (e *Engine) ValidateUniformConstrained(r *Replicas, p Policy, W int, c *Con
 // pushClients appends the positive demands of node j (at depth d) with
 // their minimal server depths to the pending stack.
 func (e *Engine) pushClients(j, d int, c *Constraints) {
-	for k, dem := range e.t.clients[j] {
+	for k, dem := range e.t.Clients(j) {
 		if dem > 0 {
 			e.pend = append(e.pend, dem)
 			e.pendL = append(e.pendL, c.MinServerDepth(j, k, d))

@@ -58,6 +58,24 @@ func PowerConfig(nodes int) GenConfig {
 	return c
 }
 
+// ScalePreset is the mega-tree workload of the BenchmarkScale tier:
+// fat trees (6-9 children per internal node, as in Experiment 1) but
+// with sparse demand — each node receives one client with probability
+// 0.1 issuing 1-6 requests — sized far beyond the paper's experiments
+// (10^4-10^6 nodes) to exercise the CSR layout and the
+// subtree-parallel DP. Generation is O(N) in time and memory.
+func ScalePreset(nodes int) GenConfig {
+	return GenConfig{
+		Nodes:        nodes,
+		MinChildren:  6,
+		MaxChildren:  9,
+		ClientProb:   0.1,
+		ReqMin:       1,
+		ReqMax:       6,
+		EnsureClient: true,
+	}
+}
+
 func (c GenConfig) validate() error {
 	switch {
 	case c.Nodes < 1:
@@ -88,21 +106,37 @@ func Generate(cfg GenConfig, src *rng.Source) (*Tree, error) {
 			parent = append(parent, frontier)
 		}
 	}
-	clients := make([][]int, len(parent))
+	// Clients are emitted directly in flat CSR form: at mega scale a
+	// per-node [][]int would cost one small allocation per client.
+	n := len(parent)
+	clientStart := make([]int32, n+1)
+	clientReqs := make([]int, 0, n/4)
 	total := 0
-	for j := range clients {
+	for j := 0; j < n; j++ {
+		clientStart[j] = int32(len(clientReqs))
 		if src.Bool(cfg.ClientProb) {
 			r := src.Between(cfg.ReqMin, cfg.ReqMax)
-			clients[j] = []int{r}
+			clientReqs = append(clientReqs, r)
 			total += r
 		}
 	}
+	clientStart[n] = int32(len(clientReqs))
 	if cfg.EnsureClient && total == 0 {
-		j := src.IntN(len(parent))
+		// Replace node j's (empty or all-zero) client list with the one
+		// ensured client, splicing the flat arrays. Rare path: it only
+		// triggers when the probabilistic attachment drew no demand.
+		j := src.IntN(n)
 		r := src.Between(max(cfg.ReqMin, 1), max(cfg.ReqMax, 1))
-		clients[j] = []int{r}
+		lo, hi := clientStart[j], clientStart[j+1]
+		tail := append([]int(nil), clientReqs[hi:]...)
+		clientReqs = append(append(clientReqs[:lo], r), tail...)
+		delta := int32(1) - (hi - lo)
+		for k := j + 1; k <= n; k++ {
+			clientStart[k] += delta
+		}
 	}
-	return FromParents(parent, clients)
+	rb := &rawBuilder{parent: parent, clientStart: clientStart, clientReqs: clientReqs}
+	return rb.finish()
 }
 
 // MustGenerate is Generate for callers with a statically valid config.

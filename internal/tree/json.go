@@ -23,7 +23,7 @@ type replicasJSON struct {
 
 // MarshalJSON implements json.Marshaler.
 func (t *Tree) MarshalJSON() ([]byte, error) {
-	return json.Marshal(treeJSON{Parents: t.parent, Clients: t.clients})
+	return json.Marshal(treeJSON{Parents: t.parent, Clients: t.clientLists()})
 }
 
 // UnmarshalJSON implements json.Unmarshaler, validating the topology.
@@ -139,7 +139,7 @@ func ReadInstanceJSON(rd io.Reader) (*Tree, *Constraints, error) {
 // WriteInstanceJSON writes the tree and its constraints to w as
 // indented JSON. A nil constraint set writes a plain tree file.
 func WriteInstanceJSON(w io.Writer, t *Tree, c *Constraints) error {
-	raw := instanceJSON{Parents: t.parent, Clients: t.clients}
+	raw := instanceJSON{Parents: t.parent, Clients: t.clientLists()}
 	if c != nil {
 		if err := c.Validate(t); err != nil {
 			return err
@@ -147,8 +147,8 @@ func WriteInstanceJSON(w io.Writer, t *Tree, c *Constraints) error {
 		if c.Bounded() {
 			raw.QoS = make([][]int, t.N())
 			for j := 0; j < t.N(); j++ {
-				raw.QoS[j] = make([]int, len(t.clients[j]))
-				for k := range t.clients[j] {
+				raw.QoS[j] = make([]int, len(t.Clients(j)))
+				for k := range t.Clients(j) {
 					raw.QoS[j][k] = c.QoS(j, k)
 				}
 			}

@@ -39,17 +39,48 @@ import (
 // dynamic-update experiments); the topology is fixed at Build time,
 // matching the paper's fixed-network assumption.
 //
+// Children and client request counts are stored in CSR (compressed
+// sparse row) layout: per-node spans into shared flat slices. At the
+// 10^5-10^6 node scale the ROADMAP targets, the former [][]int layout
+// cost one pointer-chased allocation per node; the flat layout streams
+// cache-linearly during the bottom-up DP sweeps and flow passes and is
+// built with O(1) allocations. Children(j)/Clients(j) keep returning
+// []int by subslicing, so callers are unaffected — but the returned
+// slices alias the shared arrays, which makes the long-documented
+// "caller must not modify" contract load-bearing: writing through a
+// returned slice corrupts neighbouring nodes' spans.
+//
 // Every demand mutation stamps the touched node with a fresh generation
 // from a tree-local clock (see DemandGen). The arena-backed DP solvers
 // in internal/core compare these stamps against the generation they
 // last folded into each node's cached subtree table, which is what lets
 // them recompute only the dirty ancestor chains of changed clients.
 type Tree struct {
-	parent   []int   // parent[j] is the parent id of node j; -1 for the root
-	children [][]int // internal-node children, ascending id order
-	clients  [][]int // request count of each client attached to node j
-	post     []int   // post-order traversal: children before parents
-	depth    []int   // depth[j], root has depth 0
+	parent []int // parent[j] is the parent id of node j; -1 for the root
+
+	// Children of j are childIDs[childStart[j]:childStart[j+1]], in
+	// ascending id order. Offsets are int32 (half the footprint of int
+	// offsets at mega scale); payloads stay []int so the accessors can
+	// subslice without conversion.
+	childStart []int32
+	childIDs   []int
+
+	// Request counts of the clients attached to j are
+	// clientReqs[clientStart[j]:clientStart[j+1]].
+	clientStart []int32
+	clientReqs  []int
+
+	post  []int // post-order traversal: children before parents
+	depth []int // depth[j], root has depth 0
+
+	// Wave schedule for the subtree-parallel DP: wave h holds the nodes
+	// of height h (leaves at height 0; height = 1 + max child height),
+	// in ascending id order. Children always sit in strictly lower
+	// waves, so processing waves in order with a barrier between them
+	// is a valid bottom-up schedule whatever the parallelism inside a
+	// wave. Stored as CSR spans like children and clients.
+	waveStart []int32
+	waveNodes []int
 
 	clock     uint64   // monotone demand-mutation counter
 	demandGen []uint64 // demandGen[j] is the clock value of node j's last mutation
@@ -64,19 +95,25 @@ func (t *Tree) Root() int { return 0 }
 // Parent returns the parent id of node j, or -1 for the root.
 func (t *Tree) Parent(j int) int { return t.parent[j] }
 
-// Children returns the internal-node children of node j. The caller must
-// not modify the returned slice.
-func (t *Tree) Children(j int) []int { return t.children[j] }
+// Children returns the internal-node children of node j in ascending id
+// order. The returned slice aliases the tree's shared child array; the
+// caller must not modify it.
+func (t *Tree) Children(j int) []int {
+	return t.childIDs[t.childStart[j]:t.childStart[j+1]]
+}
 
 // Clients returns the request counts of the clients attached to node j.
-// The caller must not modify the returned slice.
-func (t *Tree) Clients(j int) []int { return t.clients[j] }
+// The returned slice aliases the tree's shared client array; the caller
+// must not modify it (use SetDemand or SetClientRequests).
+func (t *Tree) Clients(j int) []int {
+	return t.clientReqs[t.clientStart[j]:t.clientStart[j+1]]
+}
 
 // ClientSum returns the total number of requests issued by the clients
 // attached to node j (the paper's client(j)).
 func (t *Tree) ClientSum(j int) int {
 	s := 0
-	for _, r := range t.clients[j] {
+	for _, r := range t.clientReqs[t.clientStart[j]:t.clientStart[j+1]] {
 		s += r
 	}
 	return s
@@ -86,19 +123,37 @@ func (t *Tree) ClientSum(j int) int {
 // node j. The number of clients at j may change; the topology of internal
 // nodes does not. The node's demand generation advances unless the new
 // list equals the old one. Single-client edits in hot loops should use
-// SetDemand, which mutates in place without allocating.
+// SetDemand, which mutates in place without allocating; a same-length
+// replacement here is also in place, while a change in client count
+// rebuilds the flat client array in O(total clients).
 func (t *Tree) SetClientRequests(j int, reqs []int) {
 	// A caller may (against Clients' contract) mutate the returned
 	// internal slice in place and pass it back here; comparing it
 	// against itself would skip the stamp and leave solver caches
 	// stale, so aliased input always stamps.
-	cur := t.clients[j]
+	cur := t.Clients(j)
 	aliased := len(reqs) > 0 && len(cur) > 0 && &reqs[0] == &cur[0]
 	if !aliased && slices.Equal(cur, reqs) {
 		return
 	}
-	t.clients[j] = append([]int(nil), reqs...)
+	if len(reqs) == len(cur) {
+		copy(cur, reqs)
+	} else {
+		t.spliceClients(j, reqs)
+	}
 	t.touch(j)
+}
+
+// spliceClients replaces node j's client span with reqs, shifting the
+// tail of the flat array and re-basing the offsets of the nodes after j.
+func (t *Tree) spliceClients(j int, reqs []int) {
+	lo, hi := t.clientStart[j], t.clientStart[j+1]
+	tail := append([]int(nil), t.clientReqs[hi:]...)
+	t.clientReqs = append(append(t.clientReqs[:lo], reqs...), tail...)
+	delta := int32(len(reqs)) - (hi - lo)
+	for k := j + 1; k < len(t.clientStart); k++ {
+		t.clientStart[k] += delta
+	}
 }
 
 // SetDemand sets the request count of the k-th client of node j,
@@ -111,7 +166,7 @@ func (t *Tree) SetDemand(j, k, reqs int) bool {
 	if reqs < 0 {
 		panic(fmt.Sprintf("tree: SetDemand with negative requests %d", reqs))
 	}
-	cl := t.clients[j]
+	cl := t.Clients(j)
 	if k < 0 || k >= len(cl) {
 		panic(fmt.Sprintf("tree: SetDemand(%d, %d): node has %d clients", j, k, len(cl)))
 	}
@@ -143,42 +198,44 @@ func (t *Tree) PostOrder() []int { return t.post }
 // Depth returns the depth of node j (root = 0).
 func (t *Tree) Depth(j int) int { return t.depth[j] }
 
-// Height returns the maximum node depth.
-func (t *Tree) Height() int {
-	h := 0
-	for _, d := range t.depth {
-		if d > h {
-			h = d
-		}
-	}
-	return h
+// Height returns the maximum node depth (equivalently, the height of
+// the root: the length of the longest root-to-leaf path).
+func (t *Tree) Height() int { return t.Waves() - 1 }
+
+// Waves returns the number of height levels of the tree. Wave 0 is the
+// leaves; the last wave contains exactly the root (the root's height
+// strictly exceeds every other node's, since every non-root node lies
+// inside one of its children's subtrees).
+func (t *Tree) Waves() int { return len(t.waveStart) - 1 }
+
+// Wave returns the nodes of height h in ascending id order. Every
+// child of a wave-h node lies in a wave strictly below h, so the
+// bottom-up DP sweeps may process any one wave in parallel once the
+// previous waves are complete. The caller must not modify the returned
+// slice.
+func (t *Tree) Wave(h int) []int {
+	return t.waveNodes[t.waveStart[h]:t.waveStart[h+1]]
 }
 
 // TotalRequests returns the total number of requests issued by all
 // clients in the tree.
 func (t *Tree) TotalRequests() int {
 	s := 0
-	for j := range t.clients {
-		s += t.ClientSum(j)
+	for _, r := range t.clientReqs {
+		s += r
 	}
 	return s
 }
 
 // ClientCount returns the total number of clients in the tree.
-func (t *Tree) ClientCount() int {
-	c := 0
-	for j := range t.clients {
-		c += len(t.clients[j])
-	}
-	return c
-}
+func (t *Tree) ClientCount() int { return len(t.clientReqs) }
 
 // MaxClientSum returns the largest per-node client demand. Any solution
 // must serve all clients of a node at a single ancestor server, so an
 // instance is infeasible with capacity W whenever MaxClientSum() > W.
 func (t *Tree) MaxClientSum() int {
 	m := 0
-	for j := range t.clients {
+	for j := 0; j < t.N(); j++ {
 		if s := t.ClientSum(j); s > m {
 			m = s
 		}
@@ -191,12 +248,12 @@ func (t *Tree) MaxClientSum() int {
 func (t *Tree) SubtreeNodes(j int) []int {
 	var out []int
 	var stack []int
-	stack = append(stack, t.children[j]...)
+	stack = append(stack, t.Children(j)...)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, n)
-		stack = append(stack, t.children[n]...)
+		stack = append(stack, t.Children(n)...)
 	}
 	return out
 }
@@ -213,20 +270,33 @@ func (t *Tree) IsAncestor(a, d int) bool {
 
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{
-		parent:    append([]int(nil), t.parent...),
-		children:  make([][]int, len(t.children)),
-		clients:   make([][]int, len(t.clients)),
-		post:      append([]int(nil), t.post...),
-		depth:     append([]int(nil), t.depth...),
-		clock:     t.clock,
-		demandGen: append([]uint64(nil), t.demandGen...),
+	return &Tree{
+		parent:      append([]int(nil), t.parent...),
+		childStart:  append([]int32(nil), t.childStart...),
+		childIDs:    append([]int(nil), t.childIDs...),
+		clientStart: append([]int32(nil), t.clientStart...),
+		clientReqs:  append([]int(nil), t.clientReqs...),
+		post:        append([]int(nil), t.post...),
+		depth:       append([]int(nil), t.depth...),
+		waveStart:   append([]int32(nil), t.waveStart...),
+		waveNodes:   append([]int(nil), t.waveNodes...),
+		clock:       t.clock,
+		demandGen:   append([]uint64(nil), t.demandGen...),
 	}
-	for j := range t.children {
-		c.children[j] = append([]int(nil), t.children[j]...)
-		c.clients[j] = append([]int(nil), t.clients[j]...)
+}
+
+// clientLists materialises the per-node client request lists as a
+// [][]int view (nil for client-less nodes, matching the historical
+// in-memory layout). The non-nil entries alias the shared client array.
+// Used by the JSON encoders, where the per-node allocation is fine.
+func (t *Tree) clientLists() [][]int {
+	out := make([][]int, t.N())
+	for j := range out {
+		if cl := t.Clients(j); len(cl) > 0 {
+			out[j] = cl
+		}
 	}
-	return c
+	return out
 }
 
 // Stats summarises a tree for reports and logs.
@@ -247,11 +317,7 @@ func (t *Tree) Summary() Stats {
 		TotalRequests: t.TotalRequests(),
 		Height:        t.Height(),
 		MaxClientSum:  t.MaxClientSum(),
-	}
-	for j := range t.children {
-		if len(t.children[j]) == 0 {
-			s.Leaves++
-		}
+		Leaves:        len(t.Wave(0)),
 	}
 	return s
 }
