@@ -16,6 +16,7 @@ package replicatree_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"replicatree"
@@ -24,6 +25,13 @@ import (
 	"replicatree/internal/exper"
 	"replicatree/internal/tree"
 )
+
+// scaleWorkers pairs the sequential baseline with a parallel run sized
+// to the machine instead of a hardcoded 8, so constrained CI runners
+// still measure a real speedup.
+func scaleWorkers() []int {
+	return []int{1, max(2, runtime.GOMAXPROCS(0))}
+}
 
 // scaleW is the server capacity of the scale tier. Larger than the
 // paper's W=10 so the optimal server count — and with it the capped
@@ -66,7 +74,7 @@ func scaleDriftNodes(t *tree.Tree, k int) []int {
 func BenchmarkScaleColdSolve(b *testing.B) {
 	for _, n := range scaleSizes() {
 		t := scaleTree(b, n)
-		for _, workers := range []int{1, 8} {
+		for _, workers := range scaleWorkers() {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
 				solver := core.NewMinCostSolver(t)
 				solver.SetWorkers(workers)
@@ -90,14 +98,14 @@ func BenchmarkScaleColdSolve(b *testing.B) {
 // BenchmarkScaleDriftStep times one incremental re-solve after 8
 // spread-out demand edits. The dirty ancestor chains are a vanishing
 // fraction of a mega tree, so a step costs a small fraction of
-// BenchmarkScaleColdSolve at the same size — bounded from below by
-// re-merging the capB-wide tables near the root, not by N (see the
-// merge-table compression item in ROADMAP.md).
+// BenchmarkScaleColdSolve at the same size — re-merging the capB-wide
+// tables near the root, which the breakpoint-compressed kernels price
+// by run count rather than row width.
 func BenchmarkScaleDriftStep(b *testing.B) {
 	for _, n := range scaleSizes() {
 		t := scaleTree(b, n)
 		nodes := scaleDriftNodes(t, 8)
-		for _, workers := range []int{1, 8} {
+		for _, workers := range scaleWorkers() {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
 				solver := core.NewMinCostSolver(t)
 				solver.SetWorkers(workers)
@@ -147,6 +155,36 @@ func BenchmarkScaleFlowEval(b *testing.B) {
 				b.Fatalf("placement invalid: %d unserved", unserved)
 			}
 		})
+	}
+}
+
+// BenchmarkCompressedMergeSteadyState times sequential cold re-solves
+// on the 10^4-node scale tree, where the capB-wide tables near the root
+// sit far above the compression activation width, so the merges run on
+// breakpoint rows (the benchmark fails if they did not engage). Paired
+// with the CI zero-alloc gate it also proves the compressed kernels'
+// encode/decode scratch is fully arena-retained in steady state.
+func BenchmarkCompressedMergeSteadyState(b *testing.B) {
+	t := scaleTree(b, 10_000)
+	solver := core.NewMinCostSolver(t)
+	dst := tree.ReplicasOf(t)
+	for warm := 0; warm < 2; warm++ {
+		solver.Invalidate()
+		if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solver.Invalidate()
+		if _, err := solver.SolveInto(nil, scaleW, cost.Simple{}, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if solver.Stats().RowsCompressed == 0 {
+		b.Fatal("the compressed merge kernel never engaged")
 	}
 }
 

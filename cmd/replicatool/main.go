@@ -18,9 +18,13 @@
 //	drift     replay a demand-drift sequence with one incremental solver
 //
 // minpower and pareto accept -stats to include the solver's SolveStats
-// (recomputed tables, root cells scanned/repriced) in the output, and
+// (recomputed tables, root cells scanned/repriced, merge cells scanned,
+// rows run compressed, fold suffixes replayed) in the output, and
 // drift accepts -power to replay the sequence through the incremental
-// power DP, reporting the per-step root-scan counters.
+// power DP, reporting the per-step root-scan counters; drift -stats
+// adds the per-step merge-layer counters too. The exact solvers take
+// -workers to parallelise the post-order DP waves (0 = all CPUs);
+// results are bit-identical for every worker count.
 //
 // The greedy and check subcommands accept -policy closest|upwards|multiple
 // to place and validate under the access policies of arXiv cs/0611034
@@ -202,6 +206,11 @@ func emit(v any) error {
 	return enc.Encode(v)
 }
 
+// workersFlag registers the shared -workers flag of the exact solvers.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "parallel solve workers (0 = all CPUs; results are identical for every count)")
+}
+
 func cmdMinCost(args []string) error {
 	fs := flag.NewFlagSet("mincost", flag.ExitOnError)
 	treeF := fs.String("tree", "", "tree JSON file")
@@ -209,6 +218,7 @@ func cmdMinCost(args []string) error {
 	w := fs.Int("w", 10, "server capacity W")
 	create := fs.Float64("create", 0.1, "creation cost")
 	del := fs.Float64("delete", 0.01, "deletion cost")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	t, err := loadTree(*treeF)
@@ -219,7 +229,9 @@ func cmdMinCost(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := replicatree.NewMinCostSolver(t).Solve(existing, *w, replicatree.SimpleCost{Create: *create, Delete: *del})
+	solver := replicatree.NewMinCostSolver(t)
+	solver.SetWorkers(*workers)
+	res, err := solver.Solve(existing, *w, replicatree.SimpleCost{Create: *create, Delete: *del})
 	if err != nil {
 		return err
 	}
@@ -248,7 +260,8 @@ func cmdMinPower(sub string, args []string) error {
 	fs := flag.NewFlagSet(sub, flag.ExitOnError)
 	treeF, existingF, capsF, static, alpha, create, del, change := powerSetup(fs)
 	bound := fs.Float64("bound", math.Inf(1), "cost bound (minpower only; +Inf = unconstrained)")
-	stats := fs.Bool("stats", false, "include the solver's SolveStats (recomputed tables, root cells scanned/repriced) in the output")
+	stats := fs.Bool("stats", false, "include the solver's SolveStats (recomputed tables, root cells scanned/repriced, merge-layer counters) in the output")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	t, err := loadTree(*treeF)
@@ -269,6 +282,7 @@ func cmdMinPower(sub string, args []string) error {
 	}
 	cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
 	dp := replicatree.NewPowerDP(t)
+	dp.SetWorkers(*workers)
 	solver, err := dp.Solve(replicatree.PowerProblem{
 		Existing: existing, Power: pm, Cost: cm,
 	})
@@ -309,14 +323,24 @@ type statsOut struct {
 	Recomputed        int `json:"recomputed_tables"`
 	RootCellsScanned  int `json:"root_cells_scanned"`
 	RootCellsRepriced int `json:"root_cells_repriced"`
+	// Merge-layer counters: table cells the merge kernels touched
+	// (breakpoint runs for compressed steps), DP rows run in compressed
+	// form, and merge steps replayed by partial suffix folds at
+	// high-fanout nodes.
+	MergeCellsScanned  int `json:"merge_cells_scanned"`
+	RowsCompressed     int `json:"rows_compressed"`
+	FoldSuffixReplayed int `json:"fold_suffix_replayed"`
 }
 
 func newStatsOut(st replicatree.SolveStats) *statsOut {
 	return &statsOut{
-		Nodes:             st.Nodes,
-		Recomputed:        st.Recomputed,
-		RootCellsScanned:  st.RootCellsScanned,
-		RootCellsRepriced: st.RootCellsRepriced,
+		Nodes:              st.Nodes,
+		Recomputed:         st.Recomputed,
+		RootCellsScanned:   st.RootCellsScanned,
+		RootCellsRepriced:  st.RootCellsRepriced,
+		MergeCellsScanned:  st.MergeCellsScanned,
+		RowsCompressed:     st.RowsCompressed,
+		FoldSuffixReplayed: st.FoldSuffixReplayed,
 	}
 }
 
@@ -328,6 +352,7 @@ func cmdGreedy(args []string) error {
 	qos := fs.Int("qos", 0, "uniform per-client QoS bound (0 = keep the instance's)")
 	bw := fs.Int("bw", -1, "uniform per-link bandwidth (negative = keep the instance's)")
 	exact := fs.Bool("exact", false, "run the exact QoS DP of arXiv 0706.3350 (closest policy only)")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	t, cons, err := loadInstance(*treeF)
@@ -346,7 +371,9 @@ func cmdGreedy(args []string) error {
 			return fmt.Errorf("replicatool: -exact solves the closest policy only (got %v)", policy)
 		}
 		algorithm = "exact-dp"
-		sol, err = replicatree.NewQoSSolver(t).Solve(*w, cons, nil)
+		qs := replicatree.NewQoSSolver(t)
+		qs.SetWorkers(*workers)
+		sol, err = qs.Solve(*w, cons, nil)
 	} else {
 		sol, err = replicatree.GreedyMinReplicasPolicyConstrained(t, *w, policy, cons)
 	}
@@ -387,6 +414,8 @@ func cmdDrift(args []string) error {
 	static := fs.Float64("static", 12.5, "static power P(static) (power mode)")
 	alpha := fs.Float64("alpha", 3, "dynamic power exponent (power mode)")
 	change := fs.Float64("change", 0.001, "mode change cost (power mode)")
+	stats := fs.Bool("stats", false, "add the per-step merge-layer counters (cells scanned, rows compressed, fold suffixes replayed)")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	if *steps <= 0 || *k < 0 || *reqMax < 1 {
@@ -426,18 +455,19 @@ func cmdDrift(args []string) error {
 			return err
 		}
 		cm := replicatree.UniformModalCost(len(caps), *create, *del, *change)
-		return driftPower(t, *steps, drift, pm, cm)
+		return driftPower(t, *steps, drift, pm, cm, *workers, *stats)
 	}
 
 	c := replicatree.SimpleCost{Create: *create, Delete: *del}
 	solver := replicatree.NewMinCostSolver(t)
+	solver.SetWorkers(*workers)
 	res, err := solver.Solve(nil, *w, c)
 	if err != nil {
 		return err
 	}
 	placement, spare := res.Placement, replicatree.ReplicasOf(t)
 
-	out := driftOut{Initial: res.Servers}
+	out := newDriftOut(res.Servers, *stats)
 	for s := 1; s <= *steps; s++ {
 		changed := drift()
 		upd, err := solver.SolveInto(placement, *w, c, spare)
@@ -445,13 +475,13 @@ func cmdDrift(args []string) error {
 			return err
 		}
 		st := solver.Stats()
-		out.Steps = append(out.Steps, driftStep{
+		step := driftStep{
 			Step: s, Changed: changed,
 			Recomputed: st.Recomputed, Nodes: st.Nodes,
 			Servers: upd.Servers, Reused: upd.Reused, Cost: upd.Cost,
-		})
-		out.TablesRebuilt += st.Recomputed
-		out.TablesFull += st.Nodes
+		}
+		out.account(&step, st)
+		out.Steps = append(out.Steps, step)
 		placement, spare = upd.Placement, placement
 	}
 	return emit(out)
@@ -472,6 +502,11 @@ type driftStep struct {
 	Power             *float64 `json:"power,omitempty"`
 	RootCellsScanned  *int     `json:"root_cells_scanned,omitempty"`
 	RootCellsRepriced *int     `json:"root_cells_repriced,omitempty"`
+	// -stats extras: the merge-layer counters of the step's re-solve,
+	// emitted (zeros included) only when the flag is set.
+	MergeCellsScanned  *int `json:"merge_cells_scanned,omitempty"`
+	RowsCompressed     *int `json:"rows_compressed,omitempty"`
+	FoldSuffixReplayed *int `json:"fold_suffix_replayed,omitempty"`
 }
 
 type driftOut struct {
@@ -489,14 +524,46 @@ type driftOut struct {
 	// when every scan was skipped.
 	RootCellsRepriced *int `json:"root_cells_repriced,omitempty"`
 	RootCellsScanned  *int `json:"root_cells_scanned,omitempty"`
+	// -stats totals of the per-step merge-layer counters.
+	MergeCellsScanned  *int `json:"merge_cells_scanned,omitempty"`
+	RowsCompressed     *int `json:"rows_compressed,omitempty"`
+	FoldSuffixReplayed *int `json:"fold_suffix_replayed,omitempty"`
+}
+
+// newDriftOut builds the replay accumulator, wiring the merge-layer
+// totals when -stats is set.
+func newDriftOut(initial int, stats bool) driftOut {
+	out := driftOut{Initial: initial}
+	if stats {
+		out.MergeCellsScanned = new(int)
+		out.RowsCompressed = new(int)
+		out.FoldSuffixReplayed = new(int)
+	}
+	return out
+}
+
+// account folds one step's SolveStats into the replay totals and, when
+// -stats is on, attaches the step's merge-layer counters.
+func (o *driftOut) account(step *driftStep, st replicatree.SolveStats) {
+	o.TablesRebuilt += st.Recomputed
+	o.TablesFull += st.Nodes
+	if o.MergeCellsScanned == nil {
+		return
+	}
+	cells, rows, replayed := st.MergeCellsScanned, st.RowsCompressed, st.FoldSuffixReplayed
+	step.MergeCellsScanned, step.RowsCompressed, step.FoldSuffixReplayed = &cells, &rows, &replayed
+	*o.MergeCellsScanned += cells
+	*o.RowsCompressed += rows
+	*o.FoldSuffixReplayed += replayed
 }
 
 // driftPower is cmdDrift's power-DP replay: each step re-solves the
 // MinPower-BoundedCost program incrementally, taking the previous
 // minimal-power placement (with its operating modes) as the
 // pre-existing deployment.
-func driftPower(t *replicatree.Tree, steps int, drift func() int, pm replicatree.PowerModel, cm replicatree.ModalCost) error {
+func driftPower(t *replicatree.Tree, steps int, drift func() int, pm replicatree.PowerModel, cm replicatree.ModalCost, workers int, stats bool) error {
 	dp := replicatree.NewPowerDP(t)
+	dp.SetWorkers(workers)
 	sol, err := dp.Solve(replicatree.PowerProblem{Power: pm, Cost: cm})
 	if err != nil {
 		return err
@@ -504,7 +571,7 @@ func driftPower(t *replicatree.Tree, steps int, drift func() int, pm replicatree
 	first := sol.MinPower()
 	placement, spare := first.Placement, replicatree.ReplicasOf(t)
 
-	out := driftOut{Initial: placement.Count()}
+	out := newDriftOut(placement.Count(), stats)
 	var totalRepriced, totalScanned int
 	out.RootCellsRepriced, out.RootCellsScanned = &totalRepriced, &totalScanned
 	for s := 1; s <= steps; s++ {
@@ -519,15 +586,15 @@ func driftPower(t *replicatree.Tree, steps int, drift func() int, pm replicatree
 		}
 		st := dp.Stats()
 		power, scanned, repriced := upd.Power, st.RootCellsScanned, st.RootCellsRepriced
-		out.Steps = append(out.Steps, driftStep{
+		step := driftStep{
 			Step: s, Changed: changed,
 			Recomputed: st.Recomputed, Nodes: st.Nodes,
 			Servers: upd.Placement.Count(), Reused: upd.Placement.Reused(placement),
 			Cost: upd.Cost, Power: &power,
 			RootCellsScanned: &scanned, RootCellsRepriced: &repriced,
-		})
-		out.TablesRebuilt += st.Recomputed
-		out.TablesFull += st.Nodes
+		}
+		out.account(&step, st)
+		out.Steps = append(out.Steps, step)
 		totalRepriced += st.RootCellsRepriced
 		totalScanned += st.RootCellsScanned
 		placement, spare = upd.Placement, placement

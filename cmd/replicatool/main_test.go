@@ -154,6 +154,39 @@ func TestStatsFlagEndToEnd(t *testing.T) {
 	if err := cmdMinPower("pareto", []string{"-tree", path, "-caps", "5,10", "-stats"}); err != nil {
 		t.Fatalf("pareto -stats: %v", err)
 	}
+	// drift -stats adds the merge-layer counters in both replay modes.
+	if err := cmdDrift([]string{"-tree", path, "-w", "10", "-steps", "3", "-k", "1", "-seed", "3", "-stats"}); err != nil {
+		t.Fatalf("drift -stats: %v", err)
+	}
+	if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,10", "-steps", "3", "-k", "1", "-seed", "3", "-stats"}); err != nil {
+		t.Fatalf("drift -power -stats: %v", err)
+	}
+}
+
+func TestWorkersFlagEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	// Every exact-solver subcommand parses -workers; 0 (the default)
+	// selects all CPUs, explicit counts pin the wave width.
+	for _, w := range []string{"0", "1", "4"} {
+		if err := cmdMinCost([]string{"-tree", path, "-w", "10", "-workers", w}); err != nil {
+			t.Fatalf("mincost -workers %s: %v", w, err)
+		}
+		if err := cmdMinPower("minpower", []string{"-tree", path, "-caps", "5,10", "-workers", w}); err != nil {
+			t.Fatalf("minpower -workers %s: %v", w, err)
+		}
+		if err := cmdMinPower("pareto", []string{"-tree", path, "-caps", "5,10", "-workers", w}); err != nil {
+			t.Fatalf("pareto -workers %s: %v", w, err)
+		}
+		if err := cmdGreedy([]string{"-tree", path, "-w", "10", "-exact", "-workers", w}); err != nil {
+			t.Fatalf("greedy -exact -workers %s: %v", w, err)
+		}
+		if err := cmdDrift([]string{"-tree", path, "-w", "10", "-steps", "2", "-workers", w}); err != nil {
+			t.Fatalf("drift -workers %s: %v", w, err)
+		}
+		if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,10", "-steps", "2", "-workers", w}); err != nil {
+			t.Fatalf("drift -power -workers %s: %v", w, err)
+		}
+	}
 }
 
 func TestPolicyFlagsEndToEnd(t *testing.T) {

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// These tests prove the compression contract: solves running the
+// breakpoint-compressed merge kernels must be byte-identical — same
+// placements, fronts and costs, same tie-breaks — to solves running
+// the dense kernels, over cold solves and drift sequences at every
+// worker count. The activation width is forced down to 2 so the small
+// differential trees exercise the compressed path in ordinary CI runs
+// (the default 64 only engages on at-scale tables), and forced high to
+// pin the reference to the dense kernels.
+
+const (
+	forceCompressed = 2
+	forceDense      = 1 << 30
+)
+
+// setDenseWidth swaps the compression activation width, restoring it
+// when the test finishes.
+func setDenseWidth(t *testing.T, w int) func(int) {
+	saved := minDenseWidth
+	t.Cleanup(func() { minDenseWidth = saved })
+	set := func(w int) { minDenseWidth = w }
+	set(w)
+	return set
+}
+
+func TestMinCostCompressedMatchesDense(t *testing.T) {
+	set := setDenseWidth(t, forceDense)
+	c := cost.Simple{Create: 0.1, Delete: 0.01}
+	compressedRows := 0
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(211, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		dense := NewMinCostSolver(tr)
+		workers := []int{1, 2, 8}
+		comps := make([]*MinCostSolver, len(workers))
+		dsts := make([]*tree.Replicas, len(workers))
+		for k, w := range workers {
+			comps[k] = NewMinCostSolver(tr)
+			comps[k].SetWorkers(w)
+			dsts[k] = tree.ReplicasOf(tr)
+		}
+		existing := tree.ReplicasOf(tr)
+		denseDst := tree.ReplicasOf(tr)
+		W := 10
+		for step := 0; step < 10; step++ {
+			driftClients(tr, src.IntN(4), src)
+			if step%5 == 4 {
+				W = 8 + src.IntN(3)
+			}
+			set(forceDense)
+			want, wantErr := dense.SolveInto(existing, W, c, denseDst)
+			set(forceCompressed)
+			for k, w := range workers {
+				got, gotErr := comps[k].SolveInto(existing, W, c, dsts[k])
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("tree %d step %d workers %d: dense err %v, compressed err %v",
+						i, step, w, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !want.Placement.Equal(got.Placement) || want.Cost != got.Cost ||
+					want.Servers != got.Servers || want.Reused != got.Reused {
+					t.Fatalf("tree %d step %d workers %d: dense %v (cost %v) != compressed %v (cost %v)",
+						i, step, w, want.Placement, want.Cost, got.Placement, got.Cost)
+				}
+				compressedRows += comps[k].Stats().RowsCompressed
+			}
+			if wantErr != nil {
+				continue
+			}
+			// The second half of each sequence also churns pre-existing
+			// membership (solutions feed back as the next existing set),
+			// exercising the dense fallback around pre-carrying subtrees
+			// next to compressed pre-free ones.
+			if step >= 5 {
+				existing.Reset()
+				for j := 0; j < tr.N(); j++ {
+					if want.Placement.Has(j) {
+						existing.Set(j, 1)
+					}
+				}
+			}
+		}
+	}
+	if compressedRows == 0 {
+		t.Fatal("forced activation width never engaged the compressed kernel")
+	}
+}
+
+func TestPowerCompressedMatchesDense(t *testing.T) {
+	set := setDenseWidth(t, forceDense)
+	pm := powerModel2()
+	cm := cost.UniformModal(2, 0.1, 0.01, 0.001)
+	compressedRows := 0
+	for i := 0; i < reuseTreeCount(t)/2; i++ {
+		src := rng.Derive(227, i)
+		tr := tree.MustGenerate(tree.PowerConfig(18+i%10), src)
+		dense := NewPowerDP(tr)
+		workers := []int{1, 2, 8}
+		comps := make([]*PowerDP, len(workers))
+		dsts := make([]*tree.Replicas, len(workers))
+		for k, w := range workers {
+			comps[k] = NewPowerDP(tr)
+			comps[k].SetWorkers(w)
+			dsts[k] = tree.ReplicasOf(tr)
+		}
+		existing := tree.ReplicasOf(tr)
+		for step := 0; step < 8; step++ {
+			driftClients(tr, src.IntN(3), src)
+			if step == 5 && tr.N() > 1 {
+				// A pre-existing server disables compression; the solvers
+				// must fall back to the dense kernel (and replay across
+				// the comp/dense regime change) without diverging.
+				existing.Set(1+src.IntN(tr.N()-1), uint8(1+src.IntN(2)))
+			}
+			if step == 7 {
+				existing.Reset() // back to the compressed regime
+			}
+			prob := PowerProblem{Tree: tr, Existing: existing, Power: pm, Cost: cm}
+			set(forceDense)
+			want, wantErr := dense.Solve(prob)
+			var wantOpt *PowerResult
+			var wf []ParetoPoint
+			if wantErr == nil {
+				wf = want.Front()
+				wantOpt = want.MinPower()
+			}
+			set(forceCompressed)
+			for k, w := range workers {
+				got, gotErr := comps[k].Solve(prob)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("tree %d step %d workers %d: dense err %v, compressed err %v",
+						i, step, w, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				gf := got.Front()
+				if len(wf) != len(gf) {
+					t.Fatalf("tree %d step %d workers %d: front sizes %d != %d", i, step, w, len(wf), len(gf))
+				}
+				for q := range wf {
+					if wf[q] != gf[q] {
+						t.Fatalf("tree %d step %d workers %d: front[%d] %v != %v", i, step, w, q, wf[q], gf[q])
+					}
+				}
+				gotOpt, ok := got.BestInto(math.Inf(1), dsts[k])
+				if !ok || !wantOpt.Placement.Equal(gotOpt.Placement) ||
+					wantOpt.Cost != gotOpt.Cost || wantOpt.Power != gotOpt.Power {
+					t.Fatalf("tree %d step %d workers %d: dense optimum %v != compressed %v",
+						i, step, w, wantOpt.Placement, gotOpt.Placement)
+				}
+				// A mid-front bound exercises lazy provenance on a
+				// different root cell than the min-power extreme.
+				if len(wf) > 1 {
+					bound := wf[len(wf)/2].Cost
+					wb, _ := want.Best(bound)
+					gb, ok := got.BestInto(bound, dsts[k])
+					if !ok || !wb.Placement.Equal(gb.Placement) || wb.Power != gb.Power {
+						t.Fatalf("tree %d step %d workers %d: bounded optimum diverges", i, step, w)
+					}
+				}
+				compressedRows += comps[k].Stats().RowsCompressed
+			}
+		}
+	}
+	if compressedRows == 0 {
+		t.Fatal("forced activation width never engaged the compressed kernel")
+	}
+}
+
+func TestQoSCompressedMatchesDense(t *testing.T) {
+	set := setDenseWidth(t, forceDense)
+	compressedRows := 0
+	for i := 0; i < reuseTreeCount(t); i++ {
+		src := rng.Derive(223, i)
+		tr := tree.MustGenerate(reuseGen(i), src)
+		cons := tree.NewConstraints(tr)
+		cons.SetUniformQoS(tr, 4)
+		dense := NewQoSSolver(tr)
+		workers := []int{1, 2, 8}
+		comps := make([]*QoSSolver, len(workers))
+		dsts := make([]*tree.Replicas, len(workers))
+		for k, w := range workers {
+			comps[k] = NewQoSSolver(tr)
+			comps[k].SetWorkers(w)
+			dsts[k] = tree.ReplicasOf(tr)
+		}
+		denseDst := tree.ReplicasOf(tr)
+		for step := 0; step < 10; step++ {
+			driftClients(tr, src.IntN(4), src)
+			if step%4 == 3 {
+				cons.SetUniformQoS(tr, 3+src.IntN(3))
+			}
+			if step == 5 {
+				// Constrain a few links so the run-prefix bandwidth
+				// filter of the compressed kernel is exercised too.
+				for b := 0; b < 3; b++ {
+					cons.SetBandwidth(1+src.IntN(tr.N()-1), 4+src.IntN(10))
+				}
+			}
+			set(forceDense)
+			want, wantErr := dense.Solve(10, cons, denseDst)
+			set(forceCompressed)
+			for k, w := range workers {
+				got, gotErr := comps[k].Solve(10, cons, dsts[k])
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("tree %d step %d workers %d: dense err %v, compressed err %v",
+						i, step, w, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !want.Equal(got) || want.String() != got.String() {
+					t.Fatalf("tree %d step %d workers %d: dense %v != compressed %v",
+						i, step, w, want, got)
+				}
+				compressedRows += comps[k].Stats().RowsCompressed
+			}
+		}
+	}
+	if compressedRows == 0 {
+		t.Fatal("forced activation width never engaged the compressed kernel")
+	}
+}

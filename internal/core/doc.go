@@ -29,4 +29,27 @@
 // by per-subtree counts rather than global ones, and solutions are
 // reconstructed from per-merge back-pointers instead of per-cell request
 // vectors.
+//
+// # The monotone-row contract
+//
+// Every DP row produced by the solvers — traversals indexed by server
+// budget in MinCost and QoS, and by the count of top-mode servers (the
+// innermost axis) in the no-pre power tables — obeys one invariant:
+// infeasible cells form a prefix of the row, and past it the values are
+// non-increasing in the budget (equipping one more server never forces
+// more requests upward). Such a row is stored exactly as its
+// breakpoints: the short list of (start, value) runs where the value
+// changes (breakrow.go). Rows at least minDenseWidth wide run the merge
+// kernels directly on runs — min-plus convolution, pointwise minimum
+// and prefix folds are linear in the number of breakpoints instead of
+// the row width — while narrow rows keep the dense kernels. The
+// contract is verified at encode time (a violating row falls back to
+// dense, so compression is exact unconditionally), decisions are
+// reconstructed lazily from the runs, and results are byte-identical to
+// the dense kernels — same placements, fronts and tie-breaks — which
+// the compressed_test.go differential suite enforces across drift
+// sequences and worker counts. In the power tables the invariant holds
+// within each row's effective length (the node budget left after the
+// other mode counts); the tail beyond it is unreachable by pigeonhole,
+// which the encoder also verifies cell by cell.
 package core

@@ -83,6 +83,38 @@ type SolveStats struct {
 	// PowerDP.Reset) exists to push this number up. Stays 0 for
 	// MinCostSolver and QoSSolver.
 	RootMergeRetained int
+	// MergeCellsScanned measures the merge work of the solve: table
+	// cells visited by dense merge kernels plus breakpoint runs visited
+	// by compressed ones. Comparing it against the dense-only volume of
+	// a cold solve is the direct read on what row compression saves.
+	MergeCellsScanned int
+	// RowsCompressed counts the DP rows the merge kernels ran in
+	// breakpoint form instead of densely (two rows — accumulator and
+	// child — per compressed merge step). 0 when every row sat below
+	// the activation width minDenseWidth.
+	RowsCompressed int
+	// FoldSuffixReplayed counts the merge steps re-executed by partial
+	// child-fold replays: a dirty node whose first stale child sits at
+	// position s of its fold re-runs only the suffix from s, and those
+	// suffix steps land here. Steps of full (position-0) rebuilds do
+	// not count, so on drift solves a low number next to a high
+	// Recomputed means the retained fold prefixes are doing their job.
+	FoldSuffixReplayed int
+}
+
+// mergeStats accumulates the merge-layer counters of SolveStats per
+// worker, so the wave-parallel pass can count without synchronisation.
+type mergeStats struct {
+	cells    int
+	rows     int
+	replayed int
+}
+
+// addTo folds the worker-local counters into st.
+func (m *mergeStats) addTo(st *SolveStats) {
+	st.MergeCellsScanned += m.cells
+	st.RowsCompressed += m.rows
+	st.FoldSuffixReplayed += m.replayed
 }
 
 // dirtyTracker decides, at the start of a solve, which nodes' cached

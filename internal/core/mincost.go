@@ -65,10 +65,19 @@ type mcDec struct {
 	place        bool
 }
 
-// mcStep is the decision table produced by merging one child.
+// mcStep is the decision table produced by merging one child. A step
+// run by the dense kernel stores one mcDec per output cell; a step run
+// by the compressed kernel (comp) stores breakpoint snapshots of its
+// accumulator input (inRuns) and output (runs) instead — decisions are
+// reconstructed lazily from the snapshots (see lazyDec), and the
+// output snapshot doubles as the restart point for partial fold
+// replays (see solveNode).
 type mcStep struct {
 	dimE, dimN int32
 	decs       []mcDec
+	comp       bool
+	inRuns     []bpRun
+	runs       []bpRun
 }
 
 // MinCostSolver solves MinCost-WithPre instances on one tree. Merge
@@ -116,6 +125,11 @@ type MinCostSolver struct {
 	// Wave-parallel scheduler (see SetWorkers and waveSched).
 	wave waveSched
 
+	// Compressed-merge scratch and merge-layer counters, one per
+	// worker like the arenas.
+	bps    []bpScratch
+	mstats []mergeStats
+
 	// Server-count cap for mega trees (see serverCap): table cells
 	// with more than capB new servers are provably never optimal, so
 	// the n dimension of every table is clamped to capB, turning the
@@ -131,6 +145,12 @@ type MinCostSolver struct {
 	lastW      int32
 	recomputed int
 
+	// fullSolve is set for the duration of one solve when every table
+	// must be rebuilt (W or capB changed, or no valid previous solve):
+	// partial fold replays are then disabled even at nodes whose
+	// children look clean.
+	fullSolve bool
+
 	// Per solve:
 	existing  *tree.Replicas
 	w         int32
@@ -139,7 +159,11 @@ type MinCostSolver struct {
 
 // NewMinCostSolver returns a reusable solver for MinCost instances on t.
 func NewMinCostSolver(t *tree.Tree) *MinCostSolver {
-	s := &MinCostSolver{arenas: make([]arena[int32], 1)}
+	s := &MinCostSolver{
+		arenas: make([]arena[int32], 1),
+		bps:    make([]bpScratch, 1),
+		mstats: make([]mergeStats, 1),
+	}
 	s.wave.workers = 1
 	s.Reset(t)
 	return s
@@ -156,9 +180,11 @@ func NewMinCostSolver(t *tree.Tree) *MinCostSolver {
 // the dirty nodes of each wave are dispatched.
 func (s *MinCostSolver) SetWorkers(workers int) {
 	n := s.wave.setWorkers(workers, func(w, i int) {
-		s.solveNode(s.wave.dirtyIdx[i], &s.arenas[w])
+		s.solveNode(s.wave.dirtyIdx[i], w)
 	})
 	s.arenas = grownKeep(s.arenas, n)[:n]
+	s.bps = grownKeep(s.bps, n)[:n]
+	s.mstats = grownKeep(s.mstats, n)[:n]
 }
 
 // Reset rebinds the solver to tree t, keeping every retained buffer as
@@ -194,7 +220,11 @@ func (s *MinCostSolver) Invalidate() { s.track.invalidate() }
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed.
 func (s *MinCostSolver) Stats() SolveStats {
-	return SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
+	st := SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
+	for i := range s.mstats {
+		s.mstats[i].addTo(&st)
+	}
+	return st
 }
 
 // Solve runs the dynamic program and returns a freshly allocated
@@ -258,7 +288,8 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	// cap (both reshape every table) by full invalidation. The cost
 	// model only prices the root scan below.
 	t0 := s.t
-	s.track.mark(t0, s.w != s.lastW || s.capB != s.lastCapB)
+	s.fullSolve = s.w != s.lastW || s.capB != s.lastCapB || !s.track.solved
+	s.track.mark(t0, s.fullSolve)
 	for j := 0; j < t0.N(); j++ {
 		if s.lastHas[j] != existing.Has(j) {
 			s.track.markParent(t0, j)
@@ -286,6 +317,9 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 }
 
 func (s *MinCostSolver) run() {
+	for i := range s.mstats {
+		s.mstats[i] = mergeStats{}
+	}
 	if s.wave.workers > 1 {
 		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
 	} else {
@@ -295,7 +329,7 @@ func (s *MinCostSolver) run() {
 				continue
 			}
 			s.recomputed++
-			s.solveNode(j, &s.arenas[0])
+			s.solveNode(j, 0)
 		}
 	}
 	// A per-node reset grows a buffer to the need of the node handled
@@ -309,8 +343,19 @@ func (s *MinCostSolver) run() {
 }
 
 // solveNode rebuilds node j's table from its children's (Algorithms 2
-// and 3), carving merge intermediates out of ar.
-func (s *MinCostSolver) solveNode(j int, ar *arena[int32]) {
+// and 3) using worker w's arena and scratch.
+//
+// A dirty node need not re-run its whole child fold: when its own
+// demand is unchanged and the fold prefix up to the first stale child
+// (dirty, or with changed pre-existing membership) ran compressed last
+// time, the prefix's retained output snapshot is the exact accumulator
+// at that point, so only the fold suffix is re-merged. This is what
+// turns a one-child drift under a high-fanout node from an O(children)
+// re-fold into an O(suffix) one; the snapshots stay valid by induction
+// because any input change to a prefix step makes that step stale and
+// moves the restart point before it.
+func (s *MinCostSolver) solveNode(j, w int) {
+	ar, sc, ms := &s.arenas[w], &s.bps[w], &s.mstats[w]
 	kids := s.t.Children(j)
 	if len(kids) == 0 {
 		// A leaf's final table is the single base cell (0,0) holding
@@ -320,12 +365,39 @@ func (s *MinCostSolver) solveNode(j int, ar *arena[int32]) {
 		s.dimE[j], s.dimN[j] = 0, 0
 		return
 	}
+	start := 0
+	if !s.fullSolve && s.t.DemandGen(j) == s.track.seen[j] {
+		start = len(kids)
+		for st, ch := range kids {
+			if s.track.dirty[ch] || s.lastHas[ch] != s.existing.Has(ch) {
+				start = st
+				break
+			}
+		}
+		if start == len(kids) {
+			// Nothing this table depends on changed; it was dirtied
+			// spuriously. Keep it as is.
+			return
+		}
+		if start > 0 && !s.steps[j][start-1].comp {
+			start = 0 // no snapshot to restart from
+		}
+	}
 	ar.reset()
-	accE, accN := int32(0), int32(0)
-	acc := ar.alloc(1)
-	acc[0] = int32(s.t.ClientSum(j))
-	for st, ch := range kids {
-		acc, accE, accN = s.merge(j, st, ch, acc, accE, accN, st == len(kids)-1, ar)
+	var acc []int32
+	var accE, accN int32
+	if start == 0 {
+		acc = ar.alloc(1)
+		acc[0] = int32(s.t.ClientSum(j))
+	} else {
+		prev := &s.steps[j][start-1]
+		accE, accN = prev.dimE, prev.dimN
+		acc = ar.alloc(int(accN) + 1)
+		decodeRuns32(prev.runs, acc, invalid)
+		ms.replayed += len(kids) - start
+	}
+	for st := start; st < len(kids); st++ {
+		acc, accE, accN = s.merge(j, st, kids[st], acc, accE, accN, st == len(kids)-1, ar, sc, ms)
 	}
 	s.dimE[j], s.dimN[j] = accE, accN
 }
@@ -341,7 +413,7 @@ func (s *MinCostSolver) solveNode(j int, ar *arena[int32]) {
 // lives... see serverCap for why such cells are never optimal, and
 // note the clamp is monotone (a parent cell at n draws only on child
 // cells at n' <= n), so the kept cells are exact.
-func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last bool, ar *arena[int32]) ([]int32, int32, int32) {
+func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last bool, ar *arena[int32], sc *bpScratch, ms *mergeStats) ([]int32, int32, int32) {
 	chE, chN := s.dimE[ch], s.dimN[ch]
 	chVals := s.vals[ch]
 	childPre := s.existing.Has(ch)
@@ -364,14 +436,22 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	} else {
 		out = ar.alloc(cells)
 	}
+	step := &s.steps[j][st]
+	step.dimE, step.dimN = outE, outN
+	// Wide single-row merges (no pre-existing axis on either side) run
+	// on breakpoints; everything else takes the dense kernel below.
+	if accE == 0 && chE == 0 && !childPre && int(outN)+1 >= minDenseWidth &&
+		s.mergeCompressed(step, acc, chVals, out, accN, chN, outN, sc, ms) {
+		return out, outE, outN
+	}
+	step.comp = false
+	ms.cells += int(accE+1) * int(accN+1) * int(chE+1) * int(chN+1)
 	for i := range out {
 		out[i] = invalid
 	}
 	// Stale decision cells are never read: the reconstruction only
 	// follows cells whose value was written when the table was last
 	// rebuilt, and every value write refreshes its decision.
-	step := &s.steps[j][st]
-	step.dimE, step.dimN = outE, outN
 	step.decs = grown(step.decs, cells)
 	decs := step.decs
 	ostride := outN + 1
@@ -426,6 +506,145 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	}
 
 	return out, outE, outN
+}
+
+// mergeCompressed runs one fold step on breakpoints: encode both input
+// rows, fold them with bpPlaceMerge, decode into the dense output row.
+// The dense tables around the kernel are untouched — children are read
+// dense, the output lands dense — so the root scan, the incremental
+// bookkeeping and the parallel pass see exactly the representation
+// they always did. Returns false (leaving out unwritten) when either
+// input row fails the monotone-contract check, which sends the caller
+// to the dense kernel; compression is therefore exact unconditionally.
+func (s *MinCostSolver) mergeCompressed(step *mcStep, acc, chVals, out []int32, accN, chN, outN int32, sc *bpScratch, ms *mergeStats) bool {
+	aRuns, okA := encodeRuns32(acc[:accN+1], invalid, sc.acc)
+	sc.acc = aRuns
+	if !okA {
+		return false
+	}
+	cRuns, okC := encodeRuns32(chVals[:chN+1], invalid, sc.ch)
+	sc.ch = cRuns
+	if !okC {
+		return false
+	}
+	ms.cells += len(aRuns) + len(cRuns)
+	ms.rows += 2
+	var res []bpRun
+	if len(aRuns) > 0 && len(cRuns) > 0 {
+		res = bpPlaceMerge(aRuns, cRuns, int64(s.w), outN, sc)
+	}
+	step.comp = true
+	step.inRuns = append(step.inRuns[:0], aRuns...)
+	step.runs = append(step.runs[:0], res...)
+	decodeRuns32(res, out[:outN+1], invalid)
+	return true
+}
+
+// lazyDec reconstructs the decision of cell (0, k) of compressed step
+// st of node j: the decision the dense kernel would have recorded. The
+// dense merge writes cells in acc-coordinate order (n1 ascending; for
+// equal n1 the place option lands before the no-place option, its
+// child coordinate being one smaller) and only overwrites on a strict
+// improvement, so the recorded decision is the first candidate in that
+// order achieving the cell's final value. The snapshots make that
+// candidate directly computable: acc runs partition n1 into disjoint
+// ascending intervals, every candidate from a run with value above the
+// cell's is beaten, and within a run the matching child cells form one
+// interval of the (monotone, still retained) dense child row.
+func (s *MinCostSolver) lazyDec(j, st int, step *mcStep, ch int, k int32) mcDec {
+	v := bpAt(step.runs, k)
+	if v >= bpInfVal {
+		panic(fmt.Sprintf("core: reconstruction reached infeasible cell (0,%d) at node %d", k, j))
+	}
+	chVals := s.vals[ch]
+	chN := s.dimN[ch]
+	cFirst := firstFeasible32(chVals[:chN+1])
+	accN := int32(0)
+	if st > 0 {
+		accN = s.steps[j][st-1].dimN
+	}
+	noPlaceOK := v <= int64(s.w)
+	inRuns := step.inRuns
+	for p := range inRuns {
+		rs, va := inRuns[p].start, inRuns[p].val
+		if va > v {
+			continue // every candidate of this run is beaten
+		}
+		re := accN
+		if p+1 < len(inRuns) {
+			re = inRuns[p+1].start - 1
+		}
+		// Earliest n1 in [rs, re] whose place option hits k: the child
+		// cell k-1-n1 must be feasible (within [cFirst, chN]).
+		n1p := int32(-1)
+		if va == v {
+			if lo, hi := max(rs, k-1-chN), min(re, k-1-cFirst); lo <= hi {
+				n1p = lo
+			}
+		}
+		// Earliest n1 whose no-place option hits k with the final
+		// value: the child cell k-n1 must hold exactly v-va.
+		n1n := int32(-1)
+		if noPlaceOK {
+			if cl, cr, ok := valueRun32(chVals, cFirst, chN, int32(v-va)); ok {
+				if lo, hi := max(rs, k-cr), min(re, k-cl); lo <= hi {
+					n1n = lo
+				}
+			}
+		}
+		switch {
+		case n1p >= 0 && (n1n < 0 || n1p <= n1n):
+			return mcDec{nPrev: n1p, place: true}
+		case n1n >= 0:
+			return mcDec{nPrev: n1n}
+		}
+		// Later runs hold strictly larger n1, so the first run with any
+		// candidate owns the decision; keep scanning only on none.
+	}
+	panic(fmt.Sprintf("core: no decision for cell (0,%d) at node %d step %d", k, j, st))
+}
+
+// firstFeasible32 returns the index of the first non-invalid cell of a
+// monotone row (its length when the whole row is infeasible).
+func firstFeasible32(row []int32) int32 {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] == invalid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// valueRun32 locates the cell interval [cl, cr] of a monotone row
+// holding exactly value v, searching the feasible region [first, last].
+func valueRun32(row []int32, first, last, v int32) (cl, cr int32, ok bool) {
+	lo, hi := first, last+1
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if row[mid] <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo > last || row[lo] != v {
+		return 0, 0, false
+	}
+	cl = lo
+	hi = last + 1
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if row[mid] < v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cl, lo - 1, true
 }
 
 // scanRoot evaluates every root-table cell with and without a replica on
@@ -581,9 +800,19 @@ func (s *MinCostSolver) rebuild(j int, e, n int32) {
 	steps := s.steps[j]
 	kids := s.t.Children(j)
 	for st := len(steps) - 1; st >= 0; st-- {
-		step := steps[st]
-		dec := step.decs[e*(step.dimN+1)+n]
+		step := &steps[st]
 		ch := kids[st]
+		var dec mcDec
+		if step.comp {
+			// Compressed steps have no e axis; reaching one with e != 0
+			// would mean the shape bookkeeping is broken.
+			if e != 0 {
+				panic(fmt.Sprintf("core: compressed step with e=%d at node %d", e, j))
+			}
+			dec = s.lazyDec(j, st, step, ch, n)
+		} else {
+			dec = step.decs[e*(step.dimN+1)+n]
+		}
 		ce, cn := e-dec.ePrev, n-dec.nPrev
 		if dec.place {
 			s.placement.Set(ch, 1)

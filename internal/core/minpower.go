@@ -97,9 +97,18 @@ func unpackProv(p uint64) (aFlat, cFlat int32, mode uint8) {
 }
 
 // pStep is the decision table produced by merging one child: packed
-// provenance per cell of the post-merge table.
+// provenance per cell of the post-merge table. A step merged by the
+// compressed kernel (comp == true) materialises no provenance;
+// instead it snapshots its encoded input, child and output rows
+// (minpower_compress.go), from which reconstruction re-derives any
+// cell's decision lazily and a suffix replay re-seeds the fold.
 type pStep struct {
 	prov []uint64
+
+	comp                    bool
+	accLen, chLen, outLen   int32 // n_M-axis widths of the merged tables
+	inOff, chOff, outOff    []int32
+	inRuns, chRuns, outRuns []bpRun
 }
 
 // SolvePower runs the MinPower-BoundedCost dynamic program. The table of
@@ -187,6 +196,7 @@ type PowerDP struct {
 	lastMode   []uint8
 	lastPower  power.Model
 	fullSolve  bool // this solve rebuilds every table (set per Solve)
+	noPre      bool // no pre-existing servers: compressed merges allowed
 	recomputed int
 
 	// Root-scan state (minpower_root.go): retained partial root merges,
@@ -215,6 +225,8 @@ type PowerDP struct {
 	// final merge writes into the retained vals[j] — so each arena
 	// sizes to the largest single node, not a whole solve.
 	arenas   []arena[int32]
+	bps      []bpScratch  // compressed-merge scratch, parallel to arenas
+	mstats   []mergeStats // per-worker merge counters, parallel to arenas
 	wave     waveSched
 	waveErrs []error // first error per wave worker
 
@@ -233,7 +245,11 @@ type PowerDP struct {
 
 // NewPowerDP returns a reusable power solver for t.
 func NewPowerDP(t *tree.Tree) *PowerDP {
-	d := &PowerDP{arenas: make([]arena[int32], 1)}
+	d := &PowerDP{
+		arenas: make([]arena[int32], 1),
+		bps:    make([]bpScratch, 1),
+		mstats: make([]mergeStats, 1),
+	}
 	d.wave.workers = 1
 	d.Reset(t)
 	return d
@@ -247,11 +263,13 @@ func NewPowerDP(t *tree.Tree) *PowerDP {
 func (d *PowerDP) SetWorkers(workers int) {
 	n := d.wave.setWorkers(workers, func(w, i int) {
 		j := d.wave.dirtyIdx[i]
-		if err := d.solveNode(j, &d.arenas[w], false); err != nil && d.waveErrs[w] == nil {
+		if err := d.solveNode(j, w, false); err != nil && d.waveErrs[w] == nil {
 			d.waveErrs[w] = err
 		}
 	})
 	d.arenas = grownKeep(d.arenas, n)[:n]
+	d.bps = grownKeep(d.bps, n)[:n]
+	d.mstats = grownKeep(d.mstats, n)[:n]
 	d.waveErrs = grownKeep(d.waveErrs, n)[:n]
 }
 
@@ -328,13 +346,17 @@ func (d *PowerDP) Invalidate() {
 // tree's node tables it actually recomputed, and how much of the root
 // scan it had to re-price (see SolveStats).
 func (d *PowerDP) Stats() SolveStats {
-	return SolveStats{
+	st := SolveStats{
 		Nodes:             d.t.N(),
 		Recomputed:        d.recomputed,
 		RootCellsScanned:  d.rootScanned,
 		RootCellsRepriced: d.rootRepriced,
 		RootMergeRetained: d.rootRetained,
 	}
+	for i := range d.mstats {
+		d.mstats[i].addTo(&st)
+	}
+	return st
 }
 
 // retainShape copies a shape built from arena storage into node j's
@@ -394,6 +416,7 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	}
 
 	d.prob, d.M, d.nf, d.wm, d.workers = p, M, M+M*M, int32(p.Power.MaxCap()), workers
+	d.noPre = p.Existing.Count() == 0
 
 	// Demands dirty their ancestor chain; a changed initial mode of a
 	// pre-existing server dirties its parent's chain (a node's own
@@ -466,6 +489,9 @@ func (d *PowerDP) run() error {
 	t := d.prob.Tree
 	d.recomputed = 0
 	d.rootRecomputed = false
+	for i := range d.mstats {
+		d.mstats[i] = mergeStats{}
+	}
 	root := t.Root()
 
 	if d.wave.workers > 1 {
@@ -506,7 +532,7 @@ func (d *PowerDP) run() error {
 			continue
 		}
 		d.recomputed++
-		if err := d.solveNode(j, &d.arenas[0], true); err != nil {
+		if err := d.solveNode(j, 0, true); err != nil {
 			return err
 		}
 	}
@@ -514,11 +540,15 @@ func (d *PowerDP) run() error {
 }
 
 // solveNode rebuilds the final table of non-root node j, drawing merge
-// intermediates from ar (reset here, per node). allowPar gates
-// mergeInto's within-merge fan-out: wave workers pass false so a
-// parallel sweep never nests a second one.
-func (d *PowerDP) solveNode(j int, ar *arena[int32], allowPar bool) error {
+// intermediates from worker w's arena (reset here, per node). allowPar
+// gates mergeInto's within-merge fan-out: wave workers pass false so a
+// parallel sweep never nests a second one. When only a suffix of the
+// child fold is stale and the preceding step was merged compressed,
+// the fold restarts from its retained snapshot instead of from
+// scratch.
+func (d *PowerDP) solveNode(j, w int, allowPar bool) error {
 	t := d.prob.Tree
+	ar, sc, ms := &d.arenas[w], &d.bps[w], &d.mstats[w]
 	ar.reset()
 	kids := t.Children(j)
 	accNew := int32(0)
@@ -526,28 +556,90 @@ func (d *PowerDP) solveNode(j int, ar *arena[int32], allowPar bool) error {
 	for i := range accPre {
 		accPre[i] = 0
 	}
-	accDims := ar.alloc(d.nf)
-	for f := range accDims {
-		accDims[f] = 1
-	}
-	accShape, err := fillShape(accDims, ar.alloc(d.nf))
-	if err != nil {
-		return err
-	}
 
 	if len(kids) == 0 {
 		// A leaf's final table is the single base cell holding the
 		// requests of j's own clients.
+		accDims := ar.alloc(d.nf)
+		for f := range accDims {
+			accDims[f] = 1
+		}
+		accShape, err := fillShape(accDims, ar.alloc(d.nf))
+		if err != nil {
+			return err
+		}
 		d.vals[j] = grown(d.vals[j], 1)
 		d.vals[j][0] = int32(t.ClientSum(j))
-	} else {
-		acc := ar.alloc(1)
-		acc[0] = int32(t.ClientSum(j))
+		d.retainShape(j, accShape)
+		d.newCnt[j] = accNew
+		d.preCnt[j] = append(d.preCnt[j][:0], accPre...)
+		return nil
+	}
+
+	// First stale fold step: the node's own demand rewrites the base
+	// cell (step 0), a dirty child subtree or a flipped pre-existing
+	// mode invalidates its step and everything after. Restarting
+	// mid-fold needs the preceding step's compressed snapshot to
+	// re-seed the accumulated table.
+	start := 0
+	if !d.fullSolve && t.DemandGen(j) == d.track.seen[j] {
+		start = len(kids)
 		for st, ch := range kids {
-			acc, accShape, err = d.merge(j, st, ch, acc, accShape, &accNew, accPre, st == len(kids)-1, ar, allowPar)
-			if err != nil {
-				return err
+			if d.track.dirty[ch] || d.lastMode[ch] != d.prob.Existing.Mode(ch) {
+				start = st
+				break
 			}
+		}
+		if start == len(kids) {
+			return nil // spurious dirty; the retained table is exact
+		}
+		if start > 0 && !d.steps[j][start-1].comp {
+			start = 0
+		}
+	}
+
+	var acc []int32
+	var accShape shape
+	var err error
+	if start == 0 {
+		accDims := ar.alloc(d.nf)
+		for f := range accDims {
+			accDims[f] = 1
+		}
+		if accShape, err = fillShape(accDims, ar.alloc(d.nf)); err != nil {
+			return err
+		}
+		acc = ar.alloc(1)
+		acc[0] = int32(t.ClientSum(j))
+	} else {
+		// Prefix-fold the already-merged children's counts (their
+		// subtrees and modes are unchanged, so the retained per-child
+		// counts still apply), then decode the snapshot of the last
+		// clean step into the accumulated table.
+		for _, ch := range kids[:start] {
+			accNew += d.newCnt[ch]
+			for i := range accPre {
+				accPre[i] += d.preCnt[ch][i]
+			}
+			if m0 := int(d.prob.Existing.Mode(ch)); m0 == 0 {
+				accNew++
+			} else {
+				accPre[m0-1]++
+			}
+		}
+		accDims := ar.alloc(d.nf)
+		d.nodeDims(accDims, accNew, accPre)
+		if accShape, err = fillShape(accDims, ar.alloc(d.nf)); err != nil {
+			return err
+		}
+		acc = ar.alloc(accShape.size)
+		decodeStep(&d.steps[j][start-1], acc, d.M)
+		ms.replayed += len(kids) - start
+	}
+	for st := start; st < len(kids); st++ {
+		acc, accShape, err = d.merge(j, st, kids[st], acc, accShape, &accNew, accPre, st == len(kids)-1, ar, allowPar, sc, ms)
+		if err != nil {
+			return err
 		}
 	}
 	d.retainShape(j, accShape)
@@ -579,7 +671,7 @@ func (d *PowerDP) childDims(ch int, accNew int32, accPre []int32, ar *arena[int3
 // table of node j, updating the accumulated subtree counts in place.
 // The last merge writes straight into j's retained final table;
 // earlier ones use arena intermediates.
-func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool, ar *arena[int32], allowPar bool) ([]int32, shape, error) {
+func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int32, accPre []int32, last bool, ar *arena[int32], allowPar bool, sc *bpScratch, ms *mergeStats) ([]int32, shape, error) {
 	outNew, outPre, outShape, err := d.childDims(ch, *accNew, accPre, ar)
 	if err != nil {
 		return nil, shape{}, err
@@ -591,7 +683,7 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 	} else {
 		out = ar.alloc(outShape.size)
 	}
-	d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, allowPar)
+	d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, allowPar, sc, ms)
 	*accNew = outNew
 	copy(accPre, outPre)
 	return out, outShape, nil
@@ -600,10 +692,18 @@ func (d *PowerDP) merge(j, st, ch int, acc []int32, accShape shape, accNew *int3
 // mergeInto runs the actual table merge of child ch — the st-th child
 // of j — into out (sized outShape.size), refreshing the step's
 // provenance table.
-func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape, out []int32, ar *arena[int32], allowPar bool) {
+func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape, out []int32, ar *arena[int32], allowPar bool, sc *bpScratch, ms *mergeStats) {
 	chShape := d.shapes[ch]
 	chVals := d.vals[ch]
 	chMode0 := int(d.prob.Existing.Mode(ch)) // 0 when ch is not pre-existing
+
+	step := &d.steps[j][st]
+	if d.noPre && int(outShape.dims[d.M-1]) >= minDenseWidth &&
+		d.mergeCompressed(step, acc, accShape, chVals, chShape, outShape, out, sc, ms) {
+		return
+	}
+	step.comp = false
+	ms.cells += accShape.size * chShape.size
 
 	for i := range out {
 		out[i] = pUnreached
@@ -611,7 +711,6 @@ func (d *PowerDP) mergeInto(j, st, ch int, acc []int32, accShape, outShape shape
 	// Stale provenance cells are never read: the reconstruction only
 	// follows cells whose value was written when the table was last
 	// rebuilt, and every value write refreshes its provenance.
-	step := &d.steps[j][st]
 	step.prov = grown(step.prov, outShape.size)
 	prov := step.prov
 	for i := range prov {
@@ -892,7 +991,14 @@ func (s *PowerSolver) rebuild(j int, cell int32, placement *tree.Replicas) {
 		if atRoot {
 			st = s.rootOrder[q]
 		}
-		p := steps[st].prov[cell]
+		var p uint64
+		if steps[st].comp {
+			// Compressed merges materialise no provenance table; derive
+			// this cell's decision from the step's row snapshots.
+			p = steps[st].lazyProv(cell, s.prob.Power.Caps, s.prob.Power.M())
+		} else {
+			p = steps[st].prov[cell]
+		}
 		if p == noProv {
 			panic(fmt.Sprintf("core: power reconstruction hit an unreached cell at node %d", j))
 		}

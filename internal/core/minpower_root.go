@@ -154,6 +154,9 @@ func (d *PowerDP) runRoot() error {
 		return nil // every retained root merge is still exact
 	}
 	d.rootRetained = start
+	if start > 0 {
+		d.mstats[0].replayed += K - start
+	}
 	d.recomputed++
 	d.rootRecomputed = true
 
@@ -199,7 +202,7 @@ func (d *PowerDP) runRoot() error {
 			rs.out = grown(rs.out, outShape.size)
 			out = rs.out
 		}
-		d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, true)
+		d.mergeInto(j, st, ch, acc, accShape, outShape, out, ar, true, &d.bps[0], &d.mstats[0])
 		if q < K-1 {
 			// Retain this partial merge for future restarts.
 			rs := &d.rootSteps[q]

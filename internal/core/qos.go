@@ -106,6 +106,13 @@ type QoSSolver struct {
 	// Wave-parallel scheduler (see SetWorkers and waveSched).
 	wave waveSched
 
+	// Compressed-merge scratch and merge-layer counters, one per
+	// worker like the arenas, plus the per-child compressed fold-step
+	// snapshots (indexed by the CHILD's id, like splits).
+	bps    []bpScratch
+	mstats []mergeStats
+	qsteps []qStep
+
 	// Incremental bookkeeping.
 	track      dirtyTracker
 	lastW      int
@@ -114,13 +121,34 @@ type QoSSolver struct {
 	recomputed int
 
 	// Per solve:
-	w int
-	c *tree.Constraints
+	w         int
+	c         *tree.Constraints
+	fullSolve bool
+}
+
+// qStep is the retained snapshot of one compressed knapsack fold step
+// (the merge of one child into its parent's accumulator): breakpoint
+// runs of every requirement column of the accumulator before (inRuns)
+// and after (outRuns) the merge, concatenated with per-column offsets.
+// comp marks whether the step's last run was compressed; dense steps
+// record their splits in QoSSolver.splits instead, compressed ones
+// reconstruct them lazily (lazySplit) and restart partial fold replays
+// from their output snapshot.
+type qStep struct {
+	comp    bool
+	inOff   []int32
+	inRuns  []bpRun
+	outOff  []int32
+	outRuns []bpRun
 }
 
 // NewQoSSolver returns a reusable constrained-counting solver for t.
 func NewQoSSolver(t *tree.Tree) *QoSSolver {
-	s := &QoSSolver{arenas: make([]arena[int], 1)}
+	s := &QoSSolver{
+		arenas: make([]arena[int], 1),
+		bps:    make([]bpScratch, 1),
+		mstats: make([]mergeStats, 1),
+	}
 	s.wave.workers = 1
 	s.Reset(t)
 	return s
@@ -132,9 +160,11 @@ func NewQoSSolver(t *tree.Tree) *QoSSolver {
 // every worker count; see waveSched and MinCostSolver.SetWorkers.
 func (s *QoSSolver) SetWorkers(workers int) {
 	n := s.wave.setWorkers(workers, func(w, i int) {
-		s.solveNode(s.wave.dirtyIdx[i], &s.arenas[w])
+		s.solveNode(s.wave.dirtyIdx[i], w)
 	})
 	s.arenas = grownKeep(s.arenas, n)[:n]
+	s.bps = grownKeep(s.bps, n)[:n]
+	s.mstats = grownKeep(s.mstats, n)[:n]
 }
 
 // Reset rebinds the solver to tree t, keeping every retained buffer as
@@ -158,6 +188,7 @@ func (s *QoSSolver) Reset(t *tree.Tree) {
 	s.tabs = grownKeep(s.tabs, n)
 	s.choices = grownKeep(s.choices, n)
 	s.splits = grownKeep(s.splits, n)
+	s.qsteps = grownKeep(s.qsteps, n)
 	s.lastC = nil
 	s.track.bind(n)
 }
@@ -171,7 +202,11 @@ func (s *QoSSolver) Invalidate() { s.track.invalidate() }
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed.
 func (s *QoSSolver) Stats() SolveStats {
-	return SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
+	st := SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
+	for i := range s.mstats {
+		s.mstats[i].addTo(&st)
+	}
+	return st
 }
 
 // Solve runs the dynamic program for capacity W under constraints c
@@ -203,7 +238,8 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 	// constraint set reshapes every table. Constraint identity is the
 	// pointer plus its mutation generation, so in-place edits between
 	// solves are caught too.
-	s.track.mark(t, W != s.lastW || c != s.lastC || c.Generation() != s.lastCGen)
+	s.fullSolve = W != s.lastW || c != s.lastC || c.Generation() != s.lastCGen || !s.track.solved
+	s.track.mark(t, s.fullSolve)
 	s.track.propagate(t)
 
 	s.run()
@@ -238,6 +274,9 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 func (s *QoSSolver) tabRows(j int) int { return max(s.t.Depth(j)-1, 0) + 1 }
 
 func (s *QoSSolver) run() {
+	for i := range s.mstats {
+		s.mstats[i] = mergeStats{}
+	}
 	if s.wave.workers > 1 {
 		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
 	} else {
@@ -247,7 +286,7 @@ func (s *QoSSolver) run() {
 				continue
 			}
 			s.recomputed++
-			s.solveNode(j, &s.arenas[0])
+			s.solveNode(j, 0)
 		}
 	}
 	// Flush the growth owed to each arena's last node into this solve
@@ -259,29 +298,76 @@ func (s *QoSSolver) run() {
 }
 
 // solveNode rebuilds node j's table from its children's, carving
-// knapsack-merge intermediates out of ar.
-func (s *QoSSolver) solveNode(j int, ar *arena[int]) {
+// knapsack-merge intermediates out of worker w's arena.
+func (s *QoSSolver) solveNode(j, w int) {
+	ar, sc, ms := &s.arenas[w], &s.bps[w], &s.mstats[w]
 	t := s.t
 	ar.reset()
 	D := t.Depth(j)
 	kids := t.Children(j)
 	accRows := D + 1 // child requirements live in 0..D
 
+	// Fold restart point. The knapsack merge never reads node j's own
+	// demand (only the closures below do), so a node dirtied by its
+	// own clients alone replays zero fold steps; a dirty child
+	// restarts the fold at its position, decoding the preceding
+	// step's retained output snapshot as the accumulator. Both need
+	// the restart predecessor to have run compressed — dense steps
+	// keep no snapshot — and any input change to a prefix step dirties
+	// its child, which moves the restart before the change.
+	start := 0
+	if !s.fullSolve && len(kids) > 0 {
+		start = len(kids)
+		for st, ch := range kids {
+			if s.track.dirty[ch] {
+				start = st
+				break
+			}
+		}
+		if start > 0 && !s.qsteps[kids[start-1]].comp {
+			start = 0
+		}
+	}
+
 	// Knapsack merge of the children: acc cell (r, L) is the
 	// minimal sum of child flows using r replicas below, every
 	// child bound <= L and every child link within its bandwidth.
 	// Every child's tab block has row width accRows too (its depth
 	// is D+1), so rows align without re-indexing.
-	acc := ar.alloc(accRows) // the single r = 0 row, all zero
-	for L := range acc {
-		acc[L] = 0
-	}
+	var acc []int
 	sz := 0
-	for _, child := range kids {
+	if start == 0 {
+		acc = ar.alloc(accRows) // the single r = 0 row, all zero
+		for L := range acc {
+			acc[L] = 0
+		}
+	} else {
+		for _, ch := range kids[:start] {
+			sz += s.size[ch]
+		}
+		prev := &s.qsteps[kids[start-1]]
+		acc = ar.alloc((sz + 1) * accRows)
+		for L := 0; L < accRows; L++ {
+			decodeRunsIntStrided(prev.outRuns[prev.outOff[L]:prev.outOff[L+1]],
+				acc[L:], sz+1, accRows, qInf)
+		}
+		ms.replayed += len(kids) - start
+	}
+	for st := start; st < len(kids); st++ {
+		child := kids[st]
 		csz := s.size[child]
 		bw := s.c.Bandwidth(child)
 		ctab := s.tabs[child]
 		next := ar.alloc((sz + csz + 1) * accRows)
+		step := &s.qsteps[child]
+		if sz+csz+1 >= minDenseWidth &&
+			s.mergeColumns(step, acc, ctab, next, sz, csz, accRows, bw, sc, ms) {
+			acc = next
+			sz += csz
+			continue
+		}
+		step.comp = false
+		ms.cells += (sz + 1) * (csz + 1) * accRows
 		for i := range next {
 			next[i] = qInf
 		}
@@ -362,6 +448,160 @@ func (s *QoSSolver) solveNode(j int, ar *arena[int]) {
 	}
 }
 
+// mergeColumns runs one knapsack fold step on breakpoints: every
+// requirement column of the accumulator and of the (bandwidth-
+// filtered) child table is encoded, convolved with bpConv, decoded
+// into the dense next block, and the input/output runs are retained in
+// step for lazy split reconstruction and partial fold replays. The
+// bandwidth filter is a run-prefix drop: child column values decrease
+// with the replica count, so the cells over the link's bandwidth are
+// exactly the leading runs. Returns false — sending the caller to the
+// dense kernel — when any column violates the monotone contract.
+func (s *QoSSolver) mergeColumns(step *qStep, acc, ctab, next []int, sz, csz, accRows, bw int, sc *bpScratch, ms *mergeStats) bool {
+	step.inOff = grown(step.inOff, accRows+1)
+	inRuns := step.inRuns[:0]
+	for L := 0; L < accRows; L++ {
+		step.inOff[L] = int32(len(inRuns))
+		runs, ok := encodeRunsIntStrided(acc[L:], sz+1, accRows, qInf, sc.tmp)
+		sc.tmp = runs
+		if !ok {
+			step.inRuns = inRuns
+			return false
+		}
+		inRuns = append(inRuns, runs...)
+	}
+	step.inOff[accRows] = int32(len(inRuns))
+	step.inRuns = inRuns
+
+	sc.cols = grown(sc.cols, accRows+1)
+	colRuns := sc.colRuns[:0]
+	for L := 0; L < accRows; L++ {
+		sc.cols[L] = int32(len(colRuns))
+		runs, ok := encodeRunsIntStrided(ctab[L:], csz+1, accRows, qInf, sc.tmp)
+		sc.tmp = runs
+		if !ok {
+			sc.colRuns = colRuns
+			return false
+		}
+		if bw >= 0 {
+			for len(runs) > 0 && runs[0].val > int64(bw) {
+				runs = runs[1:]
+			}
+		}
+		colRuns = append(colRuns, runs...)
+	}
+	sc.cols[accRows] = int32(len(colRuns))
+	sc.colRuns = colRuns
+
+	step.outOff = grown(step.outOff, accRows+1)
+	outRuns := step.outRuns[:0]
+	for L := 0; L < accRows; L++ {
+		step.outOff[L] = int32(len(outRuns))
+		aR := step.inRuns[step.inOff[L]:step.inOff[L+1]]
+		cR := sc.colRuns[sc.cols[L]:sc.cols[L+1]]
+		var res []bpRun
+		if len(aR) > 0 && len(cR) > 0 {
+			// Sums at or past qInf are infeasible in the dense kernel
+			// (they never beat the qInf fill), so cap them out here.
+			res = bpConv(aR, cR, int64(qInf)-1, int32(sz+csz), sc)
+		}
+		ms.cells += len(aR) + len(cR) + len(res)
+		outRuns = append(outRuns, res...)
+		decodeRunsIntStrided(res, next[L:], sz+csz+1, accRows, qInf)
+	}
+	step.outOff[accRows] = int32(len(outRuns))
+	step.outRuns = outRuns
+	step.comp = true
+	ms.rows += 2 * accRows
+	return true
+}
+
+// lazySplit reconstructs the split the dense kernel would have
+// recorded for output cell (rp, L) of child's compressed fold step:
+// the dense loop visits the cell's candidate splits in ascending r1 =
+// rp - r2 order and keeps the first strict improvement, so the
+// recorded r2 belongs to the smallest r1 achieving the cell's final
+// value. pre is the replica capacity of the accumulator the step
+// merged into (the sum of the preceding children's sizes).
+func (s *QoSSolver) lazySplit(child, rp, L, accRows, pre int) int {
+	step := &s.qsteps[child]
+	v := bpAt(step.outRuns[step.outOff[L]:step.outOff[L+1]], int32(rp))
+	if v >= bpInfVal {
+		panic(fmt.Sprintf("core: reconstruction reached infeasible cell (%d,%d) at child %d", rp, L, child))
+	}
+	inR := step.inRuns[step.inOff[L]:step.inOff[L+1]]
+	ctab := s.tabs[child]
+	csz := s.size[child]
+	bw := s.c.Bandwidth(child)
+	cFirst := firstFeasibleStrided(ctab, L, csz, accRows)
+	for p := range inR {
+		rs, va := inR[p].start, inR[p].val
+		if va > v {
+			continue // every candidate of this run is beaten
+		}
+		re := int32(pre)
+		if p+1 < len(inR) {
+			re = inR[p+1].start - 1
+		}
+		cvT := v - va
+		if bw >= 0 && cvT > int64(bw) {
+			continue // the dense kernel drops over-bandwidth flows
+		}
+		cl, cr, ok := valueRunStrided(ctab, L, cFirst, int32(csz), accRows, cvT)
+		if !ok {
+			continue
+		}
+		if lo, hi := max(rs, int32(rp)-cr), min(re, int32(rp)-cl); lo <= hi {
+			return rp - int(lo)
+		}
+	}
+	panic(fmt.Sprintf("core: no split for cell (%d,%d) at child %d", rp, L, child))
+}
+
+// firstFeasibleStrided returns the first replica count whose cell in
+// column L of a monotone strided block is feasible (csz+1 when none).
+func firstFeasibleStrided(tab []int, L, csz, stride int) int32 {
+	lo, hi := int32(0), int32(csz+1)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if tab[int(mid)*stride+L] >= qInf {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// valueRunStrided locates the replica-count interval [cl, cr] of
+// column L holding exactly value v, searching the feasible region
+// [first, last] of the monotone strided block.
+func valueRunStrided(tab []int, L int, first, last int32, stride int, v int64) (cl, cr int32, ok bool) {
+	lo, hi := first, last+1
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if int64(tab[int(mid)*stride+L]) <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo > last || int64(tab[int(lo)*stride+L]) != v {
+		return 0, 0, false
+	}
+	cl = lo
+	hi = last + 1
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if int64(tab[int(mid)*stride+L]) < v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cl, lo - 1, true
+}
+
 // build reconstructs the placement behind tab cell (r, L) of node j
 // into res.
 func (s *QoSSolver) build(res *tree.Replicas, j, r, L int) {
@@ -372,9 +612,19 @@ func (s *QoSSolver) build(res *tree.Replicas, j, r, L int) {
 		res.Set(j, 1)
 		accR, accRow = r-1, s.t.Depth(j)
 	}
+	pre := 0
+	for _, child := range kids {
+		pre += s.size[child]
+	}
 	for i := len(kids) - 1; i >= 0; i-- {
 		child := kids[i]
-		r2 := s.splits[child][accR*accRows+accRow]
+		pre -= s.size[child]
+		var r2 int
+		if s.qsteps[child].comp {
+			r2 = s.lazySplit(child, accR, accRow, accRows, pre)
+		} else {
+			r2 = s.splits[child][accR*accRows+accRow]
+		}
 		s.build(res, child, r2, accRow)
 		accR -= r2
 	}
