@@ -208,3 +208,104 @@ func TestFacadePolicies(t *testing.T) {
 		t.Fatalf("heuristic under multiple: %+v, %v", h, err)
 	}
 }
+
+// TestFacadeFailures drives the failure-injection surface through the
+// facade: scripted and stochastic schedules, masked evaluation, masked
+// incremental solving, availability hedging and the simulator's repair
+// loop.
+func TestFacadeFailures(t *testing.T) {
+	b := replicatree.NewBuilder()
+	a := b.AddNode(b.Root())
+	n1 := b.AddNode(a)
+	n2 := b.AddNode(a)
+	b.AddClient(n1, 4)
+	b.AddClient(n2, 7)
+	tr := b.MustBuild()
+
+	// Scripted schedule into a mask.
+	sched := replicatree.NewFailureSchedule()
+	sched.Add(1, replicatree.NodeCrash, n1)
+	sched.Add(3, replicatree.NodeRecover, n1)
+	mask := replicatree.NewFailureMask(tr.N())
+	if !sched.AdvanceTo(1, mask) || mask.DownNodes() != 1 {
+		t.Fatalf("schedule did not crash node %d", n1)
+	}
+
+	// Masked evaluation: n1's clients are failure-unserved.
+	r := replicatree.ReplicasOf(tr)
+	r.Set(n1, 1)
+	r.Set(n2, 1)
+	engine := replicatree.NewFlowEngine(tr)
+	res := engine.EvalUniformMasked(r, replicatree.PolicyClosest, 10, mask)
+	if res.FailUnserved != 4 || res.Issued != 11 {
+		t.Fatalf("masked eval = %+v, want 4 of 11 failure-unserved", res)
+	}
+
+	// Masked incremental solve avoids the down node.
+	solver := replicatree.NewMinCostSolver(tr)
+	solver.SetMask(mask)
+	sol, err := solver.Solve(nil, 10, replicatree.SimpleCost{Create: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Placement.Has(n1) {
+		t.Fatal("masked solve placed a replica on a down node")
+	}
+	if st := solver.Stats(); st.MaskedNodes != 1 {
+		t.Fatalf("MaskedNodes = %d, want 1", st.MaskedNodes)
+	}
+
+	// Hedging pads coverage; expected loss is finite and sane.
+	hedged, err := replicatree.GreedyMinReplicasHedged(tr, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replicatree.CoverageOK(tr, hedged, 2) {
+		t.Fatal("hedged placement misses K=2 coverage")
+	}
+	up := make([]float64, tr.N())
+	p := replicatree.UpProbability(40, 8)
+	for j := range up {
+		up[j] = p
+	}
+	exp, err := replicatree.ExpectedUnserved(tr, hedged, up, replicatree.PolicyClosest)
+	if err != nil || exp < 0 || exp > 11 {
+		t.Fatalf("ExpectedUnserved = %v, %v", exp, err)
+	}
+
+	// Simulated failures with online repair through the facade.
+	stoch, err := replicatree.StochasticFailures(replicatree.StochasticFailureConfig{
+		Nodes: tr.N(), Horizon: 40, MTTF: 10, MTTR: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := replicatree.NewPowerModel([]int{12}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := hedged.Clone()
+	if err := pm.AssignModes(tr, modes); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := replicatree.NewSimulator(tr, modes, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(stoch, replicatree.FailureOptions{Repair: true}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(40)
+	m := sim.Metrics()
+	if m.Issued != 40*11 {
+		t.Fatalf("Issued = %d, want %d", m.Issued, 40*11)
+	}
+	if m.Served+m.Dropped+m.UnservedDemand != m.Issued {
+		t.Fatalf("conservation violated: %+v", m)
+	}
+	for j, av := range sim.Availability() {
+		if av < 0 || av > 1 {
+			t.Fatalf("availability[%d] = %v", j, av)
+		}
+	}
+}

@@ -15,6 +15,11 @@
 // -qos runs the QoS/bandwidth constraint study (arXiv 0706.3350):
 // replica counts with and without constraints on the paper's fat and
 // high trees, exact DP vs constrained greedy.
+// -failures runs the availability study: nodes crash and recover
+// stochastically (-mttf/-mttr mean steps), and the exact DP, the
+// greedy baseline, and the availability-hedged greedy are compared on
+// expected and simulated demand loss, with the online repair loop
+// unless -repair=false.
 //
 // By default a reduced tree count keeps runs interactive; -full uses the
 // paper's exact scale (200 trees for Experiments 1-2, 100 for
@@ -46,6 +51,10 @@ func main() {
 		intervals = flag.Bool("intervals", false, "run the Section 6 lazy-vs-systematic update-interval study")
 		policies  = flag.Bool("policies", false, "compare the Closest/Upwards/Multiple access policies (cs/0611034)")
 		qos       = flag.Bool("qos", false, "compare replica counts with and without QoS/bandwidth constraints (0706.3350)")
+		failures  = flag.Bool("failures", false, "run the availability/failure-injection study")
+		mttf      = flag.Float64("mttf", 0, "with -failures: mean steps between node failures (0 = default)")
+		mttr      = flag.Float64("mttr", 0, "with -failures: mean steps to node recovery (0 = default)")
+		repair    = flag.Bool("repair", true, "with -failures: also simulate the online repair loop")
 		full      = flag.Bool("full", false, "use the paper's full tree counts and instance sizes")
 		trees     = flag.Int("trees", 0, "override the number of trees per experiment")
 		seed      = flag.Uint64("seed", exper.DefaultSeed, "random seed")
@@ -57,7 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if len(ids) == 0 && !*scale && !*intervals && !*policies && !*qos {
+	if len(ids) == 0 && !*scale && !*intervals && !*policies && !*qos && !*failures {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +90,15 @@ func main() {
 	if *qos {
 		for _, high := range []bool{false, true} {
 			if err := runQoSComparison(high, *full, *trees, *seed, *workers); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *failures {
+		for _, high := range []bool{false, true} {
+			if err := runAvailability(high, *full, *trees, *seed, *workers, *mttf, *mttr, *repair); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
@@ -232,6 +250,30 @@ func runQoSComparison(high, full bool, trees int, seed uint64, workers int) erro
 	return res.Report(os.Stdout, fmt.Sprintf(
 		"=== QoS/bandwidth constraint study (%s trees): %d trees of %d nodes, W=%d ===",
 		shape(high), cfg.Trees, cfg.Gen.Nodes, cfg.W))
+}
+
+// runAvailability runs the failure-injection availability study on fat
+// or high trees and reports it.
+func runAvailability(high, full bool, trees int, seed uint64, workers int, mttf, mttr float64, repair bool) error {
+	cfg := exper.DefaultAvailability(high)
+	if !full {
+		cfg.Trees = 10
+	}
+	if mttf > 0 {
+		cfg.MTTF = mttf
+	}
+	if mttr > 0 {
+		cfg.MTTR = mttr
+	}
+	cfg.Repair = repair
+	applyCommon(&cfg.Trees, &cfg.Seed, &cfg.Workers, trees, seed, workers)
+	res, err := exper.RunAvailability(cfg)
+	if err != nil {
+		return err
+	}
+	return res.Report(os.Stdout, fmt.Sprintf(
+		"=== Availability under failures (%s trees): %d trees of %d nodes, MTTF %.0f, MTTR %.0f ===",
+		shape(high), cfg.Trees, cfg.Gen.Nodes, cfg.MTTF, cfg.MTTR))
 }
 
 func applyCommon(cfgTrees *int, cfgSeed *uint64, cfgWorkers *int, trees int, seed uint64, workers int) {

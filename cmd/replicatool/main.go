@@ -22,7 +22,9 @@
 // rows run compressed, fold suffixes replayed) in the output, and
 // drift accepts -power to replay the sequence through the incremental
 // power DP, reporting the per-step root-scan counters; drift -stats
-// adds the per-step merge-layer counters too. The exact solvers take
+// adds the per-step merge-layer counters too; drift -fail injects a
+// stochastic node-fault schedule (-mttf/-mttr) so every step's re-solve
+// places around the currently down nodes. The exact solvers take
 // -workers to parallelise the post-order DP waves (0 = all CPUs);
 // results are bit-identical for every worker count.
 //
@@ -44,12 +46,14 @@
 //	replicatool greedy -tree tree.json -w 10 -exact
 //	replicatool check -tree tree.json -placement sol.json -qos 3
 //	replicatool drift -tree tree.json -w 10 -steps 20 -k 3
+//	replicatool drift -tree tree.json -w 10 -steps 20 -fail -mttf 30 -mttr 5
 //	replicatool drift -tree tree.json -power -caps 5,10 -steps 20 -k 3
 //	replicatool minpower -tree tree.json -caps 5,10 -stats
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -410,6 +414,9 @@ func cmdDrift(args []string) error {
 	create := fs.Float64("create", 0.1, "creation cost")
 	del := fs.Float64("delete", 0.01, "deletion cost")
 	usePower := fs.Bool("power", false, "replay through the power DP (uses -caps/-static/-alpha/-change)")
+	fail := fs.Bool("fail", false, "inject stochastic node failures: each step the masked solver re-places around the down nodes")
+	mttf := fs.Float64("mttf", 40, "with -fail: mean steps between node failures")
+	mttr := fs.Float64("mttr", 8, "with -fail: mean steps to node recovery")
 	capsF := fs.String("caps", "5,10", "mode capacities W_1,...,W_M (power mode)")
 	static := fs.Float64("static", 12.5, "static power P(static) (power mode)")
 	alpha := fs.Float64("alpha", 3, "dynamic power exponent (power mode)")
@@ -446,6 +453,9 @@ func cmdDrift(args []string) error {
 		return changed
 	}
 	if *usePower {
+		if *fail {
+			return fmt.Errorf("replicatool: -fail replays through the masked mincost solver only (drop -power)")
+		}
 		caps, err := parseCaps(*capsF)
 		if err != nil {
 			return err
@@ -458,9 +468,31 @@ func cmdDrift(args []string) error {
 		return driftPower(t, *steps, drift, pm, cm, *workers, *stats)
 	}
 
+	// With -fail, a stochastic node-fault schedule (drawn from the same
+	// seed as the drift) advances alongside the demand drift; the solver
+	// carries the mask, so every step's placement avoids the currently
+	// down nodes and a step's re-solve is charged only the crash/demand
+	// ancestor chains. Steps where the outage makes the instance
+	// infeasible are reported as such and keep the previous placement.
+	var mask *replicatree.FailureMask
+	var sched *replicatree.FailureSchedule
+	if *fail {
+		sched, err = replicatree.StochasticFailures(replicatree.StochasticFailureConfig{
+			Nodes: t.N(), Horizon: *steps, MTTF: *mttf, MTTR: *mttr, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		mask = replicatree.NewFailureMask(t.N())
+	}
+
 	c := replicatree.SimpleCost{Create: *create, Delete: *del}
 	solver := replicatree.NewMinCostSolver(t)
 	solver.SetWorkers(*workers)
+	if mask != nil {
+		sched.AdvanceTo(0, mask)
+		solver.SetMask(mask)
+	}
 	res, err := solver.Solve(nil, *w, c)
 	if err != nil {
 		return err
@@ -470,19 +502,33 @@ func cmdDrift(args []string) error {
 	out := newDriftOut(res.Servers, *stats)
 	for s := 1; s <= *steps; s++ {
 		changed := drift()
-		upd, err := solver.SolveInto(placement, *w, c, spare)
-		if err != nil {
-			return err
+		if mask != nil {
+			sched.AdvanceTo(s, mask)
 		}
+		upd, err := solver.SolveInto(placement, *w, c, spare)
 		st := solver.Stats()
 		step := driftStep{
 			Step: s, Changed: changed,
 			Recomputed: st.Recomputed, Nodes: st.Nodes,
-			Servers: upd.Servers, Reused: upd.Reused, Cost: upd.Cost,
+		}
+		if mask != nil {
+			down, masked := mask.DownNodes(), st.MaskedNodes
+			step.DownNodes, step.MaskedNodes = &down, &masked
+		}
+		switch {
+		case errors.Is(err, replicatree.ErrInfeasible):
+			// The current outage leaves some demand unplaceable; keep
+			// the previous placement until nodes recover.
+			step.Infeasible = true
+			step.Servers, step.Cost = placement.Count(), 0
+		case err != nil:
+			return err
+		default:
+			step.Servers, step.Reused, step.Cost = upd.Servers, upd.Reused, upd.Cost
+			placement, spare = upd.Placement, placement
 		}
 		out.account(&step, st)
 		out.Steps = append(out.Steps, step)
-		placement, spare = upd.Placement, placement
 	}
 	return emit(out)
 }
@@ -495,6 +541,12 @@ type driftStep struct {
 	Servers    int     `json:"servers"`
 	Reused     int     `json:"reused"`
 	Cost       float64 `json:"cost"`
+	// -fail extras: nodes down this step, nodes the solver's mask held
+	// down during the re-solve, and whether the outage made the step
+	// infeasible (the previous placement is kept).
+	DownNodes   *int `json:"down_nodes,omitempty"`
+	MaskedNodes *int `json:"masked_nodes,omitempty"`
+	Infeasible  bool `json:"infeasible,omitempty"`
 	// Power-mode extras: the solution's power and the incremental
 	// root-scan counters. Pointers so power mode always emits them —
 	// legitimate zeros included (a step whose redraws changed nothing

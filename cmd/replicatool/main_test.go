@@ -136,6 +136,18 @@ func TestDriftEndToEnd(t *testing.T) {
 	}
 }
 
+func TestDriftFailEndToEnd(t *testing.T) {
+	path := writeTempTree(t)
+	if err := cmdDrift([]string{"-tree", path, "-w", "13", "-steps", "8", "-k", "1", "-seed", "3",
+		"-fail", "-mttf", "6", "-mttr", "2"}); err != nil {
+		t.Fatalf("drift -fail: %v", err)
+	}
+	// -fail replays through the masked mincost solver only.
+	if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,10", "-steps", "2", "-fail"}); err == nil {
+		t.Fatal("-fail with -power accepted")
+	}
+}
+
 func TestDriftPowerEndToEnd(t *testing.T) {
 	path := writeTempTree(t)
 	if err := cmdDrift([]string{"-tree", path, "-power", "-caps", "5,10", "-steps", "5", "-k", "1", "-seed", "3"}); err != nil {

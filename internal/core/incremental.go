@@ -100,6 +100,10 @@ type SolveStats struct {
 	// not count, so on drift solves a low number next to a high
 	// Recomputed means the retained fold prefixes are doing their job.
 	FoldSuffixReplayed int
+	// MaskedNodes is the number of nodes the solver's fault mask (see
+	// MinCostSolver.SetMask) held down during the solve: 0 without a
+	// mask. Stays 0 for QoSSolver and PowerDP, which do not take masks.
+	MaskedNodes int
 }
 
 // mergeStats accumulates the merge-layer counters of SolveStats per

@@ -145,6 +145,14 @@ type MinCostSolver struct {
 	lastW      int32
 	recomputed int
 
+	// Fault-mask view (see SetMask): the mask read at the start of the
+	// current solve, the previous solve's view for staleness diffing,
+	// and the count of masked nodes for Stats.
+	mask      tree.FaultMask
+	downNow   []bool
+	lastDown  []bool
+	maskedCnt int
+
 	// fullSolve is set for the duration of one solve when every table
 	// must be rebuilt (W or capB changed, or no valid previous solve):
 	// partial fold replays are then disabled even at nodes whose
@@ -207,8 +215,26 @@ func (s *MinCostSolver) Reset(t *tree.Tree) {
 		s.steps[j] = grownKeep(s.steps[j], len(t.Children(j)))
 	}
 	s.lastHas = grown(s.lastHas, n)
+	s.downNow = grown(s.downNow, n)
+	s.lastDown = grown(s.lastDown, n)
 	s.track.bind(n)
 }
+
+// SetMask points the solver at a fault-mask view consulted at the start
+// of every solve: a node the mask reports down cannot host a replica,
+// while its clients' demand is unchanged — they still route to their
+// nearest live equipped ancestor, so the returned placement stays valid
+// under the closest policy both during and after the outage. Only
+// NodeUp is consulted; link cuts are a routing concern the solver
+// cannot hedge against (a placement inside a severed subtree would be
+// sized for that subtree only, and invalid once the link returns).
+// A nil mask (the default) restores the unmasked program.
+//
+// The mask is diffed like the pre-existing set: a node whose up/down
+// state changed since the previous solve dirties its parent's chain
+// only, so a crash or recovery re-solves in O(depth) tables. The mask
+// is read once per solve; mutating it mid-solve is a race.
+func (s *MinCostSolver) SetMask(m tree.FaultMask) { s.mask = m }
 
 // Invalidate discards the validity of every cached subtree table,
 // forcing the next solve to recompute the whole tree. It is needed
@@ -220,7 +246,7 @@ func (s *MinCostSolver) Invalidate() { s.track.invalidate() }
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed.
 func (s *MinCostSolver) Stats() SolveStats {
-	st := SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed}
+	st := SolveStats{Nodes: s.t.N(), Recomputed: s.recomputed, MaskedNodes: s.maskedCnt}
 	for i := range s.mstats {
 		s.mstats[i].addTo(&st)
 	}
@@ -270,6 +296,11 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	if m := t.MaxClientSum(); m > W {
 		return MinCostResult{}, fmt.Errorf("core: a node's clients demand %d > W=%d: %w", m, W, ErrInfeasible)
 	}
+	if s.mask != nil {
+		if sz, ok := s.mask.(interface{ N() int }); ok && sz.N() < t.N() {
+			return MinCostResult{}, fmt.Errorf("core: fault mask covers %d nodes, tree has %d", sz.N(), t.N())
+		}
+	}
 	// dst is only touched once every input check has passed, so a
 	// failed call leaves a reused destination's previous contents
 	// intact.
@@ -280,18 +311,31 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	}
 
 	s.existing, s.w, s.placement = existing, int32(W), dst
+
+	// Snapshot the mask before anything reads it: updateCap's greedy
+	// feasibility pass must avoid down hosts, and the staleness diff
+	// below compares against the previous solve's snapshot.
+	s.maskedCnt = 0
+	for j := 0; j < t.N(); j++ {
+		down := s.mask != nil && !s.mask.NodeUp(j)
+		s.downNow[j] = down
+		if down {
+			s.maskedCnt++
+		}
+	}
 	s.updateCap(c)
 
 	// Decide which cached tables survive: demands via generation
-	// stamps, the pre-existing set by content diff (it dirties the
-	// parent: a node's own table ignores its own membership), W and the
-	// cap (both reshape every table) by full invalidation. The cost
-	// model only prices the root scan below.
+	// stamps, the pre-existing set and the fault mask by content diff
+	// (each dirties the parent: a node's own table ignores both its own
+	// membership and its own up/down state), W and the cap (both reshape
+	// every table) by full invalidation. The cost model only prices the
+	// root scan below.
 	t0 := s.t
 	s.fullSolve = s.w != s.lastW || s.capB != s.lastCapB || !s.track.solved
 	s.track.mark(t0, s.fullSolve)
 	for j := 0; j < t0.N(); j++ {
-		if s.lastHas[j] != existing.Has(j) {
+		if s.lastHas[j] != existing.Has(j) || s.lastDown[j] != s.downNow[j] {
 			s.track.markParent(t0, j)
 		}
 	}
@@ -305,6 +349,7 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	s.lastCapB = s.capB
 	for j := 0; j < t0.N(); j++ {
 		s.lastHas[j] = existing.Has(j)
+		s.lastDown[j] = s.downNow[j]
 	}
 	s.track.commit(t0)
 
@@ -369,7 +414,7 @@ func (s *MinCostSolver) solveNode(j, w int) {
 	if !s.fullSolve && s.t.DemandGen(j) == s.track.seen[j] {
 		start = len(kids)
 		for st, ch := range kids {
-			if s.track.dirty[ch] || s.lastHas[ch] != s.existing.Has(ch) {
+			if s.track.dirty[ch] || s.lastHas[ch] != s.existing.Has(ch) || s.lastDown[ch] != s.downNow[ch] {
 				start = st
 				break
 			}
@@ -417,12 +462,17 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	chE, chN := s.dimE[ch], s.dimN[ch]
 	chVals := s.vals[ch]
 	childPre := s.existing.Has(ch)
+	chDown := s.downNow[ch]
 
 	outE := accE + chE
 	outN := accN + chN
-	if childPre {
+	switch {
+	case chDown:
+		// A down child cannot host a replica, so the place option is
+		// dropped and neither axis grows on its account.
+	case childPre:
 		outE++
-	} else {
+	default:
 		outN++
 	}
 	if b := s.capB; b > 0 && outN > b {
@@ -438,9 +488,10 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 	}
 	step := &s.steps[j][st]
 	step.dimE, step.dimN = outE, outN
-	// Wide single-row merges (no pre-existing axis on either side) run
+	// Wide single-row merges (no pre-existing axis on either side, live
+	// child — the breakpoint kernel always folds the place option) run
 	// on breakpoints; everything else takes the dense kernel below.
-	if accE == 0 && chE == 0 && !childPre && int(outN)+1 >= minDenseWidth &&
+	if accE == 0 && chE == 0 && !childPre && !chDown && int(outN)+1 >= minDenseWidth &&
 		s.mergeCompressed(step, acc, chVals, out, accN, chN, outN, sc, ms) {
 		return out, outE, outN
 	}
@@ -494,10 +545,13 @@ func (s *MinCostSolver) merge(j, st, ch int, acc []int32, accE, accN int32, last
 					if a+cv <= s.w {
 						update(e+ec, n+nc, a+cv, dec)
 					}
-					// Replica on ch absorbs cv (cv <= W by construction).
-					if childPre {
+					// Replica on ch absorbs cv (cv <= W by construction),
+					// unless the fault mask holds ch down.
+					switch {
+					case chDown:
+					case childPre:
 						update(e+ec+1, n+nc, a, decP)
-					} else {
+					default:
 						update(e+ec, n+nc+1, a, decP)
 					}
 				}
@@ -680,6 +734,7 @@ func (s *MinCostSolver) scanRoot(c cost.Simple) (MinCostResult, error) {
 		}
 	}
 
+	rootUp := !s.downNow[r]
 	for e := int32(0); e <= dimE; e++ {
 		for n := int32(0); n <= dimN; n++ {
 			v := vals[e*(dimN+1)+n]
@@ -689,7 +744,7 @@ func (s *MinCostSolver) scanRoot(c cost.Simple) (MinCostResult, error) {
 			if v == 0 {
 				consider(e, n, false)
 			}
-			if v <= s.w {
+			if v <= s.w && rootUp {
 				consider(e, n, true)
 			}
 		}
@@ -746,7 +801,16 @@ func (s *MinCostSolver) updateCap(c cost.Simple) {
 		s.capB = 0
 		return
 	}
-	costUB := c.Of(s.serverCap(), 0, s.existing.Count())
+	ub, ok := s.serverCap()
+	if !ok {
+		// The greedy pass found no feasible placement under the mask, so
+		// there is no sound upper bound; run uncapped. The sticky-growth
+		// rule is bypassed on purpose: a retained cap derived from an
+		// earlier (differently masked) instance may under-bound this one.
+		s.capB = 0
+		return
+	}
+	costUB := c.Of(ub, 0, s.existing.Count())
 	b := int32(math.MaxInt32 / 4)
 	if costUB < float64(b) {
 		b = int32(costUB)
@@ -772,26 +836,45 @@ func (s *MinCostSolver) updateCap(c cost.Simple) {
 // before solving), so under the closest policy every equipped node
 // carries at most W and the placement is valid — making the count an
 // upper bound on the optimal server count.
-func (s *MinCostSolver) serverCap() int {
+//
+// Under a fault mask the greedy pass must not equip down nodes: their
+// escaped demand is carried upward instead, which can break the
+// induction (a carried pile may exceed W with no live host below it).
+// ok reports whether the placement stayed feasible; a false return
+// means the pass proves nothing and the caller must run uncapped.
+// Without a mask ok is always true and the count is byte-identical to
+// the pre-mask pass.
+func (s *MinCostSolver) serverCap() (cnt int, ok bool) {
 	t := s.t
 	s.escUB = grown(s.escUB, t.N())
 	esc := s.escUB
-	cnt := 0
+	ok = true
 	for _, j := range t.PostOrder() {
 		e := int32(t.ClientSum(j))
 		for _, c := range t.Children(j) {
-			if e+esc[c] > s.w {
+			if e+esc[c] > s.w && !s.downNow[c] && esc[c] <= s.w {
 				cnt++
 			} else {
 				e += esc[c]
 			}
 		}
+		if e > s.w {
+			// Only reachable under a mask: a down child's overflow was
+			// forcibly carried here and j cannot absorb it either (an
+			// equipped closest-policy server takes everything passing
+			// through, so equipping j would carry e > W).
+			ok = false
+		}
 		esc[j] = e
 	}
 	if esc[t.Root()] > 0 {
-		cnt++
+		if s.downNow[t.Root()] {
+			ok = false
+		} else {
+			cnt++
+		}
 	}
-	return cnt
+	return cnt, ok
 }
 
 // rebuild unwinds the merge decisions of node j for target cell (e, n),

@@ -1,0 +1,269 @@
+package exper
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/failure"
+	"replicatree/internal/greedy"
+	"replicatree/internal/netsim"
+	"replicatree/internal/par"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// AvailabilityConfig parameterises the availability experiment: on
+// random trees whose nodes fail and recover stochastically (seeded
+// MTTF/MTTR histories, stationary up-probability MTTF/(MTTF+MTTR)),
+// compare placement strategies on three axes — server count, the
+// analytic expected unserved demand of the failure package, and the
+// demand actually lost over a simulated horizon, with and without the
+// online repair loop.
+//
+// The strategies are the exact MinCost DP (fewest servers, no
+// redundancy), the greedy baseline, and the availability-hedged greedy
+// (greedy.MinReplicasHedged) keeping HedgeK servers on every client's
+// root path: the hedge pays extra servers up front to shrink the
+// demand lost between failure and repair.
+type AvailabilityConfig struct {
+	Trees int
+	Gen   tree.GenConfig
+	// Power supplies the capacity (placements use W_M) and the modes
+	// the simulator meters energy with.
+	Power power.Model
+	// MTTF and MTTR are the per-node mean steps to failure and repair.
+	MTTF, MTTR float64
+	// Horizon is the number of simulated steps per tree.
+	Horizon int
+	// HedgeK is the hedged strategy's per-client coverage target.
+	HedgeK int
+	// Repair enables the second simulated pass with the online repair
+	// loop; when false the RepairLostFrac/Repairs columns stay zero and
+	// the experiment runs roughly twice as fast.
+	Repair  bool
+	Seed    uint64
+	Workers int
+}
+
+// DefaultAvailability returns the default workload: 30 fat (or high)
+// trees of 100 nodes, nodes up ~86% of the time (MTTF 60, MTTR 10),
+// 300 steps, and K=2 hedging.
+func DefaultAvailability(high bool) AvailabilityConfig {
+	gen := tree.FatConfig(100)
+	if high {
+		gen = tree.HighConfig(100)
+	}
+	return AvailabilityConfig{
+		Trees:   30,
+		Gen:     gen,
+		Power:   Exp3Power(),
+		MTTF:    60,
+		MTTR:    10,
+		Horizon: 300,
+		HedgeK:  2,
+		Repair:  true,
+		Seed:    DefaultSeed,
+	}
+}
+
+// AvailabilityRow aggregates one strategy over all feasible trees.
+// The fractions are demand-weighted: total lost demand over total
+// issued demand across trees and steps.
+type AvailabilityRow struct {
+	Strategy string
+	// Feasible counts the trees where the strategy produced a valid
+	// placement.
+	Feasible int
+	// Servers is the average placement size.
+	Servers float64
+	// ExpectedFrac is the analytic expected unserved fraction at the
+	// stationary up-probability (failure.ExpectedUnserved).
+	ExpectedFrac float64
+	// LostFrac and Availability describe the simulated run without
+	// repair: the fraction of issued demand lost to failures, and its
+	// complement.
+	LostFrac     float64
+	Availability float64
+	// RepairLostFrac is the lost fraction with the online repair loop
+	// re-solving after every fault transition; Repairs is the average
+	// number of successful repairs per tree.
+	RepairLostFrac float64
+	Repairs        float64
+}
+
+// AvailabilityResult is the availability experiment's outcome.
+type AvailabilityResult struct {
+	Rows    []AvailabilityRow
+	Horizon int
+	// UpProbability is the stationary per-node availability implied by
+	// MTTF and MTTR.
+	UpProbability float64
+}
+
+func (c AvailabilityConfig) validate() error {
+	if c.Trees <= 0 {
+		return fmt.Errorf("exper: Trees = %d", c.Trees)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("exper: Horizon = %d", c.Horizon)
+	}
+	if c.MTTF <= 0 || c.MTTR < 0 {
+		return fmt.Errorf("exper: MTTF %v, MTTR %v", c.MTTF, c.MTTR)
+	}
+	if c.HedgeK < 0 {
+		return fmt.Errorf("exper: HedgeK = %d", c.HedgeK)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	_, err := tree.Generate(c.Gen, rng.New(0))
+	return err
+}
+
+// availabilityStrategies names the compared strategies in report order.
+func availabilityStrategies(hedgeK int) []string {
+	return []string{"exact DP", "greedy", fmt.Sprintf("hedged K=%d", hedgeK)}
+}
+
+// RunAvailability executes the availability experiment. Runs are
+// parallel across trees and deterministic for a fixed seed and any
+// worker count.
+func RunAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	names := availabilityStrategies(cfg.HedgeK)
+	upP := failure.UpProbability(cfg.MTTF, cfg.MTTR)
+
+	type stratOut struct {
+		feasible              bool
+		servers               int
+		expected, demand      float64 // expected unserved per step, issued per step
+		lost, repairLost      int
+		issued, repairRepairs int
+	}
+	type treeOut struct {
+		strat []stratOut
+		err   error
+	}
+	outs := par.Map(cfg.Trees, cfg.Workers, func(i int) treeOut {
+		src := rng.Derive(cfg.Seed, i)
+		t := tree.MustGenerate(cfg.Gen, src)
+		W := cfg.Power.MaxCap()
+		schedSeed := src.Uint64()
+
+		up := make([]float64, t.N())
+		for j := range up {
+			up[j] = upP
+		}
+
+		placements := make([]*tree.Replicas, len(names))
+		if res, err := core.MinCost(t, nil, W, cost.Simple{}); err == nil {
+			placements[0] = res.Placement
+		}
+		if r, err := greedy.MinReplicas(t, W); err == nil {
+			placements[1] = r
+		}
+		if r, err := greedy.MinReplicasHedged(t, W, cfg.HedgeK); err == nil {
+			placements[2] = r
+		}
+
+		out := treeOut{strat: make([]stratOut, len(names))}
+		for si, pl := range placements {
+			if pl == nil {
+				continue
+			}
+			s := &out.strat[si]
+			s.feasible = true
+			s.servers = pl.Count()
+
+			exp, err := failure.ExpectedUnserved(t, pl, up, tree.PolicyClosest)
+			if err != nil {
+				out.err = fmt.Errorf("exper: tree %d strategy %s: %w", i, names[si], err)
+				return out
+			}
+			s.expected = exp
+			for j := 0; j < t.N(); j++ {
+				s.demand += float64(t.ClientSum(j))
+			}
+
+			for _, repair := range []bool{false, true} {
+				if repair && !cfg.Repair {
+					continue
+				}
+				sched, err := failure.Stochastic(failure.StochasticConfig{
+					Nodes: t.N(), Horizon: cfg.Horizon,
+					MTTF: cfg.MTTF, MTTR: cfg.MTTR, Seed: schedSeed,
+				})
+				if err != nil {
+					out.err = err
+					return out
+				}
+				modes := pl.Clone()
+				if err := cfg.Power.AssignModes(t, modes); err != nil {
+					out.err = fmt.Errorf("exper: tree %d strategy %s: %w", i, names[si], err)
+					return out
+				}
+				sim, err := netsim.New(t, modes, cfg.Power)
+				if err != nil {
+					out.err = err
+					return out
+				}
+				if err := sim.WithFailures(sched, netsim.FailureOptions{Repair: repair}); err != nil {
+					out.err = err
+					return out
+				}
+				sim.Step(cfg.Horizon)
+				m := sim.Metrics()
+				if repair {
+					s.repairLost = m.UnservedDemand
+					s.repairRepairs = m.RepairCount
+				} else {
+					s.lost = m.UnservedDemand
+					s.issued = m.Issued
+				}
+			}
+		}
+		return out
+	})
+
+	res := &AvailabilityResult{Horizon: cfg.Horizon, UpProbability: upP}
+	for si, name := range names {
+		row := AvailabilityRow{Strategy: name}
+		var expected, demand float64
+		var lost, repairLost, issued, repairs int
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			s := o.strat[si]
+			if !s.feasible {
+				continue
+			}
+			row.Feasible++
+			row.Servers += float64(s.servers)
+			expected += s.expected
+			demand += s.demand
+			lost += s.lost
+			repairLost += s.repairLost
+			issued += s.issued
+			repairs += s.repairRepairs
+		}
+		if row.Feasible > 0 {
+			row.Servers /= float64(row.Feasible)
+			row.Repairs = float64(repairs) / float64(row.Feasible)
+		}
+		if demand > 0 {
+			row.ExpectedFrac = expected / demand
+		}
+		if issued > 0 {
+			row.LostFrac = float64(lost) / float64(issued)
+			row.Availability = 1 - row.LostFrac
+			row.RepairLostFrac = float64(repairLost) / float64(issued)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package exper
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func TestRunAvailability(t *testing.T) {
+	cfg := DefaultAvailability(false)
+	cfg.Trees = 6
+	cfg.Horizon = 60
+	res, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 strategy rows, got %d", len(res.Rows))
+	}
+	exact, hedged := res.Rows[0], res.Rows[2]
+	if exact.Feasible == 0 || hedged.Feasible == 0 {
+		t.Fatalf("strategies infeasible: %+v", res.Rows)
+	}
+	// Hedging adds servers and can only improve (or match) expected
+	// loss relative to the greedy it pads.
+	greedyRow := res.Rows[1]
+	if hedged.Servers < greedyRow.Servers {
+		t.Fatalf("hedged uses fewer servers (%v) than greedy (%v)", hedged.Servers, greedyRow.Servers)
+	}
+	for _, row := range res.Rows {
+		if row.LostFrac < 0 || row.LostFrac > 1 || row.Availability < 0 || row.Availability > 1 {
+			t.Fatalf("fractions out of range: %+v", row)
+		}
+		if row.RepairLostFrac > row.LostFrac+1e-9 {
+			t.Fatalf("%s: repair increased loss (%v > %v)", row.Strategy, row.RepairLostFrac, row.LostFrac)
+		}
+	}
+
+	// Determinism across worker counts.
+	cfg.Workers = 4
+	res2, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("availability experiment depends on worker count")
+	}
+
+	var buf bytes.Buffer
+	if err := res.Report(&buf, "availability"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRunAvailabilityValidates(t *testing.T) {
+	cfg := DefaultAvailability(true)
+	cfg.Trees = 0
+	if _, err := RunAvailability(cfg); err == nil {
+		t.Error("zero trees accepted")
+	}
+	cfg = DefaultAvailability(true)
+	cfg.MTTF = 0
+	if _, err := RunAvailability(cfg); err == nil {
+		t.Error("zero MTTF accepted")
+	}
+	cfg = DefaultAvailability(true)
+	cfg.Gen = tree.GenConfig{}
+	if _, err := RunAvailability(cfg); err == nil {
+		t.Error("bad generator accepted")
+	}
+}

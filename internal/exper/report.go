@@ -149,3 +149,22 @@ func (r *PolicyCompareResult) Report(w io.Writer, title string) error {
 	_, err := io.WriteString(w, sb.String())
 	return err
 }
+
+// Report renders the availability experiment: one row per strategy,
+// comparing placement size against analytic and simulated demand loss,
+// with and without online repair.
+func (r *AvailabilityResult) Report(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "per-node stationary availability %.3f, horizon %d steps\n", r.UpProbability, r.Horizon)
+	fmt.Fprintf(&sb, "%-12s %4s %9s %10s %10s %12s %10s %9s\n",
+		"strategy", "ok", "servers", "E[lost]", "lost", "availability", "lost+fix", "repairs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %4d %9.2f %9.2f%% %9.2f%% %12.4f %9.2f%% %9.1f\n",
+			row.Strategy, row.Feasible, row.Servers,
+			100*row.ExpectedFrac, 100*row.LostFrac, row.Availability,
+			100*row.RepairLostFrac, row.Repairs)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

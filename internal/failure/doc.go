@@ -1,0 +1,73 @@
+// Package failure models node crashes and link cuts in a distribution
+// tree: a Schedule of scripted and stochastic (seeded MTTF/MTTR)
+// events, and a Mask — the instantaneous up/down view the rest of the
+// stack consults. tree.Engine.EvalMasked routes request flows under a
+// mask, netsim replays schedules step by step (Simulator.WithFailures),
+// and core.MinCostSolver.SetMask re-solves placement around failed
+// nodes incrementally.
+//
+// # Fault model
+//
+// A node crash (NodeCrash/NodeRecover) takes the node's server — if one
+// is placed there — out of service and disconnects the clients attached
+// to the node; traffic from the node's subtree still transits through
+// it (the routing fabric survives, only the service and access
+// functions fail). A link cut (LinkCut/LinkRestore) severs the edge
+// from a node to its parent: no request originating inside the severed
+// subtree can reach a server outside it.
+//
+// # Degradation contract per policy
+//
+// When a request's server is unavailable the outcome depends on the
+// access policy, mirroring how much freedom the policy gives the
+// routing:
+//
+//   - Closest: routing is forced by the placement — a request is bound
+//     to its first equipped ancestor whether or not that ancestor is
+//     up. A down server, a down access node, or a cut link on the path
+//     makes the request fail: it is tallied as failure-unserved
+//     (Metrics.UnservedDemand), never rerouted and never silently
+//     over-served. Requests whose path carries no server at all keep
+//     their pre-failure accounting (they drop at the root, as without
+//     failures).
+//   - Upwards and Multiple: routing is capacity-aware and may climb, so
+//     a down server is treated exactly like an unequipped node — the
+//     demand continues toward the root and may be absorbed by a live
+//     server higher up. Only demand trapped behind a cut link, or
+//     issued at a down access node, is failure-unserved; demand passing
+//     the root unabsorbed stays in the ordinary Dropped tally, as
+//     without failures.
+//
+// Under every policy the per-step conservation law holds:
+//
+//	served + dropped + failure-unserved == issued.
+//
+// # Masked re-solve and the dirty-chain bound
+//
+// core.MinCostSolver accepts a mask (SetMask): a down node cannot host
+// a replica, while its demand — it may still have attached clients that
+// will reconnect on recovery — remains part of the instance. Placement
+// feasibility is decided against the full demand, so a repaired
+// placement is valid both during and after the outage. Masks are
+// node-only on the solver: link cuts degrade service (EvalMasked) but
+// never trigger placement changes.
+//
+// The solver observes mask changes by diffing against the previous
+// solve's mask, exactly like pre-existing-set changes: whether node j
+// may host a replica is decided in its parent's merge step, so a crash
+// or recovery of j dirties parent(j) and, by propagation, the ancestor
+// chain of j — and nothing else. An incremental re-solve after a crash
+// therefore recomputes O(depth) node tables (the blast radius of the
+// event), not O(N), and is byte-identical to a cold solve of the same
+// masked instance (differentially tested over random crash/recover
+// sequences in the core package).
+//
+// # Determinism
+//
+// Stochastic schedules draw per-node exponential up/down durations from
+// rng.Derive(seed, node) streams, so a schedule is a pure function of
+// (seed, nodes, horizon, MTTF, MTTR) — independent of iteration order,
+// worker counts and goroutine scheduling. Replaying one schedule
+// through netsim at any solver worker count yields byte-identical
+// metrics.
+package failure

@@ -1,0 +1,89 @@
+package failure
+
+import (
+	"fmt"
+
+	"replicatree/internal/tree"
+)
+
+// ExpectedUnserved returns the expected demand per time step that
+// placement r fails to serve on t when node j is independently up with
+// probability up[j] — the availability objective of the Availability
+// Aware Continuous Replica Placement Problem (arXiv 1605.04069),
+// evaluated against this package's fault model (a down node neither
+// serves nor admits its attached clients; links are assumed intact).
+//
+// Under the closest policy routing is forced, so the demand attached to
+// node o is served exactly when o and its forced server are both up:
+//
+//	E[unserved] = Σ_o d_o · (1 − p_o · p_srv(o))
+//
+// (p_o alone when o serves itself; d_o outright when no server lies on
+// o's path). Under the upwards and multiple policies routing climbs
+// past down servers, so demand at o is counted served whenever o is up
+// and any equipped node on o's root path is up — a capacity-relaxed
+// optimistic bound (capacity contention among survivors is ignored;
+// the netsim failure replay measures the exact figure):
+//
+//	E[unserved] = Σ_o d_o · (1 − p_o · (1 − Π_{s on path, equipped} (1 − p_s)))
+//
+// Lower is better; hedged placements (greedy.HedgePlacement) buy their
+// advantage here by keeping several equipped nodes on every path.
+func ExpectedUnserved(t *tree.Tree, r *tree.Replicas, up []float64, p tree.Policy) (float64, error) {
+	n := t.N()
+	if r.N() != n {
+		return 0, fmt.Errorf("failure: placement covers %d nodes, tree has %d", r.N(), n)
+	}
+	if len(up) != n {
+		return 0, fmt.Errorf("failure: %d up-probabilities for %d nodes", len(up), n)
+	}
+	for j, q := range up {
+		if q < 0 || q > 1 {
+			return 0, fmt.Errorf("failure: up-probability %v of node %d outside [0,1]", q, j)
+		}
+	}
+	if !p.Valid() {
+		return 0, fmt.Errorf("failure: unknown access policy %v", p)
+	}
+
+	exp := 0.0
+	switch p {
+	case tree.PolicyClosest:
+		srv := tree.Assignments(t, r)
+		for o := 0; o < n; o++ {
+			d := float64(t.ClientSum(o))
+			if d == 0 {
+				continue
+			}
+			if srv[o] < 0 {
+				exp += d
+				continue
+			}
+			ps := up[o]
+			if srv[o] != o {
+				ps *= up[srv[o]]
+			}
+			exp += d * (1 - ps)
+		}
+	default:
+		// allDown[o] is the probability that every equipped node on
+		// o's root path (o included) is down; composed top-down.
+		allDown := make([]float64, n)
+		post := t.PostOrder()
+		for i := len(post) - 1; i >= 0; i-- {
+			o := post[i]
+			pd := 1.0
+			if par := t.Parent(o); par >= 0 {
+				pd = allDown[par]
+			}
+			if r.Has(o) {
+				pd *= 1 - up[o]
+			}
+			allDown[o] = pd
+			if d := float64(t.ClientSum(o)); d > 0 {
+				exp += d * (1 - up[o]*(1-pd))
+			}
+		}
+	}
+	return exp, nil
+}

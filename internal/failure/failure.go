@@ -1,0 +1,363 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"replicatree/internal/rng"
+)
+
+// EventKind enumerates the fault transitions a Schedule can carry.
+type EventKind uint8
+
+const (
+	// NodeCrash takes a node out of service: a replica placed there
+	// stops serving and the node's attached clients are disconnected.
+	NodeCrash EventKind = iota + 1
+	// NodeRecover returns a crashed node to service.
+	NodeRecover
+	// LinkCut severs the link from a node to its parent, isolating the
+	// node's subtree from every server outside it.
+	LinkCut
+	// LinkRestore repairs a cut link.
+	LinkRestore
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodeRecover:
+		return "recover"
+	case LinkCut:
+		return "cut"
+	case LinkRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one fault transition: at the start of time step Step, Node
+// changes state per Kind. For LinkCut/LinkRestore, Node identifies the
+// link by its lower endpoint (the link to the node's parent), matching
+// the bandwidth convention of tree.Constraints.
+type Event struct {
+	Step int
+	Kind EventKind
+	Node int
+}
+
+// Mask is the instantaneous up/down view of an n-node tree. It
+// implements tree.FaultMask, so it plugs directly into
+// tree.Engine.EvalMasked and core.MinCostSolver.SetMask. A nil *Mask
+// reports everything up. Methods are not safe for concurrent mutation.
+type Mask struct {
+	nodeDown []bool
+	linkDown []bool
+	downN    int // count of down nodes
+	downL    int // count of cut links
+	gen      uint64
+}
+
+// NewMask returns an all-up mask over n nodes.
+func NewMask(n int) *Mask {
+	return &Mask{nodeDown: make([]bool, n), linkDown: make([]bool, n)}
+}
+
+// N returns the number of nodes the mask covers (0 for a nil mask).
+func (m *Mask) N() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.nodeDown)
+}
+
+// NodeUp reports whether node j is operational.
+func (m *Mask) NodeUp(j int) bool { return m == nil || !m.nodeDown[j] }
+
+// LinkUp reports whether the link from node j to its parent is intact.
+// The root's (nonexistent) upward link is always up.
+func (m *Mask) LinkUp(j int) bool { return m == nil || !m.linkDown[j] }
+
+// DownNodes returns the number of currently crashed nodes.
+func (m *Mask) DownNodes() int {
+	if m == nil {
+		return 0
+	}
+	return m.downN
+}
+
+// CutLinks returns the number of currently severed links.
+func (m *Mask) CutLinks() int {
+	if m == nil {
+		return 0
+	}
+	return m.downL
+}
+
+// Generation returns a counter advanced by every state-changing
+// transition, letting caches detect that the mask moved between reads.
+func (m *Mask) Generation() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.gen
+}
+
+// Apply performs one transition and reports whether the mask changed
+// (crashing an already-down node is a no-op). Out-of-range nodes and
+// unknown kinds are rejected with false rather than a panic: schedules
+// may be replayed against trees smaller than the one they were built
+// for.
+func (m *Mask) Apply(e Event) bool {
+	if m == nil || e.Node < 0 || e.Node >= len(m.nodeDown) {
+		return false
+	}
+	switch e.Kind {
+	case NodeCrash:
+		return m.setNode(e.Node, true)
+	case NodeRecover:
+		return m.setNode(e.Node, false)
+	case LinkCut:
+		return m.setLink(e.Node, true)
+	case LinkRestore:
+		return m.setLink(e.Node, false)
+	}
+	return false
+}
+
+func (m *Mask) setNode(j int, down bool) bool {
+	if m.nodeDown[j] == down {
+		return false
+	}
+	m.nodeDown[j] = down
+	if down {
+		m.downN++
+	} else {
+		m.downN--
+	}
+	m.gen++
+	return true
+}
+
+func (m *Mask) setLink(j int, down bool) bool {
+	if m.linkDown[j] == down {
+		return false
+	}
+	m.linkDown[j] = down
+	if down {
+		m.downL++
+	} else {
+		m.downL--
+	}
+	m.gen++
+	return true
+}
+
+// CrashNode marks node j down; see Apply for the semantics.
+func (m *Mask) CrashNode(j int) bool { return m.Apply(Event{Kind: NodeCrash, Node: j}) }
+
+// RecoverNode marks node j up again.
+func (m *Mask) RecoverNode(j int) bool { return m.Apply(Event{Kind: NodeRecover, Node: j}) }
+
+// CutLink severs the link from node j to its parent.
+func (m *Mask) CutLink(j int) bool { return m.Apply(Event{Kind: LinkCut, Node: j}) }
+
+// RestoreLink repairs the link from node j to its parent.
+func (m *Mask) RestoreLink(j int) bool { return m.Apply(Event{Kind: LinkRestore, Node: j}) }
+
+// Reset returns every node and link to the up state.
+func (m *Mask) Reset() {
+	if m == nil {
+		return
+	}
+	if m.downN > 0 || m.downL > 0 {
+		m.gen++
+	}
+	for j := range m.nodeDown {
+		m.nodeDown[j] = false
+		m.linkDown[j] = false
+	}
+	m.downN, m.downL = 0, 0
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	if m == nil {
+		return nil
+	}
+	return &Mask{
+		nodeDown: append([]bool(nil), m.nodeDown...),
+		linkDown: append([]bool(nil), m.linkDown...),
+		downN:    m.downN,
+		downL:    m.downL,
+		gen:      m.gen,
+	}
+}
+
+// Schedule is a step-ordered sequence of fault events with a replay
+// cursor. Build one by scripting events with Add, by drawing a
+// stochastic MTTF/MTTR history with Stochastic, or both (scripted and
+// stochastic events merge into one deterministic order). A Schedule is
+// not safe for concurrent use.
+type Schedule struct {
+	events []Event
+	sorted bool
+	cursor int
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{sorted: true} }
+
+// Add appends a scripted event taking effect at the start of the given
+// step. Negative steps and nodes are rejected with a panic: schedules
+// are driver code.
+func (s *Schedule) Add(step int, kind EventKind, node int) {
+	if step < 0 || node < 0 {
+		panic(fmt.Sprintf("failure: Add(%d, %v, %d) out of range", step, kind, node))
+	}
+	s.events = append(s.events, Event{Step: step, Kind: kind, Node: node})
+	s.sorted = false
+}
+
+// Len returns the total number of events in the schedule.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// Events returns the step-ordered event sequence. The slice aliases the
+// schedule's storage; callers must not mutate it.
+func (s *Schedule) Events() []Event {
+	s.sort()
+	return s.events
+}
+
+// sort establishes the canonical replay order: by step, then node, then
+// kind, so the order is a pure function of the event set — independent
+// of insertion order — and replays are deterministic.
+func (s *Schedule) sort() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.events, func(a, b int) bool {
+		ea, eb := s.events[a], s.events[b]
+		if ea.Step != eb.Step {
+			return ea.Step < eb.Step
+		}
+		if ea.Node != eb.Node {
+			return ea.Node < eb.Node
+		}
+		return ea.Kind < eb.Kind
+	})
+	s.sorted = true
+}
+
+// AdvanceTo applies every not-yet-applied event scheduled at or before
+// step to the mask and reports whether the mask changed. Steps must be
+// visited in nondecreasing order between Rewinds; the cursor skips
+// already-applied events.
+func (s *Schedule) AdvanceTo(step int, m *Mask) bool {
+	s.sort()
+	changed := false
+	for s.cursor < len(s.events) && s.events[s.cursor].Step <= step {
+		if m.Apply(s.events[s.cursor]) {
+			changed = true
+		}
+		s.cursor++
+	}
+	return changed
+}
+
+// Rewind resets the replay cursor so the schedule can be replayed from
+// step 0 (typically against a freshly Reset mask).
+func (s *Schedule) Rewind() { s.cursor = 0 }
+
+// StochasticConfig parameterises Stochastic.
+type StochasticConfig struct {
+	// Nodes is the number of nodes fault histories are drawn for.
+	Nodes int
+	// Horizon bounds the drawn history: no event is scheduled at or
+	// after this step.
+	Horizon int
+	// MTTF and MTTR are the mean time to failure and to repair, in
+	// steps, of the per-node alternating exponential renewal process.
+	MTTF, MTTR float64
+	// CrashRoot lets the root crash too (default false: a dead root
+	// makes every closest-policy instance trivially lossy, which drowns
+	// the signal most experiments are after).
+	CrashRoot bool
+	// Links draws link-cut histories with the same MTTF/MTTR for every
+	// non-root link when set; node crashes are always drawn.
+	Links bool
+	// Seed drives the per-node rng.Derive streams.
+	Seed uint64
+}
+
+// Stochastic draws a deterministic fault history: each node (and
+// optionally each link) alternates exponentially distributed up
+// (mean MTTF) and down (mean MTTR) durations, quantised to whole steps
+// of at least one, until the horizon. Distinct nodes draw from
+// independent rng.Derive(seed, ·) streams, so the history is a pure
+// function of the config regardless of evaluation order.
+func Stochastic(cfg StochasticConfig) (*Schedule, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("failure: Stochastic over %d nodes", cfg.Nodes)
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("failure: negative horizon %d", cfg.Horizon)
+	}
+	if cfg.MTTF <= 0 || cfg.MTTR <= 0 {
+		return nil, fmt.Errorf("failure: non-positive MTTF %v or MTTR %v", cfg.MTTF, cfg.MTTR)
+	}
+	s := NewSchedule()
+	for j := 0; j < cfg.Nodes; j++ {
+		if j > 0 || cfg.CrashRoot {
+			drawHistory(s, rng.Derive(cfg.Seed, j), cfg.Horizon, cfg.MTTF, cfg.MTTR, j, NodeCrash, NodeRecover)
+		}
+		if cfg.Links && j > 0 {
+			// Offsetting by Nodes decorrelates a node's link stream
+			// from its crash stream.
+			drawHistory(s, rng.Derive(cfg.Seed, cfg.Nodes+j), cfg.Horizon, cfg.MTTF, cfg.MTTR, j, LinkCut, LinkRestore)
+		}
+	}
+	s.sort()
+	return s, nil
+}
+
+// drawHistory appends one alternating up/down renewal history for node
+// j to the schedule (out of global order; Schedule.sort restores it).
+func drawHistory(s *Schedule, src *rng.Source, horizon int, mttf, mttr float64, j int, down, up EventKind) {
+	s.sorted = false
+	step := 0
+	for {
+		step += expSteps(src, mttf)
+		if step >= horizon {
+			return
+		}
+		s.events = append(s.events, Event{Step: step, Kind: down, Node: j})
+		step += expSteps(src, mttr)
+		if step >= horizon {
+			return
+		}
+		s.events = append(s.events, Event{Step: step, Kind: up, Node: j})
+	}
+}
+
+// expSteps draws an exponential duration with the given mean, quantised
+// to a whole number of steps >= 1.
+func expSteps(src *rng.Source, mean float64) int {
+	d := -mean * math.Log(1-src.Float64())
+	if d < 1 {
+		return 1
+	}
+	if d > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(d)
+}
+
+// UpProbability returns the stationary availability MTTF/(MTTF+MTTR) of
+// the alternating renewal process Stochastic draws from — the per-node
+// up-probability to feed ExpectedUnserved.
+func UpProbability(mttf, mttr float64) float64 {
+	return mttf / (mttf + mttr)
+}

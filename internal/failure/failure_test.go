@@ -1,0 +1,186 @@
+package failure
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+func TestMaskTransitions(t *testing.T) {
+	m := NewMask(4)
+	if !m.NodeUp(2) || !m.LinkUp(3) || m.DownNodes() != 0 {
+		t.Fatal("fresh mask not all-up")
+	}
+	if !m.CrashNode(2) || m.CrashNode(2) {
+		t.Fatal("crash should change state once")
+	}
+	if m.NodeUp(2) || m.DownNodes() != 1 {
+		t.Fatal("crash not applied")
+	}
+	if !m.CutLink(3) || m.CutLinks() != 1 {
+		t.Fatal("cut not applied")
+	}
+	gen := m.Generation()
+	if m.RecoverNode(3) { // was already up
+		t.Fatal("recovering an up node should be a no-op")
+	}
+	if m.Generation() != gen {
+		t.Fatal("no-op advanced the generation")
+	}
+	if m.Apply(Event{Kind: NodeCrash, Node: 99}) || m.Apply(Event{Kind: NodeCrash, Node: -1}) {
+		t.Fatal("out-of-range events must be rejected")
+	}
+	c := m.Clone()
+	m.Reset()
+	if m.DownNodes() != 0 || m.CutLinks() != 0 || !m.NodeUp(2) || !m.LinkUp(3) {
+		t.Fatal("reset did not clear the mask")
+	}
+	if c.NodeUp(2) || c.DownNodes() != 1 || c.CutLinks() != 1 {
+		t.Fatal("clone should keep the pre-reset state")
+	}
+
+	var nilMask *Mask
+	if !nilMask.NodeUp(0) || !nilMask.LinkUp(0) || nilMask.DownNodes() != 0 {
+		t.Fatal("nil mask must report all-up")
+	}
+}
+
+func TestScheduleOrderIndependence(t *testing.T) {
+	a := NewSchedule()
+	a.Add(3, NodeCrash, 1)
+	a.Add(1, NodeCrash, 2)
+	a.Add(3, NodeRecover, 2)
+	b := NewSchedule()
+	b.Add(3, NodeRecover, 2)
+	b.Add(3, NodeCrash, 1)
+	b.Add(1, NodeCrash, 2)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("canonical order differs: %v vs %v", a.Events(), b.Events())
+	}
+}
+
+func TestScheduleReplay(t *testing.T) {
+	s := NewSchedule()
+	s.Add(2, NodeCrash, 1)
+	s.Add(5, NodeRecover, 1)
+	m := NewMask(3)
+	if s.AdvanceTo(1, m) {
+		t.Fatal("no event before step 2")
+	}
+	if !s.AdvanceTo(2, m) || m.NodeUp(1) {
+		t.Fatal("crash at step 2 not applied")
+	}
+	if s.AdvanceTo(4, m) {
+		t.Fatal("nothing happens at steps 3-4")
+	}
+	if !s.AdvanceTo(10, m) || !m.NodeUp(1) {
+		t.Fatal("recovery not applied")
+	}
+	s.Rewind()
+	m.Reset()
+	if !s.AdvanceTo(10, m) || !m.NodeUp(1) || m.Generation() == 0 {
+		t.Fatal("rewound replay should re-apply both events")
+	}
+}
+
+func TestStochasticDeterministic(t *testing.T) {
+	cfg := StochasticConfig{Nodes: 50, Horizon: 500, MTTF: 80, MTTR: 10, Seed: 7}
+	a, err := Stochastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stochastic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("expected some events over 500 steps at MTTF 80")
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same config must draw the same schedule")
+	}
+	last := -1
+	for _, e := range a.Events() {
+		if e.Step < last {
+			t.Fatal("events out of order")
+		}
+		last = e.Step
+		if e.Step >= cfg.Horizon {
+			t.Fatalf("event at %d beyond horizon %d", e.Step, cfg.Horizon)
+		}
+		if e.Node == 0 {
+			t.Fatal("root must not crash unless CrashRoot is set")
+		}
+		if e.Kind != NodeCrash && e.Kind != NodeRecover {
+			t.Fatalf("unexpected kind %v without Links", e.Kind)
+		}
+	}
+
+	// Replaying the schedule leaves a consistent mask: every crash is
+	// either recovered or still pending, never double-applied.
+	m := NewMask(cfg.Nodes)
+	a.AdvanceTo(cfg.Horizon, m)
+	if m.DownNodes() < 0 || m.DownNodes() > cfg.Nodes {
+		t.Fatalf("implausible down count %d", m.DownNodes())
+	}
+
+	if _, err := Stochastic(StochasticConfig{Nodes: 0, Horizon: 1, MTTF: 1, MTTR: 1}); err == nil {
+		t.Fatal("want error for zero nodes")
+	}
+	if _, err := Stochastic(StochasticConfig{Nodes: 1, Horizon: 1, MTTF: 0, MTTR: 1}); err == nil {
+		t.Fatal("want error for zero MTTF")
+	}
+}
+
+func TestExpectedUnserved(t *testing.T) {
+	// Chain root(0) - 1 - 2, 10 requests at node 2.
+	b := tree.NewBuilder()
+	n1 := b.AddNode(b.Root())
+	n2 := b.AddNode(n1)
+	b.AddClient(n2, 10)
+	tr := b.MustBuild()
+
+	up := []float64{0.5, 0.9, 0.8}
+	r := tree.ReplicasOf(tr)
+	r.Set(0, 1)
+	r.Set(n1, 1)
+
+	// Closest: served iff access node 2 and forced server 1 are up.
+	got, err := ExpectedUnserved(tr, r, up, tree.PolicyClosest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * (1 - 0.8*0.9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("closest expected unserved %v, want %v", got, want)
+	}
+
+	// Upwards: served iff node 2 is up and not both servers are down.
+	got, err = ExpectedUnserved(tr, r, up, tree.PolicyUpwards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 10 * (1 - 0.8*(1-(1-0.9)*(1-0.5)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("upwards expected unserved %v, want %v", got, want)
+	}
+
+	// No server at all: everything is expected-unserved.
+	empty := tree.ReplicasOf(tr)
+	got, err = ExpectedUnserved(tr, empty, up, tree.PolicyClosest)
+	if err != nil || got != 10 {
+		t.Fatalf("empty placement: got %v, %v; want 10", got, err)
+	}
+
+	// Hedging lowers the closest-policy figure: a second server on the
+	// path can serve nothing under forced routing, but under upwards it
+	// does; under closest only the forced pair matters.
+	if _, err := ExpectedUnserved(tr, r, []float64{2, 0, 0}, tree.PolicyClosest); err == nil {
+		t.Fatal("want error for probability outside [0,1]")
+	}
+	if _, err := ExpectedUnserved(tr, r, up[:2], tree.PolicyClosest); err == nil {
+		t.Fatal("want error for short probability vector")
+	}
+}

@@ -1,0 +1,116 @@
+package greedy
+
+import "replicatree/internal/tree"
+
+// This file implements availability hedging: padding a placement so
+// every client keeps K candidate servers on its path to the root, in
+// the spirit of fault-tolerant facility location (each client assigned
+// to several distinct facilities so any single failure leaves a backup
+// in place). Under the closest policy only the nearest equipped
+// ancestor serves — the extra servers are standby capacity that the
+// failure package's masked routing (or a repair re-solve) falls back
+// to — while under the upwards and multiple policies the redundant
+// ancestors absorb climbing demand directly.
+//
+// Hedging never invalidates a closest-valid placement: equipping an
+// extra node only diverts demand away from servers above it, so every
+// old server's load shrinks, and the new server's load is the flow that
+// previously traversed its node, which was bounded by the (<= W) load
+// of the ancestor serving it.
+
+// Coverage returns, per node, the number of equipped nodes on the path
+// from the node (inclusive) to the root: the redundancy available to
+// the node's clients. O(N), top-down.
+func Coverage(t *tree.Tree, r *tree.Replicas) []int {
+	cov := make([]int, t.N())
+	post := t.PostOrder()
+	for i := len(post) - 1; i >= 0; i-- {
+		j := post[i]
+		if p := t.Parent(j); p >= 0 {
+			cov[j] = cov[p]
+		}
+		if r.Has(j) {
+			cov[j]++
+		}
+	}
+	return cov
+}
+
+// CoverageOK reports whether every client-bearing node has at least
+// min(K, depth+1) equipped nodes on its root path — the most coverage
+// a path of that length can hold, so short paths near the root are
+// never counted as deficient.
+func CoverageOK(t *tree.Tree, r *tree.Replicas, K int) bool {
+	if K <= 1 {
+		return true
+	}
+	cov := Coverage(t, r)
+	for j := 0; j < t.N(); j++ {
+		if t.ClientSum(j) == 0 {
+			continue
+		}
+		want := min(K, t.Depth(j)+1)
+		if cov[j] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// HedgePlacement equips additional nodes (at mode 1) until CoverageOK
+// holds for K, preferring the deepest unequipped ancestors of each
+// deficient client: deep servers shield the client from the most
+// single-node failures above them and absorb the least foreign
+// traffic. Returns the number of servers added. Deterministic: clients
+// are processed in ascending node order.
+func HedgePlacement(t *tree.Tree, r *tree.Replicas, K int) int {
+	if K <= 1 {
+		return 0
+	}
+	cov := Coverage(t, r)
+	added := 0
+	for j := 0; j < t.N(); j++ {
+		if t.ClientSum(j) == 0 {
+			continue
+		}
+		want := min(K, t.Depth(j)+1)
+		if cov[j] >= want {
+			continue
+		}
+		before := added
+		// Walk the path root-ward, equipping unequipped nodes deepest
+		// first.
+		for n := j; n >= 0 && cov[j] < want; n = t.Parent(n) {
+			if !r.Has(n) {
+				r.Set(n, 1)
+				added++
+				cov[j]++
+			}
+		}
+		if cov[j] < want {
+			// Unreachable: a path of depth+1 nodes fully equipped holds
+			// exactly want servers.
+			panic("greedy: hedge walk could not reach its coverage target")
+		}
+		// Refresh coverage for the remaining clients: the added servers
+		// cover other subtrees hanging off the walked path too.
+		if added > before {
+			cov = Coverage(t, r)
+		}
+	}
+	return added
+}
+
+// MinReplicasHedged is MinReplicas followed by HedgePlacement: a
+// minimal closest-valid placement padded to K-redundant coverage. The
+// result stays valid for capacity W (see the invariance argument in
+// the file comment); it is the "hedged greedy" strategy the
+// availability experiment compares against the exact DP.
+func MinReplicasHedged(t *tree.Tree, W, K int) (*tree.Replicas, error) {
+	r, err := MinReplicas(t, W)
+	if err != nil {
+		return nil, err
+	}
+	HedgePlacement(t, r, K)
+	return r, nil
+}

@@ -1,0 +1,101 @@
+package greedy
+
+import (
+	"testing"
+
+	"replicatree/internal/failure"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+func TestCoverageAndHedge(t *testing.T) {
+	// Chain root(0) - 1 - 2 with clients at 2.
+	b := tree.NewBuilder()
+	n1 := b.AddNode(b.Root())
+	n2 := b.AddNode(n1)
+	b.AddClient(n2, 3)
+	tr := b.MustBuild()
+
+	r := tree.ReplicasOf(tr)
+	r.Set(n1, 1)
+	if !CoverageOK(tr, r, 1) || CoverageOK(tr, r, 2) {
+		t.Fatal("coverage of a single mid-chain server misjudged")
+	}
+	if added := HedgePlacement(tr, r, 2); added != 1 {
+		t.Fatalf("hedge to K=2 added %d servers, want 1", added)
+	}
+	if !r.Has(n2) {
+		t.Fatal("hedge should prefer the deepest unequipped ancestor (the client's node)")
+	}
+	if !CoverageOK(tr, r, 2) {
+		t.Fatal("hedged placement still deficient")
+	}
+	// K beyond the path length saturates at full-path coverage.
+	if HedgePlacement(tr, r, 5) != 1 || !r.Has(0) || !CoverageOK(tr, r, 5) {
+		t.Fatal("saturating hedge should equip the whole path")
+	}
+	if HedgePlacement(tr, r, 5) != 0 {
+		t.Fatal("saturated hedge must be idempotent")
+	}
+}
+
+// TestHedgePreservesValidity pins the invariance argument: hedging a
+// minimal closest-valid placement never overloads any server, for any
+// K, on random trees.
+func TestHedgePreservesValidity(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		src := rng.Derive(404, int(seed))
+		tr := tree.MustGenerate(tree.HighConfig(70), src)
+		W := 8 + src.IntN(20)
+		for K := 2; K <= 4; K++ {
+			r, err := MinReplicasHedged(tr, W, K)
+			if err != nil {
+				continue // instance infeasible at this W
+			}
+			if !CoverageOK(tr, r, K) {
+				t.Fatalf("seed %d K=%d: hedged placement misses the coverage bar", seed, K)
+			}
+			loads, unserved := tree.Flows(tr, r)
+			if unserved > 0 {
+				t.Fatalf("seed %d K=%d: hedged placement leaves %d unserved", seed, K, unserved)
+			}
+			for j, l := range loads {
+				if l > W {
+					t.Fatalf("seed %d K=%d: hedged server %d carries %d > W=%d", seed, K, j, l, W)
+				}
+			}
+		}
+	}
+}
+
+// TestHedgeLowersExpectedUnserved ties hedging to the availability
+// model: under the upwards policy, K=2 coverage can only lower (never
+// raise) the expected unserved demand at any uniform up-probability.
+func TestHedgeLowersExpectedUnserved(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		src := rng.Derive(405, int(seed))
+		tr := tree.MustGenerate(tree.HighConfig(50), src)
+		base, err := MinReplicas(tr, 10)
+		if err != nil {
+			continue
+		}
+		hedged := base.Clone()
+		HedgePlacement(tr, hedged, 2)
+
+		up := make([]float64, tr.N())
+		for j := range up {
+			up[j] = failure.UpProbability(40, 8)
+		}
+		eb, err := failure.ExpectedUnserved(tr, base, up, tree.PolicyUpwards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh, err := failure.ExpectedUnserved(tr, hedged, up, tree.PolicyUpwards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eh > eb+1e-9 {
+			t.Fatalf("seed %d: hedging raised expected unserved from %v to %v", seed, eb, eh)
+		}
+	}
+}

@@ -38,6 +38,13 @@ type Options struct {
 	// under them, so the search only traverses constraint-valid
 	// placements.
 	Constraints *tree.Constraints
+	// HedgeK, when above 1, restricts the search to availability-hedged
+	// placements: every client-bearing node must keep min(HedgeK,
+	// depth+1) equipped nodes on its root path (greedy.CoverageOK), so
+	// any single server failure leaves a standby on the path. Seeds are
+	// padded with greedy.HedgePlacement to satisfy the bar; moves that
+	// would break it are rejected. 0 or 1 disables hedging.
+	HedgeK int
 }
 
 // Result is the heuristic's outcome.
@@ -79,8 +86,11 @@ func PowerAware(t *tree.Tree, existing *tree.Replicas, pm power.Model, cm cost.M
 		return Result{}, err
 	}
 
+	if opts.HedgeK < 0 {
+		return Result{}, fmt.Errorf("heuristic: negative hedge redundancy %d", opts.HedgeK)
+	}
 	h := &search{t: t, existing: existing, pm: pm, cm: cm, bound: bound,
-		policy: opts.Policy, cons: opts.Constraints, engine: tree.NewEngine(t)}
+		policy: opts.Policy, cons: opts.Constraints, hedgeK: opts.HedgeK, engine: tree.NewEngine(t)}
 	best, found := h.seed()
 	if !found {
 		return Result{Found: false}, nil
@@ -127,6 +137,7 @@ type search struct {
 	bound    float64
 	policy   tree.Policy
 	cons     *tree.Constraints // nil = unconstrained
+	hedgeK   int               // <= 1 means no coverage bar
 	engine   *tree.Engine
 }
 
@@ -158,15 +169,31 @@ func (h *search) seed() (candidate, bool) {
 		}
 		return h.engine.ValidateConstrained(p, h.policy, func(m uint8) int { return h.pm.Cap(int(m)) }, h.cons) == nil
 	}
-	if sw, err := greedy.PowerSweepPolicy(h.t, h.existing, h.pm, h.cm, h.bound, h.policy); err == nil && sw.Found && sweepOK(sw.Solution) {
+	// With hedging active, every sweep solution is also offered in a
+	// padded variant (extra standby servers up to the coverage bar);
+	// the unpadded original goes through try only when it meets the bar
+	// itself. assignModes re-derives modes and affordability for the
+	// padded structure, since the added servers shift loads and fees.
+	trySweep := func(sw greedy.SweepResult) {
+		if h.hedgeK > 1 {
+			hedged := sw.Solution.Clone()
+			greedy.HedgePlacement(h.t, hedged, h.hedgeK)
+			try(h.assignModes(hedged))
+			if !greedy.CoverageOK(h.t, sw.Solution, h.hedgeK) {
+				return
+			}
+		}
 		try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
+	}
+	if sw, err := greedy.PowerSweepPolicy(h.t, h.existing, h.pm, h.cm, h.bound, h.policy); err == nil && sw.Found && sweepOK(sw.Solution) {
+		trySweep(sw)
 	}
 	if h.policy != tree.PolicyClosest {
 		// Any closest-valid placement stays valid under the relaxed
 		// policies, so the plain closest sweep is one more seed — and
 		// it guarantees the search never ends above that baseline.
 		if sw, err := greedy.PowerSweep(h.t, h.existing, h.pm, h.cm, h.bound); err == nil && sw.Found && sweepOK(sw.Solution) {
-			try(candidate{placement: sw.Solution, cost: sw.Cost, power: sw.Power}, true)
+			trySweep(sw)
 		}
 	}
 	// Reuse the pre-existing deployment as-is.
@@ -187,6 +214,9 @@ func (h *search) seed() (candidate, bool) {
 // the solution is affordable. ok is false when the structure cannot be
 // made valid and affordable this way.
 func (h *search) assignModes(structure *tree.Replicas) (candidate, bool) {
+	if h.hedgeK > 1 && !greedy.CoverageOK(h.t, structure, h.hedgeK) {
+		return candidate{}, false
+	}
 	// Routing under the upwards/multiple policies is capacity-aware;
 	// evaluating at the fastest mode W_M shows the most each server can
 	// be asked to carry (for the closest policy capacities are ignored

@@ -255,3 +255,44 @@ func TestPowerAwareClosestUnchangedByPolicyField(t *testing.T) {
 		t.Fatal("explicit PolicyClosest changed the default result")
 	}
 }
+
+// TestPowerAwareHedged pins the HedgeK option: every found solution
+// meets the coverage bar, stays valid, and the search still finds
+// solutions when the bound is generous (the hedged seed exists because
+// padding a sweep solution never invalidates it).
+func TestPowerAwareHedged(t *testing.T) {
+	pm, cm := paperModels()
+	found := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		src := rng.Derive(seed, 77)
+		tr := tree.MustGenerate(tree.PowerConfig(5+src.IntN(40)), src)
+		res, err := PowerAware(tr, nil, pm, cm, 1e9, Options{HedgeK: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			continue
+		}
+		found++
+		if !greedy.CoverageOK(tr, res.Placement, 2) {
+			t.Fatalf("seed %d: hedged search returned an unhedged placement %v", seed, res.Placement)
+		}
+		if err := tree.Validate(tr, res.Placement, func(m uint8) int { return pm.Cap(int(m)) }); err != nil {
+			t.Fatalf("seed %d: invalid placement: %v", seed, err)
+		}
+		// The hedged optimum can never beat the unhedged one.
+		plain, err := PowerAware(tr, nil, pm, cm, 1e9, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Found && res.Power < plain.Power-1e-9 {
+			t.Fatalf("seed %d: hedged power %v below unhedged %v", seed, res.Power, plain.Power)
+		}
+	}
+	if found == 0 {
+		t.Fatal("hedged search found nothing across all seeds")
+	}
+	if _, err := PowerAware(tree.MustGenerate(tree.PowerConfig(10), rng.New(1)), nil, pm, cm, 10, Options{HedgeK: -1}); err == nil {
+		t.Error("negative HedgeK accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"fmt"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/failure"
+	"replicatree/internal/tree"
+)
+
+// FailureOptions configures failure injection (see WithFailures).
+type FailureOptions struct {
+	// Repair turns on the online repair loop: after every fault
+	// transition the placement is re-solved with the failed nodes
+	// masked out (an incremental MinCost solve whose dirty set is the
+	// failed node's ancestor chain) and swapped in via Reconfigure.
+	Repair bool
+	// Cost prices the masked re-solve (reuse discount, creation and
+	// deletion fees). The zero value counts servers only.
+	Cost cost.Simple
+	// Modal prices the reconfiguration swap in Metrics.ReconfigCost. A
+	// zero value charges nothing.
+	Modal cost.Modal
+	// Workers sets the repair solver's worker count (<= 1 runs
+	// sequentially). Results are bit-identical for every setting.
+	Workers int
+}
+
+// failureState holds the per-simulator failure machinery.
+type failureState struct {
+	sched *failure.Schedule
+	mask  *failure.Mask
+	opts  FailureOptions
+
+	// Online repair: one retained solver (its cached tables make each
+	// repair an O(depth) incremental solve) and a destination buffer
+	// ping-ponged against the active placement.
+	solver *core.MinCostSolver
+	dst    *tree.Replicas
+
+	// Per-node degradation tallies for Availability.
+	issuedAt []int
+	failedAt []int
+}
+
+// WithFailures arms the simulator with a failure schedule: from the
+// next Step on, time advances one unit at a time, the schedule's events
+// due at each unit are applied to an internal fault mask first, and
+// routing degrades per the access policy's contract (see the failure
+// package) — requests whose servers are down climb under the upwards
+// and multiple policies and are tallied as UnservedDemand under the
+// closest policy, never served beyond capacity and never panicking.
+// The schedule is rewound and replayed from step 0 relative to the
+// simulator's current step count; it must not be shared with another
+// simulator running concurrently.
+//
+// With opts.Repair set, every fault transition triggers a masked
+// incremental re-solve (capacity W_M, pricing opts.Cost) that keeps as
+// much of the current placement as the fees favour, followed by a
+// Reconfigure priced with opts.Modal. A transition with no feasible
+// masked placement keeps the old placement and counts RepairSkipped.
+//
+// Failure injection does not compose with QoS/bandwidth constraints
+// (NewConstrained): the constrained routing has no degradation
+// contract, so WithFailures errors on a constrained simulator.
+func (s *Simulator) WithFailures(sched *failure.Schedule, opts FailureOptions) error {
+	if sched == nil {
+		return fmt.Errorf("netsim: nil failure schedule")
+	}
+	if s.cons != nil {
+		return fmt.Errorf("netsim: failure injection does not compose with QoS/bandwidth constraints")
+	}
+	if s.fail != nil {
+		return fmt.Errorf("netsim: failure injection already configured")
+	}
+	n := s.t.N()
+	for _, e := range sched.Events() {
+		if e.Node >= n {
+			return fmt.Errorf("netsim: schedule event for node %d, tree has %d", e.Node, n)
+		}
+	}
+	f := &failureState{
+		sched:    sched,
+		mask:     failure.NewMask(n),
+		opts:     opts,
+		issuedAt: make([]int, n),
+		failedAt: make([]int, n),
+	}
+	if len(f.opts.Modal.Create) == 0 {
+		f.opts.Modal = cost.UniformModal(s.pm.M(), 0, 0, 0)
+	}
+	if opts.Repair {
+		f.solver = core.NewMinCostSolver(s.t)
+		f.solver.SetMask(f.mask)
+		if opts.Workers > 1 {
+			f.solver.SetWorkers(opts.Workers)
+		}
+		f.dst = tree.ReplicasOf(s.t)
+	}
+	sched.Rewind()
+	s.fail = f
+	return nil
+}
+
+// Availability returns, per node, the fraction of its clients' issued
+// requests not lost to failures so far (1 for nodes that issued
+// nothing, including all nodes before the first failure-mode step).
+// Requests dropped for capacity or placement reasons do not lower
+// availability — they are the placement's fault, not the fault
+// injector's.
+func (s *Simulator) Availability() []float64 {
+	out := make([]float64, s.t.N())
+	for j := range out {
+		out[j] = 1
+		if s.fail != nil && s.fail.issuedAt[j] > 0 {
+			out[j] = 1 - float64(s.fail.failedAt[j])/float64(s.fail.issuedAt[j])
+		}
+	}
+	return out
+}
+
+// DownNodes reports how many nodes the fault mask currently holds down
+// (0 without failure injection).
+func (s *Simulator) DownNodes() int {
+	if s.fail == nil {
+		return 0
+	}
+	return s.fail.mask.DownNodes()
+}
+
+// stepFailure advances the simulation by one time unit under the fault
+// schedule: apply due events, optionally repair, evaluate masked,
+// account.
+func (s *Simulator) stepFailure() {
+	f := s.fail
+	if f.sched.AdvanceTo(s.m.Steps, f.mask) && f.opts.Repair {
+		s.repair()
+	}
+	s.m.DowntimeSteps += f.mask.DownNodes()
+
+	res := s.engine.EvalMasked(s.placement, s.policy, s.caps, f.mask)
+	served, dropped, violations := 0, 0, 0
+	stepPower := 0.0
+	peak := s.m.PeakUtilisation
+	for j, load := range res.Loads {
+		if !s.placement.Has(j) || !f.mask.NodeUp(j) {
+			continue // a down server carries no load and draws no power
+		}
+		capacity := s.pm.Cap(int(s.placement.Mode(j)))
+		stepPower += s.pm.NodePower(int(s.placement.Mode(j)))
+		if load > capacity {
+			violations++
+			served += capacity
+			dropped += load - capacity
+		} else {
+			served += load
+		}
+		if u := float64(load) / float64(capacity); u > peak {
+			peak = u
+		}
+	}
+	dropped += res.Unserved
+	s.m.Steps++
+	s.m.Served += served
+	s.m.Dropped += dropped
+	s.m.Violations += violations
+	s.m.Energy += stepPower
+	s.m.PeakUtilisation = peak
+	s.m.Issued += res.Issued
+	s.m.UnservedDemand += res.FailUnserved
+	for j := 0; j < s.t.N(); j++ {
+		f.issuedAt[j] += s.t.ClientSum(j)
+		f.failedAt[j] += res.UnservedAt[j]
+	}
+}
+
+// repair re-solves the placement with the current fault mask applied
+// and swaps the solution in. The solver's retained tables make the
+// solve incremental — a single crash or recovery dirties only the
+// flipped node's ancestor chain — and the current placement is the
+// pre-existing set, so the pricing favours keeping what already runs.
+func (s *Simulator) repair() {
+	f := s.fail
+	res, err := f.solver.SolveInto(s.placement, s.pm.MaxCap(), f.opts.Cost, f.dst)
+	if err != nil {
+		s.m.RepairSkipped++
+		return
+	}
+	if err := s.pm.AssignModes(s.t, res.Placement); err != nil {
+		// Cannot happen: the masked solve is closest-valid for the full
+		// demand at W_M. Kept as a guard rather than a panic.
+		s.m.RepairSkipped++
+		return
+	}
+	if s.placement.Equal(res.Placement) {
+		return // the running placement is already the masked optimum
+	}
+	if _, err := s.Reconfigure(res.Placement, f.opts.Modal); err != nil {
+		s.m.RepairSkipped++
+		return
+	}
+	s.m.RepairCount++
+}

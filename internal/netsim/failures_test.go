@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/failure"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// failureSim builds a simulator over a random tree with a stochastic
+// schedule armed, returning the pieces the tests reuse.
+func failureSim(t *testing.T, seed uint64, policy tree.Policy, horizon int, opts FailureOptions) (*Simulator, *tree.Tree) {
+	t.Helper()
+	src := rng.Derive(seed, int(policy))
+	tr := tree.MustGenerate(tree.HighConfig(60), src)
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	pl, err := tree.RandomReplicas(tr, 1+src.IntN(tr.N()/2), pm.M(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewPolicy(tr, pl, pm, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := failure.Stochastic(failure.StochasticConfig{
+		Nodes: tr.N(), Horizon: horizon, MTTF: 25, MTTR: 6, Links: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(sched, opts); err != nil {
+		t.Fatal(err)
+	}
+	return sim, tr
+}
+
+// TestFailureConservation is the netsim-level property test: under
+// every policy, with and without repair, every step's demand is fully
+// accounted — Issued == Served + Dropped + UnservedDemand — and
+// availability stays within [0, 1].
+func TestFailureConservation(t *testing.T) {
+	for _, policy := range tree.Policies() {
+		for _, repair := range []bool{false, true} {
+			for seed := uint64(0); seed < 8; seed++ {
+				sim, tr := failureSim(t, seed, policy, 80, FailureOptions{Repair: repair})
+				sim.Step(80)
+				m := sim.Metrics()
+				issuedPerStep := 0
+				for j := 0; j < tr.N(); j++ {
+					issuedPerStep += tr.ClientSum(j)
+				}
+				if m.Issued != 80*issuedPerStep {
+					t.Fatalf("%v repair=%v seed %d: issued %d, want %d", policy, repair, seed, m.Issued, 80*issuedPerStep)
+				}
+				if m.Served+m.Dropped+m.UnservedDemand != m.Issued {
+					t.Fatalf("%v repair=%v seed %d: served %d + dropped %d + unserved %d != issued %d",
+						policy, repair, seed, m.Served, m.Dropped, m.UnservedDemand, m.Issued)
+				}
+				if policy != tree.PolicyClosest && m.Violations != 0 {
+					t.Fatalf("%v repair=%v seed %d: capacity-aware policy reported %d violations",
+						policy, repair, seed, m.Violations)
+				}
+				for j, a := range sim.Availability() {
+					if a < 0 || a > 1 {
+						t.Fatalf("%v repair=%v seed %d: availability[%d] = %v", policy, repair, seed, j, a)
+					}
+				}
+				if repair && m.RepairCount+m.RepairSkipped == 0 && m.Reconfigurations != m.RepairCount {
+					t.Fatalf("%v seed %d: repair bookkeeping inconsistent: %+v", policy, seed, m)
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxedPolicyCapacityProperty pins the degradation contract for
+// the capacity-aware policies: under upwards and multiple, no server
+// ever exceeds its capacity and every issued request is accounted for
+// (served + dropped + unserved == issued) — with and without failure
+// injection, at repair-solver worker counts 1 and 8. CI runs this under
+// -race, where the worker variation also shakes out data races in the
+// parallel masked re-solve.
+func TestRelaxedPolicyCapacityProperty(t *testing.T) {
+	const horizon = 60
+	for _, policy := range []tree.Policy{tree.PolicyUpwards, tree.PolicyMultiple} {
+		for _, withFail := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				for seed := uint64(0); seed < 4; seed++ {
+					var sim *Simulator
+					var tr *tree.Tree
+					if withFail {
+						sim, tr = failureSim(t, seed, policy, horizon,
+							FailureOptions{Repair: true, Workers: workers})
+					} else {
+						src := rng.Derive(seed, int(policy))
+						tr = tree.MustGenerate(tree.HighConfig(60), src)
+						pm := power.MustNew([]int{5, 10}, 1, 2)
+						pl, err := tree.RandomReplicas(tr, 1+src.IntN(tr.N()/2), pm.M(), src)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sim, err = NewPolicy(tr, pl, pm, policy)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					sim.Step(horizon)
+					m := sim.Metrics()
+					if m.Violations != 0 {
+						t.Fatalf("%v fail=%v workers=%d seed %d: %d capacity violations",
+							policy, withFail, workers, seed, m.Violations)
+					}
+					if m.PeakUtilisation > 1 {
+						t.Fatalf("%v fail=%v workers=%d seed %d: peak utilisation %v > 1",
+							policy, withFail, workers, seed, m.PeakUtilisation)
+					}
+					issued := 0
+					for j := 0; j < tr.N(); j++ {
+						issued += tr.ClientSum(j)
+					}
+					issued *= horizon
+					if got := m.Served + m.Dropped + m.UnservedDemand; got != issued {
+						t.Fatalf("%v fail=%v workers=%d seed %d: accounted %d of %d issued",
+							policy, withFail, workers, seed, got, issued)
+					}
+					if withFail && m.Issued != issued {
+						t.Fatalf("%v fail=%v workers=%d seed %d: Issued = %d, want %d",
+							policy, withFail, workers, seed, m.Issued, issued)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFailureReplayDeterministic is the acceptance determinism check: a
+// seeded schedule replayed with repair solvers at 1 and 8 workers must
+// produce byte-identical metrics and availability.
+func TestFailureReplayDeterministic(t *testing.T) {
+	for _, policy := range tree.Policies() {
+		run := func(workers int) (Metrics, []float64) {
+			sim, _ := failureSim(t, 42, policy, 120, FailureOptions{
+				Repair:  true,
+				Cost:    cost.Simple{Create: 0.2, Delete: 0.05},
+				Workers: workers,
+			})
+			sim.Step(120)
+			return sim.Metrics(), sim.Availability()
+		}
+		m1, a1 := run(1)
+		m8, a8 := run(8)
+		if !reflect.DeepEqual(m1, m8) {
+			t.Fatalf("%v: metrics differ between 1 and 8 workers:\n%+v\n%+v", policy, m1, m8)
+		}
+		if !reflect.DeepEqual(a1, a8) {
+			t.Fatalf("%v: availability differs between 1 and 8 workers", policy)
+		}
+	}
+}
+
+// TestFailureDegradationAndRepair pins the end-to-end story on a
+// concrete chain: a crash of the only server loses demand under the
+// closest policy without repair, while the repair loop re-equips a live
+// node and keeps serving.
+func TestFailureDegradationAndRepair(t *testing.T) {
+	build := func() (*tree.Tree, *tree.Replicas, power.Model) {
+		b := tree.NewBuilder()
+		n1 := b.AddNode(b.Root())
+		n2 := b.AddNode(n1)
+		b.AddClient(n2, 4)
+		tr := b.MustBuild()
+		pl := tree.ReplicasOf(tr)
+		pl.Set(n1, 1)
+		return tr, pl, power.MustNew([]int{5, 10}, 1, 2)
+	}
+	sched := func() *failure.Schedule {
+		s := failure.NewSchedule()
+		s.Add(1, failure.NodeCrash, 1)
+		s.Add(3, failure.NodeRecover, 1)
+		return s
+	}
+
+	// Without repair: steps 1 and 2 lose all 4 requests.
+	tr, pl, pm := build()
+	sim, err := New(tr, pl, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(sched(), FailureOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(5)
+	m := sim.Metrics()
+	if m.UnservedDemand != 8 || m.Served != 12 || m.DowntimeSteps != 2 {
+		t.Fatalf("no repair: unserved %d served %d downtime %d, want 8/12/2", m.UnservedDemand, m.Served, m.DowntimeSteps)
+	}
+	if a := sim.Availability(); a[2] != 1-8.0/20.0 {
+		t.Fatalf("no repair: availability %v", a[2])
+	}
+
+	// With repair: the crash step re-equips a live node, so only the
+	// crash instant's evaluation happens on the repaired placement and
+	// nothing is lost.
+	tr, pl, pm = build()
+	sim, err = New(tr, pl, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(sched(), FailureOptions{Repair: true}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(5)
+	m = sim.Metrics()
+	if m.UnservedDemand != 0 || m.Served != 20 {
+		t.Fatalf("repair: unserved %d served %d, want 0/20", m.UnservedDemand, m.Served)
+	}
+	if m.RepairCount == 0 {
+		t.Fatal("repair: no repair recorded")
+	}
+}
+
+// TestWithFailuresValidates pins the argument contract.
+func TestWithFailuresValidates(t *testing.T) {
+	tr := testTree()
+	pm := power.MustNew([]int{5, 10}, 1, 2)
+	sim, err := New(tr, tree.ReplicasOf(tr), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(nil, FailureOptions{}); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	oob := failure.NewSchedule()
+	oob.Add(0, failure.NodeCrash, 99)
+	if err := sim.WithFailures(oob, FailureOptions{}); err == nil {
+		t.Error("out-of-range event accepted")
+	}
+	ok := failure.NewSchedule()
+	if err := sim.WithFailures(ok, FailureOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WithFailures(ok, FailureOptions{}); err == nil {
+		t.Error("double configuration accepted")
+	}
+
+	cons := tree.NewConstraints(tr)
+	csim, err := NewConstrained(tr, tree.ReplicasOf(tr), pm, tree.PolicyClosest, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csim.WithFailures(failure.NewSchedule(), FailureOptions{}); err == nil {
+		t.Error("constrained simulator accepted failures")
+	}
+}

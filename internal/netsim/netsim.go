@@ -67,6 +67,28 @@ type Metrics struct {
 	// LinkOverflows counts request units crossing a link beyond its
 	// bandwidth under the closest policy. Zero without constraints.
 	LinkOverflows int
+
+	// The remaining fields accumulate only while failure injection is
+	// active (see Simulator.WithFailures); all stay zero otherwise.
+
+	// Issued counts every request the clients issued, so
+	// Issued == Served + Dropped + UnservedDemand at all times.
+	Issued int
+	// UnservedDemand counts the requests lost to failures: clients at
+	// down nodes, requests bound to a down or unreachable server under
+	// the closest policy, and requests trapped behind cut links. Demand
+	// lost for capacity or placement reasons stays in Dropped, exactly
+	// as without failures.
+	UnservedDemand int
+	// DowntimeSteps is the integral of down nodes over time: the sum,
+	// over all steps, of the number of nodes down during that step.
+	DowntimeSteps int
+	// RepairCount counts the successful online re-solves (each also
+	// appears in Reconfigurations and ReconfigCost). RepairSkipped
+	// counts the fault transitions where no valid masked placement
+	// existed (or mode assignment failed) and the old placement was
+	// kept instead.
+	RepairCount, RepairSkipped int
 }
 
 // Simulator replays traffic on one tree. The tree's request counts may
@@ -81,6 +103,7 @@ type Simulator struct {
 	engine    *tree.Engine
 	caps      tree.CapOf // mode -> capacity, built once to keep Step allocation-free
 	m         Metrics
+	fail      *failureState // nil until WithFailures
 }
 
 // New validates the placement's modes against the power model and
@@ -130,9 +153,18 @@ func (s *Simulator) Policy() tree.Policy { return s.policy }
 func (s *Simulator) Placement() *tree.Replicas { return s.placement.Clone() }
 
 // Step advances the simulation by n time units under the current
-// request rates and placement.
+// request rates and placement. With failure injection active (see
+// WithFailures) the units are simulated one at a time, applying the
+// schedule's events as their steps come due; otherwise one evaluation
+// covers all n units.
 func (s *Simulator) Step(n int) {
 	if n <= 0 {
+		return
+	}
+	if s.fail != nil {
+		for i := 0; i < n; i++ {
+			s.stepFailure()
+		}
 		return
 	}
 	res := s.engine.EvalConstrained(s.placement, s.policy, s.caps, s.cons)

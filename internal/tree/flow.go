@@ -47,9 +47,12 @@ type Engine struct {
 	// unserved inside subtree(j) form the contiguous tail pend[base:].
 	pend     []int
 	pendL    []int // minimal server depth per pending demand (constrained passes)
+	porig    []int // origin node per pending demand (masked passes)
 	pendBase []int // stack length before post[i] was processed
 	size     []int // subtree sizes (including the node itself)
 	srv      []int // serving-node depth per node (constrained closest validation)
+
+	unservedAt []int // failure-lost demand per origin node (masked passes)
 
 	w       int   // capacity used by the uniform-capacity closure
 	uniform CapOf // returns w; avoids a per-call closure allocation

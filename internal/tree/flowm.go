@@ -1,0 +1,335 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FaultMask is the read-only up/down view the masked evaluators and
+// solvers consult (implemented by failure.Mask). NodeUp reports whether
+// node j is operational: a down node neither serves requests nor admits
+// its attached clients, but traffic from its subtree still transits
+// through it. LinkUp reports whether the link from node j to its parent
+// is intact; a cut link blocks every request originating inside j's
+// subtree from reaching a server outside it. LinkUp of the root is
+// never consulted.
+type FaultMask interface {
+	NodeUp(j int) bool
+	LinkUp(j int) bool
+}
+
+// upMask is the trivial all-up view used when no mask is supplied.
+type upMask struct{}
+
+func (upMask) NodeUp(int) bool { return true }
+func (upMask) LinkUp(int) bool { return true }
+
+// MaskedResult describes one masked flow evaluation. On top of the
+// embedded Result — whose Loads and Unserved keep their usual meaning,
+// with Unserved counting only the demand that passes the root or has no
+// server on its path (the same demand an unmasked evaluation would
+// report lost) — it separates the losses the fault mask caused and
+// attributes them to the node whose clients suffered them. Loads and
+// UnservedAt alias the engine's scratch and are only valid until the
+// engine's next evaluation.
+type MaskedResult struct {
+	Result
+	// Issued is the total demand the tree's clients issued.
+	Issued int
+	// FailUnserved is the demand lost to failures: clients at down
+	// nodes, requests bound (under the closest policy) to a down or
+	// unreachable server, and requests trapped behind cut links.
+	// Issued == sum(Loads) + Unserved + FailUnserved.
+	FailUnserved int
+	// UnservedAt[j] is the failure-lost demand of the clients attached
+	// to node j; it sums to FailUnserved.
+	UnservedAt []int
+}
+
+// EvalMasked evaluates replica set r under policy p with fault mask m
+// (nil means everything up, reproducing Eval's loads exactly). See
+// FaultMask for the fault semantics and the failure package's
+// documentation for the degradation contract: under the closest policy
+// requests bound to a failed server are lost, under the upwards and
+// multiple policies they climb past down servers and may be absorbed
+// higher up. capOf may be nil only for PolicyClosest.
+func (e *Engine) EvalMasked(r *Replicas, p Policy, capOf CapOf, m FaultMask) MaskedResult {
+	if r.N() != e.t.N() {
+		panic(fmt.Sprintf("tree: masked evaluation with replica set of size %d on tree of size %d", r.N(), e.t.N()))
+	}
+	if m == nil {
+		m = upMask{}
+	}
+	switch p {
+	case PolicyClosest:
+		return e.evalMaskedClosest(r, m)
+	case PolicyUpwards:
+		if capOf == nil {
+			panic("tree: EvalMasked under the upwards policy needs capacities")
+		}
+		return e.evalMaskedUpwards(r, capOf, m)
+	case PolicyMultiple:
+		if capOf == nil {
+			panic("tree: EvalMasked under the multiple policy needs capacities")
+		}
+		return e.evalMaskedMultiple(r, capOf, m)
+	default:
+		panic(fmt.Sprintf("tree: EvalMasked with unknown policy %d", uint8(p)))
+	}
+}
+
+// EvalUniformMasked is EvalMasked with every mode mapped to capacity W.
+func (e *Engine) EvalUniformMasked(r *Replicas, p Policy, W int, m FaultMask) MaskedResult {
+	if p == PolicyClosest {
+		return e.EvalMasked(r, p, nil, m)
+	}
+	e.w = W
+	return e.EvalMasked(r, p, e.uniform, m)
+}
+
+// evalMaskedClosest routes under the forced closest policy: every
+// request is bound to its first equipped ancestor whether or not that
+// ancestor is up, so a down server, a down access node or a cut link on
+// the way loses the request. One top-down pass composes, per node, the
+// forced server (reusing e.srv) and whether the path to it is fully
+// live (e.up as a 0/1 flag).
+func (e *Engine) evalMaskedClosest(r *Replicas, m FaultMask) MaskedResult {
+	t := e.t
+	n := t.N()
+	e.unservedAt = growScratch(e.unservedAt, n)
+	for j := 0; j < n; j++ {
+		e.loads[j] = 0
+		e.unservedAt[j] = 0
+	}
+	issued, fail, unserved := 0, 0, 0
+	post := t.post
+	for i := n - 1; i >= 0; i-- {
+		j := post[i]
+		var srv, live int
+		switch {
+		case r.Has(j):
+			srv = j
+			if m.NodeUp(j) {
+				live = 1
+			}
+		case j == t.Root():
+			srv = -1
+		default:
+			p := t.parent[j]
+			srv = e.srv[p]
+			if srv >= 0 && e.up[p] == 1 && m.LinkUp(j) {
+				live = 1
+			}
+		}
+		e.srv[j], e.up[j] = srv, live
+		d := t.ClientSum(j)
+		if d == 0 {
+			continue
+		}
+		issued += d
+		switch {
+		case !m.NodeUp(j):
+			fail += d
+			e.unservedAt[j] += d
+		case srv < 0:
+			unserved += d // no server on the path: lost as without failures
+		case live == 0:
+			fail += d
+			e.unservedAt[j] += d
+		default:
+			e.loads[srv] += d
+		}
+	}
+	return MaskedResult{
+		Result:       Result{Policy: PolicyClosest, Loads: e.loads, Unserved: unserved},
+		Issued:       issued,
+		FailUnserved: fail,
+		UnservedAt:   e.unservedAt,
+	}
+}
+
+// pendSort orders a pending-demand segment by (demand, origin node):
+// the absorbed multiset matches evalUpwards' plain sort.Ints (so loads
+// are identical under an all-up mask) while the origin tie-break keeps
+// the per-node loss attribution deterministic.
+type pendSort struct{ d, o []int }
+
+func (s pendSort) Len() int { return len(s.d) }
+func (s pendSort) Less(a, b int) bool {
+	if s.d[a] != s.d[b] {
+		return s.d[a] < s.d[b]
+	}
+	return s.o[a] < s.o[b]
+}
+func (s pendSort) Swap(a, b int) {
+	s.d[a], s.d[b] = s.d[b], s.d[a]
+	s.o[a], s.o[b] = s.o[b], s.o[a]
+}
+
+// evalMaskedUpwards is evalUpwards with down servers skipped (whole
+// clients climb past them), clients at down nodes lost at the source,
+// and cut links dropping everything still pending inside their subtree.
+func (e *Engine) evalMaskedUpwards(r *Replicas, capOf CapOf, m FaultMask) MaskedResult {
+	t := e.t
+	n := t.N()
+	e.unservedAt = growScratch(e.unservedAt, n)
+	for j := 0; j < n; j++ {
+		e.unservedAt[j] = 0
+	}
+	e.pend = e.pend[:0]
+	e.porig = e.porig[:0]
+	issued, fail := 0, 0
+	for i, j := range t.post {
+		e.pendBase[i] = len(e.pend)
+		nodeUp := m.NodeUp(j)
+		for _, d := range t.Clients(j) {
+			if d <= 0 {
+				continue
+			}
+			issued += d
+			if !nodeUp {
+				fail += d
+				e.unservedAt[j] += d
+				continue
+			}
+			e.pend = append(e.pend, d)
+			e.porig = append(e.porig, j)
+		}
+		e.loads[j] = 0
+		base := e.pendBase[i-e.size[j]+1]
+		if r.Has(j) && nodeUp {
+			sort.Sort(pendSort{e.pend[base:], e.porig[base:]})
+			seg := e.pend[base:]
+			load, c := 0, capOf(r.Mode(j))
+			for k := len(seg) - 1; k >= 0; k-- {
+				if d := seg[k]; load+d <= c {
+					load += d
+					seg[k] = -1 // absorbed; compacted below
+				}
+			}
+			e.compactPend(base)
+			e.loads[j] = load
+		}
+		if j != t.Root() && !m.LinkUp(j) {
+			// The subtree is severed: everything still pending in it can
+			// never reach a server.
+			for k := base; k < len(e.pend); k++ {
+				fail += e.pend[k]
+				e.unservedAt[e.porig[k]] += e.pend[k]
+			}
+			e.pend = e.pend[:base]
+			e.porig = e.porig[:base]
+		}
+	}
+	unserved := 0
+	for _, d := range e.pend {
+		unserved += d
+	}
+	return MaskedResult{
+		Result:       Result{Policy: PolicyUpwards, Loads: e.loads, Unserved: unserved},
+		Issued:       issued,
+		FailUnserved: fail,
+		UnservedAt:   e.unservedAt,
+	}
+}
+
+// evalMaskedMultiple is evalMultiple with the same fault semantics as
+// evalMaskedUpwards; splittable demands are absorbed oldest-first, so
+// a live server's load is min(pending flow, capacity) exactly as in the
+// unmasked saturation pass.
+func (e *Engine) evalMaskedMultiple(r *Replicas, capOf CapOf, m FaultMask) MaskedResult {
+	t := e.t
+	n := t.N()
+	e.unservedAt = growScratch(e.unservedAt, n)
+	for j := 0; j < n; j++ {
+		e.unservedAt[j] = 0
+	}
+	e.pend = e.pend[:0]
+	e.porig = e.porig[:0]
+	issued, fail := 0, 0
+	for i, j := range t.post {
+		e.pendBase[i] = len(e.pend)
+		nodeUp := m.NodeUp(j)
+		for _, d := range t.Clients(j) {
+			if d <= 0 {
+				continue
+			}
+			issued += d
+			if !nodeUp {
+				fail += d
+				e.unservedAt[j] += d
+				continue
+			}
+			e.pend = append(e.pend, d)
+			e.porig = append(e.porig, j)
+		}
+		e.loads[j] = 0
+		base := e.pendBase[i-e.size[j]+1]
+		if r.Has(j) && nodeUp {
+			if c := capOf(r.Mode(j)); c > 0 {
+				rem, load := c, 0
+				for k := base; k < len(e.pend) && rem > 0; k++ {
+					take := e.pend[k]
+					if take > rem {
+						take = rem
+					}
+					e.pend[k] -= take
+					rem -= take
+					load += take
+				}
+				if load > 0 {
+					e.compactPendZero(base)
+				}
+				e.loads[j] = load
+			}
+		}
+		if j != t.Root() && !m.LinkUp(j) {
+			for k := base; k < len(e.pend); k++ {
+				fail += e.pend[k]
+				e.unservedAt[e.porig[k]] += e.pend[k]
+			}
+			e.pend = e.pend[:base]
+			e.porig = e.porig[:base]
+		}
+	}
+	unserved := 0
+	for _, d := range e.pend {
+		unserved += d
+	}
+	return MaskedResult{
+		Result:       Result{Policy: PolicyMultiple, Loads: e.loads, Unserved: unserved},
+		Issued:       issued,
+		FailUnserved: fail,
+		UnservedAt:   e.unservedAt,
+	}
+}
+
+// compactPend drops the entries marked -1 (absorbed whole demands) from
+// the pending stack's tail starting at base, keeping demands and
+// origins aligned.
+func (e *Engine) compactPend(base int) {
+	w := base
+	for k := base; k < len(e.pend); k++ {
+		if e.pend[k] >= 0 {
+			e.pend[w] = e.pend[k]
+			e.porig[w] = e.porig[k]
+			w++
+		}
+	}
+	e.pend = e.pend[:w]
+	e.porig = e.porig[:w]
+}
+
+// compactPendZero drops fully absorbed (zero) entries.
+func (e *Engine) compactPendZero(base int) {
+	w := base
+	for k := base; k < len(e.pend); k++ {
+		if e.pend[k] > 0 {
+			e.pend[w] = e.pend[k]
+			e.porig[w] = e.porig[k]
+			w++
+		}
+	}
+	e.pend = e.pend[:w]
+	e.porig = e.porig[:w]
+}

@@ -73,6 +73,48 @@ func FuzzTreeJSON(f *testing.F) {
 	})
 }
 
+// FuzzLoadInstance hardens the constrained-instance loader: arbitrary
+// bytes through ReadInstanceJSON must error or yield a tree (plus
+// optional constraints) that validates and round-trips — never panic.
+// This is the full untrusted surface of replicatool's file inputs.
+func FuzzLoadInstance(f *testing.F) {
+	f.Add([]byte(`{"parents": [-1, 0, 0], "clients": [[2], [7], [4]]}`))
+	f.Add([]byte(`{"parents": [-1, 0, 0], "clients": [[2], [7], [4]],
+		"qos": [[0], [2], [2]], "bandwidth": [-1, 20, 20]}`))
+	f.Add([]byte(`{"parents": [-1, 0], "clients": [[1]], "qos": [[1, 1, 1]]}`))
+	f.Add([]byte(`{"parents": [-1, 0], "bandwidth": [5]}`))
+	f.Add([]byte(`{"parents": [-1, 1], "clients": []}`))
+	f.Add([]byte(`{"parents": [-1], "clients": [[2147483647, 1]]}`))
+	f.Add([]byte(`{"parents": [-1], "clients": [[9223372036854775807]]}`))
+	f.Add([]byte(`{"parents": [-1], "qos": [[9]], "bandwidth": [-1], "clients": [[]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, cons, err := ReadInstanceJSON(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if err := cons.Validate(tr); err != nil {
+			t.Fatalf("accepted instance fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteInstanceJSON(&buf, tr, cons); err != nil {
+			t.Fatalf("accepted instance failed to write: %v", err)
+		}
+		tr2, cons2, err := ReadInstanceJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if tr2.N() != tr.N() || tr2.TotalRequests() != tr.TotalRequests() {
+			t.Fatalf("round trip changed the tree: %v vs %v", tr2, tr)
+		}
+		// An all-unbounded set writes as a plain tree, so only
+		// boundedness survives the round trip, not presence.
+		if cons.Bounded() != cons2.Bounded() {
+			t.Fatalf("round trip changed constraint boundedness: %v vs %v", cons2, cons)
+		}
+	})
+}
+
 // FuzzReplicasJSON round-trips arbitrary replica-set JSON.
 func FuzzReplicasJSON(f *testing.F) {
 	f.Add([]byte(`{"modes": [0, 1, 2]}`))

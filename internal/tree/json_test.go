@@ -127,3 +127,28 @@ func TestWriteDOT(t *testing.T) {
 		t.Error("DOT with nil sets has filled nodes")
 	}
 }
+
+// TestLoaderRejectsOverflowingDemand pins the int32 demand guard: the
+// solvers keep per-node client sums in int32 tables, so the loader must
+// reject any per-node sum (or single client) beyond MaxInt32 instead of
+// letting the cast wrap.
+func TestLoaderRejectsOverflowingDemand(t *testing.T) {
+	for _, bad := range []string{
+		`{"parents": [-1], "clients": [[9223372036854775807]]}`,
+		`{"parents": [-1], "clients": [[2147483648]]}`,
+		`{"parents": [-1], "clients": [[2147483647, 1]]}`,
+		`{"parents": [-1, 0], "clients": [[1], [1073741824, 1073741824]]}`,
+	} {
+		if _, err := ReadTreeJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("overflowing demand accepted: %s", bad)
+		}
+		if _, _, err := ReadInstanceJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("overflowing instance accepted: %s", bad)
+		}
+	}
+	// The guard is a bound, not a blanket cap: MaxInt32 itself loads.
+	ok := `{"parents": [-1], "clients": [[2147483646, 1]]}`
+	if _, err := ReadTreeJSON(strings.NewReader(ok)); err != nil {
+		t.Errorf("in-range demand rejected: %v", err)
+	}
+}

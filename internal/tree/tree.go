@@ -31,6 +31,7 @@ package tree
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -356,10 +357,18 @@ func FromParents(parents []int, clients [][]int) (*Tree, error) {
 		b.parent[j] = p
 	}
 	for j := range clients {
+		sum := 0
 		for _, r := range clients[j] {
 			if r < 0 {
 				return nil, fmt.Errorf("tree: node %d has a client with negative requests %d", j, r)
 			}
+			// The solvers keep per-node demand in int32 DP tables;
+			// reject sums whose cast would silently wrap (and keep the
+			// running sum itself from overflowing here).
+			if r > math.MaxInt32 || sum+r > math.MaxInt32 {
+				return nil, fmt.Errorf("tree: node %d carries more than %d requests", j, math.MaxInt32)
+			}
+			sum += r
 		}
 		b.clients[j] = append([]int(nil), clients[j]...)
 	}

@@ -42,6 +42,17 @@
 // EvalPlacement and CheckPlacement to evaluate untrusted input without
 // the engine's internal panic contract.
 //
+// Failure injection turns the static model into a fault-tolerant one: a
+// FailureSchedule scripts (or draws, seeded, from MTTF/MTTR histories)
+// node crashes and link cuts into a FailureMask, the flow engine
+// evaluates degraded service under any policy through EvalMasked, the
+// MinCost solver places around down nodes incrementally
+// (MinCostSolver.SetMask), the simulator replays fault schedules with
+// Simulator.WithFailures — optionally running an online repair loop —
+// and HedgePlacement pads placements to K-redundant coverage so
+// failures find standby servers already in place. See internal/failure
+// for the degradation contract.
+//
 // # Quick start
 //
 //	b := replicatree.NewBuilder()
@@ -59,6 +70,7 @@ package replicatree
 import (
 	"replicatree/internal/core"
 	"replicatree/internal/cost"
+	"replicatree/internal/failure"
 	"replicatree/internal/greedy"
 	"replicatree/internal/heuristic"
 	"replicatree/internal/netsim"
@@ -159,6 +171,33 @@ type (
 	Simulator = netsim.Simulator
 	// SimMetrics accumulates simulation results.
 	SimMetrics = netsim.Metrics
+	// FailureOptions configures the simulator's failure injection
+	// (Simulator.WithFailures): the online repair loop, its pricing and
+	// its solver parallelism.
+	FailureOptions = netsim.FailureOptions
+
+	// FailureEvent is one fault transition — a node crash or recovery,
+	// a link cut or restore — pinned to a simulation step.
+	FailureEvent = failure.Event
+	// FailureEventKind discriminates fault transitions.
+	FailureEventKind = failure.EventKind
+	// FailureMask is the mutable up/down view of a tree's nodes and
+	// links that schedules replay into; it implements FaultMask.
+	FailureMask = failure.Mask
+	// FailureSchedule is an ordered fault-event script; AdvanceTo
+	// replays it into a mask step by step.
+	FailureSchedule = failure.Schedule
+	// StochasticFailureConfig parameterises seeded random fault
+	// histories with per-node mean steps to failure and repair.
+	StochasticFailureConfig = failure.StochasticConfig
+	// FaultMask is the read-only up/down view the masked flow
+	// evaluators (FlowEngine.EvalMasked) and the masked MinCost solver
+	// consult; nil means everything up.
+	FaultMask = tree.FaultMask
+	// MaskedFlowResult is a flow evaluation under a fault mask: the
+	// usual FlowResult plus the demand lost to failures, per client
+	// node.
+	MaskedFlowResult = tree.MaskedResult
 
 	// RNG is the deterministic random stream used by generators.
 	RNG = rng.Source
@@ -186,6 +225,49 @@ const (
 	PolicyUpwards = tree.PolicyUpwards
 	// PolicyMultiple lets a client's requests split across servers.
 	PolicyMultiple = tree.PolicyMultiple
+)
+
+// Fault event kinds (see FailureEvent).
+const (
+	// NodeCrash takes a node down: it can no longer host a replica and
+	// its own clients go unserved, but transit through it survives.
+	NodeCrash = failure.NodeCrash
+	// NodeRecover brings a crashed node back.
+	NodeRecover = failure.NodeRecover
+	// LinkCut severs the link from a node to its parent, cutting the
+	// whole subtree off from servers above it.
+	LinkCut = failure.LinkCut
+	// LinkRestore repairs a cut link.
+	LinkRestore = failure.LinkRestore
+)
+
+// Failure injection and availability.
+var (
+	// NewFailureMask returns an all-up mask over n nodes.
+	NewFailureMask = failure.NewMask
+	// NewFailureSchedule returns an empty fault script.
+	NewFailureSchedule = failure.NewSchedule
+	// StochasticFailures draws a seeded, deterministic fault schedule
+	// from per-node MTTF/MTTR histories.
+	StochasticFailures = failure.Stochastic
+	// ExpectedUnserved is the analytic expected unserved demand of a
+	// placement under independent node up-probabilities.
+	ExpectedUnserved = failure.ExpectedUnserved
+	// UpProbability converts MTTF/MTTR to the stationary per-node
+	// availability mttf/(mttf+mttr).
+	UpProbability = failure.UpProbability
+
+	// Coverage counts, per node, the equipped nodes on its root path.
+	Coverage = greedy.Coverage
+	// CoverageOK reports whether every client keeps K servers (or a
+	// full path) on its way to the root.
+	CoverageOK = greedy.CoverageOK
+	// HedgePlacement pads a placement to K-redundant coverage; padding
+	// a closest-valid placement never invalidates it.
+	HedgePlacement = greedy.HedgePlacement
+	// GreedyMinReplicasHedged is the greedy baseline padded to
+	// K-redundant coverage — the availability-hedged strategy.
+	GreedyMinReplicasHedged = greedy.MinReplicasHedged
 )
 
 // Tree construction and workloads.
