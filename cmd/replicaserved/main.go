@@ -1,0 +1,45 @@
+// Command replicaserved is the placement-as-a-service daemon: it keeps
+// loaded instances' incremental solvers warm and serves placements,
+// Pareto fronts and failure evaluations over HTTP/JSON while batching
+// concurrent demand drifts into single incremental re-solve ticks.
+// `replicatool serve` is an alias for the same daemon.
+//
+// Endpoints (see internal/serve for the full contract):
+//
+//	POST   /instances                  load an instance (inline JSON or server-side gen)
+//	GET    /instances                  list loaded instances
+//	GET    /instances/{id}             instance summary
+//	DELETE /instances/{id}             unload an instance
+//	POST   /instances/{id}/drift      submit demand edits (batched into ticks)
+//	GET    /instances/{id}/placement  current placement snapshot (never blocks)
+//	GET    /instances/{id}/front      current cost/power Pareto front
+//	GET    /instances/{id}/eval       flow evaluation, optionally with faults (?down=, ?cut=)
+//	POST   /instances/{id}/snapshot   persist the session to the -data directory
+//	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus-style text metrics
+//
+// On SIGTERM/SIGINT the daemon drains in-flight requests and, when
+// -data is set, snapshots every session for restart continuity.
+//
+// Example:
+//
+//	replicaserved -addr 127.0.0.1:0 -data /var/lib/replicaserved
+//	curl -X POST localhost:8080/instances -d '{"id":"t1","w":10,
+//	  "cost":{"create":0.1,"delete":0.01},"gen":{"nodes":10000,"shape":"scale","seed":7}}'
+//	curl -X POST localhost:8080/instances/t1/drift -d '{"edits":[{"node":3,"client":0,"reqs":5}]}'
+//	curl localhost:8080/instances/t1/placement
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"replicatree/internal/serve"
+)
+
+func main() {
+	if err := serve.Run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@
 //	greedy    run the greedy baseline (or the exact QoS DP with -exact)
 //	check     validate a placement against a tree
 //	drift     replay a demand-drift sequence with one incremental solver
+//	serve     run the placement-as-a-service daemon (alias of replicaserved)
 //
 // minpower and pareto accept -stats to include the solver's SolveStats
 // (recomputed tables, root cells scanned/repriced, merge cells scanned,
@@ -62,6 +63,7 @@ import (
 	"strings"
 
 	"replicatree"
+	"replicatree/internal/serve"
 )
 
 func main() {
@@ -83,6 +85,8 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "drift":
 		err = cmdDrift(os.Args[2:])
+	case "serve":
+		err = serve.Run(os.Args[2:], os.Stdout, os.Stderr)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -97,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: replicatool <gen|mincost|minpower|pareto|greedy|check|drift> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: replicatool <gen|mincost|minpower|pareto|greedy|check|drift|serve> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'replicatool <subcommand> -h' for flags")
 }
 

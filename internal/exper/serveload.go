@@ -1,0 +1,284 @@
+// Serve-load experiment: drive a running replicaserved daemon over its
+// HTTP API with a concurrent drift burst and measure how the batcher
+// coalesces the burst into ticks, reading per-tick latency back from
+// the daemon's own /metrics histogram. The generator only speaks HTTP —
+// it works identically against an httptest server (the e2e test), a
+// locally spawned daemon (the CI smoke script) or a remote deployment.
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replicatree/internal/serve"
+)
+
+// ServeLoadConfig parameterises one load run against a daemon.
+type ServeLoadConfig struct {
+	// BaseURL is the daemon's address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ID names the instance to load (it must not exist yet).
+	ID string
+	// Nodes, Shape and Seed are passed to the server-side generator.
+	Nodes int
+	Shape string
+	Seed  uint64
+	// W is the server capacity; Chain selects continuous placement.
+	W     int
+	Chain bool
+	// Requests is the size of the drift burst; Concurrency how many
+	// submitters fire it. Each request is one redraw drift with a
+	// distinct deterministic seed.
+	Requests    int
+	Concurrency int
+	// RedrawProb is the per-client redraw probability of each drift
+	// (default 0.01).
+	RedrawProb float64
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// DefaultServeLoad is the acceptance-scale run: a 10^4-node scale-tier
+// instance under a 100-request burst.
+func DefaultServeLoad(baseURL string) ServeLoadConfig {
+	return ServeLoadConfig{
+		BaseURL:     baseURL,
+		ID:          "load",
+		Nodes:       10_000,
+		Shape:       "scale",
+		Seed:        DefaultSeed,
+		W:           100,
+		Chain:       true,
+		Requests:    100,
+		Concurrency: 16,
+		RedrawProb:  0.01,
+	}
+}
+
+// ServeLoadResult is what one load run measured.
+type ServeLoadResult struct {
+	Nodes    int
+	Requests int
+	Failed   int
+	// Ticks is how many solver ticks absorbed the burst (plus the
+	// load-time solve's tick 0 not being counted: ticks_total counts
+	// drift ticks only). Coalesce is Requests/Ticks.
+	Ticks    int
+	Coalesce float64
+	// FinalTick, Servers and Cost describe the placement published
+	// after the burst.
+	FinalTick uint64
+	Servers   int
+	Cost      float64
+	// P50 and P99 are tick-latency quantile estimates read back from
+	// the daemon's /metrics histogram, in seconds (bucket upper
+	// bounds, as histogram_quantile would report).
+	P50, P99 float64
+	Elapsed  time.Duration
+}
+
+func (r *ServeLoadResult) String() string {
+	return fmt.Sprintf(
+		"serveload: n=%d burst=%d failed=%d ticks=%d (%.1fx coalesced) servers=%d tick_p50=%.4fs tick_p99=%.4fs elapsed=%s",
+		r.Nodes, r.Requests, r.Failed, r.Ticks, r.Coalesce, r.Servers, r.P50, r.P99, r.Elapsed.Round(time.Millisecond))
+}
+
+// RunServeLoad loads an instance into the daemon at cfg.BaseURL, fires
+// the drift burst and collects the measurements. The instance is left
+// loaded so callers can snapshot or inspect it afterwards.
+func RunServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("exper: serveload needs a base URL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.RedrawProb == 0 {
+		cfg.RedrawProb = 0.01
+	}
+
+	load := map[string]any{
+		"id": cfg.ID, "w": cfg.W, "chain": cfg.Chain,
+		"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen":  map[string]any{"nodes": cfg.Nodes, "shape": cfg.Shape, "seed": cfg.Seed},
+	}
+	if code, body, err := postJSON(client, cfg.BaseURL+"/instances", load); err != nil {
+		return nil, err
+	} else if code != http.StatusCreated {
+		return nil, fmt.Errorf("exper: serveload: loading instance: status %d: %s", code, body)
+	}
+
+	start := time.Now()
+	var failed atomic.Int64
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				drift := map[string]any{"redraw": map[string]any{
+					"prob": cfg.RedrawProb, "seed": cfg.Seed + uint64(i) + 1,
+				}}
+				code, _, err := postJSON(client, cfg.BaseURL+"/instances/"+cfg.ID+"/drift", drift)
+				if err != nil || code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var snap serve.Snapshot
+	if err := getJSON(client, cfg.BaseURL+"/instances/"+cfg.ID+"/placement", &snap); err != nil {
+		return nil, err
+	}
+	met, err := scrapeMetrics(client, cfg.BaseURL, cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ServeLoadResult{
+		Nodes:     cfg.Nodes,
+		Requests:  cfg.Requests,
+		Failed:    int(failed.Load()),
+		Ticks:     met.ticks,
+		FinalTick: snap.Tick,
+		Servers:   snap.Servers,
+		Cost:      snap.Cost,
+		P50:       met.quantile(0.50),
+		P99:       met.quantile(0.99),
+		Elapsed:   elapsed,
+	}
+	if res.Ticks > 0 {
+		res.Coalesce = float64(res.Requests) / float64(res.Ticks)
+	}
+	return res, nil
+}
+
+func postJSON(client *http.Client, url string, v any) (int, string, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, strings.TrimSpace(string(data)), nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("exper: GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// tickMetrics is the slice of /metrics the load generator cares about:
+// the drift tick counter and the cumulative tick-latency histogram of
+// one instance.
+type tickMetrics struct {
+	ticks   int
+	bounds  []float64 // ascending bucket upper bounds (excluding +Inf)
+	cumul   []uint64  // cumulative counts per bound
+	samples uint64    // total observations (+Inf cumulative count)
+}
+
+// quantile mirrors Prometheus histogram_quantile over the scraped
+// cumulative buckets: the upper bound of the bucket holding the q-th
+// observation.
+func (m *tickMetrics) quantile(q float64) float64 {
+	if m.samples == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(m.samples))
+	if rank >= m.samples {
+		rank = m.samples - 1
+	}
+	for i, c := range m.cumul {
+		if c > rank {
+			return m.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// scrapeMetrics fetches and parses /metrics for one instance.
+func scrapeMetrics(client *http.Client, baseURL, id string) (*tickMetrics, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &tickMetrics{}
+	tickSeries := fmt.Sprintf("replicaserved_ticks_total{instance=%q}", id)
+	bucketPrefix := fmt.Sprintf("replicaserved_tick_seconds_bucket{instance=%q,le=", id)
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, tickSeries):
+			v, err := strconv.Atoi(strings.TrimSpace(line[len(tickSeries):]))
+			if err != nil {
+				return nil, fmt.Errorf("exper: parsing %q: %w", line, err)
+			}
+			m.ticks = v
+		case strings.HasPrefix(line, bucketPrefix):
+			rest := line[len(bucketPrefix):]
+			end := strings.Index(rest, `"}`)
+			if !strings.HasPrefix(rest, `"`) || end < 0 {
+				return nil, fmt.Errorf("exper: malformed bucket line %q", line)
+			}
+			le := rest[1:end]
+			count, err := strconv.ParseUint(strings.TrimSpace(rest[end+2:]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("exper: parsing %q: %w", line, err)
+			}
+			if le == "+Inf" {
+				m.samples = count
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("exper: parsing %q: %w", line, err)
+			}
+			m.bounds = append(m.bounds, bound)
+			m.cumul = append(m.cumul, count)
+		}
+	}
+	if !sort.Float64sAreSorted(m.bounds) {
+		return nil, fmt.Errorf("exper: tick histogram buckets out of order")
+	}
+	return m, nil
+}

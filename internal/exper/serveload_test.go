@@ -1,0 +1,155 @@
+package exper
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"replicatree/internal/serve"
+)
+
+// placementOf fetches an instance's published snapshot over HTTP.
+func placementOf(tb testing.TB, ts *httptest.Server, id string) *serve.Snapshot {
+	tb.Helper()
+	var sn serve.Snapshot
+	if err := getJSON(ts.Client(), ts.URL+"/instances/"+id+"/placement", &sn); err != nil {
+		tb.Fatalf("placement: %v", err)
+	}
+	return &sn
+}
+
+// samePlacement compares the durable placement content of two
+// snapshots: tick and everything the solvers derived, ignoring runtime
+// stats (a restored session's initial solve is cold where the
+// original's last tick was incremental).
+func samePlacement(tb testing.TB, what string, a, b *serve.Snapshot) {
+	tb.Helper()
+	if a.Tick != b.Tick {
+		tb.Fatalf("%s: ticks %d vs %d", what, a.Tick, b.Tick)
+	}
+	if !reflect.DeepEqual(a.Modes, b.Modes) {
+		tb.Errorf("%s: placements differ", what)
+	}
+	if a.Servers != b.Servers || a.Reused != b.Reused || a.New != b.New || a.Cost != b.Cost {
+		tb.Errorf("%s: summaries differ: (%d,%d,%d,%g) vs (%d,%d,%d,%g)", what,
+			a.Servers, a.Reused, a.New, a.Cost, b.Servers, b.Reused, b.New, b.Cost)
+	}
+}
+
+// TestServeLoadAcceptance is the in-process end-to-end acceptance run:
+// a 10^4-node instance takes a 100-request concurrent drift burst that
+// the daemon coalesces into ticks (p99 tick latency read back from
+// /metrics), and a snapshot/restore cycle afterwards resumes with
+// byte-identical placements — including after further identical drift.
+func TestServeLoadAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance-scale load run")
+	}
+	dir := t.TempDir()
+	srv1 := serve.NewServer(serve.ServerOptions{DataDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	defer ts1.Close()
+
+	cfg := DefaultServeLoad(ts1.URL)
+	cfg.Client = ts1.Client()
+	res, err := RunServeLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunServeLoad: %v", err)
+	}
+	t.Log(res.String())
+	if res.Failed != 0 {
+		t.Fatalf("%d of %d drift requests failed", res.Failed, res.Requests)
+	}
+	if res.Ticks < 1 || res.Ticks > res.Requests {
+		t.Fatalf("burst produced %d ticks for %d requests", res.Ticks, res.Requests)
+	}
+	if res.FinalTick != uint64(res.Ticks) {
+		t.Fatalf("final snapshot tick %d, ticks_total %d", res.FinalTick, res.Ticks)
+	}
+	if res.Coalesce < 1 {
+		t.Fatalf("coalesce factor %.2f < 1", res.Coalesce)
+	}
+	if res.Servers <= 0 {
+		t.Fatalf("no servers in the published placement")
+	}
+	if res.P99 <= 0 || res.P50 > res.P99 {
+		t.Fatalf("tick latency quantiles p50=%g p99=%g", res.P50, res.P99)
+	}
+
+	// Kill/restart: snapshot, bring up a second daemon over the same
+	// data directory, and require the restored instance to serve the
+	// same placement at the same tick.
+	if code, body, err := postJSON(ts1.Client(), ts1.URL+"/instances/load/snapshot", map[string]any{}); err != nil || code != http.StatusOK {
+		t.Fatalf("snapshot: status %d, err %v: %s", code, err, body)
+	}
+	before := placementOf(t, ts1, "load")
+
+	srv2 := serve.NewServer(serve.ServerOptions{DataDir: dir})
+	if n, err := srv2.RestoreAll(); err != nil || n != 1 {
+		t.Fatalf("RestoreAll: %d instances, err %v", n, err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	after := placementOf(t, ts2, "load")
+	samePlacement(t, "restored placement", before, after)
+
+	// The restored daemon's future must match the original's: the same
+	// deterministic drift lands on identical state.
+	drift := map[string]any{"redraw": map[string]any{"prob": 0.05, "seed": 424242}}
+	for _, ts := range []*httptest.Server{ts1, ts2} {
+		if code, body, err := postJSON(ts.Client(), ts.URL+"/instances/load/drift", drift); err != nil || code != http.StatusOK {
+			t.Fatalf("post-restore drift: status %d, err %v: %s", code, err, body)
+		}
+	}
+	samePlacement(t, "post-restore drift", placementOf(t, ts1, "load"), placementOf(t, ts2, "load"))
+}
+
+// TestScrapeMetricsParsesDaemonOutput pins the scraper against the live
+// metric rendering rather than a fixture, so format drift breaks the
+// build here and not in CI's smoke script.
+func TestScrapeMetricsParsesDaemonOutput(t *testing.T) {
+	srv := serve.NewServer(serve.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	load := map[string]any{
+		"id": "m", "w": 10,
+		"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen":  map[string]any{"nodes": 150, "shape": "fat", "seed": 5},
+	}
+	if code, body, err := postJSON(ts.Client(), ts.URL+"/instances", load); err != nil || code != http.StatusCreated {
+		t.Fatalf("load: status %d, err %v: %s", code, err, body)
+	}
+	for i := 0; i < 4; i++ {
+		drift := map[string]any{"redraw": map[string]any{"prob": 0.3, "seed": i}}
+		if code, body, err := postJSON(ts.Client(), ts.URL+"/instances/m/drift", drift); err != nil || code != http.StatusOK {
+			t.Fatalf("drift: status %d, err %v: %s", code, err, body)
+		}
+	}
+	m, err := scrapeMetrics(ts.Client(), ts.URL, "m")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	if m.ticks != 4 || m.samples != 4 {
+		t.Fatalf("scraped ticks=%d samples=%d, want 4", m.ticks, m.samples)
+	}
+	if len(m.bounds) == 0 || m.cumul[len(m.cumul)-1] > m.samples {
+		t.Fatalf("scraped %d buckets, last cumulative %d of %d", len(m.bounds), m.cumul[len(m.cumul)-1], m.samples)
+	}
+	if q := m.quantile(0.5); q <= 0 {
+		t.Fatalf("p50 = %g", q)
+	}
+
+	// Unknown instance scrapes cleanly as zero.
+	empty, err := scrapeMetrics(ts.Client(), ts.URL, "ghost")
+	if err != nil {
+		t.Fatalf("scrape ghost: %v", err)
+	}
+	if empty.ticks != 0 || empty.samples != 0 {
+		t.Fatalf("ghost instance scraped ticks=%d samples=%d", empty.ticks, empty.samples)
+	}
+	if q := empty.quantile(0.99); q != 0 {
+		t.Fatalf("ghost p99 = %g", q)
+	}
+}

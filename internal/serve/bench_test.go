@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+// BenchmarkServeTick measures one daemon drift tick end to end at the
+// scale tier's default 10^4 nodes: apply a small edit batch, re-solve
+// the dirty chains incrementally, and publish a fresh snapshot. This is
+// the per-tick latency the /metrics histogram reports in production; it
+// joins the stable 5x bench tier but not the zero-alloc gate (each tick
+// allocates its published snapshot by design).
+func BenchmarkServeTick(b *testing.B) {
+	const n = 10_000
+	t, err := tree.Generate(tree.ScalePreset(n), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	slots := clientSlots(t)
+	edits := make([]Edit, 8)
+	for i := range edits {
+		s := slots[i*len(slots)/len(edits)]
+		edits[i] = Edit{Node: s[0], Client: s[1]}
+	}
+	for _, workers := range []int{1, max(2, runtime.GOMAXPROCS(0))} {
+		b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+			sess, err := NewSession("bench", t, nil,
+				Options{W: 100, Cost: testCost, Workers: workers}, nil, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tick := func(i int) {
+				for k := range edits {
+					edits[k].Reqs = 1 + (i+k)%2
+				}
+				if _, err := sess.Drift(edits, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for warm := 0; warm < 2; warm++ {
+				tick(warm)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tick(i)
+			}
+		})
+	}
+}

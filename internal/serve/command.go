@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Run is the daemon entry point shared by cmd/replicaserved and
+// `replicatool serve`: parse flags, optionally restore snapshots,
+// listen, serve until SIGINT/SIGTERM, then drain in-flight requests
+// and snapshot every session. The listen address is announced on
+// stdout as "replicaserved listening on HOST:PORT" so scripts binding
+// port 0 can discover the port.
+func Run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	data := fs.String("data", "", "snapshot directory; enables POST /instances/{id}/snapshot, restore at startup and snapshot-on-shutdown")
+	workers := fs.Int("workers", 1, "default DP workers per loaded instance (0 = all CPUs)")
+	noRestore := fs.Bool("norestore", false, "skip restoring snapshots from -data at startup")
+	maxNodes := fs.Int("maxnodes", 0, "largest accepted instance (0 = default cap)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+
+	srv := NewServer(ServerOptions{DataDir: *data, Workers: *workers, MaxNodes: *maxNodes})
+	if *data != "" && !*noRestore {
+		n, err := srv.RestoreAll()
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Fprintf(stdout, "replicaserved restored %d instance(s) from %s\n", n, *data)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replicaserved listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(stdout, "replicaserved shutting down")
+
+	// Drain in-flight requests (bounded), then snapshot the final,
+	// tick-consistent state.
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "replicaserved: shutdown: %v\n", err)
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "replicaserved: serve: %v\n", serveErr)
+	}
+	if *data != "" {
+		if err := srv.SnapshotAll(); err != nil {
+			return fmt.Errorf("serve: final snapshot: %w", err)
+		}
+		fmt.Fprintf(stdout, "replicaserved snapshotted state to %s\n", *data)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package serve turns the incremental solver stack into a long-lived
+// placement service: the "Continuous Replica Placement Problem" of
+// arXiv 1605.04069 as a daemon. A Server hosts named Sessions, each
+// wrapping one loaded instance with retained, arena-backed solvers
+// (MinCostSolver always; PowerDP when a power model is configured;
+// QoSSolver when the instance carries constraints), and exposes an
+// HTTP/JSON API to load instances, stream demand drifts, query
+// placements, Pareto fronts and masked failure evaluations, and
+// snapshot/restore instance+solver state across restarts. Per-tick
+// SolveStats and latency histograms surface on a Prometheus-style
+// text /metrics endpoint (arXiv 1912.10171's operational metric
+// surface next to the paper's power objective).
+//
+// # Session and consistency model
+//
+// Every session separates a write side from a read side:
+//
+//   - The write side — the tree's mutable client demands, the three
+//     retained solvers, the flow engine and the chained pre-existing
+//     sets — is owned by at most one goroutine at a time, serialised
+//     by the session's run lock. Drift submissions do not each take
+//     that lock: concurrent Submit calls append their (pre-validated)
+//     edits to the current pending batch, and the request that opened
+//     the batch becomes the tick leader. The leader acquires the run
+//     lock, takes whatever the batch has accumulated by then — every
+//     submission that arrived while the previous tick was solving
+//     coalesces here — applies all edits through the
+//     generation-stamping tree mutators, and runs ONE incremental
+//     re-solve per retained solver. Per-tick cost is therefore
+//     proportional to the churn of the whole batch (the dirty
+//     ancestor chains), not to the tree size and not to the number of
+//     coalesced requests. Followers just wait for the leader to close
+//     the batch; every drift response carries the tick that
+//     incorporated its edits.
+//
+//   - The read side never touches the run lock: each completed tick
+//     publishes an immutable Snapshot (placement modes, cost, power,
+//     Pareto front, per-solver SolveStats, tick number) through an
+//     atomically swapped pointer, so GET /placement, /front and
+//     listing requests return instantly even while a tick is solving.
+//     Reads are sequentially consistent with ticks: a snapshot always
+//     reflects a prefix of the tick sequence, never a half-applied
+//     batch.
+//
+// Flow evaluations (GET /eval) need a consistent view of the mutable
+// demands, so they serialise with ticks on the run lock; they are the
+// only reads that can block behind a solve.
+//
+// Edits are validated against the immutable tree dimensions before
+// they join a batch: a malformed drift request is rejected with no
+// lock held and no tree mutation, so it can never leave a solver
+// mid-mutation or poison the edits of concurrently batched requests.
+// Within one tick, edits from different requests targeting the same
+// client apply in unspecified order; edits with disjoint targets are
+// order-independent (each sets an absolute value), and the batched
+// result is byte-identical to applying the union in a single call.
+//
+// A tick whose re-solve fails (e.g. drifted demand exceeding every
+// capacity makes the instance infeasible) keeps the previous snapshot,
+// reports the error to every request of the batch, and leaves the
+// applied demands in place — they are the instance's current state.
+// The solvers commit their incremental trackers before their error
+// paths (see internal/core), so the next successful tick re-solves
+// exactly the dirty chains accumulated since the last success.
+//
+// # Snapshots
+//
+// POST /instances/{id}/snapshot (and, when a data directory is
+// configured, shutdown) serialises the session under the run lock: the
+// instance (topology, current demands, constraints), the configuration,
+// the chained pre-existing sets and the tick counter. Restoring builds
+// a fresh session and re-solves cold; the dynamic programs are
+// deterministic, so a restored session's placements are byte-identical
+// to those of a never-restarted session with the same history, and a
+// drift stream can resume where it left off.
+package serve

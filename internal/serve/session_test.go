@@ -1,0 +1,705 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"replicatree/internal/core"
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/rng"
+	"replicatree/internal/tree"
+)
+
+var testCost = cost.Simple{Create: 0.1, Delete: 0.01}
+
+// genTestTree generates a fat tree deterministically for tests.
+func genTestTree(tb testing.TB, nodes int, seed uint64) (*tree.Tree, tree.GenConfig) {
+	tb.Helper()
+	cfg := tree.FatConfig(nodes)
+	t, err := tree.Generate(cfg, rng.New(seed))
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	return t, cfg
+}
+
+// clientSlots lists every (node, client-index) demand slot of t.
+func clientSlots(t *tree.Tree) [][2]int {
+	var out [][2]int
+	for j := 0; j < t.N(); j++ {
+		for k := range t.Clients(j) {
+			out = append(out, [2]int{j, k})
+		}
+	}
+	return out
+}
+
+// testPower returns a 2-mode power model. Power-enabled sessions in
+// tests stay at the paper's experiment scale (~50-node trees, few
+// modes): the modal DP's table budget is per-mode-count exponential
+// once a chained pre-existing set is tracked.
+func testPower(tb testing.TB) *power.Model {
+	tb.Helper()
+	pm, err := power.New([]int{5, 10}, 0.5, 2)
+	if err != nil {
+		tb.Fatalf("power.New: %v", err)
+	}
+	return &pm
+}
+
+// genPowerTree generates a paper-scale power-experiment tree.
+func genPowerTree(tb testing.TB, seed uint64) (*tree.Tree, tree.GenConfig) {
+	tb.Helper()
+	cfg := tree.PowerConfig(50)
+	t, err := tree.Generate(cfg, rng.New(seed))
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	return t, cfg
+}
+
+func snapshotsEquivalent(tb testing.TB, what string, a, b *Snapshot) {
+	tb.Helper()
+	if !reflect.DeepEqual(a.Modes, b.Modes) {
+		tb.Errorf("%s: placement modes differ", what)
+	}
+	if a.Servers != b.Servers || a.Cost != b.Cost || a.Reused != b.Reused || a.New != b.New {
+		tb.Errorf("%s: mincost summary differs: (%d, %g, %d, %d) vs (%d, %g, %d, %d)",
+			what, a.Servers, a.Cost, a.Reused, a.New, b.Servers, b.Cost, b.Reused, b.New)
+	}
+	if (a.Power == nil) != (b.Power == nil) {
+		tb.Fatalf("%s: power view presence differs", what)
+	}
+	if a.Power != nil {
+		if !reflect.DeepEqual(a.Power.Modes, b.Power.Modes) {
+			tb.Errorf("%s: power modes differ", what)
+		}
+		if a.Power.Cost != b.Power.Cost || a.Power.Power != b.Power.Power || a.Power.Servers != b.Power.Servers {
+			tb.Errorf("%s: power summary differs", what)
+		}
+		if !reflect.DeepEqual(a.Power.Front, b.Power.Front) {
+			tb.Errorf("%s: pareto fronts differ: %d vs %d points", what, len(a.Power.Front), len(b.Power.Front))
+		}
+	}
+	if (a.QoS == nil) != (b.QoS == nil) {
+		tb.Fatalf("%s: qos view presence differs", what)
+	}
+	if a.QoS != nil && !reflect.DeepEqual(a.QoS.Modes, b.QoS.Modes) {
+		tb.Errorf("%s: qos modes differ", what)
+	}
+}
+
+// TestConcurrentDriftOneTickMatchesSingleCall is the drift-batching
+// contract: concurrent submissions that land in one tick must produce a
+// state byte-identical to one Drift call carrying all their edits. The
+// run lock is held while the submitters pile up, so every submission
+// provably coalesces into a single batch. Chain mode plus power and QoS
+// solvers make the equivalence cover all retained per-tick state.
+func TestConcurrentDriftOneTickMatchesSingleCall(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tr, _ := genPowerTree(t, 11)
+			cons := tree.NewConstraints(tr)
+			cons.SetUniformQoS(tr, tr.Height()+2)
+			opts := Options{
+				W: 10, Cost: testCost, Power: testPower(t), PowerChange: 0.05,
+				Chain: true, Workers: workers,
+			}
+			sess, err := NewSession("conc", tr, cons, opts, nil, nil, 0)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+
+			tr2 := tr.Clone()
+			cons2 := tree.NewConstraints(tr2)
+			cons2.SetUniformQoS(tr2, tr2.Height()+2)
+			twin, err := NewSession("twin", tr2, cons2, opts, nil, nil, 0)
+			if err != nil {
+				t.Fatalf("NewSession(twin): %v", err)
+			}
+			snapshotsEquivalent(t, "initial", sess.Snapshot(), twin.Snapshot())
+
+			slots := clientSlots(tr)
+			const nDrifts = 16
+			if len(slots) < nDrifts {
+				t.Fatalf("tree has only %d client slots", len(slots))
+			}
+			edits := make([]Edit, nDrifts)
+			for i := range edits {
+				s := slots[i*len(slots)/nDrifts]
+				edits[i] = Edit{Node: s[0], Client: s[1], Reqs: 1 + (i*5)%9}
+			}
+
+			// Hold the run lock so the elected leader blocks and every
+			// submission joins the same pending batch.
+			sess.run.Lock()
+			var wg sync.WaitGroup
+			results := make([]*TickResult, nDrifts)
+			errs := make([]error, nDrifts)
+			for i := range edits {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = sess.Drift([]Edit{edits[i]}, nil)
+				}(i)
+			}
+			for {
+				sess.bmu.Lock()
+				n := 0
+				if sess.pending != nil {
+					n = sess.pending.requests
+				}
+				sess.bmu.Unlock()
+				if n == nDrifts {
+					break
+				}
+				runtime.Gosched()
+			}
+			sess.run.Unlock()
+			wg.Wait()
+
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("drift %d: %v", i, err)
+				}
+			}
+			for i, res := range results {
+				if res.Tick != 1 || res.Requests != nDrifts {
+					t.Fatalf("drift %d: tick %d with %d requests, want one tick with %d",
+						i, res.Tick, res.Requests, nDrifts)
+				}
+			}
+
+			if _, err := twin.Drift(edits, nil); err != nil {
+				t.Fatalf("twin drift: %v", err)
+			}
+			snapshotsEquivalent(t, "after batch", sess.Snapshot(), twin.Snapshot())
+
+			// One more uncoordinated round: both sessions drift from the
+			// now-identical chained state and must stay in lockstep.
+			more := []Edit{{Node: edits[0].Node, Client: edits[0].Client, Reqs: 4}}
+			if _, err := sess.Drift(more, nil); err != nil {
+				t.Fatalf("drift: %v", err)
+			}
+			if _, err := twin.Drift(more, nil); err != nil {
+				t.Fatalf("twin drift: %v", err)
+			}
+			snapshotsEquivalent(t, "after follow-up", sess.Snapshot(), twin.Snapshot())
+		})
+	}
+}
+
+// TestConcurrentDriftUncoordinated exercises free-running coalescing:
+// many goroutines drift distinct slots with no synchronisation, ticks
+// form however the race falls, and the final state must still equal a
+// cold solve over the final demand vector (chain off makes the final
+// state history-independent).
+func TestConcurrentDriftUncoordinated(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tr, _ := genTestTree(t, 400, 7)
+			sess, err := NewSession("free", tr, nil, Options{W: 10, Cost: testCost, Workers: workers}, nil, nil, 0)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			slots := clientSlots(tr)
+			const nDrifts = 32
+			edits := make([]Edit, nDrifts)
+			for i := range edits {
+				s := slots[i*len(slots)/nDrifts]
+				edits[i] = Edit{Node: s[0], Client: s[1], Reqs: 1 + (i*3)%6}
+			}
+			var wg sync.WaitGroup
+			results := make([]*TickResult, nDrifts)
+			for i := range edits {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					var err error
+					results[i], err = sess.Drift([]Edit{edits[i]}, nil)
+					if err != nil {
+						t.Errorf("drift %d: %v", i, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			// Tick bookkeeping: grouped by tick, every member must agree
+			// on the tick's result, and request counts must sum to all
+			// submissions.
+			byTick := map[uint64][]*TickResult{}
+			for _, r := range results {
+				byTick[r.Tick] = append(byTick[r.Tick], r)
+			}
+			total := 0
+			for tick, rs := range byTick {
+				if len(rs) != rs[0].Requests {
+					t.Errorf("tick %d: %d members but Requests=%d", tick, len(rs), rs[0].Requests)
+				}
+				for _, r := range rs[1:] {
+					if r.Servers != rs[0].Servers || r.Cost != rs[0].Cost || r.Changed != rs[0].Changed {
+						t.Errorf("tick %d: members disagree on the tick result", tick)
+					}
+				}
+				total += rs[0].Requests
+			}
+			if total != nDrifts {
+				t.Errorf("ticks account for %d requests, want %d", total, nDrifts)
+			}
+
+			// Final placement equals a cold solve over the final demands.
+			ref := tr.Clone()
+			for _, e := range edits {
+				ref.SetDemand(e.Node, e.Client, e.Reqs)
+			}
+			want, err := core.MinCost(ref, nil, 10, testCost)
+			if err != nil {
+				t.Fatalf("reference solve: %v", err)
+			}
+			sn := sess.Snapshot()
+			if !reflect.DeepEqual(sn.Modes, modesOf(want.Placement)) {
+				t.Errorf("final placement differs from cold reference")
+			}
+			if sn.Cost != want.Cost || sn.Servers != want.Servers {
+				t.Errorf("final summary (%d, %g) differs from cold reference (%d, %g)",
+					sn.Servers, sn.Cost, want.Servers, want.Cost)
+			}
+		})
+	}
+}
+
+// TestDriftSequenceMatchesReferenceSolvers replays a deterministic
+// edit+redraw drift sequence through a chained session with all three
+// solvers retained, checking every tick against one-shot reference
+// solvers run on a twin tree. This pins the incremental warm path to
+// the cold ground truth.
+func TestDriftSequenceMatchesReferenceSolvers(t *testing.T) {
+	tr, cfg := genPowerTree(t, 3)
+	cons := tree.NewConstraints(tr)
+	qosBound := tr.Height() + 2
+	cons.SetUniformQoS(tr, qosBound)
+	pm := testPower(t)
+	opts := Options{
+		W: 10, Cost: testCost, Power: pm, PowerChange: 0.05,
+		Chain: true, Workers: 1, Gen: &cfg,
+	}
+	sess, err := NewSession("seq", tr, cons, opts, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+
+	refT := tr.Clone()
+	refCons := tree.NewConstraints(refT)
+	refCons.SetUniformQoS(refT, qosBound)
+	modal := cost.UniformModal(len(pm.Caps), testCost.Create, testCost.Delete, 0.05)
+	var refEx, refPEx *tree.Replicas
+
+	check := func(tick int) {
+		t.Helper()
+		mc, err := core.MinCost(refT, refEx, 10, testCost)
+		if err != nil {
+			t.Fatalf("tick %d: reference mincost: %v", tick, err)
+		}
+		ps, err := core.SolvePower(core.PowerProblem{Tree: refT, Existing: refPEx, Power: *pm, Cost: modal})
+		if err != nil {
+			t.Fatalf("tick %d: reference power: %v", tick, err)
+		}
+		pres, ok := ps.Best(math.Inf(1))
+		if !ok {
+			t.Fatalf("tick %d: reference power infeasible", tick)
+		}
+		qres, err := core.MinReplicasQoS(refT, 10, refCons)
+		if err != nil {
+			t.Fatalf("tick %d: reference qos: %v", tick, err)
+		}
+
+		sn := sess.Snapshot()
+		if sn.Tick != uint64(tick) {
+			t.Fatalf("snapshot at tick %d, want %d", sn.Tick, tick)
+		}
+		if !reflect.DeepEqual(sn.Modes, modesOf(mc.Placement)) || sn.Cost != mc.Cost {
+			t.Errorf("tick %d: mincost placement diverged from reference", tick)
+		}
+		if !reflect.DeepEqual(sn.Power.Modes, modesOf(pres.Placement)) ||
+			sn.Power.Cost != pres.Cost || sn.Power.Power != pres.Power {
+			t.Errorf("tick %d: power placement diverged from reference", tick)
+		}
+		if !reflect.DeepEqual(sn.Power.Front, ps.Front()) {
+			t.Errorf("tick %d: pareto front diverged from reference", tick)
+		}
+		if !reflect.DeepEqual(sn.QoS.Modes, modesOf(qres)) {
+			t.Errorf("tick %d: qos placement diverged from reference", tick)
+		}
+
+		refEx, refPEx = mc.Placement, pres.Placement
+	}
+	check(0)
+
+	slots := clientSlots(tr)
+	for tick := 1; tick <= 6; tick++ {
+		var edits []Edit
+		for i := 0; i < 3; i++ {
+			s := slots[(tick*17+i*29)%len(slots)]
+			edits = append(edits, Edit{Node: s[0], Client: s[1], Reqs: (tick + i) % 7})
+		}
+		redraws := []Redraw{{Prob: 0.1, Seed: uint64(1000 + tick)}}
+		if _, err := sess.Drift(edits, redraws); err != nil {
+			t.Fatalf("tick %d: drift: %v", tick, err)
+		}
+
+		// Twin application, same order: edits then the redraw stream.
+		for _, e := range edits {
+			refT.SetDemand(e.Node, e.Client, e.Reqs)
+		}
+		tree.DriftRequests(refT, tree.GenConfig{ReqMin: cfg.ReqMin, ReqMax: cfg.ReqMax},
+			0.1, rng.New(uint64(1000+tick)))
+		check(tick)
+	}
+}
+
+// TestMalformedDriftRejectedMidTick is the handler-audit regression: a
+// malformed drift submitted while a tick is in flight must be rejected
+// immediately (no lock acquired, no state touched), and the session's
+// subsequent ticks must be indistinguishable — including the
+// incremental solver's Recomputed work — from a twin that never saw
+// the malformed submission.
+func TestMalformedDriftRejectedMidTick(t *testing.T) {
+	tr, _ := genTestTree(t, 300, 5)
+	opts := Options{W: 10, Cost: testCost, Chain: true, Workers: 1}
+	sess, err := NewSession("audit", tr, nil, opts, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	twin, err := NewSession("clean", tr.Clone(), nil, opts, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession(twin): %v", err)
+	}
+
+	slots := clientSlots(tr)
+	tick1 := []Edit{{Node: slots[3][0], Client: slots[3][1], Reqs: 5}}
+	tick2 := []Edit{{Node: slots[9][0], Client: slots[9][1], Reqs: 2}}
+	bad := []Edit{{Node: tr.N() + 5, Client: 0, Reqs: 1}}
+
+	// Simulate mid-tick: hold the run lock (as a solving leader would)
+	// and submit the malformed drift. It must fail fast without waiting
+	// for the lock.
+	sess.run.Lock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Drift(bad, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrBadDrift) {
+			t.Fatalf("malformed drift: got %v, want ErrBadDrift", err)
+		}
+	case <-time.After(5 * time.Second):
+		sess.run.Unlock()
+		t.Fatal("malformed drift blocked on the run lock mid-tick")
+	}
+	// It must not have opened or joined a batch either.
+	sess.bmu.Lock()
+	pending := sess.pending
+	sess.bmu.Unlock()
+	if pending != nil {
+		t.Fatal("malformed drift left a pending batch behind")
+	}
+	sess.run.Unlock()
+
+	// Both sessions run the same clean drifts; the audited one gets the
+	// malformed submission interleaved again between them.
+	r1, err := sess.Drift(tick1, nil)
+	if err != nil {
+		t.Fatalf("tick1: %v", err)
+	}
+	if _, err := sess.Drift(bad, nil); !errors.Is(err, ErrBadDrift) {
+		t.Fatalf("interleaved malformed drift: got %v, want ErrBadDrift", err)
+	}
+	if _, err := sess.Drift([]Edit{}, []Redraw{{Prob: 1.5}}); !errors.Is(err, ErrBadDrift) {
+		t.Fatalf("malformed redraw: got %v, want ErrBadDrift", err)
+	}
+	r2, err := sess.Drift(tick2, nil)
+	if err != nil {
+		t.Fatalf("tick2: %v", err)
+	}
+
+	c1, err := twin.Drift(tick1, nil)
+	if err != nil {
+		t.Fatalf("twin tick1: %v", err)
+	}
+	c2, err := twin.Drift(tick2, nil)
+	if err != nil {
+		t.Fatalf("twin tick2: %v", err)
+	}
+
+	// Malformed submissions must not have consumed tick numbers, and
+	// the incremental work of the clean ticks must match the clean path
+	// exactly: equal Recomputed (the dirty chains are identical) and
+	// bounded by the edited nodes' root chains.
+	if r1.Tick != c1.Tick || r2.Tick != c2.Tick {
+		t.Errorf("ticks diverged: (%d,%d) vs clean (%d,%d)", r1.Tick, r2.Tick, c1.Tick, c2.Tick)
+	}
+	if r2.Stats.MinCost.Recomputed != c2.Stats.MinCost.Recomputed {
+		t.Errorf("tick2 Recomputed %d differs from clean-path %d",
+			r2.Stats.MinCost.Recomputed, c2.Stats.MinCost.Recomputed)
+	}
+	snapshotsEquivalent(t, "after audit sequence", sess.Snapshot(), twin.Snapshot())
+	if got, want := sess.met.tickFailures.Load(), uint64(0); got != want {
+		t.Errorf("tickFailures = %d, want %d (rejections are not ticks)", got, want)
+	}
+	if got, want := sess.met.ticks.Load(), twin.met.ticks.Load(); got != want {
+		t.Errorf("ticks = %d, want %d", got, want)
+	}
+}
+
+// TestRecomputedBoundedByDirtyChain pins the incremental contract the
+// daemon's per-tick cost relies on: with chain mode off, a tick editing
+// a few clients recomputes at most the edited nodes' root chains.
+func TestRecomputedBoundedByDirtyChain(t *testing.T) {
+	tr, _ := genTestTree(t, 500, 9)
+	sess, err := NewSession("bound", tr, nil, Options{W: 10, Cost: testCost, Workers: 1}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	slots := clientSlots(tr)
+	edits := []Edit{
+		{Node: slots[5][0], Client: slots[5][1], Reqs: 6},
+		{Node: slots[50][0], Client: slots[50][1], Reqs: 0},
+	}
+	res, err := sess.Drift(edits, nil)
+	if err != nil {
+		t.Fatalf("drift: %v", err)
+	}
+	bound := 0
+	seen := map[int]bool{}
+	for _, e := range edits {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			bound += tr.Depth(e.Node) + 1
+		}
+	}
+	if got := res.Stats.MinCost.Recomputed; got > bound {
+		t.Errorf("Recomputed = %d, want <= dirty-chain bound %d", got, bound)
+	}
+	if got := res.Stats.MinCost.Recomputed; got == tr.N() {
+		t.Errorf("tick re-solved cold (%d nodes); incremental path not engaged", got)
+	}
+}
+
+// TestTickFailureKeepsPreviousSnapshot drives a tick into an infeasible
+// solve (a client demanding more than W) and checks the failure
+// contract: the drift call errors, the published snapshot stays the
+// previous one, and a repairing drift fully recovers the session.
+func TestTickFailureKeepsPreviousSnapshot(t *testing.T) {
+	tr, _ := genTestTree(t, 120, 13)
+	sess, err := NewSession("fail", tr, nil, Options{W: 10, Cost: testCost, Workers: 1}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	before := sess.Snapshot()
+	slot := clientSlots(tr)[0]
+
+	_, err = sess.Drift([]Edit{{Node: slot[0], Client: slot[1], Reqs: 50}}, nil)
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("infeasible drift: got %v, want ErrInfeasible", err)
+	}
+	if sn := sess.Snapshot(); sn != before {
+		t.Errorf("failed tick replaced the published snapshot")
+	}
+	if sess.LastErr() == "" {
+		t.Errorf("LastErr empty after a failed tick")
+	}
+	if got := sess.met.tickFailures.Load(); got != 1 {
+		t.Errorf("tickFailures = %d, want 1", got)
+	}
+
+	// Repair: the failed tick did apply the demand, so the repairing
+	// drift must both reset it and solve cleanly.
+	res, err := sess.Drift([]Edit{{Node: slot[0], Client: slot[1], Reqs: 2}}, nil)
+	if err != nil {
+		t.Fatalf("repair drift: %v", err)
+	}
+	if sess.LastErr() != "" {
+		t.Errorf("LastErr = %q after a clean tick", sess.LastErr())
+	}
+	sn := sess.Snapshot()
+	if sn.Tick != res.Tick {
+		t.Errorf("snapshot tick %d, want %d", sn.Tick, res.Tick)
+	}
+	ref := tr.Clone()
+	ref.SetDemand(slot[0], slot[1], 2)
+	want, err := core.MinCost(ref, nil, 10, testCost)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if !reflect.DeepEqual(sn.Modes, modesOf(want.Placement)) {
+		t.Errorf("recovered placement differs from reference")
+	}
+}
+
+// TestValidAndInvalidDriftsInterleaved floods the session with valid
+// and invalid submissions concurrently: every invalid one must fail
+// with ErrBadDrift, every valid one must succeed, and the final state
+// must equal the valid-only reference.
+func TestValidAndInvalidDriftsInterleaved(t *testing.T) {
+	tr, _ := genTestTree(t, 300, 21)
+	sess, err := NewSession("mix", tr, nil, Options{W: 10, Cost: testCost, Workers: 1}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	slots := clientSlots(tr)
+	const half = 16
+	var wg sync.WaitGroup
+	for i := 0; i < half; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := slots[i*len(slots)/half]
+			if _, err := sess.Drift([]Edit{{Node: s[0], Client: s[1], Reqs: 3}}, nil); err != nil {
+				t.Errorf("valid drift %d: %v", i, err)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := sess.Drift([]Edit{{Node: -1 - i, Client: 0, Reqs: 1}}, nil); !errors.Is(err, ErrBadDrift) {
+				t.Errorf("invalid drift %d: got %v, want ErrBadDrift", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ref := tr.Clone()
+	for i := 0; i < half; i++ {
+		s := slots[i*len(slots)/half]
+		ref.SetDemand(s[0], s[1], 3)
+	}
+	want, err := core.MinCost(ref, nil, 10, testCost)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if sn := sess.Snapshot(); !reflect.DeepEqual(sn.Modes, modesOf(want.Placement)) {
+		t.Errorf("placement poisoned by rejected drifts")
+	}
+	if got := sess.met.tickFailures.Load(); got != 0 {
+		t.Errorf("tickFailures = %d, want 0", got)
+	}
+}
+
+// TestEvalMatchesEngine checks Eval against a direct engine run and the
+// fault-mask path, plus its id validation.
+func TestEvalMatchesEngine(t *testing.T) {
+	tr, _ := genTestTree(t, 200, 17)
+	sess, err := NewSession("eval", tr, nil, Options{W: 10, Cost: testCost, Workers: 1}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	res, err := sess.Eval(tree.PolicyClosest, nil, nil)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if res.Issued != tr.TotalRequests() {
+		t.Errorf("issued %d, want %d", res.Issued, tr.TotalRequests())
+	}
+	if res.Unserved != 0 || res.FailUnserved != 0 {
+		t.Errorf("optimal placement left %d unserved (%d fault-unserved)", res.Unserved, res.FailUnserved)
+	}
+	if res.MaxLoad > 10 {
+		t.Errorf("max load %d exceeds W=10", res.MaxLoad)
+	}
+
+	// Downing every server forces unserved demand.
+	sn := sess.Snapshot()
+	var servers []int
+	for j, m := range sn.Modes {
+		if m != 0 {
+			servers = append(servers, j)
+		}
+	}
+	down, err := sess.Eval(tree.PolicyClosest, servers, nil)
+	if err != nil {
+		t.Fatalf("masked eval: %v", err)
+	}
+	if down.Served != 0 || down.Unserved+down.FailUnserved != down.Issued {
+		t.Errorf("all servers down: served %d, unserved %d+%d of %d",
+			down.Served, down.Unserved, down.FailUnserved, down.Issued)
+	}
+	if down.DownNodes != len(servers) {
+		t.Errorf("DownNodes = %d, want %d", down.DownNodes, len(servers))
+	}
+
+	if _, err := sess.Eval(tree.PolicyClosest, []int{tr.N()}, nil); !errors.Is(err, ErrBadDrift) {
+		t.Errorf("out-of-range down node: got %v, want ErrBadDrift", err)
+	}
+	if _, err := sess.Eval(tree.PolicyClosest, nil, []int{0}); !errors.Is(err, ErrBadDrift) {
+		t.Errorf("root link cut: got %v, want ErrBadDrift", err)
+	}
+}
+
+// TestHistogram pins the bucket-count constant to the bucket table and
+// checks observation, rendering and quantile estimation.
+func TestHistogram(t *testing.T) {
+	if numTickBuckets != len(tickBuckets) {
+		t.Fatalf("numTickBuckets = %d, len(tickBuckets) = %d", numTickBuckets, len(tickBuckets))
+	}
+	var h histogram
+	if q := h.quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	h.observe(50 * time.Microsecond) // below first bound
+	h.observe(3 * time.Millisecond)  // in (0.0025, 0.005]
+	h.observe(20 * time.Second)      // past the last bound
+	if got := h.count.Load(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("first bucket = %d, want 1", got)
+	}
+	if got := h.counts[numTickBuckets].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	if q := h.quantile(0); q != 0.0001 {
+		t.Errorf("q0 = %g, want 0.0001", q)
+	}
+	if q := h.quantile(0.5); q != 0.005 {
+		t.Errorf("q50 = %g, want 0.005", q)
+	}
+	if q := h.quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("q99 = %g, want +Inf", q)
+	}
+}
+
+// TestSessionValidation covers NewSession's configuration rejections.
+func TestSessionValidation(t *testing.T) {
+	tr, _ := genTestTree(t, 60, 1)
+	if _, err := NewSession("x", tr, nil, Options{W: 0, Cost: testCost}, nil, nil, 0); err == nil {
+		t.Errorf("W=0 accepted")
+	}
+	if _, err := NewSession("x", tr, nil, Options{W: 10, Cost: cost.Simple{Create: -1}}, nil, nil, 0); err == nil {
+		t.Errorf("negative create cost accepted")
+	}
+	bad := tree.NewReplicas(tr.N() + 1)
+	if _, err := NewSession("x", tr, nil, Options{W: 10, Cost: testCost}, bad, nil, 0); err == nil {
+		t.Errorf("mis-sized existing set accepted")
+	}
+	pm := testPower(t)
+	wrongMode := tree.NewReplicas(tr.N())
+	wrongMode.Set(0, 7)
+	if _, err := NewSession("x", tr, nil, Options{W: 10, Cost: testCost, Power: pm}, nil, wrongMode, 0); err == nil {
+		t.Errorf("out-of-range power existing mode accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"replicatree/internal/cost"
+	"replicatree/internal/power"
+	"replicatree/internal/tree"
+)
+
+// costJSON and powerJSON are the wire/persistence forms of the cost
+// and power models, shared by the load API and the snapshot format.
+type costJSON struct {
+	Create float64 `json:"create"`
+	Delete float64 `json:"delete"`
+}
+
+type powerJSON struct {
+	Caps   []int   `json:"caps"`
+	Static float64 `json:"static"`
+	Alpha  float64 `json:"alpha"`
+	// Change is the uniform mode-change price of the modal
+	// reconfiguration cost (create/delete reuse the simple model's
+	// prices).
+	Change float64 `json:"change,omitempty"`
+}
+
+// snapshotFile is the on-disk session state: configuration, the
+// instance with its *current* demands and constraints, the existing
+// sets the last solve ran against, and the tick counter. Placements
+// are not stored: the dynamic programs are deterministic, so the
+// restore's initial solve reproduces them byte-identically.
+type snapshotFile struct {
+	Version       int             `json:"version"`
+	ID            string          `json:"id"`
+	W             int             `json:"w"`
+	Cost          costJSON        `json:"cost"`
+	Power         *powerJSON      `json:"power,omitempty"`
+	Chain         bool            `json:"chain,omitempty"`
+	Workers       int             `json:"workers,omitempty"`
+	Gen           *tree.GenConfig `json:"gen,omitempty"`
+	Instance      json.RawMessage `json:"instance"`
+	Existing      []int           `json:"existing"`
+	PowerExisting []int           `json:"power_existing,omitempty"`
+	Tick          uint64          `json:"tick"`
+}
+
+const snapshotVersion = 1
+
+// capture serialises the session's durable state. Caller holds the
+// run lock (no tick may be half-applied).
+//
+// The persisted existing sets are the ones the *last solve ran
+// against*, not the chained sets of the next tick: the restore replays
+// that solve, so everything it derived — placement, reused/new split,
+// reconfiguration cost, Pareto front — comes back identical, and chain
+// mode then swaps the restored placement forward exactly like the
+// original session did. In chain mode the pre-tick set lives in the
+// swapped-out scratch buffer.
+func (s *Session) capture() (*snapshotFile, error) {
+	var inst bytes.Buffer
+	if err := tree.WriteInstanceJSON(&inst, s.t, s.cons); err != nil {
+		return nil, fmt.Errorf("serve: snapshot instance: %w", err)
+	}
+	ex := s.exist
+	if s.opts.Chain {
+		ex = s.scratch
+	}
+	f := &snapshotFile{
+		Version:  snapshotVersion,
+		ID:       s.id,
+		W:        s.opts.W,
+		Cost:     costJSON{Create: s.opts.Cost.Create, Delete: s.opts.Cost.Delete},
+		Chain:    s.opts.Chain,
+		Workers:  s.opts.Workers,
+		Gen:      s.opts.Gen,
+		Instance: inst.Bytes(),
+		Existing: modesOf(ex),
+		Tick:     s.tick,
+	}
+	if s.opts.Power != nil {
+		f.Power = &powerJSON{
+			Caps:   append([]int(nil), s.opts.Power.Caps...),
+			Static: s.opts.Power.Static,
+			Alpha:  s.opts.Power.Alpha,
+			Change: s.opts.PowerChange,
+		}
+		pex := s.powerEx
+		if s.opts.Chain {
+			pex = s.powerSc
+		}
+		f.PowerExisting = modesOf(pex)
+	}
+	return f, nil
+}
+
+// WriteSnapshot serialises the session to w as indented JSON, taking
+// the run lock so the state is tick-consistent.
+func (s *Session) WriteSnapshot(w io.Writer) error {
+	s.run.Lock()
+	f, err := s.capture()
+	s.run.Unlock()
+	if err != nil {
+		return err
+	}
+	s.met.snapshots.Add(1)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// replicasFromModes rebuilds a replica set from persisted modes.
+func replicasFromModes(modes []int, n int, what string) (*tree.Replicas, error) {
+	if modes == nil {
+		return nil, nil
+	}
+	if len(modes) != n {
+		return nil, fmt.Errorf("serve: %s covers %d nodes, tree has %d", what, len(modes), n)
+	}
+	r := tree.NewReplicas(n)
+	for j, m := range modes {
+		if m < 0 || m > 255 {
+			return nil, fmt.Errorf("serve: %s mode %d at node %d out of range", what, m, j)
+		}
+		if m != 0 {
+			r.Set(j, uint8(m))
+		}
+	}
+	return r, nil
+}
+
+// ReadSnapshot rebuilds a session from a snapshot written by
+// WriteSnapshot. The restored session re-solves cold at load, so its
+// published placement is byte-identical to the one the snapshotted
+// session was serving.
+func ReadSnapshot(r io.Reader) (*Session, error) {
+	var f snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d", f.Version)
+	}
+	if err := validateID(f.ID); err != nil {
+		return nil, err
+	}
+	t, cons, err := tree.ReadInstanceJSON(bytes.NewReader(f.Instance))
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot instance: %w", err)
+	}
+	opts := Options{
+		W:       f.W,
+		Cost:    cost.Simple{Create: f.Cost.Create, Delete: f.Cost.Delete},
+		Chain:   f.Chain,
+		Workers: f.Workers,
+		Gen:     f.Gen,
+	}
+	if f.Power != nil {
+		pm, err := power.New(f.Power.Caps, f.Power.Static, f.Power.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		opts.Power = &pm
+		opts.PowerChange = f.Power.Change
+	}
+	ex, err := replicasFromModes(f.Existing, t.N(), "existing set")
+	if err != nil {
+		return nil, err
+	}
+	pex, err := replicasFromModes(f.PowerExisting, t.N(), "power existing set")
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(f.ID, t, cons, opts, ex, pex, f.Tick)
+}
+
+// snapshotPath returns the session's snapshot file path under dir.
+// Session ids are validated against a path-safe alphabet at load, so
+// the join cannot escape dir.
+func snapshotPath(dir, id string) string {
+	return filepath.Join(dir, id+".snap.json")
+}
+
+// saveSnapshot writes the session's snapshot atomically (temp file +
+// rename) under dir and returns the final path.
+func saveSnapshot(dir string, s *Session) (string, error) {
+	path := snapshotPath(dir, s.id)
+	tmp, err := os.CreateTemp(dir, "."+s.id+".snap-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// loadSnapshots restores every *.snap.json under dir, returning the
+// restored sessions. A file that fails to restore aborts the whole
+// load: a daemon must not silently come up with half its instances.
+func loadSnapshots(dir string) ([]*Session, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Session
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".snap.json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		fh, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sess, err := ReadSnapshot(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
+		}
+		out = append(out, sess)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"replicatree/internal/tree"
+)
+
+// driftScript is a deterministic drift sequence used to compare a
+// restored session against a never-restarted one.
+func driftScript(tb testing.TB, s *Session, fromTick int) {
+	tb.Helper()
+	for i := 0; i < 3; i++ {
+		_, err := s.Drift(nil, []Redraw{{Prob: 0.3, Seed: uint64(9000 + fromTick + i), ReqMin: 1, ReqMax: 5}})
+		if err != nil {
+			tb.Fatalf("scripted drift %d: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotRestoreDriftEquivalence is the restart-continuity
+// contract: snapshot a mid-life session, restore it, drive both the
+// original and the restored session through the same drift sequence,
+// and require byte-identical published state at every step.
+func TestSnapshotRestoreDriftEquivalence(t *testing.T) {
+	tr, _ := genPowerTree(t, 31)
+	cons := tree.NewConstraints(tr)
+	cons.SetUniformQoS(tr, tr.Height()+2)
+	opts := Options{
+		W: 10, Cost: testCost, Power: testPower(t), PowerChange: 0.05,
+		Chain: true, Workers: 1,
+	}
+	orig, err := NewSession("snap", tr, cons, opts, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	// Age the session so the snapshot captures drifted demands and a
+	// chained pre-existing set, not the load-time state.
+	driftScript(t, orig, 0)
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if restored.ID() != "snap" {
+		t.Fatalf("restored id %q", restored.ID())
+	}
+	a, b := orig.Snapshot(), restored.Snapshot()
+	if a.Tick != b.Tick {
+		t.Fatalf("restored at tick %d, original at %d", b.Tick, a.Tick)
+	}
+	snapshotsEquivalent(t, "immediately after restore", a, b)
+
+	// The futures must now be indistinguishable.
+	driftScript(t, orig, 100)
+	driftScript(t, restored, 100)
+	a, b = orig.Snapshot(), restored.Snapshot()
+	if a.Tick != b.Tick {
+		t.Fatalf("post-restore ticks diverged: %d vs %d", a.Tick, b.Tick)
+	}
+	snapshotsEquivalent(t, "after post-restore drifts", a, b)
+}
+
+func TestSnapshotRejectsBadInput(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{")); err == nil {
+		t.Errorf("truncated snapshot accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Errorf("future version accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"version": 1, "id": "../evil"}`)); err == nil {
+		t.Errorf("path-escaping id accepted")
+	}
+}
+
+// TestServerSnapshotRoundTrip drives persistence through the HTTP API
+// and Server.RestoreAll: snapshot via POST, restore into a second
+// server, and check the restored instance serves the same placement.
+func TestServerSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, ServerOptions{DataDir: dir})
+
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "d1", "w": 10, "cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"chain": true,
+		"gen":   map[string]any{"nodes": 200, "shape": "fat", "seed": 9},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, ts, "POST", "/instances/d1/drift", map[string]any{
+			"redraw": map[string]any{"prob": 0.25, "seed": 70 + i},
+		}, nil); code != http.StatusOK {
+			t.Fatalf("drift: status %d", code)
+		}
+	}
+	var saved struct {
+		Instance string `json:"instance"`
+		Path     string `json:"path"`
+	}
+	if code := doJSON(t, ts, "POST", "/instances/d1/snapshot", nil, &saved); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if saved.Path != filepath.Join(dir, "d1.snap.json") {
+		t.Fatalf("snapshot path %q", saved.Path)
+	}
+	var before Snapshot
+	if code := doJSON(t, ts, "GET", "/instances/d1/placement", nil, &before); code != http.StatusOK {
+		t.Fatalf("placement: status %d", code)
+	}
+
+	srv2 := NewServer(ServerOptions{DataDir: dir})
+	n, err := srv2.RestoreAll()
+	if err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d instances, want 1", n)
+	}
+	after := srv2.Session("d1").Snapshot()
+	if after.Tick != before.Tick {
+		t.Fatalf("restored tick %d, want %d", after.Tick, before.Tick)
+	}
+	snapshotsEquivalent(t, "http round trip", &before, after)
+
+	// DELETE must drop the on-disk snapshot so a restart cannot
+	// resurrect the instance.
+	if code := doJSON(t, ts, "DELETE", "/instances/d1", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if _, err := os.Stat(saved.Path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file survived delete: %v", err)
+	}
+	srv3 := NewServer(ServerOptions{DataDir: dir})
+	if n, err := srv3.RestoreAll(); err != nil || n != 0 {
+		t.Fatalf("restore after delete: %d instances, err %v", n, err)
+	}
+}
+
+// TestRestoreAllMissingDirIsFirstBoot pins that a daemon pointed at a
+// fresh data directory comes up empty rather than failing.
+func TestRestoreAllMissingDirIsFirstBoot(t *testing.T) {
+	srv := NewServer(ServerOptions{DataDir: filepath.Join(t.TempDir(), "nonexistent")})
+	if n, err := srv.RestoreAll(); err != nil || n != 0 {
+		t.Fatalf("first boot: %d instances, err %v", n, err)
+	}
+}
+
+// TestLoadSnapshotsRejectsCorrupt pins the all-or-nothing restore: one
+// corrupt snapshot file fails the whole load.
+func TestLoadSnapshotsRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, ServerOptions{DataDir: dir})
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "ok1", "w": 10, "cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen": map[string]any{"nodes": 80, "seed": 4},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	if code := doJSON(t, ts, "POST", "/instances/ok1/snapshot", nil, nil); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.snap.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{DataDir: dir})
+	if _, err := srv.RestoreAll(); err == nil {
+		t.Fatalf("restore over a corrupt snapshot succeeded")
+	}
+}
