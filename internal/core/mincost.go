@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -159,6 +160,9 @@ type MinCostSolver struct {
 	// children look clean.
 	fullSolve bool
 
+	// Cooperative cancellation (see SetContext and cancelGate).
+	cancel cancelGate
+
 	// Per solve:
 	existing  *tree.Replicas
 	w         int32
@@ -242,6 +246,16 @@ func (s *MinCostSolver) SetMask(m tree.FaultMask) { s.mask = m }
 // edits through SetDemand/SetClientRequests and pre-existing set
 // changes are detected automatically).
 func (s *MinCostSolver) Invalidate() { s.track.invalidate() }
+
+// SetContext installs a context consulted by every following Solve at
+// coarse checkpoints — between height waves on the parallel path,
+// every cancelStride node tables on the sequential one. Once the
+// context is cancelled the in-flight solve stops within one checkpoint
+// and returns the context's error, with nothing committed: the solver
+// stays repairable, and the next Solve (under a live context) lands on
+// results byte-identical to a solve that was never interrupted. A nil
+// context — the default — disables the checkpoints entirely.
+func (s *MinCostSolver) SetContext(ctx context.Context) { s.cancel.set(ctx) }
 
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed.
@@ -341,7 +355,13 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	}
 	s.track.propagate(t0)
 
-	s.run()
+	if err := s.run(); err != nil {
+		// Cancelled between checkpoints: the tables rebuilt so far are
+		// exact, and nothing below was committed, so the next solve
+		// re-dirties and recomputes a superset of the interrupted work.
+		s.existing, s.placement = nil, nil
+		return MinCostResult{}, err
+	}
 
 	// The tables now reflect the current inputs even if the root scan
 	// finds the instance infeasible, so commit before scanning.
@@ -361,17 +381,28 @@ func (s *MinCostSolver) SolveInto(existing *tree.Replicas, W int, c cost.Simple,
 	return res, nil
 }
 
-func (s *MinCostSolver) run() {
+func (s *MinCostSolver) run() error {
 	for i := range s.mstats {
 		s.mstats[i] = mergeStats{}
 	}
+	var runErr error
 	if s.wave.workers > 1 {
-		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
+		var ok bool
+		s.recomputed, ok = s.wave.run(s.t, s.track.dirty, s.t.Waves(), s.cancel.done)
+		if !ok {
+			runErr = s.cancel.ctx.Err()
+		}
 	} else {
 		s.recomputed = 0
 		for _, j := range s.t.PostOrder() {
 			if !s.track.dirty[j] {
 				continue
+			}
+			if s.recomputed%cancelStride == 0 {
+				if err := s.cancel.err(); err != nil {
+					runErr = err
+					break
+				}
 			}
 			s.recomputed++
 			s.solveNode(j, 0)
@@ -385,6 +416,7 @@ func (s *MinCostSolver) run() {
 	for i := range s.arenas {
 		s.arenas[i].reset()
 	}
+	return runErr
 }
 
 // solveNode rebuilds node j's table from its children's (Algorithms 2

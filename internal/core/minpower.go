@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -241,6 +242,9 @@ type PowerDP struct {
 	cands []frontEntry // root-scan candidates, high-water reused
 	front []frontEntry // pruned Pareto front, high-water reused
 	sol   PowerSolver
+
+	// Cooperative cancellation (see SetContext and cancelGate).
+	cancel cancelGate
 }
 
 // NewPowerDP returns a reusable power solver for t.
@@ -341,6 +345,17 @@ func (d *PowerDP) Invalidate() {
 	d.track.invalidate()
 	d.scanOK = false
 }
+
+// SetContext installs a context consulted by every following Solve at
+// coarse checkpoints: between height waves (or per node on the
+// sequential pass), between the merge fold steps of the root, and
+// between the blocks of the root scan. A cancelled context aborts the
+// in-flight solve within one checkpoint and returns the context's
+// error; like any mid-tree solve error the abort invalidates the
+// retained tables, so the next solve under a live context recomputes
+// from scratch and byte-matches a never-interrupted cold solve. A nil
+// context — the default — disables the checkpoints.
+func (d *PowerDP) SetContext(ctx context.Context) { d.cancel.set(ctx) }
 
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed, and how much of the root
@@ -456,7 +471,13 @@ func (d *PowerDP) Solve(p PowerProblem) (*PowerSolver, error) {
 	}
 	d.track.commit(t0)
 
-	d.scanRoot()
+	if err := d.scanRoot(); err != nil {
+		// Cancelled mid-scan: the subtree tables above were committed
+		// and stay exact, but some retained block fronts were already
+		// overwritten; scanOK is false, so the next solve re-prices the
+		// whole root table.
+		return nil, err
+	}
 	if len(d.front) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrInfeasible)
 	}
@@ -503,11 +524,15 @@ func (d *PowerDP) run() error {
 		for w := range d.waveErrs {
 			d.waveErrs[w] = nil
 		}
-		d.recomputed = d.wave.run(t, d.track.dirty, t.Waves()-1)
+		var ok bool
+		d.recomputed, ok = d.wave.run(t, d.track.dirty, t.Waves()-1, d.cancel.done)
 		for _, err := range d.waveErrs {
 			if err != nil {
 				return err
 			}
+		}
+		if !ok {
+			return d.cancel.ctx.Err()
 		}
 		// Flush the growth owed to each wave arena's last node into
 		// this solve (see MinCostSolver.run). arenas[0] needs no flush:
@@ -530,6 +555,11 @@ func (d *PowerDP) run() error {
 		}
 		if !d.track.dirty[j] {
 			continue
+		}
+		// Power tables are expensive enough that a per-node poll is
+		// invisible, and it keeps cancellation latency at one table.
+		if err := d.cancel.err(); err != nil {
+			return err
 		}
 		d.recomputed++
 		if err := d.solveNode(j, 0, true); err != nil {

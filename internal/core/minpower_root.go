@@ -187,6 +187,11 @@ func (d *PowerDP) runRoot() error {
 	}
 
 	for q := start; q < K; q++ {
+		// The root folds the largest merges of the tree, so poll the
+		// cancellation gate between fold steps (one merge block).
+		if err := d.cancel.err(); err != nil {
+			return err
+		}
 		st := d.foldPos(q)
 		ch := kids[st]
 		outNew, outPre, outShape, err := d.childDims(ch, accNew, accPre, ar)
@@ -248,8 +253,11 @@ func (d *PowerDP) fillWeights() {
 
 // scanRoot prices the root table and stores the Pareto front in d.front
 // ordered by ascending cost and strictly descending power, reusing as
-// much of the previous solve's scan as the changed inputs allow.
-func (d *PowerDP) scanRoot() {
+// much of the previous solve's scan as the changed inputs allow. It
+// polls the solver's cancellation gate between scan blocks; a non-nil
+// error means the scan was abandoned mid-sweep with scanOK left false,
+// so the next solve re-prices every block.
+func (d *PowerDP) scanRoot() error {
 	t := d.prob.Tree
 	r := t.Root()
 	rootMode0 := d.prob.Existing.Mode(r)
@@ -273,23 +281,34 @@ func (d *PowerDP) scanRoot() {
 	if sameContext && !d.rootRecomputed {
 		// Clean tables, identical pricing: the previous front stands.
 		d.rootScanned, d.rootRepriced = 0, 0
-		return
+		return nil
 	}
 
 	d.fillWeights()
 	canDiff := sameContext && slices.Equal(sh.dims, d.prevDims)
 
+	// The sweep below overwrites retained block fronts in place, so the
+	// scan state is invalid until it completes; flipping scanOK first
+	// makes a cancelled sweep safe — the next solve sees sameContext
+	// false and re-prices every block.
+	d.scanOK = false
+
 	nb := (sh.size + rootBlockCells - 1) / rootBlockCells
 	d.blocks = grownKeep(d.blocks, nb)
 	blocks := d.blocks[:nb]
 	if d.workers > 1 && nb > 1 {
-		par.ForEach(nb, d.workers, func(bi int) {
+		if !par.ForEachCancel(nb, d.workers, d.cancel.done, func(bi int) {
 			d.scanOneBlock(bi, vals, sh, rootMode0, canDiff)
-		})
+		}) {
+			return d.cancel.ctx.Err()
+		}
 	} else {
 		// The sequential path avoids the fan-out closure so warm solves
 		// stay allocation-free.
 		for bi := 0; bi < nb; bi++ {
+			if err := d.cancel.err(); err != nil {
+				return err
+			}
 			d.scanOneBlock(bi, vals, sh, rootMode0, canDiff)
 		}
 	}
@@ -320,6 +339,7 @@ func (d *PowerDP) scanRoot() {
 	d.scanMode0 = rootMode0
 	d.scanPre = append(d.scanPre[:0], d.totalPre...)
 	d.scanOK = true
+	return nil
 }
 
 // retainScanCost deep-copies the solve's cost model into retained

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"replicatree/internal/tree"
@@ -120,6 +121,9 @@ type QoSSolver struct {
 	lastCGen   uint64
 	recomputed int
 
+	// Cooperative cancellation (see SetContext and cancelGate).
+	cancel cancelGate
+
 	// Per solve:
 	w         int
 	c         *tree.Constraints
@@ -199,6 +203,14 @@ func (s *QoSSolver) Reset(t *tree.Tree) {
 // Constraints setters are detected automatically and do not need it.
 func (s *QoSSolver) Invalidate() { s.track.invalidate() }
 
+// SetContext installs a context consulted by every following Solve at
+// coarse checkpoints (between height waves on the parallel path, every
+// cancelStride node tables on the sequential one). A cancelled context
+// aborts the in-flight solve within one checkpoint with nothing
+// committed; the solver stays repairable exactly as after a solve
+// error. A nil context — the default — disables the checkpoints.
+func (s *QoSSolver) SetContext(ctx context.Context) { s.cancel.set(ctx) }
+
 // Stats profiles the most recent completed solve: how many of the
 // tree's node tables it actually recomputed.
 func (s *QoSSolver) Stats() SolveStats {
@@ -242,7 +254,12 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 	s.track.mark(t, s.fullSolve)
 	s.track.propagate(t)
 
-	s.run()
+	if err := s.run(); err != nil {
+		// Cancelled between checkpoints: nothing was committed, so the
+		// next solve re-dirties and recomputes a superset of the
+		// interrupted work (see cancel.go).
+		return nil, err
+	}
 
 	s.lastW, s.lastC, s.lastCGen = W, c, c.Generation()
 	s.track.commit(t)
@@ -273,17 +290,28 @@ func (s *QoSSolver) Solve(W int, c *tree.Constraints, dst *tree.Replicas) (*tree
 // live in 0..max(depth(j)-1, 0).
 func (s *QoSSolver) tabRows(j int) int { return max(s.t.Depth(j)-1, 0) + 1 }
 
-func (s *QoSSolver) run() {
+func (s *QoSSolver) run() error {
 	for i := range s.mstats {
 		s.mstats[i] = mergeStats{}
 	}
+	var runErr error
 	if s.wave.workers > 1 {
-		s.recomputed = s.wave.run(s.t, s.track.dirty, s.t.Waves())
+		var ok bool
+		s.recomputed, ok = s.wave.run(s.t, s.track.dirty, s.t.Waves(), s.cancel.done)
+		if !ok {
+			runErr = s.cancel.ctx.Err()
+		}
 	} else {
 		s.recomputed = 0
 		for _, j := range s.t.PostOrder() {
 			if !s.track.dirty[j] {
 				continue
+			}
+			if s.recomputed%cancelStride == 0 {
+				if err := s.cancel.err(); err != nil {
+					runErr = err
+					break
+				}
 			}
 			s.recomputed++
 			s.solveNode(j, 0)
@@ -295,6 +323,7 @@ func (s *QoSSolver) run() {
 	for i := range s.arenas {
 		s.arenas[i].reset()
 	}
+	return runErr
 }
 
 // solveNode rebuilds node j's table from its children's, carving

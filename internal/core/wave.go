@@ -53,13 +53,25 @@ func (ws *waveSched) setWorkers(workers int, task func(w, i int)) int {
 // in dirty, covering the first waves height levels (pass t.Waves() for
 // the whole tree; PowerDP passes one less to leave the root — alone in
 // the last wave — to its retained-prefix sequential fold). It returns
-// how many nodes it recomputed. Requires a prior setWorkers with
+// how many nodes it recomputed and whether the pass ran to completion:
+// once done closes (nil = never), the pass stops claiming work at the
+// next wave boundary — and, within a wide wave, at the pool's next
+// chunk claim — so cancellation latency is bounded by one wave chunk.
+// Nodes already dispatched finish their table rebuild; the pass never
+// abandons a table half-written. Requires a prior setWorkers with
 // workers != 1. Thin waves run inline on the caller's goroutine
 // (worker 0): drift steps re-solve only sparse ancestor chains, and
 // waking the pool costs more than a few table rebuilds.
-func (ws *waveSched) run(t *tree.Tree, dirty []bool, waves int) int {
+func (ws *waveSched) run(t *tree.Tree, dirty []bool, waves int, done <-chan struct{}) (int, bool) {
 	recomputed := 0
 	for h := 0; h < waves; h++ {
+		if done != nil {
+			select {
+			case <-done:
+				return recomputed, false
+			default:
+			}
+		}
 		wd := ws.dirtyIdx[:0]
 		for _, j := range t.Wave(h) {
 			if dirty[j] {
@@ -74,7 +86,9 @@ func (ws *waveSched) run(t *tree.Tree, dirty []bool, waves int) int {
 			}
 			continue
 		}
-		ws.pool.Run(len(wd), ws.task)
+		if !ws.pool.RunCancel(len(wd), done, ws.task) {
+			return recomputed, false
+		}
 	}
-	return recomputed
+	return recomputed, true
 }

@@ -1,0 +1,366 @@
+// Crash-chaos experiment: SIGKILL a replicaserved daemon at a
+// randomized point inside a drift burst, restart it over the same data
+// directory, and require the recovered instance to be byte-identical —
+// placement, costs and Pareto front — to an uninterrupted twin fed the
+// durable prefix of the burst. The daemon is spawned as a real process
+// (the journal's fsync contract only means something across an actual
+// kill -9), the twin runs in-process over the same HTTP surface.
+package exper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"replicatree/internal/rng"
+	"replicatree/internal/serve"
+)
+
+// CrashChaosConfig parameterises one chaos campaign.
+type CrashChaosConfig struct {
+	// Daemon is the argv prefix that launches a replicaserved daemon;
+	// the harness appends -addr and -data. Tests pass their own binary
+	// re-execed into serve.Run via an environment flag.
+	Daemon []string
+	// Env is extra environment for the daemon process, on top of the
+	// harness's own environment.
+	Env []string
+	// WorkDir hosts the per-trial data directories.
+	WorkDir string
+	// Trials is the number of seeded kill points (default 25). Each
+	// trial derives its kill tick, kill delay and drift seeds from
+	// Seed, so a campaign is reproducible end to end.
+	Trials int
+	Seed   uint64
+	// Nodes, W, Drifts and RedrawProb shape the burst: a power-model
+	// chained instance (the fullest durable state) taking Drifts
+	// sequential redraw ticks. Defaults: 30 nodes, W=10, 100 drifts,
+	// probability 0.05.
+	Nodes      int
+	W          int
+	Drifts     int
+	RedrawProb float64
+	// Stdout receives one line per trial when non-nil.
+	Stdout io.Writer
+}
+
+// DefaultCrashChaos is the acceptance-scale campaign: 25 seeded kill
+// points in a 100-drift burst.
+func DefaultCrashChaos(daemon []string, workDir string) CrashChaosConfig {
+	return CrashChaosConfig{
+		Daemon:     daemon,
+		WorkDir:    workDir,
+		Trials:     25,
+		Seed:       DefaultSeed,
+		Nodes:      30,
+		W:          10,
+		Drifts:     100,
+		RedrawProb: 0.05,
+	}
+}
+
+// CrashChaosResult summarises a campaign.
+type CrashChaosResult struct {
+	Trials int
+	// Durable counts trials where the drift in flight at the kill
+	// instant had already been journaled (recovery at tick killAt);
+	// LostTail counts trials where the kill won the race (recovery at
+	// killAt-1). Both are correct outcomes — the invariant is that
+	// recovery lands on one of the two and matches the twin exactly.
+	Durable  int
+	LostTail int
+	Elapsed  time.Duration
+}
+
+func (r *CrashChaosResult) String() string {
+	return fmt.Sprintf("crashchaos: trials=%d durable=%d lost_tail=%d elapsed=%s",
+		r.Trials, r.Durable, r.LostTail, r.Elapsed.Round(time.Millisecond))
+}
+
+// chaosDaemon is one spawned daemon process.
+type chaosDaemon struct {
+	cmd     *exec.Cmd
+	baseURL string
+}
+
+// startDaemon spawns the daemon over dir and waits for its listen
+// announcement.
+func startDaemon(cfg *CrashChaosConfig, dir string) (*chaosDaemon, error) {
+	argv := append(append([]string{}, cfg.Daemon...), "-addr", "127.0.0.1:0", "-data", dir)
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	const banner = "replicaserved listening on "
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, banner) {
+			addr := strings.TrimSpace(line[len(banner):])
+			// Keep draining stdout so the daemon never blocks on a full
+			// pipe; the remaining output is uninteresting.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return &chaosDaemon{cmd: cmd, baseURL: "http://" + addr}, nil
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return nil, fmt.Errorf("exper: crashchaos: daemon exited before announcing its address")
+}
+
+// kill delivers SIGKILL and reaps the process.
+func (d *chaosDaemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// chaosLoad is the instance definition every participant loads: a
+// chained power-model instance, so recovery must reproduce chained
+// existing sets and the Pareto front, not just a stateless placement.
+func chaosLoad(cfg *CrashChaosConfig, genSeed uint64) map[string]any {
+	return map[string]any{
+		"id": "chaos", "w": cfg.W, "chain": true,
+		"cost":  map[string]float64{"create": 0.1, "delete": 0.01},
+		"power": map[string]any{"caps": []int{5, 10}, "static": 0.5, "alpha": 2, "change": 0.05},
+		"gen":   map[string]any{"nodes": cfg.Nodes, "shape": "power", "seed": genSeed},
+	}
+}
+
+// chaosDrift is the i-th drift of a trial; daemon and twin must send
+// byte-identical bodies for replay equivalence to mean anything.
+func chaosDrift(cfg *CrashChaosConfig, trial, i int) map[string]any {
+	return map[string]any{"redraw": map[string]any{
+		"prob": cfg.RedrawProb,
+		"seed": cfg.Seed + uint64(trial)*1_000_000 + uint64(i),
+	}}
+}
+
+// loadChaosInstance POSTs the instance and fails on anything but 201.
+func loadChaosInstance(client *http.Client, baseURL string, body map[string]any) error {
+	code, resp, err := postJSON(client, baseURL+"/instances", body)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("exper: crashchaos: loading instance: status %d: %s", code, resp)
+	}
+	return nil
+}
+
+// driftChaos POSTs one drift and fails on anything but 200.
+func driftChaos(client *http.Client, baseURL string, body map[string]any) error {
+	code, resp, err := postJSON(client, baseURL+"/instances/chaos/drift", body)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("exper: crashchaos: drift: status %d: %s", code, resp)
+	}
+	return nil
+}
+
+// samePlacementErr compares the durable content of two snapshots —
+// everything a recovery must reproduce byte-identically. Runtime stats
+// and timings are excluded; reconfiguration cost and the reused/new
+// split are not (replay goes through the normal tick path, so even
+// path-dependent values must match).
+func samePlacementErr(what string, a, b *serve.Snapshot) error {
+	if a.Tick != b.Tick {
+		return fmt.Errorf("%s: ticks %d vs %d", what, a.Tick, b.Tick)
+	}
+	if !reflect.DeepEqual(a.Modes, b.Modes) {
+		return fmt.Errorf("%s: placement modes differ at tick %d", what, a.Tick)
+	}
+	if a.Servers != b.Servers || a.Reused != b.Reused || a.New != b.New || a.Cost != b.Cost {
+		return fmt.Errorf("%s: summaries differ: (%d,%d,%d,%g) vs (%d,%d,%d,%g)", what,
+			a.Servers, a.Reused, a.New, a.Cost, b.Servers, b.Reused, b.New, b.Cost)
+	}
+	if (a.Power == nil) != (b.Power == nil) {
+		return fmt.Errorf("%s: power view presence differs", what)
+	}
+	if a.Power != nil {
+		if !reflect.DeepEqual(a.Power.Modes, b.Power.Modes) {
+			return fmt.Errorf("%s: power modes differ at tick %d", what, a.Tick)
+		}
+		if a.Power.Servers != b.Power.Servers || a.Power.Cost != b.Power.Cost || a.Power.Power != b.Power.Power {
+			return fmt.Errorf("%s: power summaries differ", what)
+		}
+		if !reflect.DeepEqual(a.Power.Front, b.Power.Front) {
+			return fmt.Errorf("%s: pareto fronts differ: %d vs %d points", what,
+				len(a.Power.Front), len(b.Power.Front))
+		}
+	}
+	if (a.QoS == nil) != (b.QoS == nil) {
+		return fmt.Errorf("%s: qos view presence differs", what)
+	}
+	if a.QoS != nil && !reflect.DeepEqual(a.QoS.Modes, b.QoS.Modes) {
+		return fmt.Errorf("%s: qos modes differ", what)
+	}
+	return nil
+}
+
+// RunCrashChaos runs the campaign and fails fast on the first trial
+// whose recovery diverges from its twin.
+func RunCrashChaos(cfg CrashChaosConfig) (*CrashChaosResult, error) {
+	if len(cfg.Daemon) == 0 {
+		return nil, fmt.Errorf("exper: crashchaos needs a daemon command")
+	}
+	if cfg.WorkDir == "" {
+		return nil, fmt.Errorf("exper: crashchaos needs a work directory")
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 25
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 30
+	}
+	if cfg.W <= 0 {
+		cfg.W = 10
+	}
+	if cfg.Drifts <= 0 {
+		cfg.Drifts = 100
+	}
+	if cfg.RedrawProb == 0 {
+		cfg.RedrawProb = 0.05
+	}
+
+	res := &CrashChaosResult{Trials: cfg.Trials}
+	start := time.Now()
+	for trial := 0; trial < cfg.Trials; trial++ {
+		if err := runChaosTrial(&cfg, trial, res); err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func runChaosTrial(cfg *CrashChaosConfig, trial int, res *CrashChaosResult) error {
+	r := rng.Derive(cfg.Seed, trial)
+	killAt := 1 + r.IntN(cfg.Drifts)                                // drift index whose tick the kill races
+	killDelay := time.Duration(r.IntN(3_000_001)) * time.Nanosecond // 0–3ms after firing it
+	genSeed := cfg.Seed + uint64(trial)
+
+	dir := filepath.Join(cfg.WorkDir, fmt.Sprintf("trial%d", trial))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	client := &http.Client{}
+
+	// Victim daemon: load, drift up to the kill point, then SIGKILL
+	// with the killAt-th drift in flight.
+	victim, err := startDaemon(cfg, dir)
+	if err != nil {
+		return err
+	}
+	defer victim.kill()
+	if err := loadChaosInstance(client, victim.baseURL, chaosLoad(cfg, genSeed)); err != nil {
+		return err
+	}
+	for i := 1; i < killAt; i++ {
+		if err := driftChaos(client, victim.baseURL, chaosDrift(cfg, trial, i)); err != nil {
+			return err
+		}
+	}
+	fired := make(chan struct{})
+	go func() {
+		// The response is expected to die with the process; only the
+		// journal decides whether this tick survived.
+		driftChaos(&http.Client{}, victim.baseURL, chaosDrift(cfg, trial, killAt))
+		close(fired)
+	}()
+	time.Sleep(killDelay)
+	victim.kill()
+	<-fired
+
+	// Recovery: a fresh daemon over the same directory replays the
+	// journal. It must land exactly one of the two ticks the kill
+	// could have left durable.
+	revived, err := startDaemon(cfg, dir)
+	if err != nil {
+		return err
+	}
+	defer revived.kill()
+	var recovered serve.Snapshot
+	if err := getJSON(client, revived.baseURL+"/instances/chaos/placement", &recovered); err != nil {
+		return fmt.Errorf("recovered daemon lost the instance: %w", err)
+	}
+	tick := int(recovered.Tick)
+	switch tick {
+	case killAt:
+		res.Durable++
+	case killAt - 1:
+		res.LostTail++
+	default:
+		return fmt.Errorf("recovered at tick %d, kill raced drift %d (want %d or %d)",
+			tick, killAt, killAt-1, killAt)
+	}
+
+	// Twin: an uninterrupted in-process daemon fed the durable prefix.
+	twin := httptest.NewServer(serve.NewServer(serve.ServerOptions{}).Handler())
+	defer twin.Close()
+	if err := loadChaosInstance(twin.Client(), twin.URL, chaosLoad(cfg, genSeed)); err != nil {
+		return err
+	}
+	for i := 1; i <= tick; i++ {
+		if err := driftChaos(twin.Client(), twin.URL, chaosDrift(cfg, trial, i)); err != nil {
+			return err
+		}
+	}
+	var want serve.Snapshot
+	if err := getJSON(twin.Client(), twin.URL+"/instances/chaos/placement", &want); err != nil {
+		return err
+	}
+	if err := samePlacementErr("recovered state", &recovered, &want); err != nil {
+		return err
+	}
+
+	// The recovered daemon's future must match the twin's: finish the
+	// burst on both and compare again.
+	for i := tick + 1; i <= cfg.Drifts; i++ {
+		body := chaosDrift(cfg, trial, i)
+		if err := driftChaos(client, revived.baseURL, body); err != nil {
+			return err
+		}
+		if err := driftChaos(twin.Client(), twin.URL, body); err != nil {
+			return err
+		}
+	}
+	var gotEnd, wantEnd serve.Snapshot
+	if err := getJSON(client, revived.baseURL+"/instances/chaos/placement", &gotEnd); err != nil {
+		return err
+	}
+	if err := getJSON(twin.Client(), twin.URL+"/instances/chaos/placement", &wantEnd); err != nil {
+		return err
+	}
+	if err := samePlacementErr("post-recovery burst", &gotEnd, &wantEnd); err != nil {
+		return err
+	}
+
+	if cfg.Stdout != nil {
+		outcome := "durable"
+		if tick == killAt-1 {
+			outcome = "lost tail"
+		}
+		fmt.Fprintf(cfg.Stdout, "crashchaos trial %d: kill at drift %d (+%s), recovered tick %d (%s), burst finished identical\n",
+			trial, killAt, killDelay.Round(time.Microsecond), tick, outcome)
+	}
+	return nil
+}

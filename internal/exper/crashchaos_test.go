@@ -1,0 +1,64 @@
+package exper
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"replicatree/internal/serve"
+)
+
+// TestMain doubles this test binary as the chaos daemon: when re-execed
+// with the flag variable set, it runs serve.Run with the remaining argv
+// instead of the test suite — so RunCrashChaos kills a real process with
+// real fsyncs, not a goroutine.
+func TestMain(m *testing.M) {
+	if os.Getenv("REPLICATREE_CHAOS_DAEMON") == "1" {
+		if err := serve.Run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrashChaos is the acceptance campaign: 25 seeded SIGKILL points
+// inside a 100-drift burst on a chained power instance, each required
+// to recover byte-identically (Pareto front included) to an
+// uninterrupted twin and to finish the burst in lockstep with it.
+func TestCrashChaos(t *testing.T) {
+	cfg := DefaultCrashChaos([]string{os.Args[0]}, t.TempDir())
+	cfg.Env = []string{"REPLICATREE_CHAOS_DAEMON=1"}
+	cfg.Stdout = testLogWriter{t}
+	if testing.Short() {
+		cfg.Trials = 4
+	}
+
+	res, err := RunCrashChaos(cfg)
+	if err != nil {
+		t.Fatalf("RunCrashChaos: %v", err)
+	}
+	t.Log(res.String())
+	if res.Trials != cfg.Trials || res.Durable+res.LostTail != cfg.Trials {
+		t.Fatalf("campaign accounting off: %+v", res)
+	}
+}
+
+// TestCrashChaosValidation pins the config guardrails.
+func TestCrashChaosValidation(t *testing.T) {
+	if _, err := RunCrashChaos(CrashChaosConfig{WorkDir: t.TempDir()}); err == nil {
+		t.Fatal("no daemon command accepted")
+	}
+	if _, err := RunCrashChaos(CrashChaosConfig{Daemon: []string{"x"}}); err == nil {
+		t.Fatal("no work directory accepted")
+	}
+}
+
+// testLogWriter adapts t.Log to io.Writer for harness progress lines.
+type testLogWriter struct{ tb testing.TB }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.tb.Log(string(p))
+	return len(p), nil
+}

@@ -43,11 +43,13 @@ type poolShared struct {
 	// Per-run state, written by Run before the workers wake and read
 	// only while they run (the channel sends/receives order the
 	// accesses).
-	fn    func(worker, i int)
-	n     int
-	chunk int
-	next  atomic.Int64
-	pb    panicBox
+	fn      func(worker, i int)
+	n       int
+	chunk   int
+	stopC   <-chan struct{} // non-nil only for RunCancel sweeps
+	stopped atomic.Bool
+	next    atomic.Int64
+	pb      panicBox
 
 	closeOnce sync.Once
 }
@@ -82,17 +84,41 @@ func (p *Pool) Workers() int { return p.sh.workers }
 // workers and returns once all invocations completed. fn is not
 // retained after Run returns.
 func (p *Pool) Run(n int, fn func(worker, i int)) {
+	p.run(n, nil, fn)
+}
+
+// RunCancel is Run with cooperative cancellation: once done is closed,
+// workers stop claiming new chunks (items already started run to
+// completion). It reports whether every item was invoked; false means
+// the sweep stopped early and an unspecified subset of items never ran.
+// A nil done channel degrades to plain Run. Like Run, the steady state
+// performs no heap allocation, which keeps cancellable drift re-solves
+// inside the solver zero-alloc gate.
+func (p *Pool) RunCancel(n int, done <-chan struct{}, fn func(worker, i int)) bool {
+	return p.run(n, done, fn)
+}
+
+func (p *Pool) run(n int, done <-chan struct{}, fn func(worker, i int)) bool {
 	if n <= 0 {
-		return
+		return true
 	}
 	sh := p.sh
 	if sh.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return false
+				default:
+				}
+			}
 			fn(0, i)
 		}
-		return
+		return true
 	}
 	sh.fn, sh.n = fn, n
+	sh.stopC = done
+	sh.stopped.Store(false)
 	// Chunked claiming bounds cursor contention on huge sweeps while
 	// keeping chunks small enough to balance very uneven item costs.
 	sh.chunk = max(1, min(64, n/(sh.workers*4)))
@@ -106,14 +132,24 @@ func (p *Pool) Run(n int, fn func(worker, i int)) {
 		<-sh.done
 	}
 	sh.fn = nil // release fn's captures while the pool idles
+	sh.stopC = nil
 	sh.pb.rethrow()
+	return !sh.stopped.Load()
 }
 
 // runWorker drains chunks of the current sweep as worker w.
 func (sh *poolShared) runWorker(w int) {
 	defer sh.pb.capture()
-	fn, n, chunk := sh.fn, sh.n, sh.chunk
+	fn, n, chunk, stopC := sh.fn, sh.n, sh.chunk, sh.stopC
 	for {
+		if stopC != nil {
+			select {
+			case <-stopC:
+				sh.stopped.Store(true)
+				return
+			default:
+			}
+		}
 		lo := int(sh.next.Add(int64(chunk))) - chunk
 		if lo >= n {
 			return

@@ -28,6 +28,8 @@ func Run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 1, "default DP workers per loaded instance (0 = all CPUs)")
 	noRestore := fs.Bool("norestore", false, "skip restoring snapshots from -data at startup")
 	maxNodes := fs.Int("maxnodes", 0, "largest accepted instance (0 = default cap)")
+	tickTimeout := fs.Duration("ticktimeout", 0, "per-tick solve deadline; an overrunning tick aborts with 503 (0 = none)")
+	maxInflight := fs.Int("maxinflight", 0, "per-instance cap on queued drift submissions before 429 shedding (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,7 +37,13 @@ func Run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
 
-	srv := NewServer(ServerOptions{DataDir: *data, Workers: *workers, MaxNodes: *maxNodes})
+	srv := NewServer(ServerOptions{
+		DataDir:     *data,
+		Workers:     *workers,
+		MaxNodes:    *maxNodes,
+		TickTimeout: *tickTimeout,
+		MaxInflight: *maxInflight,
+	})
 	if *data != "" && !*noRestore {
 		n, err := srv.RestoreAll()
 		if err != nil {
@@ -52,7 +60,18 @@ func Run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "replicaserved listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Slow-client protection: a peer that stalls mid-headers or
+	// mid-body must not pin a connection (and its read goroutine)
+	// forever. The body timeout stays generous — inline mega-tree
+	// instances are hundreds of megabytes on slow links — and no
+	// write timeout is set because snapshot responses of such
+	// instances are legitimately slow to stream out.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

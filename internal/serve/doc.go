@@ -73,4 +73,52 @@
 // deterministic, so a restored session's placements are byte-identical
 // to those of a never-restarted session with the same history, and a
 // drift stream can resume where it left off.
+//
+// # Durability: the drift journal
+//
+// With a data directory configured, every instance is crash-consistent
+// from the moment its load request is acknowledged: loading writes a
+// base snapshot plus an empty per-instance write-ahead journal
+// (<data>/<id>.wal), and every tick appends its frozen batch — tick
+// number, edits, redraws — to the journal and fsyncs BEFORE any demand
+// is applied. Journal frames carry a length prefix and a CRC32 of the
+// body; a failed append fails the whole tick with nothing applied. The
+// durability contract is exactly:
+//
+//   - A drift response (success or solver failure) means the tick is
+//     journaled: a kill -9 at any later point replays it on restart.
+//   - A crash mid-append tears the journal tail; recovery truncates
+//     the torn frame and comes up at the previous tick — at most the
+//     in-flight batch, whose submitters never got a response, is lost.
+//
+// Recovery restores the newest snapshot and replays every journaled
+// tick past it through the normal drift path, so replayed state —
+// placement, reused/new split, reconfiguration cost, chained sets,
+// Pareto front — is byte-identical to an uninterrupted twin's, and
+// failed ticks re-fail identically (their demand edits stay applied,
+// exactly as they did live). Taking a snapshot truncates the journal
+// under the same run-lock hold that captures the state (temp file +
+// fsync + rename + directory fsync first), so a crash at any instant
+// leaves either the old snapshot with the full journal or the new
+// snapshot with an empty one. internal/exper.RunCrashChaos is the
+// standing proof: seeded SIGKILLs inside drift bursts, each recovery
+// byte-compared against a twin.
+//
+// # Overload and cancellation
+//
+// Sessions defend themselves rather than queue without bound. Each
+// instance caps in-flight drift submissions (Options.MaxInflight,
+// default DefaultMaxInflight): a submission beyond the cap is shed
+// synchronously with ErrOverloaded (HTTP 429 + Retry-After) before it
+// joins a batch, so a 10x burst costs the shed requests one atomic
+// increment each and no memory. Options.TickTimeout arms a per-tick
+// deadline: the retained solvers run under a context and abort at
+// cooperative checkpoints, the tick fails with
+// context.DeadlineExceeded (HTTP 503 + Retry-After), and the solvers'
+// repairable-abort contract (see internal/core) guarantees the next
+// tick re-solves the accumulated dirty state exactly. Close — used by
+// DELETE — cancels the session context, so an in-flight solve aborts
+// at its next checkpoint instead of pinning the instance; later
+// submissions get ErrClosed (HTTP 410). Queue depth, shed counts,
+// tick aborts and journal fsync latency all surface on /metrics.
 package serve

@@ -90,11 +90,18 @@ func (h *histogram) quantile(q float64) float64 {
 type sessionMetrics struct {
 	ticks         atomic.Uint64
 	tickFailures  atomic.Uint64
+	tickAborts    atomic.Uint64 // ticks aborted by deadline or Close
 	driftRequests atomic.Uint64
 	driftEdits    atomic.Uint64
 	driftChanged  atomic.Uint64
+	shed          atomic.Uint64 // drift submissions shed by admission control
 	evals         atomic.Uint64
 	snapshots     atomic.Uint64
+
+	// Write-ahead-log counters (only move when a journal is attached).
+	walRecords  atomic.Uint64
+	walBytes    atomic.Uint64
+	walFailures atomic.Uint64
 
 	// Accumulated SolveStats across ticks, per solver where the
 	// counter is solver-specific.
@@ -104,7 +111,8 @@ type sessionMetrics struct {
 	mergeCells   atomic.Uint64
 	maskedNodes  atomic.Uint64
 
-	tickSeconds histogram
+	tickSeconds     histogram
+	walFsyncSeconds histogram
 }
 
 // Solver indices for per-solver metric labels.
@@ -181,6 +189,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 		func(m *sessionMetrics) uint64 { return m.ticks.Load() })
 	counter("replicaserved_tick_failures_total", "Ticks whose re-solve returned an error.",
 		func(m *sessionMetrics) uint64 { return m.tickFailures.Load() })
+	counter("replicaserved_tick_aborts_total", "Ticks aborted by the per-tick deadline or instance deletion.",
+		func(m *sessionMetrics) uint64 { return m.tickAborts.Load() })
+	counter("replicaserved_drift_shed_total", "Drift submissions shed by admission control (HTTP 429).",
+		func(m *sessionMetrics) uint64 { return m.shed.Load() })
+	counter("replicaserved_wal_records_total", "Drift batches journaled to the write-ahead log.",
+		func(m *sessionMetrics) uint64 { return m.walRecords.Load() })
+	counter("replicaserved_wal_bytes_total", "Bytes appended to the write-ahead log.",
+		func(m *sessionMetrics) uint64 { return m.walBytes.Load() })
+	counter("replicaserved_wal_failures_total", "Ticks failed because their journal append did not complete.",
+		func(m *sessionMetrics) uint64 { return m.walFailures.Load() })
 	counter("replicaserved_drift_requests_total", "Accepted drift requests (several may coalesce into one tick).",
 		func(m *sessionMetrics) uint64 { return m.driftRequests.Load() })
 	counter("replicaserved_drift_edits_total", "Demand edits applied by drift ticks.",
@@ -216,6 +234,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE replicaserved_tick_seconds histogram")
 	for _, ss := range sess {
 		ss.met.tickSeconds.write(w, "replicaserved_tick_seconds", fmt.Sprintf("instance=%q", ss.id))
+	}
+
+	fmt.Fprintln(w, "# HELP replicaserved_wal_fsync_seconds Latency of write-ahead-log append+fsync per tick.")
+	fmt.Fprintln(w, "# TYPE replicaserved_wal_fsync_seconds histogram")
+	for _, ss := range sess {
+		ss.met.walFsyncSeconds.write(w, "replicaserved_wal_fsync_seconds", fmt.Sprintf("instance=%q", ss.id))
+	}
+
+	fmt.Fprintln(w, "# HELP replicaserved_drift_queue_depth Drift submissions currently queued or solving.")
+	fmt.Fprintln(w, "# TYPE replicaserved_drift_queue_depth gauge")
+	for _, ss := range sess {
+		fmt.Fprintf(w, "replicaserved_drift_queue_depth{instance=%q} %d\n", ss.id, ss.QueueDepth())
 	}
 
 	fmt.Fprintln(w, "# HELP replicaserved_tick Current tick number of the published snapshot.")

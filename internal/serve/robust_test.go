@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestServerFrom serves an existing Server so tests can reach both
+// the HTTP surface and the in-process sessions behind it.
+func newTestServerFrom(tb testing.TB, srv *Server) *httptest.Server {
+	tb.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(ts.Close)
+	return ts
+}
+
+func jsonBody(tb testing.TB, v any) io.Reader {
+	tb.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatalf("marshal: %v", err)
+	}
+	return bytes.NewReader(buf)
+}
+
+// newPowerSession builds a power+chain session over a deterministic
+// 50-node power tree — the fullest per-tick state (placement, chained
+// sets, Pareto front) for robustness comparisons.
+func newPowerSession(tb testing.TB, id string, opts Options) *Session {
+	tb.Helper()
+	tr, cfg := genPowerTree(tb, 77)
+	opts.W, opts.Cost = 10, testCost
+	opts.Power, opts.PowerChange = testPower(tb), 0.05
+	opts.Chain = true
+	opts.Gen = &cfg
+	sess, err := NewSession(id, tr, nil, opts, nil, nil, 0)
+	if err != nil {
+		tb.Fatalf("NewSession: %v", err)
+	}
+	return sess
+}
+
+// TestTickDeadlineAbortsAndRepairs pins the per-tick deadline: a tick
+// that cannot finish inside TickTimeout fails with
+// context.DeadlineExceeded, its demand edits stay applied, and the
+// next unconstrained tick lands on the same state as a twin that was
+// never interrupted.
+func TestTickDeadlineAbortsAndRepairs(t *testing.T) {
+	a := newPowerSession(t, "dead-a", Options{})
+	b := newPowerSession(t, "dead-b", Options{})
+	defer a.Close()
+	defer b.Close()
+
+	slot := clientSlots(a.Tree())[0]
+	edits := []Edit{{Node: slot[0], Client: slot[1], Reqs: 7}}
+
+	// An already-expired deadline aborts at the solvers' first
+	// cooperative checkpoint.
+	a.opts.TickTimeout = time.Nanosecond
+	_, err := a.Drift(edits, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline tick returned %v, want context.DeadlineExceeded", err)
+	}
+	if got := a.met.tickAborts.Load(); got != 1 {
+		t.Errorf("tickAborts = %d, want 1", got)
+	}
+	if a.LastErr() == "" {
+		t.Errorf("LastErr empty after a deadline abort")
+	}
+
+	// Repair: the aborted tick applied its edits but never solved or
+	// chained, so the next tick solves the cumulative demands against
+	// the pre-abort sets — exactly what a twin sees taking all the
+	// edits in one batch.
+	a.opts.TickTimeout = 0
+	more := []Edit{{Node: slot[0], Client: slot[1], Reqs: 2}}
+	if _, err := a.Drift(more, nil); err != nil {
+		t.Fatalf("repair drift: %v", err)
+	}
+	if _, err := b.Drift(append(append([]Edit{}, edits...), more...), nil); err != nil {
+		t.Fatalf("twin drift: %v", err)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	// The aborted tick still consumed a tick number (journal replay
+	// depends on that), so a is one tick ahead of the twin.
+	if sa.Tick != 2 || sb.Tick != 1 {
+		t.Fatalf("ticks %d/%d, want 2/1", sa.Tick, sb.Tick)
+	}
+	snapshotsEquivalent(t, "after deadline repair", sb, sa)
+}
+
+// TestCloseAbortsAndRejects pins Session.Close: in-flight and later
+// submissions fail with ErrClosed, Close is idempotent, and Eval on a
+// closed session is rejected.
+func TestCloseAbortsAndRejects(t *testing.T) {
+	sess := newPowerSession(t, "close", Options{Workers: 4})
+	slot := clientSlots(sess.Tree())[0]
+
+	// Hold the run lock so a drift leader is provably parked mid-queue
+	// when Close lands.
+	sess.run.Lock()
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Drift([]Edit{{Node: slot[0], Client: slot[1], Reqs: 3}}, nil)
+		done <- err
+	}()
+	waitFor(t, "drift queued", func() bool { return sess.QueueDepth() == 1 })
+
+	go sess.Close() // blocks on the run lock behind the parked leader
+	waitFor(t, "close observed", func() bool { return sess.closed.Load() })
+	sess.run.Unlock()
+
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("parked drift returned %v, want ErrClosed", err)
+	}
+	sess.Close() // idempotent, already closed
+	if _, err := sess.Drift(nil, []Redraw{{Prob: 0.5, Seed: 1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drift after close returned %v, want ErrClosed", err)
+	}
+	if _, err := sess.Eval(0, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("eval after close returned %v, want ErrClosed", err)
+	}
+}
+
+// waitFor polls cond for up to ~5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestAdmissionShedsDeterministically holds the run lock, fires a 10x
+// over-cap burst, and requires exactly cap admissions: every other
+// submission is shed with ErrOverloaded while the queue stays bounded.
+func TestAdmissionShedsDeterministically(t *testing.T) {
+	tr, _ := genTestTree(t, 120, 5)
+	const cap = 4
+	sess, err := NewSession("adm", tr, nil,
+		Options{W: 10, Cost: testCost, Workers: 1, MaxInflight: cap}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer sess.Close()
+
+	const burst = 10 * cap
+	sess.run.Lock()
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			_, err := sess.Drift(nil, []Redraw{{Prob: 0.1, Seed: seed, ReqMin: 1, ReqMax: 9}})
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				shed.Add(1)
+			default:
+				t.Errorf("burst drift: %v", err)
+			}
+		}(uint64(i))
+	}
+	// Admissions saturate at the cap; everyone else sheds synchronously.
+	waitFor(t, "burst resolved", func() bool {
+		return sess.QueueDepth() == cap && shed.Load() == burst-cap
+	})
+	if depth := sess.QueueDepth(); depth != cap {
+		t.Errorf("queue depth %d with the solver parked, want cap %d", depth, cap)
+	}
+	sess.run.Unlock()
+	wg.Wait()
+
+	if got, want := ok.Load(), int64(cap); got != want {
+		t.Errorf("admitted %d submissions, want %d", got, want)
+	}
+	if got := sess.met.shed.Load(); got != burst-cap {
+		t.Errorf("shed metric %d, want %d", got, burst-cap)
+	}
+	waitFor(t, "queue drained", func() bool { return sess.QueueDepth() == 0 })
+
+	// The instance keeps serving after the burst.
+	if _, err := sess.Drift(nil, []Redraw{{Prob: 0.2, Seed: 99, ReqMin: 1, ReqMax: 9}}); err != nil {
+		t.Fatalf("post-burst drift: %v", err)
+	}
+}
+
+// TestHTTPOverloadAndDeleteRace exercises the transport mapping of the
+// robustness errors: 429 + Retry-After for shed drifts, and DELETE
+// racing an in-flight tick — the delete must win promptly, abort the
+// solve, and fully release the session (a reload of the same id
+// succeeds).
+func TestHTTPOverloadAndDeleteRace(t *testing.T) {
+	srv := NewServer(ServerOptions{MaxInflight: 1})
+	ts := newTestServerFrom(t, srv)
+
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "race", "w": 10, "chain": true,
+		"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen":  map[string]any{"nodes": 300, "shape": "fat", "seed": 4},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	sess := srv.Session("race")
+
+	// Park a drift leader on the run lock, then overload.
+	sess.run.Lock()
+	first := make(chan int, 1)
+	go func() {
+		first <- doJSON(t, ts, "POST", "/instances/race/drift",
+			map[string]any{"redraw": map[string]any{"prob": 0.3, "seed": 1}}, nil)
+	}()
+	waitFor(t, "leader parked", func() bool { return sess.QueueDepth() == 1 })
+
+	req, err := http.NewRequest("POST", ts.URL+"/instances/race/drift",
+		jsonBody(t, map[string]any{"redraw": map[string]any{"prob": 0.3, "seed": 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap drift: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After header")
+	}
+
+	// DELETE while the first drift is still parked: the drift must be
+	// aborted with 410 (Gone) and the delete must succeed.
+	delDone := make(chan int, 1)
+	go func() { delDone <- doJSON(t, ts, "DELETE", "/instances/race", nil, nil) }()
+	waitFor(t, "close initiated", func() bool { return sess.closed.Load() })
+	sess.run.Unlock()
+
+	if code := <-delDone; code != http.StatusOK {
+		t.Fatalf("racing delete: status %d", code)
+	}
+	if code := <-first; code != http.StatusGone {
+		t.Fatalf("aborted drift: status %d, want 410", code)
+	}
+	if code := doJSON(t, ts, "GET", "/instances/race", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("info after delete: status %d, want 404", code)
+	}
+
+	// The id is fully released: reloading it works.
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "race", "w": 10,
+		"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen":  map[string]any{"nodes": 300, "shape": "fat", "seed": 4},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("reload after delete: status %d", code)
+	}
+}
+
+// TestNoGoroutineLeaks loads, drifts (including a failing tick and a
+// deadline abort), snapshots and deletes sessions with parallel
+// solvers, then requires the goroutine count to return to baseline:
+// worker pools, tick leaders and journal handles must all be released.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	srv := NewServer(ServerOptions{DataDir: dir, Workers: 4})
+	ts := newTestServerFrom(t, srv)
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+			"id": fmt.Sprintf("leak%d", i), "w": 10, "chain": true,
+			"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+			"gen":  map[string]any{"nodes": 200, "shape": "fat", "seed": 10 + i},
+		}, nil); code != http.StatusCreated {
+			t.Fatalf("load %d: status %d", i, code)
+		}
+		if code := doJSON(t, ts, "POST", fmt.Sprintf("/instances/leak%d/drift", i),
+			map[string]any{"redraw": map[string]any{"prob": 0.2, "seed": 5}}, nil); code != http.StatusOK {
+			t.Fatalf("drift %d: status %d", i, code)
+		}
+	}
+	// Failure paths must not leak either: an infeasible tick...
+	node := firstClientNode(t, ts, "leak0")
+	if code := doJSON(t, ts, "POST", "/instances/leak0/drift", map[string]any{
+		"edits": []map[string]int{{"node": node, "client": 0, "reqs": 50}},
+	}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible drift: status %d, want 422", code)
+	}
+	// ...and a deadline-aborted tick. (Probe for the client slot before
+	// arming the deadline: under it every solving drift 503s.)
+	node1 := firstClientNode(t, ts, "leak1")
+	leak1 := srv.Session("leak1")
+	leak1.opts.TickTimeout = time.Nanosecond
+	if code := doJSON(t, ts, "POST", "/instances/leak1/drift", map[string]any{
+		"edits": []map[string]int{{"node": node1, "client": 0, "reqs": 3}},
+	}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline drift: status %d, want 503", code)
+	}
+	leak1.opts.TickTimeout = 0
+
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, ts, "DELETE", fmt.Sprintf("/instances/leak%d", i), nil, nil); code != http.StatusOK {
+			t.Fatalf("delete %d: status %d", i, code)
+		}
+	}
+	ts.Close()
+
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestCrashRecoveryByteIdentical simulates kill -9 in-process: a
+// journaling server is abandoned without any shutdown snapshot, a
+// fresh server restores from the same directory, and its replayed
+// state must be byte-identical — placement, chained sets (via the next
+// ticks) and Pareto front — to the abandoned twin's. A torn journal
+// tail (crash mid-append) must roll back exactly one tick.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(ServerOptions{DataDir: dir})
+	ts := newTestServerFrom(t, srv)
+
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "crash", "w": 10, "chain": true,
+		"cost":  map[string]float64{"create": 0.1, "delete": 0.01},
+		"power": map[string]any{"caps": []int{5, 10}, "static": 0.5, "alpha": 2, "change": 0.05},
+		"gen":   map[string]any{"nodes": 30, "shape": "power", "seed": 77},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	// Durability starts at load.
+	if _, err := os.Stat(snapshotPath(dir, "crash")); err != nil {
+		t.Fatalf("no base snapshot after load: %v", err)
+	}
+	if _, err := os.Stat(walPath(dir, "crash")); err != nil {
+		t.Fatalf("no journal after load: %v", err)
+	}
+
+	const drifts = 8
+	for i := 0; i < drifts; i++ {
+		if code := doJSON(t, ts, "POST", "/instances/crash/drift", map[string]any{
+			"redraw": map[string]any{"prob": 0.1, "seed": 100 + i},
+		}, nil); code != http.StatusOK {
+			t.Fatalf("drift %d: status %d", i, code)
+		}
+	}
+	live := srv.Session("crash").Snapshot()
+	// "Crash": no SnapshotAll, no Close — the directory holds only the
+	// load-time snapshot plus the drift journal.
+
+	srv2 := NewServer(ServerOptions{DataDir: dir})
+	if n, err := srv2.RestoreAll(); err != nil || n != 1 {
+		t.Fatalf("restore: %d instances, err %v", n, err)
+	}
+	restored := srv2.Session("crash")
+	got := restored.Snapshot()
+	if got.Tick != live.Tick {
+		t.Fatalf("restored tick %d, want %d", got.Tick, live.Tick)
+	}
+	snapshotsEquivalent(t, "replayed state", live, got)
+
+	// Post-recovery convergence: both twins take the same next drift.
+	if _, err := srv.Session("crash").Drift(nil, []Redraw{{Prob: 0.3, Seed: 999, ReqMin: 1, ReqMax: 9}}); err != nil {
+		t.Fatalf("live drift: %v", err)
+	}
+	if _, err := restored.Drift(nil, []Redraw{{Prob: 0.3, Seed: 999, ReqMin: 1, ReqMax: 9}}); err != nil {
+		t.Fatalf("restored drift: %v", err)
+	}
+	snapshotsEquivalent(t, "post-recovery tick", srv.Session("crash").Snapshot(), restored.Snapshot())
+
+	// Torn tail: chop bytes off the journal's last record — recovery
+	// must come up at the previous tick, not fail.
+	wpath := walPath(dir, "crash")
+	data, err := os.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wpath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv3 := NewServer(ServerOptions{DataDir: dir})
+	if n, err := srv3.RestoreAll(); err != nil || n != 1 {
+		t.Fatalf("torn-tail restore: %d instances, err %v", n, err)
+	}
+	if tick := srv3.Session("crash").Snapshot().Tick; tick != live.Tick {
+		t.Fatalf("torn-tail restore at tick %d, want %d (one tick rolled back)", tick, live.Tick)
+	}
+}
+
+// TestSnapshotResetsJournal pins the snapshot/journal atomicity: an
+// explicit snapshot truncates the journal, and a restore from the new
+// snapshot alone reproduces the state.
+func TestSnapshotResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(ServerOptions{DataDir: dir})
+	ts := newTestServerFrom(t, srv)
+
+	if code := doJSON(t, ts, "POST", "/instances", map[string]any{
+		"id": "snapwal", "w": 10, "chain": true,
+		"cost": map[string]float64{"create": 0.1, "delete": 0.01},
+		"gen":  map[string]any{"nodes": 150, "shape": "fat", "seed": 3},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: status %d", code)
+	}
+	for i := 0; i < 4; i++ {
+		if code := doJSON(t, ts, "POST", "/instances/snapwal/drift", map[string]any{
+			"redraw": map[string]any{"prob": 0.25, "seed": 40 + i},
+		}, nil); code != http.StatusOK {
+			t.Fatalf("drift %d: status %d", i, code)
+		}
+	}
+	if recs, _, err := readWAL(walPath(dir, "snapwal")); err != nil || len(recs) != 4 {
+		t.Fatalf("journal before snapshot: %d records, err %v, want 4", len(recs), err)
+	}
+	if code := doJSON(t, ts, "POST", "/instances/snapwal/snapshot", nil, nil); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if recs, validLen, err := readWAL(walPath(dir, "snapwal")); err != nil || len(recs) != 0 || validLen != 0 {
+		t.Fatalf("journal after snapshot: %d records (%d bytes), err %v, want empty", len(recs), validLen, err)
+	}
+	live := srv.Session("snapwal").Snapshot()
+
+	srv2 := NewServer(ServerOptions{DataDir: dir})
+	if n, err := srv2.RestoreAll(); err != nil || n != 1 {
+		t.Fatalf("restore: %d instances, err %v", n, err)
+	}
+	got := srv2.Session("snapwal").Snapshot()
+	if got.Tick != live.Tick {
+		t.Fatalf("restored tick %d, want %d", got.Tick, live.Tick)
+	}
+	snapshotsEquivalent(t, "snapshot-only restore", live, got)
+
+	// DELETE drops the journal alongside the snapshot.
+	if code := doJSON(t, ts, "DELETE", "/instances/snapwal", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if _, err := os.Stat(walPath(dir, "snapwal")); !os.IsNotExist(err) {
+		t.Fatalf("journal survived delete: %v", err)
+	}
+}

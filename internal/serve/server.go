@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"replicatree/internal/core"
 	"replicatree/internal/cost"
@@ -33,6 +35,12 @@ type ServerOptions struct {
 	// MaxNodes caps generated and loaded instance sizes (0 = the
 	// 5e6 default). Body size is capped proportionally.
 	MaxNodes int
+	// TickTimeout is applied as Options.TickTimeout to every loaded
+	// and restored session (0 = no per-tick deadline).
+	TickTimeout time.Duration
+	// MaxInflight is applied as Options.MaxInflight to every loaded
+	// and restored session (0 = DefaultMaxInflight).
+	MaxInflight int
 }
 
 const defaultMaxNodes = 5_000_000
@@ -136,7 +144,7 @@ func (s *Server) RestoreAll() (int, error) {
 	if _, err := os.Stat(s.opts.DataDir); os.IsNotExist(err) {
 		return 0, nil
 	}
-	sessions, err := loadSnapshots(s.opts.DataDir)
+	sessions, err := loadSnapshots(s.opts.DataDir, s.sessionDefaults)
 	if err != nil {
 		return 0, err
 	}
@@ -146,6 +154,13 @@ func (s *Server) RestoreAll() (int, error) {
 		}
 	}
 	return len(sessions), nil
+}
+
+// sessionDefaults applies the server's operational settings to a
+// loaded or restored session's Options.
+func (s *Server) sessionDefaults(o *Options) {
+	o.TickTimeout = s.opts.TickTimeout
+	o.MaxInflight = s.opts.MaxInflight
 }
 
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
@@ -286,6 +301,17 @@ func (s *Server) handle(fn func(w http.ResponseWriter, r *http.Request) error) h
 				code = http.StatusBadRequest
 			case errors.Is(err, core.ErrInfeasible):
 				code = http.StatusUnprocessableEntity
+			case errors.Is(err, ErrOverloaded):
+				code = http.StatusTooManyRequests
+			case errors.Is(err, ErrClosed):
+				code = http.StatusGone
+			case errors.Is(err, context.DeadlineExceeded):
+				// The tick's re-solve overran its deadline and aborted;
+				// the next tick repairs and retries the solve.
+				code = http.StatusServiceUnavailable
+			}
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
 			}
 			writeJSON(w, code, map[string]string{"error": err.Error()})
 		}
@@ -335,11 +361,18 @@ func (s *Server) session(r *http.Request) (*Session, error) {
 	return sess, nil
 }
 
-// decodeBody strictly decodes a JSON request body into v.
-func decodeBody(r *http.Request, v any, limit int64) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+// decodeBody strictly decodes a JSON request body into v. The
+// ResponseWriter is handed to MaxBytesReader so an over-limit body
+// also closes the connection instead of letting the client keep
+// streaming into a dead request.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errf(http.StatusRequestEntityTooLarge, "serve: request body exceeds %d bytes", tooBig.Limit)
+		}
 		return errf(http.StatusBadRequest, "serve: decoding request: %v", err)
 	}
 	return nil
@@ -348,7 +381,7 @@ func decodeBody(r *http.Request, v any, limit int64) error {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) error {
 	var req loadRequest
 	// ~64 bytes of JSON per node is generous for the instance format.
-	if err := decodeBody(r, &req, int64(s.opts.MaxNodes)*64+1<<20); err != nil {
+	if err := decodeBody(w, r, &req, int64(s.opts.MaxNodes)*64+1<<20); err != nil {
 		return err
 	}
 	if (req.Instance == nil) == (req.Gen == nil) {
@@ -364,6 +397,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) error {
 	if req.Workers != nil {
 		opts.Workers = *req.Workers
 	}
+	s.sessionDefaults(&opts)
 	if req.Power != nil {
 		pm, err := power.New(req.Power.Caps, req.Power.Static, req.Power.Alpha)
 		if err != nil {
@@ -441,9 +475,38 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) error {
 		return errCode(http.StatusBadRequest, err)
 	}
 	if err := s.add(sess); err != nil {
+		sess.Close()
 		return errCode(http.StatusConflict, err)
 	}
+	if s.opts.DataDir != "" {
+		// Durability starts at load: write the base snapshot and attach
+		// the drift journal before acknowledging, so a crash after the
+		// 201 can always recover the instance (snapshot) and every
+		// subsequently acknowledged drift (journal replay on top).
+		if err := s.persistNew(sess); err != nil {
+			s.remove(sess.id)
+			sess.Close()
+			return fmt.Errorf("serve: persisting new instance: %w", err)
+		}
+	}
 	writeJSON(w, http.StatusCreated, s.info(sess))
+	return nil
+}
+
+// persistNew writes a fresh session's base snapshot and attaches its
+// (empty) drift journal.
+func (s *Server) persistNew(sess *Session) error {
+	if err := os.MkdirAll(s.opts.DataDir, 0o755); err != nil {
+		return err
+	}
+	if _, err := saveSnapshot(s.opts.DataDir, sess); err != nil {
+		return err
+	}
+	w, err := openWAL(walPath(s.opts.DataDir, sess.id), 0)
+	if err != nil {
+		return err
+	}
+	sess.attachWAL(w)
 	return nil
 }
 
@@ -468,13 +531,19 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
-	if !s.remove(id) {
+	sess := s.Session(id)
+	if sess == nil || !s.remove(id) {
 		return errf(http.StatusNotFound, "serve: no instance %q", id)
 	}
+	// Close aborts any in-flight tick at its next solver checkpoint
+	// (its waiters get ErrClosed) and releases the session's journal
+	// handle and worker pools before we respond.
+	sess.Close()
 	if s.opts.DataDir != "" {
-		// Best-effort: a stale snapshot must not resurrect the
-		// instance on the next restore.
+		// Best-effort: stale state must not resurrect the instance on
+		// the next restore.
 		os.Remove(snapshotPath(s.opts.DataDir, id))
+		os.Remove(walPath(s.opts.DataDir, id))
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 	return nil
@@ -486,7 +555,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	var req driftRequest
-	if err := decodeBody(r, &req, 64<<20); err != nil {
+	if err := decodeBody(w, r, &req, 64<<20); err != nil {
 		return err
 	}
 	var redraws []Redraw

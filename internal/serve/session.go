@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,7 +50,24 @@ type Options struct {
 	// instance so redraw drifts can draw demands without explicit
 	// bounds.
 	Gen *tree.GenConfig
+	// TickTimeout, when positive, bounds each tick's re-solve: a tick
+	// that exceeds it aborts at the solvers' next cooperative
+	// checkpoint and fails with context.DeadlineExceeded. The batch's
+	// demand edits stay applied (they are the instance's current
+	// state); the next tick re-solves them on top of whatever the
+	// aborted solve left uncommitted, landing on the same placement an
+	// uninterrupted solve would have produced.
+	TickTimeout time.Duration
+	// MaxInflight caps concurrently queued drift submissions (leader
+	// plus followers plus arrivals): submissions past the cap are shed
+	// with ErrOverloaded instead of growing the pending batch without
+	// bound. 0 selects DefaultMaxInflight.
+	MaxInflight int
 }
+
+// DefaultMaxInflight is the drift admission cap applied when
+// Options.MaxInflight is zero.
+const DefaultMaxInflight = 256
 
 // Edit sets the absolute request count of one client: client index
 // Client of node Node issues Reqs requests from this tick on.
@@ -161,9 +179,25 @@ type Session struct {
 	qosBuf  *tree.Replicas
 	front   []core.ParetoPoint // FrontInto scratch
 
+	// wal, when non-nil, journals every frozen batch durably before
+	// the leader applies it (guarded by run). Attached by the server
+	// when a data directory is configured.
+	wal *wal
+
+	// baseCtx is the session's lifetime context: Close cancels it,
+	// aborting any in-flight solve at its next cooperative checkpoint.
+	// Per-tick deadlines derive from it.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	closed  atomic.Bool
+
 	// Batcher state, guarded by bmu (never held while solving).
 	bmu     sync.Mutex
 	pending *batch
+
+	// inflight counts drift submissions between admission and
+	// response; the admission cap sheds past Options.MaxInflight.
+	inflight atomic.Int64
 
 	snap    atomic.Pointer[Snapshot]
 	lastErr atomic.Pointer[string]
@@ -184,8 +218,12 @@ func NewSession(id string, t *tree.Tree, cons *tree.Constraints, opts Options, e
 	if err := opts.Cost.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.MaxInflight < 0 {
+		return nil, fmt.Errorf("serve: negative drift admission cap %d", opts.MaxInflight)
+	}
 	n := t.N()
 	s := &Session{id: id, opts: opts, t: t, cons: cons, tick: tick}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.exist = tree.NewReplicas(n)
 	if existing != nil {
 		if existing.N() != n {
@@ -233,7 +271,7 @@ func NewSession(id string, t *tree.Tree, cons *tree.Constraints, opts Options, e
 
 	s.run.Lock()
 	defer s.run.Unlock()
-	snap, err := s.solveLocked(0, tick)
+	snap, err := s.solveLocked(0, tick, false)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial solve: %w", err)
 	}
@@ -330,6 +368,28 @@ func (s *Session) validateRedraws(redraws []Redraw) ([]Redraw, error) {
 // can map it to a client error (HTTP 400) rather than a server one.
 var ErrBadDrift = errors.New("invalid drift")
 
+// ErrClosed reports an operation against a session that Close has torn
+// down (HTTP 410): the instance was deleted, possibly aborting the
+// very tick the request was waiting on.
+var ErrClosed = errors.New("serve: instance closed")
+
+// ErrOverloaded reports a drift submission shed by admission control
+// (HTTP 429 with Retry-After): the instance already has MaxInflight
+// submissions queued behind its solver.
+var ErrOverloaded = errors.New("serve: instance overloaded")
+
+// maxInflight resolves the session's drift admission cap.
+func (s *Session) maxInflight() int64 {
+	if s.opts.MaxInflight > 0 {
+		return int64(s.opts.MaxInflight)
+	}
+	return DefaultMaxInflight
+}
+
+// QueueDepth reports how many drift submissions are currently queued
+// or solving (the admission-control gauge).
+func (s *Session) QueueDepth() int64 { return s.inflight.Load() }
+
 // Drift submits a batch of demand edits and blocks until the tick that
 // incorporated them completes, returning that tick's result. Edits are
 // validated before they join the shared batch: an invalid submission
@@ -338,12 +398,25 @@ var ErrBadDrift = errors.New("invalid drift")
 // coalesce: all submissions that arrive while a tick is solving are
 // applied together by the next tick's single incremental re-solve.
 func (s *Session) Drift(edits []Edit, redraws []Redraw) (*TickResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	if err := s.validateEdits(edits); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadDrift, err)
 	}
 	redraws, err := s.validateRedraws(redraws)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadDrift, err)
+	}
+
+	// Admission: a submission past the in-flight cap is shed before it
+	// can join (and grow) the pending batch, bounding both queue memory
+	// and the latency of every admitted request behind the solver.
+	depth := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if cap := s.maxInflight(); depth > cap {
+		s.met.shed.Add(1)
+		return nil, fmt.Errorf("%w: %d drift submissions in flight (cap %d)", ErrOverloaded, depth, cap)
 	}
 
 	s.bmu.Lock()
@@ -395,7 +468,32 @@ func (s *Session) runTick(b *batch) {
 	s.pending = nil
 	s.bmu.Unlock()
 
+	if s.closed.Load() {
+		b.err = ErrClosed
+		return
+	}
+
 	start := time.Now()
+
+	// Journal the frozen batch before any demand mutation: once the
+	// fsync returns, a crash at ANY later point replays this tick from
+	// the log. On journal failure the tick fails without applying
+	// anything — an unjournaled mutation would be lost by a crash.
+	if s.wal != nil {
+		walStart := time.Now()
+		n, err := s.wal.append(&walRecord{Tick: s.tick + 1, Edits: b.edits, Redraws: b.redraws})
+		if err != nil {
+			s.met.walFailures.Add(1)
+			msg := err.Error()
+			s.lastErr.Store(&msg)
+			b.err = err
+			return
+		}
+		s.met.walFsyncSeconds.observe(time.Since(walStart))
+		s.met.walRecords.Add(1)
+		s.met.walBytes.Add(uint64(n))
+	}
+
 	changed := 0
 	for _, e := range b.edits {
 		if s.t.SetDemand(e.Node, e.Client, e.Reqs) {
@@ -410,7 +508,7 @@ func (s *Session) runTick(b *batch) {
 
 	s.tick++
 	b.tick = s.tick
-	snap, err := s.solveLocked(changed, b.tick)
+	snap, err := s.solveLocked(changed, b.tick, true)
 	took := time.Since(start)
 
 	s.met.ticks.Add(1)
@@ -420,6 +518,14 @@ func (s *Session) runTick(b *batch) {
 	s.met.tickSeconds.observe(took)
 	if err != nil {
 		s.met.tickFailures.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.tickAborts.Add(1)
+		}
+		if s.closed.Load() && errors.Is(err, context.Canceled) {
+			// The solve was aborted by Close (instance deleted), not by
+			// a deadline; tell the waiters the instance is gone.
+			err = fmt.Errorf("%w: %w", ErrClosed, err)
+		}
 		msg := err.Error()
 		s.lastErr.Store(&msg)
 		b.err = err
@@ -436,7 +542,25 @@ func (s *Session) runTick(b *batch) {
 // the session's buffers are unchanged except for solver-internal
 // state, which the solvers themselves keep retry-safe (their trackers
 // commit before every error path; see internal/core).
-func (s *Session) solveLocked(changed int, tick uint64) (*Snapshot, error) {
+//
+// deadline arms Options.TickTimeout: drift ticks opt in, the initial
+// load solve does not (the deadline protects the tick loop from
+// overrunning batches; construction is a synchronous one-off the
+// client waits on, and journal replay already runs without it).
+func (s *Session) solveLocked(changed int, tick uint64, deadline bool) (*Snapshot, error) {
+	ctx, cancel := s.baseCtx, func() {}
+	if deadline && s.opts.TickTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.opts.TickTimeout)
+	}
+	defer cancel()
+	s.mc.SetContext(ctx)
+	if s.pdp != nil {
+		s.pdp.SetContext(ctx)
+	}
+	if s.qs != nil {
+		s.qs.SetContext(ctx)
+	}
+
 	res, err := s.mc.SolveInto(s.exist, s.opts.W, s.opts.Cost, s.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("mincost: %w", err)
@@ -500,6 +624,47 @@ func (s *Session) solveLocked(changed int, tick uint64) (*Snapshot, error) {
 
 	snap.Stats = st
 	return snap, nil
+}
+
+// Close tears the session down: it cancels the lifetime context —
+// aborting any in-flight solve at its next cooperative checkpoint —
+// waits for the tick leader to drain, closes the journal and releases
+// the solvers' worker pools. Drift and Eval fail with ErrClosed from
+// the moment Close starts; a tick aborted by Close reports ErrClosed
+// to every waiter of its batch. Close is idempotent and safe to call
+// concurrently with any session operation.
+func (s *Session) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.stop()
+	s.run.Lock()
+	defer s.run.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	// SetWorkers(1) tears down the wave pools' goroutines (see
+	// waveSched.setWorkers); a fresh nil context detaches the solvers
+	// from the cancelled lifetime context.
+	s.mc.SetWorkers(1)
+	s.mc.SetContext(nil)
+	if s.pdp != nil {
+		s.pdp.SetWorkers(1)
+		s.pdp.SetContext(nil)
+	}
+	if s.qs != nil {
+		s.qs.SetWorkers(1)
+		s.qs.SetContext(nil)
+	}
+}
+
+// attachWAL installs an open journal as the session's write-ahead log;
+// every subsequent tick journals its batch before applying it.
+func (s *Session) attachWAL(w *wal) {
+	s.run.Lock()
+	s.wal = w
+	s.run.Unlock()
 }
 
 // publish installs snap as the session's read model and folds its
@@ -586,6 +751,9 @@ func (s *Session) Eval(policy tree.Policy, down, cuts []int) (*EvalResult, error
 
 	s.run.Lock()
 	defer s.run.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	s.met.evals.Add(1)
 	r := s.eng.EvalUniformMasked(s.cur, policy, s.opts.W, mask)
 	maxLoad := 0

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -135,11 +136,8 @@ func replicasFromModes(modes []int, n int, what string) (*tree.Replicas, error) 
 	return r, nil
 }
 
-// ReadSnapshot rebuilds a session from a snapshot written by
-// WriteSnapshot. The restored session re-solves cold at load, so its
-// published placement is byte-identical to the one the snapshotted
-// session was serving.
-func ReadSnapshot(r io.Reader) (*Session, error) {
+// decodeSnapshot parses and version-checks a snapshot stream.
+func decodeSnapshot(r io.Reader) (*snapshotFile, error) {
 	var f snapshotFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
@@ -151,6 +149,14 @@ func ReadSnapshot(r io.Reader) (*Session, error) {
 	if err := validateID(f.ID); err != nil {
 		return nil, err
 	}
+	return &f, nil
+}
+
+// build rebuilds the snapshotted session, optionally letting mod
+// adjust the restored Options (the server applies its operational
+// settings — admission caps, tick deadlines — which snapshots
+// deliberately do not persist).
+func (f *snapshotFile) build(mod func(*Options)) (*Session, error) {
 	t, cons, err := tree.ReadInstanceJSON(bytes.NewReader(f.Instance))
 	if err != nil {
 		return nil, fmt.Errorf("serve: snapshot instance: %w", err)
@@ -170,6 +176,9 @@ func ReadSnapshot(r io.Reader) (*Session, error) {
 		opts.Power = &pm
 		opts.PowerChange = f.Power.Change
 	}
+	if mod != nil {
+		mod(&opts)
+	}
 	ex, err := replicasFromModes(f.Existing, t.N(), "existing set")
 	if err != nil {
 		return nil, err
@@ -181,6 +190,18 @@ func ReadSnapshot(r io.Reader) (*Session, error) {
 	return NewSession(f.ID, t, cons, opts, ex, pex, f.Tick)
 }
 
+// ReadSnapshot rebuilds a session from a snapshot written by
+// WriteSnapshot. The restored session re-solves cold at load, so its
+// published placement is byte-identical to the one the snapshotted
+// session was serving.
+func ReadSnapshot(r io.Reader) (*Session, error) {
+	f, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.build(nil)
+}
+
 // snapshotPath returns the session's snapshot file path under dir.
 // Session ids are validated against a path-safe alphabet at load, so
 // the join cannot escape dir.
@@ -188,32 +209,133 @@ func snapshotPath(dir, id string) string {
 	return filepath.Join(dir, id+".snap.json")
 }
 
-// saveSnapshot writes the session's snapshot atomically (temp file +
-// rename) under dir and returns the final path.
+// syncDir fsyncs a directory so a just-renamed file inside it survives
+// a crash (the rename itself is only durable once the directory is).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// saveSnapshot writes the session's snapshot durably (temp file +
+// fsync + rename + directory fsync) under dir and returns the final
+// path. It holds the run lock across the whole write and, when the
+// session journals drifts, resets the write-ahead log under the same
+// hold: every journaled tick is covered by the new snapshot and no
+// tick can append between the capture and the truncation, so a crash
+// at any point leaves either the old snapshot plus the full log or the
+// new snapshot plus an empty one.
 func saveSnapshot(dir string, s *Session) (string, error) {
 	path := snapshotPath(dir, s.id)
+	s.run.Lock()
+	defer s.run.Unlock()
+	f, err := s.capture()
+	if err != nil {
+		return "", err
+	}
 	tmp, err := os.CreateTemp(dir, "."+s.id+".snap-*")
 	if err != nil {
 		return "", err
 	}
 	defer os.Remove(tmp.Name())
-	if err := s.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return "", err
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(f)
+	if err == nil {
+		err = tmp.Sync()
 	}
-	if err := tmp.Close(); err != nil {
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		return "", err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return "", err
 	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	if s.wal != nil {
+		if err := s.wal.reset(); err != nil {
+			return "", err
+		}
+	}
+	s.met.snapshots.Add(1)
 	return path, nil
 }
 
-// loadSnapshots restores every *.snap.json under dir, returning the
-// restored sessions. A file that fails to restore aborts the whole
-// load: a daemon must not silently come up with half its instances.
-func loadSnapshots(dir string) ([]*Session, error) {
+// restoreSession rebuilds one session from its snapshot file and
+// replays every journaled tick past the snapshot through the normal
+// tick path, leaving the journal attached (untruncated) so subsequent
+// ticks append after the replayed records. mod adjusts the restored
+// Options; replay itself always runs without a tick deadline so a
+// slow restore cannot diverge from the journaled history.
+func restoreSession(dir, name string, mod func(*Options)) (*Session, error) {
+	fh, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	f, err := decodeSnapshot(fh)
+	fh.Close()
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
+	}
+	var opts Options
+	sess, err := f.build(func(o *Options) {
+		if mod != nil {
+			mod(o)
+		}
+		opts = *o
+		o.TickTimeout = 0
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
+	}
+
+	wpath := walPath(dir, f.ID)
+	recs, validLen, err := readWAL(wpath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
+	}
+	for _, rec := range recs {
+		if rec.Tick <= f.Tick {
+			// Already covered by the snapshot (it was written after
+			// these ticks but the log kept their records).
+			continue
+		}
+		res, err := sess.Drift(rec.Edits, rec.Redraws)
+		if err != nil && errors.Is(err, ErrBadDrift) {
+			return nil, fmt.Errorf("serve: restoring %s: journaled tick %d invalid: %w", name, rec.Tick, err)
+		}
+		// Solver errors replay exactly as they happened live (the tick
+		// failed then too, with its demands applied); keep going.
+		if res == nil || res.Tick != rec.Tick {
+			return nil, fmt.Errorf("serve: restoring %s: journal replay produced tick %v, record says %d",
+				name, res, rec.Tick)
+		}
+	}
+	sess.opts.TickTimeout = opts.TickTimeout
+
+	w, err := openWAL(wpath, validLen)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
+	}
+	sess.attachWAL(w)
+	return sess, nil
+}
+
+// loadSnapshots restores every *.snap.json under dir (journal replay
+// included), returning the restored sessions. A file that fails to
+// restore aborts the whole load: a daemon must not silently come up
+// with half its instances.
+func loadSnapshots(dir string, mod func(*Options)) ([]*Session, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -224,14 +346,9 @@ func loadSnapshots(dir string) ([]*Session, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".snap.json") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		fh, err := os.Open(filepath.Join(dir, name))
+		sess, err := restoreSession(dir, name, mod)
 		if err != nil {
 			return nil, err
-		}
-		sess, err := ReadSnapshot(fh)
-		fh.Close()
-		if err != nil {
-			return nil, fmt.Errorf("serve: restoring %s: %w", name, err)
 		}
 		out = append(out, sess)
 	}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The drift write-ahead log makes accepted drifts durable before the
+// tick leader applies them: one record per tick, framed as an 8-byte
+// header (little-endian body length, IEEE CRC32 of the body) followed
+// by the JSON body, appended and fsynced before any demand mutation.
+// Replay is idempotent — records carry the tick number they produced,
+// edits are absolute demand values and redraws are seed-deterministic —
+// so restoring the last snapshot and re-driving every journaled record
+// with a higher tick through the normal tick path reconstructs the
+// session byte-identically, wherever the process was killed.
+//
+// A crash can leave at most one torn record at the end of the file
+// (records are fsynced one at a time); a short or CRC-mismatched tail
+// frame therefore marks the end of the log, and the journal is
+// truncated back to the last whole record before new ticks append.
+
+// walRecord is one journaled tick: the frozen batch exactly as the
+// leader will apply it, stamped with the tick number it produces.
+type walRecord struct {
+	Tick    uint64   `json:"tick"`
+	Edits   []Edit   `json:"edits,omitempty"`
+	Redraws []Redraw `json:"redraws,omitempty"`
+}
+
+const walHeaderSize = 8
+
+// maxWALRecord bounds a single record frame; a length field beyond it
+// is garbage from a torn header, not a real record.
+const maxWALRecord = 1 << 30
+
+// walPath returns the session's journal path under dir (ids share the
+// path-safe alphabet enforced by validateID).
+func walPath(dir, id string) string {
+	return filepath.Join(dir, id+".wal")
+}
+
+// wal is an open drift journal. The tick leader owns it under the
+// session's run lock; there is no internal locking.
+type wal struct {
+	f   *os.File
+	buf []byte // frame scratch, reused across appends
+}
+
+// openWAL opens (creating if absent) the journal at path for
+// appending. truncateTo >= 0 first truncates the file to that length,
+// discarding a torn tail found by a prior readWAL; pass -1 to keep the
+// file as is (fresh sessions, whose journal is empty or absent).
+func openWAL(path string, truncateTo int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	if truncateTo >= 0 {
+		if err := f.Truncate(truncateTo); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("serve: truncating journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f}, nil
+}
+
+// append journals one record durably: frame, write, fsync. The record
+// is recoverable once append returns nil; on error the caller must
+// fail the tick without applying the batch.
+func (w *wal) append(rec *walRecord) (int, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("serve: encoding journal record: %w", err)
+	}
+	if len(body) > maxWALRecord {
+		return 0, fmt.Errorf("serve: journal record of %d bytes exceeds cap", len(body))
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(body)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(body))
+	w.buf = append(w.buf, body...)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, fmt.Errorf("serve: appending journal record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("serve: syncing journal: %w", err)
+	}
+	return len(w.buf), nil
+}
+
+// reset truncates the journal after a successful durable snapshot: the
+// snapshot now covers every journaled tick, so the log restarts empty.
+// Caller holds the run lock across the snapshot write and this call,
+// so no tick can append a record the truncation would lose.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("serve: resetting journal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close releases the journal's file handle.
+func (w *wal) Close() error { return w.f.Close() }
+
+// readWAL decodes every whole record of the journal at path, in append
+// order, along with the byte length of the valid prefix (what a
+// subsequent openWAL should truncate to). A missing file is an empty
+// log. A short or CRC-mismatched tail frame ends the log — that is the
+// torn record of a crash mid-append, not corruption — but a frame
+// whose checksum matches while its body fails to decode can only be a
+// writer bug and fails the read.
+func readWAL(path string) ([]walRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	var recs []walRecord
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < walHeaderSize {
+			return recs, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxWALRecord || int64(len(rest))-walHeaderSize < n {
+			return recs, off, nil
+		}
+		body := rest[walHeaderSize : walHeaderSize+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			return recs, off, nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil, 0, fmt.Errorf("serve: journal record at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += walHeaderSize + n
+	}
+}

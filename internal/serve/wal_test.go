@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// walRecords is a small deterministic record set for framing tests.
+func walTestRecords() []walRecord {
+	return []walRecord{
+		{Tick: 1, Edits: []Edit{{Node: 3, Client: 0, Reqs: 5}}},
+		{Tick: 2, Redraws: []Redraw{{Prob: 0.25, Seed: 7, ReqMin: 1, ReqMax: 9}}},
+		{Tick: 3, Edits: []Edit{{Node: 1, Client: 1, Reqs: 0}, {Node: 2, Client: 0, Reqs: 8}}},
+	}
+}
+
+func appendAll(t *testing.T, w *wal, recs []walRecord) {
+	t.Helper()
+	for i := range recs {
+		if _, err := w.append(&recs[i]); err != nil {
+			t.Fatalf("append record %d: %v", i, err)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, err := openWAL(path, -1)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	want := walTestRecords()
+	appendAll(t, w, want)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, validLen, err := readWAL(path)
+	if err != nil {
+		t.Fatalf("readWAL: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if validLen != fi.Size() {
+		t.Fatalf("valid prefix %d bytes, file has %d", validLen, fi.Size())
+	}
+}
+
+func TestWALMissingFileIsEmptyLog(t *testing.T) {
+	recs, validLen, err := readWAL(filepath.Join(t.TempDir(), "absent.wal"))
+	if err != nil || recs != nil || validLen != 0 {
+		t.Fatalf("missing file: recs=%v len=%d err=%v, want empty", recs, validLen, err)
+	}
+}
+
+// TestWALTornTail truncates the journal at every byte boundary inside
+// the last record: each prefix must decode to exactly the whole
+// records it contains, and re-opening with the reported valid length
+// must support appending a fresh record after the cut.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.wal")
+	w, err := openWAL(path, -1)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	recs := walTestRecords()
+	appendAll(t, w, recs)
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// twoLen is where record 3's frame starts: the valid prefix of any
+	// file cut inside that frame.
+	tmp := filepath.Join(dir, "prefix.wal")
+	if err := os.WriteFile(tmp, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, twoLen, err := readWAL(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := twoLen; cut < int64(len(data)); cut++ {
+		if err := os.WriteFile(tmp, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, validLen, err := readWAL(tmp)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("cut %d: decoded %d records, want 2", cut, len(got))
+		}
+		if validLen != twoLen {
+			t.Fatalf("cut %d: valid prefix %d, want %d", cut, validLen, twoLen)
+		}
+	}
+
+	// Recovery truncates the torn tail and appends cleanly after it.
+	if err := os.WriteFile(tmp, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, validLen, err := readWAL(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := openWAL(tmp, validLen)
+	if err != nil {
+		t.Fatalf("openWAL after tear: %v", err)
+	}
+	extra := walRecord{Tick: 3, Edits: []Edit{{Node: 9, Client: 0, Reqs: 1}}}
+	if _, err := w2.append(&extra); err != nil {
+		t.Fatalf("append after tear: %v", err)
+	}
+	w2.Close()
+	got, _, err := readWAL(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(recs[:2:2], extra)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after tear+append:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALCRCMismatchEndsLog flips one body byte of the last record: the
+// frame fails its checksum and the log ends at the previous record.
+func TestWALCRCMismatchEndsLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crc.wal")
+	w, err := openWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, walTestRecords())
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, err := readWAL(path)
+	if err != nil {
+		t.Fatalf("readWAL: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d records past a bad checksum, want 2", len(got))
+	}
+	if validLen >= int64(len(data)) {
+		t.Fatalf("valid prefix %d includes the corrupt record", validLen)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reset.wal")
+	w, err := openWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendAll(t, w, walTestRecords())
+	if err := w.reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if recs, validLen, err := readWAL(path); err != nil || len(recs) != 0 || validLen != 0 {
+		t.Fatalf("after reset: recs=%v len=%d err=%v, want empty", recs, validLen, err)
+	}
+	rec := walRecord{Tick: 4}
+	if _, err := w.append(&rec); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	if recs, _, err := readWAL(path); err != nil || len(recs) != 1 || recs[0].Tick != 4 {
+		t.Fatalf("after reset+append: recs=%v err=%v", recs, err)
+	}
+}
